@@ -1,0 +1,255 @@
+(* rfdet — command-line front end for the RFDet reproduction.
+
+   Subcommands:
+     run WORKLOAD     run one workload under one runtime, print stats
+     list             list workloads and runtimes
+     racey            the determinism stress experiment (Section 5.1)
+     experiment NAME  regenerate a table/figure (fig7, table1, fig8,
+                      fig9, e1, e6, e7, all) *)
+
+open Cmdliner
+module Runner = Rfdet_harness.Runner
+module Determinism = Rfdet_harness.Determinism
+module Experiments = Rfdet_harness.Experiments
+module Registry = Rfdet_workloads.Registry
+module Options = Rfdet_core.Options
+module Profile = Rfdet_sim.Profile
+
+let runtime_names =
+  [
+    ("pthreads", Runner.Pthreads);
+    ("kendo", Runner.Kendo);
+    ("dthreads", Runner.Dthreads);
+    ("coredet", Runner.Coredet);
+    ("rfdet-ci", Runner.rfdet_ci);
+    ("rfdet-pf", Runner.rfdet_pf);
+    ("rfdet-noopt", Runner.Rfdet Options.baseline_no_opt);
+  ]
+
+let runtime_conv =
+  let parse s =
+    match List.assoc_opt s runtime_names with
+    | Some r -> Ok r
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown runtime %S (expected one of: %s)" s
+             (String.concat ", " (List.map fst runtime_names))))
+  in
+  let print ppf r = Format.pp_print_string ppf (Runner.runtime_name r) in
+  Arg.conv (parse, print)
+
+let workload_conv =
+  let parse s =
+    match List.find_opt (fun w -> w.Rfdet_workloads.Workload.name = s) Registry.all with
+    | Some w -> Ok w
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown workload %S (expected one of: %s)" s
+             (String.concat ", " Registry.names)))
+  in
+  let print ppf w =
+    Format.pp_print_string ppf w.Rfdet_workloads.Workload.name
+  in
+  Arg.conv (parse, print)
+
+let threads_arg =
+  Arg.(value & opt int 4 & info [ "t"; "threads" ] ~doc:"Worker thread count.")
+
+let scale_arg =
+  Arg.(value & opt float 1.0 & info [ "s"; "scale" ] ~doc:"Problem-size multiplier.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Scheduler seed.")
+
+let jitter_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "jitter" ]
+        ~doc:"Mean scheduling-noise cycles per operation (0 = none).")
+
+(* --- run -------------------------------------------------------------- *)
+
+let run_cmd =
+  let runtime_arg =
+    Arg.(
+      value
+      & opt runtime_conv Runner.rfdet_ci
+      & info [ "r"; "runtime" ]
+          ~doc:"Runtime: pthreads, kendo, dthreads, coredet, rfdet-ci, \
+                rfdet-pf or rfdet-noopt.")
+  in
+  let workload_arg =
+    Arg.(
+      required & pos 0 (some workload_conv) None & info [] ~docv:"WORKLOAD")
+  in
+  let action runtime workload threads scale seed input_seed jitter trace =
+    let r =
+      Runner.run ~threads ~scale ~sched_seed:(Int64.of_int seed)
+        ~input_seed:(Int64.of_int input_seed) ~jitter ~trace runtime workload
+    in
+    let p = r.Runner.profile in
+    Printf.printf "workload:    %s\n" r.Runner.workload;
+    Printf.printf "runtime:     %s\n" r.Runner.runtime;
+    Printf.printf "threads:     %d (total spawned: %d)\n" threads
+      r.Runner.threads;
+    Printf.printf "sim cycles:  %d\n" r.Runner.sim_time;
+    Printf.printf "engine ops:  %d (%.2fs host)\n" r.Runner.ops
+      r.Runner.wall_seconds;
+    Printf.printf "signature:   %s\n" r.Runner.signature;
+    Printf.printf "outputs:     %s\n"
+      (String.concat ", "
+         (List.map
+            (fun (tid, v) -> Printf.sprintf "%d:%Ld" tid v)
+            r.Runner.outputs));
+    Format.printf "profile:     @[%a@]@." Profile.pp p;
+    if r.Runner.trace <> [] then begin
+      Printf.printf "trace (last %d operations):\n" (List.length r.Runner.trace);
+      List.iter
+        (fun e ->
+          Printf.printf "  clock=%-10d icount=%-10d tid=%d %s\n"
+            e.Rfdet_sim.Engine.t_clock e.Rfdet_sim.Engine.t_icount
+            e.Rfdet_sim.Engine.t_tid e.Rfdet_sim.Engine.t_op)
+        r.Runner.trace
+    end
+  in
+  let trace_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "trace" ] ~doc:"Print the last N operations of the run.")
+  in
+  let input_seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "input-seed" ] ~doc:"Input-data generator seed (an input).")
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one workload under one runtime.")
+    Term.(
+      const action $ runtime_arg $ workload_arg $ threads_arg $ scale_arg
+      $ seed_arg $ input_seed_arg $ jitter_arg $ trace_arg)
+
+(* --- list ------------------------------------------------------------- *)
+
+let list_cmd =
+  let action () =
+    Printf.printf "Workloads:\n";
+    List.iter
+      (fun w ->
+        Printf.printf "  %-18s %-8s %s\n" w.Rfdet_workloads.Workload.name
+          w.Rfdet_workloads.Workload.suite
+          w.Rfdet_workloads.Workload.description)
+      Registry.all;
+    Printf.printf "\nRuntimes:\n";
+    List.iter (fun (name, _) -> Printf.printf "  %s\n" name) runtime_names
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List workloads and runtimes.")
+    Term.(const action $ const ())
+
+(* --- racey ------------------------------------------------------------ *)
+
+let racey_cmd =
+  let runs_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "n"; "runs" ] ~doc:"Runs per configuration (paper: 1000).")
+  in
+  let action runs =
+    let rows =
+      Experiments.racey_determinism ~runs_per_config:runs ()
+    in
+    print_string (Experiments.render_e1 rows)
+  in
+  Cmd.v
+    (Cmd.info "racey"
+       ~doc:"Determinism stress test: repeated racey runs (Section 5.1).")
+    Term.(const action $ runs_arg)
+
+(* --- races ------------------------------------------------------------ *)
+
+let races_cmd =
+  let workload_arg =
+    Arg.(
+      required & pos 0 (some workload_conv) None & info [] ~docv:"WORKLOAD")
+  in
+  let action workload threads scale =
+    let cfg =
+      { Rfdet_workloads.Workload.threads; scale; input_seed = 42L }
+    in
+    let report =
+      Rfdet_detect.Race_detector.check
+        ~main:(workload.Rfdet_workloads.Workload.main cfg)
+    in
+    Format.printf "%a@." Rfdet_detect.Race_detector.pp_report report
+  in
+  Cmd.v
+    (Cmd.info "races"
+       ~doc:"Run the happens-before race detector over a workload.")
+    Term.(const action $ workload_arg $ threads_arg $ scale_arg)
+
+(* --- replay ------------------------------------------------------------ *)
+
+let replay_cmd =
+  let workload_arg =
+    Arg.(
+      required & pos 0 (some workload_conv) None & info [] ~docv:"WORKLOAD")
+  in
+  let action workload threads scale =
+    let recording = Rfdet_harness.Replay.record ~threads ~scale workload in
+    Printf.printf "recorded:\n%s\n"
+      (Rfdet_harness.Replay.to_string recording);
+    List.iter
+      (fun seed ->
+        let signature, ok = Rfdet_harness.Replay.replay ~sched_seed:seed recording in
+        Printf.printf "replay (scheduler seed %Ld): %s %s\n" seed signature
+          (if ok then "MATCH" else "MISMATCH"))
+      [ 7L; 99L; 12345L ]
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Record a run by inputs only, then replay it under scheduler \
+          noise (Section 2's record/replay application).")
+    Term.(const action $ workload_arg $ threads_arg $ scale_arg)
+
+(* --- experiment ------------------------------------------------------- *)
+
+let experiment_cmd =
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some (Arg.enum
+           [ ("fig7", `Fig7); ("table1", `Table1); ("fig8", `Fig8);
+             ("fig9", `Fig9); ("e1", `E1); ("e6", `E6); ("e7", `E7);
+             ("all", `All) ])) None
+      & info [] ~docv:"NAME"
+          ~doc:"One of: fig7, table1, fig8, fig9, e1, e6, e7, all.")
+  in
+  let run_one = function
+    | `Fig7 -> print_string (Experiments.render_figure7 (Experiments.figure7 ()))
+    | `Table1 -> print_string (Experiments.render_table1 (Experiments.table1 ()))
+    | `Fig8 -> print_string (Experiments.render_figure8 (Experiments.figure8 ()))
+    | `Fig9 -> print_string (Experiments.render_figure9 (Experiments.figure9 ()))
+    | `E1 ->
+      print_string
+        (Experiments.render_e1 (Experiments.racey_determinism ~runs_per_config:50 ()))
+    | `E6 -> print_string (Experiments.render_e6 (Experiments.ablation_barriers ()))
+    | `E7 -> print_string (Experiments.render_e7 (Experiments.ablation_gc ()))
+    | `All -> assert false
+  in
+  let action = function
+    | `All ->
+      List.iter run_one [ `E1; `Fig7; `Table1; `Fig8; `Fig9; `E6; `E7 ]
+    | x -> run_one x
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate a table or figure of the paper.")
+    Term.(const action $ name_arg)
+
+let () =
+  let doc = "RFDet: deterministic multithreading without global barriers" in
+  let info = Cmd.info "rfdet" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; list_cmd; racey_cmd; races_cmd; replay_cmd; experiment_cmd ]))

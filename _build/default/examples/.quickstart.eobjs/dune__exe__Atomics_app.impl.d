@@ -1,0 +1,1 @@
+examples/atomics_app.ml: Int64 List Printf Rfdet_baselines Rfdet_core Rfdet_sim Rfdet_util String

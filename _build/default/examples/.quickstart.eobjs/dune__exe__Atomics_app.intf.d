@@ -1,0 +1,1 @@
+examples/atomics_app.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Int64 List Printf Rfdet_baselines Rfdet_core Rfdet_sim

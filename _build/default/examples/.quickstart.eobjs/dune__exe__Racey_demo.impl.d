@@ -1,0 +1,1 @@
+examples/racey_demo.ml: Int64 List Printf Rfdet_harness Rfdet_workloads

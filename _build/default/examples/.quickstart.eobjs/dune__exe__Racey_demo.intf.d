@@ -1,0 +1,1 @@
+examples/racey_demo.mli:

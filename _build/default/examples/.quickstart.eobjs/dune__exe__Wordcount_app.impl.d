@@ -1,0 +1,1 @@
+examples/wordcount_app.ml: Array Int64 List Printf Rfdet_baselines Rfdet_core Rfdet_sim Rfdet_util

@@ -1,0 +1,58 @@
+(* Quickstart: the 60-second tour.
+
+   A deliberately racy program — two threads increment a shared counter
+   WITHOUT a lock — is run under conventional pthreads and under RFDet,
+   each with several different OS-scheduling seeds.
+
+   Under pthreads the lost-update race makes the result vary from run to
+   run.  Under RFDet (strong determinism via deterministic lazy release
+   consistency) the program still has a race — but it resolves the same
+   way every single time, no matter how the scheduler behaves.
+
+     dune exec examples/quickstart.exe *)
+
+module Engine = Rfdet_sim.Engine
+module Api = Rfdet_sim.Api
+
+(* The program under test: written once, runs under every runtime. *)
+let racy_counter () =
+  let counter = Api.malloc 8 in
+  let body () =
+    for _ = 1 to 2000 do
+      (* unprotected read-modify-write: a classic data race *)
+      Api.store counter (Api.load counter + 1);
+      Api.tick 3
+    done
+  in
+  let t1 = Api.spawn body in
+  let t2 = Api.spawn body in
+  Api.join t1;
+  Api.join t2;
+  Api.output_int (Api.load counter)
+
+let final_count policy seed =
+  let config =
+    { Engine.default_config with seed; jitter_mean = 10. (* OS noise *) }
+  in
+  match (Engine.run ~config policy ~main:racy_counter).Engine.outputs with
+  | [ (_, v) ] -> Int64.to_int v
+  | _ -> assert false
+
+let () =
+  let seeds = [ 1L; 2L; 3L; 4L; 5L ] in
+  print_endline "Two threads, 2000 unlocked increments each (expected 4000):\n";
+  print_endline "pthreads (conventional, nondeterministic):";
+  List.iter
+    (fun s ->
+      Printf.printf "  seed %Ld -> final counter = %d\n" s
+        (final_count Rfdet_baselines.Pthreads_runtime.make s))
+    seeds;
+  print_endline "\nRFDet (deterministic lazy release consistency):";
+  List.iter
+    (fun s ->
+      Printf.printf "  seed %Ld -> final counter = %d\n" s
+        (final_count (Rfdet_core.Rfdet_runtime.make ~opts:Rfdet_core.Options.ci) s))
+    seeds;
+  print_endline
+    "\nThe race is still there under RFDet — but it resolves identically\n\
+     on every run: same input, same output, whatever the scheduler does."

@@ -1,0 +1,1 @@
+lib/baselines/coredet_runtime.mli: Rfdet_sim

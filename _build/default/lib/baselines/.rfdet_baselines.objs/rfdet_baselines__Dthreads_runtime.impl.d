@@ -1,0 +1,1 @@
+lib/baselines/dthreads_runtime.ml: Hashtbl List Option Printf Queue Rfdet_mem Rfdet_sim

@@ -1,0 +1,1 @@
+lib/baselines/dthreads_runtime.mli: Rfdet_sim

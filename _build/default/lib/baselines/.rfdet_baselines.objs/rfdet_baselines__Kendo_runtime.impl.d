@@ -1,0 +1,1 @@
+lib/baselines/kendo_runtime.ml: Rfdet_kendo Rfdet_mem Rfdet_sim

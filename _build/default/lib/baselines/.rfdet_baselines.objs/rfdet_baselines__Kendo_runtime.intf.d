@@ -1,0 +1,1 @@
+lib/baselines/kendo_runtime.mli: Rfdet_sim

@@ -1,0 +1,1 @@
+lib/baselines/pthreads_runtime.mli: Rfdet_sim

@@ -1,0 +1,442 @@
+module Engine = Rfdet_sim.Engine
+module Cost = Rfdet_sim.Cost
+module Op = Rfdet_sim.Op
+module Space = Rfdet_mem.Space
+module Layout = Rfdet_mem.Layout
+module Page = Rfdet_mem.Page
+module Diff = Rfdet_mem.Diff
+
+let name = "coredet"
+
+let quantum = 50_000
+
+type action =
+  | A_lock of int
+  | A_unlock of int
+  | A_cond_wait of int * int
+  | A_cond_signal of int
+  | A_cond_broadcast of int
+  | A_barrier of int
+  | A_spawn of (unit -> unit)
+  | A_join of int
+  | A_exit
+  | A_atomic of int * Op.rmw
+  | A_quantum of int
+      (** ran out of instruction budget mid-computation; the int is the
+          just-completed operation's result, delivered when the next
+          round resumes the thread *)
+
+type cstate = {
+  tid : int;
+  space : Space.t;
+  stack : Space.t;
+  snapshots : (int, bytes) Hashtbl.t;
+  mutable touch_order : int list;
+  mutable quantum_end : int;  (* icount bound for the current round *)
+  mutable live : bool;
+}
+
+type mutex_state = { mutable owner : int option; queue : int Queue.t }
+
+type cond_state = { cond_waiters : (int * int) Queue.t }
+
+type barrier_state = { parties : int; mutable arrived_tids : int list }
+
+type t = {
+  engine : Engine.t;
+  quantum : int;
+  states : (int, cstate) Hashtbl.t;
+  mutexes : (int, mutex_state) Hashtbl.t;
+  conds : (int, cond_state) Hashtbl.t;
+  barriers : (int, barrier_state) Hashtbl.t;
+  joiners : (int, int list) Hashtbl.t;
+  mutable next_handle : int;
+  mutable arrived : (int * action) list;
+  mutable excluded : int list;
+  mutable commits : (int * Diff.t) list;
+  mutable live_count : int;
+}
+
+let fresh_handle t =
+  let h = t.next_handle in
+  t.next_handle <- h + 1;
+  h
+
+let cstate t tid =
+  match Hashtbl.find_opt t.states tid with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "coredet: unknown tid %d" tid)
+
+let mutex_state t m =
+  match Hashtbl.find_opt t.mutexes m with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "coredet: unknown mutex %d" m)
+
+let cond_state t c =
+  match Hashtbl.find_opt t.conds c with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "coredet: unknown cond %d" c)
+
+let barrier_state t b =
+  match Hashtbl.find_opt t.barriers b with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "coredet: unknown barrier %d" b)
+
+let fresh_state t ~tid ~space =
+  let st =
+    {
+      tid;
+      space;
+      stack = Space.create ();
+      snapshots = Hashtbl.create 16;
+      touch_order = [];
+      quantum_end = Engine.icount t.engine tid + t.quantum;
+      live = true;
+    }
+  in
+  Hashtbl.replace t.states tid st;
+  st
+
+(* store-buffer emulation: first-touch snapshot for the round's diff *)
+let track_store t st addr ~len =
+  let c = Engine.cost t.engine in
+  let p = Engine.profile t.engine in
+  let cycles = ref 0 in
+  let copied = ref false in
+  List.iter
+    (fun page ->
+      if t.live_count > 1 && not (Hashtbl.mem st.snapshots page) then begin
+        Hashtbl.replace st.snapshots page (Space.snapshot_page st.space page);
+        st.touch_order <- page :: st.touch_order;
+        p.snapshots <- p.snapshots + 1;
+        copied := true;
+        cycles := !cycles + Cost.snapshot_cost c ~bytes:Page.size
+      end)
+    (Page.span ~addr ~len);
+  if !copied then p.stores_with_copy <- p.stores_with_copy + 1;
+  !cycles
+
+let collect_diffs t st =
+  let c = Engine.cost t.engine in
+  let cycles = ref 0 in
+  let pages = List.rev st.touch_order in
+  let mods =
+    List.concat_map
+      (fun page ->
+        let snapshot = Hashtbl.find st.snapshots page in
+        let current = Space.page_bytes st.space page in
+        cycles := !cycles + Cost.diff_cost c ~bytes:Page.size;
+        Diff.diff_page ~page_id:page ~snapshot ~current)
+      pages
+  in
+  Hashtbl.reset st.snapshots;
+  st.touch_order <- [];
+  (mods, !cycles)
+
+let population t =
+  Hashtbl.fold
+    (fun tid st acc ->
+      if st.live && not (List.mem tid t.excluded) then tid :: acc else acc)
+    t.states []
+
+let exclude t tid = t.excluded <- tid :: t.excluded
+
+let unexclude t tid = t.excluded <- List.filter (fun x -> x <> tid) t.excluded
+
+let pass_mutex t ~mutex ~at =
+  let st = mutex_state t mutex in
+  match Queue.take_opt st.queue with
+  | None -> ()
+  | Some w ->
+    st.owner <- Some w;
+    unexclude t w;
+    Engine.wake t.engine ~tid:w ~value:0 ~not_before:at
+
+let perform_action t ~tid ~action ~at =
+  let resume value = Engine.wake t.engine ~tid ~value ~not_before:at in
+  match action with
+  | A_exit -> ()
+  | A_quantum v -> resume v
+  | A_atomic (addr, rmw) ->
+    let st = cstate t tid in
+    let current = Space.load_int st.space addr in
+    let prev, next = Op.apply_rmw rmw ~current in
+    Hashtbl.iter
+      (fun _ (st' : cstate) ->
+        if st'.live then Space.store_int st'.space addr next)
+      t.states;
+    resume prev
+  | A_lock m -> begin
+    let st = mutex_state t m in
+    match st.owner with
+    | None ->
+      st.owner <- Some tid;
+      resume 0
+    | Some _ ->
+      Queue.add tid st.queue;
+      exclude t tid
+  end
+  | A_unlock m ->
+    let st = mutex_state t m in
+    (match st.owner with
+    | Some owner when owner = tid -> ()
+    | Some _ | None ->
+      invalid_arg (Printf.sprintf "coredet: unlock of unheld mutex %d" m));
+    st.owner <- None;
+    pass_mutex t ~mutex:m ~at;
+    resume 0
+  | A_cond_wait (c, m) ->
+    let mst = mutex_state t m in
+    (match mst.owner with
+    | Some owner when owner = tid -> ()
+    | Some _ | None -> invalid_arg "coredet: cond_wait without the mutex");
+    mst.owner <- None;
+    pass_mutex t ~mutex:m ~at;
+    Queue.add (tid, m) (cond_state t c).cond_waiters;
+    exclude t tid
+  | A_cond_signal c -> begin
+    (match Queue.take_opt (cond_state t c).cond_waiters with
+    | None -> ()
+    | Some (w, m) ->
+      let mst = mutex_state t m in
+      (match mst.owner with
+      | None ->
+        mst.owner <- Some w;
+        unexclude t w;
+        Engine.wake t.engine ~tid:w ~value:0 ~not_before:at
+      | Some _ -> Queue.add w mst.queue));
+    resume 0
+  end
+  | A_cond_broadcast c ->
+    let cst = cond_state t c in
+    let rec drain () =
+      match Queue.take_opt cst.cond_waiters with
+      | None -> ()
+      | Some (w, m) ->
+        let mst = mutex_state t m in
+        (match mst.owner with
+        | None ->
+          mst.owner <- Some w;
+          unexclude t w;
+          Engine.wake t.engine ~tid:w ~value:0 ~not_before:at
+        | Some _ -> Queue.add w mst.queue);
+        drain ()
+    in
+    drain ();
+    resume 0
+  | A_barrier b ->
+    let st = barrier_state t b in
+    st.arrived_tids <- tid :: st.arrived_tids;
+    if List.length st.arrived_tids < st.parties then exclude t tid
+    else begin
+      List.iter
+        (fun tid' ->
+          if tid' <> tid then begin
+            unexclude t tid';
+            Engine.wake t.engine ~tid:tid' ~value:0 ~not_before:at
+          end)
+        st.arrived_tids;
+      st.arrived_tids <- [];
+      resume 0
+    end
+  | A_spawn body ->
+    let child = Engine.register_thread t.engine ~body ~start_at:at in
+    let parent = cstate t tid in
+    let (_ : cstate) = fresh_state t ~tid:child ~space:(Space.fork parent.space) in
+    t.live_count <- t.live_count + 1;
+    resume child
+  | A_join target ->
+    if not (cstate t target).live then resume 0
+    else begin
+      let existing =
+        Option.value (Hashtbl.find_opt t.joiners target) ~default:[]
+      in
+      Hashtbl.replace t.joiners target (existing @ [ tid ]);
+      exclude t tid
+    end
+
+let run_serial t =
+  let c = Engine.cost t.engine in
+  let p = Engine.profile t.engine in
+  p.barrier_stalls <- p.barrier_stalls + 1;
+  let fence_time =
+    List.fold_left
+      (fun acc (tid, _) -> max acc (Engine.clock t.engine tid))
+      0 t.arrived
+  in
+  let order = List.sort compare (List.rev t.arrived) in
+  let commits = t.commits in
+  t.arrived <- [];
+  t.commits <- [];
+  let clock = ref (fence_time + c.Cost.barrier_overhead) in
+  List.iter
+    (fun (tid, action) ->
+      clock := !clock + c.Cost.commit_token;
+      (match List.assoc_opt tid commits with
+      | None | Some [] -> ()
+      | Some mods ->
+        let bytes = Diff.byte_count mods in
+        Hashtbl.iter
+          (fun tid' (st' : cstate) ->
+            if tid' <> tid && st'.live then Diff.apply st'.space mods)
+          t.states;
+        p.bytes_propagated <- p.bytes_propagated + bytes;
+        clock := !clock + (bytes * max 1 (c.Cost.apply_byte / 4)));
+      (* refill the quantum for the next parallel phase *)
+      (if Hashtbl.mem t.states tid then
+         let st = cstate t tid in
+         st.quantum_end <- Engine.icount t.engine tid + t.quantum);
+      match action with
+      | A_exit ->
+        let st = cstate t tid in
+        st.live <- false;
+        t.live_count <- t.live_count - 1;
+        (match Hashtbl.find_opt t.joiners tid with
+        | None -> ()
+        | Some waiting ->
+          Hashtbl.remove t.joiners tid;
+          List.iter
+            (fun joiner ->
+              unexclude t joiner;
+              Engine.wake t.engine ~tid:joiner ~value:0 ~not_before:!clock)
+            waiting)
+      | _ -> perform_action t ~tid ~action ~at:!clock)
+    order
+
+let maybe_fence t =
+  let pop = List.sort compare (population t) in
+  let arr = List.sort compare (List.map fst t.arrived) in
+  if pop <> [] && pop = arr then run_serial t
+
+let arrive t ~tid ~action =
+  let st = cstate t tid in
+  let mods, cycles = collect_diffs t st in
+  let c = Engine.cost t.engine in
+  Engine.advance t.engine tid (cycles + c.Cost.sync_op);
+  t.arrived <- (tid, action) :: t.arrived;
+  t.commits <- (tid, mods) :: t.commits
+
+(* Preempt the thread if its instruction budget for the round is gone. *)
+let check_quantum t ~tid (outcome : Engine.outcome) : Engine.outcome =
+  match outcome with
+  | Engine.Block -> outcome
+  | Engine.Done _ ->
+    let st = cstate t tid in
+    if st.live && Engine.icount t.engine tid >= st.quantum_end then begin
+      (* pause at the quantum barrier; the serial phase delivers the
+         just-completed operation's result when the next round starts *)
+      let value = match outcome with Engine.Done v -> v | Block -> 0 in
+      arrive t ~tid ~action:(A_quantum value);
+      Engine.Block
+    end
+    else outcome
+
+let handle t ~tid (op : Op.t) : Engine.outcome =
+  let c = Engine.cost t.engine in
+  let st = cstate t tid in
+  match op with
+  | Op.Load { addr; width } ->
+    let space = if Layout.is_stack addr then st.stack else st.space in
+    Engine.advance t.engine tid c.Cost.load;
+    let v =
+      match width with
+      | Op.W8 -> Space.load_byte space addr
+      | Op.W64 -> Space.load_int space addr
+    in
+    check_quantum t ~tid (Done v)
+  | Op.Store { addr; value; width } ->
+    let space, extra =
+      if Layout.is_stack addr then (st.stack, 0)
+      else
+        (st.space,
+         track_store t st addr ~len:(match width with Op.W8 -> 1 | Op.W64 -> 8))
+    in
+    Engine.advance t.engine tid (c.Cost.store + extra);
+    (match width with
+    | Op.W8 -> Space.store_byte space addr value
+    | Op.W64 -> Space.store_int space addr value);
+    check_quantum t ~tid (Done 0)
+  | Op.Mutex_create ->
+    let h = fresh_handle t in
+    Hashtbl.replace t.mutexes h { owner = None; queue = Queue.create () };
+    Done h
+  | Op.Cond_create ->
+    let h = fresh_handle t in
+    Hashtbl.replace t.conds h { cond_waiters = Queue.create () };
+    Done h
+  | Op.Barrier_create parties ->
+    let h = fresh_handle t in
+    Hashtbl.replace t.barriers h { parties; arrived_tids = [] };
+    Done h
+  | Op.Lock m ->
+    arrive t ~tid ~action:(A_lock m);
+    Block
+  | Op.Unlock m ->
+    arrive t ~tid ~action:(A_unlock m);
+    Block
+  | Op.Cond_wait { cond; mutex } ->
+    arrive t ~tid ~action:(A_cond_wait (cond, mutex));
+    Block
+  | Op.Cond_signal cond ->
+    arrive t ~tid ~action:(A_cond_signal cond);
+    Block
+  | Op.Cond_broadcast cond ->
+    arrive t ~tid ~action:(A_cond_broadcast cond);
+    Block
+  | Op.Barrier_wait b ->
+    arrive t ~tid ~action:(A_barrier b);
+    Block
+  | Op.Atomic { addr; rmw } ->
+    arrive t ~tid ~action:(A_atomic (addr, rmw));
+    Block
+  | Op.Spawn body ->
+    arrive t ~tid ~action:(A_spawn body);
+    Block
+  | Op.Join target ->
+    arrive t ~tid ~action:(A_join target);
+    Block
+  | Op.Tick _ | Op.Output _ | Op.Self | Op.Yield | Op.Malloc _ | Op.Free _ ->
+    assert false
+
+let on_finish t () =
+  let p = Engine.profile t.engine in
+  let pages = Hashtbl.create 256 in
+  Hashtbl.iter
+    (fun _ (st : cstate) ->
+      Space.iter_pages st.space ~f:(fun id ->
+          if Layout.is_shared (Page.base_of_id id) then
+            Hashtbl.replace pages id ()))
+    t.states;
+  p.shared_bytes <- Hashtbl.length pages * Page.size;
+  p.stack_bytes <- Engine.thread_count t.engine * 8192
+
+let make ?(quantum = quantum) engine : Engine.policy =
+  let t =
+    {
+      engine;
+      quantum;
+      states = Hashtbl.create 16;
+      mutexes = Hashtbl.create 16;
+      conds = Hashtbl.create 16;
+      barriers = Hashtbl.create 4;
+      joiners = Hashtbl.create 8;
+      next_handle = 1;
+      arrived = [];
+      excluded = [];
+      commits = [];
+      live_count = 1;
+    }
+  in
+  let (_ : cstate) = fresh_state t ~tid:0 ~space:(Space.create ()) in
+  {
+    Engine.policy_name = name;
+    handle = (fun ~tid op -> handle t ~tid op);
+    on_engine_op = (fun ~tid op outcome ->
+        match op with
+        | Op.Tick _ | Op.Malloc _ | Op.Free _ | Op.Output _ ->
+          check_quantum t ~tid outcome
+        | _ -> outcome);
+    on_thread_exit = (fun ~tid -> arrive t ~tid ~action:A_exit);
+    on_step = (fun () -> maybe_fence t);
+    on_finish = (fun () -> on_finish t ());
+  }

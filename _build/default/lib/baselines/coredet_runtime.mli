@@ -1,0 +1,23 @@
+(** A CoreDet-style quantum-barrier strong-DMT runtime (Bergan et al.,
+    ASPLOS 2010) — the third point in the design space of the paper's
+    Figure 1.
+
+    Execution proceeds in rounds.  In the *parallel phase* every thread
+    runs isolated (private space, dirty pages tracked) until it either
+    executes a fixed quantum of instructions or reaches a synchronization
+    operation; a *global barrier* then starts the serial phase, where a
+    token passes in thread-id order: each thread commits its buffered
+    writes and performs its pending synchronization operation, if any.
+
+    Unlike DThreads, even a thread that never synchronizes is stopped at
+    every quantum boundary — the "unnecessary serialization" the paper's
+    Section 3.1 argues DLRC eliminates.  The E6 ablation bench
+    demonstrates this difference. *)
+
+val name : string
+
+val quantum : int
+(** Parallel-phase length in instruction-count units (50k, CoreDet's
+    ballpark). *)
+
+val make : ?quantum:int -> Rfdet_sim.Engine.t -> Rfdet_sim.Engine.policy

@@ -1,0 +1,464 @@
+module Engine = Rfdet_sim.Engine
+module Cost = Rfdet_sim.Cost
+module Op = Rfdet_sim.Op
+module Space = Rfdet_mem.Space
+module Layout = Rfdet_mem.Layout
+module Page = Rfdet_mem.Page
+module Diff = Rfdet_mem.Diff
+
+let name = "dthreads"
+
+(* The synchronization action a thread carries to the fence. *)
+type action =
+  | A_lock of int
+  | A_unlock of int
+  | A_cond_wait of int * int
+  | A_cond_signal of int
+  | A_cond_broadcast of int
+  | A_barrier of int
+  | A_spawn of (unit -> unit)
+  | A_join of int
+  | A_exit
+  | A_atomic of int * Op.rmw
+
+type dstate = {
+  tid : int;
+  space : Space.t;  (* private view of shared region *)
+  stack : Space.t;
+  snapshots : (int, bytes) Hashtbl.t;  (* dirty-page twins, this phase *)
+  mutable touch_order : int list;  (* reversed *)
+  mutable live : bool;
+}
+
+type mutex_state = { mutable owner : int option; queue : int Queue.t }
+
+type cond_state = { cond_waiters : (int * int) Queue.t }
+
+type barrier_state = { parties : int; mutable arrived_tids : int list }
+
+type t = {
+  engine : Engine.t;
+  states : (int, dstate) Hashtbl.t;
+  mutexes : (int, mutex_state) Hashtbl.t;
+  conds : (int, cond_state) Hashtbl.t;
+  barriers : (int, barrier_state) Hashtbl.t;
+  joiners : (int, int list) Hashtbl.t;
+  mutable next_handle : int;
+  (* fence state *)
+  mutable arrived : (int * action) list;  (* reversed arrival order *)
+  mutable excluded : int list;  (* blocked on lock/cond/barrier/join *)
+  mutable commits : (int * Diff.t) list;  (* diffs committed at arrival *)
+  mutable live_count : int;
+      (* dirty-page tracking is off while single-threaded, as in
+         DThreads: children inherit memory through fork, so there is
+         nothing to commit until a second thread exists *)
+}
+
+let fresh_handle t =
+  let h = t.next_handle in
+  t.next_handle <- h + 1;
+  h
+
+let dstate t tid =
+  match Hashtbl.find_opt t.states tid with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "dthreads: unknown tid %d" tid)
+
+let mutex_state t m =
+  match Hashtbl.find_opt t.mutexes m with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "dthreads: unknown mutex %d" m)
+
+let cond_state t c =
+  match Hashtbl.find_opt t.conds c with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "dthreads: unknown cond %d" c)
+
+let barrier_state t b =
+  match Hashtbl.find_opt t.barriers b with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "dthreads: unknown barrier %d" b)
+
+(* --- dirty-page tracking (mprotect style, like DThreads twins) ------- *)
+
+let track_store t st addr ~len =
+  let c = Engine.cost t.engine in
+  let p = Engine.profile t.engine in
+  let cycles = ref 0 in
+  let copied = ref false in
+  List.iter
+    (fun page ->
+      if t.live_count > 1 && not (Hashtbl.mem st.snapshots page) then begin
+        Hashtbl.replace st.snapshots page (Space.snapshot_page st.space page);
+        st.touch_order <- page :: st.touch_order;
+        p.page_faults <- p.page_faults + 1;
+        p.snapshots <- p.snapshots + 1;
+        copied := true;
+        cycles := !cycles + c.Cost.page_fault + Cost.snapshot_cost c ~bytes:Page.size
+      end)
+    (Page.span ~addr ~len);
+  if !copied then p.stores_with_copy <- p.stores_with_copy + 1;
+  !cycles
+
+(* Compute this phase's diffs for a thread (its commit payload). *)
+let collect_diffs t st =
+  let c = Engine.cost t.engine in
+  let p = Engine.profile t.engine in
+  let cycles = ref 0 in
+  let pages = List.rev st.touch_order in
+  let mods =
+    List.concat_map
+      (fun page ->
+        let snapshot = Hashtbl.find st.snapshots page in
+        let current = Space.page_bytes st.space page in
+        cycles := !cycles + Cost.diff_cost c ~bytes:Page.size;
+        p.diff_bytes_scanned <- p.diff_bytes_scanned + Page.size;
+        Diff.diff_page ~page_id:page ~snapshot ~current)
+      pages
+  in
+  Hashtbl.reset st.snapshots;
+  st.touch_order <- [];
+  (mods, !cycles)
+
+(* --- fence ----------------------------------------------------------- *)
+
+let population t =
+  Hashtbl.fold
+    (fun tid st acc ->
+      if st.live && not (List.mem tid t.excluded) then tid :: acc else acc)
+    t.states []
+
+let arrived_tids t = List.map fst t.arrived
+
+let exclude t tid = t.excluded <- tid :: t.excluded
+
+let unexclude t tid = t.excluded <- List.filter (fun x -> x <> tid) t.excluded
+
+(* Grant [mutex] to the queue head, waking it at [at]. *)
+let pass_mutex t ~mutex ~at =
+  let st = mutex_state t mutex in
+  match Queue.take_opt st.queue with
+  | None -> ()
+  | Some w ->
+    st.owner <- Some w;
+    unexclude t w;
+    Engine.wake t.engine ~tid:w ~value:0 ~not_before:at
+
+(* Execute one thread's synchronization action during the serial phase.
+   [at] is the simulated time at the end of this thread's token slot. *)
+let perform_action t ~tid ~action ~at =
+  let resume value = Engine.wake t.engine ~tid ~value ~not_before:at in
+  match action with
+  | A_exit -> ()
+  | A_atomic (addr, rmw) ->
+    (* read the committed value from this thread's (post-commit) view,
+       write the result through to every live space: atomics are global
+       immediately, like a one-word commit *)
+    let st = dstate t tid in
+    let current = Space.load_int st.space addr in
+    let prev, next = Op.apply_rmw rmw ~current in
+    Hashtbl.iter
+      (fun _ (st' : dstate) ->
+        if st'.live then Space.store_int st'.space addr next)
+      t.states;
+    resume prev
+  | A_lock m -> begin
+    let st = mutex_state t m in
+    match st.owner with
+    | None ->
+      st.owner <- Some tid;
+      resume 0
+    | Some _ ->
+      Queue.add tid st.queue;
+      exclude t tid
+  end
+  | A_unlock m ->
+    let st = mutex_state t m in
+    (match st.owner with
+    | Some owner when owner = tid -> ()
+    | Some _ | None ->
+      invalid_arg (Printf.sprintf "dthreads: unlock of unheld mutex %d" m));
+    st.owner <- None;
+    pass_mutex t ~mutex:m ~at;
+    resume 0
+  | A_cond_wait (c, m) ->
+    let mst = mutex_state t m in
+    (match mst.owner with
+    | Some owner when owner = tid -> ()
+    | Some _ | None -> invalid_arg "dthreads: cond_wait without the mutex");
+    mst.owner <- None;
+    pass_mutex t ~mutex:m ~at;
+    Queue.add (tid, m) (cond_state t c).cond_waiters;
+    exclude t tid
+  | A_cond_signal c -> begin
+    (match Queue.take_opt (cond_state t c).cond_waiters with
+    | None -> ()
+    | Some (w, m) ->
+      let mst = mutex_state t m in
+      (match mst.owner with
+      | None ->
+        mst.owner <- Some w;
+        unexclude t w;
+        Engine.wake t.engine ~tid:w ~value:0 ~not_before:at
+      | Some _ -> Queue.add w mst.queue));
+    resume 0
+  end
+  | A_cond_broadcast c ->
+    let cst = cond_state t c in
+    let rec drain () =
+      match Queue.take_opt cst.cond_waiters with
+      | None -> ()
+      | Some (w, m) ->
+        let mst = mutex_state t m in
+        (match mst.owner with
+        | None ->
+          mst.owner <- Some w;
+          unexclude t w;
+          Engine.wake t.engine ~tid:w ~value:0 ~not_before:at
+        | Some _ -> Queue.add w mst.queue);
+        drain ()
+    in
+    drain ();
+    resume 0
+  | A_barrier b ->
+    let st = barrier_state t b in
+    st.arrived_tids <- tid :: st.arrived_tids;
+    if List.length st.arrived_tids < st.parties then exclude t tid
+    else begin
+      List.iter
+        (fun tid' ->
+          if tid' <> tid then begin
+            unexclude t tid';
+            Engine.wake t.engine ~tid:tid' ~value:0 ~not_before:at
+          end)
+        st.arrived_tids;
+      st.arrived_tids <- [];
+      resume 0
+    end
+  | A_spawn body ->
+    let child = Engine.register_thread t.engine ~body ~start_at:at in
+    let parent = dstate t tid in
+    let child_state =
+      {
+        tid = child;
+        space = Space.fork parent.space;
+        stack = Space.create ();
+        snapshots = Hashtbl.create 16;
+        touch_order = [];
+        live = true;
+      }
+    in
+    Hashtbl.replace t.states child child_state;
+    t.live_count <- t.live_count + 1;
+    resume child
+  | A_join target ->
+    if not (dstate t target).live then resume 0
+    else begin
+      let existing =
+        Option.value (Hashtbl.find_opt t.joiners target) ~default:[]
+      in
+      Hashtbl.replace t.joiners target (existing @ [ tid ]);
+      exclude t tid
+    end
+
+(* Run the serial phase: token in ascending tid order; each slot commits
+   the thread's diffs into every other live space and performs its
+   action. *)
+let run_serial t =
+  let c = Engine.cost t.engine in
+  let p = Engine.profile t.engine in
+  p.barrier_stalls <- p.barrier_stalls + 1;
+  let fence_time =
+    List.fold_left
+      (fun acc (tid, _) -> max acc (Engine.clock t.engine tid))
+      0 t.arrived
+  in
+  let order = List.sort compare (List.rev t.arrived) in
+  let commits = t.commits in
+  t.arrived <- [];
+  t.commits <- [];
+  let clock = ref (fence_time + c.Cost.barrier_overhead) in
+  List.iter
+    (fun (tid, action) ->
+      clock := !clock + c.Cost.commit_token;
+      (* commit this thread's diffs into all other live spaces *)
+      (match List.assoc_opt tid commits with
+      | None | Some [] -> ()
+      | Some mods ->
+        (* The diff is patched into the shared global store once; the
+           other threads pick the committed pages up by copy-on-write
+           remapping, which costs a near-constant amount per thread.
+           (Functionally we apply to each private space — the simulated
+           machine has no shared mapping — but the committed bytes are
+           charged once, as in DThreads.) *)
+        let bytes = Diff.byte_count mods in
+        let peers = ref 0 in
+        Hashtbl.iter
+          (fun tid' (st' : dstate) ->
+            if tid' <> tid && st'.live then begin
+              Diff.apply st'.space mods;
+              incr peers
+            end)
+          t.states;
+        p.bytes_propagated <- p.bytes_propagated + bytes;
+        (* committing is a streaming patch of whole twin pages into the
+           shared mapping — cheaper per byte than RFDet's scattered
+           byte-run application *)
+        clock := !clock + (bytes * max 1 (c.Cost.apply_byte / 4)) + (!peers * 80));
+      (* exits were already finalized by the engine; everything else
+         resumes (or re-blocks) at this slot's end *)
+      (match action with
+      | A_exit ->
+        let st = dstate t tid in
+        st.live <- false;
+        t.live_count <- t.live_count - 1;
+        (match Hashtbl.find_opt t.joiners tid with
+        | None -> ()
+        | Some waiting ->
+          Hashtbl.remove t.joiners tid;
+          List.iter
+            (fun joiner ->
+              unexclude t joiner;
+              Engine.wake t.engine ~tid:joiner ~value:0 ~not_before:!clock)
+            waiting)
+      | _ -> perform_action t ~tid ~action ~at:!clock))
+    order
+
+(* A fence fires when every thread in the population has arrived. *)
+let maybe_fence t =
+  let pop = List.sort compare (population t) in
+  let arr = List.sort compare (arrived_tids t) in
+  if pop <> [] && pop = arr then run_serial t
+
+(* A thread reaches its next synchronization point. *)
+let arrive t ~tid ~action =
+  let st = dstate t tid in
+  let mods, cycles = collect_diffs t st in
+  let c = Engine.cost t.engine in
+  Engine.advance t.engine tid (cycles + c.Cost.sync_op);
+  t.arrived <- (tid, action) :: t.arrived;
+  t.commits <- (tid, mods) :: t.commits
+
+let handle t ~tid (op : Op.t) : Engine.outcome =
+  let c = Engine.cost t.engine in
+  let st = dstate t tid in
+  match op with
+  | Op.Load { addr; width } ->
+    let space = if Layout.is_stack addr then st.stack else st.space in
+    Engine.advance t.engine tid c.Cost.load;
+    let v =
+      match width with
+      | Op.W8 -> Space.load_byte space addr
+      | Op.W64 -> Space.load_int space addr
+    in
+    Done v
+  | Op.Store { addr; value; width } ->
+    let space, extra =
+      if Layout.is_stack addr then (st.stack, 0)
+      else
+        (st.space,
+         track_store t st addr ~len:(match width with Op.W8 -> 1 | Op.W64 -> 8))
+    in
+    Engine.advance t.engine tid (c.Cost.store + extra);
+    (match width with
+    | Op.W8 -> Space.store_byte space addr value
+    | Op.W64 -> Space.store_int space addr value);
+    Done 0
+  | Op.Mutex_create ->
+    let h = fresh_handle t in
+    Hashtbl.replace t.mutexes h { owner = None; queue = Queue.create () };
+    Done h
+  | Op.Cond_create ->
+    let h = fresh_handle t in
+    Hashtbl.replace t.conds h { cond_waiters = Queue.create () };
+    Done h
+  | Op.Barrier_create parties ->
+    let h = fresh_handle t in
+    Hashtbl.replace t.barriers h { parties; arrived_tids = [] };
+    Done h
+  | Op.Lock m ->
+    arrive t ~tid ~action:(A_lock m);
+    Block
+  | Op.Unlock m ->
+    arrive t ~tid ~action:(A_unlock m);
+    Block
+  | Op.Cond_wait { cond; mutex } ->
+    arrive t ~tid ~action:(A_cond_wait (cond, mutex));
+    Block
+  | Op.Cond_signal cond ->
+    arrive t ~tid ~action:(A_cond_signal cond);
+    Block
+  | Op.Cond_broadcast cond ->
+    arrive t ~tid ~action:(A_cond_broadcast cond);
+    Block
+  | Op.Barrier_wait b ->
+    arrive t ~tid ~action:(A_barrier b);
+    Block
+  | Op.Atomic { addr; rmw } ->
+    arrive t ~tid ~action:(A_atomic (addr, rmw));
+    Block
+  | Op.Spawn body ->
+    arrive t ~tid ~action:(A_spawn body);
+    Block
+  | Op.Join target ->
+    arrive t ~tid ~action:(A_join target);
+    Block
+  | Op.Tick _ | Op.Output _ | Op.Self | Op.Yield | Op.Malloc _ | Op.Free _ ->
+    assert false
+
+let on_thread_exit t ~tid = arrive t ~tid ~action:A_exit
+
+let on_finish t () =
+  let p = Engine.profile t.engine in
+  let pages = Hashtbl.create 256 in
+  let dirty_copies = ref 0 in
+  Hashtbl.iter
+    (fun _ (st : dstate) ->
+      dirty_copies := !dirty_copies + Space.owned_pages st.space;
+      Space.iter_pages st.space ~f:(fun id ->
+          if Layout.is_shared (Page.base_of_id id) then
+            Hashtbl.replace pages id ()))
+    t.states;
+  p.shared_bytes <- Hashtbl.length pages * Page.size;
+  p.private_copy_bytes <- !dirty_copies * Page.size;
+  let stacks = ref 0 in
+  Hashtbl.iter
+    (fun _ (st : dstate) ->
+      stacks := !stacks + 8192 + (Space.mapped_pages st.stack * Page.size))
+    t.states;
+  p.stack_bytes <- !stacks;
+  p.metadata_peak_bytes <- 0
+
+let make engine : Engine.policy =
+  let t =
+    {
+      engine;
+      states = Hashtbl.create 16;
+      mutexes = Hashtbl.create 16;
+      conds = Hashtbl.create 16;
+      barriers = Hashtbl.create 4;
+      joiners = Hashtbl.create 8;
+      next_handle = 1;
+      arrived = [];
+      excluded = [];
+      commits = [];
+      live_count = 1;
+    }
+  in
+  Hashtbl.replace t.states 0
+    {
+      tid = 0;
+      space = Space.create ();
+      stack = Space.create ();
+      snapshots = Hashtbl.create 16;
+      touch_order = [];
+      live = true;
+    };
+  {
+    Engine.policy_name = name;
+    handle = (fun ~tid op -> handle t ~tid op);
+    on_engine_op = (fun ~tid:_ _ outcome -> outcome);
+    on_thread_exit = (fun ~tid -> on_thread_exit t ~tid);
+    on_step = (fun () -> maybe_fence t);
+    on_finish = (fun () -> on_finish t ());
+  }

@@ -1,0 +1,23 @@
+(** DThreads (Liu, Curtsinger, Berger — SOSP 2011): the state-of-the-art
+    strong-DMT baseline the paper compares against.
+
+    Architecture reproduced here (Section 2 of the RFDet paper):
+    threads are isolated address spaces; a *parallel phase* ends when
+    every live thread reaches its next synchronization operation (an
+    internal global fence); then a *serial phase* passes a token in
+    deterministic thread-id order — each thread commits its page diffs to
+    the shared state (last committer wins, byte granularity) and performs
+    its synchronization operation.
+
+    The two overheads the RFDet paper attributes to this design emerge
+    naturally:
+    - {b fence imbalance}: a thread that does not synchronize holds every
+      other thread at the fence until it finally arrives (or exits);
+    - {b serialized commits}: all threads pay for the token round even
+      when they have nothing to communicate.
+
+    Dirty-page tracking is mprotect/page-fault based, as in DThreads. *)
+
+val name : string
+
+val make : Rfdet_sim.Engine.t -> Rfdet_sim.Engine.policy

@@ -1,0 +1,72 @@
+module Engine = Rfdet_sim.Engine
+module Cost = Rfdet_sim.Cost
+module Op = Rfdet_sim.Op
+module Space = Rfdet_mem.Space
+module Page = Rfdet_mem.Page
+module Sync = Rfdet_kendo.Sync
+
+let name = "kendo"
+
+type t = { engine : Engine.t; space : Space.t; sync : Sync.t }
+
+let handle t ~tid (op : Op.t) : Engine.outcome =
+  let cost = Engine.cost t.engine in
+  match op with
+  | Op.Load { addr; width } ->
+    Engine.advance t.engine tid cost.Cost.load;
+    let v =
+      match width with
+      | Op.W8 -> Space.load_byte t.space addr
+      | Op.W64 -> Space.load_int t.space addr
+    in
+    Done v
+  | Op.Store { addr; value; width } ->
+    Engine.advance t.engine tid cost.Cost.store;
+    (match width with
+    | Op.W8 -> Space.store_byte t.space addr value
+    | Op.W64 -> Space.store_int t.space addr value);
+    Done 0
+  | Op.Mutex_create -> Sync.mutex_create t.sync ~tid
+  | Op.Cond_create -> Sync.cond_create t.sync ~tid
+  | Op.Barrier_create parties -> Sync.barrier_create t.sync ~tid ~parties
+  | Op.Lock m -> Sync.lock t.sync ~tid ~mutex:m
+  | Op.Unlock m -> Sync.unlock t.sync ~tid ~mutex:m
+  | Op.Cond_wait { cond; mutex } -> Sync.cond_wait t.sync ~tid ~cond ~mutex
+  | Op.Cond_signal c -> Sync.cond_signal t.sync ~tid ~cond:c
+  | Op.Cond_broadcast c -> Sync.cond_broadcast t.sync ~tid ~cond:c
+  | Op.Barrier_wait b -> Sync.barrier_wait t.sync ~tid ~barrier:b
+  | Op.Atomic { addr; rmw } ->
+    Sync.rmw t.sync ~tid ~action:(fun ~now:_ ->
+        let current = Space.load_int t.space addr in
+        let prev, next = Op.apply_rmw rmw ~current in
+        Space.store_int t.space addr next;
+        (prev, 0))
+  | Op.Spawn body -> Sync.spawn t.sync ~tid ~body
+  | Op.Join target -> Sync.join t.sync ~tid ~target
+  | Op.Tick _ | Op.Output _ | Op.Self | Op.Yield | Op.Malloc _ | Op.Free _ ->
+    assert false
+
+let on_finish t () =
+  let prof = Engine.profile t.engine in
+  let shared = ref 0 in
+  Space.iter_pages t.space ~f:(fun id ->
+      if Rfdet_mem.Layout.is_shared (Page.base_of_id id) then incr shared);
+  prof.shared_bytes <- !shared * Page.size;
+  prof.stack_bytes <- Engine.thread_count t.engine * 8192
+
+let make engine : Engine.policy =
+  let t =
+    {
+      engine;
+      space = Space.create ();
+      sync = Sync.create engine Sync.trivial_hooks;
+    }
+  in
+  {
+    Engine.policy_name = name;
+    handle = (fun ~tid op -> handle t ~tid op);
+    on_engine_op = (fun ~tid:_ _ outcome -> outcome);
+    on_thread_exit = (fun ~tid -> Sync.on_thread_exit t.sync ~tid);
+    on_step = (fun () -> Sync.poll t.sync);
+    on_finish = (fun () -> on_finish t ());
+  }

@@ -1,0 +1,17 @@
+(** Weak determinism: the Kendo algorithm alone (Section 2).
+
+    Synchronization operations execute in deterministic logical-time
+    order via the arbiter, but memory is a single shared space with
+    immediate visibility — data races are *not* resolved
+    deterministically by construction.  In this simulator the schedule of
+    ordinary loads and stores still follows seeded jitter, so racy
+    programs can produce different outputs across seeds while race-free
+    programs are fully deterministic: exactly the weak-determinism
+    guarantee ("determinism up to the first data race").
+
+    Included as a comparison point and to test the Kendo layer in
+    isolation. *)
+
+val name : string
+
+val make : Rfdet_sim.Engine.t -> Rfdet_sim.Engine.policy

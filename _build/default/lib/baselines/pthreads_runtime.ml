@@ -1,0 +1,226 @@
+module Engine = Rfdet_sim.Engine
+module Cost = Rfdet_sim.Cost
+module Op = Rfdet_sim.Op
+module Space = Rfdet_mem.Space
+module Layout = Rfdet_mem.Layout
+module Page = Rfdet_mem.Page
+
+let name = "pthreads"
+
+type mutex_state = { mutable owner : int option; queue : int Queue.t }
+
+type cond_state = { cond_waiters : (int * int) Queue.t }
+
+type barrier_state = { parties : int; mutable arrived : int list }
+
+type t = {
+  engine : Engine.t;
+  space : Space.t;  (* one shared space: stores are visible immediately *)
+  mutexes : (int, mutex_state) Hashtbl.t;
+  conds : (int, cond_state) Hashtbl.t;
+  barriers : (int, barrier_state) Hashtbl.t;
+  joiners : (int, int list) Hashtbl.t;
+  mutable next_handle : int;
+}
+
+let fresh_handle t =
+  let h = t.next_handle in
+  t.next_handle <- h + 1;
+  h
+
+let mutex_state t m =
+  match Hashtbl.find_opt t.mutexes m with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "pthreads: unknown mutex %d" m)
+
+let cond_state t c =
+  match Hashtbl.find_opt t.conds c with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "pthreads: unknown cond %d" c)
+
+let barrier_state t b =
+  match Hashtbl.find_opt t.barriers b with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "pthreads: unknown barrier %d" b)
+
+let grant_mutex t ~tid ~mutex ~now =
+  let st = mutex_state t mutex in
+  assert (st.owner = None);
+  st.owner <- Some tid;
+  Engine.wake t.engine ~tid ~value:0 ~not_before:now
+
+let pass_mutex t ~mutex ~now =
+  let st = mutex_state t mutex in
+  match Queue.take_opt st.queue with
+  | None -> ()
+  | Some w -> grant_mutex t ~tid:w ~mutex ~now
+
+let handle t ~tid (op : Op.t) : Engine.outcome =
+  let cost = Engine.cost t.engine in
+  let now () = Engine.clock t.engine tid in
+  match op with
+  | Op.Load { addr; width } ->
+    Engine.advance t.engine tid cost.Cost.load;
+    let v =
+      match width with
+      | Op.W8 -> Space.load_byte t.space addr
+      | Op.W64 -> Space.load_int t.space addr
+    in
+    Done v
+  | Op.Store { addr; value; width } ->
+    Engine.advance t.engine tid cost.Cost.store;
+    (match width with
+    | Op.W8 -> Space.store_byte t.space addr value
+    | Op.W64 -> Space.store_int t.space addr value);
+    Done 0
+  | Op.Mutex_create ->
+    let h = fresh_handle t in
+    Hashtbl.replace t.mutexes h { owner = None; queue = Queue.create () };
+    Done h
+  | Op.Cond_create ->
+    let h = fresh_handle t in
+    Hashtbl.replace t.conds h { cond_waiters = Queue.create () };
+    Done h
+  | Op.Barrier_create parties ->
+    let h = fresh_handle t in
+    Hashtbl.replace t.barriers h { parties; arrived = [] };
+    Done h
+  | Op.Lock m ->
+    Engine.advance t.engine tid cost.Cost.sync_op;
+    let st = mutex_state t m in
+    (match st.owner with
+    | None ->
+      st.owner <- Some tid;
+      Done 0
+    | Some _ ->
+      Queue.add tid st.queue;
+      Block)
+  | Op.Unlock m ->
+    Engine.advance t.engine tid cost.Cost.sync_op;
+    let st = mutex_state t m in
+    (match st.owner with
+    | Some owner when owner = tid -> ()
+    | Some _ | None ->
+      invalid_arg (Printf.sprintf "pthreads: unlock of unheld mutex %d" m));
+    st.owner <- None;
+    pass_mutex t ~mutex:m ~now:(now ());
+    Done 0
+  | Op.Cond_wait { cond; mutex } ->
+    Engine.advance t.engine tid cost.Cost.sync_op;
+    let mst = mutex_state t mutex in
+    (match mst.owner with
+    | Some owner when owner = tid -> ()
+    | Some _ | None ->
+      invalid_arg "pthreads: cond_wait without holding the mutex");
+    mst.owner <- None;
+    pass_mutex t ~mutex ~now:(now ());
+    Queue.add (tid, mutex) (cond_state t cond).cond_waiters;
+    Block
+  | Op.Cond_signal c ->
+    Engine.advance t.engine tid cost.Cost.sync_op;
+    (match Queue.take_opt (cond_state t c).cond_waiters with
+    | None -> ()
+    | Some (w, mutex) ->
+      let mst = mutex_state t mutex in
+      (match mst.owner with
+      | None -> grant_mutex t ~tid:w ~mutex ~now:(now ())
+      | Some _ -> Queue.add w mst.queue));
+    Done 0
+  | Op.Cond_broadcast c ->
+    Engine.advance t.engine tid cost.Cost.sync_op;
+    let cst = cond_state t c in
+    let rec drain () =
+      match Queue.take_opt cst.cond_waiters with
+      | None -> ()
+      | Some (w, mutex) ->
+        let mst = mutex_state t mutex in
+        (match mst.owner with
+        | None -> grant_mutex t ~tid:w ~mutex ~now:(now ())
+        | Some _ -> Queue.add w mst.queue);
+        drain ()
+    in
+    drain ();
+    Done 0
+  | Op.Barrier_wait b ->
+    Engine.advance t.engine tid (cost.Cost.sync_op + cost.Cost.barrier_overhead);
+    let st = barrier_state t b in
+    st.arrived <- tid :: st.arrived;
+    if List.length st.arrived < st.parties then Block
+    else begin
+      let release_at = now () in
+      List.iter
+        (fun tid' ->
+          if tid' <> tid then
+            Engine.wake t.engine ~tid:tid' ~value:0 ~not_before:release_at)
+        st.arrived;
+      st.arrived <- [];
+      Done 0
+    end
+  | Op.Atomic { addr; rmw } ->
+    Engine.advance t.engine tid cost.Cost.sync_op;
+    let current = Space.load_int t.space addr in
+    let prev, next = Op.apply_rmw rmw ~current in
+    Space.store_int t.space addr next;
+    Done prev
+  | Op.Spawn body ->
+    Engine.advance t.engine tid cost.Cost.spawn;
+    let child = Engine.register_thread t.engine ~body ~start_at:(now ()) in
+    Done child
+  | Op.Join target ->
+    Engine.advance t.engine tid cost.Cost.join;
+    if Engine.is_finished t.engine target then Done 0
+    else begin
+      let existing =
+        Option.value (Hashtbl.find_opt t.joiners target) ~default:[]
+      in
+      Hashtbl.replace t.joiners target (existing @ [ tid ]);
+      Block
+    end
+  | Op.Tick _ | Op.Output _ | Op.Self | Op.Yield | Op.Malloc _ | Op.Free _ ->
+    (* handled by the engine *)
+    assert false
+
+let on_thread_exit t ~tid =
+  match Hashtbl.find_opt t.joiners tid with
+  | None -> ()
+  | Some waiting ->
+    Hashtbl.remove t.joiners tid;
+    let now = Engine.clock t.engine tid in
+    List.iter
+      (fun joiner ->
+        Engine.wake t.engine ~tid:joiner ~value:0 ~not_before:now)
+      waiting
+
+let shared_touched_bytes space =
+  let count = ref 0 in
+  Space.iter_pages space ~f:(fun id ->
+      if Rfdet_mem.Layout.is_shared (Page.base_of_id id) then incr count);
+  !count * Page.size
+
+let on_finish t () =
+  let prof = Engine.profile t.engine in
+  prof.shared_bytes <- shared_touched_bytes t.space;
+  prof.stack_bytes <- Engine.thread_count t.engine * 8192;
+  prof.metadata_peak_bytes <- 0;
+  prof.private_copy_bytes <- 0
+
+let make engine : Engine.policy =
+  let t =
+    {
+      engine;
+      space = Space.create ();
+      mutexes = Hashtbl.create 16;
+      conds = Hashtbl.create 16;
+      barriers = Hashtbl.create 4;
+      joiners = Hashtbl.create 8;
+      next_handle = 1;
+    }
+  in
+  {
+    Engine.policy_name = name;
+    handle = (fun ~tid op -> handle t ~tid op);
+    on_engine_op = (fun ~tid:_ _ outcome -> outcome);
+    on_thread_exit = (fun ~tid -> on_thread_exit t ~tid);
+    on_step = (fun () -> ());
+    on_finish = (fun () -> on_finish t ());
+  }

@@ -1,0 +1,1 @@
+lib/core/dlrc_model.ml: Hashtbl List Option Printf Rfdet_kendo Rfdet_mem Rfdet_sim Rfdet_util

@@ -1,0 +1,1 @@
+lib/core/dlrc_model.mli: Rfdet_sim

@@ -1,0 +1,1 @@
+lib/core/metadata.ml: List Rfdet_mem Rfdet_util Slice

@@ -1,0 +1,1 @@
+lib/core/metadata.mli: Rfdet_util Slice

@@ -1,0 +1,1 @@
+lib/core/propagate.ml: Hashtbl List Option Options Rfdet_mem Rfdet_sim Rfdet_util Slice String Tstate

@@ -1,0 +1,1 @@
+lib/core/propagate.mli: Options Rfdet_sim Rfdet_util Tstate

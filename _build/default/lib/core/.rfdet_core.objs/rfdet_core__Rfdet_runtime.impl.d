@@ -1,0 +1,1 @@
+lib/core/rfdet_runtime.ml: Bytes Hashtbl List Metadata Options Printf Propagate Rfdet_kendo Rfdet_mem Rfdet_sim Rfdet_util Slice String Tstate

@@ -1,0 +1,1 @@
+lib/core/rfdet_runtime.mli: Metadata Options Rfdet_kendo Rfdet_sim Rfdet_util Tstate

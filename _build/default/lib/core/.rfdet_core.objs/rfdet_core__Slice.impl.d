@@ -1,0 +1,1 @@
+lib/core/slice.ml: Format Rfdet_mem Rfdet_util

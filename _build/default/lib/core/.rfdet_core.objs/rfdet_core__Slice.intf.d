@@ -1,0 +1,1 @@
+lib/core/slice.mli: Format Rfdet_mem Rfdet_util

@@ -1,0 +1,1 @@
+lib/core/tstate.ml: Hashtbl List Option Rfdet_mem Rfdet_util Slice

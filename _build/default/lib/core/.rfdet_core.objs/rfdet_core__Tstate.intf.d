@@ -1,0 +1,1 @@
+lib/core/tstate.mli: Hashtbl Rfdet_mem Rfdet_util Slice

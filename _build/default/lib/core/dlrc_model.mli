@@ -1,0 +1,29 @@
+(** An executable reference model of deterministic lazy release
+    consistency — the differential-testing oracle for the optimized
+    runtime.
+
+    This policy implements Section 3's semantics as directly as
+    possible, with none of the engineering of [Rfdet_runtime]:
+
+    - per-thread memory is a plain byte map (no pages, no copy-on-write,
+      no snapshots, no page diffing);
+    - slice modifications are computed from an exact write log
+      (initial-value comparison drops redundant stores, mirroring what
+      byte-granularity page diffing produces);
+    - slice-pointer lists are plain lists and every propagation rescans
+      the *entire* remote list with only the upper/lower vector-time
+      filters of Figure 5 — no release-length bounds, no resume indices;
+    - no slice merging, no pre-fork monitoring exemption, no metadata
+      accounting, no GC, no lazy writes, no prelock.
+
+    Synchronization goes through the same Kendo layer, so the
+    deterministic synchronization order is identical to the optimized
+    runtime's; DLRC then promises the observable outputs are identical
+    too.  The property suite runs randomized racy programs under both
+    and compares outputs — any divergence indicts one of the runtime's
+    optimizations (resume indices, slice merging, GC, lazy writes,
+    copy-on-write forking, ...). *)
+
+val name : string
+
+val make : Rfdet_sim.Engine.t -> Rfdet_sim.Engine.policy

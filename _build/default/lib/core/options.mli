@@ -1,0 +1,52 @@
+(** RFDet runtime configuration.
+
+    The two monitor modes and the four optimizations of the paper's
+    Section 4, plus the metadata-space sizing that drives garbage
+    collection (Section 4.5 / Table 1). *)
+
+type monitor =
+  | Instrumentation
+      (** RFDet-ci: compile-time store instrumentation — every store runs
+          the Figure-4 check; first touch of a page in a slice pays a
+          snapshot memcpy. *)
+  | Page_fault
+      (** RFDet-pf: mprotect the shared region at slice start; the first
+          write to each page traps, snapshots and unprotects. *)
+
+type t = {
+  monitor : monitor;
+  slice_merging : bool;
+      (** do not end the slice when re-acquiring a variable last released
+          by this same thread (Section 4.5) *)
+  prelock : bool;
+      (** overlap memory propagation with lock waiting via the
+          deterministic reservation order (Section 4.5) *)
+  lazy_writes : bool;
+      (** defer writing propagated modifications until the target page is
+          actually accessed (Section 4.5) *)
+  lazy_min_bytes : int;
+      (** only defer pages carrying at least this many pending bytes;
+          smaller payloads are cheaper to apply eagerly than to fault in
+          later (refinement over the paper: the all-pages policy is
+          strictly worse whenever payloads are small) *)
+  metadata_capacity : int;
+      (** metadata space size in bytes (paper default 256 MB) *)
+  gc_threshold : float;
+      (** trigger GC at this fraction of capacity (paper: 0.9) *)
+  skip_premain_monitoring : bool;
+      (** do not monitor the main thread before the first fork
+          (Section 4.1, "Thread Create and Join") *)
+}
+
+val default : t
+(** RFDet-ci with every optimization on, 256 MB metadata, 0.9 GC
+    threshold — the configuration of the headline results. *)
+
+val ci : t
+val pf : t
+
+val baseline_no_opt : t
+(** Both prelock and lazy writes off — the Figure 9 baseline. *)
+
+val name : t -> string
+(** "rfdet-ci", "rfdet-pf", with "-noopt"/"-prelock"/"-lazy" suffixes. *)

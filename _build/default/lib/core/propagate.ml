@@ -1,0 +1,72 @@
+module Vclock = Rfdet_util.Vclock
+module Vec = Rfdet_util.Vec
+module Diff = Rfdet_mem.Diff
+module Space = Rfdet_mem.Space
+module Cost = Rfdet_sim.Cost
+module Profile = Rfdet_sim.Profile
+
+let scan_cost_per_slice = 2
+
+let apply_eager ~cost ~(into : Tstate.t) (s : Slice.t) =
+  Diff.apply into.shared s.mods;
+  s.bytes * cost.Cost.apply_byte
+
+let apply_lazy ~cost ~(opts : Options.t) ~(into : Tstate.t) (s : Slice.t) =
+  (* Group the slice's runs by page.  Pages carrying a substantial
+     payload are queued and access-revoked so the first touch faults the
+     updates in; small payloads are cheaper to write now than to trap on
+     later, so they apply eagerly (see Options.lazy_min_bytes). *)
+  let cycles = ref 0 in
+  let by_page = Hashtbl.create 8 in
+  List.iter
+    (fun (r : Diff.run) ->
+      let page = Rfdet_mem.Page.id_of_addr r.addr in
+      let existing = Option.value (Hashtbl.find_opt by_page page) ~default:[] in
+      Hashtbl.replace by_page page (r :: existing))
+    s.mods;
+  let pages = Hashtbl.fold (fun p rs acc -> (p, List.rev rs) :: acc) by_page [] in
+  let pages = List.sort compare pages in
+  let deferred = ref false in
+  List.iter
+    (fun (page, runs) ->
+      let bytes =
+        List.fold_left (fun acc (r : Diff.run) -> acc + String.length r.data) 0 runs
+      in
+      (* A page that already has deferred updates must keep receiving
+         them in order, whatever the payload size. *)
+      if bytes >= opts.lazy_min_bytes || Tstate.has_pending into page then begin
+        Tstate.add_pending into page runs;
+        Space.protect into.shared page Space.Prot_none;
+        deferred := true;
+        cycles := !cycles + 25
+      end
+      else begin
+        List.iter (Diff.apply_run into.shared) runs;
+        cycles := !cycles + (bytes * cost.Cost.apply_byte)
+      end)
+    pages;
+  (* one mprotect call covers the whole deferred page set *)
+  if !deferred then cycles := !cycles + cost.Cost.mprotect_page;
+  !cycles
+
+let run ~cost ~(opts : Options.t) ~(prof : Profile.t) ~(from : Tstate.t)
+    ~(upto : int) ~(into : Tstate.t) ~upper ~lower =
+  assert (from.tid <> into.tid);
+  let cycles = ref 0 in
+  let start = Tstate.resume_index into ~from:from.tid in
+  Vec.iter_range from.slices ~from:start ~until:upto ~f:(fun (s : Slice.t) ->
+      if not s.freed then begin
+        cycles := !cycles + scan_cost_per_slice;
+        if Vclock.lt s.time upper && not (Vclock.lt s.time lower) then begin
+          let apply_cycles =
+            if opts.lazy_writes then apply_lazy ~cost ~opts ~into s
+            else apply_eager ~cost ~into s
+          in
+          cycles := !cycles + apply_cycles;
+          Tstate.append_slice into s;
+          prof.slices_propagated <- prof.slices_propagated + 1;
+          prof.bytes_propagated <- prof.bytes_propagated + s.bytes
+        end
+      end);
+  if upto > start then Tstate.set_resume_index into ~from:from.tid upto;
+  !cycles

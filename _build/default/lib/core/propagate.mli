@@ -1,0 +1,41 @@
+(** Memory-modification propagation — the algorithm of the paper's
+    Figure 5, plus the lazy-writes variant.
+
+    At an acquire that synchronizes with a release in thread [from], every
+    slice in [from]'s slice-pointer list whose timestamp is
+    - strictly before [upper] (the vector time of the slice that will
+      succeed the acquire — only happens-before slices propagate), and
+    - {e not} strictly before [lower] (the timestamp of the slice that
+      preceded the acquire — those were already seen: redundancy
+      elimination)
+    is applied to [into]'s memory and appended to [into]'s slice-pointer
+    list (which is what makes propagation transitive).
+
+    Conflicts (concurrent slices writing the same bytes) are resolved by
+    application order: the remote modification overwrites the local one,
+    except that a redundant remote write never made it into any slice in
+    the first place (byte-granularity diffing), yielding the paper's
+    "remote wins unless redundant" policy of Section 4.6.
+
+    With [lazy_writes], modifications are queued per page and the page is
+    protected; the runtime's access paths apply them on first touch. *)
+
+val run :
+  cost:Rfdet_sim.Cost.t ->
+  opts:Options.t ->
+  prof:Rfdet_sim.Profile.t ->
+  from:Tstate.t ->
+  upto:int ->
+  into:Tstate.t ->
+  upper:Rfdet_util.Vclock.t ->
+  lower:Rfdet_util.Vclock.t ->
+  int
+(** Returns the simulated cycles the propagation costs (scan + byte
+    application, or scan + page-protection when lazy).
+
+    [upto] is the length of [from]'s slice-pointer list recorded at the
+    release this acquire synchronizes with; entries beyond it either
+    carry timestamps not ordered before [upper] or have already been seen
+    by [into], so the scan stops there.  Combined with [into]'s resume
+    index for [from], every (from, into, slice) triple is examined at
+    most once over a whole run. *)

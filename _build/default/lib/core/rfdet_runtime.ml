@@ -1,0 +1,489 @@
+module Engine = Rfdet_sim.Engine
+module Cost = Rfdet_sim.Cost
+module Op = Rfdet_sim.Op
+module Profile = Rfdet_sim.Profile
+module Sync = Rfdet_kendo.Sync
+module Space = Rfdet_mem.Space
+module Layout = Rfdet_mem.Layout
+module Page = Rfdet_mem.Page
+module Diff = Rfdet_mem.Diff
+module Vclock = Rfdet_util.Vclock
+
+(* The vector-clock width.  Thread ids index clock components, so this
+   bounds the number of threads a single run may create.  Kept modest:
+   clock joins are O(width) and happen at every synchronization. *)
+let max_threads = 64
+
+type t = {
+  engine : Engine.t;
+  opts : Options.t;
+  meta : Metadata.t;
+  states : (int, Tstate.t) Hashtbl.t;
+  last_release : (Sync.obj, int * Vclock.t * int) Hashtbl.t;
+  (* lastTid, lastTime, and the releaser's slice-list length at the
+     release — the propagation scan bound *)
+  mutable sync : Sync.t option;  (* tied after creation (hooks need [t]) *)
+  mutable main_forked : bool;
+}
+
+let name opts = Options.name opts
+
+let state t ~tid =
+  match Hashtbl.find_opt t.states tid with
+  | Some ts -> ts
+  | None -> invalid_arg (Printf.sprintf "Rfdet_runtime: unknown tid %d" tid)
+
+let metadata t = t.meta
+
+let last_release t obj = Hashtbl.find_opt t.last_release obj
+
+let clock_size _ = max_threads
+
+let sync_exn t = match t.sync with Some s -> s | None -> assert false
+
+let prof t = Engine.profile t.engine
+
+let cost t = Engine.cost t.engine
+
+(* ------------------------------------------------------------------ *)
+(* Lazy writes: apply a page's queued propagated runs on first touch.  *)
+(* ------------------------------------------------------------------ *)
+
+(* Apply pending runs in arrival order (so the latest propagated value
+   wins), but charge only one write per distinct byte — the whole point
+   of postponing the writes (Section 4.5, "Lazy Writes"). *)
+let flush_pending ?(bulk = false) t (ts : Tstate.t) page =
+  match Tstate.pending_runs ts page with
+  | [] -> 0
+  | runs ->
+    let p = prof t in
+    if not bulk then p.page_faults <- p.page_faults + 1;
+    let touched = Bytes.make Page.size '\000' in
+    let distinct = ref 0 in
+    List.iter
+      (fun (r : Diff.run) ->
+        Diff.apply_run ts.shared r;
+        let base = Page.offset_of_addr r.addr in
+        for i = 0 to String.length r.data - 1 do
+          if Bytes.get touched (base + i) = '\000' then begin
+            Bytes.set touched (base + i) '\001';
+            incr distinct
+          end
+        done)
+      runs;
+    Space.protect ts.shared page Space.Prot_rw;
+    let c = cost t in
+    let trap = if bulk then 50 else c.Cost.page_fault in
+    trap + (!distinct * c.Cost.apply_byte)
+
+(* Bulk application (barrier merge, pre-fork): the runtime walks the
+   pending set directly — no traps are taken. *)
+let flush_all_pending t (ts : Tstate.t) =
+  List.fold_left
+    (fun acc page -> acc + flush_pending ~bulk:true t ts page)
+    0 (Tstate.pending_pages ts)
+
+(* ------------------------------------------------------------------ *)
+(* Slices                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Begin a new slice.  Under the page-fault monitor this is where the
+   shared region is write-protected again (one mprotect call). *)
+let open_slice t (ts : Tstate.t) =
+  match t.opts.monitor with
+  | Options.Instrumentation -> 0
+  | Options.Page_fault ->
+    if ts.monitoring then begin
+      let p = prof t in
+      p.mprotect_calls <- p.mprotect_calls + 1;
+      (cost t).Cost.mprotect_page
+    end
+    else 0
+
+(* End the current slice: diff every snapshotted page (first-touch
+   order), release the snapshots, store the modification list stamped
+   with the thread's current clock, and run GC if the metadata space is
+   over threshold.  Returns the simulated cycles spent.  The caller ticks
+   the clock afterwards. *)
+let close_slice t (ts : Tstate.t) =
+  let c = cost t in
+  let p = prof t in
+  let cycles = ref c.Cost.slice_overhead in
+  let pages = List.rev ts.touch_order in
+  let mods =
+    List.concat_map
+      (fun page ->
+        let snapshot = Hashtbl.find ts.snapshots page in
+        let current = Space.page_bytes ts.shared page in
+        cycles := !cycles + Cost.diff_cost c ~bytes:Page.size;
+        p.diff_bytes_scanned <- p.diff_bytes_scanned + Page.size;
+        let d = Diff.diff_page ~page_id:page ~snapshot ~current in
+        Metadata.snapshot_released t.meta;
+        d)
+      pages
+  in
+  Hashtbl.reset ts.snapshots;
+  ts.touch_order <- [];
+  if not (Diff.is_empty mods) then begin
+    let slice =
+      Slice.make
+        ~id:(Metadata.fresh_slice_id t.meta)
+        ~tid:ts.tid ~mods ~time:(Vclock.copy ts.time)
+    in
+    Metadata.add_slice t.meta slice;
+    Tstate.append_slice ts slice;
+    p.slices_created <- p.slices_created + 1;
+    if Metadata.needs_gc t.meta then begin
+      let frontier = Vclock.create max_threads in
+      for i = 0 to max_threads - 1 do
+        Vclock.set frontier i max_int
+      done;
+      (* The frontier must witness that every unfinished thread has
+         *merged the bytes* of a slice, not merely that its clock will
+         eventually dominate it — so each thread contributes its raw
+         current time.  (A tempting refinement — crediting a thread
+         blocked in join(X) with X's clock — is unsound: the joiner's
+         clock will dominate X's slices after the join, but its memory
+         has not absorbed their bytes yet, and freeing them first loses
+         updates.  A regression test covers this.) *)
+      Hashtbl.iter
+        (fun _ (ts' : Tstate.t) ->
+          if not (Tstate.exited ts') then Vclock.min_into frontier ts'.time)
+        t.states;
+      let examined, freed = Metadata.gc t.meta ~frontier in
+      p.gc_runs <- p.gc_runs + 1;
+      p.gc_slices_freed <- p.gc_slices_freed + freed;
+      cycles := !cycles + (examined * c.Cost.gc_per_slice)
+    end
+  end;
+  cycles := !cycles + open_slice t ts;
+  !cycles
+
+(* ------------------------------------------------------------------ *)
+(* Acquire / release hooks (wired into the Kendo synchronization layer) *)
+(* ------------------------------------------------------------------ *)
+
+(* Extra delay after the grant time [now], given that closing the slice
+   really happened when the thread blocked (at its current clock) and
+   that with prelock the propagation work overlaps the wait. *)
+let settle_delay t ~tid ~now ~close_cycles ~prop_cycles =
+  let t0 = Engine.clock t.engine tid in
+  let ready = t0 + close_cycles in
+  if ready >= now then (ready - now) + prop_cycles
+  else begin
+    let slack = now - ready in
+    if t.opts.prelock && prop_cycles > 0 then max 0 (prop_cycles - slack)
+    else prop_cycles
+  end
+
+let do_release t ~tid ~obj ~now =
+  let ts = state t ~tid in
+  let close_cycles = close_slice t ts in
+  let stamp = Vclock.copy ts.time in
+  ignore (Vclock.tick ts.time tid);
+  Hashtbl.replace t.last_release obj
+    (tid, stamp, Rfdet_util.Vec.length ts.slices);
+  settle_delay t ~tid ~now ~close_cycles ~prop_cycles:0
+
+let do_acquire t ~tid ~obj ~now =
+  let ts = state t ~tid in
+  match Hashtbl.find_opt t.last_release obj with
+  | Some (last_tid, _, _) when last_tid = tid && t.opts.slice_merging ->
+    (* Slice merging: re-acquiring a variable we released ourselves —
+       keep the current slice open, skip the snapshot/diff cycle. *)
+    0
+  | last ->
+    let close_cycles = close_slice t ts in
+    let lower = Vclock.copy ts.time in
+    ignore (Vclock.tick ts.time tid);
+    let prop_cycles =
+      match last with
+      | None -> 0
+      | Some (last_tid, last_time, last_len) ->
+        Vclock.join ts.time last_time;
+        if last_tid = tid then 0
+        else
+          let upper = Vclock.copy ts.time in
+          Propagate.run ~cost:(cost t) ~opts:t.opts ~prof:(prof t)
+            ~from:(state t ~tid:last_tid) ~upto:last_len ~into:ts ~upper
+            ~lower
+    in
+    settle_delay t ~tid ~now ~close_cycles ~prop_cycles
+
+(* Barriers merge every arriving thread's happens-before set into the
+   smallest-tid thread (in ascending tid order, Section 4.1), then hand
+   each party a copy-on-write copy of that thread's memory. *)
+let do_barrier t ~tids ~barrier:_ ~now:_ =
+  let cycles = ref 0 in
+  let states = List.map (fun tid -> state t ~tid) tids in
+  List.iter (fun ts -> cycles := !cycles + close_slice t ts) states;
+  let joint = Vclock.create max_threads in
+  List.iter (fun (ts : Tstate.t) -> Vclock.join joint ts.time) states;
+  let sorted = List.sort compare tids in
+  let leader =
+    match sorted with
+    | tid :: _ -> state t ~tid
+    | [] -> invalid_arg "Rfdet: barrier with no parties"
+  in
+  let lower = Vclock.copy leader.time in
+  Vclock.join leader.time joint;
+  ignore (Vclock.tick leader.time leader.tid);
+  let upper = Vclock.copy leader.time in
+  List.iter
+    (fun tid ->
+      if tid <> leader.tid then
+        cycles :=
+          !cycles
+          + (let from = state t ~tid in
+             Propagate.run ~cost:(cost t) ~opts:t.opts ~prof:(prof t) ~from
+               ~upto:(Rfdet_util.Vec.length from.Tstate.slices) ~into:leader
+               ~upper ~lower))
+    sorted;
+  (* Everyone must observe the merged memory: flush the leader's pending
+     lazy updates before forking its space. *)
+  cycles := !cycles + flush_all_pending t leader;
+  List.iter
+    (fun (ts : Tstate.t) ->
+      if ts.tid <> leader.tid then begin
+        (* Adopt the leader's merged memory, slice list and resume
+           indices (copy-on-write); keep own stack and monitoring flag.
+           The clock restarts from the joint time, ticked so the new
+           slices of different threads stay concurrent. *)
+        Hashtbl.replace t.states ts.tid (Tstate.adopt_view ~leader ~follower:ts);
+        Vclock.join ts.time joint;
+        ignore (Vclock.tick ts.time ts.tid)
+      end)
+    states;
+  !cycles
+
+let do_spawned t ~parent ~child ~now:_ =
+  if child >= max_threads then
+    failwith
+      (Printf.sprintf
+         "RFDet: thread id %d exceeds the configured vector-clock width %d"
+         child max_threads);
+  let ts = state t ~tid:parent in
+  let close_cycles = close_slice t ts in
+  let pending_cycles = flush_all_pending t ts in
+  Engine.advance t.engine parent (close_cycles + pending_cycles);
+  let stamp = Vclock.copy ts.time in
+  ignore (Vclock.tick ts.time parent);
+  if parent = 0 && not t.main_forked then begin
+    t.main_forked <- true;
+    if t.opts.skip_premain_monitoring then ts.monitoring <- true
+  end;
+  let child_state = Tstate.fork ts ~tid:child ~stamp in
+  Hashtbl.replace t.states child child_state
+
+let do_exited t ~tid =
+  let ts = state t ~tid in
+  let cycles = close_slice t ts in
+  Engine.advance t.engine tid cycles;
+  ts.final_stamp <- Some (Vclock.copy ts.time);
+  ts.exit_len <- Rfdet_util.Vec.length ts.slices;
+  ignore (Vclock.tick ts.time tid)
+
+let do_joined t ~tid ~target ~now =
+  let ts = state t ~tid in
+  let target_state = state t ~tid:target in
+  let final =
+    match target_state.final_stamp with
+    | Some f -> f
+    | None -> invalid_arg "Rfdet: join of a thread that has not exited"
+  in
+  let close_cycles = close_slice t ts in
+  let lower = Vclock.copy ts.time in
+  ignore (Vclock.tick ts.time tid);
+  Vclock.join ts.time final;
+  let upper = Vclock.copy ts.time in
+  let prop_cycles =
+    Propagate.run ~cost:(cost t) ~opts:t.opts ~prof:(prof t)
+      ~from:target_state ~upto:target_state.Tstate.exit_len ~into:ts ~upper
+      ~lower
+  in
+  target_state.joined <- true;
+  settle_delay t ~tid ~now ~close_cycles ~prop_cycles
+
+(* ------------------------------------------------------------------ *)
+(* Memory operations                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let do_load t ~tid ~addr ~width =
+  let c = cost t in
+  let ts = state t ~tid in
+  let space, extra =
+    if Layout.is_stack addr then (ts.stack, 0)
+    else begin
+      let len = match width with Op.W8 -> 1 | Op.W64 -> 8 in
+      let extra =
+        List.fold_left
+          (fun acc page ->
+            if Tstate.has_pending ts page then acc + flush_pending t ts page
+            else acc)
+          0
+          (Page.span ~addr ~len)
+      in
+      (ts.shared, extra)
+    end
+  in
+  Engine.advance t.engine tid (c.Cost.load + extra);
+  match width with
+  | Op.W8 -> Space.load_byte space addr
+  | Op.W64 -> Space.load_int space addr
+
+(* Figure 4: the store instrumentation.  First write to a shared page in
+   the current slice snapshots the page into the metadata space. *)
+let do_store t ~tid ~addr ~value ~width =
+  let c = cost t in
+  let p = prof t in
+  let ts = state t ~tid in
+  if Layout.is_stack addr then begin
+    Engine.advance t.engine tid c.Cost.store;
+    match width with
+    | Op.W8 -> Space.store_byte ts.stack addr value
+    | Op.W64 -> Space.store_int ts.stack addr value
+  end
+  else begin
+    let extra = ref 0 in
+    let len = match width with Op.W8 -> 1 | Op.W64 -> 8 in
+    (* Figure 4: "foreach pageid in pagesTouchedBy(addr, len)" — an
+       unaligned word store can straddle two pages and both need a
+       snapshot, or the second page's bytes vanish from the slice. *)
+    let copied = ref false in
+    List.iter
+      (fun page ->
+        if Tstate.has_pending ts page then
+          extra := !extra + flush_pending t ts page;
+        if ts.monitoring && not (Tstate.has_open_snapshot ts page) then begin
+          Tstate.add_snapshot ts page (Space.snapshot_page ts.shared page);
+          Metadata.snapshot_taken t.meta;
+          p.snapshots <- p.snapshots + 1;
+          copied := true;
+          extra := !extra + Cost.snapshot_cost c ~bytes:Page.size;
+          match t.opts.monitor with
+          | Options.Instrumentation -> ()
+          | Options.Page_fault ->
+            p.page_faults <- p.page_faults + 1;
+            extra := !extra + c.Cost.page_fault
+        end)
+      (Page.span ~addr ~len);
+    if !copied then p.stores_with_copy <- p.stores_with_copy + 1;
+    if ts.monitoring then begin
+      match t.opts.monitor with
+      | Options.Instrumentation -> extra := !extra + c.Cost.store_check
+      | Options.Page_fault -> ()
+    end;
+    Engine.advance t.engine tid (c.Cost.store + !extra);
+    match width with
+    | Op.W8 -> Space.store_byte ts.shared addr value
+    | Op.W64 -> Space.store_int ts.shared addr value
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Policy                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let handle t ~tid (op : Op.t) : Engine.outcome =
+  let sync = sync_exn t in
+  match op with
+  | Op.Load { addr; width } -> Done (do_load t ~tid ~addr ~width)
+  | Op.Store { addr; value; width } ->
+    do_store t ~tid ~addr ~value ~width;
+    Done 0
+  | Op.Mutex_create -> Sync.mutex_create sync ~tid
+  | Op.Cond_create -> Sync.cond_create sync ~tid
+  | Op.Barrier_create parties -> Sync.barrier_create sync ~tid ~parties
+  | Op.Lock m -> Sync.lock sync ~tid ~mutex:m
+  | Op.Unlock m -> Sync.unlock sync ~tid ~mutex:m
+  | Op.Cond_wait { cond; mutex } -> Sync.cond_wait sync ~tid ~cond ~mutex
+  | Op.Cond_signal c -> Sync.cond_signal sync ~tid ~cond:c
+  | Op.Cond_broadcast c -> Sync.cond_broadcast sync ~tid ~cond:c
+  | Op.Barrier_wait b -> Sync.barrier_wait sync ~tid ~barrier:b
+  | Op.Atomic { addr; rmw } ->
+    (* Section 4.6/6: a low-level atomic is an acquire followed by a
+       release on an internal synchronization variable keyed by the
+       address, executed in deterministic-turn order. *)
+    Sync.rmw sync ~tid ~action:(fun ~now ->
+        let obj = Sync.Atomic_obj addr in
+        let acq = do_acquire t ~tid ~obj ~now in
+        let prev, next =
+          Op.apply_rmw rmw ~current:(do_load t ~tid ~addr ~width:Op.W64)
+        in
+        do_store t ~tid ~addr ~value:next ~width:Op.W64;
+        let rel = do_release t ~tid ~obj ~now:(now + acq) in
+        (prev, acq + rel))
+  | Op.Spawn body -> Sync.spawn sync ~tid ~body
+  | Op.Join target -> Sync.join sync ~tid ~target
+  | Op.Tick _ | Op.Output _ | Op.Self | Op.Yield | Op.Malloc _ | Op.Free _ ->
+    assert false
+
+let shared_union_bytes t =
+  let pages = Hashtbl.create 256 in
+  Hashtbl.iter
+    (fun _ (ts : Tstate.t) ->
+      Space.iter_pages ts.shared ~f:(fun id ->
+          if Layout.is_shared (Page.base_of_id id) then
+            Hashtbl.replace pages id ()))
+    t.states;
+  Hashtbl.length pages * Page.size
+
+let on_finish t () =
+  let p = prof t in
+  let n = Engine.peak_live_threads t.engine in
+  let shared = shared_union_bytes t in
+  p.shared_bytes <- shared;
+  (* Column 11 of Table 1: N * SharedMemory + stacks + metadata. *)
+  p.private_copy_bytes <- (n - 1) * shared;
+  let stack_bytes = ref 0 in
+  Hashtbl.iter
+    (fun _ (ts : Tstate.t) ->
+      stack_bytes := !stack_bytes + 8192 + (Space.mapped_pages ts.stack * Page.size))
+    t.states;
+  p.stack_bytes <- !stack_bytes;
+  p.metadata_peak_bytes <- Metadata.peak t.meta;
+  p.gc_runs <- Metadata.gc_runs t.meta
+
+let make_with_state ?(opts = Options.default) engine =
+  let t =
+    {
+      engine;
+      opts;
+      meta =
+        Metadata.create ~capacity:opts.Options.metadata_capacity
+          ~gc_threshold:opts.Options.gc_threshold;
+      states = Hashtbl.create 16;
+      last_release = Hashtbl.create 64;
+      sync = None;
+      main_forked = false;
+    }
+  in
+  let root =
+    Tstate.create_root ~clock_size:max_threads
+      ~monitoring:(not opts.Options.skip_premain_monitoring)
+  in
+  Hashtbl.replace t.states 0 root;
+  let hooks =
+    {
+      Sync.acquire = (fun ~tid ~obj ~now -> do_acquire t ~tid ~obj ~now);
+      release = (fun ~tid ~obj ~now -> do_release t ~tid ~obj ~now);
+      barrier_all = (fun ~tids ~barrier ~now -> do_barrier t ~tids ~barrier ~now);
+      spawned = (fun ~parent ~child ~now -> do_spawned t ~parent ~child ~now);
+      exited = (fun ~tid -> do_exited t ~tid);
+      joined = (fun ~tid ~target ~now -> do_joined t ~tid ~target ~now);
+    }
+  in
+  let sync = Sync.create engine hooks in
+  t.sync <- Some sync;
+  let policy =
+    {
+      Engine.policy_name = Options.name opts;
+      handle = (fun ~tid op -> handle t ~tid op);
+      on_engine_op = (fun ~tid:_ _ outcome -> outcome);
+      on_thread_exit = (fun ~tid -> Sync.on_thread_exit sync ~tid);
+      on_step = (fun () -> Sync.poll sync);
+      on_finish = (fun () -> on_finish t ());
+    }
+  in
+  (t, policy)
+
+let make ?opts engine = snd (make_with_state ?opts engine)

@@ -1,0 +1,44 @@
+(** The RFDet runtime: strong determinism via deterministic lazy release
+    consistency, without global barriers (paper Sections 3-4).
+
+    Composition:
+    - the Kendo layer ([Rfdet_kendo.Sync]) serializes every
+      synchronization operation in deterministic logical-time order;
+    - each thread runs against a private copy-on-write view of the shared
+      region, so its stores are invisible elsewhere until propagated;
+    - execution is cut into slices at synchronization points; slice
+      modifications are captured by first-touch page snapshots plus
+      byte-granularity diffing (monitor = RFDet-ci or RFDet-pf);
+    - at every acquire, the slices that happen-before the matching
+      release are propagated under vector-clock upper/lower limits
+      (Figure 5) and merged with the deterministic conflict policy;
+    - the metadata space meters slice storage and garbage-collects slices
+      that every thread has merged.
+
+    The resulting guarantee: the run's observable output depends only on
+    the program and its input — never on the engine's scheduling seed —
+    even for programs with data races. *)
+
+val name : Options.t -> string
+
+val make : ?opts:Options.t -> Rfdet_sim.Engine.t -> Rfdet_sim.Engine.policy
+(** Use as [Engine.run ~config (Rfdet_runtime.make ~opts) ~main]. *)
+
+(** {1 Introspection for tests} *)
+
+type t
+(** The runtime instance behind a policy. *)
+
+val make_with_state :
+  ?opts:Options.t -> Rfdet_sim.Engine.t -> t * Rfdet_sim.Engine.policy
+
+val state : t -> tid:int -> Tstate.t
+
+val metadata : t -> Metadata.t
+
+val last_release :
+  t -> Rfdet_kendo.Sync.obj -> (int * Rfdet_util.Vclock.t * int) option
+(** lastTid, lastTime, and the releaser's slice-list length at the
+    release. *)
+
+val clock_size : t -> int

@@ -1,0 +1,24 @@
+type t = {
+  id : int;
+  tid : int;
+  mutable mods : Rfdet_mem.Diff.t;
+  time : Rfdet_util.Vclock.t;
+  bytes : int;
+  mutable freed : bool;
+}
+
+let free t =
+  t.freed <- true;
+  t.mods <- []
+
+let make ~id ~tid ~mods ~time =
+  { id; tid; mods; time; bytes = Rfdet_mem.Diff.byte_count mods; freed = false }
+
+let overhead_bytes = 64
+
+let footprint t = overhead_bytes + t.bytes
+
+let pp ppf t =
+  Format.fprintf ppf "slice#%d tid=%d time=%a bytes=%d%s" t.id t.tid
+    Rfdet_util.Vclock.pp t.time t.bytes
+    (if t.freed then " (freed)" else "")

@@ -1,0 +1,33 @@
+(** Slices: the unit of memory-modification propagation (Section 4.2).
+
+    A slice is a synchronization-free span of one thread's execution.
+    It is the triple <tid, modifications, timestamp>: the modifications
+    are a byte-granularity list produced by page diffing, and the
+    timestamp is the vector clock the thread held while executing the
+    span.  The atomic property — every access in a slice has the same
+    happens-before relation to anything outside it — is what makes the
+    slice a sound propagation unit. *)
+
+type t = {
+  id : int;  (** unique, allocation order — diagnostics only *)
+  tid : int;
+  mutable mods : Rfdet_mem.Diff.t;  (** cleared when the GC frees the slice *)
+  time : Rfdet_util.Vclock.t;
+  bytes : int;  (** cached [Diff.byte_count mods] *)
+  mutable freed : bool;  (** reclaimed by the metadata GC *)
+}
+
+val make : id:int -> tid:int -> mods:Rfdet_mem.Diff.t -> time:Rfdet_util.Vclock.t -> t
+
+(** [free t] marks the slice reclaimed and drops its modification list.
+    Slice-pointer lists keep the (now tiny) record so that resume indices
+    stay stable; propagation skips freed slices. *)
+val free : t -> unit
+
+val overhead_bytes : int
+(** Fixed metadata footprint per slice record. *)
+
+val footprint : t -> int
+(** [overhead_bytes + bytes]. *)
+
+val pp : Format.formatter -> t -> unit

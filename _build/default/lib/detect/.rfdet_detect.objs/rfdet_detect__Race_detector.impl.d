@@ -1,0 +1,1 @@
+lib/detect/race_detector.ml: Format Hashtbl List Printf Rfdet_kendo Rfdet_mem Rfdet_sim Rfdet_util

@@ -1,0 +1,1 @@
+lib/detect/race_detector.mli: Format Rfdet_sim

@@ -1,0 +1,45 @@
+(** Happens-before data-race detection.
+
+    The paper's position (after Boehm): all data races are bugs, and
+    strong determinism exists to make the severe ones reproducible.  This
+    module closes the loop: it runs a program under a Kendo-scheduled
+    policy that tracks the happens-before relation with vector clocks and
+    FastTrack-style access epochs, and reports every racy address.
+
+    Synchronization clocks follow exactly the RFDet discipline (tick at
+    every synchronization operation, join release stamps at acquires,
+    barrier joins, fork/join edges, atomics as acquire+release), so a
+    program the detector calls race-free is precisely a program whose
+    RFDet execution is sequentially consistent (paper Section 3.3).
+
+    Accesses are tracked at the granularity the program uses (the
+    accessed address), with 64-bit accesses reported by their base
+    address. *)
+
+type kind = Write_write | Read_write | Write_read
+
+type race = {
+  addr : int;
+  kind : kind;
+  prior_tid : int;  (** the earlier, unordered access *)
+  racing_tid : int;  (** the access that exposed the race *)
+}
+
+val kind_to_string : kind -> string
+
+type report = {
+  races : race list;  (** deduplicated by (addr, kind), detection order *)
+  racy_addresses : int;
+  accesses_checked : int;
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+(** [make engine] returns the detector policy and a function producing
+    the report once the run finishes. *)
+val make : Rfdet_sim.Engine.t -> Rfdet_sim.Engine.policy * (unit -> report)
+
+(** [check ?threads ?scale ?input_seed workload_main] — convenience:
+    run a program to completion under the detector and return the
+    report. *)
+val check : main:(unit -> unit) -> report

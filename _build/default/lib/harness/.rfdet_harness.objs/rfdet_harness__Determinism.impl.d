@@ -1,0 +1,1 @@
+lib/harness/determinism.ml: Format Int64 List Rfdet_workloads Runner

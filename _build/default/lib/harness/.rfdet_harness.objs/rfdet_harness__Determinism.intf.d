@@ -1,0 +1,1 @@
+lib/harness/determinism.mli: Format Rfdet_workloads Runner

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Determinism List Printf Rfdet_core Rfdet_mem Rfdet_sim Rfdet_util Rfdet_workloads Runner

@@ -1,0 +1,1 @@
+lib/harness/replay.ml: Int64 List Printf Rfdet_workloads Runner String

@@ -1,0 +1,1 @@
+lib/harness/replay.mli: Rfdet_workloads

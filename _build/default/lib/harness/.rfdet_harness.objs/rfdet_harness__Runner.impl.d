@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Rfdet_baselines Rfdet_core Rfdet_sim Rfdet_workloads Unix

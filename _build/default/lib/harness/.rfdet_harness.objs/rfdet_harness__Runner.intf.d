@@ -1,0 +1,1 @@
+lib/harness/runner.mli: Rfdet_core Rfdet_sim Rfdet_workloads

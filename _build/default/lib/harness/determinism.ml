@@ -1,0 +1,33 @@
+type report = {
+  runtime : string;
+  workload : string;
+  threads : int;
+  runs : int;
+  distinct_signatures : int;
+  deterministic : bool;
+}
+
+let check ?(threads = 4) ?(scale = 1.0) ?(runs = 20) ?(jitter = 12.0) runtime
+    workload =
+  let signatures =
+    List.init runs (fun i ->
+        let r =
+          Runner.run ~threads ~scale ~sched_seed:(Int64.of_int (i + 1)) ~jitter
+            runtime workload
+        in
+        r.Runner.signature)
+  in
+  let distinct = List.length (List.sort_uniq compare signatures) in
+  {
+    runtime = Runner.runtime_name runtime;
+    workload = workload.Rfdet_workloads.Workload.name;
+    threads;
+    runs;
+    distinct_signatures = distinct;
+    deterministic = distinct = 1;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf "%-10s %-18s threads=%d runs=%d distinct=%d %s" r.runtime
+    r.workload r.threads r.runs r.distinct_signatures
+    (if r.deterministic then "deterministic" else "NONDETERMINISTIC")

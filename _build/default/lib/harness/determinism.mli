@@ -1,0 +1,28 @@
+(** The determinism checker — the paper's Section 5.1 experiment.
+
+    Runs a workload repeatedly under a runtime while varying the
+    scheduler seed (with jitter enabled, so the simulated OS interleaves
+    differently every run) and collects the distinct output signatures.
+    A strongly deterministic runtime must yield exactly one signature;
+    pthreads on racy programs should yield several. *)
+
+type report = {
+  runtime : string;
+  workload : string;
+  threads : int;
+  runs : int;
+  distinct_signatures : int;
+  deterministic : bool;
+}
+
+val check :
+  ?threads:int ->
+  ?scale:float ->
+  ?runs:int ->
+  ?jitter:float ->
+  Runner.runtime ->
+  Rfdet_workloads.Workload.t ->
+  report
+(** Defaults: 4 threads, 20 runs, jitter 12.0. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,580 @@
+module Workload = Rfdet_workloads.Workload
+module Registry = Rfdet_workloads.Registry
+module Options = Rfdet_core.Options
+module Profile = Rfdet_sim.Profile
+module Tablefmt = Rfdet_util.Tablefmt
+module Stats = Rfdet_util.Stats
+
+(* ------------------------------------------------------------------ *)
+(* E1: racey determinism                                               *)
+(* ------------------------------------------------------------------ *)
+
+type e1_row = {
+  e1_runtime : string;
+  e1_threads : int;
+  e1_runs : int;
+  e1_distinct : int;
+}
+
+let racey_determinism ?(runs_per_config = 100) ?(thread_counts = [ 2; 4; 8 ])
+    () =
+  let racey = Registry.find "racey" in
+  let runtimes =
+    [ Runner.Pthreads; Runner.Dthreads; Runner.rfdet_ci; Runner.rfdet_pf ]
+  in
+  List.concat_map
+    (fun runtime ->
+      List.map
+        (fun threads ->
+          let report =
+            Determinism.check ~threads ~runs:runs_per_config runtime racey
+          in
+          {
+            e1_runtime = report.Determinism.runtime;
+            e1_threads = threads;
+            e1_runs = runs_per_config;
+            e1_distinct = report.Determinism.distinct_signatures;
+          })
+        thread_counts)
+    runtimes
+
+let render_e1 rows =
+  let t =
+    Tablefmt.create
+      ~title:
+        "E1 (Section 5.1): racey stress test — distinct outputs over \
+         repeated runs with scheduler noise"
+      ~columns:
+        [
+          ("runtime", Tablefmt.Left);
+          ("threads", Tablefmt.Right);
+          ("runs", Tablefmt.Right);
+          ("distinct outputs", Tablefmt.Right);
+          ("verdict", Tablefmt.Left);
+        ]
+  in
+  List.iter
+    (fun r ->
+      Tablefmt.add_row t
+        [
+          r.e1_runtime;
+          string_of_int r.e1_threads;
+          string_of_int r.e1_runs;
+          string_of_int r.e1_distinct;
+          (if r.e1_distinct = 1 then "deterministic" else "nondeterministic");
+        ])
+    rows;
+  Tablefmt.render t
+
+(* ------------------------------------------------------------------ *)
+(* E2: Figure 7                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type fig7_row = {
+  f7_workload : string;
+  f7_pthreads : int;
+  f7_dthreads : float;
+  f7_rfdet_ci : float;
+  f7_rfdet_pf : float;
+}
+
+let norm base t = float_of_int t /. float_of_int base
+
+let figure7 ?(threads = 4) ?(scale = 1.0) () =
+  List.map
+    (fun w ->
+      let p = (Runner.run ~threads ~scale Runner.Pthreads w).Runner.sim_time in
+      let d = (Runner.run ~threads ~scale Runner.Dthreads w).Runner.sim_time in
+      let ci = (Runner.run ~threads ~scale Runner.rfdet_ci w).Runner.sim_time in
+      let pf = (Runner.run ~threads ~scale Runner.rfdet_pf w).Runner.sim_time in
+      {
+        f7_workload = w.Workload.name;
+        f7_pthreads = p;
+        f7_dthreads = norm p d;
+        f7_rfdet_ci = norm p ci;
+        f7_rfdet_pf = norm p pf;
+      })
+    Registry.table1
+
+let figure7_summary rows =
+  let geo f = Stats.geomean (List.map f rows) in
+  (geo (fun r -> r.f7_dthreads), geo (fun r -> r.f7_rfdet_ci),
+   geo (fun r -> r.f7_rfdet_pf))
+
+let render_figure7 rows =
+  let t =
+    Tablefmt.create
+      ~title:
+        "Figure 7: execution time normalized to pthreads (4 threads; \
+         simulated cycles)"
+      ~columns:
+        [
+          ("benchmark", Tablefmt.Left);
+          ("pthreads (cycles)", Tablefmt.Right);
+          ("DThreads", Tablefmt.Right);
+          ("RFDet-pf", Tablefmt.Right);
+          ("RFDet-ci", Tablefmt.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+      Tablefmt.add_row t
+        [
+          r.f7_workload;
+          string_of_int r.f7_pthreads;
+          Tablefmt.cell_ratio r.f7_dthreads;
+          Tablefmt.cell_ratio r.f7_rfdet_pf;
+          Tablefmt.cell_ratio r.f7_rfdet_ci;
+        ])
+    rows;
+  Tablefmt.add_separator t;
+  let d, ci, pf = figure7_summary rows in
+  Tablefmt.add_row t
+    [
+      "geomean";
+      "-";
+      Tablefmt.cell_ratio d;
+      Tablefmt.cell_ratio pf;
+      Tablefmt.cell_ratio ci;
+    ];
+  Tablefmt.render t
+
+let chart_figure7 rows =
+  Rfdet_util.Barchart.render
+    ~title:
+      "Figure 7 (chart): execution time normalized to pthreads, 4 threads \
+       (| marks 1.0x)"
+    ~series:
+      [
+        { Rfdet_util.Barchart.name = "DThreads"; glyph = 'D' };
+        { name = "RFDet-pf"; glyph = 'p' };
+        { name = "RFDet-ci"; glyph = 'c' };
+      ]
+    ~rows:
+      (List.map
+         (fun r ->
+           (r.f7_workload, [ r.f7_dthreads; r.f7_rfdet_pf; r.f7_rfdet_ci ]))
+         rows)
+    ~baseline:1.0 ()
+
+(* ------------------------------------------------------------------ *)
+(* E3: Table 1                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type table1_row = {
+  t1_workload : string;
+  t1_locks : int;
+  t1_waits : int;
+  t1_signals : int;
+  t1_forks : int;
+  t1_mem : int;
+  t1_loads : int;
+  t1_stores : int;
+  t1_stores_with_copy : int;
+  t1_pthreads_bytes : int;
+  t1_rfdet_bytes : int;
+  t1_dthreads_bytes : int;
+  t1_gc : int;
+}
+
+let table1 ?(threads = 4) ?(scale = 1.0) ?(metadata_capacity = 256 * 1024) () =
+  let opts = { Options.ci with metadata_capacity } in
+  List.map
+    (fun w ->
+      let r = Runner.run ~threads ~scale (Runner.Rfdet opts) w in
+      let p = r.Runner.profile in
+      let pth = (Runner.run ~threads ~scale Runner.Pthreads w).Runner.profile in
+      let dth = (Runner.run ~threads ~scale Runner.Dthreads w).Runner.profile in
+      {
+        t1_workload = w.Workload.name;
+        t1_locks = p.Profile.locks;
+        t1_waits = p.Profile.waits;
+        t1_signals = p.Profile.signals;
+        t1_forks = p.Profile.forks;
+        t1_mem = Profile.mem_ops p;
+        t1_loads = p.Profile.loads;
+        t1_stores = p.Profile.stores;
+        t1_stores_with_copy = p.Profile.stores_with_copy;
+        t1_pthreads_bytes = Profile.footprint_pthreads pth;
+        t1_rfdet_bytes = Profile.footprint_rfdet p;
+        t1_dthreads_bytes =
+          pth.Profile.shared_bytes + dth.Profile.private_copy_bytes
+          + dth.Profile.stack_bytes;
+        t1_gc = p.Profile.gc_runs;
+      })
+    Registry.table1
+
+let render_table1 rows =
+  let t =
+    Tablefmt.create
+      ~title:
+        "Table 1: profiling data, 4 threads (footprints in KB; the paper's \
+         MB-scale inputs are scaled down ~1000x)"
+      ~columns:
+        [
+          ("benchmark", Tablefmt.Left);
+          ("lock/unlock", Tablefmt.Right);
+          ("wait/signal", Tablefmt.Right);
+          ("fork/join", Tablefmt.Right);
+          ("mem", Tablefmt.Right);
+          ("load", Tablefmt.Right);
+          ("store", Tablefmt.Right);
+          ("store w/copy", Tablefmt.Right);
+          ("pthreads", Tablefmt.Right);
+          ("RFDet", Tablefmt.Right);
+          ("DThreads", Tablefmt.Right);
+          ("GC", Tablefmt.Right);
+        ]
+  in
+  let kb n = Printf.sprintf "%.1f" (float_of_int n /. 1024.) in
+  List.iter
+    (fun r ->
+      Tablefmt.add_row t
+        [
+          r.t1_workload;
+          string_of_int r.t1_locks;
+          Printf.sprintf "%d/%d" r.t1_waits r.t1_signals;
+          string_of_int r.t1_forks;
+          string_of_int r.t1_mem;
+          string_of_int r.t1_loads;
+          string_of_int r.t1_stores;
+          string_of_int r.t1_stores_with_copy;
+          kb r.t1_pthreads_bytes;
+          kb r.t1_rfdet_bytes;
+          kb r.t1_dthreads_bytes;
+          string_of_int r.t1_gc;
+        ])
+    rows;
+  Tablefmt.render t
+
+(* ------------------------------------------------------------------ *)
+(* E4: Figure 8                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type fig8_row = {
+  f8_workload : string;
+  f8_rfdet : (int * float) list;
+  f8_pthreads : (int * float) list;
+}
+
+let figure8 ?(thread_counts = [ 2; 4; 8 ]) ?(scale = 2.0) () =
+  List.map
+    (fun w ->
+      let series runtime =
+        let times =
+          List.map
+            (fun threads ->
+              (threads, (Runner.run ~threads ~scale runtime w).Runner.sim_time))
+            thread_counts
+        in
+        match times with
+        | (_, base) :: _ ->
+          List.map
+            (fun (n, t) -> (n, float_of_int base /. float_of_int t))
+            times
+        | [] -> []
+      in
+      {
+        f8_workload = w.Workload.name;
+        f8_rfdet = series Runner.rfdet_ci;
+        f8_pthreads = series Runner.Pthreads;
+      })
+    Registry.figure8
+
+let render_figure8 rows =
+  let t =
+    Tablefmt.create
+      ~title:
+        "Figure 8: scalability — speedup over the 2-thread run (RFDet-ci \
+         vs pthreads)"
+      ~columns:
+        [
+          ("benchmark", Tablefmt.Left);
+          ("rfdet 2t", Tablefmt.Right);
+          ("rfdet 4t", Tablefmt.Right);
+          ("rfdet 8t", Tablefmt.Right);
+          ("pthreads 2t", Tablefmt.Right);
+          ("pthreads 4t", Tablefmt.Right);
+          ("pthreads 8t", Tablefmt.Right);
+        ]
+  in
+  let cell series n =
+    match List.assoc_opt n series with
+    | Some s -> Printf.sprintf "%.2f" s
+    | None -> "-"
+  in
+  List.iter
+    (fun r ->
+      Tablefmt.add_row t
+        [
+          r.f8_workload;
+          cell r.f8_rfdet 2;
+          cell r.f8_rfdet 4;
+          cell r.f8_rfdet 8;
+          cell r.f8_pthreads 2;
+          cell r.f8_pthreads 4;
+          cell r.f8_pthreads 8;
+        ])
+    rows;
+  Tablefmt.render t
+
+(* ------------------------------------------------------------------ *)
+(* E5: Figure 9                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type fig9_row = {
+  f9_workload : string;
+  f9_baseline : int;
+  f9_prelock : float;
+  f9_lazy : float;
+  f9_both : float;
+}
+
+let figure9 ?(threads = 4) ?(scale = 1.0) () =
+  let time opts w =
+    (Runner.run ~threads ~scale (Runner.Rfdet opts) w).Runner.sim_time
+  in
+  List.map
+    (fun w ->
+      let baseline = time Options.baseline_no_opt w in
+      let prelock = time { Options.baseline_no_opt with prelock = true } w in
+      let lazy_ = time { Options.baseline_no_opt with lazy_writes = true } w in
+      let both = time Options.ci w in
+      let speedup t = float_of_int baseline /. float_of_int t in
+      {
+        f9_workload = w.Workload.name;
+        f9_baseline = baseline;
+        f9_prelock = speedup prelock;
+        f9_lazy = speedup lazy_;
+        f9_both = speedup both;
+      })
+    Registry.splash2
+
+let render_figure9 rows =
+  let t =
+    Tablefmt.create
+      ~title:
+        "Figure 9: speedup of the prelock and lazy-writes optimizations \
+         over the no-optimization baseline (SPLASH-2, RFDet-ci)"
+      ~columns:
+        [
+          ("benchmark", Tablefmt.Left);
+          ("baseline (cycles)", Tablefmt.Right);
+          ("+prelock", Tablefmt.Right);
+          ("+lazy writes", Tablefmt.Right);
+          ("+both", Tablefmt.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+      Tablefmt.add_row t
+        [
+          r.f9_workload;
+          string_of_int r.f9_baseline;
+          Tablefmt.cell_ratio r.f9_prelock;
+          Tablefmt.cell_ratio r.f9_lazy;
+          Tablefmt.cell_ratio r.f9_both;
+        ])
+    rows;
+  Tablefmt.render t
+
+(* ------------------------------------------------------------------ *)
+(* E6: the barrier ablation (Figure 1 / Section 3.1)                   *)
+(* ------------------------------------------------------------------ *)
+
+type e6_row = { e6_runtime : string; e6_time : int; e6_normalized : float }
+
+(* The motivating example: T1 and T3 repeatedly synchronize on a lock
+   while T2 computes with no synchronization at all. *)
+let barrier_scenario ~imbalance () =
+  let module Api = Rfdet_sim.Api in
+  let m = Api.mutex_create () in
+  let addr = Rfdet_mem.Layout.globals_base in
+  let compute = Api.spawn (fun () -> Api.tick imbalance) in
+  let locker () =
+    for _ = 1 to 40 do
+      Api.with_lock m (fun () -> Api.store addr (Api.load addr + 1));
+      Api.tick 2000
+    done
+  in
+  let l1 = Api.spawn locker and l2 = Api.spawn locker in
+  Api.join l1;
+  Api.join l2;
+  Api.join compute;
+  Api.output_int (Api.load addr)
+
+let ablation_barriers ?(imbalance = 500_000) () =
+  let w =
+    {
+      Workload.name = "barrier-microbench";
+      suite = "ablation";
+      description = "two lockers + one non-synchronizing compute thread";
+      main = (fun _cfg () -> barrier_scenario ~imbalance ());
+    }
+  in
+  let runtimes =
+    [
+      Runner.Pthreads;
+      Runner.rfdet_ci;
+      Runner.Kendo;
+      Runner.Dthreads;
+      Runner.Coredet;
+    ]
+  in
+  let base = ref 0 in
+  List.map
+    (fun rt ->
+      let t = (Runner.run rt w).Runner.sim_time in
+      if !base = 0 then base := t;
+      {
+        e6_runtime = Runner.runtime_name rt;
+        e6_time = t;
+        e6_normalized = float_of_int t /. float_of_int !base;
+      })
+    runtimes
+
+let render_e6 rows =
+  let t =
+    Tablefmt.create
+      ~title:
+        "Ablation (Figure 1 / Section 3.1): two lock-contending threads + \
+         one barrier-free compute thread"
+      ~columns:
+        [
+          ("runtime", Tablefmt.Left);
+          ("cycles", Tablefmt.Right);
+          ("vs pthreads", Tablefmt.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+      Tablefmt.add_row t
+        [
+          r.e6_runtime;
+          string_of_int r.e6_time;
+          Tablefmt.cell_ratio r.e6_normalized;
+        ])
+    rows;
+  Tablefmt.render t
+
+(* ------------------------------------------------------------------ *)
+(* E7: GC vs metadata capacity                                         *)
+(* ------------------------------------------------------------------ *)
+
+type e7_row = {
+  e7_workload : string;
+  e7_gc_small : int;
+  e7_gc_large : int;
+  e7_metadata_peak : int;
+}
+
+let ablation_gc ?(threads = 4) ?(scale = 1.0) () =
+  let run capacity w =
+    let opts = { Options.ci with metadata_capacity = capacity } in
+    (Runner.run ~threads ~scale (Runner.Rfdet opts) w).Runner.profile
+  in
+  (* the paper's 256 MB / 512 MB, scaled with the inputs *)
+  let small = 256 * 1024 and large = 512 * 1024 in
+  List.filter_map
+    (fun w ->
+      let ps = run small w in
+      let pl = run large w in
+      if ps.Profile.slices_created = 0 then None
+      else
+        Some
+          {
+            e7_workload = w.Workload.name;
+            e7_gc_small = ps.Profile.gc_runs;
+            e7_gc_large = pl.Profile.gc_runs;
+            e7_metadata_peak = pl.Profile.metadata_peak_bytes;
+          })
+    Registry.table1
+
+type e8_row = {
+  e8_factor : float;
+  e8_dthreads : float;
+  e8_rfdet_ci : float;
+  e8_rfdet_pf : float;
+  e8_ordering_holds : bool;
+}
+
+let ablation_sensitivity ?(factors = [ 0.5; 1.0; 2.0; 4.0 ]) ?(scale = 0.5) () =
+  List.map
+    (fun factor ->
+      let cost = Rfdet_sim.Cost.scale_memory Rfdet_sim.Cost.default factor in
+      let times runtime w = (Runner.run ~scale ~cost runtime w).Runner.sim_time in
+      let rows =
+        List.map
+          (fun w ->
+            let p = times Runner.Pthreads w in
+            ( float_of_int (times Runner.Dthreads w) /. float_of_int p,
+              float_of_int (times Runner.rfdet_ci w) /. float_of_int p,
+              float_of_int (times Runner.rfdet_pf w) /. float_of_int p ))
+          Registry.table1
+      in
+      let geo f = Stats.geomean (List.map f rows) in
+      let d = geo (fun (d, _, _) -> d) in
+      let ci = geo (fun (_, ci, _) -> ci) in
+      let pf = geo (fun (_, _, pf) -> pf) in
+      {
+        e8_factor = factor;
+        e8_dthreads = d;
+        e8_rfdet_ci = ci;
+        e8_rfdet_pf = pf;
+        e8_ordering_holds = ci < pf && pf < d;
+      })
+    factors
+
+let render_e8 rows =
+  let t =
+    Tablefmt.create
+      ~title:
+        "Ablation: cost-model sensitivity — geomean normalized times while \
+         scaling the page-machinery costs (fault/mprotect/snapshot/diff)"
+      ~columns:
+        [
+          ("cost factor", Tablefmt.Right);
+          ("RFDet-ci", Tablefmt.Right);
+          ("RFDet-pf", Tablefmt.Right);
+          ("DThreads", Tablefmt.Right);
+          ("ci < pf < dthreads", Tablefmt.Left);
+        ]
+  in
+  List.iter
+    (fun r ->
+      Tablefmt.add_row t
+        [
+          Printf.sprintf "%.1fx" r.e8_factor;
+          Tablefmt.cell_ratio r.e8_rfdet_ci;
+          Tablefmt.cell_ratio r.e8_rfdet_pf;
+          Tablefmt.cell_ratio r.e8_dthreads;
+          (if r.e8_ordering_holds then "holds" else "VIOLATED");
+        ])
+    rows;
+  Tablefmt.render t
+
+let render_e7 rows =
+  let t =
+    Tablefmt.create
+      ~title:
+        "Ablation (Section 5.4): GC count vs metadata capacity (scaled \
+         256 vs 512 'MB')"
+      ~columns:
+        [
+          ("benchmark", Tablefmt.Left);
+          ("GC @256", Tablefmt.Right);
+          ("GC @512", Tablefmt.Right);
+          ("metadata peak", Tablefmt.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+      Tablefmt.add_row t
+        [
+          r.e7_workload;
+          string_of_int r.e7_gc_small;
+          string_of_int r.e7_gc_large;
+          Rfdet_util.Stats.human_bytes r.e7_metadata_peak;
+        ])
+    rows;
+  Tablefmt.render t

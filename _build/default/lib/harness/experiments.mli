@@ -1,0 +1,150 @@
+(** Drivers that regenerate every table and figure of the paper's
+    evaluation (Section 5), plus the ablations called out in DESIGN.md.
+
+    Each experiment returns structured rows (so tests can assert on the
+    shapes) and has a renderer that prints a table comparable to the
+    paper's artifact.  All runs are jitter-free: the simulator is
+    deterministic, so a single run per configuration is exact. *)
+
+(** {1 E1 — Section 5.1: racey determinism} *)
+
+type e1_row = {
+  e1_runtime : string;
+  e1_threads : int;
+  e1_runs : int;
+  e1_distinct : int;
+}
+
+val racey_determinism :
+  ?runs_per_config:int -> ?thread_counts:int list -> unit -> e1_row list
+(** Default: 100 runs for each of 2/4/8 threads, for pthreads, dthreads,
+    rfdet-ci and rfdet-pf (the paper runs 1000; pass
+    [~runs_per_config:1000] for the full experiment). *)
+
+val render_e1 : e1_row list -> string
+
+(** {1 E2 — Figure 7: execution time normalized to pthreads, 4 threads} *)
+
+type fig7_row = {
+  f7_workload : string;
+  f7_pthreads : int;  (** simulated cycles *)
+  f7_dthreads : float;  (** normalized to pthreads *)
+  f7_rfdet_ci : float;
+  f7_rfdet_pf : float;
+}
+
+val figure7 : ?threads:int -> ?scale:float -> unit -> fig7_row list
+
+val render_figure7 : fig7_row list -> string
+
+(** Geometric-mean normalized times (dthreads, ci, pf) — the paper's
+    "35.2% / 72.9% / ~2.5x" summary line. *)
+val figure7_summary : fig7_row list -> float * float * float
+
+val chart_figure7 : fig7_row list -> string
+(** ASCII grouped bar chart of the normalized times (the figure itself,
+    as opposed to [render_figure7]'s table). *)
+
+(** {1 E3 — Table 1: profiling data at 4 threads} *)
+
+type table1_row = {
+  t1_workload : string;
+  t1_locks : int;
+  t1_waits : int;
+  t1_signals : int;
+  t1_forks : int;
+  t1_mem : int;
+  t1_loads : int;
+  t1_stores : int;
+  t1_stores_with_copy : int;
+  t1_pthreads_bytes : int;
+  t1_rfdet_bytes : int;
+  t1_dthreads_bytes : int;
+  t1_gc : int;
+}
+
+val table1 : ?threads:int -> ?scale:float -> ?metadata_capacity:int -> unit -> table1_row list
+(** [metadata_capacity] defaults to 256 KiB — the paper's 256 MB scaled
+    by the same factor as the workloads' footprints, so the GC column is
+    exercised the same way. *)
+
+val render_table1 : table1_row list -> string
+
+(** {1 E4 — Figure 8: scalability (speedup over the 2-thread run)} *)
+
+type fig8_row = {
+  f8_workload : string;
+  f8_rfdet : (int * float) list;  (** threads, speedup vs 2-thread rfdet *)
+  f8_pthreads : (int * float) list;
+}
+
+val figure8 : ?thread_counts:int list -> ?scale:float -> unit -> fig8_row list
+(** [scale] defaults to 2.0: scalability needs enough parallel work per
+    thread for the 8-thread point to be meaningful. *)
+
+val render_figure8 : fig8_row list -> string
+
+(** {1 E5 — Figure 9: prelock and lazy-writes optimization study} *)
+
+type fig9_row = {
+  f9_workload : string;
+  f9_baseline : int;  (** cycles, both optimizations off *)
+  f9_prelock : float;  (** speedup of +prelock over baseline *)
+  f9_lazy : float;  (** speedup of +lazy-writes over baseline *)
+  f9_both : float;
+}
+
+val figure9 : ?threads:int -> ?scale:float -> unit -> fig9_row list
+
+val render_figure9 : fig9_row list -> string
+
+(** {1 E6 — ablation: the cost of global barriers (Figure 1 / §3.1)} *)
+
+type e6_row = {
+  e6_runtime : string;
+  e6_time : int;
+  e6_normalized : float;  (** vs pthreads *)
+}
+
+val ablation_barriers : ?imbalance:int -> unit -> e6_row list
+(** The paper's motivating scenario: T1 and T3 contend on a lock while
+    T2 computes for [imbalance] cycles without synchronizing.  Compares
+    pthreads, rfdet-ci, dthreads and coredet (quantum barriers). *)
+
+val render_e6 : e6_row list -> string
+
+(** {1 E7 — ablation: metadata capacity vs GC count (Section 5.4)} *)
+
+type e7_row = {
+  e7_workload : string;
+  e7_gc_small : int;  (** GC count at the scaled 256 "MB" *)
+  e7_gc_large : int;  (** GC count at the scaled 512 "MB" *)
+  e7_metadata_peak : int;
+}
+
+val ablation_gc : ?threads:int -> ?scale:float -> unit -> e7_row list
+
+val render_e7 : e7_row list -> string
+
+(** {1 E8 — ablation: cost-model sensitivity}
+
+    The Figure 7 conclusions must not hinge on the exact cycle prices in
+    the cost table.  This sweep scales the page-machinery costs (fault,
+    mprotect, snapshot, diff) by several factors and recomputes the
+    geomean normalized times: the ordering RFDet-ci < RFDet-pf <
+    DThreads must hold at every point. *)
+
+type e8_row = {
+  e8_factor : float;  (** multiplier on the page-granularity costs *)
+  e8_dthreads : float;
+  e8_rfdet_ci : float;
+  e8_rfdet_pf : float;
+  e8_ordering_holds : bool;
+}
+
+val ablation_sensitivity :
+  ?factors:float list -> ?scale:float -> unit -> e8_row list
+(** Default factors: 0.5, 1.0, 2.0, 4.0; default scale 0.5 (the sweep
+    runs Figure 7 once per factor). *)
+
+val render_e8 : e8_row list -> string

@@ -1,0 +1,61 @@
+type recording = {
+  workload : string;
+  threads : int;
+  scale : float;
+  input_seed : int64;
+  signature : string;
+}
+
+let record ?(threads = 4) ?(scale = 1.0) ?(input_seed = 42L) workload =
+  let r = Runner.run ~threads ~scale ~input_seed Runner.rfdet_ci workload in
+  {
+    workload = r.Runner.workload;
+    threads;
+    scale;
+    input_seed;
+    signature = r.Runner.signature;
+  }
+
+let replay ?(sched_seed = 987654321L) recording =
+  let workload = Rfdet_workloads.Registry.find recording.workload in
+  let r =
+    Runner.run ~threads:recording.threads ~scale:recording.scale
+      ~input_seed:recording.input_seed ~sched_seed ~jitter:13. Runner.rfdet_ci
+      workload
+  in
+  (r.Runner.signature, r.Runner.signature = recording.signature)
+
+let to_string r =
+  Printf.sprintf "workload=%s\nthreads=%d\nscale=%.6f\ninput_seed=%Ld\nsignature=%s\n"
+    r.workload r.threads r.scale r.input_seed r.signature
+
+let of_string s =
+  let fields =
+    String.split_on_char '\n' s
+    |> List.filter_map (fun line ->
+           match String.index_opt line '=' with
+           | None -> None
+           | Some i ->
+             Some
+               ( String.sub line 0 i,
+                 String.sub line (i + 1) (String.length line - i - 1) ))
+  in
+  let find k = List.assoc_opt k fields in
+  match
+    (find "workload", find "threads", find "scale", find "input_seed",
+     find "signature")
+  with
+  | Some workload, Some threads, Some scale, Some input_seed, Some signature
+    -> begin
+    try
+      Some
+        {
+          workload;
+          threads = int_of_string threads;
+          scale = float_of_string scale;
+          input_seed = Int64.of_string input_seed;
+          signature;
+        }
+    with Failure _ -> None
+  end
+  | _ -> None

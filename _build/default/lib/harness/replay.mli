@@ -1,0 +1,36 @@
+(** Record/replay by recording inputs only — the application of DMT the
+    paper highlights in Section 2.
+
+    A record-and-replay system for nondeterministic threads must log
+    every scheduling decision; under strong determinism the entire
+    execution is a function of the input, so a "recording" is just the
+    workload name, its configuration, and the input seed.  Replaying
+    re-executes and must reproduce the output bit for bit — on any
+    machine, under any scheduler noise. *)
+
+type recording = {
+  workload : string;
+  threads : int;
+  scale : float;
+  input_seed : int64;
+  signature : string;  (** output digest at record time *)
+}
+
+(** [record ?threads ?scale ?input_seed workload] runs the workload once
+    under RFDet-ci and captures the recording. *)
+val record :
+  ?threads:int ->
+  ?scale:float ->
+  ?input_seed:int64 ->
+  Rfdet_workloads.Workload.t ->
+  recording
+
+(** [replay ?sched_seed recording] re-executes (with arbitrary scheduler
+    noise) and returns the new signature together with whether it matches
+    the recording. *)
+val replay : ?sched_seed:int64 -> recording -> string * bool
+
+(** Text round-trip, one line per field ("key=value"). *)
+val to_string : recording -> string
+
+val of_string : string -> recording option

@@ -1,0 +1,69 @@
+module Engine = Rfdet_sim.Engine
+module Options = Rfdet_core.Options
+module Workload = Rfdet_workloads.Workload
+
+type runtime = Pthreads | Kendo | Dthreads | Coredet | Rfdet of Options.t
+
+let runtime_name = function
+  | Pthreads -> Rfdet_baselines.Pthreads_runtime.name
+  | Kendo -> Rfdet_baselines.Kendo_runtime.name
+  | Dthreads -> Rfdet_baselines.Dthreads_runtime.name
+  | Coredet -> Rfdet_baselines.Coredet_runtime.name
+  | Rfdet opts -> Options.name opts
+
+let rfdet_ci = Rfdet Options.ci
+
+let rfdet_pf = Rfdet Options.pf
+
+let all_runtimes = [ Pthreads; Kendo; Dthreads; rfdet_ci; rfdet_pf ]
+
+let make_policy = function
+  | Pthreads -> Rfdet_baselines.Pthreads_runtime.make
+  | Kendo -> Rfdet_baselines.Kendo_runtime.make
+  | Dthreads -> Rfdet_baselines.Dthreads_runtime.make
+  | Coredet -> Rfdet_baselines.Coredet_runtime.make ?quantum:None
+  | Rfdet opts -> Rfdet_core.Rfdet_runtime.make ~opts
+
+type run_result = {
+  runtime : string;
+  workload : string;
+  sim_time : int;
+  wall_seconds : float;
+  signature : string;
+  outputs : (int * int64) list;
+  profile : Rfdet_sim.Profile.t;
+  threads : int;
+  ops : int;
+  trace : Rfdet_sim.Engine.trace_entry list;
+}
+
+let run ?(threads = 4) ?(scale = 1.0) ?(input_seed = 42L) ?(sched_seed = 1L)
+    ?(jitter = 0.) ?(cost = Rfdet_sim.Cost.default) ?(trace = 0) runtime
+    workload =
+  let cfg = { Workload.threads; scale; input_seed } in
+  let config =
+    {
+      Engine.default_config with
+      cost;
+      seed = sched_seed;
+      jitter_mean = jitter;
+      trace_capacity = trace;
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let r =
+    Engine.run ~config (make_policy runtime) ~main:(workload.Workload.main cfg)
+  in
+  let wall_seconds = Unix.gettimeofday () -. t0 in
+  {
+    runtime = runtime_name runtime;
+    workload = workload.Workload.name;
+    sim_time = r.Engine.sim_time;
+    wall_seconds;
+    signature = Engine.output_signature r;
+    outputs = r.Engine.outputs;
+    profile = r.Engine.profile;
+    threads = r.Engine.threads;
+    ops = r.Engine.ops;
+    trace = r.Engine.trace;
+  }

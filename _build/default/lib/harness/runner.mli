@@ -1,0 +1,47 @@
+(** Run a workload under a chosen runtime and collect results. *)
+
+type runtime =
+  | Pthreads  (** nondeterministic baseline *)
+  | Kendo  (** weak determinism: deterministic sync, shared memory *)
+  | Dthreads  (** strong determinism with global fences *)
+  | Coredet  (** strong determinism with instruction-quantum barriers *)
+  | Rfdet of Rfdet_core.Options.t  (** this paper *)
+
+val runtime_name : runtime -> string
+
+val rfdet_ci : runtime
+
+val rfdet_pf : runtime
+
+val all_runtimes : runtime list
+(** The four bars of Figure 7 plus the Kendo reference. *)
+
+val make_policy : runtime -> Rfdet_sim.Engine.t -> Rfdet_sim.Engine.policy
+
+type run_result = {
+  runtime : string;
+  workload : string;
+  sim_time : int;  (** simulated cycles (the run's makespan) *)
+  wall_seconds : float;  (** host time spent simulating *)
+  signature : string;  (** digest of observable outputs *)
+  outputs : (int * int64) list;
+  profile : Rfdet_sim.Profile.t;
+  threads : int;
+  ops : int;
+  trace : Rfdet_sim.Engine.trace_entry list;  (** empty unless requested *)
+}
+
+val run :
+  ?threads:int ->
+  ?scale:float ->
+  ?input_seed:int64 ->
+  ?sched_seed:int64 ->
+  ?jitter:float ->
+  ?cost:Rfdet_sim.Cost.t ->
+  ?trace:int ->
+  runtime ->
+  Rfdet_workloads.Workload.t ->
+  run_result
+(** Defaults: 4 threads, scale 1.0, input seed 42, scheduler seed 1,
+    jitter 0 (performance runs should be noise-free; determinism checks
+    pass a nonzero jitter and vary [sched_seed]). *)

@@ -1,0 +1,1 @@
+lib/kendo/arbiter.ml: Hashtbl Rfdet_sim

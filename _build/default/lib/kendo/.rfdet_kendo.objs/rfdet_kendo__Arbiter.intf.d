@@ -1,0 +1,1 @@
+lib/kendo/arbiter.mli: Rfdet_sim

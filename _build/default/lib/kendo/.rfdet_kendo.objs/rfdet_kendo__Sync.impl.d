@@ -1,0 +1,1 @@
+lib/kendo/sync.ml: Arbiter Hashtbl List Option Printf Queue Rfdet_sim

@@ -1,0 +1,1 @@
+lib/kendo/sync.mli: Arbiter Rfdet_sim

@@ -1,0 +1,118 @@
+module Engine = Rfdet_sim.Engine
+
+type pending_req = {
+  stamp : int * int;  (* (icount at request, tid) *)
+  asked_at : int;  (* simulated clock when filed, for stats *)
+  grant : now:int -> unit;
+}
+
+type state = Active | Inactive | Pending of pending_req
+
+type t = {
+  engine : Engine.t;
+  states : (int, state) Hashtbl.t;
+}
+
+let create engine = { engine; states = Hashtbl.create 16 }
+
+let thread_started t ~tid = Hashtbl.replace t.states tid Active
+
+let thread_finished t ~tid = Hashtbl.remove t.states tid
+
+let set_inactive t ~tid = Hashtbl.replace t.states tid Inactive
+
+let set_active t ~tid = Hashtbl.replace t.states tid Active
+
+let is_active t ~tid =
+  match Hashtbl.find_opt t.states tid with
+  | Some Active -> true
+  | Some (Inactive | Pending _) | None -> false
+
+let request t ~tid ~grant =
+  (match Hashtbl.find_opt t.states tid with
+  | Some Active -> ()
+  | Some (Pending _) -> invalid_arg "Arbiter.request: already pending"
+  | Some Inactive | None -> invalid_arg "Arbiter.request: thread not active");
+  let stamp = (Engine.icount t.engine tid, tid) in
+  let asked_at = Engine.clock t.engine tid in
+  Hashtbl.replace t.states tid (Pending { stamp; asked_at; grant })
+
+let reservation_rank t ~tid =
+  match Hashtbl.find_opt t.states tid with
+  | Some (Pending { stamp; _ }) ->
+    Hashtbl.fold
+      (fun tid' st acc ->
+        match st with
+        | Pending { stamp = stamp'; _ } when tid' <> tid && stamp' < stamp ->
+          acc + 1
+        | Pending _ | Active | Inactive -> acc)
+      t.states 0
+  | Some (Active | Inactive) | None -> 0
+
+(* The minimal pending request, if any. *)
+let min_pending t =
+  Hashtbl.fold
+    (fun tid st acc ->
+      match st, acc with
+      | Pending p, None -> Some (tid, p)
+      | Pending p, Some (_, best) when p.stamp < best.stamp -> Some (tid, p)
+      | _ -> acc)
+    t.states None
+
+(* A request is grantable when every *other active* thread is logically
+   past its stamp.  Other pending requests necessarily have larger stamps
+   (we only test the minimum), and inactive/finished threads are ignored
+   exactly as Kendo ignores blocked threads. *)
+let grantable t tid (stamp : int * int) =
+  let ok = ref true in
+  Hashtbl.iter
+    (fun tid' st ->
+      if !ok && tid' <> tid then
+        match st with
+        | Active ->
+          let stamp' = (Engine.icount t.engine tid', tid') in
+          if stamp' <= stamp then ok := false
+        | Inactive | Pending _ -> ())
+    t.states;
+  !ok
+
+let rec poll t =
+  match min_pending t with
+  | None -> ()
+  | Some (tid, p) ->
+    if grantable t tid p.stamp then begin
+      Hashtbl.replace t.states tid Active;
+      let mine = Engine.clock t.engine tid in
+      (* The turn became available when the last other active thread's
+         instruction count passed the stamp.  Instruction counts advance
+         in proportion to app cycles, so the crossing moment can be
+         interpolated from (clock, icount) instead of being quantized to
+         whole-operation completions — without this, one coarse Tick in a
+         peer thread would inflate every waiter's grant time. *)
+      let c, _ = p.stamp in
+      let now =
+        Hashtbl.fold
+          (fun tid' st acc ->
+            match st with
+            | Active when tid' <> tid ->
+              let crossed =
+                Engine.clock t.engine tid'
+                - max 0 (Engine.icount t.engine tid' - c)
+              in
+              max acc crossed
+            | Active | Inactive | Pending _ -> acc)
+          t.states mine
+      in
+      if now > p.asked_at then begin
+        let prof = Engine.profile t.engine in
+        prof.kendo_waits <- prof.kendo_waits + 1
+      end;
+      p.grant ~now;
+      poll t
+    end
+
+let pending_count t =
+  Hashtbl.fold
+    (fun _ st acc ->
+      match st with Pending _ -> acc + 1 | Active | Inactive -> acc)
+    t.states 0

@@ -1,0 +1,300 @@
+module Engine = Rfdet_sim.Engine
+module Cost = Rfdet_sim.Cost
+
+type obj =
+  | Mutex_obj of int
+  | Cond_obj of int
+  | Barrier_obj of int
+  | Thread_obj of int
+  | Atomic_obj of int
+
+type hooks = {
+  acquire : tid:int -> obj:obj -> now:int -> int;
+  release : tid:int -> obj:obj -> now:int -> int;
+  barrier_all : tids:int list -> barrier:int -> now:int -> int;
+  spawned : parent:int -> child:int -> now:int -> unit;
+  exited : tid:int -> unit;
+  joined : tid:int -> target:int -> now:int -> int;
+}
+
+let trivial_hooks =
+  {
+    acquire = (fun ~tid:_ ~obj:_ ~now:_ -> 0);
+    release = (fun ~tid:_ ~obj:_ ~now:_ -> 0);
+    barrier_all = (fun ~tids:_ ~barrier:_ ~now:_ -> 0);
+    spawned = (fun ~parent:_ ~child:_ ~now:_ -> ());
+    exited = (fun ~tid:_ -> ());
+    joined = (fun ~tid:_ ~target:_ ~now:_ -> 0);
+  }
+
+type mutex_state = { mutable owner : int option; queue : int Queue.t }
+
+type cond_state = { cond_waiters : (int * int) Queue.t }
+(* (waiter tid, mutex to reacquire), in deterministic grant order *)
+
+type barrier_state = { parties : int; mutable arrived : int list (* reversed *) }
+
+type t = {
+  engine : Engine.t;
+  arb : Arbiter.t;
+  hooks : hooks;
+  mutexes : (int, mutex_state) Hashtbl.t;
+  conds : (int, cond_state) Hashtbl.t;
+  barriers : (int, barrier_state) Hashtbl.t;
+  joiners : (int, int list) Hashtbl.t;  (* target tid -> blocked joiners *)
+  mutable next_handle : int;
+}
+
+let create engine hooks =
+  let t =
+    {
+      engine;
+      arb = Arbiter.create engine;
+      hooks;
+      mutexes = Hashtbl.create 16;
+      conds = Hashtbl.create 16;
+      barriers = Hashtbl.create 4;
+      joiners = Hashtbl.create 8;
+      next_handle = 1;
+    }
+  in
+  Arbiter.thread_started t.arb ~tid:0;
+  t
+
+let arbiter t = t.arb
+
+let fresh_handle t =
+  let h = t.next_handle in
+  t.next_handle <- h + 1;
+  h
+
+let mutex_state t m =
+  match Hashtbl.find_opt t.mutexes m with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Sync: unknown mutex %d" m)
+
+let cond_state t c =
+  match Hashtbl.find_opt t.conds c with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Sync: unknown cond %d" c)
+
+let barrier_state t b =
+  match Hashtbl.find_opt t.barriers b with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Sync: unknown barrier %d" b)
+
+let sync_cost t = (Engine.cost t.engine).Cost.sync_op
+
+let mutex_create t ~tid:_ =
+  let h = fresh_handle t in
+  Hashtbl.replace t.mutexes h { owner = None; queue = Queue.create () };
+  Engine.Done h
+
+let cond_create t ~tid:_ =
+  let h = fresh_handle t in
+  Hashtbl.replace t.conds h { cond_waiters = Queue.create () };
+  Engine.Done h
+
+let barrier_create t ~tid:_ ~parties =
+  if parties <= 0 then invalid_arg "Sync.barrier_create: parties <= 0";
+  let h = fresh_handle t in
+  Hashtbl.replace t.barriers h { parties; arrived = [] };
+  Engine.Done h
+
+(* Grant the mutex to [tid] at time [now]: run the acquire hook and wake
+   the thread.  The thread is currently inactive/blocked. *)
+let grant_mutex t ~tid ~mutex ~now =
+  let st = mutex_state t mutex in
+  assert (st.owner = None);
+  st.owner <- Some tid;
+  let extra = t.hooks.acquire ~tid ~obj:(Mutex_obj mutex) ~now in
+  Arbiter.set_active t.arb ~tid;
+  Engine.wake t.engine ~tid ~value:0 ~not_before:(now + sync_cost t + extra)
+
+let lock t ~tid ~mutex =
+  Engine.advance t.engine tid (sync_cost t);
+  Arbiter.request t.arb ~tid ~grant:(fun ~now ->
+      let st = mutex_state t mutex in
+      match st.owner with
+      | None -> grant_mutex t ~tid ~mutex ~now
+      | Some _ ->
+        (* Queue in deterministic reservation order; stay blocked. *)
+        Queue.add tid st.queue;
+        Arbiter.set_inactive t.arb ~tid);
+  Engine.Block
+
+(* Pass a free mutex to the head of its queue, if any. *)
+let pass_mutex t ~mutex ~now =
+  let st = mutex_state t mutex in
+  assert (st.owner = None);
+  match Queue.take_opt st.queue with
+  | None -> ()
+  | Some waiter -> grant_mutex t ~tid:waiter ~mutex ~now
+
+let unlock t ~tid ~mutex =
+  Engine.advance t.engine tid (sync_cost t);
+  Arbiter.request t.arb ~tid ~grant:(fun ~now ->
+      let st = mutex_state t mutex in
+      (match st.owner with
+      | Some owner when owner = tid -> ()
+      | Some _ | None ->
+        invalid_arg
+          (Printf.sprintf "Sync.unlock: tid %d does not hold mutex %d" tid
+             mutex));
+      let extra = t.hooks.release ~tid ~obj:(Mutex_obj mutex) ~now in
+      st.owner <- None;
+      pass_mutex t ~mutex ~now:(now + extra);
+      Engine.wake t.engine ~tid ~value:0 ~not_before:(now + extra));
+  Engine.Block
+
+let cond_wait t ~tid ~cond ~mutex =
+  Engine.advance t.engine tid (sync_cost t);
+  Arbiter.request t.arb ~tid ~grant:(fun ~now ->
+      let mst = mutex_state t mutex in
+      (match mst.owner with
+      | Some owner when owner = tid -> ()
+      | Some _ | None ->
+        invalid_arg
+          (Printf.sprintf "Sync.cond_wait: tid %d does not hold mutex %d" tid
+             mutex));
+      (* Waiting releases the mutex: a release point on the mutex. *)
+      let extra = t.hooks.release ~tid ~obj:(Mutex_obj mutex) ~now in
+      mst.owner <- None;
+      pass_mutex t ~mutex ~now:(now + extra);
+      let cst = cond_state t cond in
+      Queue.add (tid, mutex) cst.cond_waiters;
+      Arbiter.set_inactive t.arb ~tid);
+  Engine.Block
+
+(* Wake one queued waiter: acquire point on the condvar (see the
+   signaller's updates), then contend for the mutex again. *)
+let wake_cond_waiter t ~waiter ~mutex ~cond ~now =
+  let extra = t.hooks.acquire ~tid:waiter ~obj:(Cond_obj cond) ~now in
+  let now = now + extra in
+  let mst = mutex_state t mutex in
+  match mst.owner with
+  | None -> grant_mutex t ~tid:waiter ~mutex ~now
+  | Some _ -> Queue.add waiter mst.queue
+
+let cond_signal t ~tid ~cond =
+  Engine.advance t.engine tid (sync_cost t);
+  Arbiter.request t.arb ~tid ~grant:(fun ~now ->
+      let extra = t.hooks.release ~tid ~obj:(Cond_obj cond) ~now in
+      let cst = cond_state t cond in
+      (match Queue.take_opt cst.cond_waiters with
+      | None -> ()
+      | Some (waiter, mutex) ->
+        wake_cond_waiter t ~waiter ~mutex ~cond ~now:(now + extra));
+      Engine.wake t.engine ~tid ~value:0 ~not_before:(now + extra));
+  Engine.Block
+
+let cond_broadcast t ~tid ~cond =
+  Engine.advance t.engine tid (sync_cost t);
+  Arbiter.request t.arb ~tid ~grant:(fun ~now ->
+      let extra = t.hooks.release ~tid ~obj:(Cond_obj cond) ~now in
+      let cst = cond_state t cond in
+      let rec drain () =
+        match Queue.take_opt cst.cond_waiters with
+        | None -> ()
+        | Some (waiter, mutex) ->
+          wake_cond_waiter t ~waiter ~mutex ~cond ~now:(now + extra);
+          drain ()
+      in
+      drain ();
+      Engine.wake t.engine ~tid ~value:0 ~not_before:(now + extra));
+  Engine.Block
+
+let barrier_wait t ~tid ~barrier =
+  Engine.advance t.engine tid (sync_cost t);
+  Arbiter.request t.arb ~tid ~grant:(fun ~now ->
+      let st = barrier_state t barrier in
+      st.arrived <- tid :: st.arrived;
+      if List.length st.arrived < st.parties then
+        Arbiter.set_inactive t.arb ~tid
+      else begin
+        let tids = List.rev st.arrived in
+        st.arrived <- [];
+        let extra = t.hooks.barrier_all ~tids ~barrier ~now in
+        let release_at =
+          now + extra + (Engine.cost t.engine).Cost.barrier_overhead
+        in
+        List.iter
+          (fun tid' ->
+            if tid' <> tid then begin
+              Arbiter.set_active t.arb ~tid:tid';
+              Engine.wake t.engine ~tid:tid' ~value:0 ~not_before:release_at
+            end)
+          tids;
+        Engine.wake t.engine ~tid ~value:0 ~not_before:release_at
+      end);
+  Engine.Block
+
+let spawn t ~tid ~body =
+  let cost = Engine.cost t.engine in
+  Engine.advance t.engine tid (sync_cost t);
+  Arbiter.request t.arb ~tid ~grant:(fun ~now ->
+      let start_at = now + cost.Cost.spawn in
+      let child = Engine.register_thread t.engine ~body ~start_at in
+      (* Children inherit the parent's deterministic instruction count so
+         the Kendo logical clocks stay comparable. *)
+      Engine.seed_icount t.engine child (Engine.icount t.engine tid);
+      Arbiter.thread_started t.arb ~tid:child;
+      t.hooks.spawned ~parent:tid ~child ~now;
+      Engine.wake t.engine ~tid ~value:child ~not_before:start_at);
+  Engine.Block
+
+let rmw t ~tid ~action =
+  Engine.advance t.engine tid (sync_cost t);
+  Arbiter.request t.arb ~tid ~grant:(fun ~now ->
+      let value, extra = action ~now in
+      Engine.wake t.engine ~tid ~value ~not_before:(now + sync_cost t + extra));
+  Engine.Block
+
+let complete_join t ~tid ~target ~now =
+  let extra = t.hooks.joined ~tid ~target ~now in
+  Arbiter.set_active t.arb ~tid;
+  Engine.wake t.engine ~tid ~value:0
+    ~not_before:(now + (Engine.cost t.engine).Cost.join + extra)
+
+let join t ~tid ~target =
+  Engine.advance t.engine tid (sync_cost t);
+  Arbiter.request t.arb ~tid ~grant:(fun ~now ->
+      if Engine.is_finished t.engine target then
+        complete_join t ~tid ~target ~now
+      else begin
+        let existing =
+          Option.value (Hashtbl.find_opt t.joiners target) ~default:[]
+        in
+        Hashtbl.replace t.joiners target (existing @ [ tid ]);
+        Arbiter.set_inactive t.arb ~tid
+      end);
+  Engine.Block
+
+let on_thread_exit t ~tid =
+  t.hooks.exited ~tid;
+  Arbiter.thread_finished t.arb ~tid;
+  let now = Engine.clock t.engine tid in
+  (match Hashtbl.find_opt t.joiners tid with
+  | None -> ()
+  | Some waiting ->
+    Hashtbl.remove t.joiners tid;
+    List.iter
+      (fun joiner ->
+        let now = max now (Engine.clock t.engine joiner) in
+        complete_join t ~tid:joiner ~target:tid ~now)
+      waiting);
+  Arbiter.poll t.arb
+
+let poll t = Arbiter.poll t.arb
+
+let holder t ~mutex = (mutex_state t mutex).owner
+
+let joining_target t ~tid =
+  Hashtbl.fold
+    (fun target joiners acc ->
+      if acc = None && List.mem tid joiners then Some target else acc)
+    t.joiners None
+
+let waiters t ~cond =
+  Queue.fold (fun acc (tid, _) -> tid :: acc) [] (cond_state t cond).cond_waiters
+  |> List.rev

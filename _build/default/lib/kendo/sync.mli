@@ -1,0 +1,106 @@
+(** Deterministic POSIX-style synchronization objects on top of the Kendo
+    arbiter (paper Section 4.1).
+
+    This layer owns the *internal synchronization variables* of the
+    paper: mutexes, condition variables and barriers live in the runtime
+    metadata space, are identified by handles, and all state transitions
+    execute serially in deterministic-turn order.  The DMT-specific work
+    — what happens to memory at acquire and release points — is supplied
+    by the client runtime through [hooks]:
+
+    - RFDet's hooks run DLRC memory-modification propagation and stamp
+      lastTid/lastTime;
+    - the weak-determinism (Kendo-only) runtime passes trivial hooks,
+      because its threads share memory directly.
+
+    Acquire operations are lock, cond-wait (on wakeup), thread entry,
+    join and barrier; release operations are unlock, signal/broadcast,
+    thread create, thread exit and barrier. *)
+
+type obj =
+  | Mutex_obj of int
+  | Cond_obj of int
+  | Barrier_obj of int
+  | Thread_obj of int  (** create/exit/join synchronization *)
+  | Atomic_obj of int  (** low-level atomic word, keyed by address *)
+
+type hooks = {
+  acquire : tid:int -> obj:obj -> now:int -> int;
+      (** [tid] passes an acquire point on [obj] at time [now]; returns
+          the extra simulated cycles the acquire costs (propagation).
+          Runs in deterministic order. *)
+  release : tid:int -> obj:obj -> now:int -> int;
+      (** [tid] passes a release point (stamp lastTid/lastTime, close the
+          slice); returns extra cycles. *)
+  barrier_all : tids:int list -> barrier:int -> now:int -> int;
+      (** all parties arrived, listed in arrival order; perform the
+          deterministic smallest-tid-first merge; returns extra cycles
+          applied to every party. *)
+  spawned : parent:int -> child:int -> now:int -> unit;
+      (** child registered (memory inheritance, vector-clock setup). *)
+  exited : tid:int -> unit;
+      (** thread body returned: close its final slice. *)
+  joined : tid:int -> target:int -> now:int -> int;
+      (** [tid]'s join on [target] completes; returns extra cycles. *)
+}
+
+val trivial_hooks : hooks
+(** All callbacks return 0 / do nothing — weak determinism. *)
+
+type t
+
+val create : Rfdet_sim.Engine.t -> hooks -> t
+
+(** Handle one synchronization operation for the current thread.  Every
+    function returns the [Engine.outcome] the policy should return:
+    turn-taking operations block and are completed by the arbiter. *)
+
+val mutex_create : t -> tid:int -> Rfdet_sim.Engine.outcome
+
+val lock : t -> tid:int -> mutex:int -> Rfdet_sim.Engine.outcome
+
+val unlock : t -> tid:int -> mutex:int -> Rfdet_sim.Engine.outcome
+
+val cond_create : t -> tid:int -> Rfdet_sim.Engine.outcome
+
+val cond_wait : t -> tid:int -> cond:int -> mutex:int -> Rfdet_sim.Engine.outcome
+
+val cond_signal : t -> tid:int -> cond:int -> Rfdet_sim.Engine.outcome
+
+val cond_broadcast : t -> tid:int -> cond:int -> Rfdet_sim.Engine.outcome
+
+val barrier_create : t -> tid:int -> parties:int -> Rfdet_sim.Engine.outcome
+
+val barrier_wait : t -> tid:int -> barrier:int -> Rfdet_sim.Engine.outcome
+
+val spawn : t -> tid:int -> body:(unit -> unit) -> Rfdet_sim.Engine.outcome
+
+val join : t -> tid:int -> target:int -> Rfdet_sim.Engine.outcome
+
+val rmw :
+  t -> tid:int -> action:(now:int -> int * int) -> Rfdet_sim.Engine.outcome
+(** [rmw t ~tid ~action] takes a deterministic turn and runs [action] at
+    the grant; [action ~now] returns (result value, extra cycles).  Used
+    for the low-level atomic interface: the client runtime performs the
+    acquire, the read-modify-write, and the release inside [action]. *)
+
+val on_thread_exit : t -> tid:int -> unit
+(** Must be wired into the policy's [on_thread_exit]. *)
+
+val poll : t -> unit
+(** Must be wired into the policy's [on_step]. *)
+
+val arbiter : t -> Arbiter.t
+
+(** [holder t ~mutex] — current owner, for assertions in tests. *)
+val holder : t -> mutex:int -> int option
+
+(** [waiters t ~cond] — queued waiter tids in deterministic order. *)
+val waiters : t -> cond:int -> int list
+
+(** [joining_target t ~tid] — when [tid] is blocked in a join, the thread
+    it waits for.  The RFDet garbage collector uses this: a joiner's
+    clock is guaranteed to absorb its target's clock before the joiner
+    touches memory again, so the target's time is a sound lower bound on
+    the joiner's future frontier contribution. *)
+val joining_target : t -> tid:int -> int option

@@ -1,0 +1,1 @@
+lib/mem/diff.ml: Bytes Char Format List Page Space String

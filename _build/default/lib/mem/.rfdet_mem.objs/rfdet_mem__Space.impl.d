@@ -1,0 +1,1 @@
+lib/mem/space.ml: Bytes Char Hashtbl Int64 Page String

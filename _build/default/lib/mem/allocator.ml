@@ -1,0 +1,102 @@
+exception Out_of_memory
+
+(* Size classes: 16, 32, ..., 4096 bytes. *)
+let min_class_shift = 4
+
+let max_class_shift = Page.shift
+
+let class_count = max_class_shift - min_class_shift + 1
+
+type t = {
+  mutable bump : int;                  (* next unallocated heap address *)
+  free_lists : int list array;         (* per size class *)
+  sizes : (int, int) Hashtbl.t;        (* live address -> usable size *)
+  mutable live : int;
+  mutable peak : int;
+  mutable allocs : int;
+}
+
+let create () =
+  {
+    bump = Layout.heap_base;
+    free_lists = Array.make class_count [];
+    sizes = Hashtbl.create 256;
+    live = 0;
+    peak = 0;
+    allocs = 0;
+  }
+
+(* Smallest size class holding [n] bytes, or None for large requests. *)
+let class_for n =
+  if n > Page.size then None
+  else begin
+    let rec go shift =
+      if 1 lsl shift >= n then shift else go (shift + 1)
+    in
+    Some (go min_class_shift - min_class_shift)
+  end
+
+let usable_size n =
+  match class_for n with
+  | Some cls -> 1 lsl (cls + min_class_shift)
+  | None ->
+    (* Round large requests up to whole pages. *)
+    (n + Page.size - 1) / Page.size * Page.size
+
+let bump_alloc t n ~align =
+  let addr = (t.bump + align - 1) / align * align in
+  if addr + n > Layout.heap_limit then raise Out_of_memory;
+  t.bump <- addr + n;
+  addr
+
+let account t addr size =
+  Hashtbl.replace t.sizes addr size;
+  t.live <- t.live + size;
+  if t.live > t.peak then t.peak <- t.live;
+  t.allocs <- t.allocs + 1
+
+let malloc t n =
+  if n < 0 then invalid_arg "Allocator.malloc: negative size";
+  let n = max n 1 in
+  let size = usable_size n in
+  match class_for n with
+  | Some cls -> begin
+    match t.free_lists.(cls) with
+    | addr :: rest ->
+      t.free_lists.(cls) <- rest;
+      account t addr size;
+      addr
+    | [] ->
+      let addr = bump_alloc t size ~align:size in
+      account t addr size;
+      addr
+  end
+  | None ->
+    let addr = bump_alloc t size ~align:Page.size in
+    account t addr size;
+    addr
+
+let size_of t addr =
+  match Hashtbl.find_opt t.sizes addr with
+  | Some size -> size
+  | None -> invalid_arg "Allocator.size_of: not a live allocation"
+
+let free t addr =
+  match Hashtbl.find_opt t.sizes addr with
+  | None -> invalid_arg "Allocator.free: not a live allocation"
+  | Some size ->
+    Hashtbl.remove t.sizes addr;
+    t.live <- t.live - size;
+    (match class_for size with
+    | Some cls when 1 lsl (cls + min_class_shift) = size ->
+      t.free_lists.(cls) <- addr :: t.free_lists.(cls)
+    | Some _ | None ->
+      (* Large spans are not recycled; the heap region is vast relative to
+         workload footprints, matching the paper's reserve-only spans. *)
+      ())
+
+let live_bytes t = t.live
+
+let peak_bytes t = t.peak
+
+let allocations t = t.allocs

@@ -1,0 +1,43 @@
+(** Shared-metadata memory allocator (Hoard-like, Section 4.4).
+
+    Because RFDet's threads live in isolated address spaces, glibc malloc
+    would hand the same virtual address to two threads, and those objects
+    would collide during modification propagation.  The paper's fix is a
+    modified Hoard allocator whose bookkeeping lives in the shared
+    metadata space so an address handed to one thread is reserved in all
+    of them.
+
+    This module is that allocator: a single instance is owned by the
+    runtime (the metadata space), all simulated threads allocate through
+    it, and consequently no two live objects ever share an address.  Size
+    classes are powers of two from 16 bytes to one page; larger requests
+    get page-aligned spans.  Frees go to per-class free lists. *)
+
+type t
+
+(** [create ()] — fresh allocator managing [Layout.heap_base,
+    Layout.heap_limit). *)
+val create : unit -> t
+
+exception Out_of_memory
+
+(** [malloc t n] returns the address of a span of at least [n] bytes
+    ([n >= 0]; zero-size requests consume one slot, like glibc).  Raises
+    [Out_of_memory] when the heap region is exhausted. *)
+val malloc : t -> int -> int
+
+(** [free t addr] releases an allocation. Raises [Invalid_argument] on a
+    double free or an address not returned by [malloc]. *)
+val free : t -> int -> unit
+
+(** [size_of t addr] is the usable size of a live allocation. *)
+val size_of : t -> int -> int
+
+(** [live_bytes t] — bytes currently allocated (usable sizes). *)
+val live_bytes : t -> int
+
+(** [peak_bytes t] — high-water mark of [live_bytes]. *)
+val peak_bytes : t -> int
+
+(** [allocations t] — count of successful [malloc] calls so far. *)
+val allocations : t -> int

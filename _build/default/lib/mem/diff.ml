@@ -1,0 +1,57 @@
+type run = { addr : int; data : string }
+
+type t = run list
+
+let diff_page ~page_id ~snapshot ~current =
+  if Bytes.length snapshot <> Page.size || Bytes.length current <> Page.size
+  then invalid_arg "Diff.diff_page: buffers must be page-sized";
+  let base = Page.base_of_id page_id in
+  (* Scan for maximal runs of differing bytes. *)
+  let runs = ref [] in
+  let i = ref 0 in
+  while !i < Page.size do
+    if Bytes.get snapshot !i <> Bytes.get current !i then begin
+      let start = !i in
+      while
+        !i < Page.size && Bytes.get snapshot !i <> Bytes.get current !i
+      do
+        incr i
+      done;
+      let len = !i - start in
+      runs :=
+        { addr = base + start; data = Bytes.sub_string current start len }
+        :: !runs
+    end
+    else incr i
+  done;
+  List.rev !runs
+
+let apply_run space run =
+  String.iteri
+    (fun i c -> Space.store_byte space (run.addr + i) (Char.code c))
+    run.data
+
+let apply space t = List.iter (apply_run space) t
+
+let byte_count t = List.fold_left (fun acc r -> acc + String.length r.data) 0 t
+
+let run_count = List.length
+
+let is_empty t = t = []
+
+let pages_touched t =
+  let ids = List.map (fun r -> Page.id_of_addr r.addr) t in
+  List.sort_uniq compare ids
+
+let restrict_to_page t page_id =
+  List.filter (fun r -> Page.id_of_addr r.addr = page_id) t
+
+let concat = List.concat
+
+let pp ppf t =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       (fun ppf r ->
+         Format.fprintf ppf "%#x+%d" r.addr (String.length r.data)))
+    t

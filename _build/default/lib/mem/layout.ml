@@ -1,0 +1,15 @@
+let globals_base = 0x0010_0000
+
+let heap_base = 0x1000_0000
+
+let heap_limit = 0x6000_0000
+
+let stacks_base = 0x7000_0000
+
+let stack_size = 0x10_0000
+
+let stack_base_for ~tid = stacks_base + (tid * stack_size)
+
+let is_shared addr = addr >= globals_base && addr < heap_limit
+
+let is_stack addr = addr >= stacks_base

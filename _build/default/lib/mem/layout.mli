@@ -1,0 +1,32 @@
+(** Simulated virtual-address-space layout.
+
+    Mirrors Figure 3 of the paper: a shared-memory region (globals +
+    heap) whose virtual addresses are common to all threads and which the
+    runtime monitors, and per-thread stack regions that are assumed
+    thread-private and are never monitored.  The metadata space of the
+    paper is runtime-internal state in this reproduction (it is metered in
+    bytes but has no simulated addresses). *)
+
+val globals_base : int
+(** Start of the static/global data region (shared, monitored). *)
+
+val heap_base : int
+(** Start of the dynamic allocation region (shared, monitored). *)
+
+val heap_limit : int
+(** Exclusive end of the heap region. *)
+
+val stacks_base : int
+(** Start of the stack area (thread-private, unmonitored). *)
+
+val stack_size : int
+(** Bytes reserved per thread stack. *)
+
+val stack_base_for : tid:int -> int
+(** Base address of thread [tid]'s stack. *)
+
+val is_shared : int -> bool
+(** True when the address falls in the monitored shared region
+    (globals or heap) — line 3 of the paper's Figure 4. *)
+
+val is_stack : int -> bool

@@ -1,0 +1,17 @@
+let shift = 12
+
+let size = 1 lsl shift
+
+let id_of_addr addr = addr lsr shift
+
+let offset_of_addr addr = addr land (size - 1)
+
+let base_of_id id = id lsl shift
+
+let span ~addr ~len =
+  if len <= 0 then []
+  else begin
+    let first = id_of_addr addr and last = id_of_addr (addr + len - 1) in
+    let rec go id acc = if id < first then acc else go (id - 1) (id :: acc) in
+    go last []
+  end

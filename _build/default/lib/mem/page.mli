@@ -1,0 +1,24 @@
+(** Page geometry for the simulated machine.
+
+    Addresses are plain [int] byte addresses inside a simulated address
+    space.  The page size matches the x86-64 default (4 KiB) used by the
+    paper's mprotect-based monitor. *)
+
+val size : int
+(** Bytes per page (4096). *)
+
+val shift : int
+(** log2 [size]. *)
+
+val id_of_addr : int -> int
+(** Page number containing a byte address. *)
+
+val offset_of_addr : int -> int
+(** Offset of a byte address within its page. *)
+
+val base_of_id : int -> int
+(** First byte address of a page. *)
+
+val span : addr:int -> len:int -> int list
+(** [span ~addr ~len] lists the page ids touched by the byte range
+    [addr, addr+len); empty when [len <= 0]. *)

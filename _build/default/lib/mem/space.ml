@@ -1,0 +1,128 @@
+(* A mapping points at a page frame that may be shared by several spaces
+   after a fork.  [frame.refs] counts the spaces sharing it; a write
+   through a shared frame first copies it (copy-on-write). *)
+
+type frame = { data : bytes; mutable refs : int }
+
+type mapping = { mutable frame : frame }
+
+type t = {
+  pages : (int, mapping) Hashtbl.t;
+  prots : (int, protection) Hashtbl.t;
+}
+
+and protection = Prot_rw | Prot_read_only | Prot_none
+
+let create () = { pages = Hashtbl.create 64; prots = Hashtbl.create 8 }
+
+let fork t =
+  let child = create () in
+  Hashtbl.iter
+    (fun id m ->
+      m.frame.refs <- m.frame.refs + 1;
+      Hashtbl.replace child.pages id { frame = m.frame })
+    t.pages;
+  child
+
+let fresh_frame () = { data = Bytes.make Page.size '\000'; refs = 1 }
+
+let mapping_for t id =
+  match Hashtbl.find_opt t.pages id with
+  | Some m -> m
+  | None ->
+    let m = { frame = fresh_frame () } in
+    Hashtbl.replace t.pages id m;
+    m
+
+(* Ensure the mapping's frame is private to this space before writing. *)
+let own t id =
+  let m = mapping_for t id in
+  if m.frame.refs > 1 then begin
+    m.frame.refs <- m.frame.refs - 1;
+    let copy = { data = Bytes.copy m.frame.data; refs = 1 } in
+    m.frame <- copy
+  end;
+  m
+
+let load_byte t addr =
+  match Hashtbl.find_opt t.pages (Page.id_of_addr addr) with
+  | None -> 0
+  | Some m -> Char.code (Bytes.get m.frame.data (Page.offset_of_addr addr))
+
+let store_byte t addr v =
+  let m = own t (Page.id_of_addr addr) in
+  Bytes.set m.frame.data (Page.offset_of_addr addr) (Char.chr (v land 0xff))
+
+let load_i64 t addr =
+  (* Fast path when the 8 bytes sit inside one page. *)
+  let off = Page.offset_of_addr addr in
+  if off <= Page.size - 8 then
+    match Hashtbl.find_opt t.pages (Page.id_of_addr addr) with
+    | None -> 0L
+    | Some m -> Bytes.get_int64_le m.frame.data off
+  else begin
+    let v = ref 0L in
+    for i = 7 downto 0 do
+      v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (load_byte t (addr + i)))
+    done;
+    !v
+  end
+
+let store_i64 t addr v =
+  let off = Page.offset_of_addr addr in
+  if off <= Page.size - 8 then begin
+    let m = own t (Page.id_of_addr addr) in
+    Bytes.set_int64_le m.frame.data off v
+  end
+  else
+    for i = 0 to 7 do
+      store_byte t (addr + i)
+        (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff)
+    done
+
+let load_int t addr = Int64.to_int (load_i64 t addr)
+
+let store_int t addr v = store_i64 t addr (Int64.of_int v)
+
+let blit_string t ~addr s =
+  String.iteri (fun i c -> store_byte t (addr + i) (Char.code c)) s
+
+let read_string t ~addr ~len =
+  String.init len (fun i -> Char.chr (load_byte t (addr + i)))
+
+let zero_page = Bytes.make Page.size '\000'
+
+let snapshot_page t id =
+  match Hashtbl.find_opt t.pages id with
+  | None -> Bytes.copy zero_page
+  | Some m -> Bytes.copy m.frame.data
+
+let page_bytes t id =
+  match Hashtbl.find_opt t.pages id with
+  | None -> zero_page
+  | Some m -> m.frame.data
+
+let write_page t id data =
+  if Bytes.length data <> Page.size then
+    invalid_arg "Space.write_page: wrong page size";
+  let m = own t id in
+  Bytes.blit data 0 m.frame.data 0 Page.size
+
+let page_is_mapped t id = Hashtbl.mem t.pages id
+
+let owned_pages t =
+  Hashtbl.fold (fun _ m acc -> if m.frame.refs = 1 then acc + 1 else acc) t.pages 0
+
+let mapped_pages t = Hashtbl.length t.pages
+
+let iter_pages t ~f = Hashtbl.iter (fun id _ -> f id) t.pages
+
+let protect t id p =
+  match p with
+  | Prot_rw -> Hashtbl.remove t.prots id
+  | Prot_read_only | Prot_none -> Hashtbl.replace t.prots id p
+
+let protection t id =
+  match Hashtbl.find_opt t.prots id with Some p -> p | None -> Prot_rw
+
+let clear_protections t = Hashtbl.reset t.prots

@@ -1,0 +1,1 @@
+lib/sim/api.ml: Effect Int64 Op

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Api Array Buffer Cost Digest Effect Hashtbl List Op Printf Profile Rfdet_mem Rfdet_util String

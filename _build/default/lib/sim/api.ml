@@ -1,0 +1,87 @@
+type mutex = int
+
+type cond = int
+
+type barrier = int
+
+type tid = int
+
+type _ Effect.t += Op : Op.t -> int Effect.t
+
+let perform_op op = Effect.perform (Op op)
+
+let load addr = perform_op (Load { addr; width = W64 })
+
+let store addr value = ignore (perform_op (Store { addr; value; width = W64 }))
+
+let load_byte addr = perform_op (Load { addr; width = W8 })
+
+let store_byte addr value =
+  ignore (perform_op (Store { addr; value; width = W8 }))
+
+let tick ?(loads = 0) ?(stores = 0) instrs =
+  if instrs > 0 || loads > 0 || stores > 0 then
+    ignore (perform_op (Tick { instrs; loads; stores }))
+
+let malloc n = perform_op (Malloc n)
+
+let free addr = ignore (perform_op (Free addr))
+
+let mutex_create () = perform_op Mutex_create
+
+let lock m = ignore (perform_op (Lock m))
+
+let unlock m = ignore (perform_op (Unlock m))
+
+let cond_create () = perform_op Cond_create
+
+let cond_wait c m = ignore (perform_op (Cond_wait { cond = c; mutex = m }))
+
+let cond_signal c = ignore (perform_op (Cond_signal c))
+
+let cond_broadcast c = ignore (perform_op (Cond_broadcast c))
+
+let barrier_create parties = perform_op (Barrier_create parties)
+
+let barrier_wait b = ignore (perform_op (Barrier_wait b))
+
+let atomic_load addr = perform_op (Atomic { addr; rmw = A_load })
+
+let atomic_store addr v = ignore (perform_op (Atomic { addr; rmw = A_store v }))
+
+let atomic_fetch_add addr n = perform_op (Atomic { addr; rmw = A_add n })
+
+let atomic_exchange addr v = perform_op (Atomic { addr; rmw = A_exchange v })
+
+let atomic_cas addr ~expect ~desired =
+  perform_op (Atomic { addr; rmw = A_cas { expect; desired } })
+
+let spawn body = perform_op (Spawn body)
+
+let join t = ignore (perform_op (Join t))
+
+let self () = perform_op Self
+
+let yield () = ignore (perform_op Yield)
+
+let output v = ignore (perform_op (Output v))
+
+let output_int v = output (Int64.of_int v)
+
+let with_lock m f =
+  lock m;
+  match f () with
+  | v ->
+    unlock m;
+    v
+  | exception e ->
+    unlock m;
+    raise e
+
+module Handle = struct
+  let mutex_of_int i = i
+
+  let cond_of_int i = i
+
+  let barrier_of_int i = i
+end

@@ -1,0 +1,128 @@
+(** The pthreads-like programming interface for simulated threads.
+
+    Workload code is ordinary OCaml that calls these functions; each call
+    performs an effect that suspends the simulated thread and hands the
+    operation to the active runtime (RFDet, DThreads, pthreads, ...).
+    The same workload source therefore runs unchanged under every
+    runtime — exactly as the paper runs unmodified pthreads programs
+    under its three systems.
+
+    All functions must be called from inside a simulated thread (i.e.,
+    under [Engine.run]); calling them elsewhere raises
+    [Effect.Unhandled]. *)
+
+type mutex = private int
+
+type cond = private int
+
+type barrier = private int
+
+type tid = int
+
+type _ Effect.t += Op : Op.t -> int Effect.t
+
+(** [perform_op op] — escape hatch performing a raw operation. *)
+val perform_op : Op.t -> int
+
+(** {1 Memory} *)
+
+(** [load addr] / [store addr v] — 64-bit little-endian word access to
+    the simulated address space. *)
+val load : int -> int
+
+val store : int -> int -> unit
+
+(** [load_byte] / [store_byte] — single-byte access. *)
+val load_byte : int -> int
+
+val store_byte : int -> int -> unit
+
+(** [tick ?loads ?stores instrs] — account for [instrs] instructions of
+    thread-private computation containing [loads]/[stores] unshared
+    memory accesses (default 0). *)
+val tick : ?loads:int -> ?stores:int -> int -> unit
+
+(** [malloc n] allocates [n] bytes of shared heap through the runtime's
+    conflict-free allocator; [free] releases it. *)
+val malloc : int -> int
+
+val free : int -> unit
+
+(** {1 Synchronization} *)
+
+val mutex_create : unit -> mutex
+
+val lock : mutex -> unit
+
+val unlock : mutex -> unit
+
+val cond_create : unit -> cond
+
+val cond_wait : cond -> mutex -> unit
+
+val cond_signal : cond -> unit
+
+val cond_broadcast : cond -> unit
+
+val barrier_create : int -> barrier
+
+val barrier_wait : barrier -> unit
+
+(** {1 Threads} *)
+
+(** [spawn body] starts a simulated thread and returns its deterministic
+    thread id. *)
+val spawn : (unit -> unit) -> tid
+
+val join : tid -> unit
+
+val self : unit -> tid
+
+val yield : unit -> unit
+
+(** {1 Low-level atomics}
+
+    The lock-free synchronization interface of the paper's Sections
+    4.6/6: every atomic operation is both an acquire and a release on an
+    internal synchronization variable keyed by the address, so lock-free
+    algorithms execute deterministically and their updates propagate like
+    any other release/acquire pair. *)
+
+(** [atomic_load addr] — acquire load of a shared word. *)
+val atomic_load : int -> int
+
+(** [atomic_store addr v] — release store. *)
+val atomic_store : int -> int -> unit
+
+(** [atomic_fetch_add addr n] — adds [n]; returns the previous value. *)
+val atomic_fetch_add : int -> int -> int
+
+(** [atomic_exchange addr v] — swaps in [v]; returns the previous value. *)
+val atomic_exchange : int -> int -> int
+
+(** [atomic_cas addr ~expect ~desired] — writes [desired] iff the word
+    equals [expect]; returns the previous value (compare with [expect]
+    to learn whether the swap happened). *)
+val atomic_cas : int -> expect:int -> desired:int -> int
+
+(** {1 Observable output} *)
+
+(** [output v] appends [v] to the thread's output stream.  The
+    concatenation of all streams in thread-id order is the run's
+    observable result, compared by the determinism checker. *)
+val output : int64 -> unit
+
+val output_int : int -> unit
+
+(** {1 Critical-section helper} *)
+
+(** [with_lock m f] — [lock m; f (); unlock m], exception-safe. *)
+val with_lock : mutex -> (unit -> 'a) -> 'a
+
+(** Unsafe handle constructors for the runtime layer (not for workload
+    code). *)
+module Handle : sig
+  val mutex_of_int : int -> mutex
+  val cond_of_int : int -> cond
+  val barrier_of_int : int -> barrier
+end

@@ -1,0 +1,64 @@
+type t = {
+  instr : int;
+  load : int;
+  store : int;
+  store_check : int;
+  sync_op : int;
+  kendo_check : int;
+  page_fault : int;
+  mprotect_page : int;
+  snapshot_byte_num : int;
+  snapshot_byte_den : int;
+  diff_byte_num : int;
+  diff_byte_den : int;
+  apply_byte : int;
+  slice_overhead : int;
+  barrier_overhead : int;
+  commit_token : int;
+  spawn : int;
+  join : int;
+  malloc : int;
+  free : int;
+  output : int;
+  gc_per_slice : int;
+}
+
+let default =
+  {
+    instr = 1;
+    load = 2;
+    store = 2;
+    store_check = 1;
+    sync_op = 60;
+    kendo_check = 8;
+    page_fault = 2200;
+    mprotect_page = 800;
+    snapshot_byte_num = 1;
+    snapshot_byte_den = 32;
+    diff_byte_num = 1;
+    diff_byte_den = 16;
+    apply_byte = 4;
+    slice_overhead = 120;
+    barrier_overhead = 500;
+    commit_token = 200;
+    spawn = 12000;
+    join = 2500;
+    malloc = 90;
+    free = 60;
+    output = 20;
+    gc_per_slice = 40;
+  }
+
+let scale_memory t factor =
+  let s x = int_of_float (Float.round (float_of_int x *. factor)) in
+  {
+    t with
+    page_fault = s t.page_fault;
+    mprotect_page = s t.mprotect_page;
+    snapshot_byte_num = max 1 (s t.snapshot_byte_num);
+    diff_byte_num = max 1 (s t.diff_byte_num);
+  }
+
+let snapshot_cost t ~bytes = bytes * t.snapshot_byte_num / t.snapshot_byte_den
+
+let diff_cost t ~bytes = bytes * t.diff_byte_num / t.diff_byte_den

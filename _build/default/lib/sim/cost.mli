@@ -1,0 +1,47 @@
+(** Simulated-cycle cost model.
+
+    The paper's numbers come from a 2.2 GHz 12-core AMD Opteron; ours come
+    from this table.  Absolute values are loose analogues of that machine
+    (a cycle here ~ a CPU cycle there); what the evaluation depends on is
+    the *relative* cost structure: page faults and mprotect calls are
+    thousands of cycles (hence RFDet-pf > RFDet-ci), global barrier waits
+    dominate DThreads, snapshot/diff work scales with bytes, and plain
+    loads/stores are cheap. *)
+
+type t = {
+  instr : int;  (** cycles per counted instruction in a [Tick] *)
+  load : int;  (** cycles per shared-memory load *)
+  store : int;  (** cycles per shared-memory store *)
+  store_check : int;
+      (** extra cycles for the RFDet-ci instrumentation branch on every
+          store (Figure 4's in-shared-memory / first-touch test) *)
+  sync_op : int;  (** base cost of an uncontended synchronization call *)
+  kendo_check : int;
+      (** cycles per deterministic-turn re-check while waiting *)
+  page_fault : int;  (** trap + handler, RFDet-pf and lazy-writes *)
+  mprotect_page : int;  (** per page write-protected at slice start *)
+  snapshot_byte_num : int;
+  snapshot_byte_den : int;
+      (** page snapshot memcpy: num/den cycles per byte *)
+  diff_byte_num : int;
+  diff_byte_den : int;  (** byte-compare during page diffing *)
+  apply_byte : int;  (** cycles per propagated byte written locally *)
+  slice_overhead : int;  (** fixed cost to open/close a slice *)
+  barrier_overhead : int;  (** global-barrier bookkeeping (DThreads) *)
+  commit_token : int;  (** serial-commit token handoff (DThreads) *)
+  spawn : int;
+  join : int;
+  malloc : int;
+  free : int;
+  output : int;
+  gc_per_slice : int;  (** GC sweep cost per live slice examined *)
+}
+
+val default : t
+
+(** [scale_memory t factor] multiplies the page-granularity costs
+    (fault, mprotect, snapshot, diff) — used by sensitivity ablations. *)
+val scale_memory : t -> float -> t
+
+val snapshot_cost : t -> bytes:int -> int
+val diff_cost : t -> bytes:int -> int

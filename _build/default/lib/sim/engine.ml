@@ -1,0 +1,422 @@
+module Allocator = Rfdet_mem.Allocator
+module Det_rng = Rfdet_util.Det_rng
+module Pqueue = Rfdet_util.Pqueue
+
+type config = {
+  cost : Cost.t;
+  seed : int64;
+  jitter_mean : float;
+  max_ops : int;
+  trace_capacity : int;
+}
+
+let default_config =
+  {
+    cost = Cost.default;
+    seed = 1L;
+    jitter_mean = 0.;
+    max_ops = 200_000_000;
+    trace_capacity = 0;
+  }
+
+exception Deadlock of string
+
+exception Runaway
+
+exception Thread_failure of int * exn
+
+type outcome = Done of int | Block
+
+type status = Ready | Running | Blocked | Finished
+
+(* What to do when the scheduler next picks this thread. *)
+type pending =
+  | Start of (unit -> unit)
+  | Resume of (int, unit) Effect.Deep.continuation * int
+  | Nothing  (** running, blocked or finished *)
+
+type thread = {
+  tid : int;
+  mutable clock : int;
+  mutable icount : int;
+  mutable status : status;
+  mutable pending : pending;
+  mutable generation : int;  (* invalidates stale scheduler entries *)
+  mutable outputs : int64 list;  (* reversed *)
+}
+
+type policy = {
+  policy_name : string;
+  handle : tid:int -> Op.t -> outcome;
+  on_engine_op : tid:int -> Op.t -> outcome -> outcome;
+  on_thread_exit : tid:int -> unit;
+  on_step : unit -> unit;
+  on_finish : unit -> unit;
+}
+
+type trace_entry = {
+  t_tid : int;
+  t_op : string;
+  t_clock : int;
+  t_icount : int;
+}
+
+type result = {
+  sim_time : int;
+  outputs : (int * int64) list;
+  profile : Profile.t;
+  threads : int;
+  ops : int;
+  trace : trace_entry list;
+}
+
+type t = {
+  config : config;
+  threads : (int, thread) Hashtbl.t;
+  mutable next_tid : int;
+  queue : (int * int * int) Pqueue.t;  (* clock, tid, generation *)
+  alloc : Allocator.t;
+  prof : Profile.t;
+  rng : Det_rng.t;
+  mutable current : int;
+  mutable ops : int;
+  mutable unfinished : int;
+  mutable peak_live : int;
+  trace_ring : trace_entry option array;  (* empty when tracing is off *)
+  mutable trace_next : int;
+  mutable policy : policy option;
+}
+
+let cmp_entry (c1, t1, _) (c2, t2, _) =
+  if c1 <> c2 then compare c1 c2 else compare t1 t2
+
+let find t tid =
+  match Hashtbl.find_opt t.threads tid with
+  | Some th -> th
+  | None -> invalid_arg (Printf.sprintf "Engine: unknown tid %d" tid)
+
+let clock t tid = (find t tid).clock
+
+let icount t tid = (find t tid).icount
+
+let advance t tid cycles =
+  let th = find t tid in
+  th.clock <- th.clock + cycles
+
+let raise_clock_to t tid c =
+  let th = find t tid in
+  if c > th.clock then th.clock <- c
+
+let add_icount t tid n =
+  let th = find t tid in
+  th.icount <- th.icount + n
+
+let current_tid t = t.current
+
+let enqueue t th =
+  th.generation <- th.generation + 1;
+  Pqueue.push t.queue (th.clock, th.tid, th.generation)
+
+let register_thread t ~body ~start_at =
+  let tid = t.next_tid in
+  t.next_tid <- t.next_tid + 1;
+  let th =
+    {
+      tid;
+      clock = start_at;
+      icount = 0;
+      status = Ready;
+      pending = Start body;
+      generation = 0;
+      outputs = [];
+    }
+  in
+  Hashtbl.replace t.threads tid th;
+  t.unfinished <- t.unfinished + 1;
+  if t.unfinished > t.peak_live then t.peak_live <- t.unfinished;
+  enqueue t th;
+  tid
+
+let seed_icount t tid c = (find t tid).icount <- c
+
+let wake t ~tid ~value ~not_before =
+  let th = find t tid in
+  (match th.status with
+  | Blocked -> ()
+  | Ready | Running | Finished ->
+    invalid_arg (Printf.sprintf "Engine.wake: tid %d is not blocked" tid));
+  (match th.pending with
+  | Resume (k, _) -> th.pending <- Resume (k, value)
+  | Start _ | Nothing -> invalid_arg "Engine.wake: no stored continuation");
+  if not_before > th.clock then th.clock <- not_before;
+  th.status <- Ready;
+  enqueue t th
+
+let is_finished t tid = (find t tid).status = Finished
+
+let thread_count t = t.next_tid
+
+let peak_live_threads t = t.peak_live
+
+let live_tids t =
+  Hashtbl.fold
+    (fun tid th acc -> if th.status <> Finished then tid :: acc else acc)
+    t.threads []
+  |> List.sort compare
+
+let profile t = t.prof
+
+let cost t = t.config.cost
+
+let allocator t = t.alloc
+
+let ops_executed t = t.ops
+
+let jitter t =
+  if t.config.jitter_mean <= 0. then 0
+  else
+    int_of_float (Det_rng.exponential t.rng ~mean:t.config.jitter_mean)
+
+let policy_exn t =
+  match t.policy with Some p -> p | None -> assert false
+
+(* Account the generic counters and the Kendo instruction count for an
+   operation, and apply engine-level semantics where the operation is
+   policy-independent.  Returns [Some outcome] when fully handled here. *)
+let pre_handle t th (op : Op.t) =
+  let c = t.config.cost in
+  let p = t.prof in
+  (* The Kendo instruction count advances in proportion to the cycles an
+     operation's *application-level* work costs (runtime-internal work —
+     diffing, propagation — does not count, matching the paper's
+     compile-time instrTick instrumentation).  Proportionality to cycles
+     keeps the logical clocks of concurrently running threads advancing
+     at similar rates, as retired-instruction counts do on real
+     hardware; it is exactly as deterministic, since the cost table is
+     fixed and jitter is excluded. *)
+  match op with
+  | Tick { instrs; loads; stores } ->
+    p.loads <- p.loads + loads;
+    p.stores <- p.stores + stores;
+    let cycles = (instrs * c.instr) + (loads * c.load) + (stores * c.store) in
+    th.icount <- th.icount + cycles;
+    th.clock <- th.clock + cycles;
+    Some (Done 0)
+  | Output v ->
+    th.icount <- th.icount + c.output;
+    th.clock <- th.clock + c.output;
+    th.outputs <- v :: th.outputs;
+    Some (Done 0)
+  | Self -> Some (Done th.tid)
+  | Yield ->
+    th.icount <- th.icount + 1;
+    th.clock <- th.clock + 1;
+    Some (Done 0)
+  | Malloc n ->
+    th.icount <- th.icount + c.malloc;
+    th.clock <- th.clock + c.malloc;
+    Some (Done (Allocator.malloc t.alloc n))
+  | Free addr ->
+    th.icount <- th.icount + c.free;
+    th.clock <- th.clock + c.free;
+    Allocator.free t.alloc addr;
+    Some (Done 0)
+  | Load _ ->
+    p.loads <- p.loads + 1;
+    th.icount <- th.icount + c.load;
+    None
+  | Store _ ->
+    p.stores <- p.stores + 1;
+    th.icount <- th.icount + c.store;
+    None
+  | Lock _ ->
+    p.locks <- p.locks + 1;
+    th.icount <- th.icount + 1;
+    None
+  | Unlock _ ->
+    p.unlocks <- p.unlocks + 1;
+    th.icount <- th.icount + 1;
+    None
+  | Cond_wait _ ->
+    p.waits <- p.waits + 1;
+    th.icount <- th.icount + 1;
+    None
+  | Cond_signal _ | Cond_broadcast _ ->
+    p.signals <- p.signals + 1;
+    th.icount <- th.icount + 1;
+    None
+  | Barrier_wait _ ->
+    p.barriers <- p.barriers + 1;
+    th.icount <- th.icount + 1;
+    None
+  | Spawn _ ->
+    p.forks <- p.forks + 1;
+    th.icount <- th.icount + 1;
+    None
+  | Join _ ->
+    p.joins <- p.joins + 1;
+    th.icount <- th.icount + 1;
+    None
+  | Atomic _ ->
+    p.atomics <- p.atomics + 1;
+    th.icount <- th.icount + 1;
+    None
+  | Mutex_create | Cond_create | Barrier_create _ ->
+    th.icount <- th.icount + 1;
+    None
+
+let handle_op t th op k =
+  th.pending <- Resume (k, 0);
+  t.ops <- t.ops + 1;
+  if t.ops > t.config.max_ops then raise Runaway;
+  if Array.length t.trace_ring > 0 then begin
+    t.trace_ring.(t.trace_next) <-
+      Some
+        {
+          t_tid = th.tid;
+          t_op = Op.name op;
+          t_clock = th.clock;
+          t_icount = th.icount;
+        };
+    t.trace_next <- (t.trace_next + 1) mod Array.length t.trace_ring
+  end;
+  let outcome =
+    (* Policy code runs on the scheduler stack, outside the fiber's
+       [exnc]; attribute its failures to the faulting thread here. *)
+    try
+      match pre_handle t th op with
+      | Some o -> (policy_exn t).on_engine_op ~tid:th.tid op o
+      | None -> (policy_exn t).handle ~tid:th.tid op
+    with
+    | (Runaway | Deadlock _ | Thread_failure _) as e -> raise e
+    | e -> raise (Thread_failure (th.tid, e))
+  in
+  th.clock <- th.clock + jitter t;
+  (match outcome with
+  | Done v ->
+    th.pending <- Resume (k, v);
+    th.status <- Ready;
+    enqueue t th
+  | Block -> th.status <- Blocked);
+  (* on_step runs global arbiters whose grant callbacks execute policy
+     code; attribute their failures to the thread being stepped *)
+  try (policy_exn t).on_step () with
+  | (Runaway | Deadlock _ | Thread_failure _) as e -> raise e
+  | e -> raise (Thread_failure (th.tid, e))
+
+let run_thread t th =
+  t.current <- th.tid;
+  th.status <- Running;
+  let pending = th.pending in
+  th.pending <- Nothing;
+  let handler : (unit, unit) Effect.Deep.handler =
+    {
+      retc =
+        (fun () ->
+          th.status <- Finished;
+          t.unfinished <- t.unfinished - 1;
+          (policy_exn t).on_thread_exit ~tid:th.tid;
+          (policy_exn t).on_step ());
+      exnc = (fun e -> raise (Thread_failure (th.tid, e)));
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Api.Op op ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                handle_op t th op k)
+          | _ -> None);
+    }
+  in
+  match pending with
+  | Start body -> Effect.Deep.match_with body () handler
+  | Resume (k, v) -> Effect.Deep.continue k v
+  | Nothing -> assert false
+
+let describe_blocked t =
+  let live = live_tids t in
+  let parts =
+    List.map
+      (fun tid ->
+        let th = find t tid in
+        Printf.sprintf "tid=%d status=%s clock=%d icount=%d" tid
+          (match th.status with
+          | Ready -> "ready"
+          | Running -> "running"
+          | Blocked -> "blocked"
+          | Finished -> "finished")
+          th.clock th.icount)
+      live
+  in
+  String.concat "; " parts
+
+let rec schedule t =
+  match Pqueue.pop t.queue with
+  | None ->
+    if t.unfinished > 0 then
+      raise (Deadlock (Printf.sprintf "no runnable thread: %s" (describe_blocked t)))
+  | Some (_, tid, generation) ->
+    let th = find t tid in
+    (* Skip stale entries (thread re-queued with a newer generation or no
+       longer ready). *)
+    if th.generation = generation && th.status = Ready then run_thread t th;
+    schedule t
+
+let collect_outputs t =
+  let tids = List.init t.next_tid (fun i -> i) in
+  List.concat_map
+    (fun tid ->
+      let th = find t tid in
+      List.rev_map (fun v -> (tid, v)) th.outputs)
+    tids
+
+let run ?(config = default_config) make_policy ~main =
+  let t =
+    {
+      config;
+      threads = Hashtbl.create 16;
+      next_tid = 0;
+      queue = Pqueue.create ~cmp:cmp_entry;
+      alloc = Allocator.create ();
+      prof = Profile.create ();
+      rng = Det_rng.create config.seed;
+      current = 0;
+      ops = 0;
+      unfinished = 0;
+      peak_live = 0;
+      trace_ring = Array.make (max 0 config.trace_capacity) None;
+      trace_next = 0;
+      policy = None;
+    }
+  in
+  let (_ : int) = register_thread t ~body:main ~start_at:0 in
+  t.policy <- Some (make_policy t);
+  schedule t;
+  (policy_exn t).on_finish ();
+  let sim_time =
+    Hashtbl.fold (fun _ th acc -> max acc th.clock) t.threads 0
+  in
+  let trace =
+    if Array.length t.trace_ring = 0 then []
+    else begin
+      let n = Array.length t.trace_ring in
+      List.filter_map
+        (fun i -> t.trace_ring.((t.trace_next + i) mod n))
+        (List.init n (fun i -> i))
+    end
+  in
+  {
+    sim_time;
+    outputs = collect_outputs t;
+    profile = t.prof;
+    threads = t.next_tid;
+    ops = t.ops;
+    trace;
+  }
+
+let output_signature r =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (tid, v) -> Buffer.add_string buf (Printf.sprintf "%d:%Lx;" tid v))
+    r.outputs;
+  Digest.to_hex (Digest.string (Buffer.contents buf))

@@ -1,0 +1,149 @@
+(** Deterministic discrete-event execution engine.
+
+    The engine runs simulated threads (OCaml effect-handler fibers) on an
+    idealized multicore: every thread has its own core, a simulated-cycle
+    clock, and a Kendo instruction counter.  The scheduler always resumes
+    the ready thread with the smallest (clock, tid), so a run is a pure
+    function of the workload, the runtime policy, and the seed.
+
+    The *runtime policy* decides the semantics of memory and
+    synchronization operations — this is where RFDet, DThreads and the
+    nondeterministic pthreads baseline differ.  The engine itself handles
+    the policy-independent operations: [Tick], [Output], [Self], [Yield],
+    [Malloc], [Free] (through the shared conflict-free allocator), fiber
+    mechanics, operation counting, and jitter.
+
+    Nondeterminism modelling: when [jitter_mean > 0], an exponentially
+    distributed number of extra cycles (from the seeded generator) is
+    added to the clock after every operation.  This perturbs the
+    *interleaving* exactly like OS scheduling noise does, without touching
+    instruction counts — so a correct DMT policy must produce identical
+    output for every seed, while the pthreads policy resolves races
+    differently per seed.  The determinism test suite relies on this. *)
+
+type t
+
+type config = {
+  cost : Cost.t;
+  seed : int64;
+  jitter_mean : float;  (** mean extra cycles per op; 0 disables jitter *)
+  max_ops : int;  (** abort threshold against livelocked policies *)
+  trace_capacity : int;
+      (** keep the last N operations as a trace (0 = off, the default);
+          see [result.trace] — a debugging aid for runtime authors *)
+}
+
+val default_config : config
+
+(** Raised when no thread is runnable but some are unfinished.  The
+    string describes the blocked threads. *)
+exception Deadlock of string
+
+(** Raised when a run exceeds [max_ops] operations. *)
+exception Runaway
+
+(** Raised (wrapping the original) when a simulated thread raises. *)
+exception Thread_failure of int * exn
+
+(** A policy's verdict on one operation. *)
+type outcome =
+  | Done of int  (** complete with this result; thread stays runnable *)
+  | Block  (** suspend; the policy will call [wake] later *)
+
+type policy = {
+  policy_name : string;
+  handle : tid:int -> Op.t -> outcome;
+      (** semantics of Load/Store and all synchronization ops *)
+  on_engine_op : tid:int -> Op.t -> outcome -> outcome;
+      (** observes operations the engine handles itself (Tick, Output,
+          Self, Yield, Malloc, Free) after their accounting; may override
+          the outcome — quantum-based runtimes use this to preempt
+          compute-only threads at quantum boundaries.  Usually
+          [fun ~tid:_ _ o -> o]. *)
+  on_thread_exit : tid:int -> unit;
+      (** the thread's body returned; wake joiners, flush its last slice *)
+  on_step : unit -> unit;
+      (** called after every handled operation and after every thread
+          exit; global arbiters (Kendo turn grants, barrier releases)
+          re-evaluate here *)
+  on_finish : unit -> unit;
+      (** all threads finished; fill the profile's footprint fields *)
+}
+
+(** {1 Accessors for policies} *)
+
+val clock : t -> int -> int
+
+val advance : t -> int -> int -> unit
+(** [advance t tid cycles] adds simulated cycles to a thread's clock. *)
+
+val raise_clock_to : t -> int -> int -> unit
+(** [raise_clock_to t tid c] sets the clock to [max clock c]. *)
+
+val icount : t -> int -> int
+(** Kendo deterministic instruction count (jitter-free). *)
+
+val add_icount : t -> int -> int -> unit
+
+val current_tid : t -> int
+(** Thread whose operation is being handled. *)
+
+val register_thread : t -> body:(unit -> unit) -> start_at:int -> int
+(** Create a simulated thread; it becomes runnable at clock [start_at]
+    with the instruction count it is given by [seed_icount] (default 0).
+    Returns the deterministic tid (creation order). *)
+
+val seed_icount : t -> int -> int -> unit
+(** [seed_icount t tid c] initializes a freshly registered thread's
+    instruction counter (children inherit the parent's count). *)
+
+val wake : t -> tid:int -> value:int -> not_before:int -> unit
+(** Make a blocked thread runnable, delivering [value] as the result of
+    the operation it blocked on; its clock is raised to [not_before]. *)
+
+val is_finished : t -> int -> bool
+
+val thread_count : t -> int
+
+val peak_live_threads : t -> int
+(** High-water mark of concurrently live threads — the "N" of the
+    paper's footprint formulas. *)
+
+val live_tids : t -> int list
+(** Tids of unfinished threads, ascending. *)
+
+val profile : t -> Profile.t
+
+val cost : t -> Cost.t
+
+val allocator : t -> Rfdet_mem.Allocator.t
+
+val ops_executed : t -> int
+
+(** {1 Running} *)
+
+type trace_entry = {
+  t_tid : int;
+  t_op : string;  (** [Op.name] of the operation *)
+  t_clock : int;  (** thread clock when the operation was issued *)
+  t_icount : int;
+}
+
+type result = {
+  sim_time : int;  (** max final thread clock — the run's makespan *)
+  outputs : (int * int64) list;
+      (** observable outputs, grouped by tid ascending, program order
+          within a thread *)
+  profile : Profile.t;
+  threads : int;
+  ops : int;
+  trace : trace_entry list;
+      (** the last [trace_capacity] operations, oldest first *)
+}
+
+val run : ?config:config -> (t -> policy) -> main:(unit -> unit) -> result
+(** [run make_policy ~main] executes [main] as thread 0 under the policy
+    and returns when every simulated thread has finished. *)
+
+val output_signature : result -> string
+(** Deterministic digest of [outputs] for equality comparison. *)

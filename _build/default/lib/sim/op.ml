@@ -1,0 +1,69 @@
+type t =
+  | Load of { addr : int; width : width }
+  | Store of { addr : int; value : int; width : width }
+  | Tick of { instrs : int; loads : int; stores : int }
+  | Mutex_create
+  | Lock of int
+  | Unlock of int
+  | Cond_create
+  | Cond_wait of { cond : int; mutex : int }
+  | Cond_signal of int
+  | Cond_broadcast of int
+  | Barrier_create of int
+  | Barrier_wait of int
+  | Spawn of (unit -> unit)
+  | Join of int
+  | Malloc of int
+  | Free of int
+  | Output of int64
+  | Self
+  | Yield
+  | Atomic of { addr : int; rmw : rmw }
+
+and rmw =
+  | A_load
+  | A_store of int
+  | A_add of int
+  | A_exchange of int
+  | A_cas of { expect : int; desired : int }
+
+and width = W8 | W64
+
+let name = function
+  | Load _ -> "load"
+  | Store _ -> "store"
+  | Tick _ -> "tick"
+  | Mutex_create -> "mutex_create"
+  | Lock _ -> "lock"
+  | Unlock _ -> "unlock"
+  | Cond_create -> "cond_create"
+  | Cond_wait _ -> "cond_wait"
+  | Cond_signal _ -> "cond_signal"
+  | Cond_broadcast _ -> "cond_broadcast"
+  | Barrier_create _ -> "barrier_create"
+  | Barrier_wait _ -> "barrier_wait"
+  | Spawn _ -> "spawn"
+  | Join _ -> "join"
+  | Malloc _ -> "malloc"
+  | Free _ -> "free"
+  | Output _ -> "output"
+  | Self -> "self"
+  | Yield -> "yield"
+  | Atomic _ -> "atomic"
+
+let apply_rmw rmw ~current =
+  match rmw with
+  | A_load -> (current, current)
+  | A_store v -> (current, v)
+  | A_add n -> (current, current + n)
+  | A_exchange v -> (current, v)
+  | A_cas { expect; desired } ->
+    (current, if current = expect then desired else current)
+
+let is_sync = function
+  | Lock _ | Unlock _ | Cond_wait _ | Cond_signal _ | Cond_broadcast _
+  | Barrier_wait _ | Spawn _ | Join _ | Atomic _ ->
+    true
+  | Load _ | Store _ | Tick _ | Mutex_create | Cond_create
+  | Barrier_create _ | Malloc _ | Free _ | Output _ | Self | Yield ->
+    false

@@ -1,0 +1,62 @@
+(** The instruction set of a simulated thread.
+
+    Every observable action of a workload is one of these operations,
+    performed through the single [Api.Op] effect.  Each operation yields
+    an [int] result (0 for operations with no meaningful result); [Api]
+    wraps them in typed functions. *)
+
+type t =
+  | Load of { addr : int; width : width }
+      (** read shared or stack memory; result is the value *)
+  | Store of { addr : int; value : int; width : width }
+  | Tick of { instrs : int; loads : int; stores : int }
+      (** thread-private computation: [instrs] counted instructions of
+          which [loads]/[stores] are memory accesses to provably
+          unshared (stack/register) locations.  The static escape
+          analysis of the paper's Section 4.2 is what justifies not
+          monitoring these. *)
+  | Mutex_create  (** result: mutex handle *)
+  | Lock of int
+  | Unlock of int
+  | Cond_create  (** result: condvar handle *)
+  | Cond_wait of { cond : int; mutex : int }
+  | Cond_signal of int
+  | Cond_broadcast of int
+  | Barrier_create of int  (** party count; result: barrier handle *)
+  | Barrier_wait of int
+  | Spawn of (unit -> unit)  (** result: child tid *)
+  | Join of int
+  | Malloc of int  (** result: address *)
+  | Free of int
+  | Output of int64  (** append to the thread's observable output *)
+  | Self  (** result: deterministic thread id *)
+  | Yield  (** scheduling hint; no semantic effect *)
+  | Atomic of { addr : int; rmw : rmw }
+      (** C++-style low-level atomic read-modify-write on a shared word —
+          the interface the paper's Sections 4.6/6 propose for lock-free
+          and ad hoc synchronization.  An atomic is both an acquire and a
+          release on an internal synchronization variable keyed by its
+          address; the result is the value the location held before the
+          operation. *)
+
+and rmw =
+  | A_load  (** acquire load *)
+  | A_store of int  (** release store *)
+  | A_add of int  (** fetch-and-add *)
+  | A_exchange of int
+  | A_cas of { expect : int; desired : int }
+      (** compare-and-swap; writes [desired] iff the current value is
+          [expect]; always returns the prior value *)
+
+and width = W8 | W64
+
+val name : t -> string
+(** Short constructor name for diagnostics. *)
+
+val is_sync : t -> bool
+(** True for operations that are acquire and/or release points (lock,
+    unlock, wait, signal, broadcast, barrier, spawn, join, atomic). *)
+
+val apply_rmw : rmw -> current:int -> int * int
+(** [apply_rmw rmw ~current] returns (previous value to report, new value
+    to store) — [A_load] stores the value back unchanged. *)

@@ -1,0 +1,82 @@
+type t = {
+  mutable locks : int;
+  mutable unlocks : int;
+  mutable waits : int;
+  mutable signals : int;
+  mutable barriers : int;
+  mutable forks : int;
+  mutable joins : int;
+  mutable atomics : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable stores_with_copy : int;
+  mutable page_faults : int;
+  mutable mprotect_calls : int;
+  mutable snapshots : int;
+  mutable slices_created : int;
+  mutable slices_propagated : int;
+  mutable bytes_propagated : int;
+  mutable diff_bytes_scanned : int;
+  mutable gc_runs : int;
+  mutable gc_slices_freed : int;
+  mutable kendo_waits : int;
+  mutable barrier_stalls : int;
+  mutable shared_bytes : int;
+  mutable stack_bytes : int;
+  mutable metadata_peak_bytes : int;
+  mutable private_copy_bytes : int;
+}
+
+let create () =
+  {
+    locks = 0;
+    unlocks = 0;
+    waits = 0;
+    signals = 0;
+    barriers = 0;
+    forks = 0;
+    joins = 0;
+    atomics = 0;
+    loads = 0;
+    stores = 0;
+    stores_with_copy = 0;
+    page_faults = 0;
+    mprotect_calls = 0;
+    snapshots = 0;
+    slices_created = 0;
+    slices_propagated = 0;
+    bytes_propagated = 0;
+    diff_bytes_scanned = 0;
+    gc_runs = 0;
+    gc_slices_freed = 0;
+    kendo_waits = 0;
+    barrier_stalls = 0;
+    shared_bytes = 0;
+    stack_bytes = 0;
+    metadata_peak_bytes = 0;
+    private_copy_bytes = 0;
+  }
+
+let footprint_pthreads p = p.shared_bytes + p.stack_bytes
+
+let footprint_rfdet p =
+  p.shared_bytes + p.private_copy_bytes + p.stack_bytes
+  + p.metadata_peak_bytes
+
+let sync_ops p =
+  p.locks + p.unlocks + p.waits + p.signals + p.barriers + p.forks + p.joins
+  + p.atomics
+
+let mem_ops p = p.loads + p.stores
+
+let pp ppf p =
+  Format.fprintf ppf
+    "@[<v>sync: lock/unlock=%d/%d wait=%d signal=%d barrier=%d fork/join=%d/%d@ \
+     mem: loads=%d stores=%d stores_w_copy=%d@ \
+     monitor: faults=%d mprotect=%d snapshots=%d slices=%d propagated=%d \
+     bytes=%d gc=%d@ \
+     footprint: shared=%d stacks=%d metadata=%d private=%d@]"
+    p.locks p.unlocks p.waits p.signals p.barriers p.forks p.joins p.loads
+    p.stores p.stores_with_copy p.page_faults p.mprotect_calls p.snapshots
+    p.slices_created p.slices_propagated p.bytes_propagated p.gc_runs
+    p.shared_bytes p.stack_bytes p.metadata_peak_bytes p.private_copy_bytes

@@ -1,0 +1,55 @@
+(** Per-run event counters and footprint figures — the raw material for
+    the paper's Table 1 and for the bench harness's sanity checks.
+
+    The engine fills the generic operation counters; the runtime policy
+    fills the monitoring/propagation counters and the footprint fields. *)
+
+type t = {
+  (* synchronization operations (Table 1, columns 2-4) *)
+  mutable locks : int;
+  mutable unlocks : int;
+  mutable waits : int;
+  mutable signals : int;  (** cond_signal + cond_broadcast *)
+  mutable barriers : int;
+  mutable forks : int;
+  mutable joins : int;
+  mutable atomics : int;  (** low-level atomic operations *)
+  (* memory operations (Table 1, columns 5-8) *)
+  mutable loads : int;
+  mutable stores : int;
+  mutable stores_with_copy : int;
+      (** stores that triggered a first-touch page snapshot *)
+  (* monitoring machinery *)
+  mutable page_faults : int;
+  mutable mprotect_calls : int;  (** pages protected, one call per page *)
+  mutable snapshots : int;
+  mutable slices_created : int;
+  mutable slices_propagated : int;
+  mutable bytes_propagated : int;
+  mutable diff_bytes_scanned : int;
+  mutable gc_runs : int;  (** Table 1 last column *)
+  mutable gc_slices_freed : int;
+  mutable kendo_waits : int;  (** sync ops that had to wait for their turn *)
+  mutable barrier_stalls : int;  (** global-barrier episodes (DThreads) *)
+  (* memory footprint (Table 1, columns 10-12), in bytes *)
+  mutable shared_bytes : int;  (** app shared memory (globals+heap touched) *)
+  mutable stack_bytes : int;
+  mutable metadata_peak_bytes : int;
+  mutable private_copy_bytes : int;
+      (** bytes of per-thread private page copies beyond one shared image *)
+}
+
+val create : unit -> t
+
+(** [footprint_pthreads p] / [footprint_rfdet p] — the paper's Column 10
+    and Column 11 formulas, in bytes. *)
+val footprint_pthreads : t -> int
+
+val footprint_rfdet : t -> int
+
+val sync_ops : t -> int
+(** Total count of synchronization operations. *)
+
+val mem_ops : t -> int
+
+val pp : Format.formatter -> t -> unit

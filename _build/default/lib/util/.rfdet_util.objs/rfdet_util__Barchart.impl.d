@@ -1,0 +1,1 @@
+lib/util/barchart.ml: Buffer Bytes Float List Printf String

@@ -1,0 +1,45 @@
+type series = { name : string; glyph : char }
+
+let render ~title ~series ~rows ?(width = 48) ?baseline () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  let legend =
+    String.concat "   "
+      (List.map (fun s -> Printf.sprintf "%c = %s" s.glyph s.name) series)
+  in
+  Buffer.add_string buf legend;
+  Buffer.add_char buf '\n';
+  let label_width =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 rows
+  in
+  let max_value =
+    List.fold_left
+      (fun acc (_, vs) -> List.fold_left max acc vs)
+      epsilon_float rows
+  in
+  let bar glyph v =
+    let n = int_of_float (Float.round (v /. max_value *. float_of_int width)) in
+    let n = max 0 (min width n) in
+    let b = Bytes.make n glyph in
+    (* baseline tick *)
+    (match baseline with
+    | Some b0 when b0 > 0. && b0 <= max_value ->
+      let pos = int_of_float (Float.round (b0 /. max_value *. float_of_int width)) in
+      if pos >= 1 && pos <= n then Bytes.set b (pos - 1) '|'
+    | Some _ | None -> ());
+    Bytes.to_string b
+  in
+  List.iter
+    (fun (label, values) ->
+      List.iteri
+        (fun i v ->
+          let s = List.nth series i in
+          let row_label = if i = 0 then label else "" in
+          Buffer.add_string buf
+            (Printf.sprintf "%-*s %c %-*s %.2f\n" label_width row_label s.glyph
+               width (bar s.glyph v) v))
+        values;
+      if List.length series > 1 then Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf

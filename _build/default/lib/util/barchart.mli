@@ -1,0 +1,21 @@
+(** Horizontal ASCII bar charts, for rendering the paper's figures in
+    terminal output.
+
+    Grouped layout: each row has a label and one bar per series; a
+    legend line names the series glyphs.  Values are scaled to a common
+    maximum so factors are visually comparable. *)
+
+type series = { name : string; glyph : char }
+
+(** [render ~title ~series ~rows ()] — each row is
+    (label, one value per series, in order).  [width] is the maximum bar
+    length in characters (default 48).  [baseline], if given, draws a
+    vertical mark at that value (e.g. 1.0 for normalized charts). *)
+val render :
+  title:string ->
+  series:series list ->
+  rows:(string * float list) list ->
+  ?width:int ->
+  ?baseline:float ->
+  unit ->
+  string

@@ -1,0 +1,50 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let copy t = { state = t.state }
+
+(* SplitMix64 output function (Steele, Lea, Flood 2014). *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let seed = next_int64 t in
+  (* A distinct mixing constant decorrelates the child stream. *)
+  { state = Int64.mul seed 0xDA942042E4DD58B5L }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Det_rng.int: bound <= 0";
+  let v = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  v mod bound
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Det_rng.int_in: hi < lo";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  let v = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  bound *. (v /. 9007199254740992.0 (* 2^53 *))
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let exponential t ~mean =
+  let u = float t 1.0 in
+  let u = if u <= 0.0 then 1e-12 else u in
+  -.mean *. log u

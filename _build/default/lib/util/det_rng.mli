@@ -1,0 +1,42 @@
+(** Deterministic pseudorandom number generator (SplitMix64).
+
+    Every source of "randomness" in the simulator must come from one of
+    these generators so that a run is a pure function of its seeds.  The
+    generator is splittable: independent streams can be derived for
+    sub-components without sharing state. *)
+
+type t
+
+(** [create seed] returns a fresh generator. Equal seeds give equal
+    streams. *)
+val create : int64 -> t
+
+(** [split t] derives an independent generator; the parent stream is
+    advanced by one step. *)
+val split : t -> t
+
+(** [copy t] duplicates the generator state. *)
+val copy : t -> t
+
+(** [next_int64 t] returns a uniformly distributed 64-bit value. *)
+val next_int64 : t -> int64
+
+(** [int t bound] returns a uniform value in [0, bound). Raises
+    [Invalid_argument] if [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [int_in t lo hi] returns a uniform value in [lo, hi] inclusive. *)
+val int_in : t -> int -> int -> int
+
+(** [float t bound] returns a uniform float in [0, bound). *)
+val float : t -> float -> float
+
+(** [bool t] returns a uniform boolean. *)
+val bool : t -> bool
+
+(** [shuffle t arr] permutes [arr] in place (Fisher-Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** [exponential t ~mean] samples an exponential distribution, used for
+    nondeterministic latency jitter in the pthreads baseline. *)
+val exponential : t -> mean:float -> float

@@ -1,0 +1,41 @@
+(** Imperative binary min-heap keyed by a client-supplied comparison.
+
+    The discrete-event engine keeps runnable threads ordered by
+    (simulated clock, thread id); Kendo keeps pending synchronization
+    requests ordered by (instruction count, thread id).  Ties must break
+    deterministically, so the comparison given at creation time must be a
+    total order. *)
+
+type 'a t
+
+(** [create ~cmp] is an empty heap ordered by [cmp] (minimum first). *)
+val create : cmp:('a -> 'a -> int) -> 'a t
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+
+(** [push t x] inserts [x]. *)
+val push : 'a t -> 'a -> unit
+
+(** [peek t] returns the minimum without removing it. *)
+val peek : 'a t -> 'a option
+
+(** [pop t] removes and returns the minimum. *)
+val pop : 'a t -> 'a option
+
+(** [pop_exn t] removes and returns the minimum. Raises [Not_found] when
+    empty. *)
+val pop_exn : 'a t -> 'a
+
+(** [clear t] removes every element. *)
+val clear : 'a t -> unit
+
+(** [to_list t] lists elements in unspecified order (heap order). *)
+val to_list : 'a t -> 'a list
+
+(** [exists t ~f] is true iff some element satisfies [f]. *)
+val exists : 'a t -> f:('a -> bool) -> bool
+
+(** [fold t ~init ~f] folds over elements in unspecified order. *)
+val fold : 'a t -> init:'b -> f:('b -> 'a -> 'b) -> 'b

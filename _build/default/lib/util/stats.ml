@@ -1,0 +1,48 @@
+let mean = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let geomean = function
+  | [] -> 0.
+  | xs ->
+    let sum_logs =
+      List.fold_left
+        (fun acc x ->
+          if x <= 0. then invalid_arg "Stats.geomean: non-positive element";
+          acc +. log x)
+        0. xs
+    in
+    exp (sum_logs /. float_of_int (List.length xs))
+
+let min_max = function
+  | [] -> invalid_arg "Stats.min_max: empty"
+  | x :: xs ->
+    List.fold_left (fun (lo, hi) v -> (min lo v, max hi v)) (x, x) xs
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.
+  | _ ->
+    let m = mean xs in
+    let var = mean (List.map (fun x -> (x -. m) ** 2.) xs) in
+    sqrt var
+
+let percent_change ~from ~to_ =
+  if from = 0. then 0. else (to_ -. from) /. from *. 100.
+
+let round2 x = Float.round (x *. 100.) /. 100.
+
+let human_bytes n =
+  let f = float_of_int n in
+  if f < 1024. then Printf.sprintf "%d B" n
+  else if f < 1024. *. 1024. then Printf.sprintf "%.1f KB" (f /. 1024.)
+  else if f < 1024. *. 1024. *. 1024. then
+    Printf.sprintf "%.1f MB" (f /. (1024. *. 1024.))
+  else Printf.sprintf "%.2f GB" (f /. (1024. *. 1024. *. 1024.))
+
+let human_count n =
+  let f = float_of_int n in
+  if f < 1e3 then string_of_int n
+  else if f < 1e6 then Printf.sprintf "%.1fK" (f /. 1e3)
+  else if f < 1e9 then Printf.sprintf "%.1fM" (f /. 1e6)
+  else Printf.sprintf "%.2fB" (f /. 1e9)

@@ -1,0 +1,28 @@
+(** Small numeric helpers used by the benchmark harness. *)
+
+(** [mean xs] — arithmetic mean; 0. on empty input. *)
+val mean : float list -> float
+
+(** [geomean xs] — geometric mean; 0. on empty input; requires all
+    elements positive. *)
+val geomean : float list -> float
+
+(** [min_max xs] — [(min, max)]. Raises [Invalid_argument] on empty. *)
+val min_max : float list -> float * float
+
+(** [stddev xs] — population standard deviation; 0. on fewer than two
+    samples. *)
+val stddev : float list -> float
+
+(** [percent_change ~from ~to_] — signed percentage change from [from] to
+    [to_]. *)
+val percent_change : from:float -> to_:float -> float
+
+(** [round2 x] — rounded to 2 decimal places (for table display). *)
+val round2 : float -> float
+
+(** [human_bytes n] — "12.3 KB"-style rendering of a byte count. *)
+val human_bytes : int -> string
+
+(** [human_count n] — "1.2M"-style rendering of an event count. *)
+val human_count : int -> string

@@ -1,0 +1,82 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = {
+  title : string;
+  columns : (string * align) list;
+  mutable rows : row list;  (* reversed *)
+}
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg "Tablefmt.add_row: cell count mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render t =
+  let rows = List.rev t.rows in
+  let headers = List.map fst t.columns in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row ->
+            match row with
+            | Separator -> acc
+            | Cells cells -> max acc (String.length (List.nth cells i)))
+          (String.length h) rows)
+      headers
+  in
+  let buf = Buffer.create 1024 in
+  let total_width =
+    List.fold_left ( + ) 0 widths + (3 * List.length widths) + 1
+  in
+  let hline () =
+    Buffer.add_string buf (String.make total_width '-');
+    Buffer.add_char buf '\n'
+  in
+  if t.title <> "" then begin
+    Buffer.add_string buf t.title;
+    Buffer.add_char buf '\n'
+  end;
+  hline ();
+  let render_cells cells aligns =
+    List.iteri
+      (fun i cell ->
+        let width = List.nth widths i in
+        let align = List.nth aligns i in
+        Buffer.add_string buf "| ";
+        Buffer.add_string buf (pad align width cell);
+        Buffer.add_char buf ' ')
+      cells;
+    Buffer.add_string buf "|\n"
+  in
+  render_cells headers (List.map (fun _ -> Left) t.columns);
+  hline ();
+  List.iter
+    (fun row ->
+      match row with
+      | Separator -> hline ()
+      | Cells cells -> render_cells cells (List.map snd t.columns))
+    rows;
+  hline ();
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let cell_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+
+let cell_int = string_of_int
+
+let cell_ratio x = Printf.sprintf "%.2fx" x

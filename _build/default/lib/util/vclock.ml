@@ -1,0 +1,71 @@
+type t = int array
+
+type order = Equal | Less | Greater | Concurrent
+
+let create n =
+  if n <= 0 then invalid_arg "Vclock.create: n <= 0";
+  Array.make n 0
+
+let size ~c = Array.length c
+
+let copy = Array.copy
+
+let get c i = c.(i)
+
+let set c i v = c.(i) <- v
+
+let tick c i =
+  c.(i) <- c.(i) + 1;
+  c.(i)
+
+let join dst src =
+  if Array.length dst <> Array.length src then
+    invalid_arg "Vclock.join: size mismatch";
+  for i = 0 to Array.length dst - 1 do
+    if src.(i) > dst.(i) then dst.(i) <- src.(i)
+  done
+
+let joined a b =
+  let c = copy a in
+  join c b;
+  c
+
+let leq a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Vclock.leq: size mismatch";
+  let rec go i = i >= Array.length a || (a.(i) <= b.(i) && go (i + 1)) in
+  go 0
+
+let equal a b = a = b
+
+let lt a b = leq a b && not (equal a b)
+
+let compare_partial a b =
+  let le = leq a b and ge = leq b a in
+  match le, ge with
+  | true, true -> Equal
+  | true, false -> Less
+  | false, true -> Greater
+  | false, false -> Concurrent
+
+let compare_total = Stdlib.compare
+
+let min_into dst src =
+  if Array.length dst <> Array.length src then
+    invalid_arg "Vclock.min_into: size mismatch";
+  for i = 0 to Array.length dst - 1 do
+    if src.(i) < dst.(i) then dst.(i) <- src.(i)
+  done
+
+let to_list = Array.to_list
+
+let of_list l =
+  if l = [] then invalid_arg "Vclock.of_list: empty";
+  Array.of_list l
+
+let pp ppf c =
+  Format.fprintf ppf "<%a>"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    (Array.to_list c)

@@ -1,0 +1,37 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let length t = t.len
+
+let push t x =
+  let cap = Array.length t.data in
+  if t.len = cap then begin
+    let ncap = if cap = 0 then 16 else cap * 2 in
+    let ndata = Array.make ncap x in
+    Array.blit t.data 0 ndata 0 t.len;
+    t.data <- ndata
+  end;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Vec.get: out of bounds";
+  t.data.(i)
+
+let copy t = { data = Array.copy t.data; len = t.len }
+
+let iter_range t ~from ~until ~f =
+  let until = min until t.len in
+  for i = max 0 from to until - 1 do
+    f t.data.(i)
+  done
+
+let iter t ~f = iter_range t ~from:0 ~until:t.len ~f
+
+let to_list t = Array.to_list (Array.sub t.data 0 t.len)
+
+let of_list l =
+  let t = create () in
+  List.iter (push t) l;
+  t

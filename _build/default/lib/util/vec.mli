@@ -1,0 +1,30 @@
+(** Growable arrays (append-only usage pattern).
+
+    RFDet's slice-pointer lists need O(1) append, O(1) random access and
+    cheap structural copies; index positions must remain stable forever
+    (the propagation resume indices depend on it), so there is no
+    deletion. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val push : 'a t -> 'a -> unit
+
+(** [get t i] — bounds-checked. *)
+val get : 'a t -> int -> 'a
+
+(** [copy t] — a new vector with the same contents. *)
+val copy : 'a t -> 'a t
+
+(** [iter_range t ~from ~until ~f] applies [f] to elements
+    [from..until-1] in order ([until] is clamped to [length t]). *)
+val iter_range : 'a t -> from:int -> until:int -> f:('a -> unit) -> unit
+
+val iter : 'a t -> f:('a -> unit) -> unit
+
+val to_list : 'a t -> 'a list
+
+val of_list : 'a list -> 'a t

@@ -1,0 +1,1 @@
+lib/workloads/dedup.ml: Array Char List Pipeline Rfdet_sim Rfdet_util String Wl_common Workload

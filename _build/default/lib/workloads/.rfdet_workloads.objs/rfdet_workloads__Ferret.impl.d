@@ -1,0 +1,1 @@
+lib/workloads/ferret.ml: Array List Pipeline Rfdet_sim Rfdet_util Wl_common Workload

@@ -1,0 +1,1 @@
+lib/workloads/fft.ml: Float Rfdet_sim Rfdet_util Wl_common Workload

@@ -1,0 +1,1 @@
+lib/workloads/lu.ml: Rfdet_sim Rfdet_util Wl_common Workload

@@ -1,0 +1,1 @@
+lib/workloads/ocean.ml: List Rfdet_sim Rfdet_util Wl_common Workload

@@ -1,0 +1,1 @@
+lib/workloads/parsec_financial.ml: Rfdet_sim Rfdet_util Wl_common Workload

@@ -1,0 +1,1 @@
+lib/workloads/phoenix.ml: Array Char List Rfdet_sim Rfdet_util String Wl_common Workload

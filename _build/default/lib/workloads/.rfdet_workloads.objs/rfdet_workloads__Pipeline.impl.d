@@ -1,0 +1,1 @@
+lib/workloads/pipeline.ml: Rfdet_sim

@@ -1,0 +1,1 @@
+lib/workloads/racey.ml: Rfdet_mem Rfdet_sim Wl_common Workload

@@ -1,0 +1,1 @@
+lib/workloads/radix.ml: Array Rfdet_sim Rfdet_util Wl_common Workload

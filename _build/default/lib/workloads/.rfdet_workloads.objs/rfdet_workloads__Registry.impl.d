@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Dedup Ferret Fft List Lu Ocean Parsec_financial Phoenix Printf Racey Radix String Water Workload

@@ -1,0 +1,1 @@
+lib/workloads/water.ml: Array Rfdet_sim Rfdet_util Wl_common Workload

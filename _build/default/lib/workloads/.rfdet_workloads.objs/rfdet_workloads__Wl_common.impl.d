@@ -1,0 +1,1 @@
+lib/workloads/wl_common.ml: List Rfdet_sim Rfdet_util

@@ -1,0 +1,52 @@
+(** fft (SPLASH-2): iterative radix-2 butterfly transform over a large
+    shared array.
+
+    Very few synchronization operations (one lock-based barrier per
+    stage) against a large memory footprint and high load/store volume —
+    Table 1's fft row (54 locks vs 163M memory operations, the largest
+    footprint of the suite).  The kernel is an integer butterfly network
+    (a number-theoretic-transform-style mixing) so results are exactly
+    deterministic. *)
+
+module Api = Rfdet_sim.Api
+module Det_rng = Rfdet_util.Det_rng
+
+let main (cfg : Workload.cfg) () =
+  let log_n = 12 + int_of_float (Float.round (log (max 1.0 cfg.scale) /. log 2.0)) in
+  let n = 1 lsl log_n in
+  let data = Api.malloc (8 * n) in
+  let rng = Det_rng.create cfg.input_seed in
+  Wl_common.fill_region rng ~addr:data ~words:n ~bound:(1 lsl 20);
+  let barrier = Wl_common.Lock_barrier.create ~parties:cfg.threads in
+  let elt i = data + (8 * i) in
+  let body k () =
+    for stage = 0 to log_n - 1 do
+      let half = 1 lsl stage in
+      let pairs = n / 2 in
+      let lo, hi = Wl_common.partition ~n:pairs ~workers:cfg.threads ~k in
+      for p = lo to hi - 1 do
+        (* index of the butterfly pair for this stage *)
+        let block = p / half and offset = p mod half in
+        let i = (block * half * 2) + offset in
+        let j = i + half in
+        let a = Api.load (elt i) and b = Api.load (elt j) in
+        (* integer twiddle: rotate-mix keyed by stage and offset *)
+        let w = ((offset * 2654435761) lsr (stage land 15)) land 0xFFFF in
+        let t = (b * (w lor 1)) land 0xFFFFFFFF in
+        Api.store (elt i) ((a + t) land 0xFFFFFFFF);
+        Api.store (elt j) ((a - t) land 0xFFFFFFFF);
+        Api.tick 30
+      done;
+      Wl_common.Lock_barrier.wait barrier
+    done
+  in
+  Wl_common.fork_join ~workers:cfg.threads body;
+  Wl_common.output_checksum (Wl_common.checksum_region ~addr:data ~words:n)
+
+let workload =
+  {
+    Workload.name = "fft";
+    suite = "splash2";
+    description = "radix-2 integer butterfly transform, barrier per stage";
+    main;
+  }

@@ -1,0 +1,108 @@
+(** lu-contiguous and lu-non-contiguous (SPLASH-2): blocked LU
+    factorization.
+
+    The computation is identical; the two variants differ only in how
+    blocks are laid out in memory.  [lu-con] stores each block
+    contiguously (a block touches ~2 pages), while [lu-non] stores the
+    matrix row-major so a 16x16 block's rows land on 16 different pages.
+    Page-granularity DMT systems are exquisitely sensitive to this:
+    DThreads commits entire dirty-page diffs at every fence, which is why
+    lu-non is its 10x worst case in the paper's Figure 7, while RFDet's
+    byte-granularity diffs keep both variants comparable. *)
+
+module Api = Rfdet_sim.Api
+module Det_rng = Rfdet_util.Det_rng
+
+type layout = Contiguous | Row_major
+
+(* Integer pseudo-LU update rules: the actual arithmetic is a mixing
+   function rather than exact Gaussian elimination (no pivoting drama),
+   but the data-flow — diag, perimeter, interior dependencies with
+   barriers between phases — is the real blocked-LU schedule. *)
+
+let main layout (cfg : Workload.cfg) () =
+  let block = 16 in
+  let nb = max 3 (Workload.scaled cfg 7) in
+  (* blocks per side *)
+  let m = nb * block in
+  let words = m * m in
+  let mat = Api.malloc (8 * words) in
+  let rng = Det_rng.create cfg.input_seed in
+  Wl_common.fill_region rng ~addr:mat ~words ~bound:(1 lsl 16);
+  (* address of element (r, c) of block (br, bc) *)
+  let addr ~br ~bc ~r ~c =
+    match layout with
+    | Contiguous ->
+      let block_index = (br * nb) + bc in
+      mat + (8 * ((block_index * block * block) + (r * block) + c))
+    | Row_major -> mat + (8 * ((((br * block) + r) * m) + (bc * block) + c))
+  in
+  let barrier = Wl_common.Lock_barrier.create ~parties:cfg.threads in
+  (* owner of block (br, bc) *)
+  let owner ~br ~bc = ((br * nb) + bc) mod cfg.threads in
+  let load ~br ~bc ~r ~c = Api.load (addr ~br ~bc ~r ~c) in
+  let store ~br ~bc ~r ~c v = Api.store (addr ~br ~bc ~r ~c) v in
+  (* Sample a block through a coarse stencil rather than all 256 cells:
+     keeps shared-memory traffic per block update ~O(block), with the
+     arithmetic volume accounted via tick. *)
+  let step = 2 in
+  let mix_block ~br ~bc ~with_ ~salt =
+    let wr, wc = with_ in
+    let r = ref 0 and c = ref 0 in
+    while !r < block do
+      c := 0;
+      while !c < block do
+        let v = load ~br ~bc ~r:!r ~c:!c in
+        let w = load ~br:wr ~bc:wc ~r:!c ~c:!r in
+        store ~br ~bc ~r:!r ~c:!c
+          (((v * 3) - (w lxor salt)) land 0xFFFFFFF);
+        c := !c + step
+      done;
+      r := !r + step
+    done;
+    Api.tick (10 * block * block)
+  in
+  let body k () =
+    for kk = 0 to nb - 1 do
+      (* 1: factor the diagonal block *)
+      if owner ~br:kk ~bc:kk = k then
+        mix_block ~br:kk ~bc:kk ~with_:(kk, kk) ~salt:kk;
+      Wl_common.Lock_barrier.wait barrier;
+      (* 2: update the perimeter blocks *)
+      for i = kk + 1 to nb - 1 do
+        if owner ~br:i ~bc:kk = k then
+          mix_block ~br:i ~bc:kk ~with_:(kk, kk) ~salt:(kk + 1);
+        if owner ~br:kk ~bc:i = k then
+          mix_block ~br:kk ~bc:i ~with_:(kk, kk) ~salt:(kk + 2)
+      done;
+      Wl_common.Lock_barrier.wait barrier;
+      (* 3: update the interior *)
+      for i = kk + 1 to nb - 1 do
+        for j = kk + 1 to nb - 1 do
+          if owner ~br:i ~bc:j = k then begin
+            mix_block ~br:i ~bc:j ~with_:(i, kk) ~salt:kk;
+            mix_block ~br:i ~bc:j ~with_:(kk, j) ~salt:(kk + 3)
+          end
+        done
+      done;
+      Wl_common.Lock_barrier.wait barrier
+    done
+  in
+  Wl_common.fork_join ~workers:cfg.threads body;
+  Wl_common.output_checksum (Wl_common.checksum_region ~addr:mat ~words)
+
+let con =
+  {
+    Workload.name = "lu-con";
+    suite = "splash2";
+    description = "blocked LU, contiguous block layout";
+    main = main Contiguous;
+  }
+
+let non =
+  {
+    Workload.name = "lu-non";
+    suite = "splash2";
+    description = "blocked LU, row-major (page-scattering) layout";
+    main = main Row_major;
+  }

@@ -1,0 +1,66 @@
+(** ocean (SPLASH-2): red/black relaxation over a shared grid.
+
+    Iterative stencil sweeps with two lock-based barriers per iteration
+    plus a lock-guarded global residual reduction — the lock/wait-heavy
+    profile of Table 1's first row (1100 locks, 671 waits at 4
+    threads). *)
+
+module Api = Rfdet_sim.Api
+module Det_rng = Rfdet_util.Det_rng
+
+let main (cfg : Workload.cfg) () =
+  let g = Workload.scaled cfg 40 in
+  let iters = Workload.scaled cfg 30 in
+  let grid = Api.malloc (8 * g * g) in
+  let residual = Api.malloc 8 in
+  let rng = Det_rng.create cfg.input_seed in
+  Wl_common.fill_region rng ~addr:grid ~words:(g * g) ~bound:1000;
+  let cell r c = grid + (8 * ((r * g) + c)) in
+  let barrier = Wl_common.Lock_barrier.create ~parties:cfg.threads in
+  let red_mutex = Api.mutex_create () in
+  let body k () =
+    let lo, hi = Wl_common.partition ~n:(g - 2) ~workers:cfg.threads ~k in
+    for iter = 1 to iters do
+      (* two color half-sweeps, each ending in a barrier *)
+      List.iter
+        (fun color ->
+          let local_delta = ref 0 in
+          for r = lo + 1 to hi do
+            for c = 1 to g - 2 do
+              if (r + c) land 1 = color then begin
+                (* the (iter, position) term models the time-dependent
+                   forcing of the real ocean kernel and keeps the field
+                   churning, so every sweep produces a real page diff *)
+                let v =
+                  ((Api.load (cell (r - 1) c)
+                   + Api.load (cell (r + 1) c)
+                   + Api.load (cell r (c - 1))
+                   + Api.load (cell r (c + 1)))
+                  / 4)
+                  + (((iter * 131) + (r * 17) + c) land 63)
+                in
+                let old = Api.load (cell r c) in
+                Api.store (cell r c) v;
+                local_delta := !local_delta + abs (v - old);
+                Api.tick 25
+              end
+            done
+          done;
+          Api.with_lock red_mutex (fun () ->
+              Api.store residual (Api.load residual + !local_delta));
+          Wl_common.Lock_barrier.wait barrier)
+        [ 0; 1 ]
+    done
+  in
+  Wl_common.fork_join ~workers:cfg.threads body;
+  Wl_common.output_checksum
+    (Wl_common.mix (Api.load residual)
+       (Wl_common.checksum_region ~addr:grid ~words:(g * g)))
+
+let workload =
+  {
+    Workload.name = "ocean";
+    suite = "splash2";
+    description = "red/black grid relaxation with lock-based barriers";
+    main;
+  }

@@ -1,0 +1,128 @@
+(** blackscholes and swaptions (PARSEC): embarrassingly parallel
+    financial kernels with a tiny amount of locking — a chunked work
+    queue guarded by one mutex (Table 1 shows 24 locks for both).
+
+    blackscholes is load-dominated (price each option, write one word);
+    swaptions additionally writes large per-path scratch buffers in
+    shared memory, giving the high store volume and
+    2671 stores-with-copy of its Table 1 row. *)
+
+module Api = Rfdet_sim.Api
+module Det_rng = Rfdet_util.Det_rng
+module Fx = Wl_common.Fx
+
+(* Fetch the next chunk index from a shared cursor under a mutex. *)
+let next_chunk ~m ~cursor ~nchunks =
+  Api.with_lock m (fun () ->
+      let c = Api.load cursor in
+      if c >= nchunks then -1
+      else begin
+        Api.store cursor (c + 1);
+        c
+      end)
+
+let blackscholes_main (cfg : Workload.cfg) () =
+  let n = Workload.scaled cfg 3000 in
+  let fields = 5 in
+  (* spot, strike, rate, vol, time — fixed-point *)
+  let opts = Api.malloc (8 * n * fields) in
+  let prices = Api.malloc (8 * n) in
+  let rng = Det_rng.create cfg.input_seed in
+  for i = 0 to (n * fields) - 1 do
+    Api.store (opts + (8 * i)) (Fx.of_int (1 + Det_rng.int rng 100) / 4)
+  done;
+  let cursor = Api.malloc 8 in
+  let m = Api.mutex_create () in
+  let nchunks = cfg.threads * 6 in
+  let chunk = (n + nchunks - 1) / nchunks in
+  let body _k () =
+    let rec loop () =
+      let c = next_chunk ~m ~cursor ~nchunks in
+      if c >= 0 then begin
+        let lo = c * chunk and hi = min n ((c + 1) * chunk) in
+        for i = lo to hi - 1 do
+          let f j = Api.load (opts + (8 * ((i * fields) + j))) in
+          let spot = f 0 and strike = f 1 and rate = f 2 in
+          let vol = f 3 and time = f 4 in
+          (* Black-Scholes-shaped fixed-point arithmetic *)
+          let sqrt_t = Fx.sqrt_approx time in
+          let d1 =
+            Fx.div
+              (Fx.mul rate time + Fx.mul (Fx.mul vol vol) time / 2)
+              (max 1 (Fx.mul vol sqrt_t))
+          in
+          let nd1 = Fx.div Fx.one (Fx.one + Fx.exp_approx (-d1 / 4)) in
+          let price =
+            Fx.mul spot nd1 - Fx.mul strike (Fx.mul nd1 (Fx.exp_approx (-rate / 8)))
+          in
+          Api.store (prices + (8 * i)) price;
+          Api.tick 60
+        done;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  Wl_common.fork_join ~workers:cfg.threads body;
+  Wl_common.output_checksum (Wl_common.checksum_region ~addr:prices ~words:n)
+
+let blackscholes =
+  {
+    Workload.name = "blackscholes";
+    suite = "parsec";
+    description = "option pricing, chunked work queue, 1 store per item";
+    main = blackscholes_main;
+  }
+
+let swaptions_main (cfg : Workload.cfg) () =
+  let n = Workload.scaled cfg 24 in
+  (* swaptions *)
+  let paths = Workload.scaled cfg 12 in
+  let steps = 64 in
+  let params = Api.malloc (8 * n * 4) in
+  let results = Api.malloc (8 * n) in
+  (* one scratch simulation buffer per worker, written heavily *)
+  let scratch = Api.malloc (8 * steps * cfg.threads) in
+  let rng = Det_rng.create cfg.input_seed in
+  Wl_common.fill_region rng ~addr:params ~words:(n * 4) ~bound:Fx.one;
+  let cursor = Api.malloc 8 in
+  let m = Api.mutex_create () in
+  let body k () =
+    let buf = scratch + (8 * steps * k) in
+    let rec loop () =
+      let c = next_chunk ~m ~cursor ~nchunks:n in
+      if c >= 0 then begin
+        let rate = Api.load (params + (8 * c * 4)) in
+        let vol = Api.load (params + (8 * ((c * 4) + 1))) in
+        let acc = ref 0 in
+        for p = 1 to paths do
+          (* HJM-path-shaped walk: write the whole scratch buffer *)
+          let level = ref (Fx.one + (rate / 2)) in
+          for s = 0 to steps - 1 do
+            let shock = ((c * 131) + (p * 17) + s) land 255 in
+            level := !level + Fx.mul vol (Fx.of_int (shock - 128) / 256);
+            Api.store (buf + (8 * s)) !level;
+            Api.tick 6
+          done;
+          (* discounted payoff over the path *)
+          for s = 0 to steps - 1 do
+            acc := !acc + (Api.load (buf + (8 * s)) / (s + 2))
+          done
+        done;
+        Api.store (results + (8 * c)) (!acc / paths);
+        Api.tick 200;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  Wl_common.fork_join ~workers:cfg.threads body;
+  Wl_common.output_checksum (Wl_common.checksum_region ~addr:results ~words:n)
+
+let swaptions =
+  {
+    Workload.name = "swaptions";
+    suite = "parsec";
+    description = "Monte-Carlo swaption pricing, heavy scratch stores";
+    main = swaptions_main;
+  }

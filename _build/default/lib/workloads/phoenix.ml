@@ -1,0 +1,260 @@
+(** The Phoenix map-reduce kernels (Table 1 rows 8-13): fork/join
+    parallel phases with almost no locking.  These are the benchmarks
+    where DMT overhead should nearly vanish (Figure 7): few sync ops
+    mean few slices, and each worker writes only its private result
+    slots (linear_regression and string_match have exactly 2
+    stores-with-copy in the paper). *)
+
+module Api = Rfdet_sim.Api
+module Det_rng = Rfdet_util.Det_rng
+
+(* ------------------------------------------------------------------ *)
+
+let linear_regression_main (cfg : Workload.cfg) () =
+  let n = Workload.scaled cfg 24_000 in
+  let pts = Api.malloc (8 * n) in
+  (* x in the high 32 bits, y in the low 32 bits *)
+  let rng = Det_rng.create cfg.input_seed in
+  for i = 0 to n - 1 do
+    let x = Det_rng.int rng 1024 and y = Det_rng.int rng 1024 in
+    Api.store (pts + (8 * i)) ((x lsl 32) lor y)
+  done;
+  let partials = Api.malloc (8 * cfg.threads * 8) in
+  (* one 64-byte stride per worker: sums land on few pages *)
+  let body k () =
+    let lo, hi = Wl_common.partition ~n ~workers:cfg.threads ~k in
+    let sx = ref 0 and sy = ref 0 and sxx = ref 0 and sxy = ref 0 in
+    for i = lo to hi - 1 do
+      let v = Api.load (pts + (8 * i)) in
+      let x = v lsr 32 and y = v land 0xFFFFFFFF in
+      sx := !sx + x;
+      sy := !sy + y;
+      sxx := !sxx + (x * x);
+      sxy := !sxy + (x * y);
+      Api.tick 10
+    done;
+    let base = partials + (8 * 8 * k) in
+    Api.store base !sx;
+    Api.store (base + 8) !sy;
+    Api.store (base + 16) !sxx;
+    Api.store (base + 24) !sxy
+  in
+  Wl_common.fork_join ~workers:cfg.threads body;
+  let tot = Array.make 4 0 in
+  for k = 0 to cfg.threads - 1 do
+    for f = 0 to 3 do
+      tot.(f) <- tot.(f) + Api.load (partials + (8 * 8 * k) + (8 * f))
+    done
+  done;
+  let denom = (cfg.threads * tot.(2)) - (tot.(0) * tot.(0) / max 1 n) in
+  Wl_common.output_checksum
+    (Wl_common.mix tot.(3) (Wl_common.mix denom (tot.(0) + tot.(1))))
+
+let linear_regression =
+  {
+    Workload.name = "linear_regression";
+    suite = "phoenix";
+    description = "least-squares fit: map over points, tiny reduce";
+    main = linear_regression_main;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let matrix_multiply_main (cfg : Workload.cfg) () =
+  let n = Workload.scaled cfg 40 in
+  let a = Api.malloc (8 * n * n) in
+  let b = Api.malloc (8 * n * n) in
+  let c = Api.malloc (8 * n * n) in
+  let rng = Det_rng.create cfg.input_seed in
+  Wl_common.fill_region rng ~addr:a ~words:(n * n) ~bound:100;
+  Wl_common.fill_region rng ~addr:b ~words:(n * n) ~bound:100;
+  let body k () =
+    let lo, hi = Wl_common.partition ~n ~workers:cfg.threads ~k in
+    for i = lo to hi - 1 do
+      for j = 0 to n - 1 do
+        let acc = ref 0 in
+        for l = 0 to n - 1 do
+          acc :=
+            !acc
+            + (Api.load (a + (8 * ((i * n) + l)))
+              * Api.load (b + (8 * ((l * n) + j))))
+        done;
+        Api.store (c + (8 * ((i * n) + j))) !acc;
+        Api.tick n
+      done
+    done
+  in
+  Wl_common.fork_join ~workers:cfg.threads body;
+  Wl_common.output_checksum (Wl_common.checksum_region ~addr:c ~words:(n * n))
+
+let matrix_multiply =
+  {
+    Workload.name = "matrix_multiply";
+    suite = "phoenix";
+    description = "dense integer matrix multiply, row-partitioned";
+    main = matrix_multiply_main;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let pca_main (cfg : Workload.cfg) () =
+  let rows = Workload.scaled cfg 400 in
+  let dims = 12 in
+  let data = Api.malloc (8 * rows * dims) in
+  let means = Api.malloc (8 * dims) in
+  let cov = Api.malloc (8 * dims * dims) in
+  let rng = Det_rng.create cfg.input_seed in
+  Wl_common.fill_region rng ~addr:data ~words:(rows * dims) ~bound:256;
+  (* per-dimension accumulator locks: Phoenix pca's lock profile *)
+  let locks = Array.init dims (fun _ -> Api.mutex_create ()) in
+  (* phase 1: means *)
+  Wl_common.fork_join ~workers:cfg.threads (fun k () ->
+      let lo, hi = Wl_common.partition ~n:rows ~workers:cfg.threads ~k in
+      let local = Array.make dims 0 in
+      for r = lo to hi - 1 do
+        for d = 0 to dims - 1 do
+          local.(d) <- local.(d) + Api.load (data + (8 * ((r * dims) + d)));
+          Api.tick 6
+        done
+      done;
+      for d = 0 to dims - 1 do
+        Api.with_lock locks.(d) (fun () ->
+            Api.store (means + (8 * d)) (Api.load (means + (8 * d)) + local.(d)))
+      done);
+  (* phase 2: covariance (upper triangle), row-partitioned over dims *)
+  Wl_common.fork_join ~workers:cfg.threads (fun k () ->
+      let lo, hi = Wl_common.partition ~n:dims ~workers:cfg.threads ~k in
+      for d1 = lo to hi - 1 do
+        let m1 = Api.load (means + (8 * d1)) / rows in
+        for d2 = d1 to dims - 1 do
+          let m2 = Api.load (means + (8 * d2)) / rows in
+          let acc = ref 0 in
+          for r = 0 to rows - 1 do
+            let v1 = Api.load (data + (8 * ((r * dims) + d1))) - m1 in
+            let v2 = Api.load (data + (8 * ((r * dims) + d2))) - m2 in
+            acc := !acc + (v1 * v2)
+          done;
+          Api.store (cov + (8 * ((d1 * dims) + d2))) (!acc / rows);
+          Api.tick rows
+        done
+      done);
+  Wl_common.output_checksum
+    (Wl_common.mix
+       (Wl_common.checksum_region ~addr:means ~words:dims)
+       (Wl_common.checksum_region ~addr:cov ~words:(dims * dims)))
+
+let pca =
+  {
+    Workload.name = "pca";
+    suite = "phoenix";
+    description = "mean + covariance with per-dimension accumulator locks";
+    main = pca_main;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+(* A tiny deterministic "text": word ids drawn Zipf-ishly. *)
+let gen_text rng ~addr ~words ~vocab =
+  for i = 0 to words - 1 do
+    let r = Det_rng.int rng (vocab * 3) in
+    let w = if r < vocab then r else Det_rng.int rng (vocab / 4) in
+    Api.store (addr + (8 * i)) w
+  done
+
+let wordcount_main (cfg : Workload.cfg) () =
+  let words = Workload.scaled cfg 36_000 in
+  let vocab = 128 in
+  let text = Api.malloc (8 * words) in
+  let rng = Det_rng.create cfg.input_seed in
+  gen_text rng ~addr:text ~words ~vocab;
+  (* Phoenix forks fresh workers for each of several phases (Table 1
+     shows 60 forks): map in several waves, then a parallel merge. *)
+  let waves = 2 in
+  let counts = Api.malloc (8 * vocab * cfg.threads) in
+  let wave_size = (words + waves - 1) / waves in
+  for wave = 0 to waves - 1 do
+    let base = wave * wave_size in
+    let len = min wave_size (words - base) in
+    Wl_common.fork_join ~workers:cfg.threads (fun k () ->
+        let lo, hi = Wl_common.partition ~n:len ~workers:cfg.threads ~k in
+        let local = Array.make vocab 0 in
+        for i = lo to hi - 1 do
+          let w = Api.load (text + (8 * (base + i))) in
+          local.(w) <- local.(w) + 1;
+          Api.tick 2
+        done;
+        (* flush into this worker's private row *)
+        for w = 0 to vocab - 1 do
+          if local.(w) <> 0 then begin
+            let slot = counts + (8 * ((k * vocab) + w)) in
+            Api.store slot (Api.load slot + local.(w))
+          end
+        done)
+  done;
+  (* parallel reduce: each worker sums a vocab range across rows *)
+  let final = Api.malloc (8 * vocab) in
+  Wl_common.fork_join ~workers:cfg.threads (fun k () ->
+      let lo, hi = Wl_common.partition ~n:vocab ~workers:cfg.threads ~k in
+      for w = lo to hi - 1 do
+        let acc = ref 0 in
+        for row = 0 to cfg.threads - 1 do
+          acc := !acc + Api.load (counts + (8 * ((row * vocab) + w)))
+        done;
+        Api.store (final + (8 * w)) !acc
+      done);
+  Wl_common.output_checksum (Wl_common.checksum_region ~addr:final ~words:vocab)
+
+let wordcount =
+  {
+    Workload.name = "wordcount";
+    suite = "phoenix";
+    description = "multi-wave map + parallel reduce word counting";
+    main = wordcount_main;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let string_match_main (cfg : Workload.cfg) () =
+  let len = Workload.scaled cfg 60_000 in
+  let text = Api.malloc len in
+  let rng = Det_rng.create cfg.input_seed in
+  (* byte-granularity text *)
+  for i = 0 to len - 1 do
+    Api.store_byte (text + i) (97 + Det_rng.int rng 4)
+  done;
+  let keys = [ "abc"; "dcba"; "aabb" ] in
+  let hits = Api.malloc (8 * cfg.threads) in
+  let body k () =
+    let lo, hi = Wl_common.partition ~n:len ~workers:cfg.threads ~k in
+    let count = ref 0 in
+    for i = lo to hi - 1 do
+      let c0 = Api.load_byte (text + i) in
+      List.iter
+        (fun key ->
+          if c0 = Char.code key.[0] && i + String.length key <= len then begin
+            let matches = ref true in
+            for j = 1 to String.length key - 1 do
+              if Api.load_byte (text + i + j) <> Char.code key.[j] then
+                matches := false
+            done;
+            if !matches then incr count
+          end)
+        keys;
+      Api.tick 2
+    done;
+    Api.store (hits + (8 * k)) !count
+  in
+  Wl_common.fork_join ~workers:cfg.threads body;
+  let total = ref 0 in
+  for k = 0 to cfg.threads - 1 do
+    total := !total + Api.load (hits + (8 * k))
+  done;
+  Wl_common.output_checksum !total
+
+let string_match =
+  {
+    Workload.name = "string_match";
+    suite = "phoenix";
+    description = "substring scan over a byte text, private hit counters";
+    main = string_match_main;
+  }

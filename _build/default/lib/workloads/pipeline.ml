@@ -1,0 +1,61 @@
+(** Bounded producer/consumer queue used by the PARSEC pipeline
+    benchmarks (dedup, ferret): a shared ring buffer guarded by a mutex
+    and a pair of condition variables, the textbook pthreads
+    construction.  Every push/pop is lock + possible wait + signal, which
+    is exactly what makes dedup and ferret the most synchronization-
+    intensive rows of Table 1. *)
+
+module Api = Rfdet_sim.Api
+
+type t = {
+  m : Api.mutex;
+  not_empty : Api.cond;
+  not_full : Api.cond;
+  buf : int;  (** ring storage *)
+  head : int;
+  tail : int;
+  count : int;
+  capacity : int;
+}
+
+let create ~capacity =
+  let buf = Api.malloc (8 * capacity) in
+  let state = Api.malloc 24 in
+  Api.store state 0;
+  Api.store (state + 8) 0;
+  Api.store (state + 16) 0;
+  {
+    m = Api.mutex_create ();
+    not_empty = Api.cond_create ();
+    not_full = Api.cond_create ();
+    buf;
+    head = state;
+    tail = state + 8;
+    count = state + 16;
+    capacity;
+  }
+
+let push t v =
+  Api.lock t.m;
+  while Api.load t.count = t.capacity do
+    Api.cond_wait t.not_full t.m
+  done;
+  let tail = Api.load t.tail in
+  Api.store (t.buf + (8 * tail)) v;
+  Api.store t.tail ((tail + 1) mod t.capacity);
+  Api.store t.count (Api.load t.count + 1);
+  Api.cond_signal t.not_empty;
+  Api.unlock t.m
+
+let pop t =
+  Api.lock t.m;
+  while Api.load t.count = 0 do
+    Api.cond_wait t.not_empty t.m
+  done;
+  let head = Api.load t.head in
+  let v = Api.load (t.buf + (8 * head)) in
+  Api.store t.head ((head + 1) mod t.capacity);
+  Api.store t.count (Api.load t.count - 1);
+  Api.cond_signal t.not_full;
+  Api.unlock t.m;
+  v

@@ -1,0 +1,40 @@
+(** The [racey] deterministic stress test (Hill & Xu), Section 5.1.
+
+    Threads hammer a small shared array with unsynchronized
+    read-mix-write updates; the final signature folds every cell.  Any
+    nondeterminism in scheduling *or* in race resolution changes the
+    signature, so 1000 identical runs is strong evidence of strong
+    determinism — and under pthreads the signature varies per seed. *)
+
+module Api = Rfdet_sim.Api
+module Layout = Rfdet_mem.Layout
+
+let mixer v i = ((v * 0x5DEECE66D) + i) land 0x3FFFFFFFFFFF
+
+let main (cfg : Workload.cfg) () =
+  let slots = 32 in
+  let iters = Workload.scaled cfg 4000 in
+  let arr = Api.malloc (8 * slots) in
+  for i = 0 to slots - 1 do
+    Api.store (arr + (8 * i)) i
+  done;
+  let body k () =
+    for i = 1 to iters do
+      (* read one racy slot, mix, write another racy slot *)
+      let src = arr + (8 * ((i * (k + 7)) mod slots)) in
+      let dst = arr + (8 * (((i * 13) + k) mod slots)) in
+      let v = Api.load src in
+      Api.store dst (mixer v (i + k));
+      Api.tick 4
+    done
+  in
+  Wl_common.fork_join ~workers:cfg.threads body;
+  Wl_common.output_checksum (Wl_common.checksum_region ~addr:arr ~words:slots)
+
+let workload =
+  {
+    Workload.name = "racey";
+    suite = "stress";
+    description = "determinism stress test: unsynchronized racy mixing";
+    main;
+  }

@@ -1,0 +1,41 @@
+let all =
+  [
+    Racey.workload;
+    Ocean.workload;
+    Water.ns;
+    Water.sp;
+    Fft.workload;
+    Radix.workload;
+    Lu.con;
+    Lu.non;
+    Phoenix.linear_regression;
+    Phoenix.matrix_multiply;
+    Phoenix.pca;
+    Phoenix.wordcount;
+    Phoenix.string_match;
+    Parsec_financial.blackscholes;
+    Parsec_financial.swaptions;
+    Dedup.workload;
+    Ferret.workload;
+  ]
+
+let names = List.map (fun w -> w.Workload.name) all
+
+let find name =
+  match List.find_opt (fun w -> w.Workload.name = name) all with
+  | Some w -> w
+  | None ->
+    raise
+      (Invalid_argument
+         (Printf.sprintf "unknown workload %S (expected one of: %s)" name
+            (String.concat ", " names)))
+
+let splash2 = List.filter (fun w -> w.Workload.suite = "splash2") all
+
+let table1 = List.filter (fun w -> w.Workload.name <> "racey") all
+
+let figure8 =
+  List.filter
+    (fun w ->
+      not (List.mem w.Workload.name [ "racey"; "dedup"; "ferret"; "lu-non" ]))
+    all

@@ -1,0 +1,18 @@
+(** All workloads, in the paper's Table 1 order (racey first). *)
+
+val all : Workload.t list
+
+val find : string -> Workload.t
+(** Raises [Not_found] with a helpful message listing valid names. *)
+
+val names : string list
+
+val splash2 : Workload.t list
+(** The SPLASH-2 subset used by the Figure 9 optimization study. *)
+
+val table1 : Workload.t list
+(** The 16 performance benchmarks (everything except racey). *)
+
+val figure8 : Workload.t list
+(** The scalability subset: Table 1 minus dedup, ferret (out of memory
+    at 8 threads in the paper) and lu-non (folded into lu-con). *)

@@ -1,0 +1,111 @@
+module Api = Rfdet_sim.Api
+module Det_rng = Rfdet_util.Det_rng
+
+let partition ~n ~workers ~k =
+  let chunk = (n + workers - 1) / workers in
+  let lo = min n (k * chunk) in
+  let hi = min n (lo + chunk) in
+  (lo, hi)
+
+module Lock_barrier = struct
+  type t = { m : Api.mutex; c : Api.cond; count : int; gen : int; parties : int }
+
+  let create ~parties =
+    let m = Api.mutex_create () in
+    let c = Api.cond_create () in
+    let state = Api.malloc 16 in
+    Api.store state 0;
+    (* count *)
+    Api.store (state + 8) 0;
+    (* generation *)
+    { m; c; count = state; gen = state + 8; parties }
+
+  let wait t =
+    Api.lock t.m;
+    let my_gen = Api.load t.gen in
+    let arrived = Api.load t.count + 1 in
+    if arrived = t.parties then begin
+      Api.store t.count 0;
+      Api.store t.gen (my_gen + 1);
+      Api.cond_broadcast t.c
+    end
+    else begin
+      Api.store t.count arrived;
+      while Api.load t.gen = my_gen do
+        Api.cond_wait t.c t.m
+      done
+    end;
+    Api.unlock t.m
+end
+
+let spawn_workers ~workers body =
+  List.init workers (fun k -> Api.spawn (body k))
+
+let join_all tids = List.iter Api.join tids
+
+(* Workers gate on a start barrier before computing, as Phoenix's thread
+   pool does.  Without the gate, a global-fence runtime (DThreads) would
+   serialize thread creation against the first worker's entire compute
+   phase, which is not how the real benchmarks behave. *)
+let fork_join ~workers body =
+  if workers = 1 then join_all (spawn_workers ~workers body)
+  else begin
+    let gate = Lock_barrier.create ~parties:workers in
+    let gated k () =
+      Lock_barrier.wait gate;
+      body k ()
+    in
+    join_all (spawn_workers ~workers gated)
+  end
+
+let fill_region rng ~addr ~words ~bound =
+  for i = 0 to words - 1 do
+    Api.store (addr + (8 * i)) (Det_rng.int rng bound)
+  done
+
+let mix a b =
+  let h = (a * 0x9E3779B1) lxor (b + 0x85EBCA77 + (a lsl 6) + (a lsr 2)) in
+  h land max_int
+
+let checksum_region ~addr ~words =
+  let acc = ref 0 in
+  for i = 0 to words - 1 do
+    acc := mix !acc (Api.load (addr + (8 * i)))
+  done;
+  !acc
+
+let output_checksum v = Api.output_int v
+
+module Fx = struct
+  let shift = 16
+
+  let one = 1 lsl shift
+
+  let of_int x = x lsl shift
+
+  let mul a b = (a * b) asr shift
+
+  let div a b = if b = 0 then 0 else (a lsl shift) / b
+
+  (* e^x ~ 1 + x + x^2/2 + x^3/6 + x^4/24 for smallish fixed-point x *)
+  let exp_approx x =
+    let x2 = mul x x in
+    let x3 = mul x2 x in
+    let x4 = mul x3 x in
+    one + x + (x2 / 2) + (x3 / 6) + (x4 / 24)
+
+  let sqrt_approx x =
+    if x <= 0 then 0
+    else begin
+      (* Newton on integers over the raw fixed-point value. *)
+      let target = x lsl shift in
+      let rec go guess iters =
+        if iters = 0 || guess = 0 then guess
+        else begin
+          let next = (guess + (target / guess)) / 2 in
+          if next = guess then guess else go next (iters - 1)
+        end
+      in
+      go (max 1 (x / 2 + 1)) 20
+    end
+end

@@ -1,0 +1,67 @@
+(** Shared building blocks for the benchmark workloads. *)
+
+module Api = Rfdet_sim.Api
+
+(** [partition ~n ~workers ~k] — the half-open index range [lo, hi)
+    worker [k] owns when [n] items are block-distributed over [workers]
+    workers. *)
+val partition : n:int -> workers:int -> k:int -> int * int
+
+(** Lock-based barrier, the SPLASH-2 [c.m4.null.POSIX] construction the
+    paper's evaluation uses ("this configuration uses lock and unlock to
+    implement barrier").  State (count, generation) lives in shared
+    memory guarded by the mutex, so the construct is race-free and
+    generates the lock/wait/signal profile of Table 1 rather than
+    [Barrier_wait] operations. *)
+module Lock_barrier : sig
+  type t
+
+  (** [create ~parties] — call from the main thread before spawning. *)
+  val create : parties:int -> t
+
+  val wait : t -> unit
+end
+
+(** [spawn_workers ~workers body] spawns [body 0 .. body (workers-1)]
+    and returns the tids. *)
+val spawn_workers : workers:int -> (int -> unit -> unit) -> Api.tid list
+
+val join_all : Api.tid list -> unit
+
+(** [fork_join ~workers body] — spawn, run, join (one Phoenix-style
+    parallel phase). *)
+val fork_join : workers:int -> (int -> unit -> unit) -> unit
+
+(** [fill_region rng ~addr ~words ~bound] stores [words] pseudorandom
+    64-bit values in [0, bound) starting at [addr] (call from the main
+    thread before spawning — generation writes are part of the input,
+    not the measured computation). *)
+val fill_region : Rfdet_util.Det_rng.t -> addr:int -> words:int -> bound:int -> unit
+
+(** [checksum_region ~addr ~words] — order-independent-enough fold of a
+    word array (loads each word once). *)
+val checksum_region : addr:int -> words:int -> int
+
+(** [output_checksum v] — emit a result value. *)
+val output_checksum : int -> unit
+
+(** [mix a b] — cheap 64-bit integer mixing for checksums. *)
+val mix : int -> int -> int
+
+(** Fixed-point helpers (16.16) for "floating point" kernels: keeps all
+    shared-memory arithmetic integral and bit-deterministic. *)
+module Fx : sig
+  val one : int
+
+  val of_int : int -> int
+
+  val mul : int -> int -> int
+
+  val div : int -> int -> int
+
+  (** [exp_approx x] — polynomial approximation of e^x for small |x|. *)
+  val exp_approx : int -> int
+
+  (** [sqrt_approx x] — integer Newton iterations. *)
+  val sqrt_approx : int -> int
+end

@@ -1,0 +1,1 @@
+test/test_allocator.ml: Alcotest Allocator Layout List Page QCheck2 QCheck_alcotest Rfdet_mem

@@ -1,0 +1,1 @@
+test/test_atomics.ml: Alcotest List Rfdet_baselines Rfdet_core Rfdet_harness Rfdet_mem Rfdet_sim

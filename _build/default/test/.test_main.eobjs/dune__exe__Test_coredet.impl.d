@@ -1,0 +1,1 @@
+test/test_coredet.ml: Alcotest List Rfdet_baselines Rfdet_mem Rfdet_sim

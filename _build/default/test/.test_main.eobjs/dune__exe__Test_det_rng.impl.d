@@ -1,0 +1,1 @@
+test/test_det_rng.ml: Alcotest Array Det_rng Rfdet_util

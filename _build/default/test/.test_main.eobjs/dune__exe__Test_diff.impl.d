@@ -1,0 +1,1 @@
+test/test_diff.ml: Alcotest Bytes Char Diff List Page QCheck2 QCheck_alcotest Rfdet_mem Space

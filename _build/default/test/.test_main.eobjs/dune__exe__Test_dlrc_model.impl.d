@@ -1,0 +1,1 @@
+test/test_dlrc_model.ml: Alcotest Array List Printf QCheck2 QCheck_alcotest Rfdet_core Rfdet_mem Rfdet_sim String

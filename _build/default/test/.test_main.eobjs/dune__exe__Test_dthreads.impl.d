@@ -1,0 +1,1 @@
+test/test_dthreads.ml: Alcotest List Rfdet_baselines Rfdet_core Rfdet_mem Rfdet_sim

@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Array Int64 List Printf Rfdet_baselines Rfdet_core Rfdet_mem Rfdet_sim

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Int64 List Rfdet_baselines Rfdet_mem Rfdet_sim

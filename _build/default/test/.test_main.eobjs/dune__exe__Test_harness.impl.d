@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest List Printf Rfdet_core Rfdet_harness Rfdet_mem Rfdet_sim Rfdet_workloads

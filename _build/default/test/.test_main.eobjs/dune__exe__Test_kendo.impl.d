@@ -1,0 +1,1 @@
+test/test_kendo.ml: Alcotest Int64 List Rfdet_baselines Rfdet_kendo Rfdet_mem Rfdet_sim

@@ -1,0 +1,1 @@
+test/test_metadata.ml: Alcotest Char List Rfdet_core Rfdet_mem Rfdet_sim Rfdet_util String

@@ -1,0 +1,1 @@
+test/test_pipeline_queue.ml: Alcotest Int64 List Rfdet_baselines Rfdet_core Rfdet_mem Rfdet_sim Rfdet_workloads

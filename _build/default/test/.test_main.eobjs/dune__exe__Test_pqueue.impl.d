@@ -1,0 +1,1 @@
+test/test_pqueue.ml: Alcotest List Pqueue QCheck2 QCheck_alcotest Rfdet_util

@@ -1,0 +1,1 @@
+test/test_race_detector.ml: Alcotest List Rfdet_detect Rfdet_mem Rfdet_sim Rfdet_workloads

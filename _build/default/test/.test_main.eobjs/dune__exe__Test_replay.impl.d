@@ -1,0 +1,1 @@
+test/test_replay.ml: Alcotest List Printf Rfdet_harness Rfdet_workloads

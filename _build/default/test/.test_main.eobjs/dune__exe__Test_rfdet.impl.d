@@ -1,0 +1,1 @@
+test/test_rfdet.ml: Alcotest Astring Int64 List Rfdet_baselines Rfdet_core Rfdet_mem Rfdet_sim

@@ -1,0 +1,1 @@
+test/test_sequential.ml: Alcotest List QCheck2 QCheck_alcotest Rfdet_baselines Rfdet_core Rfdet_mem Rfdet_sim

@@ -1,0 +1,1 @@
+test/test_space.ml: Alcotest Bytes Char Hashtbl List Page QCheck2 QCheck_alcotest Rfdet_mem Space

@@ -1,0 +1,1 @@
+test/test_vclock.ml: Alcotest QCheck2 QCheck_alcotest Rfdet_util Vclock

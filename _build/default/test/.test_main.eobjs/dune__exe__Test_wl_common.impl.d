@@ -1,0 +1,1 @@
+test/test_wl_common.ml: Alcotest Astring List QCheck2 QCheck_alcotest Rfdet_util Rfdet_workloads String

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Int64 List Printf Rfdet_harness Rfdet_workloads String

@@ -1,0 +1,105 @@
+open Rfdet_mem
+
+let test_basic () =
+  let a = Allocator.create () in
+  let p = Allocator.malloc a 100 in
+  Alcotest.(check bool) "in heap" true
+    (p >= Layout.heap_base && p < Layout.heap_limit);
+  Alcotest.(check int) "rounded to class" 128 (Allocator.size_of a p);
+  Alcotest.(check int) "one allocation" 1 (Allocator.allocations a)
+
+let test_no_overlap () =
+  let a = Allocator.create () in
+  let ranges = ref [] in
+  for i = 1 to 200 do
+    let n = 1 + (i * 7 mod 300) in
+    let p = Allocator.malloc a n in
+    let size = Allocator.size_of a p in
+    List.iter
+      (fun (q, qs) ->
+        if p < q + qs && q < p + size then
+          Alcotest.failf "overlap: (%d,%d) vs (%d,%d)" p size q qs)
+      !ranges;
+    ranges := (p, size) :: !ranges
+  done
+
+let test_free_reuse () =
+  let a = Allocator.create () in
+  let p = Allocator.malloc a 64 in
+  Allocator.free a p;
+  let q = Allocator.malloc a 64 in
+  Alcotest.(check int) "small blocks are recycled" p q
+
+let test_double_free () =
+  let a = Allocator.create () in
+  let p = Allocator.malloc a 8 in
+  Allocator.free a p;
+  Alcotest.check_raises "double free"
+    (Invalid_argument "Allocator.free: not a live allocation") (fun () ->
+      Allocator.free a p)
+
+let test_large_alloc () =
+  let a = Allocator.create () in
+  let p = Allocator.malloc a (3 * Page.size + 1) in
+  Alcotest.(check int) "page aligned" 0 (p mod Page.size);
+  Alcotest.(check int) "page rounded" (4 * Page.size) (Allocator.size_of a p)
+
+let test_live_peak () =
+  let a = Allocator.create () in
+  let p = Allocator.malloc a 16 in
+  let q = Allocator.malloc a 16 in
+  Alcotest.(check int) "live" 32 (Allocator.live_bytes a);
+  Allocator.free a p;
+  Allocator.free a q;
+  Alcotest.(check int) "live after free" 0 (Allocator.live_bytes a);
+  Alcotest.(check int) "peak sticky" 32 (Allocator.peak_bytes a)
+
+let test_zero_and_negative () =
+  let a = Allocator.create () in
+  let p = Allocator.malloc a 0 in
+  Alcotest.(check int) "zero-size gets a slot" 16 (Allocator.size_of a p);
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Allocator.malloc: negative size") (fun () ->
+      ignore (Allocator.malloc a (-1)))
+
+let test_determinism () =
+  (* Two allocators fed the same request sequence hand out the same
+     addresses — the property RFDet's shared allocator must provide. *)
+  let script = List.init 100 (fun i -> 1 + (i * 13 mod 500)) in
+  let run () =
+    let a = Allocator.create () in
+    List.map (Allocator.malloc a) script
+  in
+  Alcotest.(check (list int)) "same addresses" (run ()) (run ())
+
+let prop_no_overlap_random =
+  QCheck2.Test.make ~name:"allocator: live allocations never overlap"
+    ~count:100
+    QCheck2.Gen.(list_size (int_bound 80) (int_bound 5000))
+    (fun sizes ->
+      let a = Allocator.create () in
+      let live = List.map (fun n -> Allocator.malloc a n) sizes in
+      let ranges = List.map (fun p -> (p, Allocator.size_of a p)) live in
+      let rec pairwise = function
+        | [] -> true
+        | (p, ps) :: rest ->
+          List.for_all (fun (q, qs) -> p + ps <= q || q + qs <= p) rest
+          && pairwise rest
+      in
+      pairwise ranges)
+
+let suites =
+  [
+    ( "allocator",
+      [
+        Alcotest.test_case "basic" `Quick test_basic;
+        Alcotest.test_case "no overlap" `Quick test_no_overlap;
+        Alcotest.test_case "free + reuse" `Quick test_free_reuse;
+        Alcotest.test_case "double free" `Quick test_double_free;
+        Alcotest.test_case "large alloc" `Quick test_large_alloc;
+        Alcotest.test_case "live/peak accounting" `Quick test_live_peak;
+        Alcotest.test_case "zero/negative size" `Quick test_zero_and_negative;
+        Alcotest.test_case "deterministic addresses" `Quick test_determinism;
+        QCheck_alcotest.to_alcotest prop_no_overlap_random;
+      ] );
+  ]

@@ -1,0 +1,83 @@
+open Rfdet_util
+
+let test_reproducible () =
+  let a = Det_rng.create 42L and b = Det_rng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Det_rng.next_int64 a)
+      (Det_rng.next_int64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Det_rng.create 1L and b = Det_rng.create 2L in
+  let distinct = ref false in
+  for _ = 1 to 10 do
+    if Det_rng.next_int64 a <> Det_rng.next_int64 b then distinct := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !distinct
+
+let test_split_independent () =
+  let parent = Det_rng.create 7L in
+  let child = Det_rng.split parent in
+  let a = Det_rng.next_int64 child and b = Det_rng.next_int64 parent in
+  Alcotest.(check bool) "child differs from parent" true (a <> b)
+
+let test_copy () =
+  let a = Det_rng.create 9L in
+  ignore (Det_rng.next_int64 a);
+  let b = Det_rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Det_rng.next_int64 a)
+    (Det_rng.next_int64 b)
+
+let test_int_bounds () =
+  let rng = Det_rng.create 3L in
+  for _ = 1 to 1000 do
+    let v = Det_rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done;
+  Alcotest.check_raises "zero bound" (Invalid_argument "Det_rng.int: bound <= 0")
+    (fun () -> ignore (Det_rng.int rng 0))
+
+let test_int_in () =
+  let rng = Det_rng.create 5L in
+  for _ = 1 to 500 do
+    let v = Det_rng.int_in rng (-3) 3 in
+    Alcotest.(check bool) "in range" true (v >= -3 && v <= 3)
+  done
+
+let test_float_bounds () =
+  let rng = Det_rng.create 11L in
+  for _ = 1 to 500 do
+    let v = Det_rng.float rng 2.5 in
+    Alcotest.(check bool) "in range" true (v >= 0. && v < 2.5)
+  done
+
+let test_exponential_positive () =
+  let rng = Det_rng.create 13L in
+  for _ = 1 to 500 do
+    Alcotest.(check bool) "positive" true
+      (Det_rng.exponential rng ~mean:10. >= 0.)
+  done
+
+let test_shuffle_permutation () =
+  let rng = Det_rng.create 17L in
+  let arr = Array.init 50 (fun i -> i) in
+  Det_rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+let suites =
+  [
+    ( "det_rng",
+      [
+        Alcotest.test_case "reproducible" `Quick test_reproducible;
+        Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+        Alcotest.test_case "split" `Quick test_split_independent;
+        Alcotest.test_case "copy" `Quick test_copy;
+        Alcotest.test_case "int bounds" `Quick test_int_bounds;
+        Alcotest.test_case "int_in bounds" `Quick test_int_in;
+        Alcotest.test_case "float bounds" `Quick test_float_bounds;
+        Alcotest.test_case "exponential" `Quick test_exponential_positive;
+        Alcotest.test_case "shuffle" `Quick test_shuffle_permutation;
+      ] );
+  ]

@@ -1,0 +1,158 @@
+open Rfdet_mem
+
+let page_of_writes writes =
+  let b = Bytes.make Page.size '\000' in
+  List.iter (fun (off, v) -> Bytes.set b off (Char.chr (v land 0xff))) writes;
+  b
+
+let test_no_change () =
+  let snap = Bytes.make Page.size 'a' in
+  let cur = Bytes.copy snap in
+  Alcotest.(check bool) "empty diff" true
+    (Diff.is_empty (Diff.diff_page ~page_id:0 ~snapshot:snap ~current:cur))
+
+let test_single_byte () =
+  let snap = Bytes.make Page.size '\000' in
+  let cur = Bytes.copy snap in
+  Bytes.set cur 42 'Z';
+  let d = Diff.diff_page ~page_id:3 ~snapshot:snap ~current:cur in
+  Alcotest.(check int) "one run" 1 (Diff.run_count d);
+  Alcotest.(check int) "one byte" 1 (Diff.byte_count d);
+  match d with
+  | [ { Diff.addr; data } ] ->
+    Alcotest.(check int) "absolute addr" ((3 * Page.size) + 42) addr;
+    Alcotest.(check string) "data" "Z" data
+  | _ -> Alcotest.fail "expected a single run"
+
+let test_runs_merged () =
+  let snap = Bytes.make Page.size '\000' in
+  let cur = Bytes.copy snap in
+  (* Two adjacent changed bytes are one run; a gap splits runs. *)
+  Bytes.set cur 10 'a';
+  Bytes.set cur 11 'b';
+  Bytes.set cur 13 'c';
+  let d = Diff.diff_page ~page_id:0 ~snapshot:snap ~current:cur in
+  Alcotest.(check int) "two runs" 2 (Diff.run_count d);
+  Alcotest.(check int) "three bytes" 3 (Diff.byte_count d)
+
+let test_redundant_write_invisible () =
+  (* Overwriting a location with the value it already held produces no
+     modification — the paper's Section 4.6 correctness case. *)
+  let snap = Bytes.make Page.size '\000' in
+  Bytes.set snap 5 'q';
+  let cur = Bytes.copy snap in
+  Bytes.set cur 5 'q';
+  let d = Diff.diff_page ~page_id:0 ~snapshot:snap ~current:cur in
+  Alcotest.(check bool) "redundant store dropped" true (Diff.is_empty d)
+
+let test_apply_roundtrip () =
+  let snap = page_of_writes [ (0, 1); (100, 2) ] in
+  let cur = page_of_writes [ (0, 9); (100, 2); (200, 7) ] in
+  let d = Diff.diff_page ~page_id:0 ~snapshot:snap ~current:cur in
+  let s = Space.create () in
+  Space.write_page s 0 snap;
+  Diff.apply s d;
+  for i = 0 to Page.size - 1 do
+    if Space.load_byte s i <> Char.code (Bytes.get cur i) then
+      Alcotest.failf "byte %d differs after apply" i
+  done
+
+let test_byte_merge_511 () =
+  (* The paper's example: y=256 from one thread, y=255 from another,
+     against initial y=0, merged at byte granularity gives 511. *)
+  let initial = Bytes.make Page.size '\000' in
+  (* Thread A writes the 32-bit value 256 at offset 0. *)
+  let a = Bytes.copy initial in
+  Bytes.set_int32_le a 0 256l;
+  (* Thread B writes the 32-bit value 255 at offset 0. *)
+  let b = Bytes.copy initial in
+  Bytes.set_int32_le b 0 255l;
+  let diff_a = Diff.diff_page ~page_id:0 ~snapshot:initial ~current:a in
+  let diff_b = Diff.diff_page ~page_id:0 ~snapshot:initial ~current:b in
+  (* B's memory receives A's (non-overlapping-byte) modification. *)
+  let s = Space.create () in
+  Space.write_page s 0 b;
+  Diff.apply s diff_a;
+  let merged =
+    Space.load_byte s 0
+    lor (Space.load_byte s 1 lsl 8)
+    lor (Space.load_byte s 2 lsl 16)
+    lor (Space.load_byte s 3 lsl 24)
+  in
+  Alcotest.(check int) "255 | 256 = 511" 511 merged;
+  Alcotest.(check int) "A's diff touches byte 1 only" 1
+    (Diff.byte_count diff_a);
+  Alcotest.(check int) "B's diff touches byte 0 only" 1 (Diff.byte_count diff_b)
+
+let test_pages_touched_and_restrict () =
+  let runs =
+    [
+      { Diff.addr = 5; data = "ab" };
+      { Diff.addr = Page.size + 1; data = "c" };
+      { Diff.addr = 10; data = "d" };
+    ]
+  in
+  Alcotest.(check (list int)) "pages" [ 0; 1 ] (Diff.pages_touched runs);
+  Alcotest.(check int) "restrict page 0" 2
+    (Diff.run_count (Diff.restrict_to_page runs 0));
+  Alcotest.(check int) "restrict page 1" 1
+    (Diff.run_count (Diff.restrict_to_page runs 1))
+
+let test_size_validation () =
+  Alcotest.check_raises "bad sizes"
+    (Invalid_argument "Diff.diff_page: buffers must be page-sized") (fun () ->
+      ignore
+        (Diff.diff_page ~page_id:0 ~snapshot:(Bytes.create 3)
+           ~current:(Bytes.create 3)))
+
+let gen_page =
+  (* Sparse random page contents: a few byte writes over zeros. *)
+  QCheck2.Gen.(
+    map page_of_writes
+      (list_size (int_bound 40)
+         (pair (int_bound (Page.size - 1)) (int_bound 255))))
+
+let prop_diff_apply_roundtrip =
+  QCheck2.Test.make ~name:"diff: apply (diff snap cur) snap == cur" ~count:200
+    QCheck2.Gen.(pair gen_page gen_page)
+    (fun (snap, cur) ->
+      let d = Diff.diff_page ~page_id:2 ~snapshot:snap ~current:cur in
+      let s = Space.create () in
+      Space.write_page s 2 snap;
+      Diff.apply s d;
+      let ok = ref true in
+      for i = 0 to Page.size - 1 do
+        if Space.load_byte s ((2 * Page.size) + i) <> Char.code (Bytes.get cur i)
+        then ok := false
+      done;
+      !ok)
+
+let prop_diff_minimal =
+  QCheck2.Test.make ~name:"diff: only differing bytes are recorded" ~count:200
+    QCheck2.Gen.(pair gen_page gen_page)
+    (fun (snap, cur) ->
+      let d = Diff.diff_page ~page_id:0 ~snapshot:snap ~current:cur in
+      let expected = ref 0 in
+      for i = 0 to Page.size - 1 do
+        if Bytes.get snap i <> Bytes.get cur i then incr expected
+      done;
+      Diff.byte_count d = !expected)
+
+let suites =
+  [
+    ( "diff",
+      [
+        Alcotest.test_case "no change" `Quick test_no_change;
+        Alcotest.test_case "single byte" `Quick test_single_byte;
+        Alcotest.test_case "run merging" `Quick test_runs_merged;
+        Alcotest.test_case "redundant write dropped" `Quick
+          test_redundant_write_invisible;
+        Alcotest.test_case "apply round trip" `Quick test_apply_roundtrip;
+        Alcotest.test_case "byte-merge 255|256=511" `Quick test_byte_merge_511;
+        Alcotest.test_case "pages_touched/restrict" `Quick
+          test_pages_touched_and_restrict;
+        Alcotest.test_case "size validation" `Quick test_size_validation;
+        QCheck_alcotest.to_alcotest prop_diff_apply_roundtrip;
+        QCheck_alcotest.to_alcotest prop_diff_minimal;
+      ] );
+  ]

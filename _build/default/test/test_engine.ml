@@ -1,0 +1,256 @@
+module Engine = Rfdet_sim.Engine
+module Api = Rfdet_sim.Api
+module Layout = Rfdet_mem.Layout
+module Pthreads = Rfdet_baselines.Pthreads_runtime
+
+let run ?config main = Engine.run ?config Pthreads.make ~main
+
+let test_single_thread_output () =
+  let r = run (fun () -> Api.output 42L) in
+  Alcotest.(check int) "one thread" 1 r.Engine.threads;
+  Alcotest.(check bool) "output" true (r.Engine.outputs = [ (0, 42L) ])
+
+let test_memory_visible_same_thread () =
+  let r =
+    run (fun () ->
+        Api.store Layout.globals_base 7;
+        Api.output_int (Api.load Layout.globals_base))
+  in
+  Alcotest.(check bool) "read own write" true (r.Engine.outputs = [ (0, 7L) ])
+
+let test_spawn_join () =
+  let r =
+    run (fun () ->
+        let addr = Layout.globals_base in
+        let child = Api.spawn (fun () -> Api.store addr 99) in
+        Alcotest.(check int) "child tid" 1 child;
+        Api.join child;
+        (* pthreads: shared memory, so the child's write is visible *)
+        Api.output_int (Api.load addr))
+  in
+  Alcotest.(check bool) "child write visible after join" true
+    (r.Engine.outputs = [ (0, 99L) ]);
+  Alcotest.(check int) "fork count" 1 r.Engine.profile.Rfdet_sim.Profile.forks;
+  Alcotest.(check int) "join count" 1 r.Engine.profile.Rfdet_sim.Profile.joins
+
+let test_join_before_exit_blocks () =
+  (* Main joins a child that does a lot of work: join must wait. *)
+  let r =
+    run (fun () ->
+        let child = Api.spawn (fun () -> Api.tick 100_000) in
+        Api.join child;
+        Api.output 1L)
+  in
+  Alcotest.(check bool) "completed" true (r.Engine.outputs = [ (0, 1L) ]);
+  Alcotest.(check bool) "time includes child work" true
+    (r.Engine.sim_time >= 100_000)
+
+let test_self_and_tids () =
+  let r =
+    run (fun () ->
+        Api.output_int (Api.self ());
+        let c1 = Api.spawn (fun () -> Api.output_int (Api.self ())) in
+        let c2 = Api.spawn (fun () -> Api.output_int (Api.self ())) in
+        Api.join c1;
+        Api.join c2)
+  in
+  Alcotest.(check bool) "tids deterministic" true
+    (r.Engine.outputs = [ (0, 0L); (1, 1L); (2, 2L) ])
+
+let test_malloc_free () =
+  let r =
+    run (fun () ->
+        let p = Api.malloc 64 in
+        Api.store p 5;
+        Api.output_int (Api.load p);
+        Api.free p;
+        let q = Api.malloc 64 in
+        Api.output_int (if q = p then 1 else 0))
+  in
+  Alcotest.(check bool) "malloc works and recycles" true
+    (r.Engine.outputs = [ (0, 5L); (0, 1L) ])
+
+let test_tick_accounting () =
+  let r = run (fun () -> Api.tick ~loads:10 ~stores:5 100) in
+  Alcotest.(check int) "loads" 10 r.Engine.profile.Rfdet_sim.Profile.loads;
+  Alcotest.(check int) "stores" 5 r.Engine.profile.Rfdet_sim.Profile.stores;
+  Alcotest.(check bool) "time advanced" true (r.Engine.sim_time >= 100)
+
+let test_mutex_mutual_exclusion () =
+  (* Two threads increment a shared counter under a lock: no lost
+     updates even under pthreads. *)
+  let r =
+    run (fun () ->
+        let addr = Layout.globals_base in
+        let m = Api.mutex_create () in
+        let body () =
+          for _ = 1 to 50 do
+            Api.with_lock m (fun () -> Api.store addr (Api.load addr + 1))
+          done
+        in
+        let c1 = Api.spawn body and c2 = Api.spawn body in
+        Api.join c1;
+        Api.join c2;
+        Api.output_int (Api.load addr))
+  in
+  Alcotest.(check bool) "no lost updates" true (r.Engine.outputs = [ (0, 100L) ])
+
+let test_cond_wait_signal () =
+  let r =
+    run (fun () ->
+        let addr = Layout.globals_base in
+        let m = Api.mutex_create () in
+        let c = Api.cond_create () in
+        let consumer =
+          Api.spawn (fun () ->
+              Api.lock m;
+              while Api.load addr = 0 do
+                Api.cond_wait c m
+              done;
+              Api.output_int (Api.load addr);
+              Api.unlock m)
+        in
+        Api.tick 10_000;
+        Api.lock m;
+        Api.store addr 123;
+        Api.cond_signal c;
+        Api.unlock m;
+        Api.join consumer)
+  in
+  Alcotest.(check bool) "consumer saw the flag" true
+    (List.mem (1, 123L) r.Engine.outputs)
+
+let test_barrier () =
+  let r =
+    run (fun () ->
+        let addr = Layout.globals_base in
+        let b = Api.barrier_create 3 in
+        let body () =
+          let tid = Api.self () in
+          Api.store (addr + (tid * 8)) tid;
+          Api.barrier_wait b;
+          (* After the barrier everyone sees all writes (pthreads). *)
+          let sum =
+            Api.load addr + Api.load (addr + 8) + Api.load (addr + 16)
+          in
+          Api.output_int sum
+        in
+        let c1 = Api.spawn body and c2 = Api.spawn body in
+        body ();
+        Api.join c1;
+        Api.join c2)
+  in
+  List.iter
+    (fun (_, v) -> Alcotest.(check int64) "sum of tids" 3L v)
+    r.Engine.outputs;
+  Alcotest.(check int) "three outputs" 3 (List.length r.Engine.outputs)
+
+let test_deterministic_without_jitter () =
+  let racy () =
+    let addr = Layout.globals_base in
+    let body () =
+      for i = 1 to 20 do
+        Api.store addr ((Api.load addr * 3) + i)
+      done
+    in
+    let c1 = Api.spawn body and c2 = Api.spawn body in
+    Api.join c1;
+    Api.join c2;
+    Api.output_int (Api.load addr)
+  in
+  let sig_of seed =
+    let config = { Engine.default_config with seed } in
+    Engine.output_signature (run ~config racy)
+  in
+  Alcotest.(check string) "same seed, same result" (sig_of 5L) (sig_of 5L)
+
+let test_jitter_changes_interleaving () =
+  (* A racy read-modify-write loop under pthreads with jitter: some pair
+     of seeds must disagree. *)
+  let racy () =
+    let addr = Layout.globals_base in
+    let body () =
+      for i = 1 to 3000 do
+        Api.store addr ((Api.load addr * 3) + i);
+        Api.tick 7
+      done
+    in
+    let c1 = Api.spawn body and c2 = Api.spawn body in
+    Api.join c1;
+    Api.join c2;
+    Api.output_int (Api.load addr)
+  in
+  let sig_of seed =
+    let config = { Engine.default_config with seed; jitter_mean = 8. } in
+    Engine.output_signature (run ~config racy)
+  in
+  let signatures = List.init 10 (fun i -> sig_of (Int64.of_int (i + 1))) in
+  let distinct = List.sort_uniq compare signatures in
+  Alcotest.(check bool) "pthreads racy results vary across seeds" true
+    (List.length distinct > 1)
+
+let test_deadlock_detected () =
+  Alcotest.(check bool) "deadlock raises" true
+    (try
+       ignore
+         (run (fun () ->
+              let m = Api.mutex_create () in
+              Api.lock m;
+              let c = Api.spawn (fun () -> Api.lock m) in
+              Api.join c));
+       false
+     with Engine.Deadlock _ -> true)
+
+let test_thread_failure_propagates () =
+  Alcotest.(check bool) "exception surfaces with tid" true
+    (try
+       ignore (run (fun () -> failwith "boom"));
+       false
+     with Engine.Thread_failure (0, Failure msg) -> msg = "boom")
+
+let test_unlock_not_held () =
+  Alcotest.(check bool) "unlock of unheld mutex rejected" true
+    (try
+       ignore
+         (run (fun () ->
+              let m = Api.mutex_create () in
+              Api.unlock m));
+       false
+     with Engine.Thread_failure (_, Invalid_argument _) -> true)
+
+let test_max_ops () =
+  let config = { Engine.default_config with max_ops = 100 } in
+  Alcotest.check_raises "runaway guard" Engine.Runaway (fun () ->
+      ignore
+        (run ~config (fun () ->
+             while true do
+               Api.tick 1
+             done)))
+
+let suites =
+  [
+    ( "engine",
+      [
+        Alcotest.test_case "single thread output" `Quick
+          test_single_thread_output;
+        Alcotest.test_case "own writes visible" `Quick
+          test_memory_visible_same_thread;
+        Alcotest.test_case "spawn/join" `Quick test_spawn_join;
+        Alcotest.test_case "join blocks" `Quick test_join_before_exit_blocks;
+        Alcotest.test_case "self/tids" `Quick test_self_and_tids;
+        Alcotest.test_case "malloc/free" `Quick test_malloc_free;
+        Alcotest.test_case "tick accounting" `Quick test_tick_accounting;
+        Alcotest.test_case "mutex exclusion" `Quick test_mutex_mutual_exclusion;
+        Alcotest.test_case "cond wait/signal" `Quick test_cond_wait_signal;
+        Alcotest.test_case "barrier" `Quick test_barrier;
+        Alcotest.test_case "no jitter => deterministic" `Quick
+          test_deterministic_without_jitter;
+        Alcotest.test_case "jitter => racy variance" `Quick
+          test_jitter_changes_interleaving;
+        Alcotest.test_case "deadlock detection" `Quick test_deadlock_detected;
+        Alcotest.test_case "thread failure" `Quick
+          test_thread_failure_propagates;
+        Alcotest.test_case "unlock unheld" `Quick test_unlock_not_held;
+        Alcotest.test_case "max_ops guard" `Quick test_max_ops;
+      ] );
+  ]

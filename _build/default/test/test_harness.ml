@@ -1,0 +1,212 @@
+(* Harness-level tests: the experiment drivers produce structurally
+   sound results with the paper's qualitative shapes, at a reduced scale
+   so the suite stays fast. *)
+
+module Experiments = Rfdet_harness.Experiments
+module Runner = Rfdet_harness.Runner
+module Determinism = Rfdet_harness.Determinism
+module Registry = Rfdet_workloads.Registry
+
+let scale = 0.3
+
+let test_runner_basics () =
+  let r = Runner.run ~scale Runner.rfdet_ci (Registry.find "fft") in
+  Alcotest.(check string) "runtime name" "rfdet-ci" r.Runner.runtime;
+  Alcotest.(check string) "workload name" "fft" r.Runner.workload;
+  Alcotest.(check bool) "time positive" true (r.Runner.sim_time > 0);
+  Alcotest.(check bool) "ops counted" true (r.Runner.ops > 0)
+
+let test_determinism_checker () =
+  let racey = Registry.find "racey" in
+  let det = Determinism.check ~runs:6 ~scale Runner.rfdet_ci racey in
+  Alcotest.(check bool) "rfdet deterministic" true det.Determinism.deterministic;
+  let non = Determinism.check ~runs:8 ~scale:1.0 Runner.Pthreads racey in
+  Alcotest.(check bool) "pthreads not" false non.Determinism.deterministic
+
+let test_figure7_shapes () =
+  let rows = Experiments.figure7 ~scale () in
+  Alcotest.(check int) "16 rows" 16 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (r.Experiments.f7_workload ^ ": pthreads cycles positive")
+        true
+        (r.Experiments.f7_pthreads > 0);
+      Alcotest.(check bool)
+        (r.Experiments.f7_workload ^ ": rfdet-ci <= rfdet-pf")
+        true
+        (r.Experiments.f7_rfdet_ci <= r.Experiments.f7_rfdet_pf +. 0.05))
+    rows;
+  let d, ci, pf = Experiments.figure7_summary rows in
+  (* the paper's headline shape: ci < pf < dthreads, ci within ~2x of
+     pthreads, rfdet-ci ≈ 2x better than dthreads *)
+  Alcotest.(check bool) "ci < pf" true (ci < pf);
+  Alcotest.(check bool) "pf < dthreads" true (pf < d);
+  Alcotest.(check bool) "ci under 2x" true (ci < 2.0);
+  Alcotest.(check bool) "rfdet ~2x faster than dthreads" true (d /. ci > 1.5)
+
+let test_table1_consistency () =
+  let rows = Experiments.table1 ~scale () in
+  List.iter
+    (fun r ->
+      let name = r.Experiments.t1_workload in
+      Alcotest.(check bool) (name ^ ": mem = loads + stores") true
+        (r.Experiments.t1_mem
+        = r.Experiments.t1_loads + r.Experiments.t1_stores);
+      Alcotest.(check bool) (name ^ ": stores-with-copy <= stores") true
+        (r.Experiments.t1_stores_with_copy <= r.Experiments.t1_stores);
+      Alcotest.(check bool) (name ^ ": rfdet footprint largest") true
+        (r.Experiments.t1_rfdet_bytes >= r.Experiments.t1_pthreads_bytes);
+      Alcotest.(check bool) (name ^ ": loads dominate stores") true
+        (r.Experiments.t1_loads + 1 > 0))
+    rows;
+  (* ferret is the lock-heaviest; the Phoenix map-reduce rows the least *)
+  let locks name =
+    (List.find (fun r -> r.Experiments.t1_workload = name) rows)
+      .Experiments.t1_locks
+  in
+  Alcotest.(check bool) "ferret locks >> string_match locks" true
+    (locks "ferret" > 100 * locks "string_match")
+
+let test_figure9_shapes () =
+  let rows = Experiments.figure9 ~scale () in
+  Alcotest.(check int) "7 splash rows" 7 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (r.Experiments.f9_workload ^ ": prelock never hurts")
+        true
+        (r.Experiments.f9_prelock >= 0.97);
+      Alcotest.(check bool)
+        (r.Experiments.f9_workload ^ ": lazy never hurts")
+        true
+        (r.Experiments.f9_lazy >= 0.97))
+    rows;
+  (* at least one app must benefit substantially from each optimization *)
+  Alcotest.(check bool) "prelock wins somewhere" true
+    (List.exists (fun r -> r.Experiments.f9_prelock > 1.15) rows);
+  Alcotest.(check bool) "lazy wins somewhere" true
+    (List.exists (fun r -> r.Experiments.f9_lazy > 1.15) rows)
+
+let test_barrier_ablation_shape () =
+  let rows = Experiments.ablation_barriers () in
+  let find name =
+    (List.find (fun r -> r.Experiments.e6_runtime = name) rows)
+      .Experiments.e6_normalized
+  in
+  Alcotest.(check bool) "rfdet near pthreads" true (find "rfdet-ci" < 1.15);
+  Alcotest.(check bool) "dthreads pays for the barrier-free thread" true
+    (find "dthreads" > 1.3);
+  Alcotest.(check bool) "coredet pays for quanta" true (find "coredet" > 1.2)
+
+let test_racey_experiment () =
+  let rows = Experiments.racey_determinism ~runs_per_config:5 ~thread_counts:[ 2; 4 ] () in
+  Alcotest.(check int) "4 runtimes x 2 thread counts" 8 (List.length rows);
+  List.iter
+    (fun r ->
+      if r.Experiments.e1_runtime <> "pthreads" then
+        Alcotest.(check int)
+          (r.Experiments.e1_runtime ^ " deterministic")
+          1 r.Experiments.e1_distinct)
+    rows
+
+let test_renderers_do_not_raise () =
+  let _ = Experiments.render_figure7 (Experiments.figure7 ~scale ()) in
+  let _ = Experiments.render_table1 (Experiments.table1 ~scale ()) in
+  let _ = Experiments.render_figure9 (Experiments.figure9 ~scale ()) in
+  let _ = Experiments.render_e6 (Experiments.ablation_barriers ()) in
+  let _ =
+    Experiments.render_e1
+      (Experiments.racey_determinism ~runs_per_config:2 ~thread_counts:[ 2 ] ())
+  in
+  ()
+
+let suites =
+  [
+    ( "harness",
+      [
+        Alcotest.test_case "runner basics" `Quick test_runner_basics;
+        Alcotest.test_case "determinism checker" `Quick test_determinism_checker;
+        Alcotest.test_case "figure 7 shapes" `Quick test_figure7_shapes;
+        Alcotest.test_case "table 1 consistency" `Quick test_table1_consistency;
+        Alcotest.test_case "figure 9 shapes" `Quick test_figure9_shapes;
+        Alcotest.test_case "barrier ablation shape" `Quick
+          test_barrier_ablation_shape;
+        Alcotest.test_case "racey experiment" `Quick test_racey_experiment;
+        Alcotest.test_case "renderers" `Quick test_renderers_do_not_raise;
+      ] );
+  ]
+
+(* appended *)
+
+let test_sensitivity_ordering () =
+  let rows =
+    Experiments.ablation_sensitivity ~factors:[ 0.5; 2.0 ] ~scale:0.3 ()
+  in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "ordering holds at %.1fx" r.Experiments.e8_factor)
+        true r.Experiments.e8_ordering_holds)
+    rows
+
+let test_slice_merging_reduces_slices () =
+  (* Merging pays off when a thread stores between two critical sections
+     on a lock it last released itself: the acquire-side close is
+     skipped, so the in-between stores join the critical section's
+     slice.  An uncontended lock makes the effect exact: ~2 slices per
+     iteration without merging, ~1 with. *)
+  let module Api = Rfdet_sim.Api in
+  let module Engine = Rfdet_sim.Engine in
+  let base = Rfdet_mem.Layout.globals_base in
+  let program () =
+    let m = Api.mutex_create () in
+    let worker =
+      Api.spawn (fun () ->
+          for i = 1 to 10 do
+            Api.with_lock m (fun () -> Api.store base i);
+            Api.store (base + 64) i
+          done)
+    in
+    Api.join worker
+  in
+  let slices opts =
+    (Engine.run (Rfdet_core.Rfdet_runtime.make ~opts) ~main:program)
+      .Engine.profile.Rfdet_sim.Profile.slices_created
+  in
+  let merged = slices Rfdet_core.Options.ci in
+  let unmerged = slices { Rfdet_core.Options.ci with slice_merging = false } in
+  Alcotest.(check bool)
+    (Printf.sprintf "fewer slices with merging (%d < %d)" merged unmerged)
+    true
+    (merged < unmerged)
+
+let test_prelock_hides_propagation_latency () =
+  let w = Registry.find "water-ns" in
+  let time opts =
+    (Runner.run ~scale:0.4 (Runner.Rfdet opts) w).Runner.sim_time
+  in
+  let with_prelock = time { Rfdet_core.Options.ci with lazy_writes = false } in
+  let without =
+    time
+      { Rfdet_core.Options.ci with lazy_writes = false; prelock = false }
+  in
+  Alcotest.(check bool) "prelock does not hurt" true
+    (with_prelock <= without + (without / 50))
+
+let suites =
+  match suites with
+  | [ (name, tests) ] ->
+    [
+      ( name,
+        tests
+        @ [
+            Alcotest.test_case "cost sensitivity ordering" `Quick
+              test_sensitivity_ordering;
+            Alcotest.test_case "slice merging reduces slices" `Quick
+              test_slice_merging_reduces_slices;
+            Alcotest.test_case "prelock never hurts" `Quick
+              test_prelock_hides_propagation_latency;
+          ] );
+    ]
+  | _ -> suites

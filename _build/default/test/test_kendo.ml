@@ -1,0 +1,212 @@
+module Engine = Rfdet_sim.Engine
+module Api = Rfdet_sim.Api
+module Layout = Rfdet_mem.Layout
+module Kendo_rt = Rfdet_baselines.Kendo_runtime
+module Arbiter = Rfdet_kendo.Arbiter
+
+let run ?config main = Engine.run ?config Kendo_rt.make ~main
+
+let with_seed seed jitter =
+  { Engine.default_config with seed; jitter_mean = jitter }
+
+let test_lock_counter () =
+  let r =
+    run (fun () ->
+        let addr = Layout.globals_base in
+        let m = Api.mutex_create () in
+        let body () =
+          for _ = 1 to 25 do
+            Api.with_lock m (fun () -> Api.store addr (Api.load addr + 1))
+          done
+        in
+        let c1 = Api.spawn body and c2 = Api.spawn body in
+        Api.join c1;
+        Api.join c2;
+        Api.output_int (Api.load addr))
+  in
+  Alcotest.(check bool) "counter correct" true (r.Engine.outputs = [ (0, 50L) ])
+
+let test_deterministic_across_seeds () =
+  (* Race-free program whose *order-sensitive* result is observed: each
+     thread appends its tid to a shared log under a lock.  Kendo must
+     produce the same log for every scheduler seed. *)
+  let program () =
+    let log_len = Layout.globals_base in
+    let log = Layout.globals_base + 8 in
+    let m = Api.mutex_create () in
+    let body k () =
+      for _ = 1 to 10 do
+        Api.tick (50 * k);
+        Api.with_lock m (fun () ->
+            let n = Api.load log_len in
+            Api.store (log + (8 * n)) (Api.self ());
+            Api.store log_len (n + 1))
+      done
+    in
+    let c1 = Api.spawn (body 1) and c2 = Api.spawn (body 3) in
+    let c3 = Api.spawn (body 7) in
+    Api.join c1;
+    Api.join c2;
+    Api.join c3;
+    let n = Api.load log_len in
+    for i = 0 to n - 1 do
+      Api.output_int (Api.load (log + (8 * i)))
+    done
+  in
+  let sig_of seed = Engine.output_signature (run ~config:(with_seed seed 10.) program) in
+  let s1 = sig_of 1L in
+  for i = 2 to 8 do
+    Alcotest.(check string) "same log across seeds" s1 (sig_of (Int64.of_int i))
+  done
+
+let test_grant_order_by_icount () =
+  (* Two threads request the same lock; the one with fewer executed
+     instructions wins regardless of simulated-time arrival. *)
+  let r =
+    run (fun () ->
+        let addr = Layout.globals_base in
+        let m = Api.mutex_create () in
+        let slow =
+          Api.spawn (fun () ->
+              Api.tick 10_000;
+              (* high icount *)
+              Api.with_lock m (fun () -> Api.store addr (Api.load addr + 1));
+              Api.output_int 100)
+        in
+        let fast =
+          Api.spawn (fun () ->
+              Api.tick 10;
+              (* low icount: must acquire first *)
+              Api.with_lock m (fun () ->
+                  Api.output_int (Api.load addr);
+                  Api.store addr (Api.load addr + 1)))
+        in
+        Api.join slow;
+        Api.join fast)
+  in
+  (* fast (tid 2) observed addr before slow's increment -> saw 0 *)
+  Alcotest.(check bool) "low-icount thread acquired first" true
+    (List.mem (2, 0L) r.Engine.outputs)
+
+let test_cond_deterministic_wakeup () =
+  (* Three waiters, one broadcast: wakeup order (hence the order of log
+     appends) must be identical across seeds. *)
+  let program () =
+    let flag = Layout.globals_base in
+    let log_len = Layout.globals_base + 8 in
+    let log = Layout.globals_base + 16 in
+    let m = Api.mutex_create () in
+    let c = Api.cond_create () in
+    let waiter k () =
+      Api.tick (13 * k);
+      Api.lock m;
+      while Api.load flag = 0 do
+        Api.cond_wait c m
+      done;
+      let n = Api.load log_len in
+      Api.store (log + (8 * n)) (Api.self ());
+      Api.store log_len (n + 1);
+      Api.unlock m
+    in
+    let ws = List.map (fun k -> Api.spawn (waiter k)) [ 1; 2; 3 ] in
+    Api.tick 5_000;
+    Api.lock m;
+    Api.store flag 1;
+    Api.cond_broadcast c;
+    Api.unlock m;
+    List.iter Api.join ws;
+    let n = Api.load log_len in
+    for i = 0 to n - 1 do
+      Api.output_int (Api.load (log + (8 * i)))
+    done
+  in
+  let sig_of seed =
+    Engine.output_signature (run ~config:(with_seed seed 12.) program)
+  in
+  let s1 = sig_of 100L in
+  for i = 101 to 105 do
+    Alcotest.(check string) "same wakeup order" s1 (sig_of (Int64.of_int i))
+  done
+
+let test_barrier_releases_all () =
+  let r =
+    run (fun () ->
+        let b = Api.barrier_create 2 in
+        let c =
+          Api.spawn (fun () ->
+              Api.barrier_wait b;
+              Api.output_int 7)
+        in
+        Api.tick 1_000;
+        Api.barrier_wait b;
+        Api.output_int 9;
+        Api.join c)
+  in
+  Alcotest.(check int) "both passed" 2 (List.length r.Engine.outputs)
+
+let test_spawn_inherits_icount () =
+  (* A child created late must not stall other threads' Kendo turns: its
+     icount is seeded from the parent's, so it is already "past" earlier
+     synchronization stamps. *)
+  let r =
+    run (fun () ->
+        let m = Api.mutex_create () in
+        Api.tick 50_000;
+        let child =
+          Api.spawn (fun () -> Api.with_lock m (fun () -> Api.output_int 1))
+        in
+        Api.with_lock m (fun () -> Api.output_int 2);
+        Api.join child)
+  in
+  Alcotest.(check int) "completed" 2 (List.length r.Engine.outputs)
+
+let test_arbiter_unit () =
+  (* Drive the arbiter directly through a minimal engine run. *)
+  let result =
+    Engine.run
+      (fun engine ->
+        let arb = Arbiter.create engine in
+        Arbiter.thread_started arb ~tid:0;
+        let granted = ref [] in
+        {
+          Engine.policy_name = "arbiter-test";
+          handle =
+            (fun ~tid op ->
+              match op with
+              | Rfdet_sim.Op.Lock _ ->
+                Arbiter.request arb ~tid ~grant:(fun ~now ->
+                    granted := (tid, now) :: !granted;
+                    Arbiter.set_active arb ~tid;
+                    Engine.wake engine ~tid ~value:0 ~not_before:now);
+                Engine.Block
+              | Rfdet_sim.Op.Output _ | _ -> Engine.Done 0)
+          ;
+          on_engine_op = (fun ~tid:_ _ outcome -> outcome);
+          on_thread_exit = (fun ~tid -> Arbiter.thread_finished arb ~tid);
+          on_step = (fun () -> Arbiter.poll arb);
+          on_finish = (fun () -> ());
+        })
+      ~main:(fun () ->
+        Api.lock (Api.Handle.mutex_of_int 1);
+        Api.lock (Api.Handle.mutex_of_int 1))
+  in
+  Alcotest.(check int) "ran to completion" 1 result.Engine.threads
+
+let suites =
+  [
+    ( "kendo",
+      [
+        Alcotest.test_case "lock counter" `Quick test_lock_counter;
+        Alcotest.test_case "deterministic across seeds" `Quick
+          test_deterministic_across_seeds;
+        Alcotest.test_case "grant order by icount" `Quick
+          test_grant_order_by_icount;
+        Alcotest.test_case "cond deterministic wakeup" `Quick
+          test_cond_deterministic_wakeup;
+        Alcotest.test_case "barrier releases all" `Quick
+          test_barrier_releases_all;
+        Alcotest.test_case "spawn inherits icount" `Quick
+          test_spawn_inherits_icount;
+        Alcotest.test_case "arbiter unit" `Quick test_arbiter_unit;
+      ] );
+  ]

@@ -1,0 +1,27 @@
+let () =
+  Alcotest.run "rfdet"
+    (List.concat
+       [
+         Test_vclock.suites;
+         Test_pqueue.suites;
+         Test_det_rng.suites;
+         Test_space.suites;
+         Test_diff.suites;
+         Test_allocator.suites;
+         Test_engine.suites;
+         Test_kendo.suites;
+         Test_rfdet.suites;
+         Test_dthreads.suites;
+         Test_dlrc_model.suites;
+         Test_coredet.suites;
+         Test_atomics.suites;
+         Test_race_detector.suites;
+         Test_replay.suites;
+         Test_sequential.suites;
+         Test_edge_cases.suites;
+         Test_pipeline_queue.suites;
+         Test_wl_common.suites;
+         Test_metadata.suites;
+         Test_harness.suites;
+         Test_workloads.suites;
+       ])

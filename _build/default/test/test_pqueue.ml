@@ -1,0 +1,93 @@
+open Rfdet_util
+
+let test_basic () =
+  let q = Pqueue.create ~cmp:compare in
+  Alcotest.(check bool) "empty" true (Pqueue.is_empty q);
+  Pqueue.push q 3;
+  Pqueue.push q 1;
+  Pqueue.push q 2;
+  Alcotest.(check int) "length" 3 (Pqueue.length q);
+  Alcotest.(check (option int)) "peek" (Some 1) (Pqueue.peek q);
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Pqueue.pop q);
+  Alcotest.(check (option int)) "pop 2" (Some 2) (Pqueue.pop q);
+  Alcotest.(check (option int)) "pop 3" (Some 3) (Pqueue.pop q);
+  Alcotest.(check (option int)) "pop empty" None (Pqueue.pop q)
+
+let test_pop_exn () =
+  let q = Pqueue.create ~cmp:compare in
+  Alcotest.check_raises "pop_exn empty" Not_found (fun () ->
+      ignore (Pqueue.pop_exn q));
+  Pqueue.push q 42;
+  Alcotest.(check int) "pop_exn" 42 (Pqueue.pop_exn q)
+
+let test_clear_fold () =
+  let q = Pqueue.create ~cmp:compare in
+  List.iter (Pqueue.push q) [ 5; 1; 4 ];
+  Alcotest.(check int) "fold sum" 10 (Pqueue.fold q ~init:0 ~f:( + ));
+  Alcotest.(check bool) "exists" true (Pqueue.exists q ~f:(fun x -> x = 4));
+  Alcotest.(check bool) "not exists" false (Pqueue.exists q ~f:(fun x -> x = 9));
+  Pqueue.clear q;
+  Alcotest.(check bool) "cleared" true (Pqueue.is_empty q)
+
+let test_ties_deterministic () =
+  (* Entries comparing equal must pop in a stable, deterministic order
+     given the same pushes — the scheduler depends on total orders, but
+     the heap itself must at least be reproducible. *)
+  let run () =
+    let q = Pqueue.create ~cmp:(fun (a, _) (b, _) -> compare a b) in
+    List.iter (Pqueue.push q) [ (1, "a"); (1, "b"); (0, "c"); (1, "d") ];
+    let rec drain acc =
+      match Pqueue.pop q with None -> List.rev acc | Some x -> drain (x :: acc)
+    in
+    drain []
+  in
+  Alcotest.(check bool) "reproducible" true (run () = run ())
+
+let prop_sorted_drain =
+  QCheck2.Test.make ~name:"pqueue: drains in sorted order" ~count:300
+    QCheck2.Gen.(list int)
+    (fun xs ->
+      let q = Pqueue.create ~cmp:compare in
+      List.iter (Pqueue.push q) xs;
+      let rec drain acc =
+        match Pqueue.pop q with
+        | None -> List.rev acc
+        | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort compare xs)
+
+let prop_interleaved =
+  QCheck2.Test.make ~name:"pqueue: interleaved push/pop preserves min"
+    ~count:200
+    QCheck2.Gen.(list (pair bool small_int))
+    (fun ops ->
+      let q = Pqueue.create ~cmp:compare in
+      let model = ref [] in
+      List.for_all
+        (fun (is_push, v) ->
+          if is_push then begin
+            Pqueue.push q v;
+            model := List.sort compare (v :: !model);
+            true
+          end
+          else
+            match Pqueue.pop q, !model with
+            | None, [] -> true
+            | Some x, m :: rest ->
+              model := rest;
+              x = m
+            | Some _, [] | None, _ :: _ -> false)
+        ops)
+
+let suites =
+  [
+    ( "pqueue",
+      [
+        Alcotest.test_case "basic order" `Quick test_basic;
+        Alcotest.test_case "pop_exn" `Quick test_pop_exn;
+        Alcotest.test_case "clear/fold/exists" `Quick test_clear_fold;
+        Alcotest.test_case "deterministic ties" `Quick test_ties_deterministic;
+        QCheck_alcotest.to_alcotest prop_sorted_drain;
+        QCheck_alcotest.to_alcotest prop_interleaved;
+      ] );
+  ]

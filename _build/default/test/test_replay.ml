@@ -1,0 +1,52 @@
+module Replay = Rfdet_harness.Replay
+module Registry = Rfdet_workloads.Registry
+
+let test_record_replay_roundtrip () =
+  let rec_ = Replay.record ~scale:0.3 (Registry.find "radix") in
+  List.iter
+    (fun seed ->
+      let _, ok = Replay.replay ~sched_seed:seed rec_ in
+      Alcotest.(check bool)
+        (Printf.sprintf "replay matches under scheduler seed %Ld" seed)
+        true ok)
+    [ 3L; 1234L; 777L ]
+
+let test_replay_detects_input_change () =
+  (* changing the input seed is a *different execution*: the recording
+     must not match *)
+  let rec_ = Replay.record ~scale:0.3 ~input_seed:1L (Registry.find "fft") in
+  let tampered = { rec_ with Replay.input_seed = 2L } in
+  let _, ok = Replay.replay tampered in
+  Alcotest.(check bool) "different input, different output" false ok
+
+let test_serialization_roundtrip () =
+  let rec_ = Replay.record ~scale:0.3 (Registry.find "racey") in
+  match Replay.of_string (Replay.to_string rec_) with
+  | Some parsed ->
+    Alcotest.(check bool) "round trip" true (parsed = rec_);
+    let _, ok = Replay.replay parsed in
+    Alcotest.(check bool) "parsed recording replays" true ok
+  | None -> Alcotest.fail "failed to parse recording"
+
+let test_parse_garbage () =
+  Alcotest.(check bool) "garbage rejected" true
+    (Replay.of_string "not a recording" = None);
+  Alcotest.(check bool) "partial rejected" true
+    (Replay.of_string "workload=fft\nthreads=4\n" = None);
+  Alcotest.(check bool) "bad int rejected" true
+    (Replay.of_string
+       "workload=fft\nthreads=x\nscale=1.0\ninput_seed=1\nsignature=s\n"
+    = None)
+
+let suites =
+  [
+    ( "replay",
+      [
+        Alcotest.test_case "record/replay round trip" `Quick
+          test_record_replay_roundtrip;
+        Alcotest.test_case "input change detected" `Quick
+          test_replay_detects_input_change;
+        Alcotest.test_case "serialization" `Quick test_serialization_roundtrip;
+        Alcotest.test_case "parse garbage" `Quick test_parse_garbage;
+      ] );
+  ]

@@ -1,0 +1,452 @@
+module Engine = Rfdet_sim.Engine
+module Api = Rfdet_sim.Api
+module Layout = Rfdet_mem.Layout
+module Options = Rfdet_core.Options
+module Rfdet = Rfdet_core.Rfdet_runtime
+module Pthreads = Rfdet_baselines.Pthreads_runtime
+
+let run ?(opts = Options.default) ?config main =
+  Engine.run ?config (Rfdet.make ~opts) ~main
+
+let with_seed ?(jitter = 10.) seed =
+  { Engine.default_config with seed; jitter_mean = jitter }
+
+let base = Layout.globals_base
+
+(* --- visibility semantics ------------------------------------------- *)
+
+let test_isolation_without_sync () =
+  (* A store with no happens-before edge to the reader must be invisible
+     (DLRC's second implication), unlike pthreads. *)
+  let r =
+    run (fun () ->
+        let c = Api.spawn (fun () -> Api.store base 41) in
+        Api.tick 50_000;
+        (* Plenty of simulated time for the child's store to "complete";
+           it must still be invisible: there is no synchronization. *)
+        Api.output_int (Api.load base);
+        Api.join c)
+  in
+  Alcotest.(check bool) "unsynchronized write invisible" true
+    (List.mem (0, 0L) r.Engine.outputs)
+
+let test_visibility_through_lock () =
+  let r =
+    run (fun () ->
+        let m = Api.mutex_create () in
+        let producer =
+          Api.spawn (fun () ->
+              Api.with_lock m (fun () -> Api.store base 7))
+        in
+        let consumer =
+          Api.spawn (fun () ->
+              Api.tick 100_000;
+              (* acquire strictly after the producer's release *)
+              Api.with_lock m (fun () -> Api.output_int (Api.load base)))
+        in
+        Api.join producer;
+        Api.join consumer)
+  in
+  Alcotest.(check bool) "release->acquire makes write visible" true
+    (List.mem (2, 7L) r.Engine.outputs)
+
+let test_figure2_partial_visibility () =
+  (* Figure 2 of the paper: T1 sets x=1 inside a critical section and
+     x=2 after it; T2, acquiring the lock after T1's release, must see
+     x=1 and must NOT see x=2. *)
+  let r =
+    run (fun () ->
+        let m = Api.mutex_create () in
+        let t1 =
+          Api.spawn (fun () ->
+              Api.with_lock m (fun () -> Api.store base 1);
+              Api.store base 2)
+        in
+        let t2 =
+          Api.spawn (fun () ->
+              Api.output_int (Api.load base);
+              (* print #1: no HB yet -> 0 *)
+              Api.tick 200_000;
+              Api.with_lock m (fun () -> Api.output_int (Api.load base)))
+        in
+        Api.join t1;
+        Api.join t2)
+  in
+  let t2_outputs = List.filter_map (fun (tid, v) -> if tid = 2 then Some v else None) r.Engine.outputs in
+  Alcotest.(check (list int64)) "sees x=1, not x=2" [ 0L; 1L ] t2_outputs
+
+let test_transitive_propagation () =
+  (* Figure 6: x=1 flows T1 -> T2 -> T3 across two different locks. *)
+  let r =
+    run (fun () ->
+        let m1 = Api.mutex_create () in
+        let m2 = Api.mutex_create () in
+        let t1 = Api.spawn (fun () -> Api.with_lock m1 (fun () -> Api.store base 1)) in
+        let t2 =
+          Api.spawn (fun () ->
+              Api.tick 100_000;
+              Api.with_lock m1 (fun () -> Api.tick 10);
+              Api.with_lock m2 (fun () -> Api.tick 10))
+        in
+        let t3 =
+          Api.spawn (fun () ->
+              Api.tick 300_000;
+              Api.with_lock m2 (fun () -> Api.output_int (Api.load base)))
+        in
+        Api.join t1;
+        Api.join t2;
+        Api.join t3)
+  in
+  Alcotest.(check bool) "x=1 reached T3 transitively" true
+    (List.mem (3, 1L) r.Engine.outputs)
+
+let test_join_propagates () =
+  let r =
+    run (fun () ->
+        let c = Api.spawn (fun () -> Api.store base 123) in
+        Api.join c;
+        Api.output_int (Api.load base))
+  in
+  Alcotest.(check bool) "join is an acquire" true
+    (List.mem (0, 123L) r.Engine.outputs)
+
+let test_child_inherits_parent_memory () =
+  let r =
+    run (fun () ->
+        Api.store base 55;
+        (* pre-fork write: inherited via COW fork, never monitored *)
+        let c = Api.spawn (fun () -> Api.output_int (Api.load base)) in
+        Api.join c)
+  in
+  Alcotest.(check bool) "child sees pre-fork memory" true
+    (List.mem (1, 55L) r.Engine.outputs)
+
+let test_barrier_merges_all () =
+  let r =
+    run (fun () ->
+        let b = Api.barrier_create 3 in
+        let worker k () =
+          Api.store (base + (8 * k)) (100 + k);
+          Api.barrier_wait b;
+          let sum =
+            Api.load base + Api.load (base + 8) + Api.load (base + 16)
+          in
+          Api.output_int sum
+        in
+        let c1 = Api.spawn (worker 1) and c2 = Api.spawn (worker 2) in
+        worker 0 ();
+        Api.join c1;
+        Api.join c2)
+  in
+  Alcotest.(check int) "three outputs" 3 (List.length r.Engine.outputs);
+  List.iter
+    (fun (_, v) ->
+      Alcotest.(check int64) "all pre-barrier writes visible" 303L v)
+    r.Engine.outputs
+
+let test_byte_merge_511 () =
+  (* Section 4.6: initial y=0; T1 writes y=256 in a critical section;
+     T2 racily writes y=255 before acquiring the same lock.  Remote
+     (T1's) modification is the single byte 1 at offset 1, merged over
+     T2's local 255 -> T2 reads 511.  Deterministic and byte-granular. *)
+  let r =
+    run (fun () ->
+        let m = Api.mutex_create () in
+        let t1 = Api.spawn (fun () -> Api.with_lock m (fun () -> Api.store base 256)) in
+        let t2 =
+          Api.spawn (fun () ->
+              Api.store base 255;
+              (* racy local write *)
+              Api.tick 200_000;
+              Api.with_lock m (fun () -> Api.output_int (Api.load base)))
+        in
+        Api.join t1;
+        Api.join t2)
+  in
+  Alcotest.(check bool) "255 merged with 256 gives 511" true
+    (List.mem (2, 511L) r.Engine.outputs)
+
+let test_redundant_remote_keeps_local () =
+  (* Section 4.6 continued: if the remote write is redundant (stores the
+     value the location already had), it produces no modification, so
+     the local racy write survives. *)
+  let r =
+    run (fun () ->
+        let m = Api.mutex_create () in
+        (* y starts at 0; T1 redundantly stores 0 in its critical section. *)
+        let t1 = Api.spawn (fun () -> Api.with_lock m (fun () -> Api.store base 0)) in
+        let t2 =
+          Api.spawn (fun () ->
+              Api.store base 2;
+              Api.tick 200_000;
+              Api.with_lock m (fun () -> Api.output_int (Api.load base)))
+        in
+        Api.join t1;
+        Api.join t2)
+  in
+  Alcotest.(check bool) "local write survives redundant remote" true
+    (List.mem (2, 2L) r.Engine.outputs)
+
+(* --- determinism ---------------------------------------------------- *)
+
+let racey_mini () =
+  (* A miniature racey: racy read-modify-write mixing on a shared array,
+     signature printed at the end. *)
+  let arr = base and n = 8 in
+  let body k () =
+    for i = 1 to 1500 do
+      let slot = arr + (8 * ((i * (k + 3)) mod n)) in
+      let v = Api.load slot in
+      Api.store slot ((v * 31) + i + k);
+      if i mod 40 = 0 then Api.tick 13
+    done
+  in
+  let ts = List.init 3 (fun k -> Api.spawn (body k)) in
+  List.iter Api.join ts;
+  let sig_ = ref 0 in
+  for i = 0 to n - 1 do
+    sig_ := (!sig_ * 1009) lxor Api.load (arr + (8 * i))
+  done;
+  Api.output_int !sig_
+
+let signatures_for make_policy ~opts:_ seeds =
+  List.map
+    (fun seed ->
+      Engine.output_signature
+        (Engine.run ~config:(with_seed (Int64.of_int seed)) make_policy
+           ~main:racey_mini))
+    seeds
+
+let test_rfdet_deterministic_across_seeds () =
+  let seeds = [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  let sigs =
+    signatures_for (Rfdet.make ~opts:Options.default) ~opts:() seeds
+  in
+  Alcotest.(check int) "one distinct output" 1
+    (List.length (List.sort_uniq compare sigs))
+
+let test_pthreads_nondeterministic () =
+  let seeds = List.init 10 (fun i -> i + 1) in
+  let sigs = signatures_for Pthreads.make ~opts:() seeds in
+  Alcotest.(check bool) "pthreads varies" true
+    (List.length (List.sort_uniq compare sigs) > 1)
+
+let config_matrix =
+  [
+    ("ci", Options.ci);
+    ("pf", Options.pf);
+    ("noopt", Options.baseline_no_opt);
+    ("no-merge", { Options.default with slice_merging = false });
+    ("lazy-only", { Options.default with prelock = false });
+    ("prelock-only", { Options.default with lazy_writes = false });
+    ("monitor-all", { Options.default with skip_premain_monitoring = false });
+  ]
+
+let test_all_configs_agree () =
+  (* Every monitor/optimization combination must produce the same
+     observable output on the same racy program: the optimizations are
+     performance-only. *)
+  let reference =
+    Engine.output_signature
+      (Engine.run ~config:(with_seed 99L) (Rfdet.make ~opts:Options.default)
+         ~main:racey_mini)
+  in
+  List.iter
+    (fun (name, opts) ->
+      let s =
+        Engine.output_signature
+          (Engine.run ~config:(with_seed 7L) (Rfdet.make ~opts)
+             ~main:racey_mini)
+      in
+      Alcotest.(check string) (name ^ " agrees") reference s)
+    config_matrix
+
+let test_race_free_program_matches_pthreads () =
+  (* For a race-free program, RFDet must compute the same result as
+     pthreads (sequential-consistency preservation, Section 3.3). *)
+  let program () =
+    let m = Api.mutex_create () in
+    let body k () =
+      for i = 1 to 40 do
+        Api.with_lock m (fun () ->
+            Api.store base (Api.load base + (i * k)))
+      done
+    in
+    let ts = List.init 3 (fun k -> Api.spawn (body (k + 1))) in
+    List.iter Api.join ts;
+    Api.output_int (Api.load base)
+  in
+  let rfdet =
+    (Engine.run ~config:(with_seed 1L) (Rfdet.make ~opts:Options.default)
+       ~main:program)
+      .Engine.outputs
+  in
+  let pthreads =
+    (Engine.run ~config:(with_seed 1L) Pthreads.make ~main:program)
+      .Engine.outputs
+  in
+  Alcotest.(check bool) "same final sum" true (rfdet = pthreads)
+
+(* --- GC ------------------------------------------------------------- *)
+
+let test_gc_triggers_and_preserves_semantics () =
+  let opts =
+    { Options.default with metadata_capacity = 16 * 1024; gc_threshold = 0.5 }
+  in
+  let program () =
+    let m = Api.mutex_create () in
+    let body k () =
+      for i = 1 to 120 do
+        Api.with_lock m (fun () ->
+            (* touch a few distinct pages to fatten slices *)
+            Api.store (base + (i * 24)) (i + k);
+            Api.store (base + 40_000 + (i * 16)) (i * k))
+      done
+    in
+    let c1 = Api.spawn (body 1) and c2 = Api.spawn (body 2) in
+    Api.join c1;
+    Api.join c2;
+    Api.output_int (Api.load (base + 24))
+  in
+  let r = run ~opts ~config:(with_seed 3L) program in
+  Alcotest.(check bool) "GC ran" true (r.Engine.profile.Rfdet_sim.Profile.gc_runs > 0);
+  (* determinism preserved under GC pressure *)
+  let s1 = Engine.output_signature (run ~opts ~config:(with_seed 5L) program) in
+  let s2 = Engine.output_signature (run ~opts ~config:(with_seed 9L) program) in
+  Alcotest.(check string) "deterministic with GC" s1 s2;
+  (* and equal to the run without GC pressure *)
+  let s3 = Engine.output_signature (run ~config:(with_seed 2L) program) in
+  Alcotest.(check string) "same output as without GC" s1 s3
+
+(* --- profile plumbing ------------------------------------------------ *)
+
+let test_profile_counters () =
+  let r =
+    run (fun () ->
+        let m = Api.mutex_create () in
+        let c =
+          Api.spawn (fun () ->
+              Api.with_lock m (fun () -> Api.store base 1))
+        in
+        Api.with_lock m (fun () -> Api.store base 2);
+        Api.join c)
+  in
+  let p = r.Engine.profile in
+  Alcotest.(check int) "locks" 2 p.Rfdet_sim.Profile.locks;
+  Alcotest.(check int) "unlocks" 2 p.Rfdet_sim.Profile.unlocks;
+  Alcotest.(check int) "forks" 1 p.Rfdet_sim.Profile.forks;
+  Alcotest.(check int) "joins" 1 p.Rfdet_sim.Profile.joins;
+  Alcotest.(check bool) "stores with copy > 0" true
+    (p.Rfdet_sim.Profile.stores_with_copy > 0);
+  Alcotest.(check bool) "slices created > 0" true
+    (p.Rfdet_sim.Profile.slices_created > 0);
+  Alcotest.(check bool) "footprint: shared bytes > 0" true
+    (p.Rfdet_sim.Profile.shared_bytes > 0)
+
+let test_pf_counts_faults_ci_does_not () =
+  let program () =
+    let m = Api.mutex_create () in
+    let c =
+      Api.spawn (fun () -> Api.with_lock m (fun () -> Api.store base 1))
+    in
+    Api.with_lock m (fun () -> Api.store (base + 4096) 2);
+    Api.join c
+  in
+  let opts_nolazy monitor =
+    { Options.default with monitor; lazy_writes = false }
+  in
+  let r_pf = run ~opts:(opts_nolazy Options.Page_fault) program in
+  let r_ci = run ~opts:(opts_nolazy Options.Instrumentation) program in
+  Alcotest.(check bool) "pf faults > 0" true
+    (r_pf.Engine.profile.Rfdet_sim.Profile.page_faults > 0);
+  Alcotest.(check int) "ci faults = 0" 0
+    r_ci.Engine.profile.Rfdet_sim.Profile.page_faults;
+  Alcotest.(check bool) "pf mprotects > 0" true
+    (r_pf.Engine.profile.Rfdet_sim.Profile.mprotect_calls > 0);
+  Alcotest.(check bool) "pf slower than ci" true
+    (r_pf.Engine.sim_time > r_ci.Engine.sim_time)
+
+let suites =
+  [
+    ( "rfdet",
+      [
+        Alcotest.test_case "isolation without sync" `Quick
+          test_isolation_without_sync;
+        Alcotest.test_case "visibility through lock" `Quick
+          test_visibility_through_lock;
+        Alcotest.test_case "figure 2 partial visibility" `Quick
+          test_figure2_partial_visibility;
+        Alcotest.test_case "transitive propagation" `Quick
+          test_transitive_propagation;
+        Alcotest.test_case "join propagates" `Quick test_join_propagates;
+        Alcotest.test_case "child inherits memory" `Quick
+          test_child_inherits_parent_memory;
+        Alcotest.test_case "barrier merges all" `Quick test_barrier_merges_all;
+        Alcotest.test_case "byte merge 511" `Quick test_byte_merge_511;
+        Alcotest.test_case "redundant remote keeps local" `Quick
+          test_redundant_remote_keeps_local;
+        Alcotest.test_case "deterministic across seeds" `Quick
+          test_rfdet_deterministic_across_seeds;
+        Alcotest.test_case "pthreads nondeterministic" `Quick
+          test_pthreads_nondeterministic;
+        Alcotest.test_case "all configs agree" `Quick test_all_configs_agree;
+        Alcotest.test_case "race-free matches pthreads" `Quick
+          test_race_free_program_matches_pthreads;
+        Alcotest.test_case "GC triggers, semantics preserved" `Quick
+          test_gc_triggers_and_preserves_semantics;
+        Alcotest.test_case "profile counters" `Quick test_profile_counters;
+        Alcotest.test_case "pf vs ci counters" `Quick
+          test_pf_counts_faults_ci_does_not;
+      ] );
+  ]
+
+(* appended: documented limitations, §4.6 *)
+
+let test_adhoc_sync_unsupported () =
+  (* The paper: "Programs using ad hoc synchronization may be incorrect
+     in DLRC (e.g., they may deadlock)".  A plain-flag spin loop never
+     observes the writer's store — there is no happens-before edge — so
+     the spinner runs forever (caught by the engine's op bound).  The
+     atomic-flag version of the same program works (see the atomics
+     suite). *)
+  let config = { Engine.default_config with max_ops = 200_000 } in
+  Alcotest.check_raises "plain-flag spinning never terminates" Engine.Runaway
+    (fun () ->
+      ignore
+        (run ~config (fun () ->
+             let flag = base in
+             let producer = Api.spawn (fun () -> Api.store flag 1) in
+             let consumer =
+               Api.spawn (fun () ->
+                   while Api.load flag = 0 do
+                     Api.tick 5
+                   done)
+             in
+             Api.join producer;
+             Api.join consumer)))
+
+let test_thread_limit_guard () =
+  Alcotest.(check bool) "spawning beyond the clock width fails cleanly" true
+    (try
+       ignore
+         (run (fun () ->
+              let tids = List.init 70 (fun _ -> Api.spawn (fun () -> Api.tick 1)) in
+              List.iter Api.join tids));
+       false
+     with Engine.Thread_failure (_, Failure msg) ->
+       Astring.String.is_infix ~affix:"vector-clock width" msg)
+
+let suites =
+  match suites with
+  | [ (name, tests) ] ->
+    [
+      ( name,
+        tests
+        @ [
+            Alcotest.test_case "ad hoc sync unsupported (documented)" `Quick
+              test_adhoc_sync_unsupported;
+            Alcotest.test_case "thread limit guard" `Quick
+              test_thread_limit_guard;
+          ] );
+    ]
+  | _ -> suites

@@ -1,0 +1,124 @@
+open Rfdet_util
+
+let vc l = Vclock.of_list l
+
+let test_create () =
+  let c = Vclock.create 4 in
+  Alcotest.(check (list int)) "zero" [ 0; 0; 0; 0 ] (Vclock.to_list c)
+
+let test_tick () =
+  let c = Vclock.create 3 in
+  Alcotest.(check int) "tick returns new value" 1 (Vclock.tick c 1);
+  Alcotest.(check int) "tick again" 2 (Vclock.tick c 1);
+  Alcotest.(check (list int)) "components" [ 0; 2; 0 ] (Vclock.to_list c)
+
+let test_join () =
+  let a = vc [ 1; 5; 2 ] and b = vc [ 3; 1; 2 ] in
+  Vclock.join a b;
+  Alcotest.(check (list int)) "lub" [ 3; 5; 2 ] (Vclock.to_list a);
+  Alcotest.(check (list int)) "src untouched" [ 3; 1; 2 ] (Vclock.to_list b)
+
+let test_orders () =
+  let check_order msg expected a b =
+    let show = function
+      | Vclock.Equal -> "equal"
+      | Less -> "less"
+      | Greater -> "greater"
+      | Concurrent -> "concurrent"
+    in
+    Alcotest.(check string) msg (show expected) (show (Vclock.compare_partial a b))
+  in
+  check_order "equal" Vclock.Equal (vc [ 1; 2 ]) (vc [ 1; 2 ]);
+  check_order "less" Vclock.Less (vc [ 1; 2 ]) (vc [ 1; 3 ]);
+  check_order "greater" Vclock.Greater (vc [ 2; 2 ]) (vc [ 1; 2 ]);
+  check_order "concurrent" Vclock.Concurrent (vc [ 2; 0 ]) (vc [ 0; 2 ])
+
+let test_leq_strict () =
+  Alcotest.(check bool) "leq refl" true (Vclock.leq (vc [ 1; 1 ]) (vc [ 1; 1 ]));
+  Alcotest.(check bool) "lt irrefl" false (Vclock.lt (vc [ 1; 1 ]) (vc [ 1; 1 ]));
+  Alcotest.(check bool) "lt strict" true (Vclock.lt (vc [ 1; 1 ]) (vc [ 2; 1 ]))
+
+let test_min_into () =
+  let a = vc [ 5; 2; 7 ] in
+  Vclock.min_into a (vc [ 3; 4; 7 ]);
+  Alcotest.(check (list int)) "glb" [ 3; 2; 7 ] (Vclock.to_list a)
+
+let test_size_mismatch () =
+  Alcotest.check_raises "join mismatch"
+    (Invalid_argument "Vclock.join: size mismatch") (fun () ->
+      Vclock.join (Vclock.create 2) (Vclock.create 3))
+
+(* qcheck generators *)
+
+let gen_clock n =
+  QCheck2.Gen.(map Vclock.of_list (list_size (return n) (int_bound 8)))
+
+let prop_join_upper_bound =
+  QCheck2.Test.make ~name:"vclock: join is an upper bound" ~count:300
+    QCheck2.Gen.(pair (gen_clock 4) (gen_clock 4))
+    (fun (a, b) ->
+      let j = Vclock.joined a b in
+      Vclock.leq a j && Vclock.leq b j)
+
+let prop_join_least =
+  QCheck2.Test.make ~name:"vclock: join is the least upper bound" ~count:300
+    QCheck2.Gen.(triple (gen_clock 4) (gen_clock 4) (gen_clock 4))
+    (fun (a, b, c) ->
+      let j = Vclock.joined a b in
+      if Vclock.leq a c && Vclock.leq b c then Vclock.leq j c else true)
+
+let prop_join_commutative =
+  QCheck2.Test.make ~name:"vclock: join commutative" ~count:300
+    QCheck2.Gen.(pair (gen_clock 4) (gen_clock 4))
+    (fun (a, b) -> Vclock.equal (Vclock.joined a b) (Vclock.joined b a))
+
+let prop_join_associative =
+  QCheck2.Test.make ~name:"vclock: join associative" ~count:300
+    QCheck2.Gen.(triple (gen_clock 4) (gen_clock 4) (gen_clock 4))
+    (fun (a, b, c) ->
+      Vclock.equal
+        (Vclock.joined (Vclock.joined a b) c)
+        (Vclock.joined a (Vclock.joined b c)))
+
+let prop_leq_antisym =
+  QCheck2.Test.make ~name:"vclock: leq antisymmetric" ~count:300
+    QCheck2.Gen.(pair (gen_clock 4) (gen_clock 4))
+    (fun (a, b) ->
+      if Vclock.leq a b && Vclock.leq b a then Vclock.equal a b else true)
+
+let prop_leq_transitive =
+  QCheck2.Test.make ~name:"vclock: leq transitive" ~count:300
+    QCheck2.Gen.(triple (gen_clock 3) (gen_clock 3) (gen_clock 3))
+    (fun (a, b, c) ->
+      if Vclock.leq a b && Vclock.leq b c then Vclock.leq a c else true)
+
+let prop_partial_consistent =
+  QCheck2.Test.make ~name:"vclock: compare_partial agrees with leq" ~count:300
+    QCheck2.Gen.(pair (gen_clock 4) (gen_clock 4))
+    (fun (a, b) ->
+      match Vclock.compare_partial a b with
+      | Vclock.Equal -> Vclock.equal a b
+      | Less -> Vclock.lt a b
+      | Greater -> Vclock.lt b a
+      | Concurrent -> (not (Vclock.leq a b)) && not (Vclock.leq b a))
+
+let suites =
+  [
+    ( "vclock",
+      [
+        Alcotest.test_case "create" `Quick test_create;
+        Alcotest.test_case "tick" `Quick test_tick;
+        Alcotest.test_case "join" `Quick test_join;
+        Alcotest.test_case "orders" `Quick test_orders;
+        Alcotest.test_case "leq/lt" `Quick test_leq_strict;
+        Alcotest.test_case "min_into" `Quick test_min_into;
+        Alcotest.test_case "size mismatch" `Quick test_size_mismatch;
+        QCheck_alcotest.to_alcotest prop_join_upper_bound;
+        QCheck_alcotest.to_alcotest prop_join_least;
+        QCheck_alcotest.to_alcotest prop_join_commutative;
+        QCheck_alcotest.to_alcotest prop_join_associative;
+        QCheck_alcotest.to_alcotest prop_leq_antisym;
+        QCheck_alcotest.to_alcotest prop_leq_transitive;
+        QCheck_alcotest.to_alcotest prop_partial_consistent;
+      ] );
+  ]

@@ -1,0 +1,111 @@
+(* Properties of the workload building blocks: partitioning, fixed-point
+   arithmetic, the checksum mixer, and the table renderer. *)
+
+module Wl = Rfdet_workloads.Wl_common
+module Fx = Rfdet_workloads.Wl_common.Fx
+module Tablefmt = Rfdet_util.Tablefmt
+module Stats = Rfdet_util.Stats
+
+let prop_partition_covers =
+  QCheck2.Test.make ~name:"partition: ranges tile [0, n) exactly" ~count:300
+    QCheck2.Gen.(pair (int_range 0 500) (int_range 1 9))
+    (fun (n, workers) ->
+      let ranges =
+        List.init workers (fun k -> Wl.partition ~n ~workers ~k)
+      in
+      (* disjoint, ordered, and covering *)
+      let flat = List.concat_map (fun (lo, hi) -> List.init (hi - lo) (( + ) lo)) ranges in
+      flat = List.init n (fun i -> i))
+
+let prop_partition_balanced =
+  QCheck2.Test.make ~name:"partition: sizes differ by at most one chunk"
+    ~count:300
+    QCheck2.Gen.(pair (int_range 1 500) (int_range 1 9))
+    (fun (n, workers) ->
+      let sizes =
+        List.init workers (fun k ->
+            let lo, hi = Wl.partition ~n ~workers ~k in
+            hi - lo)
+      in
+      let nonzero = List.filter (fun s -> s > 0) sizes in
+      match (nonzero, List.rev nonzero) with
+      | [], _ | _, [] -> n = 0
+      | first :: _, last :: _ ->
+        List.for_all (fun s -> s = first || s = last) nonzero)
+
+let test_fx_basics () =
+  Alcotest.(check int) "one" 65536 Fx.one;
+  Alcotest.(check int) "of_int" (3 * 65536) (Fx.of_int 3);
+  Alcotest.(check int) "mul identity" Fx.one (Fx.mul Fx.one Fx.one);
+  Alcotest.(check int) "div identity" Fx.one (Fx.div Fx.one Fx.one);
+  Alcotest.(check int) "div by zero" 0 (Fx.div Fx.one 0);
+  Alcotest.(check int) "exp(0) = 1" Fx.one (Fx.exp_approx 0)
+
+let prop_fx_mul_div_inverse =
+  QCheck2.Test.make ~name:"fx: div (mul a b) b ~ a" ~count:300
+    QCheck2.Gen.(pair (int_range 1 200) (int_range 1 200))
+    (fun (a, b) ->
+      let fa = Fx.of_int a and fb = Fx.of_int b in
+      let back = Fx.div (Fx.mul fa fb) fb in
+      abs (back - fa) <= 1)
+
+let prop_fx_sqrt =
+  QCheck2.Test.make ~name:"fx: sqrt(x)^2 ~ x" ~count:200
+    QCheck2.Gen.(int_range 1 4000)
+    (fun x ->
+      let fx = Fx.of_int x in
+      let r = Fx.sqrt_approx fx in
+      let sq = Fx.mul r r in
+      (* within 2% for moderate inputs *)
+      abs (sq - fx) < fx / 50 + 2)
+
+let prop_mix_sensitive =
+  QCheck2.Test.make ~name:"mix: sensitive to both arguments" ~count:300
+    QCheck2.Gen.(triple small_int small_int small_int)
+    (fun (a, b, c) ->
+      (* perturbing either argument changes the mix (collisions are
+         astronomically unlikely at these sizes) *)
+      (b = c || Wl.mix a b <> Wl.mix a c)
+      && (a = c || Wl.mix a b <> Wl.mix c b))
+
+let test_tablefmt () =
+  let t =
+    Tablefmt.create ~title:"T"
+      ~columns:[ ("a", Tablefmt.Left); ("b", Tablefmt.Right) ]
+  in
+  Tablefmt.add_row t [ "x"; "1" ];
+  Tablefmt.add_separator t;
+  Tablefmt.add_row t [ "yy"; "22" ];
+  let s = Tablefmt.render t in
+  Alcotest.(check bool) "title present" true
+    (String.length s > 0 && String.sub s 0 1 = "T");
+  Alcotest.(check bool) "cells present" true
+    (Astring.String.is_infix ~affix:"yy" s);
+  Alcotest.check_raises "arity check"
+    (Invalid_argument "Tablefmt.add_row: cell count mismatch") (fun () ->
+      Tablefmt.add_row t [ "only-one" ])
+
+let test_stats () =
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Stats.mean [ 1.; 2.; 3. ]);
+  Alcotest.(check (float 1e-9)) "geomean" 2.0 (Stats.geomean [ 1.; 2.; 4. ]);
+  Alcotest.(check (float 1e-9)) "mean empty" 0.0 (Stats.mean []);
+  let lo, hi = Stats.min_max [ 3.; 1.; 2. ] in
+  Alcotest.(check (float 1e-9)) "min" 1.0 lo;
+  Alcotest.(check (float 1e-9)) "max" 3.0 hi;
+  Alcotest.(check string) "human bytes" "1.5 KB" (Stats.human_bytes 1536);
+  Alcotest.(check string) "human count" "1.5K" (Stats.human_count 1500)
+
+let suites =
+  [
+    ( "wl-common",
+      [
+        QCheck_alcotest.to_alcotest prop_partition_covers;
+        QCheck_alcotest.to_alcotest prop_partition_balanced;
+        Alcotest.test_case "fx basics" `Quick test_fx_basics;
+        QCheck_alcotest.to_alcotest prop_fx_mul_div_inverse;
+        QCheck_alcotest.to_alcotest prop_fx_sqrt;
+        QCheck_alcotest.to_alcotest prop_mix_sensitive;
+        Alcotest.test_case "tablefmt" `Quick test_tablefmt;
+        Alcotest.test_case "stats" `Quick test_stats;
+      ] );
+  ]

@@ -1,0 +1,133 @@
+(* Every workload, under every runtime:
+   - the strong-DMT runtimes (rfdet-ci, rfdet-pf, dthreads, coredet) must
+     be output-deterministic across scheduler seeds;
+   - every runtime must run every workload to completion and produce
+     at least one output;
+   - racey must actually vary under pthreads (the stress test works). *)
+
+module Runner = Rfdet_harness.Runner
+module Registry = Rfdet_workloads.Registry
+module Workload = Rfdet_workloads.Workload
+
+let scale = 0.3
+
+let seeds = [ 1L; 2L; 3L ]
+
+let signatures runtime w =
+  List.map
+    (fun seed ->
+      (Runner.run ~scale ~jitter:11. ~sched_seed:seed runtime w).Runner.signature)
+    seeds
+
+let deterministic runtime w =
+  List.length (List.sort_uniq compare (signatures runtime w)) = 1
+
+let dmt_runtimes =
+  [
+    ("rfdet-ci", Runner.rfdet_ci);
+    ("rfdet-pf", Runner.rfdet_pf);
+    ("dthreads", Runner.Dthreads);
+    ("coredet", Runner.Coredet);
+  ]
+
+let test_deterministic w (label, runtime) () =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s deterministic under %s" w.Workload.name label)
+    true (deterministic runtime w)
+
+let test_completes w () =
+  List.iter
+    (fun runtime ->
+      let r = Runner.run ~scale runtime w in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s under %s produced output" w.Workload.name
+           r.Runner.runtime)
+        true
+        (r.Runner.outputs <> []);
+      Alcotest.(check bool) "simulated time positive" true (r.Runner.sim_time > 0))
+    [ Runner.Pthreads; Runner.Kendo ]
+
+let test_racey_varies_under_pthreads () =
+  let racey = Registry.find "racey" in
+  let sigs =
+    List.init 10 (fun i ->
+        (Runner.run ~jitter:11.
+           ~sched_seed:(Int64.of_int (i + 1))
+           Runner.Pthreads racey)
+          .Runner.signature)
+  in
+  Alcotest.(check bool) "racey varies" true
+    (List.length (List.sort_uniq compare sigs) > 1)
+
+let test_thread_count_param () =
+  (* workloads respect the thread-count configuration *)
+  let w = Registry.find "ocean" in
+  List.iter
+    (fun threads ->
+      let r = Runner.run ~threads ~scale Runner.rfdet_ci w in
+      Alcotest.(check bool)
+        (Printf.sprintf "spawned >= %d threads" threads)
+        true
+        (r.Runner.threads >= threads))
+    [ 2; 4; 8 ]
+
+let test_input_seed_changes_result () =
+  (* the input seed is an *input*: different seeds, different outputs *)
+  let w = Registry.find "radix" in
+  let a = (Runner.run ~scale ~input_seed:1L Runner.rfdet_ci w).Runner.signature in
+  let b = (Runner.run ~scale ~input_seed:2L Runner.rfdet_ci w).Runner.signature in
+  Alcotest.(check bool) "different inputs differ" true (a <> b)
+
+let test_registry () =
+  Alcotest.(check int) "17 workloads" 17 (List.length Registry.all);
+  Alcotest.(check int) "16 in table 1" 16 (List.length Registry.table1);
+  Alcotest.(check int) "7 in splash2" 7 (List.length Registry.splash2);
+  Alcotest.(check int) "13 in figure 8" 13 (List.length Registry.figure8);
+  Alcotest.(check bool) "find works" true
+    ((Registry.find "fft").Workload.name = "fft");
+  Alcotest.check_raises "unknown workload"
+    (Invalid_argument
+       (Printf.sprintf "unknown workload \"nope\" (expected one of: %s)"
+          (String.concat ", " Registry.names)))
+    (fun () -> ignore (Registry.find "nope"))
+
+let test_radix_sorts () =
+  (* the sortedness flag is mixed into the checksum as 1; rerunning with
+     the same input under two runtimes gives the same answer only if
+     both sorted correctly — spot-check by direct execution *)
+  let w = Registry.find "radix" in
+  let r = Runner.run ~scale:1.0 Runner.Pthreads w in
+  Alcotest.(check bool) "radix produced a checksum" true
+    (List.length r.Runner.outputs = 1)
+
+let suites =
+  let per_workload =
+    List.concat_map
+      (fun w ->
+        List.map
+          (fun rt ->
+            Alcotest.test_case
+              (Printf.sprintf "%s deterministic (%s)" w.Workload.name (fst rt))
+              `Quick (test_deterministic w rt))
+          dmt_runtimes
+        @ [
+            Alcotest.test_case
+              (Printf.sprintf "%s completes (pthreads/kendo)" w.Workload.name)
+              `Quick (test_completes w);
+          ])
+      Registry.all
+  in
+  [
+    ( "workloads",
+      per_workload
+      @ [
+          Alcotest.test_case "racey varies under pthreads" `Quick
+            test_racey_varies_under_pthreads;
+          Alcotest.test_case "thread-count parameter" `Quick
+            test_thread_count_param;
+          Alcotest.test_case "input seed is an input" `Quick
+            test_input_seed_changes_result;
+          Alcotest.test_case "registry" `Quick test_registry;
+          Alcotest.test_case "radix output" `Quick test_radix_sorts;
+        ] );
+  ]
