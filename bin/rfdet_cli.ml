@@ -4,6 +4,7 @@
      run WORKLOAD     run one workload under one runtime, print stats
      list             list workloads and runtimes
      racey            the determinism stress experiment (Section 5.1)
+     faults WORKLOAD  fault-determinism check under an injected plan
      experiment NAME  regenerate a table/figure (fig7, table1, fig8,
                       fig9, e1, e6, e7, all) *)
 
@@ -14,6 +15,24 @@ module Experiments = Rfdet_harness.Experiments
 module Registry = Rfdet_workloads.Registry
 module Options = Rfdet_core.Options
 module Profile = Rfdet_sim.Profile
+module Engine = Rfdet_sim.Engine
+module Fault_plan = Rfdet_fault.Fault_plan
+
+(* Engine failures escape as exceptions; turn them into a one-line
+   diagnostic and a distinct nonzero exit code instead of a backtrace. *)
+let guard f =
+  try f () with
+  | Engine.Deadlock msg ->
+    Printf.eprintf "rfdet: deadlock: %s\n" msg;
+    exit 2
+  | Engine.Thread_failure (tid, e) ->
+    Printf.eprintf "rfdet: thread %d failed: %s\n" tid (Printexc.to_string e);
+    exit 3
+  | Engine.Runaway ->
+    Printf.eprintf
+      "rfdet: runaway execution: exceeded the engine's max_ops budget \
+       (livelocked policy or unbounded loop)\n";
+    exit 4
 
 let runtime_names =
   [
@@ -69,6 +88,40 @@ let jitter_arg =
     & info [ "jitter" ]
         ~doc:"Mean scheduling-noise cycles per operation (0 = none).")
 
+let fault_plan_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Fault_plan.parse s) in
+  Arg.conv (parse, Fault_plan.pp)
+
+let fault_plan_arg =
+  Arg.(
+    value
+    & opt (some fault_plan_conv) None
+    & info [ "fault-plan" ]
+        ~doc:
+          "Deterministic fault plan: sites separated by ';', fields by \
+           ','; the first field is crash, fail or delay=CYCLES, then \
+           optional tid=K, op=CLASS, n=K. Example: \
+           'crash,tid=2,op=lock,n=3;fail,op=malloc,n=5'.")
+
+let fault_mode_arg =
+  Arg.(
+    value
+    & opt (enum [ ("contain", Engine.Contain); ("abort", Engine.Abort) ])
+        Engine.Contain
+    & info [ "fault-mode" ]
+        ~doc:
+          "What a thread crash does: 'contain' (kill only the faulting \
+           thread, poison its locks, keep going) or 'abort' (unwind the \
+           whole run).")
+
+let print_crashes crashes =
+  if crashes <> [] then begin
+    Printf.printf "crashes:\n";
+    List.iter
+      (fun (tid, msg) -> Printf.printf "  tid %d: %s\n" tid msg)
+      crashes
+  end
+
 (* --- run -------------------------------------------------------------- *)
 
 let run_cmd =
@@ -84,10 +137,13 @@ let run_cmd =
     Arg.(
       required & pos 0 (some workload_conv) None & info [] ~docv:"WORKLOAD")
   in
-  let action runtime workload threads scale seed input_seed jitter trace =
+  let action runtime workload threads scale seed input_seed jitter trace
+      faults failure_mode =
+   guard @@ fun () ->
     let r =
       Runner.run ~threads ~scale ~sched_seed:(Int64.of_int seed)
-        ~input_seed:(Int64.of_int input_seed) ~jitter ~trace runtime workload
+        ~input_seed:(Int64.of_int input_seed) ~jitter ~trace ?faults
+        ~failure_mode runtime workload
     in
     let p = r.Runner.profile in
     Printf.printf "workload:    %s\n" r.Runner.workload;
@@ -103,6 +159,7 @@ let run_cmd =
          (List.map
             (fun (tid, v) -> Printf.sprintf "%d:%Ld" tid v)
             r.Runner.outputs));
+    print_crashes r.Runner.crashes;
     Format.printf "profile:     @[%a@]@." Profile.pp p;
     if r.Runner.trace <> [] then begin
       Printf.printf "trace (last %d operations):\n" (List.length r.Runner.trace);
@@ -127,7 +184,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Run one workload under one runtime.")
     Term.(
       const action $ runtime_arg $ workload_arg $ threads_arg $ scale_arg
-      $ seed_arg $ input_seed_arg $ jitter_arg $ trace_arg)
+      $ seed_arg $ input_seed_arg $ jitter_arg $ trace_arg $ fault_plan_arg
+      $ fault_mode_arg)
 
 (* --- list ------------------------------------------------------------- *)
 
@@ -155,6 +213,7 @@ let racey_cmd =
       & info [ "n"; "runs" ] ~doc:"Runs per configuration (paper: 1000).")
   in
   let action runs =
+   guard @@ fun () ->
     let rows =
       Experiments.racey_determinism ~runs_per_config:runs ()
     in
@@ -173,6 +232,7 @@ let races_cmd =
       required & pos 0 (some workload_conv) None & info [] ~docv:"WORKLOAD")
   in
   let action workload threads scale =
+   guard @@ fun () ->
     let cfg =
       { Rfdet_workloads.Workload.threads; scale; input_seed = 42L }
     in
@@ -195,6 +255,7 @@ let replay_cmd =
       required & pos 0 (some workload_conv) None & info [] ~docv:"WORKLOAD")
   in
   let action workload threads scale =
+   guard @@ fun () ->
     let recording = Rfdet_harness.Replay.record ~threads ~scale workload in
     Printf.printf "recorded:\n%s\n"
       (Rfdet_harness.Replay.to_string recording);
@@ -211,6 +272,62 @@ let replay_cmd =
          "Record a run by inputs only, then replay it under scheduler \
           noise (Section 2's record/replay application).")
     Term.(const action $ workload_arg $ threads_arg $ scale_arg)
+
+(* --- faults ----------------------------------------------------------- *)
+
+let faults_cmd =
+  let runtime_arg =
+    Arg.(
+      value
+      & opt runtime_conv Runner.rfdet_ci
+      & info [ "r"; "runtime" ]
+          ~doc:"Runtime: pthreads, kendo, dthreads, coredet, rfdet-ci, \
+                rfdet-pf or rfdet-noopt.")
+  in
+  let workload_arg =
+    Arg.(
+      required & pos 0 (some workload_conv) None & info [] ~docv:"WORKLOAD")
+  in
+  let plan_arg =
+    Arg.(
+      required
+      & opt (some fault_plan_conv) None
+      & info [ "fault-plan" ]
+          ~doc:"The fault plan to inject on every run (same syntax as \
+                $(b,run --fault-plan)).")
+  in
+  let runs_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "n"; "runs" ] ~doc:"Jittered runs to compare.")
+  in
+  let jitter_fault_arg =
+    Arg.(
+      value & opt float 12.0
+      & info [ "jitter" ]
+          ~doc:"Mean scheduling-noise cycles per operation.")
+  in
+  let action runtime workload plan threads scale runs jitter =
+   guard @@ fun () ->
+    let report, crashes =
+      Determinism.check_faults ~threads ~scale ~runs ~jitter ~plan runtime
+        workload
+    in
+    Format.printf "plan:        %a@." Fault_plan.pp plan;
+    Format.printf "%a@." Determinism.pp_report report;
+    print_crashes crashes;
+    if not report.Determinism.deterministic then exit 1
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Fault-determinism check: run a workload repeatedly under \
+          scheduling jitter with the same injected fault plan and verify \
+          that every run — crash outcomes included — produces the same \
+          signature.")
+    Term.(
+      const action $ runtime_arg $ workload_arg $ plan_arg $ threads_arg
+      $ scale_arg $ runs_arg $ jitter_fault_arg)
 
 (* --- experiment ------------------------------------------------------- *)
 
@@ -237,7 +354,9 @@ let experiment_cmd =
     | `E7 -> print_string (Experiments.render_e7 (Experiments.ablation_gc ()))
     | `All -> assert false
   in
-  let action = function
+  let action name =
+   guard @@ fun () ->
+    match name with
     | `All ->
       List.iter run_one [ `E1; `Fig7; `Table1; `Fig8; `Fig9; `E6; `E7 ]
     | x -> run_one x
@@ -252,4 +371,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; list_cmd; racey_cmd; races_cmd; replay_cmd; experiment_cmd ]))
+          [ run_cmd; list_cmd; racey_cmd; races_cmd; replay_cmd; faults_cmd;
+            experiment_cmd ]))

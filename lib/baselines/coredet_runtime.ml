@@ -437,6 +437,9 @@ let make ?(quantum = quantum) engine : Engine.policy =
           check_quantum t ~tid outcome
         | _ -> outcome);
     on_thread_exit = (fun ~tid -> arrive t ~tid ~action:A_exit);
+    (* Quantum barriers need every live thread to arrive; no per-thread
+       recovery, so a crash aborts the run. *)
+    on_thread_crash = Engine.escalate_crash;
     on_step = (fun () -> maybe_fence t);
     on_finish = (fun () -> on_finish t ());
   }

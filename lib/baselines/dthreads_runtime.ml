@@ -459,6 +459,10 @@ let make engine : Engine.policy =
     handle = (fun ~tid op -> handle t ~tid op);
     on_engine_op = (fun ~tid:_ _ outcome -> outcome);
     on_thread_exit = (fun ~tid -> on_thread_exit t ~tid);
+    (* DThreads' fence protocol has no per-thread recovery path: a
+       crashed party would stall every survivor at the next fence, so a
+       crash aborts the run (gracefully, as Thread_failure). *)
+    on_thread_crash = Engine.escalate_crash;
     on_step = (fun () -> maybe_fence t);
     on_finish = (fun () -> on_finish t ());
   }

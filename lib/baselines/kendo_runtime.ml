@@ -67,6 +67,10 @@ let make engine : Engine.policy =
     handle = (fun ~tid op -> handle t ~tid op);
     on_engine_op = (fun ~tid:_ _ outcome -> outcome);
     on_thread_exit = (fun ~tid -> Sync.on_thread_exit t.sync ~tid);
+    (* Weak determinism shares memory directly, so a crashed thread has
+       no private state to discard — the sync-layer repair (poisoned
+       mutexes, broken barriers, failed joiners) is the whole story. *)
+    on_thread_crash = (fun ~tid _exn -> Sync.on_thread_crash t.sync ~tid);
     on_step = (fun () -> Sync.poll t.sync);
     on_finish = (fun () -> on_finish t ());
   }

@@ -221,6 +221,7 @@ let make engine : Engine.policy =
     handle = (fun ~tid op -> handle t ~tid op);
     on_engine_op = (fun ~tid:_ _ outcome -> outcome);
     on_thread_exit = (fun ~tid -> on_thread_exit t ~tid);
+    on_thread_crash = Engine.escalate_crash;
     on_step = (fun () -> ());
     on_finish = (fun () -> on_finish t ());
   }

@@ -274,6 +274,7 @@ let make engine : Engine.policy =
     handle = (fun ~tid op -> handle t ~tid op);
     on_engine_op = (fun ~tid:_ _ outcome -> outcome);
     on_thread_exit = (fun ~tid -> Sync.on_thread_exit sync ~tid);
+    on_thread_crash = Engine.escalate_crash;
     on_step = (fun () -> Sync.poll sync);
     on_finish = (fun () -> ());
   }

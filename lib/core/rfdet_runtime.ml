@@ -283,6 +283,26 @@ let do_exited t ~tid =
   ts.exit_len <- Rfdet_util.Vec.length ts.slices;
   ignore (Vclock.tick ts.time tid)
 
+(* Crash containment (an extension beyond the paper; see DESIGN.md).
+   Slice privacy makes this sound and cheap: the thread's stores since
+   its last release point live only in its private copy-on-write view
+   and in its open snapshot set — nothing has been published.  Discard
+   the open slice by dropping the snapshots *without diffing*; the
+   thread's previously released slices stay in the metadata space and
+   remain visible through the regular acquire-time propagation.  The
+   thread is marked exited so it stops pinning the GC frontier. *)
+let do_crashed t ~tid =
+  let ts = state t ~tid in
+  Hashtbl.iter (fun _ _ -> Metadata.snapshot_released t.meta) ts.snapshots;
+  Hashtbl.reset ts.snapshots;
+  ts.touch_order <- [];
+  (* Pending lazy writes were already committed by their writers; this
+     only drops the crashed thread's private, never-again-read view. *)
+  Hashtbl.reset ts.lazy_pending;
+  ts.final_stamp <- Some (Vclock.copy ts.time);
+  ts.exit_len <- Rfdet_util.Vec.length ts.slices;
+  ignore (Vclock.tick ts.time tid)
+
 let do_joined t ~tid ~target ~now =
   let ts = state t ~tid in
   let target_state = state t ~tid:target in
@@ -480,6 +500,10 @@ let make_with_state ?(opts = Options.default) engine =
       handle = (fun ~tid op -> handle t ~tid op);
       on_engine_op = (fun ~tid:_ _ outcome -> outcome);
       on_thread_exit = (fun ~tid -> Sync.on_thread_exit sync ~tid);
+      on_thread_crash =
+        (fun ~tid _exn ->
+          do_crashed t ~tid;
+          Sync.on_thread_crash sync ~tid);
       on_step = (fun () -> Sync.poll sync);
       on_finish = (fun () -> on_finish t ());
     }

@@ -1,0 +1,218 @@
+module Op = Rfdet_sim.Op
+module Engine = Rfdet_sim.Engine
+module Det_rng = Rfdet_util.Det_rng
+
+type op_class =
+  | Any_op
+  | Lock_op
+  | Unlock_op
+  | Cond_op
+  | Barrier_op
+  | Spawn_op
+  | Join_op
+  | Atomic_op
+  | Malloc_op
+  | Free_op
+  | Load_op
+  | Store_op
+  | Output_op
+  | Create_op
+  | Compute_op
+
+type action = Crash | Fail | Delay of int
+
+type site = { tid : int option; op : op_class; nth : int; action : action }
+
+type t = site list
+
+let classify : Op.t -> op_class = function
+  | Op.Lock _ -> Lock_op
+  | Op.Unlock _ -> Unlock_op
+  | Op.Cond_wait _ | Op.Cond_signal _ | Op.Cond_broadcast _ -> Cond_op
+  | Op.Barrier_wait _ -> Barrier_op
+  | Op.Spawn _ -> Spawn_op
+  | Op.Join _ -> Join_op
+  | Op.Atomic _ -> Atomic_op
+  | Op.Malloc _ -> Malloc_op
+  | Op.Free _ -> Free_op
+  | Op.Load _ -> Load_op
+  | Op.Store _ -> Store_op
+  | Op.Output _ -> Output_op
+  | Op.Mutex_create | Op.Cond_create | Op.Barrier_create _ -> Create_op
+  | Op.Tick _ | Op.Self | Op.Yield -> Compute_op
+
+let op_class_names =
+  [
+    ("any", Any_op);
+    ("lock", Lock_op);
+    ("unlock", Unlock_op);
+    ("cond", Cond_op);
+    ("barrier", Barrier_op);
+    ("spawn", Spawn_op);
+    ("join", Join_op);
+    ("atomic", Atomic_op);
+    ("malloc", Malloc_op);
+    ("free", Free_op);
+    ("load", Load_op);
+    ("store", Store_op);
+    ("output", Output_op);
+    ("create", Create_op);
+    ("compute", Compute_op);
+  ]
+
+let op_class_name c =
+  fst (List.find (fun (_, c') -> c' = c) op_class_names)
+
+let site_matches site ~tid op =
+  (match site.tid with None -> true | Some t -> t = tid)
+  && (site.op = Any_op || site.op = classify op)
+
+(* ------------------------------------------------------------------ *)
+(* Injector                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type armed = { site : site; mutable count : int; mutable fired : bool }
+
+(* One-shot sites: a site fires on the [nth] operation matching it and
+   never again.  When several sites become due on the same operation,
+   the earliest in plan order fires; the others stay due and fire on
+   the next matching operation.  Determinism note: a site with a
+   concrete [tid] counts that thread's own operation stream, which is
+   interleaving-independent, so its firing point is as deterministic
+   as the runtime under test.  A wildcard-tid site counts matching
+   operations in global scheduler order and is only deterministic when
+   the schedule is (e.g. jitter-free runs). *)
+let injector plan =
+  let armed = List.map (fun site -> { site; count = 0; fired = false }) plan in
+  fun ~tid op ->
+    let due =
+      List.filter_map
+        (fun a ->
+          if (not a.fired) && site_matches a.site ~tid op then begin
+            a.count <- a.count + 1;
+            if a.count >= a.site.nth then Some a else None
+          end
+          else None)
+        armed
+    in
+    match due with
+    | [] -> Engine.I_none
+    | a :: _ ->
+      a.fired <- true;
+      (match a.site.action with
+      | Crash -> Engine.I_crash
+      | Fail -> Engine.I_fail
+      | Delay d -> Engine.I_delay d)
+
+(* ------------------------------------------------------------------ *)
+(* Concrete syntax                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let to_string plan =
+  let site_str s =
+    let action =
+      match s.action with
+      | Crash -> "crash"
+      | Fail -> "fail"
+      | Delay d -> Printf.sprintf "delay=%d" d
+    in
+    let tid = match s.tid with None -> "tid=*" | Some t -> Printf.sprintf "tid=%d" t in
+    Printf.sprintf "%s,%s,op=%s,n=%d" action tid (op_class_name s.op) s.nth
+  in
+  String.concat ";" (List.map site_str plan)
+
+let parse_site clause =
+  let fields =
+    String.split_on_char ',' clause
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  match fields with
+  | [] -> Error "empty fault clause"
+  | action_str :: rest ->
+    let action =
+      match String.split_on_char '=' action_str with
+      | [ "crash" ] -> Ok Crash
+      | [ "fail" ] -> Ok Fail
+      | [ "delay"; d ] -> (
+        match int_of_string_opt d with
+        | Some d when d >= 0 -> Ok (Delay d)
+        | _ -> Error (Printf.sprintf "bad delay %S" d))
+      | _ ->
+        Error
+          (Printf.sprintf "unknown action %S (expected crash, fail or delay=K)"
+             action_str)
+    in
+    Result.bind action (fun action ->
+        let site = ref { tid = None; op = Any_op; nth = 1; action } in
+        let err = ref None in
+        List.iter
+          (fun field ->
+            if !err = None then
+              match String.split_on_char '=' field with
+              | [ "tid"; "*" ] -> site := { !site with tid = None }
+              | [ "tid"; v ] -> (
+                match int_of_string_opt v with
+                | Some t when t >= 0 -> site := { !site with tid = Some t }
+                | _ -> err := Some (Printf.sprintf "bad tid %S" v))
+              | [ "op"; v ] -> (
+                match List.assoc_opt v op_class_names with
+                | Some c -> site := { !site with op = c }
+                | None ->
+                  err :=
+                    Some
+                      (Printf.sprintf "unknown op class %S (expected one of: %s)"
+                         v
+                         (String.concat ", " (List.map fst op_class_names))))
+              | [ "n"; v ] -> (
+                match int_of_string_opt v with
+                | Some n when n >= 1 -> site := { !site with nth = n }
+                | _ -> err := Some (Printf.sprintf "bad occurrence count %S" v))
+              | _ -> err := Some (Printf.sprintf "unknown field %S" field))
+          rest;
+        match !err with Some e -> Error e | None -> Ok !site)
+
+let parse s =
+  let clauses =
+    String.split_on_char ';' s
+    |> List.map String.trim
+    |> List.filter (fun c -> c <> "")
+  in
+  if clauses = [] then Error "empty fault plan"
+  else
+    List.fold_left
+      (fun acc clause ->
+        Result.bind acc (fun sites ->
+            Result.map (fun site -> site :: sites) (parse_site clause)))
+      (Ok []) clauses
+    |> Result.map List.rev
+
+let pp ppf plan = Format.pp_print_string ppf (to_string plan)
+
+(* ------------------------------------------------------------------ *)
+(* Seeded random plans                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Deterministically derive a plan from a seed: same seed, same plan.
+   Sites are always tid-qualified so the plan stays deterministic even
+   under scheduling jitter (see [injector]). *)
+let random ~seed ~tids ~sites:n =
+  if tids = [] then invalid_arg "Fault_plan.random: no tids";
+  let rng = Det_rng.create seed in
+  let tids = Array.of_list tids in
+  List.init n (fun _ ->
+      let tid = tids.(Det_rng.int rng (Array.length tids)) in
+      let op =
+        match Det_rng.int rng 4 with
+        | 0 -> Lock_op
+        | 1 -> Unlock_op
+        | 2 -> Store_op
+        | _ -> Any_op
+      in
+      let action =
+        match Det_rng.int rng 3 with
+        | 0 -> Crash
+        | 1 -> Fail
+        | _ -> Delay (1 + Det_rng.int rng 10_000)
+      in
+      { tid = Some tid; op; nth = 1 + Det_rng.int rng 8; action })

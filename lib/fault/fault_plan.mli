@@ -1,0 +1,78 @@
+(** Declarative, deterministic fault plans.
+
+    A plan is a list of one-shot fault {e sites}: "on thread 2's 3rd
+    lock operation, crash it", "fail the 5th malloc", "delay thread 1's
+    2nd unlock by 500 cycles".  [injector] compiles a plan into the
+    oracle the engine consults at every operation boundary
+    ([Engine.config.inject]), so a faulty run is exactly as replayable
+    as a clean one: same program, same inputs, same plan — same crashes,
+    same outputs, same signature.
+
+    Concrete syntax (for [--fault-plan] and [parse]): sites separated by
+    [';'], fields by [','].  The first field is the action — [crash],
+    [fail] or [delay=CYCLES] — followed by optional [tid=K] (default
+    any), [op=CLASS] (default [any]; see [op_class_names]) and [n=K]
+    (default 1, the Nth matching operation):
+
+    {v crash,tid=2,op=lock,n=3;fail,op=malloc,n=5 v} *)
+
+type op_class =
+  | Any_op
+  | Lock_op
+  | Unlock_op
+  | Cond_op  (** wait, signal and broadcast *)
+  | Barrier_op
+  | Spawn_op
+  | Join_op
+  | Atomic_op
+  | Malloc_op
+  | Free_op
+  | Load_op
+  | Store_op
+  | Output_op
+  | Create_op  (** mutex/cond/barrier creation *)
+  | Compute_op  (** tick, self, yield *)
+
+type action =
+  | Crash  (** kill the thread at the boundary; see [Engine.I_crash] *)
+  | Fail  (** fail the operation; see [Engine.I_fail] *)
+  | Delay of int  (** stall the thread by this many cycles *)
+
+type site = {
+  tid : int option;  (** [None] = any thread (see determinism caveat) *)
+  op : op_class;
+  nth : int;  (** 1-based count of matching operations *)
+  action : action;
+}
+
+type t = site list
+
+val classify : Rfdet_sim.Op.t -> op_class
+
+val op_class_names : (string * op_class) list
+
+val site_matches : site -> tid:int -> Rfdet_sim.Op.t -> bool
+
+val injector : t -> tid:int -> Rfdet_sim.Op.t -> Rfdet_sim.Engine.injection
+(** Compile the plan into a stateful injection oracle.  Each site fires
+    at most once, on the [nth] operation matching it; when several
+    sites come due on one operation the earliest in plan order wins and
+    the rest fire on later matching operations.  Create a fresh
+    injector per run — the occurrence counters are mutable.
+
+    Determinism: a tid-qualified site counts that thread's own
+    operation stream, so it fires at the same program point on every
+    run regardless of scheduling jitter.  A wildcard-tid site counts
+    operations in global scheduler order and is deterministic only
+    under a deterministic schedule. *)
+
+val parse : string -> (t, string) result
+
+val to_string : t -> string
+(** Round-trips with [parse]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val random : seed:int64 -> tids:int list -> sites:int -> t
+(** Derive a pseudorandom, tid-qualified (hence jitter-deterministic)
+    plan from a seed.  Equal seeds give equal plans. *)

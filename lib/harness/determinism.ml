@@ -7,13 +7,13 @@ type report = {
   deterministic : bool;
 }
 
-let check ?(threads = 4) ?(scale = 1.0) ?(runs = 20) ?(jitter = 12.0) runtime
-    workload =
+let check ?(threads = 4) ?(scale = 1.0) ?(runs = 20) ?(jitter = 12.0) ?faults
+    runtime workload =
   let signatures =
     List.init runs (fun i ->
         let r =
           Runner.run ~threads ~scale ~sched_seed:(Int64.of_int (i + 1)) ~jitter
-            runtime workload
+            ?faults runtime workload
         in
         r.Runner.signature)
   in
@@ -26,6 +26,18 @@ let check ?(threads = 4) ?(scale = 1.0) ?(runs = 20) ?(jitter = 12.0) runtime
     distinct_signatures = distinct;
     deterministic = distinct = 1;
   }
+
+(* Fault determinism: the same seed and the same fault plan must give
+   byte-identical signatures — which, post-crash-containment, fold in
+   every crash outcome — across scheduling jitter.  The crashes of one
+   representative run are returned for reporting. *)
+let check_faults ?threads ?scale ?runs ?jitter ~plan runtime workload =
+  let report = check ?threads ?scale ?runs ?jitter ~faults:plan runtime workload in
+  let witness =
+    Runner.run ?threads ?scale ~sched_seed:1L ?jitter ~faults:plan runtime
+      workload
+  in
+  (report, witness.Runner.crashes)
 
 let pp_report ppf r =
   Format.fprintf ppf "%-10s %-18s threads=%d runs=%d distinct=%d %s" r.runtime

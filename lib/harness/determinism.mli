@@ -20,9 +20,23 @@ val check :
   ?scale:float ->
   ?runs:int ->
   ?jitter:float ->
+  ?faults:Rfdet_fault.Fault_plan.t ->
   Runner.runtime ->
   Rfdet_workloads.Workload.t ->
   report
-(** Defaults: 4 threads, 20 runs, jitter 12.0. *)
+(** Defaults: 4 threads, 20 runs, jitter 12.0, no faults. *)
+
+val check_faults :
+  ?threads:int ->
+  ?scale:float ->
+  ?runs:int ->
+  ?jitter:float ->
+  plan:Rfdet_fault.Fault_plan.t ->
+  Runner.runtime ->
+  Rfdet_workloads.Workload.t ->
+  report * (int * string) list
+(** Fault determinism: same seed + same fault plan across jittered runs
+    must give one signature, crash outcomes included.  Also returns the
+    contained crashes of a representative run. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -35,11 +35,12 @@ type run_result = {
   threads : int;
   ops : int;
   trace : Rfdet_sim.Engine.trace_entry list;
+  crashes : (int * string) list;
 }
 
 let run ?(threads = 4) ?(scale = 1.0) ?(input_seed = 42L) ?(sched_seed = 1L)
-    ?(jitter = 0.) ?(cost = Rfdet_sim.Cost.default) ?(trace = 0) runtime
-    workload =
+    ?(jitter = 0.) ?(cost = Rfdet_sim.Cost.default) ?(trace = 0) ?faults
+    ?(failure_mode = Engine.Contain) runtime workload =
   let cfg = { Workload.threads; scale; input_seed } in
   let config =
     {
@@ -48,6 +49,11 @@ let run ?(threads = 4) ?(scale = 1.0) ?(input_seed = 42L) ?(sched_seed = 1L)
       seed = sched_seed;
       jitter_mean = jitter;
       trace_capacity = trace;
+      failure_mode =
+        (match faults with None -> Engine.default_config.failure_mode
+        | Some _ -> failure_mode);
+      (* a fresh injector per run: occurrence counters are mutable *)
+      inject = Option.map Rfdet_fault.Fault_plan.injector faults;
     }
   in
   let t0 = Unix.gettimeofday () in
@@ -66,4 +72,5 @@ let run ?(threads = 4) ?(scale = 1.0) ?(input_seed = 42L) ?(sched_seed = 1L)
     threads = r.Engine.threads;
     ops = r.Engine.ops;
     trace = r.Engine.trace;
+    crashes = r.Engine.crashes;
   }

@@ -29,6 +29,9 @@ type run_result = {
   threads : int;
   ops : int;
   trace : Rfdet_sim.Engine.trace_entry list;  (** empty unless requested *)
+  crashes : (int * string) list;
+      (** contained thread crashes, (tid, exception text) by tid;
+          empty for clean runs *)
 }
 
 val run :
@@ -39,9 +42,14 @@ val run :
   ?jitter:float ->
   ?cost:Rfdet_sim.Cost.t ->
   ?trace:int ->
+  ?faults:Rfdet_fault.Fault_plan.t ->
+  ?failure_mode:Rfdet_sim.Engine.failure_mode ->
   runtime ->
   Rfdet_workloads.Workload.t ->
   run_result
 (** Defaults: 4 threads, scale 1.0, input seed 42, scheduler seed 1,
     jitter 0 (performance runs should be noise-free; determinism checks
-    pass a nonzero jitter and vary [sched_seed]). *)
+    pass a nonzero jitter and vary [sched_seed]).  [faults] runs the
+    workload under an injected fault plan; [failure_mode] (default
+    [Contain]) only applies when a plan is given — fault-free runs keep
+    the engine default of aborting on failure. *)

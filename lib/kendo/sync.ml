@@ -27,12 +27,35 @@ let trivial_hooks =
     joined = (fun ~tid:_ ~target:_ ~now:_ -> 0);
   }
 
-type mutex_state = { mutable owner : int option; queue : int Queue.t }
+(* Result values delivered to woken threads: [ok] for a normal grant,
+   [fault] when the grant carries a crash consequence — a poisoned
+   mutex, a broken barrier, or a join on a crashed thread.  The Api
+   layer maps them to [`Ok]/[`Poisoned]/[`Broken]/[`Crashed]. *)
+let ok = 0
+
+let fault = 1
+
+type mutex_state = {
+  mutable owner : int option;
+  queue : int Queue.t;
+  mutable poisoned : bool;
+      (* a crash released this mutex; sticky, observed by every later
+         acquirer (à la Rust's lock poisoning) *)
+}
 
 type cond_state = { cond_waiters : (int * int) Queue.t }
 (* (waiter tid, mutex to reacquire), in deterministic grant order *)
 
-type barrier_state = { parties : int; mutable arrived : int list (* reversed *) }
+type barrier_state = {
+  parties : int;
+  mutable arrived : int list; (* reversed *)
+  participants : (int, unit) Hashtbl.t;
+      (* every tid that has ever waited here: the barrier's parties.  A
+         crash of any of them breaks the barrier — a stranded waiter
+         cannot tell (and must not depend on) whether the crashed party
+         would have come back. *)
+  mutable broken : bool;  (* a party crashed; sticky *)
+}
 
 type t = {
   engine : Engine.t;
@@ -42,6 +65,7 @@ type t = {
   conds : (int, cond_state) Hashtbl.t;
   barriers : (int, barrier_state) Hashtbl.t;
   joiners : (int, int list) Hashtbl.t;  (* target tid -> blocked joiners *)
+  crashed : (int, unit) Hashtbl.t;
   mutable next_handle : int;
 }
 
@@ -55,6 +79,7 @@ let create engine hooks =
       conds = Hashtbl.create 16;
       barriers = Hashtbl.create 4;
       joiners = Hashtbl.create 8;
+      crashed = Hashtbl.create 4;
       next_handle = 1;
     }
   in
@@ -87,7 +112,8 @@ let sync_cost t = (Engine.cost t.engine).Cost.sync_op
 
 let mutex_create t ~tid:_ =
   let h = fresh_handle t in
-  Hashtbl.replace t.mutexes h { owner = None; queue = Queue.create () };
+  Hashtbl.replace t.mutexes h
+    { owner = None; queue = Queue.create (); poisoned = false };
   Engine.Done h
 
 let cond_create t ~tid:_ =
@@ -98,7 +124,13 @@ let cond_create t ~tid:_ =
 let barrier_create t ~tid:_ ~parties =
   if parties <= 0 then invalid_arg "Sync.barrier_create: parties <= 0";
   let h = fresh_handle t in
-  Hashtbl.replace t.barriers h { parties; arrived = [] };
+  Hashtbl.replace t.barriers h
+    {
+      parties;
+      arrived = [];
+      participants = Hashtbl.create (max 4 parties);
+      broken = false;
+    };
   Engine.Done h
 
 (* Grant the mutex to [tid] at time [now]: run the acquire hook and wake
@@ -109,7 +141,9 @@ let grant_mutex t ~tid ~mutex ~now =
   st.owner <- Some tid;
   let extra = t.hooks.acquire ~tid ~obj:(Mutex_obj mutex) ~now in
   Arbiter.set_active t.arb ~tid;
-  Engine.wake t.engine ~tid ~value:0 ~not_before:(now + sync_cost t + extra)
+  Engine.wake t.engine ~tid
+    ~value:(if st.poisoned then fault else ok)
+    ~not_before:(now + sync_cost t + extra)
 
 let lock t ~tid ~mutex =
   Engine.advance t.engine tid (sync_cost t);
@@ -208,6 +242,13 @@ let barrier_wait t ~tid ~barrier =
   Engine.advance t.engine tid (sync_cost t);
   Arbiter.request t.arb ~tid ~grant:(fun ~now ->
       let st = barrier_state t barrier in
+      Hashtbl.replace st.participants tid ();
+      if st.broken then
+        (* A party crashed at this barrier: it can never complete.
+           Fail fast and deterministically instead of deadlocking. *)
+        Engine.wake t.engine ~tid ~value:fault
+          ~not_before:(now + sync_cost t)
+      else begin
       st.arrived <- tid :: st.arrived;
       if List.length st.arrived < st.parties then
         Arbiter.set_inactive t.arb ~tid
@@ -226,6 +267,7 @@ let barrier_wait t ~tid ~barrier =
             end)
           tids;
         Engine.wake t.engine ~tid ~value:0 ~not_before:release_at
+      end
       end);
   Engine.Block
 
@@ -256,10 +298,21 @@ let complete_join t ~tid ~target ~now =
   Engine.wake t.engine ~tid ~value:0
     ~not_before:(now + (Engine.cost t.engine).Cost.join + extra)
 
+(* A join on a crashed target completes immediately with an error value;
+   the [joined] hook is NOT run — the joiner must not absorb anything
+   beyond the target's already-released slices (which remain reachable
+   through the regular acquire paths). *)
+let complete_join_crashed t ~tid ~now =
+  Arbiter.set_active t.arb ~tid;
+  Engine.wake t.engine ~tid ~value:fault
+    ~not_before:(now + (Engine.cost t.engine).Cost.join)
+
 let join t ~tid ~target =
   Engine.advance t.engine tid (sync_cost t);
   Arbiter.request t.arb ~tid ~grant:(fun ~now ->
-      if Engine.is_finished t.engine target then
+      if Hashtbl.mem t.crashed target then
+        complete_join_crashed t ~tid ~now
+      else if Engine.is_finished t.engine target then
         complete_join t ~tid ~target ~now
       else begin
         let existing =
@@ -285,9 +338,93 @@ let on_thread_exit t ~tid =
       waiting);
   Arbiter.poll t.arb
 
+let remove_from_queue q ~tid =
+  let kept = Queue.fold (fun acc x -> if x = tid then acc else x :: acc) [] q in
+  Queue.clear q;
+  List.iter (fun x -> Queue.add x q) (List.rev kept)
+
+let remove_from_cond_queue q ~tid =
+  let kept =
+    Queue.fold (fun acc ((w, _) as e) -> if w = tid then acc else e :: acc) [] q
+  in
+  Queue.clear q;
+  List.iter (fun e -> Queue.add e q) (List.rev kept)
+
+(* Crash containment.  Everything here iterates objects in ascending
+   handle order, so the repair sequence — and therefore which survivor
+   observes what — is a pure function of the crash point, never of the
+   physical interleaving that led to it. *)
+let on_thread_crash t ~tid =
+  Hashtbl.replace t.crashed tid ();
+  (* The arbiter must forget the thread: a crashed thread's logical
+     clock never advances, and leaving it Active would block every
+     later turn grant forever. *)
+  Arbiter.thread_finished t.arb ~tid;
+  let sorted_handles tbl pred =
+    Hashtbl.fold (fun h st acc -> if pred st then h :: acc else acc) tbl []
+    |> List.sort compare
+  in
+  (* 1. Purge the crashed thread from every wait queue so no later
+     hand-off resurrects it. *)
+  Hashtbl.iter (fun _ st -> remove_from_queue st.queue ~tid) t.mutexes;
+  Hashtbl.iter (fun _ st -> remove_from_cond_queue st.cond_waiters ~tid) t.conds;
+  Hashtbl.filter_map_inplace
+    (fun _ joiners ->
+      match List.filter (fun j -> j <> tid) joiners with
+      | [] -> None
+      | l -> Some l)
+    t.joiners;
+  let now = Engine.clock t.engine tid in
+  (* 2. Release held mutexes as poisoned, ascending handle order; each
+     passes to the deterministically-next waiter, who observes the
+     poison in its lock result. *)
+  List.iter
+    (fun m ->
+      let st = mutex_state t m in
+      st.poisoned <- true;
+      st.owner <- None;
+      pass_mutex t ~mutex:m ~now)
+    (sorted_handles t.mutexes (fun st -> st.owner = Some tid));
+  (* 3. Break every barrier the crashed thread was a party to (it has
+     waited there at least once): release the stranded waiters with an
+     error now, and fail all future waits.  Without this, survivors of
+     an iterative barrier loop would wait forever for a party that is
+     never coming back. *)
+  List.iter
+    (fun b ->
+      let st = barrier_state t b in
+      st.broken <- true;
+      let stranded = List.rev (List.filter (fun p -> p <> tid) st.arrived) in
+      st.arrived <- [];
+      List.iter
+        (fun party ->
+          Arbiter.set_active t.arb ~tid:party;
+          Engine.wake t.engine ~tid:party ~value:fault
+            ~not_before:(max now (Engine.clock t.engine party)))
+        stranded)
+    (sorted_handles t.barriers (fun st -> Hashtbl.mem st.participants tid));
+  (* 4. Joiners of the crashed thread get an error instead of waiting
+     forever. *)
+  (match Hashtbl.find_opt t.joiners tid with
+  | None -> ()
+  | Some waiting ->
+    Hashtbl.remove t.joiners tid;
+    List.iter
+      (fun joiner ->
+        complete_join_crashed t ~tid:joiner
+          ~now:(max now (Engine.clock t.engine joiner)))
+      waiting);
+  Arbiter.poll t.arb
+
 let poll t = Arbiter.poll t.arb
 
 let holder t ~mutex = (mutex_state t mutex).owner
+
+let mutex_poisoned t ~mutex = (mutex_state t mutex).poisoned
+
+let barrier_broken t ~barrier = (barrier_state t barrier).broken
+
+let crashed t ~tid = Hashtbl.mem t.crashed tid
 
 let joining_target t ~tid =
   Hashtbl.fold

@@ -87,6 +87,18 @@ val rmw :
 val on_thread_exit : t -> tid:int -> unit
 (** Must be wired into the policy's [on_thread_exit]. *)
 
+val on_thread_crash : t -> tid:int -> unit
+(** Crash containment: wire into the policy's [on_thread_crash] (after
+    any memory-model cleanup).  Deterministically — in ascending handle
+    order, independent of physical interleaving — this (1) removes the
+    crashed thread from the arbiter and every wait queue, (2) releases
+    each mutex it held as *poisoned* and passes it to the next waiter,
+    which observes [`Poisoned] from [Api.lock_check], (3) breaks every
+    barrier the thread was a party to (had ever waited on), waking
+    stranded parties with [`Broken] and failing all future waits on it,
+    and (4) completes current and future joins on the crashed thread
+    with [`Crashed]. *)
+
 val poll : t -> unit
 (** Must be wired into the policy's [on_step]. *)
 
@@ -94,6 +106,15 @@ val arbiter : t -> Arbiter.t
 
 (** [holder t ~mutex] — current owner, for assertions in tests. *)
 val holder : t -> mutex:int -> int option
+
+(** [mutex_poisoned t ~mutex] — true once a crash released the mutex. *)
+val mutex_poisoned : t -> mutex:int -> bool
+
+(** [barrier_broken t ~barrier] — true once a party crashed. *)
+val barrier_broken : t -> barrier:int -> bool
+
+(** [crashed t ~tid] — true once [on_thread_crash] ran for [tid]. *)
+val crashed : t -> tid:int -> bool
 
 (** [waiters t ~cond] — queued waiter tids in deterministic order. *)
 val waiters : t -> cond:int -> int list

@@ -31,6 +31,8 @@ let mutex_create () = perform_op Mutex_create
 
 let lock m = ignore (perform_op (Lock m))
 
+let lock_check m = if perform_op (Lock m) = 0 then `Ok else `Poisoned
+
 let unlock m = ignore (perform_op (Unlock m))
 
 let cond_create () = perform_op Cond_create
@@ -44,6 +46,9 @@ let cond_broadcast c = ignore (perform_op (Cond_broadcast c))
 let barrier_create parties = perform_op (Barrier_create parties)
 
 let barrier_wait b = ignore (perform_op (Barrier_wait b))
+
+let barrier_wait_check b =
+  if perform_op (Barrier_wait b) = 0 then `Ok else `Broken
 
 let atomic_load addr = perform_op (Atomic { addr; rmw = A_load })
 
@@ -59,6 +64,8 @@ let atomic_cas addr ~expect ~desired =
 let spawn body = perform_op (Spawn body)
 
 let join t = ignore (perform_op (Join t))
+
+let join_check t = if perform_op (Join t) = 0 then `Ok else `Crashed
 
 let self () = perform_op Self
 

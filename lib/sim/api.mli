@@ -54,6 +54,11 @@ val mutex_create : unit -> mutex
 
 val lock : mutex -> unit
 
+val lock_check : mutex -> [ `Ok | `Poisoned ]
+(** Like [lock], but reports whether the mutex was released by a
+    crashed holder (lock poisoning, under crash containment).  The
+    mutex is acquired either way; a poisoned mutex stays poisoned. *)
+
 val unlock : mutex -> unit
 
 val cond_create : unit -> cond
@@ -68,6 +73,11 @@ val barrier_create : int -> barrier
 
 val barrier_wait : barrier -> unit
 
+val barrier_wait_check : barrier -> [ `Ok | `Broken ]
+(** Like [barrier_wait], but reports [`Broken] when a party crashed at
+    the barrier (now or earlier) — the wait completes immediately
+    instead of deadlocking. *)
+
 (** {1 Threads} *)
 
 (** [spawn body] starts a simulated thread and returns its deterministic
@@ -75,6 +85,11 @@ val barrier_wait : barrier -> unit
 val spawn : (unit -> unit) -> tid
 
 val join : tid -> unit
+
+val join_check : tid -> [ `Ok | `Crashed ]
+(** Like [join], but reports [`Crashed] when the target died under
+    crash containment; the joiner does not absorb the crashed thread's
+    uncommitted work. *)
 
 val self : unit -> tid
 

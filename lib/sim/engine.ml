@@ -2,12 +2,18 @@ module Allocator = Rfdet_mem.Allocator
 module Det_rng = Rfdet_util.Det_rng
 module Pqueue = Rfdet_util.Pqueue
 
+type failure_mode = Abort | Contain
+
+type injection = I_none | I_crash | I_fail | I_delay of int
+
 type config = {
   cost : Cost.t;
   seed : int64;
   jitter_mean : float;
   max_ops : int;
   trace_capacity : int;
+  failure_mode : failure_mode;
+  inject : (tid:int -> Op.t -> injection) option;
 }
 
 let default_config =
@@ -17,6 +23,8 @@ let default_config =
     jitter_mean = 0.;
     max_ops = 200_000_000;
     trace_capacity = 0;
+    failure_mode = Abort;
+    inject = None;
   }
 
 exception Deadlock of string
@@ -25,14 +33,20 @@ exception Runaway
 
 exception Thread_failure of int * exn
 
+exception Injected_crash
+
+exception Injected_fault
+
 type outcome = Done of int | Block
 
-type status = Ready | Running | Blocked | Finished
+type status = Ready | Running | Blocked | Finished | Crashed
 
 (* What to do when the scheduler next picks this thread. *)
 type pending =
   | Start of (unit -> unit)
   | Resume of (int, unit) Effect.Deep.continuation * int
+  | Raise of (int, unit) Effect.Deep.continuation * exn
+      (* deliver an injected failure at the operation's call site *)
   | Nothing  (** running, blocked or finished *)
 
 type thread = {
@@ -50,9 +64,12 @@ type policy = {
   handle : tid:int -> Op.t -> outcome;
   on_engine_op : tid:int -> Op.t -> outcome -> outcome;
   on_thread_exit : tid:int -> unit;
+  on_thread_crash : tid:int -> exn -> unit;
   on_step : unit -> unit;
   on_finish : unit -> unit;
 }
+
+let escalate_crash ~tid e = raise (Thread_failure (tid, e))
 
 type trace_entry = {
   t_tid : int;
@@ -68,6 +85,7 @@ type result = {
   threads : int;
   ops : int;
   trace : trace_entry list;
+  crashes : (int * string) list;
 }
 
 type t = {
@@ -85,6 +103,7 @@ type t = {
   trace_ring : trace_entry option array;  (* empty when tracing is off *)
   mutable trace_next : int;
   mutable policy : policy option;
+  mutable crashes : (int * string) list;  (* reversed crash order *)
 }
 
 let cmp_entry (c1, t1, _) (c2, t2, _) =
@@ -141,18 +160,25 @@ let seed_icount t tid c = (find t tid).icount <- c
 
 let wake t ~tid ~value ~not_before =
   let th = find t tid in
-  (match th.status with
-  | Blocked -> ()
+  match th.status with
+  | Crashed ->
+    (* A wake racing a contained crash (e.g. a stale grant) is dropped:
+       the thread is gone and must not be rescheduled. *)
+    ()
   | Ready | Running | Finished ->
-    invalid_arg (Printf.sprintf "Engine.wake: tid %d is not blocked" tid));
-  (match th.pending with
-  | Resume (k, _) -> th.pending <- Resume (k, value)
-  | Start _ | Nothing -> invalid_arg "Engine.wake: no stored continuation");
-  if not_before > th.clock then th.clock <- not_before;
-  th.status <- Ready;
-  enqueue t th
+    invalid_arg (Printf.sprintf "Engine.wake: tid %d is not blocked" tid)
+  | Blocked ->
+    (match th.pending with
+    | Resume (k, _) -> th.pending <- Resume (k, value)
+    | Raise _ | Start _ | Nothing ->
+      invalid_arg "Engine.wake: no stored continuation");
+    if not_before > th.clock then th.clock <- not_before;
+    th.status <- Ready;
+    enqueue t th
 
 let is_finished t tid = (find t tid).status = Finished
+
+let is_crashed t tid = (find t tid).status = Crashed
 
 let thread_count t = t.next_tid
 
@@ -160,7 +186,10 @@ let peak_live_threads t = t.peak_live
 
 let live_tids t =
   Hashtbl.fold
-    (fun tid th acc -> if th.status <> Finished then tid :: acc else acc)
+    (fun tid th acc ->
+      match th.status with
+      | Finished | Crashed -> acc
+      | Ready | Running | Blocked -> tid :: acc)
     t.threads []
   |> List.sort compare
 
@@ -265,6 +294,25 @@ let pre_handle t th (op : Op.t) =
     th.icount <- th.icount + 1;
     None
 
+(* Kill one simulated thread, keep the rest of the run going.  The
+   thread publishes nothing it had not already published: its stored
+   continuation is dropped without resuming, so no cleanup handler (e.g.
+   [with_lock]'s unlock) runs — exactly a crash, not an unwind.  The
+   policy's [on_thread_crash] hook then repairs shared runtime state
+   (release held locks as poisoned, discard the open slice, wake
+   joiners); a policy that cannot contain re-raises from the hook and
+   the whole run aborts as before. *)
+let crash_thread t th e =
+  match th.status with
+  | Finished | Crashed -> ()
+  | Ready | Running | Blocked ->
+    th.status <- Crashed;
+    th.pending <- Nothing;
+    t.unfinished <- t.unfinished - 1;
+    t.crashes <- (th.tid, Printexc.to_string e) :: t.crashes;
+    (policy_exn t).on_thread_crash ~tid:th.tid e;
+    (policy_exn t).on_step ()
+
 let handle_op t th op k =
   th.pending <- Resume (k, 0);
   t.ops <- t.ops + 1;
@@ -280,29 +328,66 @@ let handle_op t th op k =
         };
     t.trace_next <- (t.trace_next + 1) mod Array.length t.trace_ring
   end;
-  let outcome =
-    (* Policy code runs on the scheduler stack, outside the fiber's
-       [exnc]; attribute its failures to the faulting thread here. *)
-    try
-      match pre_handle t th op with
-      | Some o -> (policy_exn t).on_engine_op ~tid:th.tid op o
-      | None -> (policy_exn t).handle ~tid:th.tid op
-    with
-    | (Runaway | Deadlock _ | Thread_failure _) as e -> raise e
-    | e -> raise (Thread_failure (th.tid, e))
+  let injection =
+    match t.config.inject with
+    | None -> I_none
+    | Some f -> f ~tid:th.tid op
   in
-  th.clock <- th.clock + jitter t;
-  (match outcome with
-  | Done v ->
-    th.pending <- Resume (k, v);
+  match injection with
+  | I_crash when t.config.failure_mode = Contain ->
+    crash_thread t th Injected_crash
+  | I_crash -> raise (Thread_failure (th.tid, Injected_crash))
+  | I_fail when (match op with Op.Malloc _ -> false | _ -> true) ->
+    (* Operations without an in-band error code surface the fault as an
+       exception at the call site; the fiber unwinds through its own
+       handlers and may recover. *)
+    th.pending <- Raise (k, Injected_fault);
     th.status <- Ready;
     enqueue t th
-  | Block -> th.status <- Blocked);
-  (* on_step runs global arbiters whose grant callbacks execute policy
-     code; attribute their failures to the thread being stepped *)
-  try (policy_exn t).on_step () with
-  | (Runaway | Deadlock _ | Thread_failure _) as e -> raise e
-  | e -> raise (Thread_failure (th.tid, e))
+  | (I_none | I_fail | I_delay _) as injection ->
+    (match injection with
+    | I_delay d -> th.clock <- th.clock + max 0 d
+    | I_none | I_fail | I_crash -> ());
+    let dispatch () =
+      match injection, op with
+      | I_fail, Op.Malloc _ -> Done 0  (* allocation failure: null *)
+      | _ -> (
+        match pre_handle t th op with
+        | Some o -> (policy_exn t).on_engine_op ~tid:th.tid op o
+        | None -> (policy_exn t).handle ~tid:th.tid op)
+    in
+    (* Policy code runs on the scheduler stack, outside the fiber's
+       [exnc]; attribute its failures to the faulting thread here. *)
+    let verdict =
+      try Ok (dispatch ()) with
+      | (Runaway | Deadlock _) as e -> raise e
+      | Thread_failure (tid, e) ->
+        if t.config.failure_mode = Contain then Error e
+        else raise (Thread_failure (tid, e))
+      | e ->
+        if t.config.failure_mode = Contain then Error e
+        else raise (Thread_failure (th.tid, e))
+    in
+    (match verdict with
+    | Error e -> crash_thread t th e
+    | Ok outcome ->
+      th.clock <- th.clock + jitter t;
+      (match outcome with
+      | Done v ->
+        th.pending <- Resume (k, v);
+        th.status <- Ready;
+        enqueue t th
+      | Block -> th.status <- Blocked);
+      (* on_step runs global arbiters whose grant callbacks execute policy
+         code; attribute their failures to the thread being stepped *)
+      (try (policy_exn t).on_step () with
+      | (Runaway | Deadlock _) as e -> raise e
+      | Thread_failure (_, e) when t.config.failure_mode = Contain ->
+        crash_thread t th e
+      | Thread_failure _ as e -> raise e
+      | e ->
+        if t.config.failure_mode = Contain then crash_thread t th e
+        else raise (Thread_failure (th.tid, e))))
 
 let run_thread t th =
   t.current <- th.tid;
@@ -317,7 +402,12 @@ let run_thread t th =
           t.unfinished <- t.unfinished - 1;
           (policy_exn t).on_thread_exit ~tid:th.tid;
           (policy_exn t).on_step ());
-      exnc = (fun e -> raise (Thread_failure (th.tid, e)));
+      exnc =
+        (fun e ->
+          (* The fiber body itself raised and fully unwound. *)
+          match t.config.failure_mode with
+          | Contain -> crash_thread t th e
+          | Abort -> raise (Thread_failure (th.tid, e)));
       effc =
         (fun (type a) (eff : a Effect.t) ->
           match eff with
@@ -331,6 +421,7 @@ let run_thread t th =
   match pending with
   | Start body -> Effect.Deep.match_with body () handler
   | Resume (k, v) -> Effect.Deep.continue k v
+  | Raise (k, e) -> Effect.Deep.discontinue k e
   | Nothing -> assert false
 
 let describe_blocked t =
@@ -344,7 +435,8 @@ let describe_blocked t =
           | Ready -> "ready"
           | Running -> "running"
           | Blocked -> "blocked"
-          | Finished -> "finished")
+          | Finished -> "finished"
+          | Crashed -> "crashed")
           th.clock th.icount)
       live
   in
@@ -387,6 +479,7 @@ let run ?(config = default_config) make_policy ~main =
       trace_ring = Array.make (max 0 config.trace_capacity) None;
       trace_next = 0;
       policy = None;
+      crashes = [];
     }
   in
   let (_ : int) = register_thread t ~body:main ~start_at:0 in
@@ -412,11 +505,18 @@ let run ?(config = default_config) make_policy ~main =
     threads = t.next_tid;
     ops = t.ops;
     trace;
+    crashes = List.sort compare t.crashes;
   }
 
+(* Crash outcomes are part of the observable behavior: a deterministic
+   runtime under a deterministic fault plan must crash the same threads
+   for the same reasons on every run. *)
 let output_signature r =
   let buf = Buffer.create 256 in
   List.iter
     (fun (tid, v) -> Buffer.add_string buf (Printf.sprintf "%d:%Lx;" tid v))
     r.outputs;
+  List.iter
+    (fun (tid, msg) -> Buffer.add_string buf (Printf.sprintf "!%d:%s;" tid msg))
+    r.crashes;
   Digest.to_hex (Digest.string (Buffer.contents buf))

@@ -23,6 +23,34 @@
 
 type t
 
+(** What happens when a simulated thread fails (raises, or suffers an
+    injected crash).
+
+    - [Abort]: the failure unwinds the whole run as [Thread_failure]
+      (the historical behavior, still the default).
+    - [Contain]: only the faulting thread dies.  Its continuation is
+      dropped without running cleanup handlers (a crash, not an unwind),
+      the policy's [on_thread_crash] hook repairs shared runtime state,
+      and the scheduler keeps running the survivors.  The crash is
+      recorded in [result.crashes] and folded into the output
+      signature. *)
+type failure_mode = Abort | Contain
+
+(** A fault-injection decision for one operation, consulted through
+    [config.inject] at every operation boundary:
+
+    - [I_none]: execute normally;
+    - [I_crash]: kill the thread at this boundary (before the operation
+      takes effect — nothing it did since its last release point can
+      have been published);
+    - [I_fail]: fail the operation.  [Malloc] returns 0 (null); every
+      other operation raises [Injected_fault] at the call site inside
+      the thread, which may catch it and recover;
+    - [I_delay k]: add [k] simulated cycles to the thread's clock before
+      the operation (models a stall; never changes instruction
+      counts). *)
+type injection = I_none | I_crash | I_fail | I_delay of int
+
 type config = {
   cost : Cost.t;
   seed : int64;
@@ -31,6 +59,11 @@ type config = {
   trace_capacity : int;
       (** keep the last N operations as a trace (0 = off, the default);
           see [result.trace] — a debugging aid for runtime authors *)
+  failure_mode : failure_mode;  (** default [Abort] *)
+  inject : (tid:int -> Op.t -> injection) option;
+      (** fault-injection oracle, consulted before every operation;
+          [None] (the default) injects nothing.  Build one from a
+          declarative plan with [Rfdet_fault.Fault_plan.injector]. *)
 }
 
 val default_config : config
@@ -44,6 +77,13 @@ exception Runaway
 
 (** Raised (wrapping the original) when a simulated thread raises. *)
 exception Thread_failure of int * exn
+
+(** The exception recorded for a thread killed by an [I_crash]
+    injection. *)
+exception Injected_crash
+
+(** Raised at the call site of an operation failed by [I_fail]. *)
+exception Injected_fault
 
 (** A policy's verdict on one operation. *)
 type outcome =
@@ -62,6 +102,11 @@ type policy = {
           [fun ~tid:_ _ o -> o]. *)
   on_thread_exit : tid:int -> unit;
       (** the thread's body returned; wake joiners, flush its last slice *)
+  on_thread_crash : tid:int -> exn -> unit;
+      (** the thread died under [Contain]: discard its uncommitted work,
+          release its held locks as poisoned, fail its joiners.  A
+          policy without a containment story uses [escalate_crash],
+          which re-raises and aborts the whole run. *)
   on_step : unit -> unit;
       (** called after every handled operation and after every thread
           exit; global arbiters (Kendo turn grants, barrier releases)
@@ -69,6 +114,10 @@ type policy = {
   on_finish : unit -> unit;
       (** all threads finished; fill the profile's footprint fields *)
 }
+
+val escalate_crash : tid:int -> exn -> unit
+(** The [on_thread_crash] of policies that do not support containment:
+    re-raises as [Thread_failure], aborting the run gracefully. *)
 
 (** {1 Accessors for policies} *)
 
@@ -102,6 +151,9 @@ val wake : t -> tid:int -> value:int -> not_before:int -> unit
     the operation it blocked on; its clock is raised to [not_before]. *)
 
 val is_finished : t -> int -> bool
+
+val is_crashed : t -> int -> bool
+(** True once the thread died under [Contain]. *)
 
 val thread_count : t -> int
 
@@ -139,6 +191,9 @@ type result = {
   ops : int;
   trace : trace_entry list;
       (** the last [trace_capacity] operations, oldest first *)
+  crashes : (int * string) list;
+      (** threads that died under [Contain], as (tid, exception text),
+          sorted by tid; empty for clean runs *)
 }
 
 val run : ?config:config -> (t -> policy) -> main:(unit -> unit) -> result
@@ -146,4 +201,5 @@ val run : ?config:config -> (t -> policy) -> main:(unit -> unit) -> result
     and returns when every simulated thread has finished. *)
 
 val output_signature : result -> string
-(** Deterministic digest of [outputs] for equality comparison. *)
+(** Deterministic digest of [outputs] and [crashes] for equality
+    comparison — crash outcomes are observable behavior. *)

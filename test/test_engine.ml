@@ -201,6 +201,33 @@ let test_deadlock_detected () =
        false
      with Engine.Deadlock _ -> true)
 
+let test_lost_wakeup_deadlock_describes_blocked () =
+  (* A classic lost wakeup: the signal fires before the waiter waits, so
+     the waiter blocks forever and main blocks in join.  The deadlock
+     diagnostic must name the stuck threads and their states. *)
+  let contains msg affix = Astring.String.is_infix ~affix msg in
+  match
+    run (fun () ->
+        let m = Api.mutex_create () in
+        let c = Api.cond_create () in
+        Api.lock m;
+        Api.cond_signal c;
+        Api.unlock m;
+        let waiter =
+          Api.spawn (fun () ->
+              Api.lock m;
+              Api.cond_wait c m;
+              Api.unlock m)
+        in
+        Api.join waiter)
+  with
+  | _ -> Alcotest.fail "expected Deadlock"
+  | exception Engine.Deadlock msg ->
+    Alcotest.(check bool) "names the lost waiter" true (contains msg "tid=1");
+    Alcotest.(check bool) "names blocked main" true (contains msg "tid=0");
+    Alcotest.(check bool) "reports the blocked state" true
+      (contains msg "blocked")
+
 let test_thread_failure_propagates () =
   Alcotest.(check bool) "exception surfaces with tid" true
     (try
@@ -217,6 +244,20 @@ let test_unlock_not_held () =
               Api.unlock m));
        false
      with Engine.Thread_failure (_, Invalid_argument _) -> true)
+
+let test_policy_failure_attributed_to_child () =
+  (* A protocol violation detected inside policy code (here: unlocking
+     an unheld mutex) must be attributed to the offending thread, not to
+     whoever happened to run the scheduler loop. *)
+  Alcotest.(check bool) "Thread_failure carries the child's tid" true
+    (try
+       ignore
+         (run (fun () ->
+              let m = Api.mutex_create () in
+              let c = Api.spawn (fun () -> Api.unlock m) in
+              Api.join c));
+       false
+     with Engine.Thread_failure (1, Invalid_argument _) -> true)
 
 let test_max_ops () =
   let config = { Engine.default_config with max_ops = 100 } in
@@ -248,9 +289,13 @@ let suites =
         Alcotest.test_case "jitter => racy variance" `Quick
           test_jitter_changes_interleaving;
         Alcotest.test_case "deadlock detection" `Quick test_deadlock_detected;
+        Alcotest.test_case "lost wakeup deadlock diagnostic" `Quick
+          test_lost_wakeup_deadlock_describes_blocked;
         Alcotest.test_case "thread failure" `Quick
           test_thread_failure_propagates;
         Alcotest.test_case "unlock unheld" `Quick test_unlock_not_held;
+        Alcotest.test_case "policy failure attributed to child" `Quick
+          test_policy_failure_attributed_to_child;
         Alcotest.test_case "max_ops guard" `Quick test_max_ops;
       ] );
   ]

@@ -1,0 +1,340 @@
+(* Fault injection and crash containment (ISSUE: robustness).
+
+   The acceptance properties:
+   (a) a fixed seed + fault plan gives byte-identical signatures —
+       crash outcomes included — across scheduling jitter;
+   (b) a thread crashed mid-slice never leaks uncommitted writes;
+   (c) a mutex poisoned by a crash is handed to the deterministically
+       next waiter and the program terminates. *)
+
+module Engine = Rfdet_sim.Engine
+module Api = Rfdet_sim.Api
+module Op = Rfdet_sim.Op
+module Layout = Rfdet_mem.Layout
+module Fault_plan = Rfdet_fault.Fault_plan
+module Runner = Rfdet_harness.Runner
+module Determinism = Rfdet_harness.Determinism
+module Workload = Rfdet_workloads.Workload
+module Registry = Rfdet_workloads.Registry
+
+let plan s =
+  match Fault_plan.parse s with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "bad test plan %S: %s" s e
+
+let workload name main =
+  { Workload.name; suite = "test"; description = name; main = (fun _cfg -> main) }
+
+let racey =
+  List.find (fun w -> w.Workload.name = "racey") Registry.all
+
+(* --- plan syntax and the injector ---------------------------------- *)
+
+let test_parse_roundtrip () =
+  let s = "crash,tid=2,op=lock,n=3;fail,tid=*,op=malloc,n=5;delay=500,tid=1,op=unlock,n=2" in
+  let p = plan s in
+  Alcotest.(check string) "round trip" s (Fault_plan.to_string p);
+  Alcotest.(check bool) "reparse" true (Fault_plan.parse (Fault_plan.to_string p) = Ok p)
+
+let test_parse_errors () =
+  let bad s =
+    match Fault_plan.parse s with Ok _ -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "unknown action" true (bad "explode,tid=1");
+  Alcotest.(check bool) "unknown op class" true (bad "crash,op=nosuch");
+  Alcotest.(check bool) "bad count" true (bad "crash,n=0");
+  Alcotest.(check bool) "bad delay" true (bad "delay=x");
+  Alcotest.(check bool) "empty" true (bad "")
+
+let test_injector_counts_per_thread () =
+  let inj =
+    Fault_plan.injector
+      [ { Fault_plan.tid = Some 2; op = Fault_plan.Lock_op; nth = 3;
+          action = Fault_plan.Crash } ]
+  in
+  (* Another thread's locks never advance the count. *)
+  Alcotest.(check bool) "other tid" true (inj ~tid:1 (Op.Lock 1) = Engine.I_none);
+  Alcotest.(check bool) "1st" true (inj ~tid:2 (Op.Lock 1) = Engine.I_none);
+  Alcotest.(check bool) "wrong class" true (inj ~tid:2 (Op.Unlock 1) = Engine.I_none);
+  Alcotest.(check bool) "2nd" true (inj ~tid:2 (Op.Lock 1) = Engine.I_none);
+  Alcotest.(check bool) "3rd fires" true (inj ~tid:2 (Op.Lock 1) = Engine.I_crash);
+  (* One-shot: the site never fires again. *)
+  Alcotest.(check bool) "4th" true (inj ~tid:2 (Op.Lock 1) = Engine.I_none)
+
+let test_random_plan_seeded () =
+  let p1 = Fault_plan.random ~seed:7L ~tids:[ 1; 2; 3 ] ~sites:5 in
+  let p2 = Fault_plan.random ~seed:7L ~tids:[ 1; 2; 3 ] ~sites:5 in
+  Alcotest.(check bool) "same seed, same plan" true (p1 = p2);
+  Alcotest.(check bool) "all sites tid-qualified" true
+    (List.for_all (fun s -> s.Fault_plan.tid <> None) p1)
+
+(* --- fail and delay injections -------------------------------------- *)
+
+let test_fail_malloc_returns_null () =
+  let w =
+    workload "fail-malloc" (fun () ->
+        Api.output_int (Api.malloc 64);
+        Api.output_int (if Api.malloc 64 <> 0 then 1 else 0))
+  in
+  let r = Runner.run ~faults:(plan "fail,op=malloc,n=1") Runner.rfdet_ci w in
+  Alcotest.(check bool) "1st malloc null, 2nd succeeds" true
+    (r.Runner.outputs = [ (0, 0L); (0, 1L) ]);
+  Alcotest.(check bool) "no crash" true (r.Runner.crashes = [])
+
+let test_fail_raises_recoverable () =
+  (* A failed operation raises [Injected_fault] at the call site inside
+     the thread, which may catch it and keep going — an error, not a
+     crash. *)
+  let w =
+    workload "fail-store" (fun () ->
+        (try Api.store Layout.globals_base 1
+         with Engine.Injected_fault -> Api.output_int 77);
+        Api.output_int (Api.load Layout.globals_base))
+  in
+  let r = Runner.run ~faults:(plan "fail,tid=0,op=store,n=1") Runner.rfdet_ci w in
+  Alcotest.(check bool) "caught and continued" true
+    (r.Runner.outputs = [ (0, 77L); (0, 0L) ]);
+  Alcotest.(check bool) "no crash" true (r.Runner.crashes = [])
+
+let test_fail_uncaught_is_contained () =
+  (* Uncaught, the injected fault unwinds the fiber and the thread dies
+     like any other raising thread: contained, recorded. *)
+  let w =
+    workload "fail-uncaught" (fun () ->
+        let c = Api.spawn (fun () -> Api.store Layout.globals_base 1) in
+        Api.output_int (match Api.join_check c with `Ok -> 0 | `Crashed -> 1))
+  in
+  let r = Runner.run ~faults:(plan "fail,tid=1,op=store,n=1") Runner.rfdet_ci w in
+  Alcotest.(check bool) "joiner sees the crash" true
+    (r.Runner.outputs = [ (0, 1L) ]);
+  Alcotest.(check bool) "crash recorded for tid 1" true
+    (match r.Runner.crashes with [ (1, _) ] -> true | _ -> false)
+
+let test_delay_stalls_without_changing_results () =
+  let w =
+    workload "delay" (fun () ->
+        let c = Api.spawn (fun () -> Api.output_int 5) in
+        Api.join c;
+        Api.output_int 6)
+  in
+  let clean = Runner.run Runner.rfdet_ci w in
+  let delayed =
+    Runner.run ~faults:(plan "delay=9000,tid=1,op=output,n=1") Runner.rfdet_ci w
+  in
+  Alcotest.(check bool) "same outputs" true
+    (clean.Runner.outputs = delayed.Runner.outputs);
+  Alcotest.(check bool) "no crash" true (delayed.Runner.crashes = []);
+  (* The clean critical path overlaps the stalled chain by a few sync
+     cycles, so the makespan grows by slightly less than the stall. *)
+  Alcotest.(check bool) "makespan grew by roughly the stall" true
+    (delayed.Runner.sim_time >= clean.Runner.sim_time + 8000)
+
+(* --- crash containment ---------------------------------------------- *)
+
+let test_abort_mode_unwinds () =
+  let w =
+    workload "abort" (fun () ->
+        let c = Api.spawn (fun () -> Api.store Layout.globals_base 1) in
+        Api.join c)
+  in
+  Alcotest.(check bool) "Thread_failure with the crashed tid" true
+    (try
+       ignore
+         (Runner.run ~faults:(plan "crash,tid=1,op=store,n=1")
+            ~failure_mode:Engine.Abort Runner.rfdet_ci w);
+       false
+     with Engine.Thread_failure (1, Engine.Injected_crash) -> true)
+
+(* (b) A thread crashed mid-slice has published nothing since its last
+   release point; its uncommitted writes must never propagate. *)
+let crash_discards_main () =
+  let addr = Layout.globals_base in
+  let m = Api.mutex_create () in
+  Api.store addr 7;
+  let child =
+    Api.spawn (fun () ->
+        Api.lock m;
+        Api.store addr 41;
+        Api.store addr 42;
+        (* the crash is injected at this unlock — before the release
+           takes effect, so 41/42 die in the open slice *)
+        Api.unlock m)
+  in
+  Api.output_int (match Api.join_check child with `Ok -> 0 | `Crashed -> 1);
+  Api.output_int (match Api.lock_check m with `Ok -> 0 | `Poisoned -> 2);
+  Api.output_int (Api.load addr);
+  Api.unlock m
+
+let test_crash_discards_uncommitted_writes () =
+  let w = workload "discard" crash_discards_main in
+  let check_runtime rt =
+    let r = Runner.run ~faults:(plan "crash,tid=1,op=unlock,n=1") rt w in
+    Alcotest.(check bool)
+      (Runner.runtime_name rt ^ ": join=Crashed, lock=Poisoned, value intact")
+      true
+      (r.Runner.outputs = [ (0, 1L); (0, 2L); (0, 7L) ]);
+    Alcotest.(check bool) "one crash, tid 1" true
+      (match r.Runner.crashes with [ (1, _) ] -> true | _ -> false)
+  in
+  List.iter check_runtime [ Runner.rfdet_ci; Runner.rfdet_pf ]
+
+(* (c) A crash while holding a mutex poisons it and hands it to the
+   deterministically next waiter; the run terminates. *)
+let poison_handoff_main () =
+  let counter = Layout.globals_base + 8 in
+  let m = Api.mutex_create () in
+  let crasher =
+    Api.spawn (fun () ->
+        Api.lock m;
+        Api.tick 2000;
+        (* crash injected at this store, while holding m *)
+        Api.store Layout.globals_base 1)
+  in
+  let waiter k () =
+    Api.tick 500;
+    (match Api.lock_check m with
+    | `Poisoned ->
+      (* acquisition order is observable: the first acquirer reads 0 *)
+      let v = Api.load counter in
+      Api.store counter (v + 1);
+      Api.output_int ((100 * k) + v)
+    | `Ok -> Api.output_int (-k));
+    Api.unlock m
+  in
+  let w1 = Api.spawn (waiter 1) in
+  let w2 = Api.spawn (waiter 2) in
+  ignore (Api.join_check crasher);
+  Api.join w1;
+  Api.join w2;
+  Api.output_int (Api.load Layout.globals_base)
+
+let test_poisoned_mutex_next_waiter () =
+  let w = workload "poison" poison_handoff_main in
+  let p = plan "crash,tid=1,op=store,n=1" in
+  let r = Runner.run ~faults:p Runner.rfdet_ci w in
+  (* Both waiters observe the poison; waiter 1 (earlier Kendo stamp)
+     acquires first; the crasher's store never lands. *)
+  Alcotest.(check bool) "poisoned hand-off order" true
+    (r.Runner.outputs = [ (0, 0L); (2, 100L); (3, 201L) ]);
+  Alcotest.(check bool) "crash recorded" true
+    (match r.Runner.crashes with [ (1, _) ] -> true | _ -> false);
+  (* The same hand-off under scheduling jitter, for several seeds. *)
+  let sig_of seed =
+    let r =
+      Runner.run ~faults:p ~sched_seed:seed ~jitter:10.0 Runner.rfdet_ci w
+    in
+    r.Runner.signature
+  in
+  let signatures = List.init 6 (fun i -> sig_of (Int64.of_int (i + 1))) in
+  Alcotest.(check int) "jitter-independent hand-off" 1
+    (List.length (List.sort_uniq compare signatures))
+
+let test_barrier_breaks_on_party_crash () =
+  (* Two children synchronize through a 2-party barrier; one crashes
+     between rounds.  The survivor's next wait must fail with [`Broken]
+     instead of hanging forever. *)
+  let main () =
+    let b = Api.barrier_create 2 in
+    let body k () =
+      (match Api.barrier_wait_check b with
+      | `Ok -> Api.output_int (10 + k)
+      | `Broken -> Api.output_int (20 + k));
+      Api.tick 100;
+      if k = 1 then Api.store Layout.globals_base 1;
+      match Api.barrier_wait_check b with
+      | `Ok -> Api.output_int (30 + k)
+      | `Broken -> Api.output_int (40 + k)
+    in
+    let c1 = Api.spawn (body 1) in
+    let c2 = Api.spawn (body 2) in
+    ignore (Api.join_check c1);
+    ignore (Api.join_check c2)
+  in
+  let w = workload "barrier-break" main in
+  let r = Runner.run ~faults:(plan "crash,tid=1,op=store,n=1") Runner.rfdet_ci w in
+  Alcotest.(check bool) "round 1 completes, round 2 breaks" true
+    (r.Runner.outputs = [ (1, 11L); (2, 12L); (2, 42L) ]);
+  Alcotest.(check bool) "crash recorded" true
+    (match r.Runner.crashes with [ (1, _) ] -> true | _ -> false)
+
+let test_contained_under_kendo () =
+  (* Weak determinism contains crashes too: memory is shared (nothing to
+     discard) but the sync layer still poisons and unblocks. *)
+  let w = workload "kendo-contain" crash_discards_main in
+  let r = Runner.run ~faults:(plan "crash,tid=1,op=unlock,n=1") Runner.Kendo w in
+  (* Kendo shares memory, so the crashed thread's stores are visible:
+     containment here is about liveness, not isolation. *)
+  Alcotest.(check bool) "join=Crashed, lock=Poisoned" true
+    (match r.Runner.outputs with
+    | [ (0, 1L); (0, 2L); (0, v) ] -> v = 42L
+    | _ -> false);
+  Alcotest.(check bool) "crash recorded" true
+    (match r.Runner.crashes with [ (1, _) ] -> true | _ -> false)
+
+(* --- (a) fault determinism across jitter ----------------------------- *)
+
+let test_fault_determinism_racey () =
+  let p = plan "crash,tid=2,op=store,n=100" in
+  let report, crashes =
+    Determinism.check_faults ~threads:4 ~runs:12 ~jitter:12.0 ~plan:p
+      Runner.rfdet_ci racey
+  in
+  Alcotest.(check bool) "12 jittered runs, one signature" true
+    report.Determinism.deterministic;
+  Alcotest.(check bool) "the crash happened" true
+    (match crashes with [ (2, _) ] -> true | _ -> false);
+  (* The crash is part of the observable behavior: a faulty run must
+     not masquerade as a clean one. *)
+  let clean = Runner.run ~threads:4 Runner.rfdet_ci racey in
+  let faulty = Runner.run ~threads:4 ~faults:p Runner.rfdet_ci racey in
+  Alcotest.(check bool) "signature differs from the clean run" true
+    (clean.Runner.signature <> faulty.Runner.signature)
+
+let test_signature_folds_crashes () =
+  (* Two runs with identical outputs but different crash outcomes must
+     have different signatures. *)
+  let w =
+    workload "sig" (fun () ->
+        let c = Api.spawn (fun () -> Api.store Layout.globals_base 1) in
+        ignore (Api.join_check c);
+        Api.output_int 9)
+  in
+  let crash1 = Runner.run ~faults:(plan "crash,tid=1,op=store,n=1") Runner.rfdet_ci w in
+  let clean = Runner.run Runner.rfdet_ci w in
+  Alcotest.(check bool) "same outputs either way" true
+    (clean.Runner.outputs = [ (0, 9L) ] && crash1.Runner.outputs = [ (0, 9L) ]);
+  Alcotest.(check bool) "signatures differ" true
+    (clean.Runner.signature <> crash1.Runner.signature)
+
+let suites =
+  [
+    ( "fault",
+      [
+        Alcotest.test_case "plan parse round-trip" `Quick test_parse_roundtrip;
+        Alcotest.test_case "plan parse errors" `Quick test_parse_errors;
+        Alcotest.test_case "injector per-thread counting" `Quick
+          test_injector_counts_per_thread;
+        Alcotest.test_case "seeded random plans" `Quick test_random_plan_seeded;
+        Alcotest.test_case "fail: malloc returns null" `Quick
+          test_fail_malloc_returns_null;
+        Alcotest.test_case "fail: recoverable at call site" `Quick
+          test_fail_raises_recoverable;
+        Alcotest.test_case "fail: uncaught is contained" `Quick
+          test_fail_uncaught_is_contained;
+        Alcotest.test_case "delay: stalls, same results" `Quick
+          test_delay_stalls_without_changing_results;
+        Alcotest.test_case "abort mode unwinds" `Quick test_abort_mode_unwinds;
+        Alcotest.test_case "crash discards uncommitted writes" `Quick
+          test_crash_discards_uncommitted_writes;
+        Alcotest.test_case "poisoned mutex to next waiter" `Quick
+          test_poisoned_mutex_next_waiter;
+        Alcotest.test_case "barrier breaks on party crash" `Quick
+          test_barrier_breaks_on_party_crash;
+        Alcotest.test_case "containment under kendo" `Quick
+          test_contained_under_kendo;
+        Alcotest.test_case "fault determinism (racey, jitter)" `Quick
+          test_fault_determinism_racey;
+        Alcotest.test_case "signature folds crashes" `Quick
+          test_signature_folds_crashes;
+      ] );
+  ]

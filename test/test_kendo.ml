@@ -183,6 +183,7 @@ let test_arbiter_unit () =
           ;
           on_engine_op = (fun ~tid:_ _ outcome -> outcome);
           on_thread_exit = (fun ~tid -> Arbiter.thread_finished arb ~tid);
+          on_thread_crash = Engine.escalate_crash;
           on_step = (fun () -> Arbiter.poll arb);
           on_finish = (fun () -> ());
         })

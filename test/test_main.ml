@@ -9,6 +9,7 @@ let () =
          Test_diff.suites;
          Test_allocator.suites;
          Test_engine.suites;
+         Test_fault.suites;
          Test_kendo.suites;
          Test_rfdet.suites;
          Test_dthreads.suites;
