@@ -2,9 +2,12 @@
    (Section 5) plus the ablations indexed in DESIGN.md, then runs
    Bechamel microbenchmarks of the runtime's core primitives.
 
-   Usage: dune exec bench/main.exe [-- --full]
+   Usage: dune exec bench/main.exe [-- --full | -- --json]
    --full runs the racey determinism experiment 1000 times per
-   configuration, as in the paper (default: 50). *)
+   configuration, as in the paper (default: 50).
+   --json skips the paper tables and runs only the host-performance
+   benchmark set, writing BENCH_CORE.json (same as `rfdet bench
+   --json`). *)
 
 module Experiments = Rfdet_harness.Experiments
 module Runner = Rfdet_harness.Runner
@@ -43,17 +46,57 @@ let microbenches () =
           let b = Rfdet_util.Vclock.of_list (List.init 64 (fun i -> 64 - i)) in
           fun () -> ignore (Rfdet_util.Vclock.compare_partial a b)))
   in
+  (* The word-level diff against its byte-at-a-time oracle, in both the
+     sparse (typical slice) and dense (barrier merge) regimes. *)
+  let dirty_1pct () =
+    let snapshot = Bytes.make Rfdet_mem.Page.size 'a' in
+    let current = Bytes.copy snapshot in
+    for i = 0 to 40 do
+      Bytes.set current (i * 97) 'b'
+    done;
+    (snapshot, current)
+  in
+  let dirty_50pct () =
+    let snapshot = Bytes.make Rfdet_mem.Page.size 'a' in
+    let current = Bytes.copy snapshot in
+    let i = ref 0 in
+    while !i < Rfdet_mem.Page.size do
+      Bytes.fill current !i 64 'b';
+      i := !i + 128
+    done;
+    (snapshot, current)
+  in
   let page_diff =
     Test.make ~name:"page diff (4 KiB, 1% dirty)"
       (Staged.stage
-         (let snapshot = Bytes.make Rfdet_mem.Page.size 'a' in
-          let current = Bytes.copy snapshot in
-          for i = 0 to 40 do
-            Bytes.set current (i * 97) 'b'
-          done;
+         (let snapshot, current = dirty_1pct () in
           fun () ->
             ignore
               (Rfdet_mem.Diff.diff_page ~page_id:0 ~snapshot ~current)))
+  in
+  let page_diff_bytewise =
+    Test.make ~name:"page diff bytewise (4 KiB, 1% dirty)"
+      (Staged.stage
+         (let snapshot, current = dirty_1pct () in
+          fun () ->
+            ignore
+              (Rfdet_mem.Diff.diff_page_bytewise ~page_id:0 ~snapshot ~current)))
+  in
+  let page_diff_50 =
+    Test.make ~name:"page diff (4 KiB, 50% dirty)"
+      (Staged.stage
+         (let snapshot, current = dirty_50pct () in
+          fun () ->
+            ignore
+              (Rfdet_mem.Diff.diff_page ~page_id:0 ~snapshot ~current)))
+  in
+  let page_diff_bytewise_50 =
+    Test.make ~name:"page diff bytewise (4 KiB, 50% dirty)"
+      (Staged.stage
+         (let snapshot, current = dirty_50pct () in
+          fun () ->
+            ignore
+              (Rfdet_mem.Diff.diff_page_bytewise ~page_id:0 ~snapshot ~current)))
   in
   let diff_apply =
     Test.make ~name:"diff apply (41 runs)"
@@ -66,6 +109,41 @@ let microbenches () =
           let d = Rfdet_mem.Diff.diff_page ~page_id:0 ~snapshot ~current in
           let space = Rfdet_mem.Space.create () in
           fun () -> Rfdet_mem.Diff.apply space d))
+  in
+  (* The retired per-byte application loop, kept as the baseline the
+     blit-based [Diff.apply] is judged against. *)
+  let apply_per_byte space (d : Rfdet_mem.Diff.t) =
+    List.iter
+      (fun (r : Rfdet_mem.Diff.run) ->
+        String.iteri
+          (fun i c ->
+            Rfdet_mem.Space.store_byte space (r.addr + i) (Char.code c))
+          r.data)
+      d
+  in
+  let diff_apply_per_byte =
+    Test.make ~name:"diff apply per-byte (41 runs, 41 B)"
+      (Staged.stage
+         (let snapshot, current = dirty_1pct () in
+          let d = Rfdet_mem.Diff.diff_page ~page_id:0 ~snapshot ~current in
+          let space = Rfdet_mem.Space.create () in
+          fun () -> apply_per_byte space d))
+  in
+  let diff_apply_bulk_large =
+    Test.make ~name:"diff apply bulk (32 runs, 2 KiB)"
+      (Staged.stage
+         (let snapshot, current = dirty_50pct () in
+          let d = Rfdet_mem.Diff.diff_page ~page_id:0 ~snapshot ~current in
+          let space = Rfdet_mem.Space.create () in
+          fun () -> Rfdet_mem.Diff.apply space d))
+  in
+  let diff_apply_per_byte_large =
+    Test.make ~name:"diff apply per-byte (32 runs, 2 KiB)"
+      (Staged.stage
+         (let snapshot, current = dirty_50pct () in
+          let d = Rfdet_mem.Diff.diff_page ~page_id:0 ~snapshot ~current in
+          let space = Rfdet_mem.Space.create () in
+          fun () -> apply_per_byte space d))
   in
   let allocator =
     Test.make ~name:"malloc+free (64 B)"
@@ -81,7 +159,19 @@ let microbenches () =
            ignore (Runner.run Runner.rfdet_ci (Registry.find "racey"))))
   in
   let tests =
-    [ vclock_join; vclock_compare; page_diff; diff_apply; allocator ]
+    [
+      vclock_join;
+      vclock_compare;
+      page_diff;
+      page_diff_bytewise;
+      page_diff_50;
+      page_diff_bytewise_50;
+      diff_apply;
+      diff_apply_per_byte;
+      diff_apply_bulk_large;
+      diff_apply_per_byte_large;
+      allocator;
+    ]
   in
   let benchmark test =
     let cfg =
@@ -119,6 +209,15 @@ let microbenches () =
 (* ------------------------------------------------------------------ *)
 
 let () =
+  (* --json: run only the host-perf benchmark set and write
+     BENCH_CORE.json (same output as `rfdet bench --json`). *)
+  if Array.exists (( = ) "--json") Sys.argv then begin
+    let b = Rfdet_harness.Bench_core.run () in
+    print_string (Rfdet_harness.Bench_core.render b);
+    Rfdet_harness.Bench_core.write_json ~path:"BENCH_CORE.json" b;
+    print_endline "\nWrote BENCH_CORE.json";
+    exit 0
+  end;
   let full = Array.exists (( = ) "--full") Sys.argv in
   let racey_runs = if full then 1000 else 50 in
 

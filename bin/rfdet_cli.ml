@@ -5,6 +5,8 @@
      list             list workloads and runtimes
      racey            the determinism stress experiment (Section 5.1)
      faults WORKLOAD  fault-determinism check under an injected plan
+     bench            host-performance bench of the core primitives
+                      (--json writes BENCH_CORE.json)
      experiment NAME  regenerate a table/figure (fig7, table1, fig8,
                       fig9, e1, e6, e7, all) *)
 
@@ -329,6 +331,42 @@ let faults_cmd =
       const action $ runtime_arg $ workload_arg $ plan_arg $ threads_arg
       $ scale_arg $ runs_arg $ jitter_fault_arg)
 
+(* --- bench ------------------------------------------------------------ *)
+
+let bench_cmd =
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Also write the machine-readable benchmark record (the repo's \
+             perf-trajectory file) and echo it to stdout.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt string "BENCH_CORE.json"
+      & info [ "o"; "out" ] ~docv:"PATH"
+          ~doc:"Where $(b,--json) writes the record.")
+  in
+  let action json out =
+   guard @@ fun () ->
+    let r = Rfdet_harness.Bench_core.run () in
+    print_string (Rfdet_harness.Bench_core.render r);
+    if json then begin
+      Rfdet_harness.Bench_core.write_json ~path:out r;
+      Printf.printf "\nwrote %s:\n%s" out (Rfdet_harness.Bench_core.to_json r)
+    end
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Benchmark the memory-pipeline primitives (word-level page diff, \
+          blit-based apply, string I/O, snapshot pooling) and two \
+          end-to-end workloads on the host clock; $(b,--json) emits \
+          BENCH_CORE.json with times, ops/sec and output signatures.")
+    Term.(const action $ json_arg $ out_arg)
+
 (* --- experiment ------------------------------------------------------- *)
 
 let experiment_cmd =
@@ -372,4 +410,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ run_cmd; list_cmd; racey_cmd; races_cmd; replay_cmd; faults_cmd;
-            experiment_cmd ]))
+            bench_cmd; experiment_cmd ]))

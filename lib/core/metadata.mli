@@ -30,6 +30,17 @@ val snapshot_taken : t -> unit
 
 val snapshot_released : t -> unit
 
+(** [alloc_page_buf t] hands out a page-sized scratch buffer from the
+    free-list (or allocates one when the pool is empty).  The contents
+    are {e unspecified} — callers must overwrite the whole buffer
+    ([Space.snapshot_page_into] does).  [release_page_buf t b] returns a
+    buffer to the pool; the pool is bounded, so releasing is always
+    safe.  Pooling is a host-side optimization only: metering
+    ([snapshot_taken]/[snapshot_released]) is unchanged. *)
+val alloc_page_buf : t -> bytes
+
+val release_page_buf : t -> bytes -> unit
+
 (** [usage t] — current bytes; [peak t] — high-water mark. *)
 val usage : t -> int
 

@@ -41,7 +41,7 @@ let apply_lazy ~cost ~(opts : Options.t) ~(into : Tstate.t) (s : Slice.t) =
         cycles := !cycles + 25
       end
       else begin
-        List.iter (Diff.apply_run into.shared) runs;
+        Diff.apply_runs_on_page into.shared ~page_id:page runs;
         cycles := !cycles + (bytes * cost.Cost.apply_byte)
       end)
     pages;

@@ -58,19 +58,25 @@ let flush_pending ?(bulk = false) t (ts : Tstate.t) page =
   | runs ->
     let p = prof t in
     if not bulk then p.page_faults <- p.page_faults + 1;
-    let touched = Bytes.make Page.size '\000' in
+    let touched = Metadata.alloc_page_buf t.meta in
+    Bytes.fill touched 0 Page.size '\000';
     let distinct = ref 0 in
+    (* Own the page once, then blit each run; the bitmap still charges
+       one simulated write per distinct byte. *)
+    let data = Space.own_page ts.shared page in
     List.iter
       (fun (r : Diff.run) ->
-        Diff.apply_run ts.shared r;
         let base = Page.offset_of_addr r.addr in
-        for i = 0 to String.length r.data - 1 do
-          if Bytes.get touched (base + i) = '\000' then begin
-            Bytes.set touched (base + i) '\001';
+        let len = String.length r.data in
+        Bytes.blit_string r.data 0 data base len;
+        for i = base to base + len - 1 do
+          if Bytes.get touched i = '\000' then begin
+            Bytes.set touched i '\001';
             incr distinct
           end
         done)
       runs;
+    Metadata.release_page_buf t.meta touched;
     Space.protect ts.shared page Space.Prot_rw;
     let c = cost t in
     let trap = if bulk then 50 else c.Cost.page_fault in
@@ -119,6 +125,7 @@ let close_slice t (ts : Tstate.t) =
         p.diff_bytes_scanned <- p.diff_bytes_scanned + Page.size;
         let d = Diff.diff_page ~page_id:page ~snapshot ~current in
         Metadata.snapshot_released t.meta;
+        Metadata.release_page_buf t.meta snapshot;
         d)
       pages
   in
@@ -293,7 +300,11 @@ let do_exited t ~tid =
    thread is marked exited so it stops pinning the GC frontier. *)
 let do_crashed t ~tid =
   let ts = state t ~tid in
-  Hashtbl.iter (fun _ _ -> Metadata.snapshot_released t.meta) ts.snapshots;
+  Hashtbl.iter
+    (fun _ buf ->
+      Metadata.snapshot_released t.meta;
+      Metadata.release_page_buf t.meta buf)
+    ts.snapshots;
   Hashtbl.reset ts.snapshots;
   ts.touch_order <- [];
   (* Pending lazy writes were already committed by their writers; this
@@ -375,7 +386,9 @@ let do_store t ~tid ~addr ~value ~width =
         if Tstate.has_pending ts page then
           extra := !extra + flush_pending t ts page;
         if ts.monitoring && not (Tstate.has_open_snapshot ts page) then begin
-          Tstate.add_snapshot ts page (Space.snapshot_page ts.shared page);
+          let buf = Metadata.alloc_page_buf t.meta in
+          Space.snapshot_page_into ts.shared page buf;
+          Tstate.add_snapshot ts page buf;
           Metadata.snapshot_taken t.meta;
           p.snapshots <- p.snapshots + 1;
           copied := true;

@@ -9,7 +9,7 @@ type t = {
 
 let free t =
   t.freed <- true;
-  t.mods <- []
+  t.mods <- Rfdet_mem.Diff.empty
 
 let make ~id ~tid ~mods ~time =
   { id; tid; mods; time; bytes = Rfdet_mem.Diff.byte_count mods; freed = false }

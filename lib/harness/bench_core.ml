@@ -1,0 +1,286 @@
+(* Host-performance benchmark of the memory-pipeline primitives and two
+   end-to-end workloads, with machine-readable JSON output
+   (BENCH_CORE.json) — the repo's perf trajectory record.
+
+   Times here are host nanoseconds/milliseconds, *not* simulated cycles:
+   this is the file that proves a host-side optimization helped and
+   catches regressions.  The end-to-end entries also record the output
+   signature, which CI uses as a determinism gate (the signature must
+   never change without an intentional semantic change). *)
+
+module Diff = Rfdet_mem.Diff
+module Space = Rfdet_mem.Space
+module Page = Rfdet_mem.Page
+module Registry = Rfdet_workloads.Registry
+
+type micro = { name : string; ns_per_op : float }
+
+type e2e = {
+  workload : string;
+  runtime : string;
+  threads : int;
+  runs : int;
+  mean_wall_ms : float;
+  engine_ops : int;
+  ops_per_sec : float;
+  sim_cycles : int;
+  signature : string;
+}
+
+type t = {
+  micro : micro list;
+  derived : (string * float) list;
+  end_to_end : e2e list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Measurement                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Nanoseconds per call: grow the iteration count until a batch runs
+   long enough to dwarf timer resolution, then measure one final batch. *)
+let time_ns f =
+  let batch n =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to n do
+      ignore (Sys.opaque_identity (f ()))
+    done;
+    Unix.gettimeofday () -. t0
+  in
+  let rec calibrate n =
+    if batch n >= 0.01 || n >= 100_000_000 then n else calibrate (n * 4)
+  in
+  let n = calibrate 1 in
+  let dt = batch n in
+  dt *. 1e9 /. float_of_int n
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* 1% dirty: 41 isolated dirty bytes, the regime of typical slices. *)
+let dirty_1pct () =
+  let snapshot = Bytes.make Page.size 'a' in
+  let current = Bytes.copy snapshot in
+  for i = 0 to 40 do
+    Bytes.set current (i * 97) 'b'
+  done;
+  (snapshot, current)
+
+(* 50% dirty: alternating 64-byte blocks rewritten — the heavy-diff
+   regime (barrier merges, large reductions). *)
+let dirty_50pct () =
+  let snapshot = Bytes.make Page.size 'a' in
+  let current = Bytes.copy snapshot in
+  let block = 64 in
+  let i = ref 0 in
+  while !i < Page.size do
+    Bytes.fill current !i block 'b';
+    i := !i + (2 * block)
+  done;
+  (snapshot, current)
+
+(* The old per-byte application loop, kept as the microbench baseline
+   for the blit-based [Diff.apply]. *)
+let apply_per_byte space (d : Diff.t) =
+  List.iter
+    (fun (r : Diff.run) ->
+      String.iteri
+        (fun i c -> Space.store_byte space (r.addr + i) (Char.code c))
+        r.data)
+    d
+
+(* ------------------------------------------------------------------ *)
+(* The benchmark set                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let microbenches () =
+  let snap1, cur1 = dirty_1pct () in
+  let snap50, cur50 = dirty_50pct () in
+  let d1 = Diff.diff_page ~page_id:0 ~snapshot:snap1 ~current:cur1 in
+  let d50 = Diff.diff_page ~page_id:0 ~snapshot:snap50 ~current:cur50 in
+  let apply_space = Space.create () in
+  let apply_space_ref = Space.create () in
+  let str_space = Space.create () in
+  let payload = String.make 1024 'x' in
+  Space.blit_string str_space ~addr:100 payload;
+  let snap_space = Space.create () in
+  Space.store_byte snap_space 1 7;
+  let snap_buf = Bytes.create Page.size in
+  [
+    ( "page diff (4 KiB, 1% dirty)",
+      fun () -> ignore (Diff.diff_page ~page_id:0 ~snapshot:snap1 ~current:cur1)
+    );
+    ( "page diff bytewise (4 KiB, 1% dirty)",
+      fun () ->
+        ignore (Diff.diff_page_bytewise ~page_id:0 ~snapshot:snap1 ~current:cur1)
+    );
+    ( "page diff (4 KiB, 50% dirty)",
+      fun () ->
+        ignore (Diff.diff_page ~page_id:0 ~snapshot:snap50 ~current:cur50) );
+    ( "page diff bytewise (4 KiB, 50% dirty)",
+      fun () ->
+        ignore
+          (Diff.diff_page_bytewise ~page_id:0 ~snapshot:snap50 ~current:cur50)
+    );
+    ("bulk apply (41 runs, 41 B)", fun () -> Diff.apply apply_space d1);
+    ( "per-byte apply (41 runs, 41 B)",
+      fun () -> apply_per_byte apply_space_ref d1 );
+    ("bulk apply (32 runs, 2 KiB)", fun () -> Diff.apply apply_space d50);
+    ( "per-byte apply (32 runs, 2 KiB)",
+      fun () -> apply_per_byte apply_space_ref d50 );
+    ( "blit_string (1 KiB)",
+      fun () -> Space.blit_string str_space ~addr:100 payload );
+    ( "read_string (1 KiB)",
+      fun () -> ignore (Space.read_string str_space ~addr:100 ~len:1024) );
+    ( "snapshot_page_into (pooled)",
+      fun () -> Space.snapshot_page_into snap_space 0 snap_buf );
+    ("snapshot_page (allocating)", fun () -> ignore (Space.snapshot_page snap_space 0));
+  ]
+  |> List.map (fun (name, f) -> { name; ns_per_op = time_ns f })
+
+let find_ns micro name =
+  match List.find_opt (fun m -> m.name = name) micro with
+  | Some m -> m.ns_per_op
+  | None -> nan
+
+let derived_of micro =
+  let ratio slow fast = find_ns micro slow /. find_ns micro fast in
+  [
+    ( "page_diff_1pct_speedup_vs_bytewise",
+      ratio "page diff bytewise (4 KiB, 1% dirty)" "page diff (4 KiB, 1% dirty)"
+    );
+    ( "page_diff_50pct_speedup_vs_bytewise",
+      ratio "page diff bytewise (4 KiB, 50% dirty)"
+        "page diff (4 KiB, 50% dirty)" );
+    ( "bulk_apply_small_speedup_vs_per_byte",
+      ratio "per-byte apply (41 runs, 41 B)" "bulk apply (41 runs, 41 B)" );
+    ( "bulk_apply_large_speedup_vs_per_byte",
+      ratio "per-byte apply (32 runs, 2 KiB)" "bulk apply (32 runs, 2 KiB)" );
+  ]
+
+let e2e_workloads = [ ("fft", 8); ("wordcount", 8) ]
+
+let e2e_runs = 5
+
+let end_to_end () =
+  List.map
+    (fun (name, threads) ->
+      let w = Registry.find name in
+      (* one warm-up, then the measured runs *)
+      ignore (Runner.run ~threads Runner.rfdet_ci w);
+      let results =
+        List.init e2e_runs (fun _ -> Runner.run ~threads Runner.rfdet_ci w)
+      in
+      let wall =
+        List.fold_left (fun acc r -> acc +. r.Runner.wall_seconds) 0. results
+        /. float_of_int e2e_runs
+      in
+      let r0 = List.hd results in
+      {
+        workload = name;
+        runtime = r0.Runner.runtime;
+        threads;
+        runs = e2e_runs;
+        mean_wall_ms = wall *. 1000.;
+        engine_ops = r0.Runner.ops;
+        ops_per_sec = float_of_int r0.Runner.ops /. wall;
+        sim_cycles = r0.Runner.sim_time;
+        signature = r0.Runner.signature;
+      })
+    e2e_workloads
+
+let run () =
+  let micro = microbenches () in
+  { micro; derived = derived_of micro; end_to_end = end_to_end () }
+
+(* ------------------------------------------------------------------ *)
+(* Output                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* No timestamps: the committed BENCH_CORE.json should only change when
+   the numbers do, and CI diffs its signature lines. *)
+let to_json t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"schema\": \"rfdet-bench-core/1\",\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"host\": { \"ocaml\": \"%s\", \"word_size\": %d },\n"
+       (json_escape Sys.ocaml_version) Sys.word_size);
+  Buffer.add_string b "  \"microbench\": [\n";
+  List.iteri
+    (fun i m ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    { \"name\": \"%s\", \"ns_per_op\": %.1f, \"ops_per_sec\": %.0f \
+            }%s\n"
+           (json_escape m.name) m.ns_per_op
+           (1e9 /. m.ns_per_op)
+           (if i = List.length t.micro - 1 then "" else ",")))
+    t.micro;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b "  \"derived\": {\n";
+  List.iteri
+    (fun i (k, v) ->
+      Buffer.add_string b
+        (Printf.sprintf "    \"%s\": %.2f%s\n" (json_escape k) v
+           (if i = List.length t.derived - 1 then "" else ",")))
+    t.derived;
+  Buffer.add_string b "  },\n";
+  Buffer.add_string b "  \"end_to_end\": [\n";
+  List.iteri
+    (fun i e ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    { \"workload\": \"%s\", \"runtime\": \"%s\", \"threads\": %d, \
+            \"runs\": %d, \"mean_wall_ms\": %.2f, \"engine_ops\": %d, \
+            \"ops_per_sec\": %.0f, \"sim_cycles\": %d,\n\
+           \      \"signature\": \"%s\" }%s\n"
+           (json_escape e.workload) (json_escape e.runtime) e.threads e.runs
+           e.mean_wall_ms e.engine_ops e.ops_per_sec e.sim_cycles
+           (json_escape e.signature)
+           (if i = List.length t.end_to_end - 1 then "" else ",")))
+    t.end_to_end;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+let render t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "Core-primitive microbenchmarks (host time):\n";
+  List.iter
+    (fun m ->
+      Buffer.add_string b
+        (Printf.sprintf "  %-42s %10.1f ns/op %14.0f ops/s\n" m.name
+           m.ns_per_op
+           (1e9 /. m.ns_per_op)))
+    t.micro;
+  Buffer.add_string b "\nDerived speedups:\n";
+  List.iter
+    (fun (k, v) -> Buffer.add_string b (Printf.sprintf "  %-42s %8.2fx\n" k v))
+    t.derived;
+  Buffer.add_string b "\nEnd-to-end (host wall time):\n";
+  List.iter
+    (fun e ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "  %-12s %-10s t=%d  %8.2f ms/run  %12.0f engine-ops/s  sig=%s\n"
+           e.workload e.runtime e.threads e.mean_wall_ms e.ops_per_sec
+           e.signature))
+    t.end_to_end;
+  Buffer.contents b
+
+let write_json ~path t =
+  let oc = open_out path in
+  output_string oc (to_json t);
+  close_out oc

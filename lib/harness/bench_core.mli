@@ -1,0 +1,42 @@
+(** Host-performance benchmark of the memory-pipeline primitives plus
+    two end-to-end workloads, emitting the machine-readable
+    [BENCH_CORE.json] that seeds the repo's perf trajectory.
+
+    Unlike the rest of the harness, the numbers here are {e host}
+    nanoseconds and milliseconds — the point is to prove host-side
+    optimizations and catch regressions.  Each end-to-end entry also
+    records the run's output signature; CI compares those against the
+    committed file as a cheap determinism gate. *)
+
+type micro = { name : string; ns_per_op : float }
+
+type e2e = {
+  workload : string;
+  runtime : string;
+  threads : int;
+  runs : int;
+  mean_wall_ms : float;  (** mean over [runs] measured runs, post warm-up *)
+  engine_ops : int;
+  ops_per_sec : float;  (** engine ops per host second *)
+  sim_cycles : int;
+  signature : string;  (** output signature — the determinism gate *)
+}
+
+type t = {
+  micro : micro list;
+  derived : (string * float) list;
+      (** named speedup ratios, e.g. word diff vs bytewise *)
+  end_to_end : e2e list;
+}
+
+(** [run ()] executes the full benchmark set (a few seconds). *)
+val run : unit -> t
+
+(** [to_json t] — the BENCH_CORE.json document (no timestamps, so the
+    committed file only changes when the numbers do). *)
+val to_json : t -> string
+
+(** [render t] — human-readable table. *)
+val render : t -> string
+
+val write_json : path:string -> t -> unit

@@ -9,11 +9,25 @@ type mapping = { mutable frame : frame }
 type t = {
   pages : (int, mapping) Hashtbl.t;
   prots : (int, protection) Hashtbl.t;
+  mutable cache_id : int;  (* page-handle cache: last mapping looked up *)
+  mutable cache_m : mapping;  (* meaningful iff [cache_id >= 0] *)
 }
 
 and protection = Prot_rw | Prot_read_only | Prot_none
 
-let create () = { pages = Hashtbl.create 64; prots = Hashtbl.create 8 }
+(* Placeholder for an empty cache slot; never dereferenced because
+   [cache_id = -1] matches no page id. *)
+let no_mapping = { frame = { data = Bytes.empty; refs = 0 } }
+
+let create () =
+  {
+    pages = Hashtbl.create 64;
+    prots = Hashtbl.create 8;
+    cache_id = -1;
+    cache_m = no_mapping;
+  }
+
+let invalidate_cache t = t.cache_id <- -1
 
 let fork t =
   let child = create () in
@@ -22,19 +36,48 @@ let fork t =
       m.frame.refs <- m.frame.refs + 1;
       Hashtbl.replace child.pages id { frame = m.frame })
     t.pages;
+  (* The cached mapping record stays valid (mappings are per-space and
+     [own] checks [refs] on every write), but drop it anyway: a stale
+     handle held across a fork is exactly the bug class the cache could
+     hide, and the next access re-warms it for free. *)
+  invalidate_cache t;
   child
 
 let fresh_frame () = { data = Bytes.make Page.size '\000'; refs = 1 }
 
-let mapping_for t id =
-  match Hashtbl.find_opt t.pages id with
-  | Some m -> m
-  | None ->
-    let m = { frame = fresh_frame () } in
-    Hashtbl.replace t.pages id m;
-    m
+(* Read-path lookup: never materializes a page (unmapped pages read as
+   zeros and must stay unmapped — mapped-page counts feed the footprint
+   numbers of Table 1). *)
+let find_mapping t id =
+  if t.cache_id = id then Some t.cache_m
+  else
+    match Hashtbl.find_opt t.pages id with
+    | Some m ->
+      t.cache_id <- id;
+      t.cache_m <- m;
+      Some m
+    | None -> None
 
-(* Ensure the mapping's frame is private to this space before writing. *)
+(* Write-path lookup: materializes a zero page on first touch. *)
+let mapping_for t id =
+  if t.cache_id = id then t.cache_m
+  else begin
+    let m =
+      match Hashtbl.find_opt t.pages id with
+      | Some m -> m
+      | None ->
+        let m = { frame = fresh_frame () } in
+        Hashtbl.replace t.pages id m;
+        m
+    in
+    t.cache_id <- id;
+    t.cache_m <- m;
+    m
+  end
+
+(* Ensure the mapping's frame is private to this space before writing.
+   Cache-safe: the frame is replaced *inside* the mapping record, so a
+   cached mapping can never leak a shared frame to a writer. *)
 let own t id =
   let m = mapping_for t id in
   if m.frame.refs > 1 then begin
@@ -44,8 +87,10 @@ let own t id =
   end;
   m
 
+let own_page t id = (own t id).frame.data
+
 let load_byte t addr =
-  match Hashtbl.find_opt t.pages (Page.id_of_addr addr) with
+  match find_mapping t (Page.id_of_addr addr) with
   | None -> 0
   | Some m -> Char.code (Bytes.get m.frame.data (Page.offset_of_addr addr))
 
@@ -57,7 +102,7 @@ let load_i64 t addr =
   (* Fast path when the 8 bytes sit inside one page. *)
   let off = Page.offset_of_addr addr in
   if off <= Page.size - 8 then
-    match Hashtbl.find_opt t.pages (Page.id_of_addr addr) with
+    match find_mapping t (Page.id_of_addr addr) with
     | None -> 0L
     | Some m -> Bytes.get_int64_le m.frame.data off
   else begin
@@ -84,23 +129,54 @@ let load_int t addr = Int64.to_int (load_i64 t addr)
 
 let store_int t addr v = store_i64 t addr (Int64.of_int v)
 
+(* String I/O works page-segment-at-a-time: one ownership / lookup and
+   one blit per page crossed, instead of per byte. *)
+
 let blit_string t ~addr s =
-  String.iteri (fun i c -> store_byte t (addr + i) (Char.code c)) s
+  let len = String.length s in
+  let pos = ref 0 in
+  while !pos < len do
+    let a = addr + !pos in
+    let off = Page.offset_of_addr a in
+    let n = min (len - !pos) (Page.size - off) in
+    let m = own t (Page.id_of_addr a) in
+    Bytes.blit_string s !pos m.frame.data off n;
+    pos := !pos + n
+  done
 
 let read_string t ~addr ~len =
-  String.init len (fun i -> Char.chr (load_byte t (addr + i)))
+  if len <= 0 then ""
+  else begin
+    let buf = Bytes.create len in
+    let pos = ref 0 in
+    while !pos < len do
+      let a = addr + !pos in
+      let off = Page.offset_of_addr a in
+      let n = min (len - !pos) (Page.size - off) in
+      (match find_mapping t (Page.id_of_addr a) with
+      | Some m -> Bytes.blit m.frame.data off buf !pos n
+      | None -> Bytes.fill buf !pos n '\000');
+      pos := !pos + n
+    done;
+    Bytes.unsafe_to_string buf
+  end
 
 let zero_page = Bytes.make Page.size '\000'
 
 let snapshot_page t id =
-  match Hashtbl.find_opt t.pages id with
+  match find_mapping t id with
   | None -> Bytes.copy zero_page
   | Some m -> Bytes.copy m.frame.data
 
+let snapshot_page_into t id buf =
+  if Bytes.length buf <> Page.size then
+    invalid_arg "Space.snapshot_page_into: buffer must be page-sized";
+  match find_mapping t id with
+  | None -> Bytes.fill buf 0 Page.size '\000'
+  | Some m -> Bytes.blit m.frame.data 0 buf 0 Page.size
+
 let page_bytes t id =
-  match Hashtbl.find_opt t.pages id with
-  | None -> zero_page
-  | Some m -> m.frame.data
+  match find_mapping t id with None -> zero_page | Some m -> m.frame.data
 
 let write_page t id data =
   if Bytes.length data <> Page.size then

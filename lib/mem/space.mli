@@ -15,8 +15,17 @@ val create : unit -> t
 
 (** [fork t] is a copy-on-write clone.  Both spaces subsequently see the
     same contents until one of them writes a page, at which point that
-    space gets a private copy of the page. *)
+    space gets a private copy of the page.  Forking invalidates [t]'s
+    page-handle cache (see below). *)
 val fork : t -> t
+
+(** Every space keeps a one-entry page-handle cache — the mapping of the
+    last page looked up — so the hot access pattern (many consecutive
+    operations on one page) costs one integer compare instead of one
+    hashtable probe each.  The cache holds the {e mapping}, not the
+    frame, and ownership re-checks the frame's reference count on every
+    write, so copy-on-write isolation is unaffected; [fork]
+    additionally drops the cache outright. *)
 
 (** [load_byte t addr] reads one byte (pages spring into existence
     zero-filled). *)
@@ -35,19 +44,34 @@ val store_i64 : t -> int -> int64 -> unit
 val load_int : t -> int -> int
 val store_int : t -> int -> int -> unit
 
-(** [blit_string t ~addr s] stores the bytes of [s] starting at [addr]. *)
+(** [blit_string t ~addr s] stores the bytes of [s] starting at [addr],
+    one page-segment blit at a time. *)
 val blit_string : t -> addr:int -> string -> unit
 
-(** [read_string t ~addr ~len] reads [len] bytes as a string. *)
+(** [read_string t ~addr ~len] reads [len] bytes as a string, one
+    page-segment blit at a time (unmapped pages read as zeros). *)
 val read_string : t -> addr:int -> len:int -> string
 
 (** [snapshot_page t page_id] returns a private copy of the current
     contents of a page (zero page if untouched). *)
 val snapshot_page : t -> int -> bytes
 
+(** [snapshot_page_into t page_id buf] copies the page's current
+    contents into the caller's page-sized buffer (zero-fills when
+    unmapped) — the allocation-free variant of [snapshot_page] used with
+    [Metadata]'s buffer pool.  Raises [Invalid_argument] if [buf] is not
+    page-sized. *)
+val snapshot_page_into : t -> int -> bytes -> unit
+
 (** [page_bytes t page_id] returns the live page contents for read-only
     inspection (do not mutate; used by the differ). *)
 val page_bytes : t -> int -> bytes
+
+(** [own_page t page_id] materializes the page, makes it private to this
+    space (copy-on-write), and returns its live mutable contents — the
+    bulk-write entry point used by [Diff.apply] and the lazy-writes
+    flush.  Writes through the returned bytes are writes to the page. *)
+val own_page : t -> int -> bytes
 
 (** [write_page t page_id data] replaces a page's contents (used when
     re-seeding spaces at barriers). *)

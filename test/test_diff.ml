@@ -127,6 +127,81 @@ let prop_diff_apply_roundtrip =
       done;
       !ok)
 
+(* The word-level fast path must be extensionally equal to the
+   byte-at-a-time oracle: same runs, same boundaries, same data. *)
+let check_same_as_bytewise ~msg snap cur =
+  let fast = Diff.diff_page ~page_id:1 ~snapshot:snap ~current:cur in
+  let slow = Diff.diff_page_bytewise ~page_id:1 ~snapshot:snap ~current:cur in
+  Alcotest.(check bool)
+    (msg ^ ": word diff = bytewise diff")
+    true (fast = slow)
+
+let test_word_vs_bytewise_directed () =
+  let fresh () = Bytes.make Page.size '\000' in
+  (* run starting at offset 0 *)
+  let snap = fresh () and cur = fresh () in
+  Bytes.set cur 0 'x';
+  check_same_as_bytewise ~msg:"offset 0" snap cur;
+  (* run ending at the last byte of the page *)
+  let snap = fresh () and cur = fresh () in
+  Bytes.set cur (Page.size - 1) 'x';
+  check_same_as_bytewise ~msg:"last byte" snap cur;
+  (* run straddling a word boundary *)
+  let snap = fresh () and cur = fresh () in
+  Bytes.fill cur 6 4 'x';
+  check_same_as_bytewise ~msg:"word straddle" snap cur;
+  (* run straddling the 32-byte unrolled stride *)
+  let snap = fresh () and cur = fresh () in
+  Bytes.fill cur 30 4 'x';
+  check_same_as_bytewise ~msg:"stride straddle" snap cur;
+  (* all-equal and all-different pages *)
+  let snap = fresh () and cur = fresh () in
+  check_same_as_bytewise ~msg:"all equal" snap cur;
+  let snap = fresh () in
+  let cur = Bytes.make Page.size '\001' in
+  check_same_as_bytewise ~msg:"all different" snap cur;
+  (* alternating equal/different bytes: worst case for run bookkeeping *)
+  let snap = fresh () and cur = fresh () in
+  let i = ref 0 in
+  while !i < Page.size do
+    Bytes.set cur !i 'x';
+    i := !i + 2
+  done;
+  check_same_as_bytewise ~msg:"alternating" snap cur
+
+let prop_word_diff_equals_bytewise =
+  QCheck2.Test.make ~name:"diff: word-level diff == bytewise oracle"
+    ~count:300
+    QCheck2.Gen.(pair gen_page gen_page)
+    (fun (snap, cur) ->
+      Diff.diff_page ~page_id:7 ~snapshot:snap ~current:cur
+      = Diff.diff_page_bytewise ~page_id:7 ~snapshot:snap ~current:cur)
+
+let gen_run_page =
+  (* Pages built from byte runs rather than isolated bytes, to exercise
+     run-boundary placement around word and stride edges. *)
+  QCheck2.Gen.(
+    map
+      (fun runs ->
+        let b = Bytes.make Page.size '\000' in
+        List.iter
+          (fun (off, len, v) ->
+            let off = off mod Page.size in
+            let len = min (len + 1) (Page.size - off) in
+            Bytes.fill b off len (Char.chr (v land 0xff)))
+          runs;
+        b)
+      (list_size (int_bound 8)
+         (triple (int_bound (Page.size - 1)) (int_bound 70) (int_bound 255))))
+
+let prop_word_diff_equals_bytewise_runs =
+  QCheck2.Test.make ~name:"diff: word diff == bytewise oracle (run-shaped)"
+    ~count:300
+    QCheck2.Gen.(pair gen_run_page gen_run_page)
+    (fun (snap, cur) ->
+      Diff.diff_page ~page_id:0 ~snapshot:snap ~current:cur
+      = Diff.diff_page_bytewise ~page_id:0 ~snapshot:snap ~current:cur)
+
 let prop_diff_minimal =
   QCheck2.Test.make ~name:"diff: only differing bytes are recorded" ~count:200
     QCheck2.Gen.(pair gen_page gen_page)
@@ -152,6 +227,10 @@ let suites =
         Alcotest.test_case "pages_touched/restrict" `Quick
           test_pages_touched_and_restrict;
         Alcotest.test_case "size validation" `Quick test_size_validation;
+        Alcotest.test_case "word vs bytewise (directed)" `Quick
+          test_word_vs_bytewise_directed;
+        QCheck_alcotest.to_alcotest prop_word_diff_equals_bytewise;
+        QCheck_alcotest.to_alcotest prop_word_diff_equals_bytewise_runs;
         QCheck_alcotest.to_alcotest prop_diff_apply_roundtrip;
         QCheck_alcotest.to_alcotest prop_diff_minimal;
       ] );

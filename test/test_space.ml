@@ -96,6 +96,70 @@ let test_protection () =
   Space.clear_protections s;
   Alcotest.(check bool) "cleared" true (Space.protection s 1 = Space.Prot_rw)
 
+let test_cache_survives_fork () =
+  (* Warm the parent's page-handle cache, fork, then check copy-on-write
+     isolation in both directions — a stale cached frame would leak
+     writes across the fork. *)
+  let parent = Space.create () in
+  Space.store_byte parent 0 1;
+  (* warm the cache on page 0 via both a read and a write *)
+  Alcotest.(check int) "pre-fork read" 1 (Space.load_byte parent 0);
+  Space.store_byte parent 1 2;
+  let child = Space.fork parent in
+  (* child's first read goes through its own (cold) cache *)
+  Alcotest.(check int) "child inherits" 1 (Space.load_byte child 0);
+  (* parent writes through its warmed cache; must CoW, not mutate the
+     shared frame the child still references *)
+  Space.store_byte parent 0 9;
+  Alcotest.(check int) "child isolated from parent write" 1
+    (Space.load_byte child 0);
+  (* now warm the child's cache, write, and check the parent *)
+  Alcotest.(check int) "child re-read" 2 (Space.load_byte child 1);
+  Space.store_byte child 1 7;
+  Alcotest.(check int) "parent isolated from child write" 2
+    (Space.load_byte parent 1);
+  Alcotest.(check int) "parent sees own write" 9 (Space.load_byte parent 0)
+
+let test_cache_sibling_isolation () =
+  (* Two children forked from the same parent, caches warmed on the same
+     page: each child's writes stay private. *)
+  let parent = Space.create () in
+  Space.store_byte parent 100 5;
+  let a = Space.fork parent in
+  let b = Space.fork parent in
+  Alcotest.(check int) "a inherits" 5 (Space.load_byte a 100);
+  Alcotest.(check int) "b inherits" 5 (Space.load_byte b 100);
+  Space.store_byte a 100 6;
+  Space.store_byte b 100 7;
+  Alcotest.(check int) "a private" 6 (Space.load_byte a 100);
+  Alcotest.(check int) "b private" 7 (Space.load_byte b 100);
+  Alcotest.(check int) "parent untouched" 5 (Space.load_byte parent 100)
+
+let test_string_multi_page () =
+  (* A blit spanning three pages must land byte-exact, and reads across
+     unmapped gaps must zero-fill. *)
+  let s = Space.create () in
+  let len = (2 * Page.size) + 100 in
+  let payload = String.init len (fun i -> Char.chr (i land 0xff)) in
+  let addr = Page.size - 50 in
+  Space.blit_string s ~addr payload;
+  Alcotest.(check string) "multi-page round trip" payload
+    (Space.read_string s ~addr ~len);
+  Alcotest.(check int) "byte before is zero" 0 (Space.load_byte s (addr - 1));
+  Alcotest.(check int) "byte after is zero" 0 (Space.load_byte s (addr + len));
+  (* read spanning mapped + unmapped pages: the unmapped tail is zeros
+     and reading must not materialize those pages *)
+  let mapped_before = Space.mapped_pages s in
+  let r = Space.read_string s ~addr:(addr + len - 4) ~len:20 in
+  Alcotest.(check string) "mapped prefix"
+    (String.sub payload (len - 4) 4)
+    (String.sub r 0 4);
+  Alcotest.(check string) "unmapped tail zero-filled"
+    (String.make 16 '\000')
+    (String.sub r 4 16);
+  Alcotest.(check int) "read does not materialize pages" mapped_before
+    (Space.mapped_pages s)
+
 let prop_byte_roundtrip =
   QCheck2.Test.make ~name:"space: random byte stores read back" ~count:200
     QCheck2.Gen.(list (pair (int_bound 100_000) (int_bound 255)))
@@ -141,6 +205,11 @@ let suites =
         Alcotest.test_case "fork isolation" `Quick test_fork_isolation;
         Alcotest.test_case "fork COW accounting" `Quick test_fork_cow_counting;
         Alcotest.test_case "string round trip" `Quick test_string_roundtrip;
+        Alcotest.test_case "handle cache survives fork" `Quick
+          test_cache_survives_fork;
+        Alcotest.test_case "handle cache sibling isolation" `Quick
+          test_cache_sibling_isolation;
+        Alcotest.test_case "multi-page string ops" `Quick test_string_multi_page;
         Alcotest.test_case "snapshot isolation" `Quick test_snapshot_isolated;
         Alcotest.test_case "write_page" `Quick test_write_page;
         Alcotest.test_case "protection" `Quick test_protection;
