@@ -367,6 +367,199 @@ let bench_cmd =
           BENCH_CORE.json with times, ops/sec and output signatures.")
     Term.(const action $ json_arg $ out_arg)
 
+(* --- check ------------------------------------------------------------ *)
+
+let check_cmd =
+  let exhaustive_arg =
+    Arg.(
+      value & flag
+      & info [ "exhaustive" ]
+          ~doc:
+            "Exhaustive exploration only: enumerate every synchronization \
+             interleaving of the micro workloads (skip the sampled \
+             configurations).")
+  in
+  let sample_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "sample" ] ~docv:"N"
+          ~doc:
+            "Sampled exploration only: N seeded random schedules per \
+             configuration (with a WORKLOAD: N schedules of it).")
+  in
+  let shrink_flag =
+    Arg.(
+      value & flag
+      & info [ "shrink" ]
+          ~doc:
+            "Delta-debug the first failure down to a minimal choice \
+             sequence and write it as a replayable trace (see --out).")
+  in
+  let replay_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:"Replay a schedule trace file under the oracle and exit.")
+  in
+  let bug_arg =
+    Arg.(
+      value
+      & opt (some (pair ~sep:':' int int)) None
+      & info [ "bug-window" ] ~docv:"LO:HI"
+          ~doc:
+            "Seed the test-only visibility bug: propagation silently drops \
+             slices while the global operation counter is in [LO,HI).  \
+             Exploration then runs with pruning off (the bug breaks the \
+             commutativity pruning assumes).  For validating that the \
+             oracle catches real divergence, and for generating corpus \
+             traces; requires a WORKLOAD.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "shrunk.trace"
+      & info [ "o"; "out" ] ~docv:"PATH"
+          ~doc:"Where $(b,--shrink) writes the minimized trace.")
+  in
+  let corpus_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Corpus directory of traces to replay (default test/corpus \
+             when present).")
+  in
+  let workload_arg =
+    Arg.(value & pos 0 (some workload_conv) None & info [] ~docv:"WORKLOAD")
+  in
+  let do_replay path =
+    match Rfdet_check.Trace.load ~path with
+    | Error e ->
+      Printf.eprintf "rfdet: %s: %s\n" path e;
+      exit 64
+    | Ok tr -> (
+      let r = Rfdet_check.Explore.replay ~strict:false tr in
+      Printf.printf "workload:   %s (%d threads, runtime %s)\n"
+        tr.Rfdet_check.Trace.workload tr.Rfdet_check.Trace.threads
+        tr.Rfdet_check.Trace.runtime;
+      Printf.printf "choices:    %s\n"
+        (String.concat " "
+           (List.map string_of_int r.Rfdet_check.Explore.r_choices));
+      match r.Rfdet_check.Explore.r_error with
+      | None ->
+        Printf.printf "replay ok: signature %s\n"
+          (Option.value r.Rfdet_check.Explore.r_signature ~default:"-")
+      | Some e ->
+        Printf.printf "replay FAIL: %s\n" e;
+        exit 1)
+  in
+  let do_single wl threads sample bug shrinkf out =
+    let opts =
+      match bug with
+      | None -> Options.ci
+      | Some (lo, hi) ->
+        { Options.ci with Options.bug_drop_window = Some (lo, hi) }
+    in
+    let config = { Rfdet_check.Explore.default_config with threads; opts } in
+    let stats =
+      match sample with
+      | Some n -> Rfdet_check.Explore.sample ~config ~seed:2026L ~n wl
+      | None ->
+        if bug = None then Rfdet_check.Explore.explore ~config wl
+        else Rfdet_check.Explore.hunt ~config wl
+    in
+    Printf.printf "workload:      %s (%d threads)\n"
+      wl.Rfdet_workloads.Workload.name threads;
+    Printf.printf "schedules:     %d%s\n" stats.Rfdet_check.Explore.schedules
+      (if stats.Rfdet_check.Explore.truncated then " (TRUNCATED)" else "");
+    Printf.printf "pruned:        %d\n" stats.Rfdet_check.Explore.pruned;
+    Printf.printf "choice points: %d (max per schedule)\n"
+      stats.Rfdet_check.Explore.deepest;
+    (match stats.Rfdet_check.Explore.reference with
+    | Some s -> Printf.printf "signature:     %s\n" s
+    | None -> ());
+    match stats.Rfdet_check.Explore.failures with
+    | [] -> Printf.printf "no failures\n"
+    | { f_trace; f_reason } :: _ as fs ->
+      Printf.printf "failures:      %d\nfirst failure: %s\n" (List.length fs)
+        f_reason;
+      if shrinkf then begin
+        match Rfdet_check.Shrink.shrink ~opts f_trace with
+        | None ->
+          Printf.printf "shrink: the failure did not reproduce on replay\n"
+        | Some { Rfdet_check.Shrink.minimized; reason; tries } ->
+          Rfdet_check.Trace.save minimized ~path:out;
+          Printf.printf "shrink:        %d -> %d choices in %d replays\n"
+            (List.length f_trace.Rfdet_check.Trace.choices)
+            (List.length minimized.Rfdet_check.Trace.choices)
+            tries;
+          Printf.printf "               %s\nwrote %s\n" reason out
+      end;
+      exit 1
+  in
+  let action exhaustive sample shrinkf replay_file bug out corpus workload
+      threads =
+   guard @@ fun () ->
+    match (replay_file, workload) with
+    | Some path, _ -> do_replay path
+    | None, Some wl -> do_single wl threads sample bug shrinkf out
+    | None, None ->
+      if bug <> None then begin
+        Printf.eprintf "rfdet: --bug-window requires a WORKLOAD\n";
+        exit 64
+      end;
+      let corpus_dir =
+        match corpus with
+        | Some d -> Some d
+        | None ->
+          if Sys.file_exists "test/corpus" && Sys.is_directory "test/corpus"
+          then Some "test/corpus"
+          else None
+      in
+      let samples =
+        match sample with Some n -> n | None -> if exhaustive then 0 else 200
+      in
+      let exhaustive = exhaustive || sample = None in
+      let s =
+        Rfdet_check.Driver.conformance ~exhaustive ~samples ?corpus_dir
+          ~progress:print_endline ()
+      in
+      if s.Rfdet_check.Driver.ok then Printf.printf "conformance: ok\n"
+      else begin
+        Printf.printf "conformance: FAIL\n";
+        (match
+           List.concat_map
+             (fun (_, (st : Rfdet_check.Explore.stats)) ->
+               st.Rfdet_check.Explore.failures)
+             (s.Rfdet_check.Driver.explored @ s.Rfdet_check.Driver.sampled)
+         with
+        | { f_trace; f_reason } :: _ ->
+          Printf.printf "first failure: %s\n" f_reason;
+          if shrinkf then begin
+            match Rfdet_check.Shrink.shrink f_trace with
+            | Some { Rfdet_check.Shrink.minimized; _ } ->
+              Rfdet_check.Trace.save minimized ~path:out;
+              Printf.printf "wrote %s\n" out
+            | None -> ()
+          end
+        | [] -> ());
+        exit 1
+      end
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Systematic schedule exploration under the DLRC conformance \
+          oracle: enumerate (or sample) synchronization interleavings, \
+          cross-check runtimes differentially, and replay the regression \
+          corpus.")
+    Term.(
+      const action $ exhaustive_arg $ sample_arg $ shrink_flag
+      $ replay_file_arg $ bug_arg $ out_arg $ corpus_arg $ workload_arg
+      $ threads_arg)
+
 (* --- experiment ------------------------------------------------------- *)
 
 let experiment_cmd =
@@ -410,4 +603,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ run_cmd; list_cmd; racey_cmd; races_cmd; replay_cmd; faults_cmd;
-            bench_cmd; experiment_cmd ]))
+            check_cmd; bench_cmd; experiment_cmd ]))

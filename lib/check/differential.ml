@@ -1,0 +1,102 @@
+module Engine = Rfdet_sim.Engine
+module Runner = Rfdet_harness.Runner
+module Workload = Rfdet_workloads.Workload
+module Registry = Rfdet_workloads.Registry
+module Dlrc_model = Rfdet_core.Dlrc_model
+
+type report = {
+  workload : string;
+  threads : int;
+  signatures : (string * string) list;
+  unstable : string list;
+  disagree : (string * string * string * string) option;
+  expect_agree : bool;
+  model_diverged : bool;
+  ok : bool;
+}
+
+let runtimes =
+  [ Runner.rfdet_ci; Runner.rfdet_pf; Runner.Coredet; Runner.Dthreads ]
+
+let default_seeds = [ 1L; 7L; 1234L ]
+
+(* The reference model has no Runner constructor (it is a test oracle,
+   not a benchmarked runtime), so drive the engine directly. *)
+let model_signature ~threads ~scale ~input_seed (wl : Workload.t) =
+  let wcfg = { Workload.threads; scale; input_seed } in
+  Engine.output_signature (Engine.run Dlrc_model.make ~main:(wl.Workload.main wcfg))
+
+let check ?(threads = 2) ?(scale = 1.0) ?(input_seed = 42L)
+    ?(seeds = default_seeds) ?(jitter = 9.0) ?(expect_agree = true)
+    ?(model = true) (wl : Workload.t) =
+  let per_rt =
+    List.map
+      (fun rt ->
+        let sigs =
+          List.map
+            (fun sched_seed ->
+              (Runner.run ~threads ~scale ~input_seed ~sched_seed ~jitter rt wl)
+                .Runner.signature)
+            seeds
+        in
+        (Runner.runtime_name rt, sigs))
+      runtimes
+  in
+  let signatures = List.map (fun (n, sigs) -> (n, List.hd sigs)) per_rt in
+  let unstable =
+    List.filter_map
+      (fun (n, sigs) ->
+        if List.for_all (( = ) (List.hd sigs)) sigs then None else Some n)
+      per_rt
+  in
+  let disagree =
+    match signatures with
+    | [] -> None
+    | (n0, s0) :: rest ->
+      List.find_opt (fun (_, s) -> s <> s0) rest
+      |> Option.map (fun (n, s) -> (n0, s0, n, s))
+  in
+  let model_diverged =
+    model
+    &&
+    let ms = model_signature ~threads ~scale ~input_seed wl in
+    match List.assoc_opt "rfdet-ci" signatures with
+    | Some s -> ms <> s
+    | None -> false
+  in
+  let ok =
+    unstable = []
+    && (not model_diverged)
+    && ((not expect_agree) || disagree = None)
+  in
+  {
+    workload = wl.Workload.name;
+    threads;
+    signatures;
+    unstable;
+    disagree;
+    expect_agree;
+    model_diverged;
+    ok;
+  }
+
+let race_free_suite ?(threads = 2) () =
+  List.map (fun wl -> check ~threads wl) Registry.micro
+
+let racy_suite ?(threads = 2) () =
+  [ check ~threads ~expect_agree:false (Registry.find "racey") ]
+
+let pp_report ppf r =
+  let short s = if String.length s > 12 then String.sub s 0 12 else s in
+  Format.fprintf ppf "%-14s %d threads: %s" r.workload r.threads
+    (if r.ok then "ok" else "FAIL");
+  List.iter
+    (fun (n, s) -> Format.fprintf ppf " %s=%s" n (short s))
+    r.signatures;
+  if r.unstable <> [] then
+    Format.fprintf ppf " unstable:[%s]" (String.concat "," r.unstable);
+  (match r.disagree with
+  | Some (a, sa, b, sb) when r.expect_agree ->
+    Format.fprintf ppf " disagree: %s=%s vs %s=%s" a (short sa) b (short sb)
+  | _ -> ());
+  if r.model_diverged then Format.fprintf ppf " model-diverged"

@@ -1,0 +1,124 @@
+module Registry = Rfdet_workloads.Registry
+module Workload = Rfdet_workloads.Workload
+
+type summary = {
+  explored : (string * Explore.stats) list;
+  sampled : (string * Explore.stats) list;
+  differential : Differential.report list;
+  corpus : (string * string option) list;
+  ok : bool;
+}
+
+let stats_clean (s : Explore.stats) = s.Explore.failures = []
+
+let replay_corpus dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | entries ->
+    Array.to_list entries
+    |> List.filter (fun f -> Filename.check_suffix f ".trace")
+    |> List.sort String.compare
+    |> List.map (fun f ->
+           let path = Filename.concat dir f in
+           let err =
+             match Trace.load ~path with
+             | Error e -> Some ("parse: " ^ e)
+             | Ok tr -> (Explore.replay ~strict:false tr).Explore.r_error
+           in
+           (f, err))
+
+let conformance ?(exhaustive = true) ?(samples = 200) ?(sample_seed = 2026L)
+    ?corpus_dir ?(progress = fun _ -> ()) () =
+  let explored =
+    if not exhaustive then []
+    else
+      List.map
+        (fun (wl : Workload.t) ->
+          let s = Explore.explore wl in
+          progress
+            (Printf.sprintf
+               "exhaustive %-14s %d schedules (%d pruned, %d choice points%s, \
+                %d failures)"
+               wl.Workload.name s.Explore.schedules s.Explore.pruned
+               s.Explore.deepest
+               (if s.Explore.truncated then ", TRUNCATED" else "")
+               (List.length s.Explore.failures));
+          (wl.Workload.name, s))
+        Registry.micro
+  in
+  let sampled =
+    if samples <= 0 then []
+    else
+      let sample_one ~threads (wl : Workload.t) =
+      let config = { Explore.default_config with threads } in
+      let s = Explore.sample ~config ~seed:sample_seed ~n:samples wl in
+      progress
+        (Printf.sprintf "sampled   %-14s %d schedules at %d threads (%d failures)"
+           wl.Workload.name s.Explore.schedules threads
+           (List.length s.Explore.failures));
+      (wl.Workload.name, s)
+    in
+    List.map (sample_one ~threads:3) Registry.micro
+    @ [ sample_one ~threads:2 (Registry.find "racey") ]
+  in
+  let differential =
+    let reports =
+      Differential.race_free_suite () @ Differential.racy_suite ()
+    in
+    List.iter
+      (fun r ->
+        progress (Format.asprintf "differential %a" Differential.pp_report r))
+      reports;
+    reports
+  in
+  let corpus =
+    match corpus_dir with
+    | None -> []
+    | Some dir ->
+      let results = replay_corpus dir in
+      List.iter
+        (fun (f, err) ->
+          progress
+            (Printf.sprintf "corpus    %-24s %s" f
+               (match err with None -> "ok" | Some e -> "FAIL: " ^ e)))
+        results;
+      results
+  in
+  let ok =
+    List.for_all (fun (_, s) -> stats_clean s) explored
+    && List.for_all (fun (_, s) -> stats_clean s) sampled
+    && List.for_all (fun (r : Differential.report) -> r.Differential.ok)
+         differential
+    && List.for_all (fun (_, err) -> err = None) corpus
+  in
+  { explored; sampled; differential; corpus; ok }
+
+let pp_summary ppf s =
+  let failures stats =
+    List.length
+      (List.concat_map (fun (_, st) -> st.Explore.failures) stats)
+  in
+  Format.fprintf ppf "conformance: %s@." (if s.ok then "ok" else "FAIL");
+  List.iter
+    (fun (name, (st : Explore.stats)) ->
+      Format.fprintf ppf "  exhaustive %-14s %6d schedules %5d pruned %s@." name
+        st.Explore.schedules st.Explore.pruned
+        (if st.Explore.failures = [] then "ok" else "FAIL"))
+    s.explored;
+  List.iter
+    (fun (name, (st : Explore.stats)) ->
+      Format.fprintf ppf "  sampled    %-14s %6d schedules %s@." name
+        st.Explore.schedules
+        (if st.Explore.failures = [] then "ok" else "FAIL"))
+    s.sampled;
+  List.iter
+    (fun r -> Format.fprintf ppf "  %a@." Differential.pp_report r)
+    s.differential;
+  List.iter
+    (fun (f, err) ->
+      Format.fprintf ppf "  corpus %-24s %s@." f
+        (match err with None -> "ok" | Some e -> "FAIL: " ^ e))
+    s.corpus;
+  if failures s.explored + failures s.sampled > 0 then
+    Format.fprintf ppf "  exploration failures: %d (see traces)@."
+      (failures s.explored + failures s.sampled)

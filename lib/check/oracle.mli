@@ -1,0 +1,47 @@
+(** The DLRC conformance oracle.
+
+    The paper's correctness argument (Section 3, Figure 5) fixes, for
+    every thread at every synchronization point, exactly which slices
+    {e must} and {e must-not} have been propagated to it:
+
+    - {b must-not}: a slice may be in a thread's slice-pointer list only
+      if its vector timestamp is strictly before the thread's current
+      vector time — propagating anything else would leak writes that do
+      not happen-before the thread's position (the upper-limit filter);
+    - {b must}: every live slice whose timestamp {e is} strictly before
+      the thread's vector time has to be in its list — the acquire-time
+      scans with the lower-limit filter and the resume indices must
+      never lose a happens-before slice (completeness / visibility);
+    - {b never twice}: no slice appears twice in any list — the
+      lower-limit filter is exactly a redundancy eliminator (the same
+      property [Dlrc_model.make_checked] asserts on the naive model).
+
+    This module recomputes those three conditions from nothing but the
+    vector-time rules — independently of how [Propagate]'s incremental
+    scan, resume indices, slice merging, GC and lazy writes conspire to
+    implement them — after every synchronization step, and raises
+    [Divergence] the moment the optimized runtime's actual state
+    disagrees.  Every schedule the explorer enumerates runs under this
+    oracle. *)
+
+exception Divergence of string
+
+val check : Rfdet_core.Rfdet_runtime.t -> unit
+(** Run all three checks over every thread state now.  Raises
+    [Divergence] with a diagnostic on the first violation. *)
+
+val wrap_with_state :
+  ?opts:Rfdet_core.Options.t ->
+  Rfdet_sim.Engine.t ->
+  Rfdet_core.Rfdet_runtime.t * Rfdet_sim.Engine.policy
+(** An RFDet policy instrumented with the oracle: [check] runs after
+    every engine step that involved a synchronization operation or a
+    thread exit, and once more at the end of the run.  Note that a
+    [Divergence] raised mid-run surfaces as
+    [Engine.Thread_failure (_, Divergence _)] under the default
+    [Abort] failure mode. *)
+
+val wrap :
+  ?opts:Rfdet_core.Options.t -> Rfdet_sim.Engine.t -> Rfdet_sim.Engine.policy
+(** [snd (wrap_with_state ...)] — use as
+    [Engine.run ~config (Oracle.wrap ~opts) ~main]. *)

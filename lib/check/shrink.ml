@@ -1,0 +1,63 @@
+type result = { minimized : Trace.t; reason : string; tries : int }
+
+let default_fails (r : Explore.replay_result) = r.Explore.r_error <> None
+
+(* Split [lst] into [n] contiguous chunks of near-equal length. *)
+let partition lst n =
+  let len = List.length lst in
+  let base = len / n and extra = len mod n in
+  let rec take k lst =
+    if k = 0 then ([], lst)
+    else
+      match lst with
+      | [] -> ([], [])
+      | x :: rest ->
+        let taken, left = take (k - 1) rest in
+        (x :: taken, left)
+  in
+  let rec go i lst =
+    if i >= n || lst = [] then []
+    else
+      let k = base + if i < extra then 1 else 0 in
+      let chunk, rest = take k lst in
+      chunk :: go (i + 1) rest
+  in
+  go 0 lst
+
+let shrink ?(oracle = true) ?opts ?(fails = default_fails) (tr : Trace.t) =
+  let tries = ref 0 in
+  let reason = ref "" in
+  let test choices =
+    incr tries;
+    let r = Explore.replay ~strict:false ~oracle ?opts { tr with Trace.choices } in
+    let failing = fails r in
+    if failing then
+      reason := Option.value r.Explore.r_error ~default:"predicate failure";
+    failing
+  in
+  if not (test tr.Trace.choices) then None
+  else begin
+    let rec ddmin lst n =
+      let len = List.length lst in
+      if len <= 1 then lst
+      else
+        let chunks = partition lst n in
+        let rec try_drop i =
+          if i >= List.length chunks then None
+          else
+            let complement =
+              List.concat (List.filteri (fun k _ -> k <> i) chunks)
+            in
+            if test complement then Some complement else try_drop (i + 1)
+        in
+        match try_drop 0 with
+        | Some smaller -> ddmin smaller (max (n - 1) 2)
+        | None -> if n < len then ddmin lst (min (2 * n) len) else lst
+    in
+    let choices = ddmin tr.Trace.choices 2 in
+    ignore (test choices);
+    let minimized =
+      { tr with Trace.choices; note = Some ("minimized: " ^ !reason) }
+    in
+    Some { minimized; reason = !reason; tries = !tries }
+  end

@@ -1,0 +1,34 @@
+(** Delta-debugging schedule shrinker.
+
+    A failing exploration trace can carry dozens of choices, most of
+    them irrelevant to the failure.  [shrink] minimizes the choice
+    sequence with the classic ddmin algorithm: repeatedly drop chunks of
+    choices and keep any reduction that still fails.  Replay is
+    tolerant ([Explore.replay ~strict:false]) — at a choice point whose
+    prescribed tid is not ready the deterministic default is used
+    instead — so a shortened prescription remains executable even when
+    dropped choices shift the ones that remain. *)
+
+type result = {
+  minimized : Trace.t;
+      (** the input trace with a 1-minimal choice sequence and a [note]
+          recording the failure it still reproduces *)
+  reason : string;  (** the minimized trace's failure *)
+  tries : int;  (** replays spent minimizing *)
+}
+
+val default_fails : Explore.replay_result -> bool
+(** Any failed replay: [r_error] is set. *)
+
+val shrink :
+  ?oracle:bool ->
+  ?opts:Rfdet_core.Options.t ->
+  ?fails:(Explore.replay_result -> bool) ->
+  Trace.t ->
+  result option
+(** [None] when the input trace does not fail [fails] in the first
+    place.  The result's choice sequence is 1-minimal: removing any
+    single remaining choice makes the failure disappear.  [oracle]
+    (default [true]) runs the conformance oracle during replays; [opts]
+    overrides the replay options (see [Explore.replay]) — required when
+    the failure needs [Options.bug_drop_window]. *)

@@ -1,0 +1,110 @@
+type t = {
+  workload : string;
+  threads : int;
+  scale : float;
+  input_seed : int64;
+  runtime : string;
+  choices : int list;
+  expect : string option;
+  note : string option;
+}
+
+let make ~workload ~threads ~scale ~input_seed ~runtime ~choices ?expect ?note
+    () =
+  { workload; threads; scale; input_seed; runtime; choices; expect; note }
+
+let to_string t =
+  let b = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "workload %s" t.workload;
+  line "threads %d" t.threads;
+  line "scale %g" t.scale;
+  line "input-seed %Ld" t.input_seed;
+  line "runtime %s" t.runtime;
+  line "choices %s" (String.concat " " (List.map string_of_int t.choices));
+  (match t.expect with None -> () | Some s -> line "expect %s" s);
+  (match t.note with None -> () | Some s -> line "note %s" s);
+  Buffer.contents b
+
+let of_string text =
+  let fields = Hashtbl.create 8 in
+  let err = ref None in
+  String.split_on_char '\n' text
+  |> List.iteri (fun lineno raw ->
+         let line = String.trim raw in
+         if line = "" || line.[0] = '#' then ()
+         else
+           match String.index_opt line ' ' with
+           | None ->
+             if !err = None then
+               err := Some (Printf.sprintf "line %d: missing value" (lineno + 1))
+           | Some i ->
+             let key = String.sub line 0 i in
+             let value =
+               String.trim (String.sub line (i + 1) (String.length line - i - 1))
+             in
+             Hashtbl.replace fields key value);
+  match !err with
+  | Some e -> Error e
+  | None -> (
+    let get k = Hashtbl.find_opt fields k in
+    let req k =
+      match get k with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "missing required key %S" k)
+    in
+    let ( let* ) = Result.bind in
+    let parse name conv v =
+      match conv v with
+      | Some x -> Ok x
+      | None -> Error (Printf.sprintf "bad %s value %S" name v)
+    in
+    let* workload = req "workload" in
+    let* threads =
+      let* v = req "threads" in
+      parse "threads" int_of_string_opt v
+    in
+    let* scale =
+      let* v = req "scale" in
+      parse "scale" float_of_string_opt v
+    in
+    let* input_seed =
+      let* v = req "input-seed" in
+      parse "input-seed" Int64.of_string_opt v
+    in
+    let* runtime = req "runtime" in
+    let* choices =
+      let* v = req "choices" in
+      let parts =
+        String.split_on_char ' ' v |> List.filter (fun s -> s <> "")
+      in
+      List.fold_left
+        (fun acc s ->
+          let* acc = acc in
+          let* n = parse "choice" int_of_string_opt s in
+          Ok (n :: acc))
+        (Ok []) parts
+      |> Result.map List.rev
+    in
+    Ok
+      {
+        workload;
+        threads;
+        scale;
+        input_seed;
+        runtime;
+        choices;
+        expect = get "expect";
+        note = get "note";
+      })
+
+let save t ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+let load ~path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> of_string text
+  | exception Sys_error e -> Error e

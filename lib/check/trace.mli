@@ -1,0 +1,57 @@
+(** Replayable schedule traces.
+
+    A trace pins down one explored execution: the workload and its
+    configuration, the runtime, and the tid chosen at every recorded
+    synchronization-level choice point ([Engine.sched_point]s where the
+    explorer had a real decision to make).  Everything else about the
+    run is already deterministic, so this is a complete replay recipe —
+    the format behind the [test/corpus/] regression files and the
+    shrinker's minimized repros.
+
+    File format (one [key value] pair per line, [#] comments ignored):
+    {v
+    # minimized by rfdet check --shrink
+    workload micro-lock
+    threads 2
+    scale 1.0
+    input-seed 42
+    runtime rfdet-ci
+    choices 1 0 1 1
+    expect 9f86d081884c7d65
+    note oracle divergence: ...
+    v}
+    [choices] is the space-separated tid sequence; [expect] (optional)
+    is the output signature a healthy replay must reproduce; [note]
+    (optional) is free-form provenance. *)
+
+type t = {
+  workload : string;
+  threads : int;
+  scale : float;
+  input_seed : int64;
+  runtime : string;  (** an [Options.name], e.g. "rfdet-ci" *)
+  choices : int list;
+  expect : string option;
+  note : string option;
+}
+
+val make :
+  workload:string ->
+  threads:int ->
+  scale:float ->
+  input_seed:int64 ->
+  runtime:string ->
+  choices:int list ->
+  ?expect:string ->
+  ?note:string ->
+  unit ->
+  t
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** Parse; [Error msg] on malformed input or missing required keys. *)
+
+val save : t -> path:string -> unit
+
+val load : path:string -> (t, string) result

@@ -32,7 +32,12 @@ type t = {
   states : (int, mstate) Hashtbl.t;
   last_release : (Sync.obj, int * Vclock.t) Hashtbl.t;
   mutable sync : Sync.t option;
+  checked : bool;
+      (* assert the Figure-5 redundancy-elimination property on every
+         propagation: a slice never enters a seen-list twice *)
 }
+
+exception Propagated_twice of string
 
 let sync_exn t = match t.sync with Some s -> s | None -> assert false
 
@@ -67,12 +72,26 @@ let close_slice ms =
     ms.seen <- s :: ms.seen
   end
 
-(* Figure 5, naively: walk the whole remote list in order. *)
-let propagate ~(from_slices : mslice list) ~(into : mstate) ~upper ~lower =
+(* Figure 5, naively: walk the whole remote list in order.  Only the
+   lower-limit filter stands between this full rescan and applying a
+   slice twice; with [checked] that is asserted per append (physical
+   membership — slices are shared by pointer, as in the runtime). *)
+let propagate ~checked ~(from_slices : mslice list) ~(into : mstate) ~upper
+    ~lower =
   let in_order = List.rev from_slices in
   List.iter
     (fun s ->
       if Vclock.lt s.s_time upper && not (Vclock.lt s.s_time lower) then begin
+        if checked && List.memq s into.seen then
+          raise
+            (Propagated_twice
+               (Printf.sprintf
+                  "dlrc-model: slice of tid %d (time %s) propagated twice \
+                   into tid %d"
+                  s.s_tid
+                  (String.concat ","
+                     (List.map string_of_int (Vclock.to_list s.s_time)))
+                  into.tid));
         List.iter (fun (addr, v) -> Hashtbl.replace into.mem addr v) s.s_mods;
         into.seen <- s :: into.seen
       end)
@@ -102,7 +121,7 @@ let do_acquire t ~tid ~obj =
         | Some _ -> from.final_seen
         | None -> from.seen
       in
-      propagate ~from_slices ~into:ms ~upper ~lower
+      propagate ~checked:t.checked ~from_slices ~into:ms ~upper ~lower
     end
 
 let do_barrier t ~tids =
@@ -119,7 +138,7 @@ let do_barrier t ~tids =
   List.iter
     (fun tid ->
       if tid <> leader.tid then
-        propagate ~from_slices:(state t tid).seen ~into:leader ~upper ~lower)
+        propagate ~checked:t.checked ~from_slices:(state t tid).seen ~into:leader ~upper ~lower)
     sorted;
   List.iter
     (fun ms ->
@@ -169,7 +188,7 @@ let do_joined t ~tid ~target =
   | Some f -> Vclock.join ms.time f
   | None -> invalid_arg "dlrc-model: join before exit");
   let upper = Vclock.copy ms.time in
-  propagate ~from_slices:tg.final_seen ~into:ms ~upper ~lower
+  propagate ~checked:t.checked ~from_slices:tg.final_seen ~into:ms ~upper ~lower
 
 let handle t ~tid (op : Op.t) : Engine.outcome =
   let sync = sync_exn t in
@@ -237,13 +256,14 @@ let handle t ~tid (op : Op.t) : Engine.outcome =
   | Op.Tick _ | Op.Output _ | Op.Self | Op.Yield | Op.Malloc _ | Op.Free _ ->
     assert false
 
-let make engine : Engine.policy =
+let make_gen ~checked engine : Engine.policy =
   let t =
     {
       engine;
       states = Hashtbl.create 8;
       last_release = Hashtbl.create 32;
       sync = None;
+      checked;
     }
   in
   Hashtbl.replace t.states 0
@@ -278,3 +298,7 @@ let make engine : Engine.policy =
     on_step = (fun () -> Sync.poll sync);
     on_finish = (fun () -> ());
   }
+
+let make engine = make_gen ~checked:false engine
+
+let make_checked engine = make_gen ~checked:true engine

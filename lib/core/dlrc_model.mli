@@ -27,3 +27,14 @@
 val name : string
 
 val make : Rfdet_sim.Engine.t -> Rfdet_sim.Engine.policy
+
+exception Propagated_twice of string
+(** Raised by the [make_checked] variant when a propagation would append
+    a slice that is already in the destination's seen-list — i.e. the
+    Figure-5 lower-limit filter failed at redundancy elimination. *)
+
+val make_checked : Rfdet_sim.Engine.t -> Rfdet_sim.Engine.policy
+(** Like [make], but every propagation additionally asserts the
+    never-propagate-twice property, raising [Propagated_twice] on
+    violation.  The property suite runs randomized programs under this
+    variant. *)

@@ -115,4 +115,6 @@ let gc_runs t = t.runs
 
 let live_slices t = List.length t.slices
 
+let iter_slices t ~f = List.iter f t.slices
+
 let capacity t = t.capacity

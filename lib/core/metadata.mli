@@ -61,4 +61,8 @@ val gc_runs : t -> int
 
 val live_slices : t -> int
 
+val iter_slices : t -> f:(Slice.t -> unit) -> unit
+(** Every live (unreclaimed) slice, unspecified order — the conformance
+    oracle's completeness check walks these. *)
+
 val capacity : t -> int

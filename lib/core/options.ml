@@ -9,6 +9,7 @@ type t = {
   metadata_capacity : int;
   gc_threshold : float;
   skip_premain_monitoring : bool;
+  bug_drop_window : (int * int) option;
 }
 
 let mb = 1024 * 1024
@@ -23,6 +24,7 @@ let default =
     metadata_capacity = 256 * mb;
     gc_threshold = 0.9;
     skip_premain_monitoring = true;
+    bug_drop_window = None;
   }
 
 let ci = default

@@ -36,6 +36,16 @@ type t = {
   skip_premain_monitoring : bool;
       (** do not monitor the main thread before the first fork
           (Section 4.1, "Thread Create and Join") *)
+  bug_drop_window : (int * int) option;
+      (** {b test only} — seeded visibility bug for validating the DLRC
+          conformance oracle ([Rfdet_check.Oracle]).  While the engine's
+          global operation counter is in [\[lo, hi)], propagation silently
+          drops every slice it should have applied.  The global counter is
+          the one quantity in the runtime that depends on the
+          interleaving, so the bug surfaces only under some schedules —
+          exactly the kind of defect seed-sampling misses and systematic
+          exploration must catch.  [None] (the default, and the only
+          sound value) disables it. *)
 }
 
 val default : t

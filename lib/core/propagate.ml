@@ -49,8 +49,8 @@ let apply_lazy ~cost ~(opts : Options.t) ~(into : Tstate.t) (s : Slice.t) =
   if !deferred then cycles := !cycles + cost.Cost.mprotect_page;
   !cycles
 
-let run ~cost ~(opts : Options.t) ~(prof : Profile.t) ~(from : Tstate.t)
-    ~(upto : int) ~(into : Tstate.t) ~upper ~lower =
+let run ?(drop = false) ~cost ~(opts : Options.t) ~(prof : Profile.t)
+    ~(from : Tstate.t) ~(upto : int) ~(into : Tstate.t) ~upper ~lower () =
   assert (from.tid <> into.tid);
   let cycles = ref 0 in
   let start = Tstate.resume_index into ~from:from.tid in
@@ -58,14 +58,21 @@ let run ~cost ~(opts : Options.t) ~(prof : Profile.t) ~(from : Tstate.t)
       if not s.freed then begin
         cycles := !cycles + scan_cost_per_slice;
         if Vclock.lt s.time upper && not (Vclock.lt s.time lower) then begin
-          let apply_cycles =
-            if opts.lazy_writes then apply_lazy ~cost ~opts ~into s
-            else apply_eager ~cost ~into s
-          in
-          cycles := !cycles + apply_cycles;
-          Tstate.append_slice into s;
-          prof.slices_propagated <- prof.slices_propagated + 1;
-          prof.bytes_propagated <- prof.bytes_propagated + s.bytes
+          if drop then
+            (* Options.bug_drop_window active (test only): lose the slice
+               — neither applied nor recorded, and the resume index still
+               advances, so it is gone for good. *)
+            ()
+          else begin
+            let apply_cycles =
+              if opts.lazy_writes then apply_lazy ~cost ~opts ~into s
+              else apply_eager ~cost ~into s
+            in
+            cycles := !cycles + apply_cycles;
+            Tstate.append_slice into s;
+            prof.slices_propagated <- prof.slices_propagated + 1;
+            prof.bytes_propagated <- prof.bytes_propagated + s.bytes
+          end
         end
       end);
   if upto > start then Tstate.set_resume_index into ~from:from.tid upto;

@@ -21,6 +21,7 @@
     protected; the runtime's access paths apply them on first touch. *)
 
 val run :
+  ?drop:bool ->
   cost:Rfdet_sim.Cost.t ->
   opts:Options.t ->
   prof:Rfdet_sim.Profile.t ->
@@ -29,9 +30,15 @@ val run :
   into:Tstate.t ->
   upper:Rfdet_util.Vclock.t ->
   lower:Rfdet_util.Vclock.t ->
+  unit ->
   int
 (** Returns the simulated cycles the propagation costs (scan + byte
     application, or scan + page-protection when lazy).
+
+    [drop] (test only, default false) silently discards every slice the
+    filter selected instead of applying it — the seeded visibility bug of
+    [Options.bug_drop_window], used to prove the conformance oracle can
+    catch real divergence.
 
     [upto] is the length of [from]'s slice-pointer list recorded at the
     release this acquire synchronizes with; entries beyond it either

@@ -35,7 +35,19 @@ let state t ~tid =
 
 let metadata t = t.meta
 
+let iter_states t ~f = Hashtbl.iter (fun tid ts -> f ~tid ts) t.states
+
 let last_release t obj = Hashtbl.find_opt t.last_release obj
+
+(* Options.bug_drop_window (test only): the seeded visibility bug is
+   active while the engine's global op counter — the one
+   schedule-dependent quantity in the runtime — is inside the window. *)
+let bug_drop_active t =
+  match t.opts.Options.bug_drop_window with
+  | None -> false
+  | Some (lo, hi) ->
+    let ops = Engine.ops_executed t.engine in
+    ops >= lo && ops < hi
 
 let clock_size _ = max_threads
 
@@ -211,9 +223,9 @@ let do_acquire t ~tid ~obj ~now =
         if last_tid = tid then 0
         else
           let upper = Vclock.copy ts.time in
-          Propagate.run ~cost:(cost t) ~opts:t.opts ~prof:(prof t)
-            ~from:(state t ~tid:last_tid) ~upto:last_len ~into:ts ~upper
-            ~lower
+          Propagate.run ~drop:(bug_drop_active t) ~cost:(cost t) ~opts:t.opts
+            ~prof:(prof t) ~from:(state t ~tid:last_tid) ~upto:last_len
+            ~into:ts ~upper ~lower ()
     in
     settle_delay t ~tid ~now ~close_cycles ~prop_cycles
 
@@ -242,9 +254,10 @@ let do_barrier t ~tids ~barrier:_ ~now:_ =
         cycles :=
           !cycles
           + (let from = state t ~tid in
-             Propagate.run ~cost:(cost t) ~opts:t.opts ~prof:(prof t) ~from
+             Propagate.run ~drop:(bug_drop_active t) ~cost:(cost t)
+               ~opts:t.opts ~prof:(prof t) ~from
                ~upto:(Rfdet_util.Vec.length from.Tstate.slices) ~into:leader
-               ~upper ~lower))
+               ~upper ~lower ()))
     sorted;
   (* Everyone must observe the merged memory: flush the leader's pending
      lazy updates before forking its space. *)
@@ -328,9 +341,9 @@ let do_joined t ~tid ~target ~now =
   Vclock.join ts.time final;
   let upper = Vclock.copy ts.time in
   let prop_cycles =
-    Propagate.run ~cost:(cost t) ~opts:t.opts ~prof:(prof t)
-      ~from:target_state ~upto:target_state.Tstate.exit_len ~into:ts ~upper
-      ~lower
+    Propagate.run ~drop:(bug_drop_active t) ~cost:(cost t) ~opts:t.opts
+      ~prof:(prof t) ~from:target_state ~upto:target_state.Tstate.exit_len
+      ~into:ts ~upper ~lower ()
   in
   target_state.joined <- true;
   settle_delay t ~tid ~now ~close_cycles ~prop_cycles

@@ -34,6 +34,10 @@ val make_with_state :
 
 val state : t -> tid:int -> Tstate.t
 
+val iter_states : t -> f:(tid:int -> Tstate.t -> unit) -> unit
+(** Every thread state created so far (unspecified order) — the DLRC
+    conformance oracle walks these after each synchronization step. *)
+
 val metadata : t -> Metadata.t
 
 val last_release :

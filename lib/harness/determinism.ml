@@ -5,19 +5,32 @@ type report = {
   runs : int;
   distinct_signatures : int;
   deterministic : bool;
+  divergence : ((int64 * string) * (int64 * string)) option;
 }
 
 let check ?(threads = 4) ?(scale = 1.0) ?(runs = 20) ?(jitter = 12.0) ?faults
     runtime workload =
   let signatures =
     List.init runs (fun i ->
+        let seed = Int64.of_int (i + 1) in
         let r =
-          Runner.run ~threads ~scale ~sched_seed:(Int64.of_int (i + 1)) ~jitter
-            ?faults runtime workload
+          Runner.run ~threads ~scale ~sched_seed:seed ~jitter ?faults runtime
+            workload
         in
-        r.Runner.signature)
+        (seed, r.Runner.signature))
   in
-  let distinct = List.length (List.sort_uniq compare signatures) in
+  let distinct =
+    List.length (List.sort_uniq compare (List.map snd signatures))
+  in
+  (* The replay recipe for a failure: the first seed and the first later
+     seed that disagrees with it. *)
+  let divergence =
+    match signatures with
+    | [] -> None
+    | ((_, sig0) as first) :: rest ->
+      List.find_opt (fun (_, s) -> s <> sig0) rest
+      |> Option.map (fun witness -> (first, witness))
+  in
   {
     runtime = Runner.runtime_name runtime;
     workload = workload.Rfdet_workloads.Workload.name;
@@ -25,6 +38,7 @@ let check ?(threads = 4) ?(scale = 1.0) ?(runs = 20) ?(jitter = 12.0) ?faults
     runs;
     distinct_signatures = distinct;
     deterministic = distinct = 1;
+    divergence;
   }
 
 (* Fault determinism: the same seed and the same fault plan must give
@@ -42,4 +56,11 @@ let check_faults ?threads ?scale ?runs ?jitter ~plan runtime workload =
 let pp_report ppf r =
   Format.fprintf ppf "%-10s %-18s threads=%d runs=%d distinct=%d %s" r.runtime
     r.workload r.threads r.runs r.distinct_signatures
-    (if r.deterministic then "deterministic" else "NONDETERMINISTIC")
+    (if r.deterministic then "deterministic" else "NONDETERMINISTIC");
+  match r.divergence with
+  | None -> ()
+  | Some ((seed_a, sig_a), (seed_b, sig_b)) ->
+    Format.fprintf ppf " (seed %Ld -> %s, seed %Ld -> %s)" seed_a
+      (String.sub sig_a 0 (min 12 (String.length sig_a)))
+      seed_b
+      (String.sub sig_b 0 (min 12 (String.length sig_b)))

@@ -13,6 +13,11 @@ type report = {
   runs : int;
   distinct_signatures : int;
   deterministic : bool;
+  divergence : ((int64 * string) * (int64 * string)) option;
+      (** when not deterministic: two (scheduler seed, signature)
+          witnesses that disagree — the first run and the first run that
+          diverged from it, so a failure is immediately replayable with
+          [Runner.run ~sched_seed].  [None] when deterministic. *)
 }
 
 val check :

@@ -6,6 +6,13 @@ type failure_mode = Abort | Contain
 
 type injection = I_none | I_crash | I_fail | I_delay of int
 
+type sched_point = {
+  sp_ready : int list;
+  sp_last : int;
+  sp_last_ready : bool;
+  sp_last_boundary : bool;
+}
+
 type config = {
   cost : Cost.t;
   seed : int64;
@@ -14,6 +21,8 @@ type config = {
   trace_capacity : int;
   failure_mode : failure_mode;
   inject : (tid:int -> Op.t -> injection) option;
+  choose : (sched_point -> int) option;
+  observe : (tid:int -> Op.t -> unit) option;
 }
 
 let default_config =
@@ -25,6 +34,8 @@ let default_config =
     trace_capacity = 0;
     failure_mode = Abort;
     inject = None;
+    choose = None;
+    observe = None;
   }
 
 exception Deadlock of string
@@ -104,7 +115,21 @@ type t = {
   mutable trace_next : int;
   mutable policy : policy option;
   mutable crashes : (int * string) list;  (* reversed crash order *)
+  mutable last_run : int;  (* tid of the last thread a scheduling step ran *)
+  mutable last_boundary : bool;
+      (* did that thread stop at a schedule-relevant boundary (sync op,
+         handle creation, or exit)? *)
 }
+
+(* Operations at which the schedule choice can change observable behavior
+   of a correct DMT runtime.  Synchronization ops order themselves through
+   the arbiter; handle creations assign ids from a shared counter without
+   taking a turn, so their interleaving is visible too. *)
+let is_boundary (op : Op.t) =
+  Op.is_sync op
+  || match op with
+     | Mutex_create | Cond_create | Barrier_create _ -> true
+     | _ -> false
 
 let cmp_entry (c1, t1, _) (c2, t2, _) =
   if c1 <> c2 then compare c1 c2 else compare t1 t2
@@ -317,6 +342,10 @@ let handle_op t th op k =
   th.pending <- Resume (k, 0);
   t.ops <- t.ops + 1;
   if t.ops > t.config.max_ops then raise Runaway;
+  t.last_boundary <- is_boundary op;
+  (match t.config.observe with
+  | None -> ()
+  | Some f -> f ~tid:th.tid op);
   if Array.length t.trace_ring > 0 then begin
     t.trace_ring.(t.trace_next) <-
       Some
@@ -391,6 +420,7 @@ let handle_op t th op k =
 
 let run_thread t th =
   t.current <- th.tid;
+  t.last_run <- th.tid;
   th.status <- Running;
   let pending = th.pending in
   th.pending <- Nothing;
@@ -454,6 +484,39 @@ let rec schedule t =
     if th.generation = generation && th.status = Ready then run_thread t th;
     schedule t
 
+let ready_tids t =
+  Hashtbl.fold
+    (fun tid th acc -> if th.status = Ready then tid :: acc else acc)
+    t.threads []
+  |> List.sort compare
+
+(* Chooser-driven scheduling for the systematic explorer: the clock order
+   is ignored entirely and the installed chooser picks which ready thread
+   runs each step.  The chooser is consulted on *every* step — including
+   forced ones with a single ready thread — so an explorer can account for
+   moves it had no say in. *)
+let rec schedule_chosen t choose =
+  match ready_tids t with
+  | [] ->
+    if t.unfinished > 0 then
+      raise (Deadlock (Printf.sprintf "no runnable thread: %s" (describe_blocked t)))
+  | ready ->
+    let sp =
+      {
+        sp_ready = ready;
+        sp_last = t.last_run;
+        sp_last_ready = List.mem t.last_run ready;
+        sp_last_boundary = t.last_boundary;
+      }
+    in
+    let tid = choose sp in
+    if not (List.mem tid ready) then
+      invalid_arg
+        (Printf.sprintf "Engine: chooser picked tid %d, not ready ([%s])" tid
+           (String.concat "," (List.map string_of_int ready)));
+    run_thread t (find t tid);
+    schedule_chosen t choose
+
 let collect_outputs t =
   let tids = List.init t.next_tid (fun i -> i) in
   List.concat_map
@@ -480,11 +543,15 @@ let run ?(config = default_config) make_policy ~main =
       trace_next = 0;
       policy = None;
       crashes = [];
+      last_run = -1;
+      last_boundary = true;
     }
   in
   let (_ : int) = register_thread t ~body:main ~start_at:0 in
   t.policy <- Some (make_policy t);
-  schedule t;
+  (match config.choose with
+  | None -> schedule t
+  | Some choose -> schedule_chosen t choose);
   (policy_exn t).on_finish ();
   let sim_time =
     Hashtbl.fold (fun _ th acc -> max acc th.clock) t.threads 0

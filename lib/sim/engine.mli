@@ -51,6 +51,25 @@ type failure_mode = Abort | Contain
       counts). *)
 type injection = I_none | I_crash | I_fail | I_delay of int
 
+(** One scheduling decision offered to an installed [config.choose]
+    chooser (the hook behind `rfdet check`'s systematic explorer).
+
+    - [sp_ready]: tids that can run now, ascending (never empty);
+    - [sp_last]: the thread the previous step ran ([-1] on the first);
+    - [sp_last_ready]: whether [sp_last] is in [sp_ready] — false when it
+      blocked, exited or crashed;
+    - [sp_last_boundary]: whether [sp_last] stopped at a
+      schedule-relevant boundary (a synchronization operation or a
+      handle creation).  Between boundaries a DMT run's behavior cannot
+      depend on the interleaving, so an explorer only needs to branch
+      when this is true (or when [sp_last_ready] is false). *)
+type sched_point = {
+  sp_ready : int list;
+  sp_last : int;
+  sp_last_ready : bool;
+  sp_last_boundary : bool;
+}
+
 type config = {
   cost : Cost.t;
   seed : int64;
@@ -64,6 +83,18 @@ type config = {
       (** fault-injection oracle, consulted before every operation;
           [None] (the default) injects nothing.  Build one from a
           declarative plan with [Rfdet_fault.Fault_plan.injector]. *)
+  choose : (sched_point -> int) option;
+      (** when set, replaces clock-ordered scheduling entirely: the
+          chooser is consulted at every scheduling step and must return
+          a tid from [sp_ready].  Used by the systematic schedule
+          explorer ([Rfdet_check.Explore]); combine with
+          [jitter_mean = 0.] so the schedule is the only free variable.
+          [None] (the default) keeps the deterministic (clock, tid)
+          order. *)
+  observe : (tid:int -> Op.t -> unit) option;
+      (** operation tap, called for every operation as it is handled
+          (before injection and policy dispatch); lets an explorer
+          record per-thread footprints without a policy change. *)
 }
 
 val default_config : config

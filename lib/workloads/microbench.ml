@@ -1,0 +1,97 @@
+(** Micro workloads for systematic schedule exploration.
+
+    The explorer's cost is exponential in the number of synchronization
+    operations, so these are the smallest programs that still exercise
+    each synchronization construct: a lock-protected counter, a condvar
+    hand-off, a barrier phase and an atomic counter.  At [threads = 2]
+    and [scale = 1.0] each has few enough sync-level choice points that
+    bounded DFS with sleep-set pruning enumerates every interleaving in
+    well under a second ([rfdet check --exhaustive]).
+
+    They live in suite "micro" and are deliberately excluded from the
+    paper-reproduction sets ([Registry.table1], [Registry.figure8]). *)
+
+module Api = Rfdet_sim.Api
+
+(* Each worker takes the lock [iters] times to bump a shared counter and
+   mix its tid in; races only through the mutex. *)
+let lock_main (cfg : Workload.cfg) () =
+  let iters = Workload.scaled cfg 2 in
+  let counter = Api.malloc 8 in
+  let m = Api.mutex_create () in
+  let body k () =
+    for i = 1 to iters do
+      Api.with_lock m (fun () ->
+          let v = Api.load counter in
+          Api.store counter (v + (k * 10) + i))
+    done
+  in
+  Wl_common.fork_join ~workers:cfg.threads body;
+  Wl_common.output_checksum (Api.load counter)
+
+(* One producer hands a value to each consumer through a mutex+condvar
+   flag — the lost-wakeup-prone construct, in miniature. *)
+let handoff_main (cfg : Workload.cfg) () =
+  let consumers = max 1 (cfg.threads - 1) in
+  let cell = Api.malloc 8 in
+  let flag = Api.malloc 8 in
+  let m = Api.mutex_create () in
+  let c = Api.cond_create () in
+  let consumer k () =
+    Api.lock m;
+    while Api.load flag < k + 1 do
+      Api.cond_wait c m
+    done;
+    let v = Api.load cell in
+    Api.unlock m;
+    Api.output_int (v + k)
+  in
+  let tids = Wl_common.spawn_workers ~workers:consumers consumer in
+  Api.store cell 41;
+  for k = 1 to consumers do
+    Api.lock m;
+    Api.store flag k;
+    Api.cond_broadcast c;
+    Api.unlock m
+  done;
+  Wl_common.join_all tids
+
+(* Write own cell, barrier, read the neighbor's cell: the propagation at
+   the barrier merge is the whole point. *)
+let barrier_main (cfg : Workload.cfg) () =
+  let n = cfg.threads in
+  let arr = Api.malloc (8 * n) in
+  let b = Api.barrier_create n in
+  let body k () =
+    Api.store (arr + (8 * k)) ((k + 1) * 7);
+    Api.barrier_wait b;
+    Api.output_int (Api.load (arr + (8 * ((k + 1) mod n))))
+  in
+  (* The barrier counts [n] parties: main is one of them (k = 0). *)
+  let tids = Wl_common.spawn_workers ~workers:(n - 1) (fun k -> body (k + 1)) in
+  body 0 ();
+  Wl_common.join_all tids
+
+(* Atomic fetch-add hammering one word — every operation is its own
+   acquire+release pair, so this maximizes choice-point density. *)
+let atomic_main (cfg : Workload.cfg) () =
+  let iters = Workload.scaled cfg 2 in
+  let word = Api.malloc 8 in
+  let body k () =
+    for _ = 1 to iters do
+      ignore (Api.atomic_fetch_add word (k + 1))
+    done
+  in
+  Wl_common.fork_join ~workers:cfg.threads body;
+  Wl_common.output_checksum (Api.load word)
+
+let wl name description main =
+  { Workload.name; suite = "micro"; description; main }
+
+let lock = wl "micro-lock" "tiny lock-protected shared counter" lock_main
+
+let handoff = wl "micro-handoff" "tiny mutex+condvar value hand-off" handoff_main
+
+let barrier = wl "micro-barrier" "tiny barrier phase with neighbor read" barrier_main
+
+let atomic = wl "micro-atomic" "tiny atomic fetch-add counter" atomic_main

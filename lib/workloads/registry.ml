@@ -17,6 +17,10 @@ let all =
     Parsec_financial.swaptions;
     Dedup.workload;
     Ferret.workload;
+    Microbench.lock;
+    Microbench.handoff;
+    Microbench.barrier;
+    Microbench.atomic;
   ]
 
 let names = List.map (fun w -> w.Workload.name) all
@@ -32,10 +36,18 @@ let find name =
 
 let splash2 = List.filter (fun w -> w.Workload.suite = "splash2") all
 
-let table1 = List.filter (fun w -> w.Workload.name <> "racey") all
+let micro = List.filter (fun w -> w.Workload.suite = "micro") all
+
+(* The paper-reproduction sets exclude the stress test and the
+   exploration micros. *)
+let table1 =
+  List.filter
+    (fun w -> w.Workload.name <> "racey" && w.Workload.suite <> "micro")
+    all
 
 let figure8 =
   List.filter
     (fun w ->
-      not (List.mem w.Workload.name [ "racey"; "dedup"; "ferret"; "lu-non" ]))
+      (not (List.mem w.Workload.name [ "racey"; "dedup"; "ferret"; "lu-non" ]))
+      && w.Workload.suite <> "micro")
     all

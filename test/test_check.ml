@@ -1,0 +1,201 @@
+(* The lib/check subsystem: systematic exploration, the DLRC
+   conformance oracle, the schedule shrinker, trace replay and the
+   regression corpus. *)
+
+module Explore = Rfdet_check.Explore
+module Shrink = Rfdet_check.Shrink
+module Trace = Rfdet_check.Trace
+module Differential = Rfdet_check.Differential
+module Options = Rfdet_core.Options
+module Registry = Rfdet_workloads.Registry
+module Workload = Rfdet_workloads.Workload
+
+let micro name = Registry.find name
+
+(* --- exhaustive enumeration ------------------------------------------ *)
+
+(* These counts document the full synchronization-interleaving space of
+   each micro at 2 threads.  They only change if the workloads or the
+   runtime's boundary structure change — in which case updating them
+   here is the point of the test. *)
+let test_exhaustive_micros () =
+  List.iter
+    (fun (name, expected) ->
+      let s = Explore.explore (micro name) in
+      Alcotest.(check (list reject))
+        (name ^ ": no failures") []
+        (List.map (fun f -> f.Explore.f_reason) s.Explore.failures);
+      Alcotest.(check bool) (name ^ ": exhausted") false s.Explore.truncated;
+      Alcotest.(check int) (name ^ ": schedule count") expected s.Explore.schedules;
+      Alcotest.(check bool)
+        (name ^ ": has reference") true
+        (s.Explore.reference <> None))
+    [
+      ("micro-lock", 24);
+      ("micro-handoff", 4);
+      ("micro-barrier", 4);
+      ("micro-atomic", 6);
+    ]
+
+let test_pruning_sound () =
+  (* pruning may only remove redundant schedules: the unpruned search
+     agrees on the reference signature and also finds nothing *)
+  let wl = micro "micro-lock" in
+  let p = Explore.explore wl in
+  let u = Explore.hunt wl in
+  Alcotest.(check bool) "hunt finds nothing" true (u.Explore.failures = []);
+  Alcotest.(check int) "hunt prunes nothing" 0 u.Explore.pruned;
+  Alcotest.(check bool)
+    "hunt explores at least as much" true
+    (u.Explore.schedules >= p.Explore.schedules);
+  Alcotest.(check (option string))
+    "same reference" p.Explore.reference u.Explore.reference
+
+let test_one_thread_degenerate () =
+  (* "1 thread" still means main plus one worker, so a couple of real
+     choice points remain (e.g. main reaching join while the worker sits
+     at a boundary) — but the space must stay tiny and clean *)
+  let config = { Explore.default_config with Explore.threads = 1 } in
+  List.iter
+    (fun wl ->
+      let s = Explore.explore ~config wl in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: tiny space (%d)" wl.Workload.name s.Explore.schedules)
+        true
+        (s.Explore.schedules >= 1 && s.Explore.schedules <= 8);
+      Alcotest.(check bool)
+        (wl.Workload.name ^ ": exhausted") false s.Explore.truncated;
+      Alcotest.(check bool)
+        (wl.Workload.name ^ ": clean") true (s.Explore.failures = []))
+    Registry.micro
+
+(* --- the oracle against a seeded visibility bug ----------------------- *)
+
+let buggy_opts = { Options.ci with Options.bug_drop_window = Some (20, 26) }
+
+let hunt_buggy () =
+  let config = { Explore.default_config with Explore.opts = buggy_opts } in
+  Explore.hunt ~config (micro "micro-lock")
+
+let test_oracle_catches_drop_window () =
+  let s = hunt_buggy () in
+  Alcotest.(check bool) "failures found" true (s.Explore.failures <> []);
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        "reason names the oracle" true
+        (Astring.String.is_infix ~affix:"oracle" f.Explore.f_reason))
+    s.Explore.failures
+
+let test_shrinker_minimizes () =
+  let s = hunt_buggy () in
+  match s.Explore.failures with
+  | [] -> Alcotest.fail "expected the seeded bug to produce failures"
+  | f :: _ -> (
+    match Shrink.shrink ~opts:buggy_opts f.Explore.f_trace with
+    | None -> Alcotest.fail "shrinker lost the failure"
+    | Some r ->
+      let n = List.length r.Shrink.minimized.Trace.choices in
+      Alcotest.(check bool)
+        (Printf.sprintf "minimized to %d <= 10 choices" n)
+        true (n <= 10);
+      (* the minimized trace still reproduces under the buggy options … *)
+      let bad = Explore.replay ~strict:false ~opts:buggy_opts r.Shrink.minimized in
+      Alcotest.(check bool)
+        "still fails under buggy options" true
+        (bad.Explore.r_error <> None);
+      (* … and replays clean under the options its runtime name denotes *)
+      let good = Explore.replay ~strict:false r.Shrink.minimized in
+      Alcotest.(check (option string))
+        "clean under the correct runtime" None good.Explore.r_error)
+
+(* --- sampling --------------------------------------------------------- *)
+
+let test_sampling_deterministic () =
+  let wl = micro "micro-lock" in
+  let a = Explore.sample ~seed:5L ~n:25 wl in
+  let b = Explore.sample ~seed:5L ~n:25 wl in
+  Alcotest.(check int) "same schedule count" a.Explore.schedules b.Explore.schedules;
+  Alcotest.(check int) "same deepest" a.Explore.deepest b.Explore.deepest;
+  Alcotest.(check (option string))
+    "same reference" a.Explore.reference b.Explore.reference;
+  Alcotest.(check bool) "a clean" true (a.Explore.failures = []);
+  Alcotest.(check bool) "b clean" true (b.Explore.failures = [])
+
+(* --- trace round-trip ------------------------------------------------- *)
+
+let test_trace_roundtrip () =
+  let t =
+    Trace.make ~workload:"micro-lock" ~threads:3 ~scale:1.5 ~input_seed:99L
+      ~runtime:"rfdet-pf" ~choices:[ 1; 0; 2; 2; 1 ]
+      ~expect:"deadbeefdeadbeef" ~note:"round-trip fixture" ()
+  in
+  (match Trace.of_string (Trace.to_string t) with
+  | Ok t' -> Alcotest.(check bool) "round-trips" true (t = t')
+  | Error e -> Alcotest.fail ("parse failed: " ^ e));
+  match Trace.of_string "threads 2\nchoices 1 0\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted a trace without a workload"
+
+(* --- the regression corpus (satellite: replay on every runtest) ------- *)
+
+(* dune runtest runs in the test directory, where the glob_files dep
+   placed the corpus; dune exec may run elsewhere, so fall back to the
+   copy next to the executable *)
+let corpus_dir =
+  if Sys.file_exists "corpus" then "corpus"
+  else Filename.concat (Filename.dirname Sys.executable_name) "corpus"
+
+let test_corpus_replays () =
+  let files =
+    Sys.readdir corpus_dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".trace")
+    |> List.sort String.compare
+  in
+  Alcotest.(check bool) "corpus is non-empty" true (files <> []);
+  List.iter
+    (fun file ->
+      match Trace.load ~path:(Filename.concat corpus_dir file) with
+      | Error e -> Alcotest.fail (file ^ ": " ^ e)
+      | Ok tr ->
+        let r = Explore.replay ~strict:false tr in
+        Alcotest.(check (option string)) (file ^ ": clean") None r.Explore.r_error)
+    files
+
+(* --- differential spot checks (full suites run under rfdet check) ----- *)
+
+let test_differential_race_free () =
+  let r = Differential.check (micro "micro-lock") in
+  Alcotest.(check bool) "micro-lock ok" true r.Differential.ok;
+  Alcotest.(check bool) "model agrees" false r.Differential.model_diverged;
+  Alcotest.(check bool) "no disagreement" true (r.Differential.disagree = None)
+
+let test_differential_racy_stable () =
+  let r =
+    Differential.check ~expect_agree:false (Registry.find "racey")
+  in
+  Alcotest.(check bool) "racey ok" true r.Differential.ok;
+  Alcotest.(check (list string)) "all runtimes stable" [] r.Differential.unstable
+
+let suites =
+  [
+    ( "check",
+      [
+        Alcotest.test_case "exhaustive micros" `Quick test_exhaustive_micros;
+        Alcotest.test_case "pruning is sound" `Quick test_pruning_sound;
+        Alcotest.test_case "1-thread configs stay tiny and clean" `Quick
+          test_one_thread_degenerate;
+        Alcotest.test_case "oracle catches drop window" `Quick
+          test_oracle_catches_drop_window;
+        Alcotest.test_case "shrinker minimizes to <= 10 choices" `Quick
+          test_shrinker_minimizes;
+        Alcotest.test_case "sampling is deterministic" `Quick
+          test_sampling_deterministic;
+        Alcotest.test_case "trace round-trip" `Quick test_trace_roundtrip;
+        Alcotest.test_case "corpus replays clean" `Quick test_corpus_replays;
+        Alcotest.test_case "differential: race-free" `Quick
+          test_differential_race_free;
+        Alcotest.test_case "differential: racy but stable" `Quick
+          test_differential_racy_stable;
+      ] );
+  ]

@@ -131,6 +131,35 @@ let prop_runtime_seed_independent =
       outputs_under (Rfdet.make ~opts:Options.ci) 5L p
       = outputs_under (Rfdet.make ~opts:Options.ci) 23L p)
 
+(* Figure 5's lower-limit filter is exactly a redundancy eliminator: a
+   slice already merged into a thread's view must never be appended to
+   its seen-list again.  The checked model asserts physical membership
+   on every propagation and raises [Propagated_twice] on violation —
+   randomized racy programs drive it through every acquire path (locks,
+   atomics, joins, the final dump). *)
+let prop_never_propagates_twice =
+  QCheck2.Test.make
+    ~name:"dlrc: no slice is ever propagated twice (checked model)"
+    ~count:120
+    ~print:(fun p ->
+      Printf.sprintf "threads=%d sizes=%s" (List.length p.threads)
+        (String.concat ","
+           (List.map (fun l -> string_of_int (List.length l)) p.threads)))
+    gen_program
+    (fun p ->
+      match outputs_under Model.make_checked 1L p with
+      | _ -> true
+      | exception Engine.Thread_failure (_, Model.Propagated_twice _)
+      | exception Model.Propagated_twice _ ->
+        false)
+
+let prop_checked_model_transparent =
+  QCheck2.Test.make
+    ~name:"dlrc: the never-twice check does not change model outputs"
+    ~count:60 gen_program
+    (fun p ->
+      outputs_under Model.make_checked 1L p = outputs_under Model.make 1L p)
+
 (* a directed regression: the Figure 2 shape expressed as a program *)
 let test_directed_figure2 () =
   let p =
@@ -156,5 +185,7 @@ let suites =
         QCheck_alcotest.to_alcotest prop_model_agreement;
         QCheck_alcotest.to_alcotest prop_model_self_deterministic;
         QCheck_alcotest.to_alcotest prop_runtime_seed_independent;
+        QCheck_alcotest.to_alcotest prop_never_propagates_twice;
+        QCheck_alcotest.to_alcotest prop_checked_model_transparent;
       ] );
   ]

@@ -288,6 +288,93 @@ let test_gc_under_pressure_all_runtimes_agree () =
   Alcotest.(check bool) "gc-pressured rfdet equals model" true
     (a.Engine.outputs = b.Engine.outputs)
 
+(* --- degenerate schedules --------------------------------------------- *)
+
+let test_single_thread_run () =
+  (* no spawns at all: sync ops still work with nobody to synchronize
+     with, including under the pre-fork monitoring exemption *)
+  let main () =
+    let m = Api.mutex_create () in
+    Api.with_lock m (fun () -> Api.store base 5);
+    Api.with_lock m (fun () -> Api.store base (Api.load base * 3));
+    Api.output_int (Api.load base)
+  in
+  for_all_dmt "single-thread run" main [ 15L ]
+
+let test_zero_iteration_workers () =
+  (* workers whose loops run zero times: spawn, exit and join with no
+     slice content worth propagating *)
+  let iterations = 0 in
+  let main () =
+    let m = Api.mutex_create () in
+    let body () =
+      for _ = 1 to iterations do
+        Api.with_lock m (fun () -> Api.store base (Api.load base + 1))
+      done
+    in
+    let a = Api.spawn body and b = Api.spawn body in
+    Api.join a;
+    Api.join b;
+    Api.output_int (Api.load base)
+  in
+  for_all_dmt "zero-iteration workers" main [ 0L ]
+
+let test_exit_holding_lock_uncontended () =
+  (* a thread exits while holding a lock; nobody contends for it, and
+     the exit flush must still publish the store to the joiner *)
+  let main () =
+    let m = Api.mutex_create () in
+    let t =
+      Api.spawn (fun () ->
+          Api.lock m;
+          Api.store base 7)
+    in
+    Api.join t;
+    Api.output_int (Api.load base)
+  in
+  for_all_dmt "exit holding lock (uncontended)" main [ 7L ]
+
+let test_exit_holding_lock_contended_deadlocks () =
+  (* pthreads semantics: the mutex stays locked forever, so a later
+     lock attempt deadlocks — identically under every runtime *)
+  let main () =
+    let m = Api.mutex_create () in
+    let t =
+      Api.spawn (fun () ->
+          Api.lock m;
+          Api.store base 7)
+    in
+    Api.join t;
+    Api.lock m;
+    Api.output_int (Api.load base)
+  in
+  List.iter
+    (fun (label, policy) ->
+      match run policy main with
+      | _ -> Alcotest.fail (label ^ ": expected a deadlock")
+      | exception Engine.Deadlock _ -> ())
+    (dmt_policies ())
+
+let test_micros_one_thread_all_runtimes_agree () =
+  (* the exploration micros in their degenerate 1-thread configuration:
+     every strongly deterministic runtime must compute the same thing *)
+  let module Runner = Rfdet_harness.Runner in
+  List.iter
+    (fun wl ->
+      let sigs =
+        List.map
+          (fun rt -> (Runner.run ~threads:1 rt wl).Runner.signature)
+          [ Runner.rfdet_ci; Runner.rfdet_pf; Runner.Coredet; Runner.Dthreads ]
+      in
+      match sigs with
+      | [] -> ()
+      | s0 :: _ ->
+        Alcotest.(check bool)
+          (wl.Rfdet_workloads.Workload.name ^ ": runtimes agree at 1 thread")
+          true
+          (List.for_all (String.equal s0) sigs))
+    Rfdet_workloads.Registry.micro
+
 let suites =
   [
     ( "edge-cases",
@@ -306,5 +393,14 @@ let suites =
           test_malloc_free_recycling_under_isolation;
         Alcotest.test_case "GC pressure vs model" `Quick
           test_gc_under_pressure_all_runtimes_agree;
+        Alcotest.test_case "single-thread run" `Quick test_single_thread_run;
+        Alcotest.test_case "zero-iteration workers" `Quick
+          test_zero_iteration_workers;
+        Alcotest.test_case "exit holding lock (uncontended)" `Quick
+          test_exit_holding_lock_uncontended;
+        Alcotest.test_case "exit holding lock (contended) deadlocks" `Quick
+          test_exit_holding_lock_contended_deadlocks;
+        Alcotest.test_case "micros at 1 thread, all runtimes" `Quick
+          test_micros_one_thread_all_runtimes_agree;
       ] );
   ]

@@ -144,6 +144,7 @@ let test_propagate_filters () =
       ~prof ~from ~upto:3 ~into
       ~upper:(vc [ 1; 3; 0; 0 ]) (* sees s_old, s_mid, not s_new *)
       ~lower:(vc [ 0; 1; 5; 5 ]) (* s_old already seen *)
+      ()
   in
   Alcotest.(check bool) "cycles positive" true (cycles > 0);
   Alcotest.(check int) "one slice propagated" 1
@@ -162,7 +163,7 @@ let test_propagate_filters () =
     Propagate.run ~cost:Rfdet_sim.Cost.default
       ~opts:{ Options.ci with lazy_writes = false }
       ~prof:prof2 ~from ~upto:3 ~into ~upper:(vc [ 9; 9; 9; 9 ])
-      ~lower:(vc [ 0; 0; 0; 0 ])
+      ~lower:(vc [ 0; 0; 0; 0 ]) ()
   in
   Alcotest.(check int) "nothing rescanned" 0
     prof2.Rfdet_sim.Profile.slices_propagated
@@ -178,7 +179,7 @@ let test_propagate_skips_freed () =
     Propagate.run ~cost:Rfdet_sim.Cost.default
       ~opts:{ Options.ci with lazy_writes = false }
       ~prof ~from ~upto:1 ~into ~upper:(vc [ 9; 9; 9; 9 ])
-      ~lower:(vc [ 0; 0; 0; 0 ])
+      ~lower:(vc [ 0; 0; 0; 0 ]) ()
   in
   Alcotest.(check int) "freed slice skipped" 0
     prof.Rfdet_sim.Profile.slices_propagated
@@ -192,7 +193,7 @@ let test_propagate_lazy_defers_large () =
   let prof = Rfdet_sim.Profile.create () in
   let _ =
     Propagate.run ~cost:Rfdet_sim.Cost.default ~opts:Options.ci ~prof ~from
-      ~upto:1 ~into ~upper:(vc [ 9; 9; 9; 9 ]) ~lower:(vc [ 0; 0; 0; 0 ])
+      ~upto:1 ~into ~upper:(vc [ 9; 9; 9; 9 ]) ~lower:(vc [ 0; 0; 0; 0 ]) ()
   in
   Alcotest.(check bool) "page pending" true (Tstate.has_pending into 5);
   Alcotest.(check bool) "bytes not yet applied" true

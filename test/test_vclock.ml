@@ -18,26 +18,6 @@ let test_join () =
   Alcotest.(check (list int)) "lub" [ 3; 5; 2 ] (Vclock.to_list a);
   Alcotest.(check (list int)) "src untouched" [ 3; 1; 2 ] (Vclock.to_list b)
 
-let test_orders () =
-  let check_order msg expected a b =
-    let show = function
-      | Vclock.Equal -> "equal"
-      | Less -> "less"
-      | Greater -> "greater"
-      | Concurrent -> "concurrent"
-    in
-    Alcotest.(check string) msg (show expected) (show (Vclock.compare_partial a b))
-  in
-  check_order "equal" Vclock.Equal (vc [ 1; 2 ]) (vc [ 1; 2 ]);
-  check_order "less" Vclock.Less (vc [ 1; 2 ]) (vc [ 1; 3 ]);
-  check_order "greater" Vclock.Greater (vc [ 2; 2 ]) (vc [ 1; 2 ]);
-  check_order "concurrent" Vclock.Concurrent (vc [ 2; 0 ]) (vc [ 0; 2 ])
-
-let test_leq_strict () =
-  Alcotest.(check bool) "leq refl" true (Vclock.leq (vc [ 1; 1 ]) (vc [ 1; 1 ]));
-  Alcotest.(check bool) "lt irrefl" false (Vclock.lt (vc [ 1; 1 ]) (vc [ 1; 1 ]));
-  Alcotest.(check bool) "lt strict" true (Vclock.lt (vc [ 1; 1 ]) (vc [ 2; 1 ]))
-
 let test_min_into () =
   let a = vc [ 5; 2; 7 ] in
   Vclock.min_into a (vc [ 3; 4; 7 ]);
@@ -102,6 +82,65 @@ let prop_partial_consistent =
       | Greater -> Vclock.lt b a
       | Concurrent -> (not (Vclock.leq a b)) && not (Vclock.leq b a))
 
+let prop_lt_irreflexive_strict =
+  QCheck2.Test.make ~name:"vclock: lt is the strict part of leq" ~count:300
+    QCheck2.Gen.(pair (gen_clock 4) (gen_clock 4))
+    (fun (a, b) ->
+      (not (Vclock.lt a a))
+      && Vclock.lt a b = (Vclock.leq a b && not (Vclock.equal a b)))
+
+(* --- the Figure-5 propagation filters --------------------------------
+
+   At an acquire, a slice with timestamp [s] is propagated iff
+   [lt s upper && not (lt s lower)]: the upper limit admits only what
+   happens-before the acquired position, and the lower limit drops what
+   the acquirer has already merged.  These properties pin down why that
+   filter pair is safe: it is monotone (growing limits never flip an
+   earlier decision the wrong way), causally closed (an admitted
+   slice's predecessors are admitted), and self-limiting (once a slice
+   is admitted, the acquirer's joined time blocks it forever — the
+   never-propagate-twice guarantee the metadata GC relies on). *)
+
+let passes ~upper ~lower s = Vclock.lt s upper && not (Vclock.lt s lower)
+
+let prop_filter_upper_monotone =
+  QCheck2.Test.make
+    ~name:"figure5: enlarging the upper limit only admits more" ~count:500
+    QCheck2.Gen.(triple (gen_clock 4) (gen_clock 4) (pair (gen_clock 4) (gen_clock 4)))
+    (fun (s, lower, (u, d)) ->
+      let u' = Vclock.joined u d in
+      if passes ~upper:u ~lower s then passes ~upper:u' ~lower s else true)
+
+let prop_filter_lower_monotone =
+  QCheck2.Test.make
+    ~name:"figure5: a slice redundant under a lower limit stays redundant"
+    ~count:500
+    QCheck2.Gen.(triple (gen_clock 4) (gen_clock 4) (gen_clock 4))
+    (fun (s, l, d) ->
+      let l' = Vclock.joined l d in
+      if Vclock.lt s l then Vclock.lt s l' else true)
+
+let prop_filter_transitive =
+  QCheck2.Test.make
+    ~name:"figure5: admission is causally closed (lt transitive)" ~count:500
+    QCheck2.Gen.(triple (gen_clock 4) (gen_clock 4) (gen_clock 4))
+    (fun (s1, s2, upper) ->
+      if Vclock.lt s1 s2 && Vclock.lt s2 upper then Vclock.lt s1 upper
+      else true)
+
+let prop_filter_never_twice =
+  QCheck2.Test.make
+    ~name:"figure5: an admitted slice can never be admitted again"
+    ~count:500
+    QCheck2.Gen.(
+      triple (gen_clock 4) (pair (gen_clock 4) (gen_clock 4)) (gen_clock 4))
+    (fun (s, (release, lower), next_upper) ->
+      if passes ~upper:release ~lower s then
+        (* after the acquire the thread's time includes the release time *)
+        let lower' = Vclock.joined lower release in
+        not (passes ~upper:next_upper ~lower:lower' s)
+      else true)
+
 let suites =
   [
     ( "vclock",
@@ -109,8 +148,6 @@ let suites =
         Alcotest.test_case "create" `Quick test_create;
         Alcotest.test_case "tick" `Quick test_tick;
         Alcotest.test_case "join" `Quick test_join;
-        Alcotest.test_case "orders" `Quick test_orders;
-        Alcotest.test_case "leq/lt" `Quick test_leq_strict;
         Alcotest.test_case "min_into" `Quick test_min_into;
         Alcotest.test_case "size mismatch" `Quick test_size_mismatch;
         QCheck_alcotest.to_alcotest prop_join_upper_bound;
@@ -120,5 +157,10 @@ let suites =
         QCheck_alcotest.to_alcotest prop_leq_antisym;
         QCheck_alcotest.to_alcotest prop_leq_transitive;
         QCheck_alcotest.to_alcotest prop_partial_consistent;
+        QCheck_alcotest.to_alcotest prop_lt_irreflexive_strict;
+        QCheck_alcotest.to_alcotest prop_filter_upper_monotone;
+        QCheck_alcotest.to_alcotest prop_filter_lower_monotone;
+        QCheck_alcotest.to_alcotest prop_filter_transitive;
+        QCheck_alcotest.to_alcotest prop_filter_never_twice;
       ] );
   ]
