@@ -19,6 +19,16 @@ module Options = Rfdet_core.Options
 module Profile = Rfdet_sim.Profile
 module Engine = Rfdet_sim.Engine
 module Fault_plan = Rfdet_fault.Fault_plan
+module Sink = Rfdet_obs.Sink
+module Obs_trace = Rfdet_obs.Trace
+module Chrome = Rfdet_obs.Chrome
+module Metrics = Rfdet_obs.Metrics
+module Report = Rfdet_obs.Report
+
+let write_file path content =
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc
 
 (* Engine failures escape as exceptions; turn them into a one-line
    diagnostic and a distinct nonzero exit code instead of a backtrace. *)
@@ -140,7 +150,7 @@ let run_cmd =
       required & pos 0 (some workload_conv) None & info [] ~docv:"WORKLOAD")
   in
   let action runtime workload threads scale seed input_seed jitter trace
-      faults failure_mode =
+      faults failure_mode profile_json =
    guard @@ fun () ->
     let r =
       Runner.run ~threads ~scale ~sched_seed:(Int64.of_int seed)
@@ -148,6 +158,11 @@ let run_cmd =
         ~failure_mode runtime workload
     in
     let p = r.Runner.profile in
+    (match profile_json with
+    | None -> ()
+    | Some path ->
+      write_file path (Profile.to_json p);
+      Printf.printf "profile json: %s\n" path);
     Printf.printf "workload:    %s\n" r.Runner.workload;
     Printf.printf "runtime:     %s\n" r.Runner.runtime;
     Printf.printf "threads:     %d (total spawned: %d)\n" threads
@@ -183,11 +198,144 @@ let run_cmd =
       value & opt int 42
       & info [ "input-seed" ] ~doc:"Input-data generator seed (an input).")
   in
+  let profile_json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profile-json" ] ~docv:"FILE"
+          ~doc:"Also write the run's profile counters as a JSON object.")
+  in
   Cmd.v (Cmd.info "run" ~doc:"Run one workload under one runtime.")
     Term.(
       const action $ runtime_arg $ workload_arg $ threads_arg $ scale_arg
       $ seed_arg $ input_seed_arg $ jitter_arg $ trace_arg $ fault_plan_arg
-      $ fault_mode_arg)
+      $ fault_mode_arg $ profile_json_arg)
+
+(* --- trace / profile --------------------------------------------------- *)
+
+(* Shared by [trace] and [profile]: run a workload with an unbounded
+   causal sink attached and return the result plus the collected events. *)
+let traced_run runtime workload threads scale seed input_seed =
+  let obs = Sink.create () in
+  let r =
+    Runner.run ~threads ~scale ~sched_seed:(Int64.of_int seed)
+      ~input_seed:(Int64.of_int input_seed) ~obs runtime workload
+  in
+  (r, Sink.events obs)
+
+let runtime_opt_arg =
+  Arg.(
+    value
+    & opt runtime_conv Runner.rfdet_ci
+    & info [ "r"; "runtime" ]
+        ~doc:"Runtime: pthreads, kendo, dthreads, coredet, rfdet-ci, \
+              rfdet-pf or rfdet-noopt.")
+
+let workload_pos_arg =
+  Arg.(required & pos 0 (some workload_conv) None & info [] ~docv:"WORKLOAD")
+
+let input_seed_opt_arg =
+  Arg.(
+    value & opt int 42
+    & info [ "input-seed" ] ~doc:"Input-data generator seed (an input).")
+
+let trace_cmd =
+  let out_arg =
+    Arg.(
+      value & opt string "trace.json"
+      & info [ "o"; "out" ] ~docv:"PATH" ~doc:"Output file.")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("chrome", `Chrome); ("lines", `Lines) ]) `Chrome
+      & info [ "format" ]
+          ~doc:
+            "Export format: 'chrome' (trace_event JSON for Perfetto / \
+             chrome://tracing) or 'lines' (the compact replayable line \
+             format, one event per line).")
+  in
+  let action runtime workload threads scale seed input_seed out format =
+   guard @@ fun () ->
+    let r, events = traced_run runtime workload threads scale seed input_seed in
+    (match format with
+    | `Chrome -> write_file out (Chrome.export events)
+    | `Lines -> write_file out (Obs_trace.to_lines events));
+    Printf.printf "workload:    %s\n" r.Runner.workload;
+    Printf.printf "runtime:     %s\n" r.Runner.runtime;
+    Printf.printf "sim cycles:  %d\n" r.Runner.sim_time;
+    Printf.printf "signature:   %s\n" r.Runner.signature;
+    Printf.printf "events:      %d\n" (List.length events);
+    Printf.printf "wrote %s\n" out
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a workload with causal tracing on and export the event \
+          stream.  The default format loads directly in Perfetto \
+          (ui.perfetto.dev) or chrome://tracing: one track per simulated \
+          thread, flow arrows for slice propagation.  Tracing is \
+          deterministically inert (the signature matches an untraced run) \
+          and the trace is a pure function of (workload, runtime, seed): \
+          two same-seed runs write byte-identical files.")
+    Term.(
+      const action $ runtime_opt_arg $ workload_pos_arg $ threads_arg
+      $ scale_arg $ seed_arg $ input_seed_opt_arg $ out_arg $ format_arg)
+
+let profile_cmd =
+  let top_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N" ~doc:"Rows in the hottest-pages table.")
+  in
+  let metrics_json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-json" ] ~docv:"FILE"
+          ~doc:
+            "Also write the full metrics registry (profile counters plus \
+             trace-derived histograms) as JSON.")
+  in
+  let action runtime workload threads scale seed input_seed top metrics_json =
+   guard @@ fun () ->
+    let r, events = traced_run runtime workload threads scale seed input_seed in
+    let total =
+      List.fold_left (fun acc (_, c) -> acc + c) 0 r.Runner.thread_clocks
+    in
+    Printf.printf "workload:    %s\n" r.Runner.workload;
+    Printf.printf "runtime:     %s\n" r.Runner.runtime;
+    Printf.printf "threads:     %d (total spawned: %d)\n" threads
+      r.Runner.threads;
+    Printf.printf "sim cycles:  %d (makespan), %d thread-cycles\n"
+      r.Runner.sim_time total;
+    Printf.printf "signature:   %s\n\n" r.Runner.signature;
+    print_string (Report.render_breakdown (Report.breakdown ~total events));
+    print_newline ();
+    print_string (Report.render_lock_table (Report.lock_table events));
+    print_newline ();
+    print_string (Report.render_hot_pages (Report.hot_pages ~top events));
+    match metrics_json with
+    | None -> ()
+    | Some path ->
+      let m = Metrics.create () in
+      Profile.fill_metrics m r.Runner.profile;
+      Report.fill_metrics m events;
+      write_file path (Metrics.to_json m);
+      Printf.printf "\nwrote %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run a workload with causal tracing on and print attribution \
+          reports: a Figure-7-style time breakdown (compute / wait / \
+          propagate / diff / GC / monitor), a per-lock contention table \
+          and the hottest pages by propagated bytes.  All numbers are \
+          simulated cycles, so the report is deterministic.")
+    Term.(
+      const action $ runtime_opt_arg $ workload_pos_arg $ threads_arg
+      $ scale_arg $ seed_arg $ input_seed_opt_arg $ top_arg
+      $ metrics_json_arg)
 
 (* --- list ------------------------------------------------------------- *)
 
@@ -602,5 +750,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; list_cmd; racey_cmd; races_cmd; replay_cmd; faults_cmd;
-            check_cmd; bench_cmd; experiment_cmd ]))
+          [ run_cmd; trace_cmd; profile_cmd; list_cmd; racey_cmd; races_cmd;
+            replay_cmd; faults_cmd; check_cmd; bench_cmd; experiment_cmd ]))

@@ -258,6 +258,7 @@ let perform_action t ~tid ~action ~at =
 let run_serial t =
   let c = Engine.cost t.engine in
   let p = Engine.profile t.engine in
+  let o = Engine.obs t.engine in
   p.barrier_stalls <- p.barrier_stalls + 1;
   let fence_time =
     List.fold_left
@@ -269,6 +270,16 @@ let run_serial t =
   t.arrived <- [];
   t.commits <- [];
   let clock = ref (fence_time + c.Cost.barrier_overhead) in
+  (* Quantum-expiry fences stall every thread from its own arrival to
+     the serial phase — CoreDet's round-robin commit cost. *)
+  if Rfdet_obs.Sink.enabled o then
+    List.iter
+      (fun (tid, _) ->
+        let arrived_at = Engine.clock t.engine tid in
+        Rfdet_obs.Sink.emit o ~tid ~time:arrived_at
+          (Rfdet_obs.Trace.Barrier_stall
+             { barrier = -1; cycles = max 0 (!clock - arrived_at) }))
+      order;
   List.iter
     (fun (tid, action) ->
       clock := !clock + c.Cost.commit_token;
@@ -281,7 +292,13 @@ let run_serial t =
             if tid' <> tid && st'.live then Diff.apply st'.space mods)
           t.states;
         p.bytes_propagated <- p.bytes_propagated + bytes;
-        clock := !clock + (bytes * max 1 (c.Cost.apply_byte / 4)));
+        let commit_cycles = bytes * max 1 (c.Cost.apply_byte / 4) in
+        if Rfdet_obs.Sink.enabled o then
+          Rfdet_obs.Sink.emit o ~tid ~time:!clock
+            (Rfdet_obs.Trace.Propagate
+               { slice = -1; src = tid; pages = 0; bytes;
+                 cycles = commit_cycles });
+        clock := !clock + commit_cycles);
       (* refill the quantum for the next parallel phase *)
       (if Hashtbl.mem t.states tid then
          let st = cstate t tid in

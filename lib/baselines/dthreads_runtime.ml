@@ -104,6 +104,7 @@ let track_store t st addr ~len =
 let collect_diffs t st =
   let c = Engine.cost t.engine in
   let p = Engine.profile t.engine in
+  let o = Engine.obs t.engine in
   let cycles = ref 0 in
   let pages = List.rev st.touch_order in
   let mods =
@@ -111,14 +112,37 @@ let collect_diffs t st =
       (fun page ->
         let snapshot = Hashtbl.find st.snapshots page in
         let current = Space.page_bytes st.space page in
-        cycles := !cycles + Cost.diff_cost c ~bytes:Page.size;
+        let diff_cycles = Cost.diff_cost c ~bytes:Page.size in
+        cycles := !cycles + diff_cycles;
         p.diff_bytes_scanned <- p.diff_bytes_scanned + Page.size;
-        Diff.diff_page ~page_id:page ~snapshot ~current)
+        let d = Diff.diff_page ~page_id:page ~snapshot ~current in
+        if Rfdet_obs.Sink.enabled o then
+          Rfdet_obs.Sink.emit o ~tid:st.tid
+            ~time:(Engine.clock t.engine st.tid)
+            (Rfdet_obs.Trace.Diff
+               {
+                 page;
+                 bytes = Diff.byte_count d;
+                 runs = List.length d;
+                 cycles = diff_cycles;
+               });
+        d)
       pages
   in
   Hashtbl.reset st.snapshots;
   st.touch_order <- [];
   (mods, !cycles)
+
+(* Per-page byte totals of a commit payload, page id ascending. *)
+let pages_of_mods mods =
+  let by_page = Hashtbl.create 8 in
+  List.iter
+    (fun (r : Diff.run) ->
+      let page = Page.id_of_addr r.addr in
+      let existing = Option.value (Hashtbl.find_opt by_page page) ~default:0 in
+      Hashtbl.replace by_page page (existing + String.length r.data))
+    mods;
+  Hashtbl.fold (fun p b acc -> (p, b) :: acc) by_page [] |> List.sort compare
 
 (* --- fence ----------------------------------------------------------- *)
 
@@ -267,6 +291,7 @@ let perform_action t ~tid ~action ~at =
 let run_serial t =
   let c = Engine.cost t.engine in
   let p = Engine.profile t.engine in
+  let o = Engine.obs t.engine in
   p.barrier_stalls <- p.barrier_stalls + 1;
   let fence_time =
     List.fold_left
@@ -278,6 +303,17 @@ let run_serial t =
   t.arrived <- [];
   t.commits <- [];
   let clock = ref (fence_time + c.Cost.barrier_overhead) in
+  (* Every arrival stalls at the global fence from its own clock until
+     the serial phase opens — the cost RFDet's barrier-free design
+     removes, made visible in the trace. *)
+  if Rfdet_obs.Sink.enabled o then
+    List.iter
+      (fun (tid, _) ->
+        let arrived_at = Engine.clock t.engine tid in
+        Rfdet_obs.Sink.emit o ~tid ~time:arrived_at
+          (Rfdet_obs.Trace.Barrier_stall
+             { barrier = -1; cycles = max 0 (!clock - arrived_at) }))
+      order;
   List.iter
     (fun (tid, action) ->
       clock := !clock + c.Cost.commit_token;
@@ -304,7 +340,27 @@ let run_serial t =
         (* committing is a streaming patch of whole twin pages into the
            shared mapping — cheaper per byte than RFDet's scattered
            byte-run application *)
-        clock := !clock + (bytes * max 1 (c.Cost.apply_byte / 4)) + (!peers * 80));
+        let commit_cycles =
+          (bytes * max 1 (c.Cost.apply_byte / 4)) + (!peers * 80)
+        in
+        if Rfdet_obs.Sink.enabled o then begin
+          let pages = pages_of_mods mods in
+          List.iter
+            (fun (page, b) ->
+              Rfdet_obs.Sink.emit o ~tid ~time:!clock
+                (Rfdet_obs.Trace.Prop_page { page; bytes = b }))
+            pages;
+          Rfdet_obs.Sink.emit o ~tid ~time:!clock
+            (Rfdet_obs.Trace.Propagate
+               {
+                 slice = -1;
+                 src = tid;
+                 pages = List.length pages;
+                 bytes;
+                 cycles = commit_cycles;
+               })
+        end;
+        clock := !clock + commit_cycles);
       (* exits were already finalized by the engine; everything else
          resumes (or re-blocks) at this slot's end *)
       (match action with

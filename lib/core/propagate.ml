@@ -49,8 +49,22 @@ let apply_lazy ~cost ~(opts : Options.t) ~(into : Tstate.t) (s : Slice.t) =
   if !deferred then cycles := !cycles + cost.Cost.mprotect_page;
   !cycles
 
-let run ?(drop = false) ~cost ~(opts : Options.t) ~(prof : Profile.t)
-    ~(from : Tstate.t) ~(upto : int) ~(into : Tstate.t) ~upper ~lower () =
+(* Per-page byte totals of a slice's modification list, page id
+   ascending — the payload of the trace's [Prop_page] events. *)
+let pages_of_mods mods =
+  let by_page = Hashtbl.create 8 in
+  List.iter
+    (fun (r : Diff.run) ->
+      let page = Rfdet_mem.Page.id_of_addr r.addr in
+      let existing = Option.value (Hashtbl.find_opt by_page page) ~default:0 in
+      Hashtbl.replace by_page page (existing + String.length r.data))
+    mods;
+  Hashtbl.fold (fun p b acc -> (p, b) :: acc) by_page []
+  |> List.sort compare
+
+let run ?(drop = false) ?(obs = Rfdet_obs.Sink.null) ?(at = 0) ~cost
+    ~(opts : Options.t) ~(prof : Profile.t) ~(from : Tstate.t) ~(upto : int)
+    ~(into : Tstate.t) ~upper ~lower () =
   assert (from.tid <> into.tid);
   let cycles = ref 0 in
   let start = Tstate.resume_index into ~from:from.tid in
@@ -71,7 +85,25 @@ let run ?(drop = false) ~cost ~(opts : Options.t) ~(prof : Profile.t)
             cycles := !cycles + apply_cycles;
             Tstate.append_slice into s;
             prof.slices_propagated <- prof.slices_propagated + 1;
-            prof.bytes_propagated <- prof.bytes_propagated + s.bytes
+            prof.bytes_propagated <- prof.bytes_propagated + s.bytes;
+            if Rfdet_obs.Sink.enabled obs then begin
+              let vc = Array.of_list (Vclock.to_list into.time) in
+              let pages = pages_of_mods s.mods in
+              List.iter
+                (fun (page, bytes) ->
+                  Rfdet_obs.Sink.emit obs ~tid:into.tid ~time:at ~vc
+                    (Rfdet_obs.Trace.Prop_page { page; bytes }))
+                pages;
+              Rfdet_obs.Sink.emit obs ~tid:into.tid ~time:at ~vc
+                (Rfdet_obs.Trace.Propagate
+                   {
+                     slice = s.id;
+                     src = from.tid;
+                     pages = List.length pages;
+                     bytes = s.bytes;
+                     cycles = apply_cycles;
+                   })
+            end
           end
         end
       end);

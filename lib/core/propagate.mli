@@ -22,6 +22,8 @@
 
 val run :
   ?drop:bool ->
+  ?obs:Rfdet_obs.Sink.t ->
+  ?at:int ->
   cost:Rfdet_sim.Cost.t ->
   opts:Options.t ->
   prof:Rfdet_sim.Profile.t ->
@@ -34,6 +36,10 @@ val run :
   int
 (** Returns the simulated cycles the propagation costs (scan + byte
     application, or scan + page-protection when lazy).
+
+    [obs] (default disabled) receives a [Prop_page] event per page and a
+    [Propagate] event per applied slice, stamped with the acquirer's tid
+    and vector clock at simulated time [at] (the grant time, default 0).
 
     [drop] (test only, default false) silently discards every slice the
     filter selected instead of applying it — the seeded visibility bug of

@@ -57,6 +57,10 @@ let prof t = Engine.profile t.engine
 
 let cost t = Engine.cost t.engine
 
+let obs t = Engine.obs t.engine
+
+let vc_of (ts : Tstate.t) = Array.of_list (Vclock.to_list ts.time)
+
 (* ------------------------------------------------------------------ *)
 (* Lazy writes: apply a page's queued propagated runs on first touch.  *)
 (* ------------------------------------------------------------------ *)
@@ -126,6 +130,10 @@ let open_slice t (ts : Tstate.t) =
 let close_slice t (ts : Tstate.t) =
   let c = cost t in
   let p = prof t in
+  let o = obs t in
+  let tracing = Rfdet_obs.Sink.enabled o in
+  let trace_now = if tracing then Engine.clock t.engine ts.tid else 0 in
+  let trace_vc = if tracing then vc_of ts else [||] in
   let cycles = ref c.Cost.slice_overhead in
   let pages = List.rev ts.touch_order in
   let mods =
@@ -133,9 +141,19 @@ let close_slice t (ts : Tstate.t) =
       (fun page ->
         let snapshot = Hashtbl.find ts.snapshots page in
         let current = Space.page_bytes ts.shared page in
-        cycles := !cycles + Cost.diff_cost c ~bytes:Page.size;
+        let diff_cycles = Cost.diff_cost c ~bytes:Page.size in
+        cycles := !cycles + diff_cycles;
         p.diff_bytes_scanned <- p.diff_bytes_scanned + Page.size;
         let d = Diff.diff_page ~page_id:page ~snapshot ~current in
+        if tracing then
+          Rfdet_obs.Sink.emit o ~tid:ts.tid ~time:trace_now ~vc:trace_vc
+            (Rfdet_obs.Trace.Diff
+               {
+                 page;
+                 bytes = Rfdet_mem.Diff.byte_count d;
+                 runs = List.length d;
+                 cycles = diff_cycles;
+               });
         Metadata.snapshot_released t.meta;
         Metadata.release_page_buf t.meta snapshot;
         d)
@@ -143,12 +161,14 @@ let close_slice t (ts : Tstate.t) =
   in
   Hashtbl.reset ts.snapshots;
   ts.touch_order <- [];
+  let closed_slice_id = ref (-1) in
   if not (Diff.is_empty mods) then begin
     let slice =
       Slice.make
         ~id:(Metadata.fresh_slice_id t.meta)
         ~tid:ts.tid ~mods ~time:(Vclock.copy ts.time)
     in
+    closed_slice_id := slice.Slice.id;
     Metadata.add_slice t.meta slice;
     Tstate.append_slice ts slice;
     p.slices_created <- p.slices_created + 1;
@@ -172,10 +192,26 @@ let close_slice t (ts : Tstate.t) =
       let examined, freed = Metadata.gc t.meta ~frontier in
       p.gc_runs <- p.gc_runs + 1;
       p.gc_slices_freed <- p.gc_slices_freed + freed;
-      cycles := !cycles + (examined * c.Cost.gc_per_slice)
+      let gc_cycles = examined * c.Cost.gc_per_slice in
+      if tracing then
+        Rfdet_obs.Sink.emit o ~tid:ts.tid ~time:trace_now ~vc:trace_vc
+          (Rfdet_obs.Trace.Gc { examined; freed; cycles = gc_cycles });
+      cycles := !cycles + gc_cycles
     end
   end;
   cycles := !cycles + open_slice t ts;
+  if tracing then begin
+    Rfdet_obs.Sink.emit o ~tid:ts.tid ~time:trace_now ~vc:trace_vc
+      (Rfdet_obs.Trace.Slice_close
+         {
+           slice = !closed_slice_id;
+           pages = List.length pages;
+           bytes = Rfdet_mem.Diff.byte_count mods;
+           cycles = !cycles;
+         });
+    Rfdet_obs.Sink.emit o ~tid:ts.tid ~time:trace_now ~vc:trace_vc
+      Rfdet_obs.Trace.Slice_open
+  end;
   !cycles
 
 (* ------------------------------------------------------------------ *)
@@ -223,16 +259,17 @@ let do_acquire t ~tid ~obj ~now =
         if last_tid = tid then 0
         else
           let upper = Vclock.copy ts.time in
-          Propagate.run ~drop:(bug_drop_active t) ~cost:(cost t) ~opts:t.opts
-            ~prof:(prof t) ~from:(state t ~tid:last_tid) ~upto:last_len
-            ~into:ts ~upper ~lower ()
+          Propagate.run ~drop:(bug_drop_active t) ~obs:(obs t) ~at:now
+            ~cost:(cost t) ~opts:t.opts ~prof:(prof t)
+            ~from:(state t ~tid:last_tid) ~upto:last_len ~into:ts ~upper
+            ~lower ()
     in
     settle_delay t ~tid ~now ~close_cycles ~prop_cycles
 
 (* Barriers merge every arriving thread's happens-before set into the
    smallest-tid thread (in ascending tid order, Section 4.1), then hand
    each party a copy-on-write copy of that thread's memory. *)
-let do_barrier t ~tids ~barrier:_ ~now:_ =
+let do_barrier t ~tids ~barrier:_ ~now =
   let cycles = ref 0 in
   let states = List.map (fun tid -> state t ~tid) tids in
   List.iter (fun ts -> cycles := !cycles + close_slice t ts) states;
@@ -254,8 +291,8 @@ let do_barrier t ~tids ~barrier:_ ~now:_ =
         cycles :=
           !cycles
           + (let from = state t ~tid in
-             Propagate.run ~drop:(bug_drop_active t) ~cost:(cost t)
-               ~opts:t.opts ~prof:(prof t) ~from
+             Propagate.run ~drop:(bug_drop_active t) ~obs:(obs t) ~at:now
+               ~cost:(cost t) ~opts:t.opts ~prof:(prof t) ~from
                ~upto:(Rfdet_util.Vec.length from.Tstate.slices) ~into:leader
                ~upper ~lower ()))
     sorted;
@@ -341,9 +378,9 @@ let do_joined t ~tid ~target ~now =
   Vclock.join ts.time final;
   let upper = Vclock.copy ts.time in
   let prop_cycles =
-    Propagate.run ~drop:(bug_drop_active t) ~cost:(cost t) ~opts:t.opts
-      ~prof:(prof t) ~from:target_state ~upto:target_state.Tstate.exit_len
-      ~into:ts ~upper ~lower ()
+    Propagate.run ~drop:(bug_drop_active t) ~obs:(obs t) ~at:now
+      ~cost:(cost t) ~opts:t.opts ~prof:(prof t) ~from:target_state
+      ~upto:target_state.Tstate.exit_len ~into:ts ~upper ~lower ()
   in
   target_state.joined <- true;
   settle_delay t ~tid ~now ~close_cycles ~prop_cycles
@@ -405,12 +442,18 @@ let do_store t ~tid ~addr ~value ~width =
           Metadata.snapshot_taken t.meta;
           p.snapshots <- p.snapshots + 1;
           copied := true;
-          extra := !extra + Cost.snapshot_cost c ~bytes:Page.size;
-          match t.opts.monitor with
+          let snap_cycles = ref (Cost.snapshot_cost c ~bytes:Page.size) in
+          (match t.opts.monitor with
           | Options.Instrumentation -> ()
           | Options.Page_fault ->
             p.page_faults <- p.page_faults + 1;
-            extra := !extra + c.Cost.page_fault
+            snap_cycles := !snap_cycles + c.Cost.page_fault);
+          extra := !extra + !snap_cycles;
+          let o = obs t in
+          if Rfdet_obs.Sink.enabled o then
+            Rfdet_obs.Sink.emit o ~tid ~time:(Engine.clock t.engine tid)
+              ~vc:(vc_of ts)
+              (Rfdet_obs.Trace.Snapshot { page; cycles = !snap_cycles })
         end)
       (Page.span ~addr ~len);
     if !copied then p.stores_with_copy <- p.stores_with_copy + 1;

@@ -25,6 +25,7 @@ type e2e = {
   ops_per_sec : float;
   sim_cycles : int;
   signature : string;
+  breakdown : Rfdet_obs.Report.breakdown;
 }
 
 type t = {
@@ -177,6 +178,16 @@ let end_to_end () =
         /. float_of_int e2e_runs
       in
       let r0 = List.hd results in
+      (* one extra traced run for the time breakdown — outside the timed
+         set so the sink's host cost never touches the wall numbers *)
+      let obs = Rfdet_obs.Sink.create () in
+      let rt = Runner.run ~threads ~obs Runner.rfdet_ci w in
+      let total =
+        List.fold_left (fun acc (_, c) -> acc + c) 0 rt.Runner.thread_clocks
+      in
+      let breakdown =
+        Rfdet_obs.Report.breakdown ~total (Rfdet_obs.Sink.events obs)
+      in
       {
         workload = name;
         runtime = r0.Runner.runtime;
@@ -187,6 +198,7 @@ let end_to_end () =
         ops_per_sec = float_of_int r0.Runner.ops /. wall;
         sim_cycles = r0.Runner.sim_time;
         signature = r0.Runner.signature;
+        breakdown;
       })
     e2e_workloads
 
@@ -241,15 +253,30 @@ let to_json t =
   Buffer.add_string b "  \"end_to_end\": [\n";
   List.iteri
     (fun i e ->
+      let bd = e.breakdown in
+      let share c =
+        if bd.Rfdet_obs.Report.total = 0 then 0.
+        else float_of_int c /. float_of_int bd.Rfdet_obs.Report.total
+      in
       Buffer.add_string b
         (Printf.sprintf
            "    { \"workload\": \"%s\", \"runtime\": \"%s\", \"threads\": %d, \
             \"runs\": %d, \"mean_wall_ms\": %.2f, \"engine_ops\": %d, \
             \"ops_per_sec\": %.0f, \"sim_cycles\": %d,\n\
-           \      \"signature\": \"%s\" }%s\n"
+           \      \"signature\": \"%s\",\n\
+           \      \"breakdown\": { \"thread_cycles\": %d, \
+            \"compute_share\": %.4f, \"wait_share\": %.4f, \
+            \"propagate_share\": %.4f, \"diff_share\": %.4f, \
+            \"gc_share\": %.4f, \"monitor_share\": %.4f } }%s\n"
            (json_escape e.workload) (json_escape e.runtime) e.threads e.runs
            e.mean_wall_ms e.engine_ops e.ops_per_sec e.sim_cycles
-           (json_escape e.signature)
+           (json_escape e.signature) bd.Rfdet_obs.Report.total
+           (share bd.Rfdet_obs.Report.compute)
+           (share bd.Rfdet_obs.Report.wait)
+           (share bd.Rfdet_obs.Report.propagate)
+           (share bd.Rfdet_obs.Report.diff)
+           (share bd.Rfdet_obs.Report.gc)
+           (share bd.Rfdet_obs.Report.monitor)
            (if i = List.length t.end_to_end - 1 then "" else ",")))
     t.end_to_end;
   Buffer.add_string b "  ]\n}\n";
@@ -272,11 +299,24 @@ let render t =
   Buffer.add_string b "\nEnd-to-end (host wall time):\n";
   List.iter
     (fun e ->
+      let bd = e.breakdown in
+      let pct c =
+        if bd.Rfdet_obs.Report.total = 0 then 0.
+        else 100. *. float_of_int c /. float_of_int bd.Rfdet_obs.Report.total
+      in
       Buffer.add_string b
         (Printf.sprintf
-           "  %-12s %-10s t=%d  %8.2f ms/run  %12.0f engine-ops/s  sig=%s\n"
+           "  %-12s %-10s t=%d  %8.2f ms/run  %12.0f engine-ops/s  sig=%s\n\
+           \               breakdown: compute %.1f%% wait %.1f%% propagate \
+            %.1f%% diff %.1f%% gc %.1f%% monitor %.1f%%\n"
            e.workload e.runtime e.threads e.mean_wall_ms e.ops_per_sec
-           e.signature))
+           e.signature
+           (pct bd.Rfdet_obs.Report.compute)
+           (pct bd.Rfdet_obs.Report.wait)
+           (pct bd.Rfdet_obs.Report.propagate)
+           (pct bd.Rfdet_obs.Report.diff)
+           (pct bd.Rfdet_obs.Report.gc)
+           (pct bd.Rfdet_obs.Report.monitor)))
     t.end_to_end;
   Buffer.contents b
 

@@ -20,6 +20,9 @@ type e2e = {
   ops_per_sec : float;  (** engine ops per host second *)
   sim_cycles : int;
   signature : string;  (** output signature — the determinism gate *)
+  breakdown : Rfdet_obs.Report.breakdown;
+      (** Figure-7-style attribution from a traced run — simulated
+          cycles, so deterministic; its shares land in the JSON *)
 }
 
 type t = {

@@ -36,11 +36,13 @@ type run_result = {
   ops : int;
   trace : Rfdet_sim.Engine.trace_entry list;
   crashes : (int * string) list;
+  thread_clocks : (int * int) list;
 }
 
 let run ?(threads = 4) ?(scale = 1.0) ?(input_seed = 42L) ?(sched_seed = 1L)
     ?(jitter = 0.) ?(cost = Rfdet_sim.Cost.default) ?(trace = 0) ?faults
-    ?(failure_mode = Engine.Contain) runtime workload =
+    ?(failure_mode = Engine.Contain) ?(obs = Rfdet_obs.Sink.null) runtime
+    workload =
   let cfg = { Workload.threads; scale; input_seed } in
   let config =
     {
@@ -54,6 +56,7 @@ let run ?(threads = 4) ?(scale = 1.0) ?(input_seed = 42L) ?(sched_seed = 1L)
         | Some _ -> failure_mode);
       (* a fresh injector per run: occurrence counters are mutable *)
       inject = Option.map Rfdet_fault.Fault_plan.injector faults;
+      obs;
     }
   in
   let t0 = Unix.gettimeofday () in
@@ -73,4 +76,5 @@ let run ?(threads = 4) ?(scale = 1.0) ?(input_seed = 42L) ?(sched_seed = 1L)
     ops = r.Engine.ops;
     trace = r.Engine.trace;
     crashes = r.Engine.crashes;
+    thread_clocks = r.Engine.thread_clocks;
   }

@@ -32,6 +32,9 @@ type run_result = {
   crashes : (int * string) list;
       (** contained thread crashes, (tid, exception text) by tid;
           empty for clean runs *)
+  thread_clocks : (int * int) list;
+      (** every thread's final simulated clock, by tid — their sum is the
+          total of the [Rfdet_obs.Report] time breakdown *)
 }
 
 val run :
@@ -44,6 +47,7 @@ val run :
   ?trace:int ->
   ?faults:Rfdet_fault.Fault_plan.t ->
   ?failure_mode:Rfdet_sim.Engine.failure_mode ->
+  ?obs:Rfdet_obs.Sink.t ->
   runtime ->
   Rfdet_workloads.Workload.t ->
   run_result
@@ -52,4 +56,5 @@ val run :
     pass a nonzero jitter and vary [sched_seed]).  [faults] runs the
     workload under an injected fault plan; [failure_mode] (default
     [Contain]) only applies when a plan is given — fault-free runs keep
-    the engine default of aborting on failure. *)
+    the engine default of aborting on failure.  [obs] (default disabled)
+    collects the causal trace; enabling it never changes signatures. *)

@@ -105,7 +105,11 @@ let rec poll t =
       in
       if now > p.asked_at then begin
         let prof = Engine.profile t.engine in
-        prof.kendo_waits <- prof.kendo_waits + 1
+        prof.kendo_waits <- prof.kendo_waits + 1;
+        let obs = Engine.obs t.engine in
+        if Rfdet_obs.Sink.enabled obs then
+          Rfdet_obs.Sink.emit obs ~tid ~time:p.asked_at
+            (Rfdet_obs.Trace.Kendo_wait { cycles = now - p.asked_at })
       end;
       p.grant ~now;
       poll t

@@ -37,7 +37,11 @@ let fault = 1
 
 type mutex_state = {
   mutable owner : int option;
-  queue : int Queue.t;
+  queue : (int * int * int) Queue.t;
+      (* (tid, asked_at, enqueued_at): when the waiter first requested
+         the lock and when its deterministic turn put it in this queue —
+         the trace splits its total wait into arbiter vs. queue time *)
+  mutable acquired_at : int;  (* grant time of the current owner *)
   mutable poisoned : bool;
       (* a crash released this mutex; sticky, observed by every later
          acquirer (à la Rust's lock poisoning) *)
@@ -48,7 +52,7 @@ type cond_state = { cond_waiters : (int * int) Queue.t }
 
 type barrier_state = {
   parties : int;
-  mutable arrived : int list; (* reversed *)
+  mutable arrived : (int * int) list; (* (tid, arrival time), reversed *)
   participants : (int, unit) Hashtbl.t;
       (* every tid that has ever waited here: the barrier's parties.  A
          crash of any of them breaks the barrier — a stranded waiter
@@ -110,10 +114,12 @@ let barrier_state t b =
 
 let sync_cost t = (Engine.cost t.engine).Cost.sync_op
 
+let obs t = Engine.obs t.engine
+
 let mutex_create t ~tid:_ =
   let h = fresh_handle t in
   Hashtbl.replace t.mutexes h
-    { owner = None; queue = Queue.create (); poisoned = false };
+    { owner = None; queue = Queue.create (); acquired_at = 0; poisoned = false };
   Engine.Done h
 
 let cond_create t ~tid:_ =
@@ -134,26 +140,48 @@ let barrier_create t ~tid:_ ~parties =
   Engine.Done h
 
 (* Grant the mutex to [tid] at time [now]: run the acquire hook and wake
-   the thread.  The thread is currently inactive/blocked. *)
-let grant_mutex t ~tid ~mutex ~now =
+   the thread.  The thread is currently inactive/blocked.  [asked] is
+   when the thread first requested the lock, [enq] when its turn put it
+   in the wait queue ([= now] for an uncontended grant). *)
+let grant_mutex t ~tid ~mutex ~now ~asked ~enq =
   let st = mutex_state t mutex in
   assert (st.owner = None);
   st.owner <- Some tid;
+  st.acquired_at <- now;
+  (let o = obs t in
+   if Rfdet_obs.Sink.enabled o then
+     Rfdet_obs.Sink.emit o ~tid ~time:now
+       (Rfdet_obs.Trace.Lock_acquire
+          {
+            obj = "mutex";
+            handle = mutex;
+            wait = max 0 (now - asked);
+            queued = max 0 (now - enq);
+          }));
   let extra = t.hooks.acquire ~tid ~obj:(Mutex_obj mutex) ~now in
   Arbiter.set_active t.arb ~tid;
   Engine.wake t.engine ~tid
     ~value:(if st.poisoned then fault else ok)
     ~not_before:(now + sync_cost t + extra)
 
+let emit_release t ~tid ~mutex ~now =
+  let o = obs t in
+  if Rfdet_obs.Sink.enabled o then
+    let st = mutex_state t mutex in
+    Rfdet_obs.Sink.emit o ~tid ~time:now
+      (Rfdet_obs.Trace.Lock_release
+         { obj = "mutex"; handle = mutex; hold = max 0 (now - st.acquired_at) })
+
 let lock t ~tid ~mutex =
   Engine.advance t.engine tid (sync_cost t);
+  let asked = Engine.clock t.engine tid in
   Arbiter.request t.arb ~tid ~grant:(fun ~now ->
       let st = mutex_state t mutex in
       match st.owner with
-      | None -> grant_mutex t ~tid ~mutex ~now
+      | None -> grant_mutex t ~tid ~mutex ~now ~asked ~enq:now
       | Some _ ->
         (* Queue in deterministic reservation order; stay blocked. *)
-        Queue.add tid st.queue;
+        Queue.add (tid, asked, now) st.queue;
         Arbiter.set_inactive t.arb ~tid);
   Engine.Block
 
@@ -163,7 +191,8 @@ let pass_mutex t ~mutex ~now =
   assert (st.owner = None);
   match Queue.take_opt st.queue with
   | None -> ()
-  | Some waiter -> grant_mutex t ~tid:waiter ~mutex ~now
+  | Some (waiter, asked, enq) ->
+    grant_mutex t ~tid:waiter ~mutex ~now ~asked ~enq
 
 let unlock t ~tid ~mutex =
   Engine.advance t.engine tid (sync_cost t);
@@ -175,6 +204,7 @@ let unlock t ~tid ~mutex =
         invalid_arg
           (Printf.sprintf "Sync.unlock: tid %d does not hold mutex %d" tid
              mutex));
+      emit_release t ~tid ~mutex ~now;
       let extra = t.hooks.release ~tid ~obj:(Mutex_obj mutex) ~now in
       st.owner <- None;
       pass_mutex t ~mutex ~now:(now + extra);
@@ -192,6 +222,7 @@ let cond_wait t ~tid ~cond ~mutex =
           (Printf.sprintf "Sync.cond_wait: tid %d does not hold mutex %d" tid
              mutex));
       (* Waiting releases the mutex: a release point on the mutex. *)
+      emit_release t ~tid ~mutex ~now;
       let extra = t.hooks.release ~tid ~obj:(Mutex_obj mutex) ~now in
       mst.owner <- None;
       pass_mutex t ~mutex ~now:(now + extra);
@@ -207,8 +238,8 @@ let wake_cond_waiter t ~waiter ~mutex ~cond ~now =
   let now = now + extra in
   let mst = mutex_state t mutex in
   match mst.owner with
-  | None -> grant_mutex t ~tid:waiter ~mutex ~now
-  | Some _ -> Queue.add waiter mst.queue
+  | None -> grant_mutex t ~tid:waiter ~mutex ~now ~asked:now ~enq:now
+  | Some _ -> Queue.add (waiter, now, now) mst.queue
 
 let cond_signal t ~tid ~cond =
   Engine.advance t.engine tid (sync_cost t);
@@ -249,16 +280,25 @@ let barrier_wait t ~tid ~barrier =
         Engine.wake t.engine ~tid ~value:fault
           ~not_before:(now + sync_cost t)
       else begin
-      st.arrived <- tid :: st.arrived;
+      st.arrived <- (tid, now) :: st.arrived;
       if List.length st.arrived < st.parties then
         Arbiter.set_inactive t.arb ~tid
       else begin
-        let tids = List.rev st.arrived in
+        let parties = List.rev st.arrived in
+        let tids = List.map fst parties in
         st.arrived <- [];
         let extra = t.hooks.barrier_all ~tids ~barrier ~now in
         let release_at =
           now + extra + (Engine.cost t.engine).Cost.barrier_overhead
         in
+        (let o = obs t in
+         if Rfdet_obs.Sink.enabled o then
+           List.iter
+             (fun (tid', arrived_at) ->
+               Rfdet_obs.Sink.emit o ~tid:tid' ~time:arrived_at
+                 (Rfdet_obs.Trace.Barrier_stall
+                    { barrier; cycles = max 0 (release_at - arrived_at) }))
+             parties);
         List.iter
           (fun tid' ->
             if tid' <> tid then begin
@@ -339,7 +379,10 @@ let on_thread_exit t ~tid =
   Arbiter.poll t.arb
 
 let remove_from_queue q ~tid =
-  let kept = Queue.fold (fun acc x -> if x = tid then acc else x :: acc) [] q in
+  let kept =
+    Queue.fold (fun acc ((w, _, _) as e) -> if w = tid then acc else e :: acc)
+      [] q
+  in
   Queue.clear q;
   List.iter (fun x -> Queue.add x q) (List.rev kept)
 
@@ -380,6 +423,7 @@ let on_thread_crash t ~tid =
      poison in its lock result. *)
   List.iter
     (fun m ->
+      emit_release t ~tid ~mutex:m ~now;
       let st = mutex_state t m in
       st.poisoned <- true;
       st.owner <- None;
@@ -394,7 +438,10 @@ let on_thread_crash t ~tid =
     (fun b ->
       let st = barrier_state t b in
       st.broken <- true;
-      let stranded = List.rev (List.filter (fun p -> p <> tid) st.arrived) in
+      let stranded =
+        List.rev_map fst (List.filter (fun (p, _) -> p <> tid) st.arrived)
+        |> List.rev
+      in
       st.arrived <- [];
       List.iter
         (fun party ->

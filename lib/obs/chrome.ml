@@ -1,0 +1,110 @@
+let esc = Metrics.json_escape
+
+let args_of_kind kind =
+  List.map
+    (fun (k, v) ->
+      ( k,
+        match int_of_string_opt v with
+        | Some _ -> v
+        | None -> Printf.sprintf "\"%s\"" (esc v) ))
+    (Trace.fields_of_kind kind)
+
+let add_event b ~first ~name ~cat ~ph ~ts ~tid ?dur ?id ?bp ?(args = []) () =
+  if not !first then Buffer.add_string b ",\n";
+  first := false;
+  Buffer.add_string b
+    (Printf.sprintf
+       "  {\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"ts\":%d,\"pid\":1,\"tid\":%d"
+       (esc name) (esc cat) ph ts tid);
+  (match dur with
+  | Some d -> Buffer.add_string b (Printf.sprintf ",\"dur\":%d" d)
+  | None -> ());
+  (match id with
+  | Some i -> Buffer.add_string b (Printf.sprintf ",\"id\":%d" i)
+  | None -> ());
+  (match bp with
+  | Some s -> Buffer.add_string b (Printf.sprintf ",\"bp\":\"%s\"" s)
+  | None -> ());
+  if args <> [] then begin
+    Buffer.add_string b ",\"args\":{";
+    List.iteri
+      (fun i (k, v) ->
+        Buffer.add_string b
+          (Printf.sprintf "%s\"%s\":%s" (if i = 0 then "" else ",") (esc k) v))
+      args;
+    Buffer.add_char b '}'
+  end;
+  Buffer.add_string b "}"
+
+let export ?(process = "rfdet") events =
+  let b = Buffer.create 8192 in
+  let first = ref true in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  (* metadata: one named track per thread, in tid order *)
+  let tids =
+    List.sort_uniq compare (List.map (fun e -> e.Trace.tid) events)
+  in
+  add_event b ~first ~name:"process_name" ~cat:"__metadata" ~ph:"M" ~ts:0
+    ~tid:0
+    ~args:[ ("name", Printf.sprintf "\"%s\"" (esc process)) ]
+    ();
+  List.iter
+    (fun tid ->
+      add_event b ~first ~name:"thread_name" ~cat:"__metadata" ~ph:"M" ~ts:0
+        ~tid
+        ~args:[ ("name", Printf.sprintf "\"thread %d\"" tid) ]
+        ())
+    tids;
+  List.iter
+    (fun (e : Trace.event) ->
+      let name = Trace.kind_name e.kind in
+      let args =
+        args_of_kind e.kind
+        @
+        if Array.length e.vc = 0 then []
+        else [ ("vc", Printf.sprintf "\"%s\"" (Trace.vc_to_string e.vc)) ]
+      in
+      let instant cat =
+        add_event b ~first ~name ~cat ~ph:"i" ~ts:e.time ~tid:e.tid ~args ()
+      in
+      match e.kind with
+      | Trace.Slice_close { slice; cycles; _ } ->
+        add_event b ~first ~name ~cat:"slice" ~ph:"X" ~ts:e.time ~tid:e.tid
+          ~dur:(max 0 cycles) ~args ();
+        (* flow start: this slice's bytes leave the producing thread *)
+        if slice >= 0 then
+          add_event b ~first ~name:"slice-flow" ~cat:"propagation" ~ph:"s"
+            ~ts:e.time ~tid:e.tid ~id:slice ()
+      | Trace.Propagate { slice; cycles; _ } ->
+        add_event b ~first ~name ~cat:"propagation" ~ph:"X" ~ts:e.time
+          ~tid:e.tid ~dur:(max 0 cycles) ~args ();
+        (* flow finish: the bytes land in the consuming thread *)
+        if slice >= 0 then
+          add_event b ~first ~name:"slice-flow" ~cat:"propagation" ~ph:"f"
+            ~bp:"e" ~ts:e.time ~tid:e.tid ~id:slice ()
+      | Trace.Diff { cycles; _ } ->
+        add_event b ~first ~name ~cat:"diff" ~ph:"X" ~ts:e.time ~tid:e.tid
+          ~dur:(max 0 cycles) ~args ()
+      | Trace.Gc { cycles; _ } ->
+        add_event b ~first ~name ~cat:"gc" ~ph:"X" ~ts:e.time ~tid:e.tid
+          ~dur:(max 0 cycles) ~args ()
+      | Trace.Kendo_wait { cycles } ->
+        add_event b ~first ~name ~cat:"wait" ~ph:"X" ~ts:e.time ~tid:e.tid
+          ~dur:(max 0 cycles) ~args ()
+      | Trace.Barrier_stall { cycles; _ } ->
+        add_event b ~first ~name ~cat:"wait" ~ph:"X" ~ts:e.time ~tid:e.tid
+          ~dur:(max 0 cycles) ~args ()
+      | Trace.Lock_acquire { wait; _ } ->
+        if wait > 0 then
+          add_event b ~first ~name:"lock_wait" ~cat:"wait" ~ph:"X"
+            ~ts:(e.time - wait) ~tid:e.tid ~dur:wait ~args ();
+        instant "sync"
+      | Trace.Lock_release _ -> instant "sync"
+      | Trace.Slice_open -> instant "slice"
+      | Trace.Snapshot _ -> instant "monitor"
+      | Trace.Prop_page _ -> instant "propagation"
+      | Trace.Fault _ -> instant "fault"
+      | Trace.Thread_exit | Trace.Thread_crash -> instant "lifecycle")
+    events;
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b

@@ -1,0 +1,18 @@
+(** Chrome [trace_event] JSON export.
+
+    The output loads in [chrome://tracing] and {{:https://ui.perfetto.dev}
+    Perfetto}: one track per simulated thread (metadata [M] events name
+    them), complete [X] events for work with a duration (slice close,
+    page diff, propagation, GC, Kendo turn wait, lock wait, barrier
+    stall), instant [i] events for the rest, and flow arrows ([s]/[f]
+    keyed by slice id) from each slice's close on the producing thread to
+    every propagation of it into a consumer thread — the paper's
+    release→acquire happens-before edges, drawn.
+
+    Timestamps are simulated cycles presented as microseconds; no host
+    time enters the file, so same-seed exports are byte-identical. *)
+
+val export : ?process:string -> Trace.event list -> string
+(** [export events] is the complete JSON document (object form, with a
+    [traceEvents] array).  [process] names the single process track
+    (default ["rfdet"]). *)

@@ -1,0 +1,160 @@
+type hist = {
+  mutable count : int;
+  mutable sum : int;
+  mutable min_v : int;
+  mutable max_v : int;
+  buckets : int array;  (* bucket k counts samples in [2^(k-1), 2^k - 1] *)
+}
+
+type t = {
+  counters_tbl : (string, int ref) Hashtbl.t;
+  gauges_tbl : (string, int ref) Hashtbl.t;
+  hists_tbl : (string, hist) Hashtbl.t;
+}
+
+type hist_summary = {
+  count : int;
+  sum : int;
+  min : int;
+  max : int;
+  buckets : (int * int) list;
+}
+
+let create () =
+  {
+    counters_tbl = Hashtbl.create 64;
+    gauges_tbl = Hashtbl.create 16;
+    hists_tbl = Hashtbl.create 16;
+  }
+
+let incr ?(by = 1) t name =
+  match Hashtbl.find_opt t.counters_tbl name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.replace t.counters_tbl name (ref by)
+
+let counter t name =
+  match Hashtbl.find_opt t.counters_tbl name with
+  | Some r -> !r
+  | None -> 0
+
+let set t name v =
+  match Hashtbl.find_opt t.gauges_tbl name with
+  | Some r -> r := v
+  | None -> Hashtbl.replace t.gauges_tbl name (ref v)
+
+let gauge t name = Option.map ( ! ) (Hashtbl.find_opt t.gauges_tbl name)
+
+(* Bucket index of sample v: 0 for v = 0, otherwise 1 + floor(log2 v),
+   so bucket k collects samples whose value needs k bits. *)
+let bucket_of v =
+  let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
+  bits 0 v
+
+let nbuckets = 63
+
+let observe t name v =
+  let v = max 0 v in
+  let h =
+    match Hashtbl.find_opt t.hists_tbl name with
+    | Some h -> h
+    | None ->
+      let h =
+        {
+          count = 0;
+          sum = 0;
+          min_v = max_int;
+          max_v = 0;
+          buckets = Array.make nbuckets 0;
+        }
+      in
+      Hashtbl.replace t.hists_tbl name h;
+      h
+  in
+  h.count <- h.count + 1;
+  h.sum <- h.sum + v;
+  if v < h.min_v then h.min_v <- v;
+  if v > h.max_v then h.max_v <- v;
+  let b = bucket_of v in
+  h.buckets.(b) <- h.buckets.(b) + 1
+
+let summarize (h : hist) =
+  let buckets = ref [] in
+  for k = nbuckets - 1 downto 0 do
+    if h.buckets.(k) > 0 then
+      let upper = if k = 0 then 0 else (1 lsl k) - 1 in
+      buckets := (upper, h.buckets.(k)) :: !buckets
+  done;
+  {
+    count = h.count;
+    sum = h.sum;
+    min = (if h.count = 0 then 0 else h.min_v);
+    max = h.max_v;
+    buckets = !buckets;
+  }
+
+let histogram t name =
+  Option.map summarize (Hashtbl.find_opt t.hists_tbl name)
+
+let sorted_bindings tbl f =
+  Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let counters t = sorted_bindings t.counters_tbl ( ! )
+
+let gauges t = sorted_bindings t.gauges_tbl ( ! )
+
+let histograms t = sorted_bindings t.hists_tbl summarize
+
+(* --- JSON ------------------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let add_int_object b name bindings =
+  Buffer.add_string b (Printf.sprintf "  \"%s\": {" name);
+  List.iteri
+    (fun i (k, v) ->
+      Buffer.add_string b
+        (Printf.sprintf "%s\n    \"%s\": %d" (if i = 0 then "" else ",")
+           (json_escape k) v))
+    bindings;
+  Buffer.add_string b (if bindings = [] then "}" else "\n  }")
+
+let to_json t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  add_int_object b "counters" (counters t);
+  Buffer.add_string b ",\n";
+  add_int_object b "gauges" (gauges t);
+  Buffer.add_string b ",\n";
+  Buffer.add_string b "  \"histograms\": {";
+  let hs = histograms t in
+  List.iteri
+    (fun i (k, s) ->
+      let mean =
+        if s.count = 0 then 0.
+        else float_of_int s.sum /. float_of_int s.count
+      in
+      Buffer.add_string b
+        (Printf.sprintf
+           "%s\n    \"%s\": { \"count\": %d, \"sum\": %d, \"min\": %d, \
+            \"max\": %d, \"mean\": %.1f, \"buckets\": [%s] }"
+           (if i = 0 then "" else ",")
+           (json_escape k) s.count s.sum s.min s.max mean
+           (String.concat ", "
+              (List.map
+                 (fun (le, n) -> Printf.sprintf "[%d, %d]" le n)
+                 s.buckets))))
+    hs;
+  Buffer.add_string b (if hs = [] then "}" else "\n  }");
+  Buffer.add_string b "\n}\n";
+  Buffer.contents b

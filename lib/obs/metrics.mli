@@ -1,0 +1,63 @@
+(** Deterministic metrics registry: named counters, gauges and
+    power-of-two histograms, serializable to JSON.
+
+    This subsumes the flat [Profile] counter struct: [Profile.fill_metrics]
+    mirrors every profile field into [profile.*] counters, and
+    [Report.fill_metrics] derives distributional metrics (propagation
+    latency per applied slice, bytes/pages per slice, per-lock-site hold
+    and wait time) from a causal trace.
+
+    Everything here is integer-valued and insertion-order-free — JSON
+    output sorts names — so registries built from deterministic runs
+    serialize byte-identically. *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Counters} — monotonically accumulated values. *)
+
+val incr : ?by:int -> t -> string -> unit
+
+val counter : t -> string -> int
+(** 0 when never incremented. *)
+
+(** {1 Gauges} — last-write-wins values. *)
+
+val set : t -> string -> int -> unit
+
+val gauge : t -> string -> int option
+
+(** {1 Histograms} — power-of-two buckets with count/sum/min/max. *)
+
+val observe : t -> string -> int -> unit
+(** Record a sample (negative samples clamp to 0). *)
+
+type hist_summary = {
+  count : int;
+  sum : int;
+  min : int;  (** 0 when empty *)
+  max : int;
+  buckets : (int * int) list;
+      (** (inclusive upper bound [2^k - 1], samples) — nonempty buckets
+          only, ascending *)
+}
+
+val histogram : t -> string -> hist_summary option
+
+(** {1 Introspection and output} *)
+
+val counters : t -> (string * int) list
+(** Sorted by name. *)
+
+val gauges : t -> (string * int) list
+
+val histograms : t -> (string * hist_summary) list
+
+val to_json : t -> string
+(** A stable JSON object: {["{ \"counters\": {...}, \"gauges\": {...},
+    \"histograms\": {...} }"]} with keys sorted. *)
+
+val json_escape : string -> string
+(** Escape a string for embedding in a JSON string literal (shared by the
+    other obs serializers). *)

@@ -1,0 +1,182 @@
+type breakdown = {
+  total : int;
+  compute : int;
+  wait : int;
+  propagate : int;
+  diff : int;
+  gc : int;
+  monitor : int;
+}
+
+let breakdown ~total events =
+  let wait = ref 0 in
+  let propagate = ref 0 in
+  let diff = ref 0 in
+  let gc = ref 0 in
+  let snapshot = ref 0 in
+  let close = ref 0 in
+  List.iter
+    (fun (e : Trace.event) ->
+      match e.kind with
+      | Trace.Kendo_wait { cycles } -> wait := !wait + cycles
+      | Trace.Lock_acquire { queued; _ } -> wait := !wait + queued
+      | Trace.Barrier_stall { cycles; _ } -> wait := !wait + cycles
+      | Trace.Propagate { cycles; _ } -> propagate := !propagate + cycles
+      | Trace.Diff { cycles; _ } -> diff := !diff + cycles
+      | Trace.Gc { cycles; _ } -> gc := !gc + cycles
+      | Trace.Snapshot { cycles; _ } -> snapshot := !snapshot + cycles
+      | Trace.Slice_close { cycles; _ } -> close := !close + cycles
+      | _ -> ())
+    events;
+  (* Diffs and GC happen inside slice close; what's left of the close
+     cost is bookkeeping, which we lump with snapshots as "monitor". *)
+  let monitor = !snapshot + max 0 (!close - !diff - !gc) in
+  let attributed = !wait + !propagate + !diff + !gc + monitor in
+  {
+    total;
+    compute = max 0 (total - attributed);
+    wait = !wait;
+    propagate = !propagate;
+    diff = !diff;
+    gc = !gc;
+    monitor;
+  }
+
+type lock_row = {
+  obj : string;
+  handle : int;
+  acquires : int;
+  contended : int;
+  wait : int;
+  queued : int;
+  hold : int;
+}
+
+let lock_table events =
+  let tbl = Hashtbl.create 16 in
+  let row obj handle =
+    match Hashtbl.find_opt tbl (obj, handle) with
+    | Some r -> r
+    | None ->
+      let r =
+        ref { obj; handle; acquires = 0; contended = 0; wait = 0;
+              queued = 0; hold = 0 }
+      in
+      Hashtbl.replace tbl (obj, handle) r;
+      r
+  in
+  List.iter
+    (fun (e : Trace.event) ->
+      match e.kind with
+      | Trace.Lock_acquire { obj; handle; wait; queued } ->
+        let r = row obj handle in
+        r :=
+          { !r with
+            acquires = !r.acquires + 1;
+            contended = (!r.contended + if wait > 0 then 1 else 0);
+            wait = !r.wait + wait;
+            queued = !r.queued + queued;
+          }
+      | Trace.Lock_release { obj; handle; hold } ->
+        let r = row obj handle in
+        r := { !r with hold = !r.hold + hold }
+      | _ -> ())
+    events;
+  Hashtbl.fold (fun _ r acc -> !r :: acc) tbl []
+  |> List.sort (fun a b ->
+         match compare b.wait a.wait with
+         | 0 -> compare (a.obj, a.handle) (b.obj, b.handle)
+         | c -> c)
+
+let hot_pages ?(top = 10) events =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Trace.event) ->
+      match e.kind with
+      | Trace.Prop_page { page; bytes } ->
+        let b, n =
+          Option.value ~default:(0, 0) (Hashtbl.find_opt tbl page)
+        in
+        Hashtbl.replace tbl page (b + bytes, n + 1)
+      | _ -> ())
+    events;
+  Hashtbl.fold (fun page (bytes, times) acc -> (page, bytes, times) :: acc)
+    tbl []
+  |> List.sort (fun (pa, ba, _) (pb, bb, _) ->
+         match compare bb ba with 0 -> compare pa pb | c -> c)
+  |> List.filteri (fun i _ -> i < top)
+
+let fill_metrics m events =
+  List.iter
+    (fun (e : Trace.event) ->
+      Metrics.incr m "trace.events";
+      Metrics.incr m ("trace." ^ Trace.kind_name e.kind);
+      match e.kind with
+      | Trace.Slice_close { pages; bytes; cycles; _ } ->
+        Metrics.observe m "slice.pages" pages;
+        Metrics.observe m "slice.bytes" bytes;
+        Metrics.observe m "slice.close_cycles" cycles
+      | Trace.Diff { bytes; _ } -> Metrics.observe m "diff.bytes" bytes
+      | Trace.Propagate { bytes; cycles; _ } ->
+        Metrics.observe m "propagate.bytes" bytes;
+        Metrics.observe m "propagate.cycles" cycles
+      | Trace.Lock_acquire { wait; _ } -> Metrics.observe m "lock.wait" wait
+      | Trace.Lock_release { hold; _ } -> Metrics.observe m "lock.hold" hold
+      | Trace.Kendo_wait { cycles } -> Metrics.observe m "kendo.wait" cycles
+      | Trace.Barrier_stall { cycles; _ } ->
+        Metrics.observe m "barrier.stall" cycles
+      | _ -> ())
+    events
+
+(* --- rendering ------------------------------------------------------- *)
+
+let pct total v =
+  if total <= 0 then 0. else 100. *. float_of_int v /. float_of_int total
+
+let render_breakdown b =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "time breakdown (simulated cycles)\n";
+  let line name v =
+    Buffer.add_string buf
+      (Printf.sprintf "  %-10s %12d  %5.1f%%\n" name v (pct b.total v))
+  in
+  line "compute" b.compute;
+  line "wait" b.wait;
+  line "propagate" b.propagate;
+  line "diff" b.diff;
+  line "gc" b.gc;
+  line "monitor" b.monitor;
+  Buffer.add_string buf (Printf.sprintf "  %-10s %12d\n" "total" b.total);
+  Buffer.contents buf
+
+let render_lock_table rows =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "lock contention\n";
+  if rows = [] then Buffer.add_string buf "  (no synchronization objects)\n"
+  else begin
+    Buffer.add_string buf
+      (Printf.sprintf "  %-10s %6s %9s %9s %10s %10s %10s\n" "obj" "handle"
+         "acquires" "contended" "wait" "queued" "hold");
+    List.iter
+      (fun r ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %-10s %6d %9d %9d %10d %10d %10d\n" r.obj
+             r.handle r.acquires r.contended r.wait r.queued r.hold))
+      rows
+  end;
+  Buffer.contents buf
+
+let render_hot_pages pages =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "hottest pages by propagated bytes\n";
+  if pages = [] then Buffer.add_string buf "  (no propagation)\n"
+  else begin
+    Buffer.add_string buf
+      (Printf.sprintf "  %8s %12s %8s\n" "page" "bytes" "times");
+    List.iter
+      (fun (page, bytes, times) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %8d %12d %8d\n" page bytes times))
+      pages
+  end;
+  Buffer.contents buf

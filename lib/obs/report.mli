@@ -1,0 +1,53 @@
+(** Attribution reports derived from a causal trace.
+
+    Mirrors the paper's Figure 7: total execution time decomposes into
+    compute, deterministic-wait (Kendo turn waits + lock queueing +
+    barrier stalls), propagation, diffing, GC and monitoring (snapshot +
+    slice-close bookkeeping), with compute as the residual.  All numbers
+    are simulated cycles, so reports are deterministic. *)
+
+type breakdown = {
+  total : int;  (** sum of final per-thread clocks *)
+  compute : int;  (** residual: total minus everything below *)
+  wait : int;  (** Kendo turn waits + lock queue waits + barrier stalls *)
+  propagate : int;
+  diff : int;
+  gc : int;
+  monitor : int;  (** snapshots + slice-close bookkeeping beyond diff/GC *)
+}
+
+val breakdown : total:int -> Trace.event list -> breakdown
+(** [total] is the denominator (sum of final thread clocks); [compute]
+    clamps at 0 if attributed costs exceed it. *)
+
+type lock_row = {
+  obj : string;  (** object class, e.g. ["mutex"] *)
+  handle : int;
+  acquires : int;
+  contended : int;  (** acquires with [wait > 0] *)
+  wait : int;  (** total request-to-grant cycles *)
+  queued : int;  (** portion spent queued behind the holder *)
+  hold : int;  (** total cycles held *)
+}
+
+val lock_table : Trace.event list -> lock_row list
+(** One row per (obj, handle), sorted by descending [wait] then
+    (obj, handle) for determinism. *)
+
+val hot_pages : ?top:int -> Trace.event list -> (int * int * int) list
+(** [(page, bytes, times)] ranked by propagated bytes (descending, page
+    id ascending on ties); [top] defaults to 10. *)
+
+val fill_metrics : Metrics.t -> Trace.event list -> unit
+(** Derive distributional metrics from the trace: histograms
+    [slice.bytes], [slice.pages], [diff.bytes], [propagate.cycles],
+    [propagate.bytes], [lock.wait], [lock.hold], [kendo.wait],
+    [barrier.stall]; counters [trace.events] and [trace.<kind>]. *)
+
+val render_breakdown : breakdown -> string
+(** Figure-7-style table: one line per component with cycles and share
+    of total. *)
+
+val render_lock_table : lock_row list -> string
+
+val render_hot_pages : (int * int * int) list -> string

@@ -1,0 +1,69 @@
+type t = {
+  on : bool;
+  capacity : int;  (* 0 = unbounded *)
+  mutable items : Trace.event option array;
+  mutable len : int;  (* filled slots (unbounded growth mode) *)
+  mutable next : int;  (* ring write index (bounded mode) *)
+  mutable total : int;
+}
+
+let create ?(capacity = 0) () =
+  if capacity < 0 then invalid_arg "Sink.create: capacity < 0";
+  {
+    on = true;
+    capacity;
+    items = Array.make (if capacity > 0 then capacity else 1024) None;
+    len = 0;
+    next = 0;
+    total = 0;
+  }
+
+let null =
+  { on = false; capacity = 1; items = [||]; len = 0; next = 0; total = 0 }
+
+let enabled t = t.on
+
+let trim_vc vc =
+  let n = ref (Array.length vc) in
+  while !n > 0 && vc.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length vc then Array.copy vc else Array.sub vc 0 !n
+
+let emit t ~tid ~time ?(vc = [||]) kind =
+  if t.on then begin
+    let e = { Trace.seq = t.total; tid; time; vc = trim_vc vc; kind } in
+    t.total <- t.total + 1;
+    if t.capacity > 0 then begin
+      t.items.(t.next) <- Some e;
+      t.next <- (t.next + 1) mod t.capacity
+    end
+    else begin
+      if t.len = Array.length t.items then begin
+        let bigger = Array.make (2 * t.len) None in
+        Array.blit t.items 0 bigger 0 t.len;
+        t.items <- bigger
+      end;
+      t.items.(t.len) <- Some e;
+      t.len <- t.len + 1
+    end
+  end
+
+let events t =
+  if not t.on then []
+  else if t.capacity > 0 then
+    List.filter_map
+      (fun i -> t.items.((t.next + i) mod t.capacity))
+      (List.init t.capacity (fun i -> i))
+  else List.filter_map (fun i -> t.items.(i)) (List.init t.len (fun i -> i))
+
+let total t = t.total
+
+let dropped t =
+  if t.capacity > 0 then max 0 (t.total - t.capacity) else 0
+
+let clear t =
+  Array.fill t.items 0 (Array.length t.items) None;
+  t.len <- 0;
+  t.next <- 0;
+  t.total <- 0

@@ -1,0 +1,39 @@
+(** Ring-buffered causal event sink.
+
+    The sink is deterministically inert by construction: it never touches
+    simulated clocks, instruction counts, profiles or random state —
+    emission only appends to a host-side buffer.  With an enabled sink a
+    run therefore produces bit-identical outputs, signatures and
+    [Determinism.check] verdicts to the same run with [null] (enforced by
+    [test/test_obs.ml] and the CI [observability] job), and the trace
+    itself is a pure function of (workload, runtime, seed).
+
+    Emission sites must guard on [enabled] before building event payloads
+    so a disabled sink costs one branch per site. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** An enabled sink.  [capacity] > 0 keeps only the last [capacity]
+    events (a ring); [capacity = 0] (the default) grows without bound —
+    what the [rfdet trace] exporter wants. *)
+
+val null : t
+(** The shared disabled sink: [emit] is a no-op, [events] is empty. *)
+
+val enabled : t -> bool
+
+val emit : t -> tid:int -> time:int -> ?vc:int array -> Trace.kind -> unit
+(** Append an event.  [vc]'s trailing zeros are trimmed (canonical form);
+    the array is copied, so callers may pass live clocks. *)
+
+val events : t -> Trace.event list
+(** Retained events, oldest first.  [seq] fields are the global emission
+    indices, so a truncated ring starts at [total t - length]. *)
+
+val total : t -> int
+(** Events emitted over the sink's lifetime, including dropped ones. *)
+
+val dropped : t -> int
+
+val clear : t -> unit

@@ -1,0 +1,270 @@
+type kind =
+  | Slice_open
+  | Slice_close of { slice : int; pages : int; bytes : int; cycles : int }
+  | Snapshot of { page : int; cycles : int }
+  | Diff of { page : int; bytes : int; runs : int; cycles : int }
+  | Propagate of { slice : int; src : int; pages : int; bytes : int; cycles : int }
+  | Prop_page of { page : int; bytes : int }
+  | Gc of { examined : int; freed : int; cycles : int }
+  | Lock_acquire of { obj : string; handle : int; wait : int; queued : int }
+  | Lock_release of { obj : string; handle : int; hold : int }
+  | Kendo_wait of { cycles : int }
+  | Barrier_stall of { barrier : int; cycles : int }
+  | Fault of { op : string; action : string }
+  | Thread_exit
+  | Thread_crash
+
+type event = {
+  seq : int;
+  tid : int;
+  time : int;
+  vc : int array;
+  kind : kind;
+}
+
+let kind_name = function
+  | Slice_open -> "slice_open"
+  | Slice_close _ -> "slice_close"
+  | Snapshot _ -> "snapshot"
+  | Diff _ -> "diff"
+  | Propagate _ -> "propagate"
+  | Prop_page _ -> "prop_page"
+  | Gc _ -> "gc"
+  | Lock_acquire _ -> "lock_acquire"
+  | Lock_release _ -> "lock_release"
+  | Kendo_wait _ -> "kendo_wait"
+  | Barrier_stall _ -> "barrier_stall"
+  | Fault _ -> "fault"
+  | Thread_exit -> "thread_exit"
+  | Thread_crash -> "thread_crash"
+
+let cycles_of = function
+  | Slice_close { cycles; _ }
+  | Snapshot { cycles; _ }
+  | Diff { cycles; _ }
+  | Propagate { cycles; _ }
+  | Gc { cycles; _ }
+  | Kendo_wait { cycles }
+  | Barrier_stall { cycles; _ } -> cycles
+  | Lock_acquire { wait; _ } -> wait
+  | Lock_release _ | Slice_open | Prop_page _ | Fault _ | Thread_exit
+  | Thread_crash -> 0
+
+(* --- serialization --------------------------------------------------- *)
+
+let vc_to_string vc =
+  if Array.length vc = 0 then "-"
+  else String.concat "," (List.map string_of_int (Array.to_list vc))
+
+let fields_of_kind = function
+  | Slice_open | Thread_exit | Thread_crash -> []
+  | Slice_close { slice; pages; bytes; cycles } ->
+    [ ("slice", string_of_int slice); ("pages", string_of_int pages);
+      ("bytes", string_of_int bytes); ("cycles", string_of_int cycles) ]
+  | Snapshot { page; cycles } ->
+    [ ("page", string_of_int page); ("cycles", string_of_int cycles) ]
+  | Diff { page; bytes; runs; cycles } ->
+    [ ("page", string_of_int page); ("bytes", string_of_int bytes);
+      ("runs", string_of_int runs); ("cycles", string_of_int cycles) ]
+  | Propagate { slice; src; pages; bytes; cycles } ->
+    [ ("slice", string_of_int slice); ("src", string_of_int src);
+      ("pages", string_of_int pages); ("bytes", string_of_int bytes);
+      ("cycles", string_of_int cycles) ]
+  | Prop_page { page; bytes } ->
+    [ ("page", string_of_int page); ("bytes", string_of_int bytes) ]
+  | Gc { examined; freed; cycles } ->
+    [ ("examined", string_of_int examined); ("freed", string_of_int freed);
+      ("cycles", string_of_int cycles) ]
+  | Lock_acquire { obj; handle; wait; queued } ->
+    [ ("obj", obj); ("handle", string_of_int handle);
+      ("wait", string_of_int wait); ("queued", string_of_int queued) ]
+  | Lock_release { obj; handle; hold } ->
+    [ ("obj", obj); ("handle", string_of_int handle);
+      ("hold", string_of_int hold) ]
+  | Kendo_wait { cycles } -> [ ("cycles", string_of_int cycles) ]
+  | Barrier_stall { barrier; cycles } ->
+    [ ("barrier", string_of_int barrier); ("cycles", string_of_int cycles) ]
+  | Fault { op; action } -> [ ("op", op); ("action", action) ]
+
+let to_line e =
+  let b = Buffer.create 64 in
+  Buffer.add_string b (string_of_int e.seq);
+  Buffer.add_char b ' ';
+  Buffer.add_string b (string_of_int e.tid);
+  Buffer.add_char b ' ';
+  Buffer.add_string b (string_of_int e.time);
+  Buffer.add_char b ' ';
+  Buffer.add_string b (vc_to_string e.vc);
+  Buffer.add_char b ' ';
+  Buffer.add_string b (kind_name e.kind);
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char b ' ';
+      Buffer.add_string b k;
+      Buffer.add_char b '=';
+      Buffer.add_string b v)
+    (fields_of_kind e.kind);
+  Buffer.contents b
+
+(* --- parsing --------------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let int_of s =
+  match int_of_string_opt s with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "not an integer: %S" s)
+
+let vc_of_string s =
+  if s = "-" then Ok [||]
+  else
+    let parts = String.split_on_char ',' s in
+    let rec go acc = function
+      | [] -> Ok (Array.of_list (List.rev acc))
+      | p :: rest ->
+        let* i = int_of p in
+        go (i :: acc) rest
+    in
+    go [] parts
+
+(* Parse [key=value] fields in the exact order [keys] prescribes. *)
+let take_fields keys parts =
+  let rec go acc keys parts =
+    match keys, parts with
+    | [], [] -> Ok (List.rev acc)
+    | [], extra ->
+      Error (Printf.sprintf "trailing fields: %s" (String.concat " " extra))
+    | k :: _, [] -> Error (Printf.sprintf "missing field %s" k)
+    | k :: krest, p :: prest -> (
+      match String.index_opt p '=' with
+      | None -> Error (Printf.sprintf "malformed field %S" p)
+      | Some i ->
+        let key = String.sub p 0 i in
+        let v = String.sub p (i + 1) (String.length p - i - 1) in
+        if key <> k then
+          Error (Printf.sprintf "expected field %s, got %s" k key)
+        else go (v :: acc) krest prest)
+  in
+  go [] keys parts
+
+let token_ok s =
+  s <> ""
+  && String.for_all
+       (fun c -> c <> ' ' && c <> '=' && c <> '\n' && c <> '\t')
+       s
+
+let kind_of_parts name parts =
+  let ints keys k =
+    let* vs = take_fields keys parts in
+    let rec go acc = function
+      | [] -> k (List.rev acc)
+      | v :: rest ->
+        let* i = int_of v in
+        go (i :: acc) rest
+    in
+    go [] vs
+  in
+  match name with
+  | "slice_open" ->
+    let* _ = take_fields [] parts in
+    Ok Slice_open
+  | "thread_exit" ->
+    let* _ = take_fields [] parts in
+    Ok Thread_exit
+  | "thread_crash" ->
+    let* _ = take_fields [] parts in
+    Ok Thread_crash
+  | "slice_close" ->
+    ints [ "slice"; "pages"; "bytes"; "cycles" ] (function
+      | [ slice; pages; bytes; cycles ] ->
+        Ok (Slice_close { slice; pages; bytes; cycles })
+      | _ -> assert false)
+  | "snapshot" ->
+    ints [ "page"; "cycles" ] (function
+      | [ page; cycles ] -> Ok (Snapshot { page; cycles })
+      | _ -> assert false)
+  | "diff" ->
+    ints [ "page"; "bytes"; "runs"; "cycles" ] (function
+      | [ page; bytes; runs; cycles ] -> Ok (Diff { page; bytes; runs; cycles })
+      | _ -> assert false)
+  | "propagate" ->
+    ints [ "slice"; "src"; "pages"; "bytes"; "cycles" ] (function
+      | [ slice; src; pages; bytes; cycles ] ->
+        Ok (Propagate { slice; src; pages; bytes; cycles })
+      | _ -> assert false)
+  | "prop_page" ->
+    ints [ "page"; "bytes" ] (function
+      | [ page; bytes ] -> Ok (Prop_page { page; bytes })
+      | _ -> assert false)
+  | "gc" ->
+    ints [ "examined"; "freed"; "cycles" ] (function
+      | [ examined; freed; cycles ] -> Ok (Gc { examined; freed; cycles })
+      | _ -> assert false)
+  | "lock_acquire" ->
+    let* vs = take_fields [ "obj"; "handle"; "wait"; "queued" ] parts in
+    (match vs with
+    | [ obj; handle; wait; queued ] ->
+      if not (token_ok obj) then Error "empty obj token"
+      else
+        let* handle = int_of handle in
+        let* wait = int_of wait in
+        let* queued = int_of queued in
+        Ok (Lock_acquire { obj; handle; wait; queued })
+    | _ -> assert false)
+  | "lock_release" ->
+    let* vs = take_fields [ "obj"; "handle"; "hold" ] parts in
+    (match vs with
+    | [ obj; handle; hold ] ->
+      if not (token_ok obj) then Error "empty obj token"
+      else
+        let* handle = int_of handle in
+        let* hold = int_of hold in
+        Ok (Lock_release { obj; handle; hold })
+    | _ -> assert false)
+  | "kendo_wait" ->
+    ints [ "cycles" ] (function
+      | [ cycles ] -> Ok (Kendo_wait { cycles })
+      | _ -> assert false)
+  | "barrier_stall" ->
+    ints [ "barrier"; "cycles" ] (function
+      | [ barrier; cycles ] -> Ok (Barrier_stall { barrier; cycles })
+      | _ -> assert false)
+  | "fault" ->
+    let* vs = take_fields [ "op"; "action" ] parts in
+    (match vs with
+    | [ op; action ] ->
+      if not (token_ok op && token_ok action) then Error "empty fault token"
+      else Ok (Fault { op; action })
+    | _ -> assert false)
+  | other -> Error (Printf.sprintf "unknown event kind %S" other)
+
+let of_line line =
+  match String.split_on_char ' ' line with
+  | seq :: tid :: time :: vc :: name :: rest ->
+    let* seq = int_of seq in
+    let* tid = int_of tid in
+    let* time = int_of time in
+    let* vc = vc_of_string vc in
+    let* kind = kind_of_parts name rest in
+    Ok { seq; tid; time; vc; kind }
+  | _ -> Error (Printf.sprintf "malformed event line %S" line)
+
+let to_lines events =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Buffer.add_string b (to_line e);
+      Buffer.add_char b '\n')
+    events;
+  Buffer.contents b
+
+let of_lines s =
+  let lines = String.split_on_char '\n' s in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | "" :: rest -> go acc rest
+    | l :: rest ->
+      let* e = of_line l in
+      go (e :: acc) rest
+  in
+  go [] lines

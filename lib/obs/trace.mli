@@ -1,0 +1,94 @@
+(** Causal trace events.
+
+    Every event is stamped with the emitting thread, its simulated-cycle
+    clock at the moment of emission, and (when the emitting runtime keeps
+    one) the thread's vector clock — so happens-before edges are
+    recoverable from the trace alone: event [a] causally precedes event
+    [b] iff [vc a < vc b] component-wise.
+
+    Cycle fields always measure {e simulated} cycles, never host time, so
+    a trace is a pure function of (workload, runtime, seed) and traces
+    diff cleanly across code changes.  The [seq] field is the global
+    emission index; it survives ring-buffer truncation, so a truncated
+    trace still tells you how much was dropped.
+
+    The canonical serialization is the line format of [to_line]:
+    one event per line,
+
+    {v <seq> <tid> <time> <vc|-> <kind> [key=value ...] v}
+
+    with a fixed key order per kind and the vector clock printed as
+    comma-separated components with trailing zeros trimmed ([-] when
+    absent).  [of_line] parses exactly what [to_line] prints;
+    [to_line (of_line l) = l] for canonical lines and
+    [of_line (to_line e) = e] for events whose clock is trimmed (the
+    sink trims at emission). *)
+
+type kind =
+  | Slice_open  (** a new slice began (monitoring re-armed) *)
+  | Slice_close of { slice : int; pages : int; bytes : int; cycles : int }
+      (** slice ended: diffed [pages] pages into [bytes] modified bytes;
+          [slice] is the stored slice id, [-1] when the slice was empty
+          and nothing was published; [cycles] is the whole close cost
+          (diffs + GC + bookkeeping) *)
+  | Snapshot of { page : int; cycles : int }
+      (** first-touch page snapshot inside the current slice *)
+  | Diff of { page : int; bytes : int; runs : int; cycles : int }
+      (** one page diffed at slice close; [bytes]/[runs] describe the
+          modification list found *)
+  | Propagate of { slice : int; src : int; pages : int; bytes : int; cycles : int }
+      (** slice [slice], created by thread [src], merged into the
+          emitting thread's space ([-1] for baselines without slice ids) *)
+  | Prop_page of { page : int; bytes : int }
+      (** per-page payload of the propagation being applied — the raw
+          material for the hottest-pages report *)
+  | Gc of { examined : int; freed : int; cycles : int }
+      (** metadata-space garbage collection at a slice close *)
+  | Lock_acquire of { obj : string; handle : int; wait : int; queued : int }
+      (** a synchronization object was acquired; [wait] is the full
+          request-to-grant latency, [queued] the portion spent in the
+          object's wait queue after the deterministic turn was granted *)
+  | Lock_release of { obj : string; handle : int; hold : int }
+      (** released after holding for [hold] cycles *)
+  | Kendo_wait of { cycles : int }
+      (** the arbiter made the thread wait for its deterministic turn;
+          stamped at the time the turn was requested *)
+  | Barrier_stall of { barrier : int; cycles : int }
+      (** stalled at a barrier (or global fence, [barrier = -1]) from
+          arrival to release; stamped at arrival time *)
+  | Fault of { op : string; action : string }
+      (** fault injection fired at this operation ([crash]/[fail]/[delay]) *)
+  | Thread_exit
+  | Thread_crash  (** the thread died under crash containment *)
+
+type event = {
+  seq : int;  (** global emission index, 0-based *)
+  tid : int;
+  time : int;  (** the thread's simulated clock at emission *)
+  vc : int array;  (** vector clock, trailing zeros trimmed; [||] if none *)
+  kind : kind;
+}
+
+val kind_name : kind -> string
+(** The serialized tag, e.g. ["slice_close"]. *)
+
+val cycles_of : kind -> int
+(** The event's cycle cost (0 for instant events). *)
+
+val fields_of_kind : kind -> (string * string) list
+(** The payload as (key, value) strings, in canonical key order. *)
+
+val vc_to_string : int array -> string
+(** Comma-separated components, or ["-"] for [[||]]. *)
+
+val to_line : event -> string
+(** Canonical one-line serialization (no trailing newline). *)
+
+val of_line : string -> (event, string) result
+(** Strict parser for [to_line]'s output. *)
+
+val to_lines : event list -> string
+(** All events, one per line, with a trailing newline ("" when empty). *)
+
+val of_lines : string -> (event list, string) result
+(** Parse a [to_lines] dump; blank lines are skipped. *)

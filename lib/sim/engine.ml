@@ -23,6 +23,7 @@ type config = {
   inject : (tid:int -> Op.t -> injection) option;
   choose : (sched_point -> int) option;
   observe : (tid:int -> Op.t -> unit) option;
+  obs : Rfdet_obs.Sink.t;
 }
 
 let default_config =
@@ -36,6 +37,7 @@ let default_config =
     inject = None;
     choose = None;
     observe = None;
+    obs = Rfdet_obs.Sink.null;
   }
 
 exception Deadlock of string
@@ -97,6 +99,7 @@ type result = {
   ops : int;
   trace : trace_entry list;
   crashes : (int * string) list;
+  thread_clocks : (int * int) list;
 }
 
 type t = {
@@ -224,6 +227,8 @@ let cost t = t.config.cost
 
 let allocator t = t.alloc
 
+let obs t = t.config.obs
+
 let ops_executed t = t.ops
 
 let jitter t =
@@ -335,6 +340,9 @@ let crash_thread t th e =
     th.pending <- Nothing;
     t.unfinished <- t.unfinished - 1;
     t.crashes <- (th.tid, Printexc.to_string e) :: t.crashes;
+    if Rfdet_obs.Sink.enabled t.config.obs then
+      Rfdet_obs.Sink.emit t.config.obs ~tid:th.tid ~time:th.clock
+        Rfdet_obs.Trace.Thread_crash;
     (policy_exn t).on_thread_crash ~tid:th.tid e;
     (policy_exn t).on_step ()
 
@@ -362,6 +370,19 @@ let handle_op t th op k =
     | None -> I_none
     | Some f -> f ~tid:th.tid op
   in
+  (if Rfdet_obs.Sink.enabled t.config.obs then
+     match injection with
+     | I_none -> ()
+     | I_crash | I_fail | I_delay _ ->
+       let action =
+         match injection with
+         | I_crash -> "crash"
+         | I_fail -> "fail"
+         | I_delay _ -> "delay"
+         | I_none -> assert false
+       in
+       Rfdet_obs.Sink.emit t.config.obs ~tid:th.tid ~time:th.clock
+         (Rfdet_obs.Trace.Fault { op = Op.name op; action }));
   match injection with
   | I_crash when t.config.failure_mode = Contain ->
     crash_thread t th Injected_crash
@@ -430,6 +451,9 @@ let run_thread t th =
         (fun () ->
           th.status <- Finished;
           t.unfinished <- t.unfinished - 1;
+          if Rfdet_obs.Sink.enabled t.config.obs then
+            Rfdet_obs.Sink.emit t.config.obs ~tid:th.tid ~time:th.clock
+              Rfdet_obs.Trace.Thread_exit;
           (policy_exn t).on_thread_exit ~tid:th.tid;
           (policy_exn t).on_step ());
       exnc =
@@ -565,6 +589,9 @@ let run ?(config = default_config) make_policy ~main =
         (List.init n (fun i -> i))
     end
   in
+  let thread_clocks =
+    List.init t.next_tid (fun tid -> (tid, (find t tid).clock))
+  in
   {
     sim_time;
     outputs = collect_outputs t;
@@ -573,6 +600,7 @@ let run ?(config = default_config) make_policy ~main =
     ops = t.ops;
     trace;
     crashes = List.sort compare t.crashes;
+    thread_clocks;
   }
 
 (* Crash outcomes are part of the observable behavior: a deterministic

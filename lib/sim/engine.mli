@@ -95,6 +95,12 @@ type config = {
       (** operation tap, called for every operation as it is handled
           (before injection and policy dispatch); lets an explorer
           record per-thread footprints without a policy change. *)
+  obs : Rfdet_obs.Sink.t;
+      (** causal-trace sink; the engine emits thread lifecycle and
+          fault-injection events, policies emit the rest through
+          [obs t].  [Rfdet_obs.Sink.null] (the default) disables
+          tracing; an enabled sink never perturbs the simulation
+          (see [Rfdet_obs.Sink]), so signatures are unchanged. *)
 }
 
 val default_config : config
@@ -201,6 +207,9 @@ val cost : t -> Cost.t
 
 val allocator : t -> Rfdet_mem.Allocator.t
 
+val obs : t -> Rfdet_obs.Sink.t
+(** The configured trace sink ([Rfdet_obs.Sink.null] when disabled). *)
+
 val ops_executed : t -> int
 
 (** {1 Running} *)
@@ -225,6 +234,10 @@ type result = {
   crashes : (int * string) list;
       (** threads that died under [Contain], as (tid, exception text),
           sorted by tid; empty for clean runs *)
+  thread_clocks : (int * int) list;
+      (** every thread's final simulated clock, by tid ascending — the
+          denominator of the [Rfdet_obs.Report] time breakdown is their
+          sum *)
 }
 
 val run : ?config:config -> (t -> policy) -> main:(unit -> unit) -> result

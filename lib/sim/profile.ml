@@ -69,14 +69,66 @@ let sync_ops p =
 
 let mem_ops p = p.loads + p.stores
 
+(* Every field, in declaration order — pp, to_json and fill_metrics stay
+   in sync by construction. *)
+let fields p =
+  [
+    ("locks", p.locks);
+    ("unlocks", p.unlocks);
+    ("waits", p.waits);
+    ("signals", p.signals);
+    ("barriers", p.barriers);
+    ("forks", p.forks);
+    ("joins", p.joins);
+    ("atomics", p.atomics);
+    ("loads", p.loads);
+    ("stores", p.stores);
+    ("stores_with_copy", p.stores_with_copy);
+    ("page_faults", p.page_faults);
+    ("mprotect_calls", p.mprotect_calls);
+    ("snapshots", p.snapshots);
+    ("slices_created", p.slices_created);
+    ("slices_propagated", p.slices_propagated);
+    ("bytes_propagated", p.bytes_propagated);
+    ("diff_bytes_scanned", p.diff_bytes_scanned);
+    ("gc_runs", p.gc_runs);
+    ("gc_slices_freed", p.gc_slices_freed);
+    ("kendo_waits", p.kendo_waits);
+    ("barrier_stalls", p.barrier_stalls);
+    ("shared_bytes", p.shared_bytes);
+    ("stack_bytes", p.stack_bytes);
+    ("metadata_peak_bytes", p.metadata_peak_bytes);
+    ("private_copy_bytes", p.private_copy_bytes);
+  ]
+
 let pp ppf p =
   Format.fprintf ppf
-    "@[<v>sync: lock/unlock=%d/%d wait=%d signal=%d barrier=%d fork/join=%d/%d@ \
+    "@[<v>sync: lock/unlock=%d/%d wait=%d signal=%d barrier=%d fork/join=%d/%d \
+     atomics=%d@ \
      mem: loads=%d stores=%d stores_w_copy=%d@ \
      monitor: faults=%d mprotect=%d snapshots=%d slices=%d propagated=%d \
-     bytes=%d gc=%d@ \
+     bytes=%d diff_scanned=%d gc=%d gc_freed=%d@ \
+     waits: kendo=%d barrier_stalls=%d@ \
      footprint: shared=%d stacks=%d metadata=%d private=%d@]"
-    p.locks p.unlocks p.waits p.signals p.barriers p.forks p.joins p.loads
-    p.stores p.stores_with_copy p.page_faults p.mprotect_calls p.snapshots
-    p.slices_created p.slices_propagated p.bytes_propagated p.gc_runs
-    p.shared_bytes p.stack_bytes p.metadata_peak_bytes p.private_copy_bytes
+    p.locks p.unlocks p.waits p.signals p.barriers p.forks p.joins p.atomics
+    p.loads p.stores p.stores_with_copy p.page_faults p.mprotect_calls
+    p.snapshots p.slices_created p.slices_propagated p.bytes_propagated
+    p.diff_bytes_scanned p.gc_runs p.gc_slices_freed p.kendo_waits
+    p.barrier_stalls p.shared_bytes p.stack_bytes p.metadata_peak_bytes
+    p.private_copy_bytes
+
+let to_json p =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "{";
+  List.iteri
+    (fun i (k, v) ->
+      Buffer.add_string b
+        (Printf.sprintf "%s\n  \"%s\": %d" (if i = 0 then "" else ",") k v))
+    (fields p);
+  Buffer.add_string b "\n}\n";
+  Buffer.contents b
+
+let fill_metrics m p =
+  List.iter
+    (fun (k, v) -> Rfdet_obs.Metrics.incr ~by:v m ("profile." ^ k))
+    (fields p)

@@ -52,4 +52,15 @@ val sync_ops : t -> int
 
 val mem_ops : t -> int
 
+val fields : t -> (string * int) list
+(** Every counter as (name, value), in declaration order — the single
+    source for [pp], [to_json] and [fill_metrics]. *)
+
 val pp : Format.formatter -> t -> unit
+(** Human-readable dump; prints every field of [fields]. *)
+
+val to_json : t -> string
+(** A flat JSON object of [fields], declaration order. *)
+
+val fill_metrics : Rfdet_obs.Metrics.t -> t -> unit
+(** Mirror every field into a [profile.*] counter of the registry. *)
