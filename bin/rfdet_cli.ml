@@ -5,6 +5,7 @@
      list             list workloads and runtimes
      racey            the determinism stress experiment (Section 5.1)
      faults WORKLOAD  fault-determinism check under an injected plan
+     clinic WORKLOAD  crash clinic: inject one crash at every op index
      bench            host-performance bench of the core primitives
                       (--json writes BENCH_CORE.json)
      experiment NAME  regenerate a table/figure (fig7, table1, fig8,
@@ -45,6 +46,10 @@ let guard f =
       "rfdet: runaway execution: exceeded the engine's max_ops budget \
        (livelocked policy or unbounded loop)\n";
     exit 4
+  | Engine.Fatal e ->
+    Printf.eprintf "rfdet: unrecoverable: %s\n"
+      (match e with Failure m -> m | e -> Printexc.to_string e);
+    exit 5
 
 let runtime_names =
   [
@@ -118,13 +123,17 @@ let fault_plan_arg =
 let fault_mode_arg =
   Arg.(
     value
-    & opt (enum [ ("contain", Engine.Contain); ("abort", Engine.Abort) ])
+    & opt
+        (enum
+           [ ("contain", Engine.Contain); ("abort", Engine.Abort);
+             ("recover", Engine.Recover) ])
         Engine.Contain
     & info [ "fault-mode" ]
         ~doc:
           "What a thread crash does: 'contain' (kill only the faulting \
-           thread, poison its locks, keep going) or 'abort' (unwind the \
-           whole run).")
+           thread, poison its locks, keep going), 'abort' (unwind the \
+           whole run) or 'recover' (restart the thread deterministically \
+           under a retry budget, healing its locks).")
 
 let print_crashes crashes =
   if crashes <> [] then begin
@@ -152,6 +161,15 @@ let run_cmd =
   let action runtime workload threads scale seed input_seed jitter trace
       faults failure_mode profile_json =
    guard @@ fun () ->
+    (match faults with
+    | Some plan when Fault_plan.has_wildcard plan && jitter > 0. ->
+      Printf.eprintf
+        "rfdet: warning: the fault plan has a wildcard-tid site and \
+         jitter is nonzero; wildcard sites count operations in global \
+         scheduler order, so where the fault fires depends on the \
+         schedule.  Qualify the site with tid=K (or drop --jitter) for \
+         a reproducible injection.\n"
+    | _ -> ());
     let r =
       Runner.run ~threads ~scale ~sched_seed:(Int64.of_int seed)
         ~input_seed:(Int64.of_int input_seed) ~jitter ~trace ?faults
@@ -460,8 +478,15 @@ let faults_cmd =
   let action runtime workload plan threads scale runs jitter =
    guard @@ fun () ->
     let report, crashes =
-      Determinism.check_faults ~threads ~scale ~runs ~jitter ~plan runtime
-        workload
+      (* check_faults rejects wildcard-tid plans under jitter — the
+         check would measure the injector's schedule-dependence, not the
+         runtime's determinism.  Surface that as a usage error. *)
+      try
+        Determinism.check_faults ~threads ~scale ~runs ~jitter ~plan runtime
+          workload
+      with Invalid_argument msg ->
+        Printf.eprintf "rfdet: %s\n" msg;
+        exit 2
     in
     Format.printf "plan:        %a@." Fault_plan.pp plan;
     Format.printf "%a@." Determinism.pp_report report;
@@ -478,6 +503,43 @@ let faults_cmd =
     Term.(
       const action $ runtime_arg $ workload_arg $ plan_arg $ threads_arg
       $ scale_arg $ runs_arg $ jitter_fault_arg)
+
+(* --- clinic ----------------------------------------------------------- *)
+
+let clinic_cmd =
+  let workload_arg =
+    Arg.(
+      required & pos 0 (some workload_conv) None & info [] ~docv:"WORKLOAD")
+  in
+  let clinic_threads_arg =
+    Arg.(value & opt int 3 & info [ "t"; "threads" ] ~doc:"Worker thread count.")
+  in
+  let max_sites_arg =
+    Arg.(
+      value & opt int 500
+      & info [ "max-sites" ]
+          ~doc:"Cap on injection sites (operation indices) probed.")
+  in
+  let action workload threads scale max_sites =
+   guard @@ fun () ->
+    let s =
+      Rfdet_check.Clinic.sweep ~threads ~scale ~max_sites workload
+    in
+    Format.printf "%a@." Rfdet_check.Clinic.pp_summary s;
+    if s.Rfdet_check.Clinic.nondeterministic > 0
+       || s.Rfdet_check.Clinic.nonconformant > 0
+    then exit 1
+  in
+  Cmd.v
+    (Cmd.info "clinic"
+       ~doc:
+         "Crash clinic: inject one crash at every operation index of a \
+          workload, under both containment and deterministic recovery, \
+          across runtimes; verify that no probe hangs, every outcome is \
+          deterministic, and RFDet stays DLRC-conformant.")
+    Term.(
+      const action $ workload_arg $ clinic_threads_arg $ scale_arg
+      $ max_sites_arg)
 
 (* --- bench ------------------------------------------------------------ *)
 
@@ -751,4 +813,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ run_cmd; trace_cmd; profile_cmd; list_cmd; racey_cmd; races_cmd;
-            replay_cmd; faults_cmd; check_cmd; bench_cmd; experiment_cmd ]))
+            replay_cmd; faults_cmd; clinic_cmd; check_cmd; bench_cmd;
+            experiment_cmd ]))

@@ -11,6 +11,7 @@ let name = "dthreads"
 (* The synchronization action a thread carries to the fence. *)
 type action =
   | A_lock of int
+  | A_trylock of int
   | A_unlock of int
   | A_cond_wait of int * int
   | A_cond_signal of int
@@ -195,6 +196,14 @@ let perform_action t ~tid ~action ~at =
     | Some _ ->
       Queue.add tid st.queue;
       exclude t tid
+  end
+  | A_trylock m -> begin
+    let st = mutex_state t m in
+    match st.owner with
+    | None ->
+      st.owner <- Some tid;
+      resume 0
+    | Some _ -> resume 2 (* busy; no queueing *)
   end
   | A_unlock m ->
     let st = mutex_state t m in
@@ -435,6 +444,21 @@ let handle t ~tid (op : Op.t) : Engine.outcome =
   | Op.Lock m ->
     arrive t ~tid ~action:(A_lock m);
     Block
+  | Op.Trylock m ->
+    arrive t ~tid ~action:(A_trylock m);
+    Block
+  | Op.Lock_timed { mutex; timeout = _ } ->
+    (* Fence arrival order is the only time base here; a timed lock
+       behaves as an infinite-timeout lock, like the pthreads baseline. *)
+    arrive t ~tid ~action:(A_lock mutex);
+    Block
+  | Op.Mutex_heal m ->
+    let mst = mutex_state t m in
+    (match mst.owner with
+    | Some owner when owner = tid -> ()
+    | Some _ | None ->
+      invalid_arg (Printf.sprintf "dthreads: heal of unheld mutex %d" m));
+    Done 0 (* nothing to heal: crashes abort the run under this runtime *)
   | Op.Unlock m ->
     arrive t ~tid ~action:(A_unlock m);
     Block
@@ -459,7 +483,8 @@ let handle t ~tid (op : Op.t) : Engine.outcome =
   | Op.Join target ->
     arrive t ~tid ~action:(A_join target);
     Block
-  | Op.Tick _ | Op.Output _ | Op.Self | Op.Yield | Op.Malloc _ | Op.Free _ ->
+  | Op.Tick _ | Op.Output _ | Op.Self | Op.Yield | Op.Checkpoint _ | Op.Malloc _
+  | Op.Free _ ->
     assert false
 
 let on_thread_exit t ~tid = arrive t ~tid ~action:A_exit

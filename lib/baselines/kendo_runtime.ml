@@ -30,6 +30,10 @@ let handle t ~tid (op : Op.t) : Engine.outcome =
   | Op.Cond_create -> Sync.cond_create t.sync ~tid
   | Op.Barrier_create parties -> Sync.barrier_create t.sync ~tid ~parties
   | Op.Lock m -> Sync.lock t.sync ~tid ~mutex:m
+  | Op.Trylock m -> Sync.trylock t.sync ~tid ~mutex:m
+  | Op.Lock_timed { mutex; timeout } ->
+    Sync.lock_timed t.sync ~tid ~mutex ~timeout
+  | Op.Mutex_heal m -> Sync.mutex_heal t.sync ~tid ~mutex:m
   | Op.Unlock m -> Sync.unlock t.sync ~tid ~mutex:m
   | Op.Cond_wait { cond; mutex } -> Sync.cond_wait t.sync ~tid ~cond ~mutex
   | Op.Cond_signal c -> Sync.cond_signal t.sync ~tid ~cond:c
@@ -43,7 +47,8 @@ let handle t ~tid (op : Op.t) : Engine.outcome =
         (prev, 0))
   | Op.Spawn body -> Sync.spawn t.sync ~tid ~body
   | Op.Join target -> Sync.join t.sync ~tid ~target
-  | Op.Tick _ | Op.Output _ | Op.Self | Op.Yield | Op.Malloc _ | Op.Free _ ->
+  | Op.Tick _ | Op.Output _ | Op.Self | Op.Yield | Op.Checkpoint _ | Op.Malloc _
+  | Op.Free _ ->
     assert false
 
 let on_finish t () =
@@ -54,7 +59,7 @@ let on_finish t () =
   prof.shared_bytes <- !shared * Page.size;
   prof.stack_bytes <- Engine.thread_count t.engine * 8192
 
-let make engine : Engine.policy =
+let make_with_sync engine : Sync.t * Engine.policy =
   let t =
     {
       engine;
@@ -62,15 +67,18 @@ let make engine : Engine.policy =
       sync = Sync.create engine Sync.trivial_hooks;
     }
   in
-  {
-    Engine.policy_name = name;
-    handle = (fun ~tid op -> handle t ~tid op);
-    on_engine_op = (fun ~tid:_ _ outcome -> outcome);
-    on_thread_exit = (fun ~tid -> Sync.on_thread_exit t.sync ~tid);
-    (* Weak determinism shares memory directly, so a crashed thread has
-       no private state to discard — the sync-layer repair (poisoned
-       mutexes, broken barriers, failed joiners) is the whole story. *)
-    on_thread_crash = (fun ~tid _exn -> Sync.on_thread_crash t.sync ~tid);
-    on_step = (fun () -> Sync.poll t.sync);
-    on_finish = (fun () -> on_finish t ());
-  }
+  ( t.sync,
+    {
+      Engine.policy_name = name;
+      handle = (fun ~tid op -> handle t ~tid op);
+      on_engine_op = (fun ~tid:_ _ outcome -> outcome);
+      on_thread_exit = (fun ~tid -> Sync.on_thread_exit t.sync ~tid);
+      (* Weak determinism shares memory directly, so a crashed thread has
+         no private state to discard — the sync-layer repair (poisoned
+         mutexes, broken barriers, failed joiners) is the whole story. *)
+      on_thread_crash = (fun ~tid _exn -> Sync.on_thread_crash t.sync ~tid);
+      on_step = (fun () -> Sync.poll t.sync);
+      on_finish = (fun () -> on_finish t ());
+    } )
+
+let make engine : Engine.policy = snd (make_with_sync engine)

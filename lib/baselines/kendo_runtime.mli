@@ -15,3 +15,9 @@
 val name : string
 
 val make : Rfdet_sim.Engine.t -> Rfdet_sim.Engine.policy
+
+val make_with_sync :
+  Rfdet_sim.Engine.t -> Rfdet_kendo.Sync.t * Rfdet_sim.Engine.policy
+(** Like [make], also exposing the runtime's synchronization layer —
+    the recovery manager ([Rfdet_recover]) needs it for lock healing
+    and deadlock-victim selection. *)

@@ -95,6 +95,36 @@ let handle t ~tid (op : Op.t) : Engine.outcome =
     | Some _ ->
       Queue.add tid st.queue;
       Block)
+  | Op.Trylock m ->
+    Engine.advance t.engine tid cost.Cost.sync_op;
+    let st = mutex_state t m in
+    (match st.owner with
+    | None ->
+      st.owner <- Some tid;
+      Done 0
+    | Some _ -> Done 2 (* busy; pthreads mutexes are never poisoned *))
+  | Op.Lock_timed { mutex = m; timeout = _ } ->
+    (* No deterministic time base to expire against: the nondeterministic
+       baseline treats a timed lock as an infinite-timeout lock, the
+       conservative pthread_mutex_timedlock behavior under a patient
+       deadline. *)
+    Engine.advance t.engine tid cost.Cost.sync_op;
+    let st = mutex_state t m in
+    (match st.owner with
+    | None ->
+      st.owner <- Some tid;
+      Done 0
+    | Some _ ->
+      Queue.add tid st.queue;
+      Block)
+  | Op.Mutex_heal m ->
+    Engine.advance t.engine tid cost.Cost.sync_op;
+    let st = mutex_state t m in
+    (match st.owner with
+    | Some owner when owner = tid -> ()
+    | Some _ | None ->
+      invalid_arg (Printf.sprintf "pthreads: heal of unheld mutex %d" m));
+    Done 0 (* nothing to heal: no poisoning without containment *)
   | Op.Unlock m ->
     Engine.advance t.engine tid cost.Cost.sync_op;
     let st = mutex_state t m in
@@ -176,7 +206,8 @@ let handle t ~tid (op : Op.t) : Engine.outcome =
       Hashtbl.replace t.joiners target (existing @ [ tid ]);
       Block
     end
-  | Op.Tick _ | Op.Output _ | Op.Self | Op.Yield | Op.Malloc _ | Op.Free _ ->
+  | Op.Tick _ | Op.Output _ | Op.Self | Op.Yield | Op.Checkpoint _ | Op.Malloc _
+  | Op.Free _ ->
     (* handled by the engine *)
     assert false
 

@@ -231,6 +231,9 @@ let handle t ~tid (op : Op.t) : Engine.outcome =
   | Op.Cond_create -> Sync.cond_create sync ~tid
   | Op.Barrier_create parties -> Sync.barrier_create sync ~tid ~parties
   | Op.Lock m -> Sync.lock sync ~tid ~mutex:m
+  | Op.Trylock m -> Sync.trylock sync ~tid ~mutex:m
+  | Op.Lock_timed { mutex; timeout } -> Sync.lock_timed sync ~tid ~mutex ~timeout
+  | Op.Mutex_heal m -> Sync.mutex_heal sync ~tid ~mutex:m
   | Op.Unlock m -> Sync.unlock sync ~tid ~mutex:m
   | Op.Cond_wait { cond; mutex } -> Sync.cond_wait sync ~tid ~cond ~mutex
   | Op.Cond_signal cond -> Sync.cond_signal sync ~tid ~cond
@@ -253,7 +256,8 @@ let handle t ~tid (op : Op.t) : Engine.outcome =
         (prev, 0))
   | Op.Spawn body -> Sync.spawn sync ~tid ~body
   | Op.Join target -> Sync.join sync ~tid ~target
-  | Op.Tick _ | Op.Output _ | Op.Self | Op.Yield | Op.Malloc _ | Op.Free _ ->
+  | Op.Tick _ | Op.Output _ | Op.Self | Op.Yield | Op.Checkpoint _ | Op.Malloc _
+  | Op.Free _ ->
     assert false
 
 let make_gen ~checked engine : Engine.policy =

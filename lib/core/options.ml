@@ -9,6 +9,7 @@ type t = {
   metadata_capacity : int;
   gc_threshold : float;
   skip_premain_monitoring : bool;
+  verify_metadata : bool;
   bug_drop_window : (int * int) option;
 }
 
@@ -24,6 +25,7 @@ let default =
     metadata_capacity = 256 * mb;
     gc_threshold = 0.9;
     skip_premain_monitoring = true;
+    verify_metadata = true;
     bug_drop_window = None;
   }
 

@@ -36,6 +36,12 @@ type t = {
   skip_premain_monitoring : bool;
       (** do not monitor the main thread before the first fork
           (Section 4.1, "Thread Create and Join") *)
+  verify_metadata : bool;
+      (** verify each slice's self-checksum before applying it at
+          propagation (and audit all live slices at run end); detected
+          corruption is quarantined and re-derived from the publisher's
+          space, or escalated as a deterministic fatal error when
+          re-derivation is impossible.  Default on. *)
   bug_drop_window : (int * int) option;
       (** {b test only} — seeded visibility bug for validating the DLRC
           conformance oracle ([Rfdet_check.Oracle]).  While the engine's

@@ -7,6 +7,58 @@ module Profile = Rfdet_sim.Profile
 
 let scan_cost_per_slice = 2
 
+(* Self-verifying metadata: recompute the slice digest before applying.
+   A mismatch means the stored modification bytes were silently damaged
+   (Engine.I_corrupt, or a real memory error in a deployment).  The
+   slice is quarantined and re-derived from the publisher's live space;
+   when the publisher has since overwritten those addresses the payload
+   is unrecoverable and the run must fail loudly and deterministically
+   rather than propagate garbage. *)
+let verify ~obs ~at ~cost ~(prof : Profile.t) ~(from : Tstate.t)
+    ~(into : Tstate.t) (s : Slice.t) =
+  let check_cycles = (s.bytes / 8) + 1 in
+  if Slice.checksum_valid s then check_cycles
+  else begin
+    prof.corruptions_detected <- prof.corruptions_detected + 1;
+    prof.quarantines <- prof.quarantines + 1;
+    let rederived =
+      List.map
+        (fun (r : Diff.run) ->
+          {
+            r with
+            Diff.data =
+              Space.read_string from.shared ~addr:r.addr
+                ~len:(String.length r.data);
+          })
+        s.mods
+    in
+    let repair_cycles = (s.bytes * cost.Cost.apply_byte) + check_cycles in
+    let emit action cycles =
+      if Rfdet_obs.Sink.enabled obs then
+        Rfdet_obs.Sink.emit obs ~tid:into.tid ~time:at
+          (Rfdet_obs.Trace.Recovery { action; target = s.id; attempt = 1; cycles })
+    in
+    emit "quarantine" 0;
+    if
+      Slice.compute_checksum ~tid:s.tid ~mods:rederived ~time:s.time
+      = s.checksum
+    then begin
+      (* the publisher's space still holds the slice's exact bytes *)
+      s.mods <- rederived;
+      emit "rederive" repair_cycles;
+      check_cycles + repair_cycles
+    end
+    else
+      raise
+        (Rfdet_sim.Engine.Fatal
+           (Failure
+              (Printf.sprintf
+                 "metadata corruption: slice #%d (tid %d, %d bytes) failed \
+                  checksum verification and could not be re-derived from the \
+                  publisher's space"
+                 s.id s.tid s.bytes)))
+  end
+
 let apply_eager ~cost ~(into : Tstate.t) (s : Slice.t) =
   Diff.apply into.shared s.mods;
   s.bytes * cost.Cost.apply_byte
@@ -78,6 +130,8 @@ let run ?(drop = false) ?(obs = Rfdet_obs.Sink.null) ?(at = 0) ~cost
                advances, so it is gone for good. *)
             ()
           else begin
+            if opts.verify_metadata then
+              cycles := !cycles + verify ~obs ~at ~cost ~prof ~from ~into s;
             let apply_cycles =
               if opts.lazy_writes then apply_lazy ~cost ~opts ~into s
               else apply_eager ~cost ~into s

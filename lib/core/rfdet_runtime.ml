@@ -53,6 +53,8 @@ let clock_size _ = max_threads
 
 let sync_exn t = match t.sync with Some s -> s | None -> assert false
 
+let sync = sync_exn
+
 let prof t = Engine.profile t.engine
 
 let cost t = Engine.cost t.engine
@@ -364,6 +366,48 @@ let do_crashed t ~tid =
   ts.exit_len <- Rfdet_util.Vec.length ts.slices;
   ignore (Vclock.tick ts.time tid)
 
+(* Restart preparation (the Recover failure mode): roll the private
+   view back to the last release point by restoring every open page
+   snapshot, then drop the snapshot set.  Unlike [do_crashed] the
+   thread is not marked exited — its clock keeps running, joiners keep
+   waiting, and pending lazy writes stay queued (they carry remote
+   data still owed to this view).  After the rollback, replaying the
+   lost span from the registered restart point re-executes the same
+   deterministic stores against the same pre-span memory, so the
+   recovered slices are bit-identical to what the crash destroyed. *)
+let crash_recoverable t ~tid =
+  let ts = state t ~tid in
+  Hashtbl.iter
+    (fun page buf ->
+      Space.blit_string ts.shared ~addr:(Page.base_of_id page)
+        (Bytes.to_string buf);
+      Metadata.snapshot_released t.meta;
+      Metadata.release_page_buf t.meta buf)
+    ts.snapshots;
+  Hashtbl.reset ts.snapshots;
+  ts.touch_order <- []
+
+(* Engine.I_corrupt: silently flip a byte in the newest live slice the
+   thread has published.  Nothing is signalled here — the damage must
+   be caught by checksum verification at propagation time, or by the
+   end-of-run audit in [on_finish]. *)
+let corrupt_metadata t ~tid =
+  match Hashtbl.find_opt t.states tid with
+  | None -> ()
+  | Some ts ->
+    let target = ref None in
+    Rfdet_util.Vec.iter ts.slices ~f:(fun (s : Slice.t) ->
+        if s.tid = tid && (not s.freed) && s.mods <> [] then target := Some s);
+    (match !target with
+    | None -> ()
+    | Some s -> (
+      match s.mods with
+      | [] -> ()
+      | r :: rest ->
+        let b = Bytes.of_string r.Diff.data in
+        Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xff));
+        s.mods <- { r with Diff.data = Bytes.unsafe_to_string b } :: rest))
+
 let do_joined t ~tid ~target ~now =
   let ts = state t ~tid in
   let target_state = state t ~tid:target in
@@ -483,6 +527,9 @@ let handle t ~tid (op : Op.t) : Engine.outcome =
   | Op.Cond_create -> Sync.cond_create sync ~tid
   | Op.Barrier_create parties -> Sync.barrier_create sync ~tid ~parties
   | Op.Lock m -> Sync.lock sync ~tid ~mutex:m
+  | Op.Trylock m -> Sync.trylock sync ~tid ~mutex:m
+  | Op.Lock_timed { mutex; timeout } -> Sync.lock_timed sync ~tid ~mutex ~timeout
+  | Op.Mutex_heal m -> Sync.mutex_heal sync ~tid ~mutex:m
   | Op.Unlock m -> Sync.unlock sync ~tid ~mutex:m
   | Op.Cond_wait { cond; mutex } -> Sync.cond_wait sync ~tid ~cond ~mutex
   | Op.Cond_signal c -> Sync.cond_signal sync ~tid ~cond:c
@@ -503,7 +550,8 @@ let handle t ~tid (op : Op.t) : Engine.outcome =
         (prev, acq + rel))
   | Op.Spawn body -> Sync.spawn sync ~tid ~body
   | Op.Join target -> Sync.join sync ~tid ~target
-  | Op.Tick _ | Op.Output _ | Op.Self | Op.Yield | Op.Malloc _ | Op.Free _ ->
+  | Op.Tick _ | Op.Output _ | Op.Self | Op.Yield | Op.Checkpoint _ | Op.Malloc _
+  | Op.Free _ ->
     assert false
 
 let shared_union_bytes t =
@@ -516,7 +564,23 @@ let shared_union_bytes t =
     t.states;
   Hashtbl.length pages * Page.size
 
+(* End-of-run metadata audit: verify every still-live published slice,
+   so a corruption whose slice was never selected for propagation is
+   still detected (the 100%-detection gate).  Each slice is audited in
+   its publisher's list only — propagated copies share the record. *)
+let audit_metadata t =
+  let p = prof t in
+  Hashtbl.iter
+    (fun tid (ts : Tstate.t) ->
+      Rfdet_util.Vec.iter ts.slices ~f:(fun (s : Slice.t) ->
+          if s.tid = tid && not (Slice.checksum_valid s) then begin
+            p.corruptions_detected <- p.corruptions_detected + 1;
+            Slice.rehash s
+          end))
+    t.states
+
 let on_finish t () =
+  if t.opts.verify_metadata then audit_metadata t;
   let p = prof t in
   let n = Engine.peak_live_threads t.engine in
   let shared = shared_union_bytes t in
@@ -563,6 +627,7 @@ let make_with_state ?(opts = Options.default) engine =
   in
   let sync = Sync.create engine hooks in
   t.sync <- Some sync;
+  Engine.set_on_corrupt engine (fun ~tid -> corrupt_metadata t ~tid);
   let policy =
     {
       Engine.policy_name = Options.name opts;

@@ -46,3 +46,18 @@ val last_release :
     release. *)
 
 val clock_size : t -> int
+
+(** {1 Recovery support} *)
+
+val sync : t -> Rfdet_kendo.Sync.t
+(** The runtime's synchronization layer — the recovery manager
+    ([Rfdet_recover]) uses it for lock healing and deadlock-victim
+    selection. *)
+
+val crash_recoverable : t -> tid:int -> unit
+(** Prepare a crashed thread for restart: restore every open page
+    snapshot into its private view (rolling uncommitted stores back to
+    the last release point) and drop the open slice's snapshot set.
+    The thread is not marked exited; call before
+    [Engine.restart_thread].  Idempotent on a thread with no open
+    slice. *)

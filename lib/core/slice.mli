@@ -15,6 +15,11 @@ type t = {
   time : Rfdet_util.Vclock.t;
   bytes : int;  (** cached [Diff.byte_count mods] *)
   mutable freed : bool;  (** reclaimed by the metadata GC *)
+  mutable checksum : int;
+      (** self-verifying digest of <tid, mods, time>, computed at [make];
+          [checksum_valid] recomputes and compares, so any later silent
+          damage to the stored modification bytes is detectable at
+          propagation time *)
 }
 
 val make : id:int -> tid:int -> mods:Rfdet_mem.Diff.t -> time:Rfdet_util.Vclock.t -> t
@@ -23,6 +28,19 @@ val make : id:int -> tid:int -> mods:Rfdet_mem.Diff.t -> time:Rfdet_util.Vclock.
     Slice-pointer lists keep the (now tiny) record so that resume indices
     stay stable; propagation skips freed slices. *)
 val free : t -> unit
+
+val compute_checksum :
+  tid:int -> mods:Rfdet_mem.Diff.t -> time:Rfdet_util.Vclock.t -> int
+(** The digest stored in [checksum]: FNV-1a-style over the thread id,
+    the vector-clock components and every run's address and bytes. *)
+
+val checksum_valid : t -> bool
+(** Recompute and compare.  Freed slices (empty mods by construction)
+    are vacuously valid. *)
+
+val rehash : t -> unit
+(** Recompute [checksum] from the current contents — used after a
+    quarantined slice is re-derived from the publisher's space. *)
 
 val overhead_bytes : int
 (** Fixed metadata footprint per slice record. *)

@@ -19,14 +19,14 @@ type op_class =
   | Create_op
   | Compute_op
 
-type action = Crash | Fail | Delay of int
+type action = Crash | Fail | Delay of int | Corrupt
 
 type site = { tid : int option; op : op_class; nth : int; action : action }
 
 type t = site list
 
 let classify : Op.t -> op_class = function
-  | Op.Lock _ -> Lock_op
+  | Op.Lock _ | Op.Trylock _ | Op.Lock_timed _ | Op.Mutex_heal _ -> Lock_op
   | Op.Unlock _ -> Unlock_op
   | Op.Cond_wait _ | Op.Cond_signal _ | Op.Cond_broadcast _ -> Cond_op
   | Op.Barrier_wait _ -> Barrier_op
@@ -39,7 +39,7 @@ let classify : Op.t -> op_class = function
   | Op.Store _ -> Store_op
   | Op.Output _ -> Output_op
   | Op.Mutex_create | Op.Cond_create | Op.Barrier_create _ -> Create_op
-  | Op.Tick _ | Op.Self | Op.Yield -> Compute_op
+  | Op.Tick _ | Op.Self | Op.Yield | Op.Checkpoint _ -> Compute_op
 
 let op_class_names =
   [
@@ -102,7 +102,8 @@ let injector plan =
       (match a.site.action with
       | Crash -> Engine.I_crash
       | Fail -> Engine.I_fail
-      | Delay d -> Engine.I_delay d)
+      | Delay d -> Engine.I_delay d
+      | Corrupt -> Engine.I_corrupt)
 
 (* ------------------------------------------------------------------ *)
 (* Concrete syntax                                                     *)
@@ -115,6 +116,7 @@ let to_string plan =
       | Crash -> "crash"
       | Fail -> "fail"
       | Delay d -> Printf.sprintf "delay=%d" d
+      | Corrupt -> "corrupt"
     in
     let tid = match s.tid with None -> "tid=*" | Some t -> Printf.sprintf "tid=%d" t in
     Printf.sprintf "%s,%s,op=%s,n=%d" action tid (op_class_name s.op) s.nth
@@ -134,13 +136,15 @@ let parse_site clause =
       match String.split_on_char '=' action_str with
       | [ "crash" ] -> Ok Crash
       | [ "fail" ] -> Ok Fail
+      | [ "corrupt" ] -> Ok Corrupt
       | [ "delay"; d ] -> (
         match int_of_string_opt d with
         | Some d when d >= 0 -> Ok (Delay d)
         | _ -> Error (Printf.sprintf "bad delay %S" d))
       | _ ->
         Error
-          (Printf.sprintf "unknown action %S (expected crash, fail or delay=K)"
+          (Printf.sprintf
+             "unknown action %S (expected crash, fail, corrupt or delay=K)"
              action_str)
     in
     Result.bind action (fun action ->
@@ -188,6 +192,8 @@ let parse s =
     |> Result.map List.rev
 
 let pp ppf plan = Format.pp_print_string ppf (to_string plan)
+
+let has_wildcard plan = List.exists (fun s -> s.tid = None) plan
 
 (* ------------------------------------------------------------------ *)
 (* Seeded random plans                                                 *)

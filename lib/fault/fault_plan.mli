@@ -37,6 +37,11 @@ type action =
   | Crash  (** kill the thread at the boundary; see [Engine.I_crash] *)
   | Fail  (** fail the operation; see [Engine.I_fail] *)
   | Delay of int  (** stall the thread by this many cycles *)
+  | Corrupt
+      (** silently damage the runtime's stored metadata for this thread
+          at the boundary; the operation itself proceeds normally.  The
+          damage must be {e detected} later by the runtime's
+          self-verifying checksums (see [Engine.I_corrupt]). *)
 
 type site = {
   tid : int option;  (** [None] = any thread (see determinism caveat) *)
@@ -65,6 +70,11 @@ val injector : t -> tid:int -> Rfdet_sim.Op.t -> Rfdet_sim.Engine.injection
     run regardless of scheduling jitter.  A wildcard-tid site counts
     operations in global scheduler order and is deterministic only
     under a deterministic schedule. *)
+
+val has_wildcard : t -> bool
+(** True when any site has [tid = None].  Such plans are deterministic
+    only under a deterministic schedule — [Determinism.check_faults]
+    and the CLI use this to warn or reject. *)
 
 val parse : string -> (t, string) result
 

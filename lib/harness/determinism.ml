@@ -46,6 +46,18 @@ let check ?(threads = 4) ?(scale = 1.0) ?(runs = 20) ?(jitter = 12.0) ?faults
    every crash outcome — across scheduling jitter.  The crashes of one
    representative run are returned for reporting. *)
 let check_faults ?threads ?scale ?runs ?jitter ~plan runtime workload =
+  (* A wildcard-tid site counts matching operations in global scheduler
+     order (fault_plan.mli), so under jitter it fires at different
+     program points across runs — the check would report the injector's
+     nondeterminism, not the runtime's.  Reject instead of silently
+     producing a meaningless verdict. *)
+  (if Rfdet_fault.Fault_plan.has_wildcard plan
+   && Option.value jitter ~default:12.0 > 0.
+  then
+    invalid_arg
+      "Determinism.check_faults: fault plan has a wildcard-tid site, which \
+       is only deterministic under a jitter-free schedule; qualify the site \
+       with tid=K or pass ~jitter:0.");
   let report = check ?threads ?scale ?runs ?jitter ~faults:plan runtime workload in
   let witness =
     Runner.run ?threads ?scale ~sched_seed:1L ?jitter ~faults:plan runtime

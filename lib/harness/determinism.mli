@@ -42,6 +42,12 @@ val check_faults :
   report * (int * string) list
 (** Fault determinism: same seed + same fault plan across jittered runs
     must give one signature, crash outcomes included.  Also returns the
-    contained crashes of a representative run. *)
+    contained crashes of a representative run.
+
+    Raises [Invalid_argument] when the plan contains a wildcard-tid
+    site and jitter is nonzero: such sites count operations in global
+    scheduler order, so the check would measure the injector's own
+    schedule-dependence rather than the runtime's determinism.
+    Qualify sites with [tid=K] or pass [~jitter:0.]. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -1,6 +1,7 @@
 module Engine = Rfdet_sim.Engine
 module Options = Rfdet_core.Options
 module Workload = Rfdet_workloads.Workload
+module Recover = Rfdet_recover.Recover
 
 type runtime = Pthreads | Kendo | Dthreads | Coredet | Rfdet of Options.t
 
@@ -30,6 +31,7 @@ type run_result = {
   sim_time : int;
   wall_seconds : float;
   signature : string;
+  output_checksum : string;
   outputs : (int * int64) list;
   profile : Rfdet_sim.Profile.t;
   threads : int;
@@ -41,9 +43,19 @@ type run_result = {
 
 let run ?(threads = 4) ?(scale = 1.0) ?(input_seed = 42L) ?(sched_seed = 1L)
     ?(jitter = 0.) ?(cost = Rfdet_sim.Cost.default) ?(trace = 0) ?faults
-    ?(failure_mode = Engine.Contain) ?(obs = Rfdet_obs.Sink.null) runtime
-    workload =
+    ?(failure_mode = Engine.Contain) ?recover_config
+    ?(obs = Rfdet_obs.Sink.null) runtime workload =
   let cfg = { Workload.threads; scale; input_seed } in
+  (* An explicit Recover applies even without a fault plan (deadlock
+     victims need no injector); otherwise the mode only takes effect
+     when a plan is given, so fault-free runs keep the engine default
+     of aborting on failure. *)
+  let effective_mode =
+    match faults, failure_mode with
+    | _, Engine.Recover -> Engine.Recover
+    | None, _ -> Engine.default_config.failure_mode
+    | Some _, m -> m
+  in
   let config =
     {
       Engine.default_config with
@@ -51,18 +63,53 @@ let run ?(threads = 4) ?(scale = 1.0) ?(input_seed = 42L) ?(sched_seed = 1L)
       seed = sched_seed;
       jitter_mean = jitter;
       trace_capacity = trace;
-      failure_mode =
-        (match faults with None -> Engine.default_config.failure_mode
-        | Some _ -> failure_mode);
+      failure_mode = effective_mode;
       (* a fresh injector per run: occurrence counters are mutable *)
       inject = Option.map Rfdet_fault.Fault_plan.injector faults;
       obs;
     }
   in
-  let t0 = Unix.gettimeofday () in
-  let r =
-    Engine.run ~config (make_policy runtime) ~main:(workload.Workload.main cfg)
+  let main = workload.Workload.main cfg in
+  (* Under Recover, runtimes with a Kendo sync layer get a recovery
+     manager: restartable spawns, lock healing, deadlock victims.  The
+     fence baselines (dthreads, coredet) and pthreads have no
+     per-thread recovery path and run unmanaged. *)
+  let maker engine =
+    let base, hooks =
+      match runtime with
+      | Rfdet opts ->
+        let state, policy =
+          Rfdet_core.Rfdet_runtime.make_with_state ~opts engine
+        in
+        ( policy,
+          Some
+            {
+              Recover.rh_sync = Some (Rfdet_core.Rfdet_runtime.sync state);
+              prepare_restart =
+                (fun ~tid ->
+                  Rfdet_core.Rfdet_runtime.crash_recoverable state ~tid);
+            } )
+      | Kendo ->
+        let sync, policy =
+          Rfdet_baselines.Kendo_runtime.make_with_sync engine
+        in
+        ( policy,
+          Some
+            {
+              Recover.rh_sync = Some sync;
+              prepare_restart = (fun ~tid:_ -> ());
+            } )
+      | Pthreads | Dthreads | Coredet -> ((make_policy runtime) engine, None)
+    in
+    match effective_mode, hooks with
+    | Engine.Recover, Some hooks ->
+      let mgr = Recover.create ?config:recover_config engine hooks in
+      Recover.register mgr ~tid:0 main;
+      Recover.attach mgr base
+    | _ -> base
   in
+  let t0 = Unix.gettimeofday () in
+  let r = Engine.run ~config maker ~main in
   let wall_seconds = Unix.gettimeofday () -. t0 in
   {
     runtime = runtime_name runtime;
@@ -70,6 +117,7 @@ let run ?(threads = 4) ?(scale = 1.0) ?(input_seed = 42L) ?(sched_seed = 1L)
     sim_time = r.Engine.sim_time;
     wall_seconds;
     signature = Engine.output_signature r;
+    output_checksum = Engine.outputs_checksum r;
     outputs = r.Engine.outputs;
     profile = r.Engine.profile;
     threads = r.Engine.threads;

@@ -24,6 +24,10 @@ type run_result = {
   sim_time : int;  (** simulated cycles (the run's makespan) *)
   wall_seconds : float;  (** host time spent simulating *)
   signature : string;  (** digest of observable outputs *)
+  output_checksum : string;
+      (** digest of outputs only, ignoring crash records
+          ([Engine.outputs_checksum]) — a fully recovered run matches
+          the fault-free run here even though [signature] differs *)
   outputs : (int * int64) list;
   profile : Rfdet_sim.Profile.t;
   threads : int;
@@ -47,6 +51,7 @@ val run :
   ?trace:int ->
   ?faults:Rfdet_fault.Fault_plan.t ->
   ?failure_mode:Rfdet_sim.Engine.failure_mode ->
+  ?recover_config:Rfdet_recover.Recover.config ->
   ?obs:Rfdet_obs.Sink.t ->
   runtime ->
   Rfdet_workloads.Workload.t ->
@@ -56,5 +61,10 @@ val run :
     pass a nonzero jitter and vary [sched_seed]).  [faults] runs the
     workload under an injected fault plan; [failure_mode] (default
     [Contain]) only applies when a plan is given — fault-free runs keep
-    the engine default of aborting on failure.  [obs] (default disabled)
-    collects the causal trace; enabling it never changes signatures. *)
+    the engine default of aborting on failure — except that an explicit
+    [Recover] always applies (deadlock victims need no fault plan).
+    Under [Recover], the RFDet and Kendo runtimes get a
+    [Rfdet_recover.Recover] manager (tuned by [recover_config]): every
+    spawned thread is restartable from entry, the main thread from the
+    workload start.  [obs] (default disabled) collects the causal
+    trace; enabling it never changes signatures. *)

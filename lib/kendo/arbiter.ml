@@ -8,16 +8,35 @@ type pending_req = {
 
 type state = Active | Inactive | Pending of pending_req
 
+(* A deadline filed alongside the turn requests: fires (at most once)
+   when its stamp becomes grantable, i.e. when every other active thread
+   is deterministically past the deadline instruction count.  Backs
+   [lock_timed]: the expiry point depends only on instruction counts, so
+   whether the lock or the timeout wins is jitter-independent. *)
+type timer = {
+  tm_stamp : int * int;  (* (deadline icount, tid) *)
+  tm_fire : now:int -> unit;
+}
+
 type t = {
   engine : Engine.t;
   states : (int, state) Hashtbl.t;
+  timers : (int, timer) Hashtbl.t;  (* at most one per waiting tid *)
 }
 
-let create engine = { engine; states = Hashtbl.create 16 }
+let create engine =
+  { engine; states = Hashtbl.create 16; timers = Hashtbl.create 4 }
 
 let thread_started t ~tid = Hashtbl.replace t.states tid Active
 
-let thread_finished t ~tid = Hashtbl.remove t.states tid
+let thread_finished t ~tid =
+  Hashtbl.remove t.states tid;
+  Hashtbl.remove t.timers tid
+
+let add_timer t ~tid ~deadline ~fire =
+  Hashtbl.replace t.timers tid { tm_stamp = (deadline, tid); tm_fire = fire }
+
+let cancel_timer t ~tid = Hashtbl.remove t.timers tid
 
 let set_inactive t ~tid = Hashtbl.replace t.states tid Inactive
 
@@ -76,33 +95,55 @@ let grantable t tid (stamp : int * int) =
     t.states;
   !ok
 
+(* The turn became available when the last other active thread's
+   instruction count passed the stamp.  Instruction counts advance
+   in proportion to app cycles, so the crossing moment can be
+   interpolated from (clock, icount) instead of being quantized to
+   whole-operation completions — without this, one coarse Tick in a
+   peer thread would inflate every waiter's grant time. *)
+let crossing_time t tid c ~floor =
+  Hashtbl.fold
+    (fun tid' st acc ->
+      match st with
+      | Active when tid' <> tid ->
+        let crossed =
+          Engine.clock t.engine tid'
+          - max 0 (Engine.icount t.engine tid' - c)
+        in
+        max acc crossed
+      | Active | Inactive | Pending _ -> acc)
+    t.states floor
+
+let min_timer t =
+  Hashtbl.fold
+    (fun tid tm acc ->
+      match acc with
+      | None -> Some (tid, tm)
+      | Some (_, best) when tm.tm_stamp < best.tm_stamp -> Some (tid, tm)
+      | Some _ -> acc)
+    t.timers None
+
+(* Requests and timers share one deterministic grant order: the globally
+   minimal stamp goes first, so a timeout cannot leapfrog a turn that
+   deterministically precedes it (or vice versa). *)
 let rec poll t =
-  match min_pending t with
+  let next =
+    match min_pending t, min_timer t with
+    | None, None -> None
+    | Some (tid, p), None -> Some (`Req (tid, p))
+    | None, Some (tid, tm) -> Some (`Timer (tid, tm))
+    | Some (rtid, p), Some (ttid, tm) ->
+      if p.stamp <= tm.tm_stamp then Some (`Req (rtid, p))
+      else Some (`Timer (ttid, tm))
+  in
+  match next with
   | None -> ()
-  | Some (tid, p) ->
+  | Some (`Req (tid, p)) ->
     if grantable t tid p.stamp then begin
       Hashtbl.replace t.states tid Active;
       let mine = Engine.clock t.engine tid in
-      (* The turn became available when the last other active thread's
-         instruction count passed the stamp.  Instruction counts advance
-         in proportion to app cycles, so the crossing moment can be
-         interpolated from (clock, icount) instead of being quantized to
-         whole-operation completions — without this, one coarse Tick in a
-         peer thread would inflate every waiter's grant time. *)
       let c, _ = p.stamp in
-      let now =
-        Hashtbl.fold
-          (fun tid' st acc ->
-            match st with
-            | Active when tid' <> tid ->
-              let crossed =
-                Engine.clock t.engine tid'
-                - max 0 (Engine.icount t.engine tid' - c)
-              in
-              max acc crossed
-            | Active | Inactive | Pending _ -> acc)
-          t.states mine
-      in
+      let now = crossing_time t tid c ~floor:mine in
       if now > p.asked_at then begin
         let prof = Engine.profile t.engine in
         prof.kendo_waits <- prof.kendo_waits + 1;
@@ -112,6 +153,14 @@ let rec poll t =
             (Rfdet_obs.Trace.Kendo_wait { cycles = now - p.asked_at })
       end;
       p.grant ~now;
+      poll t
+    end
+  | Some (`Timer (tid, tm)) ->
+    if grantable t tid tm.tm_stamp then begin
+      Hashtbl.remove t.timers tid;
+      let c, _ = tm.tm_stamp in
+      let now = crossing_time t tid c ~floor:(Engine.clock t.engine tid) in
+      tm.tm_fire ~now;
       poll t
     end
 

@@ -51,8 +51,20 @@ val request : t -> tid:int -> grant:(now:int -> unit) -> unit
     order). *)
 val reservation_rank : t -> tid:int -> int
 
-(** [poll t] grants every currently grantable request, in stamp order.
-    Call after every engine step. *)
+(** [add_timer t ~tid ~deadline ~fire] files a deterministic timeout for
+    a waiting thread: [fire ~now] runs once [deadline] (an absolute
+    instruction count, stamped (deadline, tid)) becomes grantable under
+    the same rule as turn requests, merged into the same min-stamp
+    order.  At most one timer per tid; refiling replaces.  Backs
+    [Op.Lock_timed]. *)
+val add_timer : t -> tid:int -> deadline:int -> fire:(now:int -> unit) -> unit
+
+(** [cancel_timer t ~tid] — discard the timer (the wait completed
+    first).  No-op when absent. *)
+val cancel_timer : t -> tid:int -> unit
+
+(** [poll t] grants every currently grantable request and fires every
+    due timer, in global stamp order.  Call after every engine step. *)
 val poll : t -> unit
 
 (** [pending_count t] — outstanding requests (diagnostics). *)

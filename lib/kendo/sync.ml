@@ -29,11 +29,15 @@ let trivial_hooks =
 
 (* Result values delivered to woken threads: [ok] for a normal grant,
    [fault] when the grant carries a crash consequence — a poisoned
-   mutex, a broken barrier, or a join on a crashed thread.  The Api
-   layer maps them to [`Ok]/[`Poisoned]/[`Broken]/[`Crashed]. *)
+   mutex, a broken barrier, or a join on a crashed thread — and [busy]
+   when a trylock found the mutex held or a timed lock expired.  The Api
+   layer maps them to [`Ok]/[`Poisoned]/[`Broken]/[`Crashed]/[`Busy]/
+   [`Timed_out]. *)
 let ok = 0
 
 let fault = 1
+
+let busy = 2
 
 type mutex_state = {
   mutable owner : int option;
@@ -43,8 +47,12 @@ type mutex_state = {
          the trace splits its total wait into arbiter vs. queue time *)
   mutable acquired_at : int;  (* grant time of the current owner *)
   mutable poisoned : bool;
-      (* a crash released this mutex; sticky, observed by every later
-         acquirer (à la Rust's lock poisoning) *)
+      (* a crash released this mutex; sticky until healed, observed by
+         every later acquirer (à la Rust's lock poisoning) *)
+  mutable poisoned_by : int option;
+      (* the tid whose crash poisoned it: a clean unlock by that same
+         (restarted) thread heals the mutex — it held the lock and
+         re-established the invariant *)
 }
 
 type cond_state = { cond_waiters : (int * int) Queue.t }
@@ -119,7 +127,13 @@ let obs t = Engine.obs t.engine
 let mutex_create t ~tid:_ =
   let h = fresh_handle t in
   Hashtbl.replace t.mutexes h
-    { owner = None; queue = Queue.create (); acquired_at = 0; poisoned = false };
+    {
+      owner = None;
+      queue = Queue.create ();
+      acquired_at = 0;
+      poisoned = false;
+      poisoned_by = None;
+    };
   Engine.Done h
 
 let cond_create t ~tid:_ =
@@ -148,6 +162,8 @@ let grant_mutex t ~tid ~mutex ~now ~asked ~enq =
   assert (st.owner = None);
   st.owner <- Some tid;
   st.acquired_at <- now;
+  (* the wait completed before any lock_timed deadline *)
+  Arbiter.cancel_timer t.arb ~tid;
   (let o = obs t in
    if Rfdet_obs.Sink.enabled o then
      Rfdet_obs.Sink.emit o ~tid ~time:now
@@ -172,6 +188,40 @@ let emit_release t ~tid ~mutex ~now =
       (Rfdet_obs.Trace.Lock_release
          { obj = "mutex"; handle = mutex; hold = max 0 (now - st.acquired_at) })
 
+let remove_from_queue q ~tid =
+  let kept =
+    Queue.fold (fun acc ((w, _, _) as e) -> if w = tid then acc else e :: acc)
+      [] q
+  in
+  Queue.clear q;
+  List.iter (fun x -> Queue.add x q) (List.rev kept)
+
+let remove_from_cond_queue q ~tid =
+  let kept =
+    Queue.fold (fun acc ((w, _) as e) -> if w = tid then acc else e :: acc) [] q
+  in
+  Queue.clear q;
+  List.iter (fun e -> Queue.add e q) (List.rev kept)
+
+let emit_recovery t ~tid ~now ~action ~target ~attempt ~cycles =
+  let o = obs t in
+  if Rfdet_obs.Sink.enabled o then
+    Rfdet_obs.Sink.emit o ~tid ~time:now
+      (Rfdet_obs.Trace.Recovery { action; target; attempt; cycles })
+
+(* Un-poison: the caller holds the mutex and vouches for the protected
+   invariant (explicitly via [mutex_heal], or implicitly by being the
+   restarted crasher completing a clean critical section). *)
+let heal_mutex t ~tid ~mutex ~now =
+  let st = mutex_state t mutex in
+  if st.poisoned then begin
+    st.poisoned <- false;
+    st.poisoned_by <- None;
+    let p = Engine.profile t.engine in
+    p.heals <- p.heals + 1;
+    emit_recovery t ~tid ~now ~action:"heal" ~target:mutex ~attempt:0 ~cycles:0
+  end
+
 let lock t ~tid ~mutex =
   Engine.advance t.engine tid (sync_cost t);
   let asked = Engine.clock t.engine tid in
@@ -183,6 +233,54 @@ let lock t ~tid ~mutex =
         (* Queue in deterministic reservation order; stay blocked. *)
         Queue.add (tid, asked, now) st.queue;
         Arbiter.set_inactive t.arb ~tid);
+  Engine.Block
+
+let trylock t ~tid ~mutex =
+  Engine.advance t.engine tid (sync_cost t);
+  let asked = Engine.clock t.engine tid in
+  Arbiter.request t.arb ~tid ~grant:(fun ~now ->
+      let st = mutex_state t mutex in
+      match st.owner with
+      | None -> grant_mutex t ~tid ~mutex ~now ~asked ~enq:now
+      | Some _ ->
+        (* Held: report busy without queueing.  The answer depends only
+           on the arbiter state at this deterministic turn. *)
+        Engine.wake t.engine ~tid ~value:busy ~not_before:(now + sync_cost t));
+  Engine.Block
+
+let lock_timed t ~tid ~mutex ~timeout =
+  Engine.advance t.engine tid (sync_cost t);
+  let asked = Engine.clock t.engine tid in
+  (* Absolute icount deadline, fixed at the request: expiry is granted
+     through the arbiter's min-stamp order, so whether the lock or the
+     timeout wins is jitter-independent. *)
+  let deadline = Engine.icount t.engine tid + max 0 timeout in
+  Arbiter.request t.arb ~tid ~grant:(fun ~now ->
+      let st = mutex_state t mutex in
+      match st.owner with
+      | None -> grant_mutex t ~tid ~mutex ~now ~asked ~enq:now
+      | Some _ ->
+        Queue.add (tid, asked, now) st.queue;
+        Arbiter.set_inactive t.arb ~tid;
+        Arbiter.add_timer t.arb ~tid ~deadline ~fire:(fun ~now ->
+            remove_from_queue st.queue ~tid;
+            Arbiter.set_active t.arb ~tid;
+            Engine.wake t.engine ~tid ~value:busy
+              ~not_before:(max now (Engine.clock t.engine tid) + sync_cost t)));
+  Engine.Block
+
+let mutex_heal t ~tid ~mutex =
+  Engine.advance t.engine tid (sync_cost t);
+  Arbiter.request t.arb ~tid ~grant:(fun ~now ->
+      let st = mutex_state t mutex in
+      (match st.owner with
+      | Some owner when owner = tid -> ()
+      | Some _ | None ->
+        invalid_arg
+          (Printf.sprintf "Sync.mutex_heal: tid %d does not hold mutex %d" tid
+             mutex));
+      heal_mutex t ~tid ~mutex ~now;
+      Engine.wake t.engine ~tid ~value:0 ~not_before:(now + sync_cost t));
   Engine.Block
 
 (* Pass a free mutex to the head of its queue, if any. *)
@@ -204,6 +302,10 @@ let unlock t ~tid ~mutex =
         invalid_arg
           (Printf.sprintf "Sync.unlock: tid %d does not hold mutex %d" tid
              mutex));
+      (* The thread whose crash poisoned this mutex completed a clean
+         critical section after restarting: invariant re-established. *)
+      if st.poisoned && st.poisoned_by = Some tid then
+        heal_mutex t ~tid ~mutex ~now;
       emit_release t ~tid ~mutex ~now;
       let extra = t.hooks.release ~tid ~obj:(Mutex_obj mutex) ~now in
       st.owner <- None;
@@ -378,21 +480,6 @@ let on_thread_exit t ~tid =
       waiting);
   Arbiter.poll t.arb
 
-let remove_from_queue q ~tid =
-  let kept =
-    Queue.fold (fun acc ((w, _, _) as e) -> if w = tid then acc else e :: acc)
-      [] q
-  in
-  Queue.clear q;
-  List.iter (fun x -> Queue.add x q) (List.rev kept)
-
-let remove_from_cond_queue q ~tid =
-  let kept =
-    Queue.fold (fun acc ((w, _) as e) -> if w = tid then acc else e :: acc) [] q
-  in
-  Queue.clear q;
-  List.iter (fun e -> Queue.add e q) (List.rev kept)
-
 (* Crash containment.  Everything here iterates objects in ascending
    handle order, so the repair sequence — and therefore which survivor
    observes what — is a pure function of the crash point, never of the
@@ -426,6 +513,7 @@ let on_thread_crash t ~tid =
       emit_release t ~tid ~mutex:m ~now;
       let st = mutex_state t m in
       st.poisoned <- true;
+      st.poisoned_by <- Some tid;
       st.owner <- None;
       pass_mutex t ~mutex:m ~now)
     (sorted_handles t.mutexes (fun st -> st.owner = Some tid));
@@ -463,11 +551,107 @@ let on_thread_crash t ~tid =
       waiting);
   Arbiter.poll t.arb
 
+(* Recoverable crash: the thread will be resurrected, so the world must
+   stay waitable-for.  Compared to full containment this (1) does NOT
+   mark the thread crashed — joins keep blocking until the restarted
+   body exits; (2) does NOT break barriers — the restarted thread will
+   re-arrive (its own stale arrival is retracted); (3) still poisons and
+   hands off held mutexes, recording the crasher so its clean unlock
+   after restart heals them.  Same ascending-handle determinism as
+   [on_thread_crash]. *)
+let on_thread_crash_recoverable t ~tid =
+  Arbiter.thread_finished t.arb ~tid;
+  let sorted_handles tbl pred =
+    Hashtbl.fold (fun h st acc -> if pred st then h :: acc else acc) tbl []
+    |> List.sort compare
+  in
+  Hashtbl.iter (fun _ st -> remove_from_queue st.queue ~tid) t.mutexes;
+  Hashtbl.iter (fun _ st -> remove_from_cond_queue st.cond_waiters ~tid) t.conds;
+  Hashtbl.filter_map_inplace
+    (fun _ joiners ->
+      match List.filter (fun j -> j <> tid) joiners with
+      | [] -> None
+      | l -> Some l)
+    t.joiners;
+  Hashtbl.iter
+    (fun _ st -> st.arrived <- List.filter (fun (p, _) -> p <> tid) st.arrived)
+    t.barriers;
+  let now = Engine.clock t.engine tid in
+  List.iter
+    (fun m ->
+      emit_release t ~tid ~mutex:m ~now;
+      let st = mutex_state t m in
+      st.poisoned <- true;
+      st.poisoned_by <- Some tid;
+      st.owner <- None;
+      pass_mutex t ~mutex:m ~now)
+    (sorted_handles t.mutexes (fun st -> st.owner = Some tid));
+  Arbiter.poll t.arb
+
+(* The restarted tid rejoins the arbiter's active set with its preserved
+   (monotone) instruction count. *)
+let on_thread_restarted t ~tid = Arbiter.thread_started t.arb ~tid
+
+(* Deadlock victim selection over the wait-for graph.  Each blocked
+   thread waits on at most one thing, so the graph is functional: mutex
+   queue waiter -> owner, joiner -> join target (condition variables
+   have no owner and contribute no edge).  Called at a total stall —
+   a schedule-independent point for a deterministic runtime — and the
+   victim is the cycle node with the lowest Kendo logical time
+   ((icount, tid) order), so the choice is deterministic too. *)
+let deadlock_victim t =
+  let next = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun _ st ->
+      match st.owner with
+      | Some o -> Queue.iter (fun (w, _, _) -> Hashtbl.replace next w o) st.queue
+      | None -> ())
+    t.mutexes;
+  Hashtbl.iter
+    (fun target joiners ->
+      List.iter (fun j -> Hashtbl.replace next j target) joiners)
+    t.joiners;
+  let color = Hashtbl.create 16 in
+  let run = ref 0 in
+  let cyc = ref [] in
+  let starts =
+    Hashtbl.fold (fun n _ acc -> n :: acc) next [] |> List.sort compare
+  in
+  List.iter
+    (fun start ->
+      incr run;
+      let rec chase node =
+        match Hashtbl.find_opt color node with
+        | Some r when r = !run ->
+          (* back-edge into this walk: the loop from [node] is a cycle *)
+          let rec loop x acc =
+            let nx = Hashtbl.find next x in
+            if nx = node then x :: acc else loop nx (x :: acc)
+          in
+          cyc := loop node [] @ !cyc
+        | Some _ -> ()
+        | None ->
+          Hashtbl.replace color node !run;
+          (match Hashtbl.find_opt next node with
+          | Some nx -> chase nx
+          | None -> ());
+          Hashtbl.replace color node 0
+      in
+      chase start)
+    starts;
+  match !cyc with
+  | [] -> None
+  | hd :: tl ->
+    let key tid = (Engine.icount t.engine tid, tid) in
+    Some (List.fold_left (fun b x -> if key x < key b then x else b) hd tl)
+
 let poll t = Arbiter.poll t.arb
 
 let holder t ~mutex = (mutex_state t mutex).owner
 
 let mutex_poisoned t ~mutex = (mutex_state t mutex).poisoned
+
+let mutex_poisoned_by t ~mutex = (mutex_state t mutex).poisoned_by
 
 let barrier_broken t ~barrier = (barrier_state t barrier).broken
 

@@ -59,6 +59,28 @@ val mutex_create : t -> tid:int -> Rfdet_sim.Engine.outcome
 
 val lock : t -> tid:int -> mutex:int -> Rfdet_sim.Engine.outcome
 
+val trylock : t -> tid:int -> mutex:int -> Rfdet_sim.Engine.outcome
+(** Non-blocking acquire: takes a deterministic turn, then either
+    acquires (waking with 0/1 for clean/poisoned) or reports busy
+    (waking with 2) without queueing. *)
+
+val lock_timed :
+  t -> tid:int -> mutex:int -> timeout:int -> Rfdet_sim.Engine.outcome
+(** [lock] with a deterministic deadline of [timeout] counted
+    instructions from the request, filed as an arbiter timer in the same
+    min-stamp grant order as turn requests.  If the mutex is granted
+    first the timer is cancelled; if the deadline is granted first the
+    waiter leaves the queue and wakes with 2 ([`Timed_out]). *)
+
+val mutex_heal :
+  t -> tid:int -> mutex:int -> Rfdet_sim.Engine.outcome
+(** Un-poison a mutex the caller holds (raises [Invalid_argument]
+    otherwise): the caller declares the protected invariant
+    re-established.  A poisoned mutex also heals automatically when the
+    restarted thread whose crash poisoned it completes a clean
+    [unlock].  Counted in [Profile.heals] and traced as a [Recovery]
+    event. *)
+
 val unlock : t -> tid:int -> mutex:int -> Rfdet_sim.Engine.outcome
 
 val cond_create : t -> tid:int -> Rfdet_sim.Engine.outcome
@@ -99,6 +121,26 @@ val on_thread_crash : t -> tid:int -> unit
     and (4) completes current and future joins on the crashed thread
     with [`Crashed]. *)
 
+val on_thread_crash_recoverable : t -> tid:int -> unit
+(** Crash cleanup for a thread that will be *restarted* (the Recover
+    path): purges it from the arbiter and every wait queue and poisons
+    its held mutexes exactly like [on_thread_crash], but does NOT mark
+    it crashed, fail its joiners, or break its barriers — joiners keep
+    waiting for the restarted body, and the thread's stale barrier
+    arrival is retracted so it can re-arrive. *)
+
+val on_thread_restarted : t -> tid:int -> unit
+(** Re-register a restarted tid with the arbiter (active, preserved
+    instruction count).  Call before the restarted body first runs. *)
+
+val deadlock_victim : t -> int option
+(** Wait-for-graph cycle detection: mutex-queue waiter → owner and
+    joiner → target edges.  Returns the deterministic victim — the
+    cycle node with the smallest (icount, tid) — or [None] when the
+    stall is not a cycle (e.g. a lone cond_wait nobody will signal).
+    Meaningful at a total stall, where it is schedule-independent for a
+    deterministic runtime. *)
+
 val poll : t -> unit
 (** Must be wired into the policy's [on_step]. *)
 
@@ -107,8 +149,13 @@ val arbiter : t -> Arbiter.t
 (** [holder t ~mutex] — current owner, for assertions in tests. *)
 val holder : t -> mutex:int -> int option
 
-(** [mutex_poisoned t ~mutex] — true once a crash released the mutex. *)
+(** [mutex_poisoned t ~mutex] — true once a crash released the mutex
+    (and no heal has happened since). *)
 val mutex_poisoned : t -> mutex:int -> bool
+
+(** [mutex_poisoned_by t ~mutex] — the tid whose crash poisoned it;
+    [None] once healed (or never poisoned). *)
+val mutex_poisoned_by : t -> mutex:int -> int option
 
 (** [barrier_broken t ~barrier] — true once a party crashed. *)
 val barrier_broken : t -> barrier:int -> bool

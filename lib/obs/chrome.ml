@@ -104,6 +104,11 @@ let export ?(process = "rfdet") events =
       | Trace.Snapshot _ -> instant "monitor"
       | Trace.Prop_page _ -> instant "propagation"
       | Trace.Fault _ -> instant "fault"
+      | Trace.Recovery { cycles; _ } ->
+        if cycles > 0 then
+          add_event b ~first ~name ~cat:"recovery" ~ph:"X" ~ts:e.time
+            ~tid:e.tid ~dur:cycles ~args ()
+        else instant "recovery"
       | Trace.Thread_exit | Trace.Thread_crash -> instant "lifecycle")
     events;
   Buffer.add_string b "\n]}\n";

@@ -6,6 +6,7 @@ type breakdown = {
   diff : int;
   gc : int;
   monitor : int;
+  recover : int;
 }
 
 let breakdown ~total events =
@@ -15,6 +16,7 @@ let breakdown ~total events =
   let gc = ref 0 in
   let snapshot = ref 0 in
   let close = ref 0 in
+  let recover = ref 0 in
   List.iter
     (fun (e : Trace.event) ->
       match e.kind with
@@ -26,12 +28,13 @@ let breakdown ~total events =
       | Trace.Gc { cycles; _ } -> gc := !gc + cycles
       | Trace.Snapshot { cycles; _ } -> snapshot := !snapshot + cycles
       | Trace.Slice_close { cycles; _ } -> close := !close + cycles
+      | Trace.Recovery { cycles; _ } -> recover := !recover + cycles
       | _ -> ())
     events;
   (* Diffs and GC happen inside slice close; what's left of the close
      cost is bookkeeping, which we lump with snapshots as "monitor". *)
   let monitor = !snapshot + max 0 (!close - !diff - !gc) in
-  let attributed = !wait + !propagate + !diff + !gc + monitor in
+  let attributed = !wait + !propagate + !diff + !gc + monitor + !recover in
   {
     total;
     compute = max 0 (total - attributed);
@@ -40,6 +43,7 @@ let breakdown ~total events =
     diff = !diff;
     gc = !gc;
     monitor;
+    recover = !recover;
   }
 
 type lock_row = {
@@ -125,6 +129,9 @@ let fill_metrics m events =
       | Trace.Kendo_wait { cycles } -> Metrics.observe m "kendo.wait" cycles
       | Trace.Barrier_stall { cycles; _ } ->
         Metrics.observe m "barrier.stall" cycles
+      | Trace.Recovery { action; cycles; _ } ->
+        Metrics.incr m ("recovery." ^ action);
+        Metrics.observe m "recovery.cycles" cycles
       | _ -> ())
     events
 
@@ -146,6 +153,7 @@ let render_breakdown b =
   line "diff" b.diff;
   line "gc" b.gc;
   line "monitor" b.monitor;
+  line "recover" b.recover;
   Buffer.add_string buf (Printf.sprintf "  %-10s %12d\n" "total" b.total);
   Buffer.contents buf
 

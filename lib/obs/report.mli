@@ -14,6 +14,9 @@ type breakdown = {
   diff : int;
   gc : int;
   monitor : int;  (** snapshots + slice-close bookkeeping beyond diff/GC *)
+  recover : int;
+      (** time lost to recovery: restart backoff, re-derivation,
+          victim/heal bookkeeping (sum of [Recovery] event cycles) *)
 }
 
 val breakdown : total:int -> Trace.event list -> breakdown
@@ -42,7 +45,8 @@ val fill_metrics : Metrics.t -> Trace.event list -> unit
 (** Derive distributional metrics from the trace: histograms
     [slice.bytes], [slice.pages], [diff.bytes], [propagate.cycles],
     [propagate.bytes], [lock.wait], [lock.hold], [kendo.wait],
-    [barrier.stall]; counters [trace.events] and [trace.<kind>]. *)
+    [barrier.stall], [recovery.cycles]; counters [trace.events],
+    [trace.<kind>] and [recovery.<action>]. *)
 
 val render_breakdown : breakdown -> string
 (** Figure-7-style table: one line per component with cycles and share

@@ -11,6 +11,7 @@ type kind =
   | Kendo_wait of { cycles : int }
   | Barrier_stall of { barrier : int; cycles : int }
   | Fault of { op : string; action : string }
+  | Recovery of { action : string; target : int; attempt : int; cycles : int }
   | Thread_exit
   | Thread_crash
 
@@ -35,6 +36,7 @@ let kind_name = function
   | Kendo_wait _ -> "kendo_wait"
   | Barrier_stall _ -> "barrier_stall"
   | Fault _ -> "fault"
+  | Recovery _ -> "recovery"
   | Thread_exit -> "thread_exit"
   | Thread_crash -> "thread_crash"
 
@@ -45,7 +47,8 @@ let cycles_of = function
   | Propagate { cycles; _ }
   | Gc { cycles; _ }
   | Kendo_wait { cycles }
-  | Barrier_stall { cycles; _ } -> cycles
+  | Barrier_stall { cycles; _ }
+  | Recovery { cycles; _ } -> cycles
   | Lock_acquire { wait; _ } -> wait
   | Lock_release _ | Slice_open | Prop_page _ | Fault _ | Thread_exit
   | Thread_crash -> 0
@@ -85,6 +88,9 @@ let fields_of_kind = function
   | Barrier_stall { barrier; cycles } ->
     [ ("barrier", string_of_int barrier); ("cycles", string_of_int cycles) ]
   | Fault { op; action } -> [ ("op", op); ("action", action) ]
+  | Recovery { action; target; attempt; cycles } ->
+    [ ("action", action); ("target", string_of_int target);
+      ("attempt", string_of_int attempt); ("cycles", string_of_int cycles) ]
 
 let to_line e =
   let b = Buffer.create 64 in
@@ -235,6 +241,17 @@ let kind_of_parts name parts =
     | [ op; action ] ->
       if not (token_ok op && token_ok action) then Error "empty fault token"
       else Ok (Fault { op; action })
+    | _ -> assert false)
+  | "recovery" ->
+    let* vs = take_fields [ "action"; "target"; "attempt"; "cycles" ] parts in
+    (match vs with
+    | [ action; target; attempt; cycles ] ->
+      if not (token_ok action) then Error "empty recovery token"
+      else
+        let* target = int_of target in
+        let* attempt = int_of attempt in
+        let* cycles = int_of cycles in
+        Ok (Recovery { action; target; attempt; cycles })
     | _ -> assert false)
   | other -> Error (Printf.sprintf "unknown event kind %S" other)
 

@@ -57,7 +57,16 @@ type kind =
       (** stalled at a barrier (or global fence, [barrier = -1]) from
           arrival to release; stamped at arrival time *)
   | Fault of { op : string; action : string }
-      (** fault injection fired at this operation ([crash]/[fail]/[delay]) *)
+      (** fault injection fired at this operation
+          ([crash]/[fail]/[delay]/[corrupt]) *)
+  | Recovery of { action : string; target : int; attempt : int; cycles : int }
+      (** the recovery manager acted: [action] is one of [restart],
+          [heal], [victim], [quarantine], [rederive] or [backoff];
+          [target] names the object acted on (tid for restart/victim,
+          mutex handle for heal, slice id for quarantine/rederive);
+          [attempt] is the retry attempt number (0 when n/a); [cycles]
+          is the simulated time the action charged (backoff latency,
+          re-derivation cost) *)
   | Thread_exit
   | Thread_crash  (** the thread died under crash containment *)
 

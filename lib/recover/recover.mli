@@ -1,0 +1,70 @@
+(** Deterministic recovery manager: thread restart, deadlock victims,
+    and the retry/backoff policy (see DESIGN.md section 11).
+
+    The manager wraps a runtime's [Engine.policy] so that, under
+    [Engine.Recover], a crashed thread with a registered restart
+    closure is resurrected instead of contained: its open slice is
+    discarded (runtime hook), its synchronization state is repaired
+    without failing joiners or breaking barriers
+    ([Sync.on_thread_crash_recoverable]), and the same tid re-runs the
+    closure after a deterministic exponential backoff charged in
+    simulated cycles.  Outputs emitted after the restart point are
+    truncated so the replay re-emits them — a restartable workload's
+    recovered run reproduces the fault-free [Engine.outputs_checksum].
+
+    Everything here is a pure function of (seed, fault plan, program):
+    restart order, backoff delays and deadlock-victim choice contain no
+    wall-clock or scheduling-jitter dependence. *)
+
+exception Deadlock_victim
+(** The exception a deadlock victim is crashed with. *)
+
+type config = {
+  max_restarts : int;  (** per-thread retry budget (default 3) *)
+  backoff_base : int;
+      (** first-attempt backoff in simulated cycles; doubles per
+          attempt (default 1000) *)
+  seed : int64;  (** keys the per-(tid, attempt) backoff jitter *)
+}
+
+val default_config : config
+
+type runtime_hooks = {
+  rh_sync : Rfdet_kendo.Sync.t option;
+      (** the runtime's Kendo synchronization layer, when it has one:
+          enables queue purging, lock poisoning and deadlock-victim
+          selection *)
+  prepare_restart : tid:int -> unit;
+      (** runtime-specific crash cleanup for a thread about to restart
+          (RFDet: [Rfdet_runtime.crash_recoverable] — snapshot rollback
+          of the private view) *)
+}
+
+val no_hooks : runtime_hooks
+(** No sync layer, no memory cleanup — for runtimes with shared
+    memory and no metadata (not generally useful alone). *)
+
+type t
+
+val create : ?config:config -> Rfdet_sim.Engine.t -> runtime_hooks -> t
+
+val attach : t -> Rfdet_sim.Engine.policy -> Rfdet_sim.Engine.policy
+(** Wrap the policy: spawned thread bodies are auto-registered as
+    restartable from their entry point, crashes go through the
+    restart/budget logic before falling back to the wrapped policy's
+    containment, and the engine's total-stall hook performs
+    deadlock-victim selection.  Attach exactly one manager per
+    engine. *)
+
+val register : t -> tid:int -> (unit -> unit) -> unit
+(** Register (or move) [tid]'s restart closure from outside the
+    thread, recording the current output count as the replay mark.
+    The harness uses this for the main thread before the run starts. *)
+
+val restartable : t -> (unit -> unit) -> unit
+(** Checkpoint from inside the running thread: the closure re-executes
+    the remainder of the span on restart, and outputs already emitted
+    are kept. *)
+
+val attempts : t -> tid:int -> int
+(** Restarts performed so far for [tid] (for tests and reports). *)

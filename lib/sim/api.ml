@@ -33,6 +33,20 @@ let lock m = ignore (perform_op (Lock m))
 
 let lock_check m = if perform_op (Lock m) = 0 then `Ok else `Poisoned
 
+let trylock m =
+  match perform_op (Trylock m) with
+  | 0 -> `Ok
+  | 1 -> `Poisoned
+  | _ -> `Busy
+
+let lock_timed m ~timeout =
+  match perform_op (Lock_timed { mutex = m; timeout }) with
+  | 0 -> `Ok
+  | 1 -> `Poisoned
+  | _ -> `Timed_out
+
+let mutex_heal m = ignore (perform_op (Mutex_heal m))
+
 let unlock m = ignore (perform_op (Unlock m))
 
 let cond_create () = perform_op Cond_create
@@ -70,6 +84,8 @@ let join_check t = if perform_op (Join t) = 0 then `Ok else `Crashed
 let self () = perform_op Self
 
 let yield () = ignore (perform_op Yield)
+
+let checkpoint body = ignore (perform_op (Checkpoint body))
 
 let output v = ignore (perform_op (Output v))
 

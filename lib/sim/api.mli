@@ -59,6 +59,22 @@ val lock_check : mutex -> [ `Ok | `Poisoned ]
     crashed holder (lock poisoning, under crash containment).  The
     mutex is acquired either way; a poisoned mutex stays poisoned. *)
 
+val trylock : mutex -> [ `Ok | `Poisoned | `Busy ]
+(** Non-blocking acquire: [`Busy] when another thread holds the mutex
+    (nothing acquired).  Deterministic under a DMT runtime — the answer
+    depends only on the arbiter state at the caller's turn. *)
+
+val lock_timed : mutex -> timeout:int -> [ `Ok | `Poisoned | `Timed_out ]
+(** Acquire with a deterministic timeout of [timeout] counted
+    instructions.  The expiry point is an icount deadline, so whether
+    the lock or the timeout wins is jitter-independent.  [`Timed_out]
+    means nothing was acquired. *)
+
+val mutex_heal : mutex -> unit
+(** Un-poison a mutex the caller holds, declaring the protected
+    invariant re-established (see [lock_check]).  No-op on a clean
+    mutex. *)
+
 val unlock : mutex -> unit
 
 val cond_create : unit -> cond
@@ -94,6 +110,14 @@ val join_check : tid -> [ `Ok | `Crashed ]
 val self : unit -> tid
 
 val yield : unit -> unit
+
+val checkpoint : (unit -> unit) -> unit
+(** [checkpoint body] declares [body] as the calling thread's restart
+    point: under deterministic recovery ([Engine.Recover]) a later
+    crash replays [body] instead of the spawn body, so one-shot
+    prologue work (start gates, handshakes) is not re-executed.
+    Outputs already emitted survive the restart.  A no-op under every
+    other failure mode. *)
 
 (** {1 Low-level atomics}
 

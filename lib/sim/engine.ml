@@ -2,9 +2,9 @@ module Allocator = Rfdet_mem.Allocator
 module Det_rng = Rfdet_util.Det_rng
 module Pqueue = Rfdet_util.Pqueue
 
-type failure_mode = Abort | Contain
+type failure_mode = Abort | Contain | Recover
 
-type injection = I_none | I_crash | I_fail | I_delay of int
+type injection = I_none | I_crash | I_fail | I_delay of int | I_corrupt
 
 type sched_point = {
   sp_ready : int list;
@@ -49,6 +49,13 @@ exception Thread_failure of int * exn
 exception Injected_crash
 
 exception Injected_fault
+
+(* A failure no containment policy may swallow: raised when stored
+   metadata fails verification and cannot be re-derived.  It crosses
+   every containment catch site untouched, so a corrupted run dies
+   loudly and deterministically rather than silently propagating bad
+   data. *)
+exception Fatal of exn
 
 type outcome = Done of int | Block
 
@@ -122,6 +129,17 @@ type t = {
   mutable last_boundary : bool;
       (* did that thread stop at a schedule-relevant boundary (sync op,
          handle creation, or exit)? *)
+  mutable on_deadlock : (unit -> bool) option;
+      (* consulted when no thread is runnable but some are unfinished;
+         returns true iff it made progress (woke, killed or restarted a
+         thread) and scheduling should retry *)
+  mutable on_corrupt : (tid:int -> unit) option;
+      (* applies an [I_corrupt] injection to the runtime's stored
+         metadata; [None] makes corruption a no-op (runtimes without
+         verifiable metadata) *)
+  mutable on_checkpoint : (tid:int -> (unit -> unit) -> unit) option;
+      (* records an [Op.Checkpoint] closure as the thread's restart
+         point; [None] (no recovery manager) makes checkpoints no-ops *)
 }
 
 (* Operations at which the schedule choice can change observable behavior
@@ -159,6 +177,12 @@ let add_icount t tid n =
   th.icount <- th.icount + n
 
 let current_tid t = t.current
+
+let set_on_deadlock t f = t.on_deadlock <- Some f
+
+let set_on_corrupt t f = t.on_corrupt <- Some f
+
+let set_on_checkpoint t f = t.on_checkpoint <- Some f
 
 let enqueue t th =
   th.generation <- th.generation + 1;
@@ -271,6 +295,13 @@ let pre_handle t th (op : Op.t) =
     th.icount <- th.icount + 1;
     th.clock <- th.clock + 1;
     Some (Done 0)
+  | Checkpoint body ->
+    th.icount <- th.icount + 1;
+    th.clock <- th.clock + 1;
+    (match t.on_checkpoint with
+    | Some f -> f ~tid:th.tid body
+    | None -> ());
+    Some (Done 0)
   | Malloc n ->
     th.icount <- th.icount + c.malloc;
     th.clock <- th.clock + c.malloc;
@@ -288,8 +319,11 @@ let pre_handle t th (op : Op.t) =
     p.stores <- p.stores + 1;
     th.icount <- th.icount + c.store;
     None
-  | Lock _ ->
+  | Lock _ | Trylock _ | Lock_timed _ ->
     p.locks <- p.locks + 1;
+    th.icount <- th.icount + 1;
+    None
+  | Mutex_heal _ ->
     th.icount <- th.icount + 1;
     None
   | Unlock _ ->
@@ -346,6 +380,40 @@ let crash_thread t th e =
     (policy_exn t).on_thread_crash ~tid:th.tid e;
     (policy_exn t).on_step ()
 
+(* Force-crash a thread from outside its own execution (deadlock victim
+   selection).  Same path as a contained fault: continuation dropped, no
+   unwind, policy repairs shared state. *)
+let kill t ~tid e = crash_thread t (find t tid) e
+
+(* Resurrect a crashed tid with a fresh body.  The instruction counter is
+   deliberately preserved — Kendo stamps must stay monotone per thread or
+   the arbiter's turn order could move backwards — and outputs emitted
+   after the registered restart point are truncated so the replay
+   re-emits them.  [not_before] charges the recovery latency (backoff)
+   in simulated cycles. *)
+let restart_thread t ~tid ~body ~not_before ~keep_outputs =
+  let th = find t tid in
+  (match th.status with
+  | Crashed -> ()
+  | Ready | Running | Blocked | Finished ->
+    invalid_arg (Printf.sprintf "Engine.restart_thread: tid %d not crashed" tid));
+  th.status <- Ready;
+  th.pending <- Start body;
+  if not_before > th.clock then th.clock <- not_before;
+  let n = List.length th.outputs in
+  if keep_outputs < n then begin
+    (* [outputs] is newest-first; drop everything past the restart mark *)
+    let rec drop k l =
+      if k <= 0 then l else match l with [] -> [] | _ :: tl -> drop (k - 1) tl
+    in
+    th.outputs <- drop (n - keep_outputs) th.outputs
+  end;
+  t.unfinished <- t.unfinished + 1;
+  if t.unfinished > t.peak_live then t.peak_live <- t.unfinished;
+  enqueue t th
+
+let output_count t tid = List.length (find t tid).outputs
+
 let handle_op t th op k =
   th.pending <- Resume (k, 0);
   t.ops <- t.ops + 1;
@@ -373,18 +441,19 @@ let handle_op t th op k =
   (if Rfdet_obs.Sink.enabled t.config.obs then
      match injection with
      | I_none -> ()
-     | I_crash | I_fail | I_delay _ ->
+     | I_crash | I_fail | I_delay _ | I_corrupt ->
        let action =
          match injection with
          | I_crash -> "crash"
          | I_fail -> "fail"
          | I_delay _ -> "delay"
+         | I_corrupt -> "corrupt"
          | I_none -> assert false
        in
        Rfdet_obs.Sink.emit t.config.obs ~tid:th.tid ~time:th.clock
          (Rfdet_obs.Trace.Fault { op = Op.name op; action }));
   match injection with
-  | I_crash when t.config.failure_mode = Contain ->
+  | I_crash when t.config.failure_mode <> Abort ->
     crash_thread t th Injected_crash
   | I_crash -> raise (Thread_failure (th.tid, Injected_crash))
   | I_fail when (match op with Op.Malloc _ -> false | _ -> true) ->
@@ -394,9 +463,17 @@ let handle_op t th op k =
     th.pending <- Raise (k, Injected_fault);
     th.status <- Ready;
     enqueue t th
-  | (I_none | I_fail | I_delay _) as injection ->
+  | (I_none | I_fail | I_delay _ | I_corrupt) as injection ->
     (match injection with
     | I_delay d -> th.clock <- th.clock + max 0 d
+    | I_corrupt -> (
+      (* Damage the runtime's stored metadata, then let the operation
+         itself run normally: the corruption is only observable when the
+         damaged bytes are next consumed (propagation or the end-of-run
+         audit), exactly like silent media corruption. *)
+      match t.on_corrupt with
+      | None -> ()
+      | Some f -> f ~tid:th.tid)
     | I_none | I_fail | I_crash -> ());
     let dispatch () =
       match injection, op with
@@ -410,12 +487,12 @@ let handle_op t th op k =
        [exnc]; attribute its failures to the faulting thread here. *)
     let verdict =
       try Ok (dispatch ()) with
-      | (Runaway | Deadlock _) as e -> raise e
+      | (Runaway | Deadlock _ | Fatal _) as e -> raise e
       | Thread_failure (tid, e) ->
-        if t.config.failure_mode = Contain then Error e
+        if t.config.failure_mode <> Abort then Error e
         else raise (Thread_failure (tid, e))
       | e ->
-        if t.config.failure_mode = Contain then Error e
+        if t.config.failure_mode <> Abort then Error e
         else raise (Thread_failure (th.tid, e))
     in
     (match verdict with
@@ -431,12 +508,12 @@ let handle_op t th op k =
       (* on_step runs global arbiters whose grant callbacks execute policy
          code; attribute their failures to the thread being stepped *)
       (try (policy_exn t).on_step () with
-      | (Runaway | Deadlock _) as e -> raise e
-      | Thread_failure (_, e) when t.config.failure_mode = Contain ->
+      | (Runaway | Deadlock _ | Fatal _) as e -> raise e
+      | Thread_failure (_, e) when t.config.failure_mode <> Abort ->
         crash_thread t th e
       | Thread_failure _ as e -> raise e
       | e ->
-        if t.config.failure_mode = Contain then crash_thread t th e
+        if t.config.failure_mode <> Abort then crash_thread t th e
         else raise (Thread_failure (th.tid, e))))
 
 let run_thread t th =
@@ -459,9 +536,10 @@ let run_thread t th =
       exnc =
         (fun e ->
           (* The fiber body itself raised and fully unwound. *)
-          match t.config.failure_mode with
-          | Contain -> crash_thread t th e
-          | Abort -> raise (Thread_failure (th.tid, e)));
+          match e, t.config.failure_mode with
+          | Fatal _, _ -> raise e
+          | _, (Contain | Recover) -> crash_thread t th e
+          | _, Abort -> raise (Thread_failure (th.tid, e)));
       effc =
         (fun (type a) (eff : a Effect.t) ->
           match eff with
@@ -496,11 +574,20 @@ let describe_blocked t =
   in
   String.concat "; " parts
 
+(* When every thread is stuck the recovery hook gets one chance per
+   stall to make progress (fire a lock timeout, kill a deadlock victim);
+   it must only return true after actually waking, killing or restarting
+   a thread, so each retry re-enters with a changed system state. *)
+let stalled t =
+  match t.on_deadlock with
+  | Some f when f () -> true
+  | _ ->
+    raise
+      (Deadlock (Printf.sprintf "no runnable thread: %s" (describe_blocked t)))
+
 let rec schedule t =
   match Pqueue.pop t.queue with
-  | None ->
-    if t.unfinished > 0 then
-      raise (Deadlock (Printf.sprintf "no runnable thread: %s" (describe_blocked t)))
+  | None -> if t.unfinished > 0 && stalled t then schedule t
   | Some (_, tid, generation) ->
     let th = find t tid in
     (* Skip stale entries (thread re-queued with a newer generation or no
@@ -521,9 +608,7 @@ let ready_tids t =
    moves it had no say in. *)
 let rec schedule_chosen t choose =
   match ready_tids t with
-  | [] ->
-    if t.unfinished > 0 then
-      raise (Deadlock (Printf.sprintf "no runnable thread: %s" (describe_blocked t)))
+  | [] -> if t.unfinished > 0 && stalled t then schedule_chosen t choose
   | ready ->
     let sp =
       {
@@ -569,6 +654,9 @@ let run ?(config = default_config) make_policy ~main =
       crashes = [];
       last_run = -1;
       last_boundary = true;
+      on_deadlock = None;
+      on_corrupt = None;
+      on_checkpoint = None;
     }
   in
   let (_ : int) = register_thread t ~body:main ~start_at:0 in
@@ -614,4 +702,14 @@ let output_signature r =
   List.iter
     (fun (tid, msg) -> Buffer.add_string buf (Printf.sprintf "!%d:%s;" tid msg))
     r.crashes;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* Outputs alone, ignoring crash records: a recovered run whose restarts
+   replayed every lost span matches the fault-free run here even though
+   the signatures differ (the crash history is still observable). *)
+let outputs_checksum r =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (tid, v) -> Buffer.add_string buf (Printf.sprintf "%d:%Lx;" tid v))
+    r.outputs;
   Digest.to_hex (Digest.string (Buffer.contents buf))

@@ -33,8 +33,15 @@ type t
       the policy's [on_thread_crash] hook repairs shared runtime state,
       and the scheduler keeps running the survivors.  The crash is
       recorded in [result.crashes] and folded into the output
-      signature. *)
-type failure_mode = Abort | Contain
+      signature.
+    - [Recover]: containment plus recovery.  Identical to [Contain] at
+      the engine level; a recovery manager ([Rfdet_recover.Recover])
+      layered on the policy may then resurrect the crashed tid with
+      [restart_thread], heal poisoned locks, and break deadlocks through
+      the [set_on_deadlock] hook.  Crashes remain recorded, so a
+      recovered run's signature still reflects its fault history;
+      [outputs_checksum] ignores them for fault-free comparison. *)
+type failure_mode = Abort | Contain | Recover
 
 (** A fault-injection decision for one operation, consulted through
     [config.inject] at every operation boundary:
@@ -48,8 +55,12 @@ type failure_mode = Abort | Contain
       the thread, which may catch it and recover;
     - [I_delay k]: add [k] simulated cycles to the thread's clock before
       the operation (models a stall; never changes instruction
-      counts). *)
-type injection = I_none | I_crash | I_fail | I_delay of int
+      counts);
+    - [I_corrupt]: flip bytes in the runtime's stored metadata (through
+      the [set_on_corrupt] hook) before the operation runs; the
+      operation itself succeeds.  Runtimes without verifiable metadata
+      ignore it. *)
+type injection = I_none | I_crash | I_fail | I_delay of int | I_corrupt
 
 (** One scheduling decision offered to an installed [config.choose]
     chooser (the hook behind `rfdet check`'s systematic explorer).
@@ -122,6 +133,11 @@ exception Injected_crash
 (** Raised at the call site of an operation failed by [I_fail]. *)
 exception Injected_fault
 
+(** A failure no containment mode may swallow: metadata failed
+    verification and could not be re-derived.  Propagates through
+    [Contain]/[Recover] untouched and aborts the whole run. *)
+exception Fatal of exn
+
 (** A policy's verdict on one operation. *)
 type outcome =
   | Done of int  (** complete with this result; thread stays runnable *)
@@ -174,6 +190,24 @@ val add_icount : t -> int -> int -> unit
 val current_tid : t -> int
 (** Thread whose operation is being handled. *)
 
+val set_on_deadlock : t -> (unit -> bool) -> unit
+(** Install the total-stall hook: called when no thread is runnable but
+    some are unfinished, before [Deadlock] is raised.  Return [true] iff
+    progress was made (a thread woken, killed or restarted) — scheduling
+    then retries; returning [true] without making progress livelocks the
+    scheduler.  The stall point is schedule-independent for a
+    deterministic runtime, so victim selection here is deterministic. *)
+
+val set_on_corrupt : t -> (tid:int -> unit) -> unit
+(** Install the metadata-corruption hook backing [I_corrupt]; [tid] is
+    the thread whose operation triggered the injection. *)
+
+val set_on_checkpoint : t -> (tid:int -> (unit -> unit) -> unit) -> unit
+(** Install the restart-point hook backing [Op.Checkpoint]: called with
+    the performing thread and the closure it declared as its restart
+    point.  Without a hook (no recovery manager) checkpoints cost one
+    cycle and do nothing. *)
+
 val register_thread : t -> body:(unit -> unit) -> start_at:int -> int
 (** Create a simulated thread; it becomes runnable at clock [start_at]
     with the instruction count it is given by [seed_icount] (default 0).
@@ -190,7 +224,26 @@ val wake : t -> tid:int -> value:int -> not_before:int -> unit
 val is_finished : t -> int -> bool
 
 val is_crashed : t -> int -> bool
-(** True once the thread died under [Contain]. *)
+(** True once the thread died under [Contain] or [Recover] (and has not
+    been restarted). *)
+
+val kill : t -> tid:int -> exn -> unit
+(** Force-crash a thread from outside its own execution — the deadlock
+    victim path.  Follows the contained-crash protocol exactly: the
+    continuation is dropped without unwinding and [on_thread_crash]
+    runs.  No-op on finished or already-crashed threads. *)
+
+val restart_thread :
+  t -> tid:int -> body:(unit -> unit) -> not_before:int -> keep_outputs:int -> unit
+(** Resurrect a crashed tid with a fresh body (raises [Invalid_argument]
+    otherwise).  The instruction counter is preserved (Kendo stamps stay
+    monotone per thread); the clock is raised to [not_before] (recovery
+    latency, including backoff); outputs beyond the first [keep_outputs]
+    are discarded so the replayed span re-emits them. *)
+
+val output_count : t -> int -> int
+(** Number of outputs a thread has emitted so far — the restart mark for
+    [restart_thread]'s [keep_outputs]. *)
 
 val thread_count : t -> int
 
@@ -247,3 +300,7 @@ val run : ?config:config -> (t -> policy) -> main:(unit -> unit) -> result
 val output_signature : result -> string
 (** Deterministic digest of [outputs] and [crashes] for equality
     comparison — crash outcomes are observable behavior. *)
+
+val outputs_checksum : result -> string
+(** Digest of [outputs] alone, ignoring crash records: a recovered run
+    that replayed every lost span matches the fault-free run here. *)

@@ -4,6 +4,9 @@ type t =
   | Tick of { instrs : int; loads : int; stores : int }
   | Mutex_create
   | Lock of int
+  | Trylock of int
+  | Lock_timed of { mutex : int; timeout : int }
+  | Mutex_heal of int
   | Unlock of int
   | Cond_create
   | Cond_wait of { cond : int; mutex : int }
@@ -18,6 +21,7 @@ type t =
   | Output of int64
   | Self
   | Yield
+  | Checkpoint of (unit -> unit)
   | Atomic of { addr : int; rmw : rmw }
 
 and rmw =
@@ -35,6 +39,9 @@ let name = function
   | Tick _ -> "tick"
   | Mutex_create -> "mutex_create"
   | Lock _ -> "lock"
+  | Trylock _ -> "trylock"
+  | Lock_timed _ -> "lock_timed"
+  | Mutex_heal _ -> "mutex_heal"
   | Unlock _ -> "unlock"
   | Cond_create -> "cond_create"
   | Cond_wait _ -> "cond_wait"
@@ -49,6 +56,7 @@ let name = function
   | Output _ -> "output"
   | Self -> "self"
   | Yield -> "yield"
+  | Checkpoint _ -> "checkpoint"
   | Atomic _ -> "atomic"
 
 let apply_rmw rmw ~current =
@@ -61,9 +69,11 @@ let apply_rmw rmw ~current =
     (current, if current = expect then desired else current)
 
 let is_sync = function
-  | Lock _ | Unlock _ | Cond_wait _ | Cond_signal _ | Cond_broadcast _
-  | Barrier_wait _ | Spawn _ | Join _ | Atomic _ ->
+  | Lock _ | Trylock _ | Lock_timed _ | Mutex_heal _ | Unlock _
+  | Cond_wait _ | Cond_signal _ | Cond_broadcast _ | Barrier_wait _
+  | Spawn _ | Join _ | Atomic _ ->
     true
   | Load _ | Store _ | Tick _ | Mutex_create | Cond_create
-  | Barrier_create _ | Malloc _ | Free _ | Output _ | Self | Yield ->
+  | Barrier_create _ | Malloc _ | Free _ | Output _ | Self | Yield
+  | Checkpoint _ ->
     false

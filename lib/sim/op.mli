@@ -17,6 +17,17 @@ type t =
           monitoring these. *)
   | Mutex_create  (** result: mutex handle *)
   | Lock of int
+  | Trylock of int
+      (** non-blocking acquire; result 0 = acquired, 1 = acquired but
+          poisoned, 2 = busy (not acquired) *)
+  | Lock_timed of { mutex : int; timeout : int }
+      (** acquire with a deterministic timeout of [timeout] counted
+          instructions (an icount budget, so the expiry point is
+          jitter-independent); result 0 = acquired, 1 = acquired but
+          poisoned, 2 = timed out (not acquired) *)
+  | Mutex_heal of int
+      (** un-poison a mutex the caller holds, declaring the protected
+          invariant re-established; result 0 = healed (or was clean) *)
   | Unlock of int
   | Cond_create  (** result: condvar handle *)
   | Cond_wait of { cond : int; mutex : int }
@@ -31,6 +42,13 @@ type t =
   | Output of int64  (** append to the thread's observable output *)
   | Self  (** result: deterministic thread id *)
   | Yield  (** scheduling hint; no semantic effect *)
+  | Checkpoint of (unit -> unit)
+      (** declare the closure as this thread's restart point: under
+          deterministic recovery ([Engine.Recover]), a later crash of
+          the thread replays the registered closure instead of the
+          spawn body, so one-shot prologue work (start gates, handshakes)
+          is not re-executed.  No semantic effect under every other
+          failure mode. *)
   | Atomic of { addr : int; rmw : rmw }
       (** C++-style low-level atomic read-modify-write on a shared word —
           the interface the paper's Sections 4.6/6 propose for lock-free

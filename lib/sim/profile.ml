@@ -21,6 +21,12 @@ type t = {
   mutable gc_slices_freed : int;
   mutable kendo_waits : int;
   mutable barrier_stalls : int;
+  mutable restarts : int;
+  mutable heals : int;
+  mutable deadlock_victims : int;
+  mutable quarantines : int;
+  mutable corruptions_detected : int;
+  mutable backoff_cycles : int;
   mutable shared_bytes : int;
   mutable stack_bytes : int;
   mutable metadata_peak_bytes : int;
@@ -51,6 +57,12 @@ let create () =
     gc_slices_freed = 0;
     kendo_waits = 0;
     barrier_stalls = 0;
+    restarts = 0;
+    heals = 0;
+    deadlock_victims = 0;
+    quarantines = 0;
+    corruptions_detected = 0;
+    backoff_cycles = 0;
     shared_bytes = 0;
     stack_bytes = 0;
     metadata_peak_bytes = 0;
@@ -95,6 +107,12 @@ let fields p =
     ("gc_slices_freed", p.gc_slices_freed);
     ("kendo_waits", p.kendo_waits);
     ("barrier_stalls", p.barrier_stalls);
+    ("restarts", p.restarts);
+    ("heals", p.heals);
+    ("deadlock_victims", p.deadlock_victims);
+    ("quarantines", p.quarantines);
+    ("corruptions_detected", p.corruptions_detected);
+    ("backoff_cycles", p.backoff_cycles);
     ("shared_bytes", p.shared_bytes);
     ("stack_bytes", p.stack_bytes);
     ("metadata_peak_bytes", p.metadata_peak_bytes);
@@ -109,13 +127,16 @@ let pp ppf p =
      monitor: faults=%d mprotect=%d snapshots=%d slices=%d propagated=%d \
      bytes=%d diff_scanned=%d gc=%d gc_freed=%d@ \
      waits: kendo=%d barrier_stalls=%d@ \
+     recovery: restarts=%d heals=%d victims=%d quarantines=%d \
+     corruptions=%d backoff=%d@ \
      footprint: shared=%d stacks=%d metadata=%d private=%d@]"
     p.locks p.unlocks p.waits p.signals p.barriers p.forks p.joins p.atomics
     p.loads p.stores p.stores_with_copy p.page_faults p.mprotect_calls
     p.snapshots p.slices_created p.slices_propagated p.bytes_propagated
     p.diff_bytes_scanned p.gc_runs p.gc_slices_freed p.kendo_waits
-    p.barrier_stalls p.shared_bytes p.stack_bytes p.metadata_peak_bytes
-    p.private_copy_bytes
+    p.barrier_stalls p.restarts p.heals p.deadlock_victims p.quarantines
+    p.corruptions_detected p.backoff_cycles p.shared_bytes p.stack_bytes
+    p.metadata_peak_bytes p.private_copy_bytes
 
 let to_json p =
   let b = Buffer.create 512 in

@@ -31,6 +31,16 @@ type t = {
   mutable gc_slices_freed : int;
   mutable kendo_waits : int;  (** sync ops that had to wait for their turn *)
   mutable barrier_stalls : int;  (** global-barrier episodes (DThreads) *)
+  (* deterministic recovery (Rfdet_recover) *)
+  mutable restarts : int;  (** crashed threads resurrected and replayed *)
+  mutable heals : int;  (** poisoned mutexes un-poisoned *)
+  mutable deadlock_victims : int;  (** threads killed to break a deadlock *)
+  mutable quarantines : int;
+      (** corrupted slices quarantined and re-derived at propagation *)
+  mutable corruptions_detected : int;
+      (** checksum mismatches caught (at propagation or the final audit) *)
+  mutable backoff_cycles : int;
+      (** simulated cycles charged as restart backoff latency *)
   (* memory footprint (Table 1, columns 10-12), in bytes *)
   mutable shared_bytes : int;  (** app shared memory (globals+heap touched) *)
   mutable stack_bytes : int;

@@ -65,7 +65,11 @@ let barrier_main (cfg : Workload.cfg) () =
   let body k () =
     Api.store (arr + (8 * k)) ((k + 1) * 7);
     Api.barrier_wait b;
-    Api.output_int (Api.load (arr + (8 * ((k + 1) mod n))))
+    (* restart point past the barrier: a recovered thread must not
+       re-arrive at a phase its peers have already left *)
+    let finish () = Api.output_int (Api.load (arr + (8 * ((k + 1) mod n)))) in
+    Api.checkpoint finish;
+    finish ()
   in
   (* The barrier counts [n] parties: main is one of them (k = 0). *)
   let tids = Wl_common.spawn_workers ~workers:(n - 1) (fun k -> body (k + 1)) in

@@ -51,9 +51,14 @@ let fork_join ~workers body =
   if workers = 1 then join_all (spawn_workers ~workers body)
   else begin
     let gate = Lock_barrier.create ~parties:workers in
+    (* The gate is one-shot: a worker restarted by deterministic
+       recovery must not re-arrive into its post-broadcast state, so
+       the restart point moves past it. *)
     let gated k () =
       Lock_barrier.wait gate;
-      body k ()
+      let work = body k in
+      Api.checkpoint work;
+      work ()
     in
     join_all (spawn_workers ~workers gated)
   end

@@ -363,7 +363,7 @@ let test_profile_json_and_pp () =
       Alcotest.(check bool) ("json has " ^ k) true
         (contains ~needle:(Printf.sprintf "\"%s\":" k) json))
     (Profile.fields p);
-  Alcotest.(check int) "26 fields" 26 (List.length (Profile.fields p));
+  Alcotest.(check int) "32 fields" 32 (List.length (Profile.fields p));
   let pp = Format.asprintf "%a" Profile.pp p in
   (* the once-dropped fields all print now *)
   List.iter

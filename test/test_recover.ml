@@ -1,0 +1,415 @@
+(* Deterministic recovery (ISSUE: robustness).
+
+   The acceptance properties:
+   (a) same seed + same fault plan => bit-identical recovered signature;
+   (b) for restartable workloads the recovered output checksum equals
+       the fault-free run's — the fault is invisible, not just survived;
+   (c) lock healing: trylock/lock_timed surface poison and contention
+       deterministically, and a heal un-poisons for later acquirers;
+   (d) a lock cycle picks a deterministic victim, crashes it through
+       the restart path, and the run completes;
+   (e) corrupted slice metadata is detected at propagation (quarantine
+       + re-derivation from the publisher's space) or by the end-of-run
+       audit, and an impossible re-derivation fails loudly. *)
+
+module Engine = Rfdet_sim.Engine
+module Api = Rfdet_sim.Api
+module Profile = Rfdet_sim.Profile
+module Fault_plan = Rfdet_fault.Fault_plan
+module Recover = Rfdet_recover.Recover
+module Runner = Rfdet_harness.Runner
+module Workload = Rfdet_workloads.Workload
+module Registry = Rfdet_workloads.Registry
+
+let plan s =
+  match Fault_plan.parse s with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "bad test plan %S: %s" s e
+
+let wl name = List.find (fun w -> w.Workload.name = name) Registry.all
+
+let workload name main =
+  { Workload.name; suite = "test"; description = name; main = (fun _cfg -> main) }
+
+let run ?(runtime = Runner.rfdet_ci) ?faults ?(threads = 3) w =
+  Runner.run ~threads ~sched_seed:1L ?faults ~failure_mode:Engine.Recover
+    runtime w
+
+(* --- thread restart ------------------------------------------------- *)
+
+let test_restart_deterministic () =
+  let p = plan "crash,tid=1,op=lock,n=2" in
+  let a = run ~faults:p (wl "micro-lock") in
+  let b = run ~faults:p (wl "micro-lock") in
+  Alcotest.(check string) "same signature" a.Runner.signature b.Runner.signature;
+  Alcotest.(check int) "restarted" 1 a.Runner.profile.Profile.restarts;
+  Alcotest.(check bool) "backoff charged" true
+    (a.Runner.profile.Profile.backoff_cycles > 0)
+
+let test_restart_invisible () =
+  (* Crash before the thread publishes anything: the replay loses no
+     committed work, so the recovered outputs match the fault-free
+     run's bit for bit (only the crash record distinguishes them). *)
+  let clean = run (wl "micro-lock") in
+  List.iter
+    (fun s ->
+      let r = run ~faults:(plan s) (wl "micro-lock") in
+      Alcotest.(check string)
+        (s ^ ": recovered outputs")
+        clean.Runner.output_checksum r.Runner.output_checksum;
+      Alcotest.(check bool) (s ^ ": crash recorded") true
+        (r.Runner.crashes <> []);
+      Alcotest.(check bool) (s ^ ": signature differs from clean") true
+        (r.Runner.signature <> clean.Runner.signature))
+    [
+      "crash,tid=1,op=lock,n=1";
+      "crash,tid=1,op=lock,n=2";
+      "crash,tid=2,op=store,n=1";
+      "crash,tid=3,op=any,n=1";
+    ]
+
+let test_restart_after_barrier () =
+  (* micro-barrier checkpoints past the barrier: a post-barrier crash
+     replays only the output phase and must not re-arrive. *)
+  let clean = run (wl "micro-barrier") in
+  let r = run ~faults:(plan "crash,tid=1,op=output,n=1") (wl "micro-barrier") in
+  Alcotest.(check int) "restarted" 1 r.Runner.profile.Profile.restarts;
+  Alcotest.(check string) "recovered outputs" clean.Runner.output_checksum
+    r.Runner.output_checksum
+
+let test_retry_budget_exhausts () =
+  (* Crash the same thread on every attempt: once the budget is spent,
+     containment applies and the run still terminates deterministically. *)
+  let main () =
+    let m = Api.mutex_create () in
+    let t =
+      Api.spawn (fun () ->
+          Api.with_lock m (fun () -> Api.tick 100);
+          Api.output_int 1)
+    in
+    (match Api.join_check t with
+    | `Ok -> Api.output_int 2
+    | `Crashed -> Api.output_int 3)
+  in
+  let p =
+    plan
+      "crash,tid=1,op=lock,n=1;crash,tid=1,op=lock,n=2;\
+       crash,tid=1,op=lock,n=3;crash,tid=1,op=lock,n=4;\
+       crash,tid=1,op=lock,n=5"
+  in
+  let w = workload "budget" main in
+  let a = run ~faults:p w in
+  let b = run ~faults:p w in
+  Alcotest.(check string) "deterministic" a.Runner.signature b.Runner.signature;
+  Alcotest.(check int) "budget bounds restarts"
+    Recover.default_config.max_restarts a.Runner.profile.Profile.restarts;
+  (* attempt 4 exceeds the budget: containment, and the joiner sees it *)
+  Alcotest.(check (list (pair int int64))) "contained after budget"
+    [ (0, 3L) ] a.Runner.outputs
+
+let test_kendo_recovers_too () =
+  let p = plan "crash,tid=1,op=lock,n=1" in
+  let a = run ~runtime:Runner.Kendo ~faults:p (wl "micro-lock") in
+  let b = run ~runtime:Runner.Kendo ~faults:p (wl "micro-lock") in
+  Alcotest.(check string) "same signature" a.Runner.signature b.Runner.signature;
+  Alcotest.(check int) "restarted" 1 a.Runner.profile.Profile.restarts
+
+(* --- lock healing: trylock / lock_timed / heal ----------------------- *)
+
+let test_trylock_semantics () =
+  let main () =
+    let m = Api.mutex_create () in
+    Alcotest.(check bool) "uncontended trylock" true (Api.trylock m = `Ok);
+    let t =
+      Api.spawn (fun () ->
+          (* the owner still holds m: a trylock must not block *)
+          (match Api.trylock m with
+          | `Busy -> Api.output_int 1
+          | `Ok | `Poisoned -> Api.output_int 0);
+          ())
+    in
+    Api.join t;
+    Api.unlock m;
+    Alcotest.(check bool) "free again" true (Api.trylock m = `Ok);
+    Api.unlock m
+  in
+  let r = run (workload "trylock" main) in
+  Alcotest.(check (list (pair int int64))) "busy observed" [ (1, 1L) ]
+    r.Runner.outputs
+
+let test_lock_timed_semantics () =
+  let main () =
+    let m = Api.mutex_create () in
+    (match Api.lock_timed m ~timeout:500 with
+    | `Ok -> ()
+    | `Poisoned | `Timed_out -> Alcotest.fail "uncontended lock_timed");
+    let t =
+      Api.spawn (fun () ->
+          match Api.lock_timed m ~timeout:400 with
+          | `Timed_out -> Api.output_int 7
+          | `Ok | `Poisoned -> Api.output_int 0)
+    in
+    (* hold m well past the waiter's icount deadline *)
+    Api.tick 5_000;
+    Api.join t;
+    Api.unlock m
+  in
+  let a = run (workload "lock-timed" main) in
+  let b = run (workload "lock-timed" main) in
+  Alcotest.(check (list (pair int int64))) "timeout observed" [ (1, 7L) ]
+    a.Runner.outputs;
+  Alcotest.(check string) "deterministic" a.Runner.signature b.Runner.signature
+
+let test_heal_unpoisons () =
+  (* tid 1 crashes holding m (poisoning it); the next acquirer observes
+     the poison, re-establishes the invariant and heals; acquirers after
+     the heal see a clean mutex. *)
+  let main () =
+    let m = Api.mutex_create () in
+    let cell = Api.malloc 8 in
+    let crasher =
+      Api.spawn (fun () ->
+          Api.lock m;
+          Api.store cell 13;
+          Api.tick 200;
+          Api.unlock m)
+    in
+    let healer =
+      Api.spawn (fun () ->
+          Api.tick 2_000;
+          (match Api.lock_check m with
+          | `Poisoned ->
+            (* invariant repair: reset the protected cell *)
+            Api.store cell 0;
+            Api.mutex_heal m;
+            Api.output_int 1
+          | `Ok -> Api.output_int 0);
+          Api.unlock m)
+    in
+    Api.join crasher;
+    Api.join healer;
+    (match Api.lock_check m with
+    | `Ok -> Api.output_int 2
+    | `Poisoned -> Api.output_int 3);
+    Api.unlock m
+  in
+  (* crash tid 1 at its store, i.e. while holding m; budget 0 keeps the
+     crash contained so the poison is observable *)
+  let r =
+    Runner.run ~threads:3 ~sched_seed:1L
+      ~faults:(plan "crash,tid=1,op=store,n=1")
+      ~failure_mode:Engine.Recover
+      ~recover_config:{ Recover.default_config with max_restarts = 0 }
+      Runner.rfdet_ci (workload "heal" main)
+  in
+  Alcotest.(check (list (pair int int64))) "healed" [ (0, 2L); (2, 1L) ]
+    (List.sort compare r.Runner.outputs);
+  Alcotest.(check int) "heal counted" 1 r.Runner.profile.Profile.heals
+
+(* --- deadlock victims ------------------------------------------------ *)
+
+let test_deadlock_victim_recovers () =
+  (* AB-BA: with no recovery manager this stalls; under Recover the
+     engine's wait-for-graph picks the lowest-(icount, tid) cycle member,
+     crashes it through the restart path, and the run completes. *)
+  let main () =
+    let a = Api.mutex_create () in
+    let b = Api.mutex_create () in
+    let t1 =
+      Api.spawn (fun () ->
+          ignore (Api.lock_check a);
+          Api.tick 300;
+          ignore (Api.lock_check b);
+          Api.unlock b;
+          Api.unlock a;
+          Api.output_int 1)
+    in
+    let t2 =
+      Api.spawn (fun () ->
+          ignore (Api.lock_check b);
+          Api.tick 300;
+          ignore (Api.lock_check a);
+          Api.unlock a;
+          Api.unlock b;
+          Api.output_int 2)
+    in
+    Api.join t1;
+    Api.join t2;
+    Api.output_int 3
+  in
+  let r1 = run (workload "abba" main) in
+  let r2 = run (workload "abba" main) in
+  Alcotest.(check string) "deterministic" r1.Runner.signature r2.Runner.signature;
+  Alcotest.(check bool) "a victim was taken" true
+    (r1.Runner.profile.Profile.deadlock_victims >= 1);
+  Alcotest.(check (list (pair int int64))) "all threads completed"
+    [ (0, 3L); (1, 1L); (2, 2L) ]
+    (List.sort compare r1.Runner.outputs)
+
+(* --- self-verifying metadata ----------------------------------------- *)
+
+(* Writer publishes a write-once word, then idles; reader acquires the
+   same lock later and propagates the writer's slice.  Corrupting the
+   stored slice between publish and propagation exercises the verify ->
+   quarantine -> re-derive path, and the re-derivation succeeds because
+   the writer's space still holds the published bytes. *)
+let rederive_main () =
+  let m = Api.mutex_create () in
+  let cell = Api.malloc 8 in
+  let writer =
+    Api.spawn (fun () ->
+        Api.lock m;
+        Api.store cell 777;
+        Api.unlock m;
+        (* corruption is injected at this tick, after the publish *)
+        Api.tick 50;
+        Api.tick 5_000)
+  in
+  let reader =
+    Api.spawn (fun () ->
+        Api.tick 2_000;
+        Api.lock m;
+        Api.output_int (Api.load cell);
+        Api.unlock m)
+  in
+  Api.join writer;
+  Api.join reader
+
+let test_corruption_rederived () =
+  let r =
+    run ~faults:(plan "corrupt,tid=1,op=compute,n=2")
+      (workload "rederive" rederive_main)
+  in
+  Alcotest.(check bool) "detected" true
+    (r.Runner.profile.Profile.corruptions_detected >= 1);
+  Alcotest.(check bool) "quarantined" true
+    (r.Runner.profile.Profile.quarantines >= 1);
+  Alcotest.(check (list (pair int int64))) "value repaired" [ (2, 777L) ]
+    r.Runner.outputs
+
+let test_corruption_unrecoverable () =
+  (* The writer overwrites the published word before the reader
+     propagates: the stored digest can no longer be re-derived from the
+     writer's space, so the run must fail loudly, not propagate damage. *)
+  let main () =
+    let m = Api.mutex_create () in
+    let cell = Api.malloc 8 in
+    let writer =
+      Api.spawn (fun () ->
+          Api.lock m;
+          Api.store cell 777;
+          Api.unlock m;
+          Api.tick 50;
+          (* private overwrite of the same word, after the corruption *)
+          Api.store cell 888;
+          Api.tick 5_000)
+    in
+    let reader =
+      Api.spawn (fun () ->
+          Api.tick 2_000;
+          Api.lock m;
+          Api.output_int (Api.load cell);
+          Api.unlock m)
+    in
+    Api.join writer;
+    Api.join reader
+  in
+  match
+    run ~faults:(plan "corrupt,tid=1,op=compute,n=2")
+      (workload "unrecoverable" main)
+  with
+  | _ -> Alcotest.fail "expected Engine.Fatal"
+  | exception Engine.Fatal (Failure msg) ->
+    let prefix = "metadata corruption: slice #" in
+    Alcotest.(check string) "diagnostic names the slice" prefix
+      (String.sub msg 0 (String.length prefix))
+  | exception e ->
+    Alcotest.failf "expected Engine.Fatal, got %s" (Printexc.to_string e)
+
+let test_corruption_audit_at_exit () =
+  (* A corrupted slice nobody propagates after the damage is still
+     caught by the end-of-run audit. *)
+  let r =
+    run ~faults:(plan "corrupt,tid=1,op=output,n=1") (wl "micro-barrier")
+  in
+  Alcotest.(check int) "audit detected" 1
+    r.Runner.profile.Profile.corruptions_detected
+
+let test_clean_runs_verify_silently () =
+  (* verify_metadata is on by default: a fault-free run checks every
+     propagated slice and finds nothing. *)
+  let a = run (wl "micro-lock") in
+  Alcotest.(check int) "no detections" 0
+    a.Runner.profile.Profile.corruptions_detected;
+  let b =
+    Runner.run ~threads:3 ~sched_seed:1L Runner.rfdet_ci (wl "micro-lock")
+  in
+  Alcotest.(check string) "recover mode alone changes nothing"
+    b.Runner.signature a.Runner.signature
+
+(* --- wildcard guard --------------------------------------------------- *)
+
+let test_wildcard_guard () =
+  let p = plan "crash,tid=*,op=lock,n=3" in
+  Alcotest.check_raises "rejected under jitter"
+    (Invalid_argument
+       "Determinism.check_faults: fault plan has a wildcard-tid site, which \
+        is only deterministic under a jitter-free schedule; qualify the site \
+        with tid=K or pass ~jitter:0.")
+    (fun () ->
+      ignore
+        (Rfdet_harness.Determinism.check_faults ~runs:2 ~plan:p
+           Runner.rfdet_ci (wl "micro-lock")));
+  (* jitter-free wildcard plans stay allowed (a non-crashing action, so
+     the runs complete) *)
+  let delays = plan "delay=100,tid=*,op=lock,n=3" in
+  let report, _ =
+    Rfdet_harness.Determinism.check_faults ~runs:2 ~jitter:0. ~plan:delays
+      Runner.rfdet_ci (wl "micro-lock")
+  in
+  Alcotest.(check bool) "jitter-free ok" true
+    report.Rfdet_harness.Determinism.deterministic
+
+(* --- the crash clinic ------------------------------------------------- *)
+
+let test_clinic_sweep () =
+  let s =
+    Rfdet_check.Clinic.sweep ~threads:2 ~max_sites:40 (wl "micro-lock")
+  in
+  Alcotest.(check int) "no hangs" 0 s.Rfdet_check.Clinic.hangs;
+  Alcotest.(check int) "every outcome deterministic" 0
+    s.Rfdet_check.Clinic.nondeterministic;
+  Alcotest.(check int) "rfdet stays conformant" 0
+    s.Rfdet_check.Clinic.nonconformant;
+  Alcotest.(check bool) "probed sites" true (s.Rfdet_check.Clinic.sites > 0)
+
+let suites =
+  [
+    ( "recover",
+      [
+        Alcotest.test_case "restart deterministic" `Quick
+          test_restart_deterministic;
+        Alcotest.test_case "restart invisible" `Quick test_restart_invisible;
+        Alcotest.test_case "restart after barrier" `Quick
+          test_restart_after_barrier;
+        Alcotest.test_case "retry budget exhausts" `Quick
+          test_retry_budget_exhausts;
+        Alcotest.test_case "kendo recovers too" `Quick test_kendo_recovers_too;
+        Alcotest.test_case "trylock semantics" `Quick test_trylock_semantics;
+        Alcotest.test_case "lock_timed semantics" `Quick
+          test_lock_timed_semantics;
+        Alcotest.test_case "heal un-poisons" `Quick test_heal_unpoisons;
+        Alcotest.test_case "deadlock victim recovers" `Quick
+          test_deadlock_victim_recovers;
+        Alcotest.test_case "corruption re-derived" `Quick
+          test_corruption_rederived;
+        Alcotest.test_case "corruption unrecoverable" `Quick
+          test_corruption_unrecoverable;
+        Alcotest.test_case "corruption audited at exit" `Quick
+          test_corruption_audit_at_exit;
+        Alcotest.test_case "clean runs verify silently" `Quick
+          test_clean_runs_verify_silently;
+        Alcotest.test_case "wildcard guard" `Quick test_wildcard_guard;
+        Alcotest.test_case "crash clinic sweep" `Slow test_clinic_sweep;
+      ] );
+  ]
