@@ -806,6 +806,179 @@ let experiment_cmd =
     (Cmd.info "experiment" ~doc:"Regenerate a table or figure of the paper.")
     Term.(const action $ name_arg)
 
+
+(* --- serve ------------------------------------------------------------ *)
+
+let serve_cmd =
+  let module Server = Rfdet_server.Server in
+  let module Traffic = Rfdet_server.Traffic in
+  let runtime_arg =
+    Arg.(
+      value
+      & opt runtime_conv Runner.rfdet_ci
+      & info [ "r"; "runtime" ]
+          ~doc:"Runtime: pthreads, kendo, dthreads, coredet, rfdet-ci, \
+                rfdet-pf or rfdet-noopt.")
+  in
+  let requests_arg =
+    Arg.(
+      value
+      & opt int Traffic.default.Traffic.requests
+      & info [ "n"; "requests" ] ~doc:"Number of requests to generate.")
+  in
+  let rate_arg =
+    Arg.(
+      value
+      & opt int Traffic.default.Traffic.mean_interarrival
+      & info [ "rate" ]
+          ~doc:
+            "Mean interarrival gap in simulated cycles (smaller = \
+             heavier offered load).")
+  in
+  let workers_arg =
+    Arg.(
+      value
+      & opt int Server.default.Server.workers
+      & info [ "workers" ] ~doc:"Worker pool size.")
+  in
+  let shards_arg =
+    Arg.(
+      value
+      & opt int Server.default.Server.shards
+      & info [ "shards" ]
+          ~doc:"Shard count (raised to the worker count if below it).")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt int Server.default.Server.deadline
+      & info [ "deadline" ] ~doc:"Per-request deadline, simulated cycles.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the report (counters and latency quantiles) \
+                as JSON.")
+  in
+  let sweep_arg =
+    Arg.(
+      value & flag
+      & info [ "sweep" ]
+          ~doc:
+            "Arrival-rate sweep (experiment E12): one line per offered \
+             load instead of a single report.")
+  in
+  let mk_params ~requests ~rate ~workers ~shards ~deadline =
+    let shards = max shards workers in
+    {
+      Server.default with
+      Server.workers;
+      shards;
+      deadline;
+      traffic =
+        {
+          Traffic.default with
+          Traffic.requests;
+          mean_interarrival = rate;
+        };
+    }
+  in
+  let run_one runtime ~seed ~input_seed ~faults ~failure_mode p =
+    let report = ref None in
+    let w =
+      {
+        Rfdet_workloads.Workload.name = "kvserver";
+        suite = "server";
+        description = "kvserver with explicit serve parameters";
+        main =
+          (fun cfg () ->
+            report :=
+              Some
+                (Server.run ~seed:cfg.Rfdet_workloads.Workload.input_seed p));
+      }
+    in
+    let r =
+      Runner.run ~threads:p.Server.workers ~sched_seed:(Int64.of_int seed)
+        ~input_seed:(Int64.of_int input_seed) ?faults ~failure_mode runtime w
+    in
+    (r, Option.get !report)
+  in
+  let report_json (rep : Server.report) =
+    let b = Buffer.create 256 in
+    Buffer.add_string b "{";
+    List.iteri
+      (fun i (k, v) ->
+        Buffer.add_string b
+          (Printf.sprintf "%s\n  \"%s\": %d" (if i = 0 then "" else ",") k v))
+      [
+        ("total", rep.Server.total); ("served", rep.Server.served);
+        ("stale_served", rep.Server.stale_served); ("shed", rep.Server.shed);
+        ("timed_out", rep.Server.timed_out); ("failed", rep.Server.failed);
+        ("failed_over", rep.Server.failed_over);
+        ("retries", rep.Server.retries);
+        ("breaker_transitions", rep.Server.breaker_transitions);
+        ("latency_p50", rep.Server.p50); ("latency_p99", rep.Server.p99);
+        ("latency_p999", rep.Server.p999); ("makespan", rep.Server.makespan);
+      ];
+    Buffer.add_string b "\n}\n";
+    Buffer.contents b
+  in
+  let action runtime requests rate workers shards deadline seed input_seed
+      faults failure_mode sweep json =
+   guard @@ fun () ->
+    if sweep then begin
+      Printf.printf "arrival-rate sweep: %d requests, %d workers, %s\n"
+        requests workers (Runner.runtime_name runtime);
+      Printf.printf "%6s %8s %8s %8s %8s %8s %10s %10s %10s %6s\n" "rate"
+        "served" "stale" "shed" "timeout" "failover" "p50" "p99" "p999"
+        "flips";
+      List.iter
+        (fun rate ->
+          let p = mk_params ~requests ~rate ~workers ~shards ~deadline in
+          let _, rep =
+            run_one runtime ~seed ~input_seed ~faults ~failure_mode p
+          in
+          Printf.printf "%6d %8d %8d %8d %8d %8d %10d %10d %10d %6d\n" rate
+            rep.Server.served rep.Server.stale_served rep.Server.shed
+            rep.Server.timed_out rep.Server.failed_over rep.Server.p50
+            rep.Server.p99 rep.Server.p999 rep.Server.breaker_transitions)
+        [ 400; 200; 150; 120; 100; 90; 80; 70; 60; 50 ]
+    end
+    else begin
+      let p = mk_params ~requests ~rate ~workers ~shards ~deadline in
+      let r, rep = run_one runtime ~seed ~input_seed ~faults ~failure_mode p in
+      Printf.printf "runtime         %s\n" r.Runner.runtime;
+      Printf.printf "signature       %s\n" r.Runner.signature;
+      print_string (Server.render rep);
+      Printf.printf "engine ops      %10d (%.2fs host)\n" r.Runner.ops
+        r.Runner.wall_seconds;
+      print_crashes r.Runner.crashes;
+      match json with
+      | None -> ()
+      | Some path ->
+        write_file path (report_json rep);
+        Printf.printf "report json: %s\n" path
+    end
+  in
+  let input_seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "input-seed" ]
+          ~doc:"Traffic generator seed (an input of the run).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Drive the deterministic KV server and print its \
+          latency/shed/retry report.  Same seed and fault plan give a \
+          byte-identical report.")
+    Term.(
+      const action $ runtime_arg $ requests_arg $ rate_arg $ workers_arg
+      $ shards_arg $ deadline_arg $ seed_arg $ input_seed_arg
+      $ fault_plan_arg $ fault_mode_arg $ sweep_arg $ json_arg)
+
 let () =
   let doc = "RFDet: deterministic multithreading without global barriers" in
   let info = Cmd.info "rfdet" ~version:"1.0.0" ~doc in
@@ -814,4 +987,4 @@ let () =
        (Cmd.group info
           [ run_cmd; trace_cmd; profile_cmd; list_cmd; racey_cmd; races_cmd;
             replay_cmd; faults_cmd; clinic_cmd; check_cmd; bench_cmd;
-            experiment_cmd ]))
+            serve_cmd; experiment_cmd ]))

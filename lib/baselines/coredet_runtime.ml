@@ -436,7 +436,8 @@ let handle t ~tid (op : Op.t) : Engine.outcome =
   | Op.Join target ->
     arrive t ~tid ~action:(A_join target);
     Block
-  | Op.Tick _ | Op.Output _ | Op.Self | Op.Yield | Op.Checkpoint _ | Op.Malloc _
+  | Op.Tick _ | Op.Output _ | Op.Self | Op.Yield | Op.Checkpoint _
+  | Op.Server_mark _ | Op.Malloc _
   | Op.Free _ ->
     assert false
 

@@ -206,7 +206,8 @@ let handle t ~tid (op : Op.t) : Engine.outcome =
       Hashtbl.replace t.joiners target (existing @ [ tid ]);
       Block
     end
-  | Op.Tick _ | Op.Output _ | Op.Self | Op.Yield | Op.Checkpoint _ | Op.Malloc _
+  | Op.Tick _ | Op.Output _ | Op.Self | Op.Yield | Op.Checkpoint _
+  | Op.Server_mark _ | Op.Malloc _
   | Op.Free _ ->
     (* handled by the engine *)
     assert false

@@ -550,7 +550,8 @@ let handle t ~tid (op : Op.t) : Engine.outcome =
         (prev, acq + rel))
   | Op.Spawn body -> Sync.spawn sync ~tid ~body
   | Op.Join target -> Sync.join sync ~tid ~target
-  | Op.Tick _ | Op.Output _ | Op.Self | Op.Yield | Op.Checkpoint _ | Op.Malloc _
+  | Op.Tick _ | Op.Output _ | Op.Self | Op.Yield | Op.Checkpoint _
+  | Op.Server_mark _ | Op.Malloc _
   | Op.Free _ ->
     assert false
 

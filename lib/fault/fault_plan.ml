@@ -39,7 +39,8 @@ let classify : Op.t -> op_class = function
   | Op.Store _ -> Store_op
   | Op.Output _ -> Output_op
   | Op.Mutex_create | Op.Cond_create | Op.Barrier_create _ -> Create_op
-  | Op.Tick _ | Op.Self | Op.Yield | Op.Checkpoint _ -> Compute_op
+  | Op.Tick _ | Op.Self | Op.Yield | Op.Checkpoint _ | Op.Server_mark _ ->
+    Compute_op
 
 let op_class_names =
   [

@@ -26,6 +26,9 @@ type e2e = {
   sim_cycles : int;
   signature : string;
   breakdown : Rfdet_obs.Report.breakdown;
+  latency : (int * int * int) option;
+      (* (p50, p99, p999) served-request latency in simulated cycles —
+         kvserver only, read from the server's trailing outputs *)
 }
 
 type t = {
@@ -160,7 +163,7 @@ let derived_of micro =
       ratio "per-byte apply (32 runs, 2 KiB)" "bulk apply (32 runs, 2 KiB)" );
   ]
 
-let e2e_workloads = [ ("fft", 8); ("wordcount", 8) ]
+let e2e_workloads = [ ("fft", 8); ("wordcount", 8); ("kvserver", 4) ]
 
 let e2e_runs = 5
 
@@ -188,6 +191,16 @@ let end_to_end () =
       let breakdown =
         Rfdet_obs.Report.breakdown ~total (Rfdet_obs.Sink.events obs)
       in
+      (* the server emits ..., p50, p99, p999, makespan as its last
+         outputs (see Server.run) *)
+      let latency =
+        if name <> "kvserver" then None
+        else
+          match List.rev r0.Runner.outputs with
+          | (_, _mk) :: (_, p999) :: (_, p99) :: (_, p50) :: _ ->
+            Some (Int64.to_int p50, Int64.to_int p99, Int64.to_int p999)
+          | _ -> None
+      in
       {
         workload = name;
         runtime = r0.Runner.runtime;
@@ -199,6 +212,7 @@ let end_to_end () =
         sim_cycles = r0.Runner.sim_time;
         signature = r0.Runner.signature;
         breakdown;
+        latency;
       })
     e2e_workloads
 
@@ -258,19 +272,28 @@ let to_json t =
         if bd.Rfdet_obs.Report.total = 0 then 0.
         else float_of_int c /. float_of_int bd.Rfdet_obs.Report.total
       in
+      let latency_json =
+        match e.latency with
+        | None -> ""
+        | Some (p50, p99, p999) ->
+          Printf.sprintf
+            "      \"latency\": { \"p50\": %d, \"p99\": %d, \"p999\": %d },\n"
+            p50 p99 p999
+      in
       Buffer.add_string b
         (Printf.sprintf
            "    { \"workload\": \"%s\", \"runtime\": \"%s\", \"threads\": %d, \
             \"runs\": %d, \"mean_wall_ms\": %.2f, \"engine_ops\": %d, \
             \"ops_per_sec\": %.0f, \"sim_cycles\": %d,\n\
            \      \"signature\": \"%s\",\n\
+            %s\
            \      \"breakdown\": { \"thread_cycles\": %d, \
             \"compute_share\": %.4f, \"wait_share\": %.4f, \
             \"propagate_share\": %.4f, \"diff_share\": %.4f, \
             \"gc_share\": %.4f, \"monitor_share\": %.4f } }%s\n"
            (json_escape e.workload) (json_escape e.runtime) e.threads e.runs
            e.mean_wall_ms e.engine_ops e.ops_per_sec e.sim_cycles
-           (json_escape e.signature) bd.Rfdet_obs.Report.total
+           (json_escape e.signature) latency_json bd.Rfdet_obs.Report.total
            (share bd.Rfdet_obs.Report.compute)
            (share bd.Rfdet_obs.Report.wait)
            (share bd.Rfdet_obs.Report.propagate)
@@ -316,7 +339,14 @@ let render t =
            (pct bd.Rfdet_obs.Report.propagate)
            (pct bd.Rfdet_obs.Report.diff)
            (pct bd.Rfdet_obs.Report.gc)
-           (pct bd.Rfdet_obs.Report.monitor)))
+           (pct bd.Rfdet_obs.Report.monitor));
+      match e.latency with
+      | None -> ()
+      | Some (p50, p99, p999) ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "               latency: p50=%d p99=%d p999=%d simulated cycles\n"
+             p50 p99 p999))
     t.end_to_end;
   Buffer.contents b
 

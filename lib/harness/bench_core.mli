@@ -23,6 +23,9 @@ type e2e = {
   breakdown : Rfdet_obs.Report.breakdown;
       (** Figure-7-style attribution from a traced run — simulated
           cycles, so deterministic; its shares land in the JSON *)
+  latency : (int * int * int) option;
+      (** (p50, p99, p999) served-request latency in simulated cycles —
+          present for the kvserver entry only *)
 }
 
 type t = {

@@ -95,6 +95,24 @@ let summarize (h : hist) =
 let histogram t name =
   Option.map summarize (Hashtbl.find_opt t.hists_tbl name)
 
+(* Upper-bound quantile estimate from the pow2 buckets: the estimate is
+   the inclusive upper bound of the bucket holding the rank-⌈q·count⌉
+   sample, clamped to the recorded max — so for the exact quantile v the
+   estimate e satisfies v <= e <= 2v + 1. *)
+let quantile (s : hist_summary) q =
+  if s.count = 0 then 0
+  else begin
+    let q = if q < 0. then 0. else if q > 1. then 1. else q in
+    let rank = max 1 (int_of_float (ceil (q *. float_of_int s.count))) in
+    let rec walk acc = function
+      | [] -> s.max
+      | (upper, n) :: rest ->
+        let acc = acc + n in
+        if acc >= rank then min upper s.max else walk acc rest
+    in
+    walk 0 s.buckets
+  end
+
 let sorted_bindings tbl f =
   Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
@@ -147,9 +165,11 @@ let to_json t =
       Buffer.add_string b
         (Printf.sprintf
            "%s\n    \"%s\": { \"count\": %d, \"sum\": %d, \"min\": %d, \
-            \"max\": %d, \"mean\": %.1f, \"buckets\": [%s] }"
+            \"max\": %d, \"mean\": %.1f, \"p50\": %d, \"p99\": %d, \
+            \"p999\": %d, \"buckets\": [%s] }"
            (if i = 0 then "" else ",")
-           (json_escape k) s.count s.sum s.min s.max mean
+           (json_escape k) s.count s.sum s.min s.max mean (quantile s 0.5)
+           (quantile s 0.99) (quantile s 0.999)
            (String.concat ", "
               (List.map
                  (fun (le, n) -> Printf.sprintf "[%d, %d]" le n)

@@ -45,6 +45,13 @@ type hist_summary = {
 
 val histogram : t -> string -> hist_summary option
 
+val quantile : hist_summary -> float -> int
+(** [quantile s q] — upper-bound estimate of the q-quantile (q in [0,1],
+    clamped) from the power-of-two buckets: the inclusive upper bound of
+    the bucket holding the rank-⌈q·count⌉ sample, clamped to [s.max].
+    For the exact (sorted-sample, ceiling-rank) quantile v the estimate
+    e satisfies v <= e <= 2v + 1.  0 when the histogram is empty. *)
+
 (** {1 Introspection and output} *)
 
 val counters : t -> (string * int) list

@@ -188,3 +188,24 @@ let render_hot_pages pages =
       pages
   end;
   Buffer.contents buf
+
+let render_quantiles m names =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "latency quantiles (simulated cycles)\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  %-24s %9s %10s %10s %10s %10s\n" "histogram" "count"
+       "mean" "p50" "p99" "p999");
+  List.iter
+    (fun name ->
+      match Metrics.histogram m name with
+      | None -> ()
+      | Some s ->
+        let mean = if s.count = 0 then 0 else s.sum / s.count in
+        Buffer.add_string buf
+          (Printf.sprintf "  %-24s %9d %10d %10d %10d %10d\n" name s.count
+             mean
+             (Metrics.quantile s 0.5)
+             (Metrics.quantile s 0.99)
+             (Metrics.quantile s 0.999)))
+    names;
+  Buffer.contents buf

@@ -55,3 +55,8 @@ val render_breakdown : breakdown -> string
 val render_lock_table : lock_row list -> string
 
 val render_hot_pages : (int * int * int) list -> string
+
+val render_quantiles : Metrics.t -> string list -> string
+(** One row per named histogram present in the registry: count, mean and
+    the p50/p99/p999 upper-bound estimates ([Metrics.quantile]).  Names
+    absent from the registry are skipped. *)

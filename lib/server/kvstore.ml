@@ -1,0 +1,47 @@
+module Api = Rfdet_sim.Api
+
+type t = {
+  shards : int;
+  keys : int;
+  locks : Api.mutex array;
+  data : int;  (** base address, [keys] words *)
+  stale : int;  (** base address, [shards] words *)
+}
+
+let create ~shards ~keys =
+  let locks = Array.init shards (fun _ -> Api.mutex_create ()) in
+  let data = Api.malloc (8 * keys) in
+  let stale = Api.malloc (8 * shards) in
+  for k = 0 to keys - 1 do
+    Api.store (data + (8 * k)) 0
+  done;
+  for s = 0 to shards - 1 do
+    Api.store (stale + (8 * s)) 0
+  done;
+  { shards; keys; locks; data; stale }
+
+let shard_of t key = key mod t.shards
+
+let lock t shard = t.locks.(shard)
+
+let get t key = Api.load (t.data + (8 * key))
+
+let mix a b =
+  let h = (a * 0x9E3779B1) lxor (b + 0x85EBCA77 + (a lsl 6) + (a lsr 2)) in
+  h land max_int
+
+(* A put refreshes the shard's stale-cache word under the same lock, so
+   the cache always reflects the last committed write — and goes stale
+   precisely while the shard's breaker is open and puts are shed. *)
+let put t key v =
+  Api.store (t.data + (8 * key)) v;
+  Api.store (t.stale + (8 * shard_of t key)) (mix key v)
+
+let stale_get t ~shard = Api.load (t.stale + (8 * shard))
+
+let checksum t =
+  let acc = ref 0 in
+  for k = 0 to t.keys - 1 do
+    acc := mix !acc (Api.load (t.data + (8 * k)))
+  done;
+  !acc

@@ -1,0 +1,40 @@
+(** Sharded, lock-striped in-memory KV table in simulated memory.
+
+    Key [k] lives in shard [k mod shards]; each shard has one stripe
+    lock and one stale-cache word.  [get]/[put] are plain loads/stores —
+    the caller must hold the shard's lock (or be the sole reachable
+    thread, e.g. the main thread after joins).  [stale_get] is lock-free
+    by design: it backs degraded reads while a shard's breaker is open. *)
+
+type t = {
+  shards : int;
+  keys : int;
+  locks : Rfdet_sim.Api.mutex array;
+  data : int;  (** base address, [keys] words *)
+  stale : int;  (** base address, [shards] words *)
+}
+
+val create : shards:int -> keys:int -> t
+(** Allocates and zeroes the table; call from the main thread before
+    spawning workers. *)
+
+val shard_of : t -> int -> int
+
+val lock : t -> int -> Rfdet_sim.Api.mutex
+(** The stripe lock of a shard. *)
+
+val get : t -> int -> int
+
+val put : t -> int -> int -> unit
+(** Stores the value and refreshes the shard's stale-cache word (both
+    under the caller's lock). *)
+
+val stale_get : t -> shard:int -> int
+(** The shard's stale-cache word, without taking the lock. *)
+
+val checksum : t -> int
+(** Order-fixed digest of every data word; call after all workers have
+    been joined. *)
+
+val mix : int -> int -> int
+(** The digest combiner (same as [Wl_common.mix]). *)

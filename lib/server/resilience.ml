@@ -1,0 +1,114 @@
+module Det_rng = Rfdet_util.Det_rng
+
+(* --- circuit breaker -------------------------------------------------- *)
+
+module Breaker = struct
+  type state = Closed | Open | Half_open
+
+  (* Packed word layout, low to high:
+       bits  0-1   state (0 closed, 1 open, 2 half-open)
+       bits  2-5   half-open success count
+       bits  6-11  consecutive failure count
+       bits 12-23  cumulative transition count (saturating)
+       bits 24-62  timestamp of the last transition, virtual cycles *)
+  let empty = 0
+
+  let state w =
+    match w land 3 with 0 -> Closed | 1 -> Open | _ -> Half_open
+
+  let successes w = (w lsr 2) land 0xF
+
+  let failures w = (w lsr 6) land 0x3F
+
+  let transitions w = (w lsr 12) land 0xFFF
+
+  let since w = w lsr 24
+
+  let pack ~state ~successes ~failures ~transitions ~since =
+    let st = match state with Closed -> 0 | Open -> 1 | Half_open -> 2 in
+    st
+    lor (min successes 0xF lsl 2)
+    lor (min failures 0x3F lsl 6)
+    lor (min transitions 0xFFF lsl 12)
+    lor (since lsl 24)
+
+  let transition w ~to_ ~now =
+    pack ~state:to_ ~successes:0 ~failures:0
+      ~transitions:(transitions w + 1)
+      ~since:now
+
+  (* Open -> Half_open once the cooldown has elapsed; everything else is
+     driven by success/failure records. *)
+  let tick w ~now ~cooldown =
+    match state w with
+    | Open when now - since w >= cooldown ->
+      (transition w ~to_:Half_open ~now, true)
+    | _ -> (w, false)
+
+  let on_success w ~now ~half_open_successes =
+    match state w with
+    | Closed ->
+      (* a success clears the consecutive-failure streak *)
+      ( pack ~state:Closed ~successes:0 ~failures:0
+          ~transitions:(transitions w) ~since:(since w),
+        false )
+    | Half_open ->
+      let s = successes w + 1 in
+      if s >= half_open_successes then (transition w ~to_:Closed ~now, true)
+      else
+        ( pack ~state:Half_open ~successes:s ~failures:(failures w)
+            ~transitions:(transitions w) ~since:(since w),
+          false )
+    | Open -> (w, false)
+
+  let on_failure w ~now ~failure_threshold =
+    match state w with
+    | Closed ->
+      let f = failures w + 1 in
+      if f >= failure_threshold then (transition w ~to_:Open ~now, true)
+      else
+        ( pack ~state:Closed ~successes:0 ~failures:f
+            ~transitions:(transitions w) ~since:(since w),
+          false )
+    | Half_open -> (transition w ~to_:Open ~now, true)
+    | Open -> (w, false)
+end
+
+(* --- bounded retry with seeded exponential backoff -------------------- *)
+
+module Retry = struct
+  (* Mirrors Recover.backoff_cycles: base doubles per attempt plus a
+     jitter term from a generator keyed by (seed, request, attempt) —
+     stateless, so replaying a crashed worker that skips already-
+     committed requests cannot desynchronize later draws. *)
+  let backoff ~seed ~worker ~seq ~attempt ~base =
+    let base = max 1 base in
+    let expo = base * (1 lsl min attempt 16) in
+    let ident = (worker lsl 24) lxor seq in
+    let key =
+      Int64.logxor seed
+        (Int64.of_int ((ident * 0x9E3779B9) lxor (attempt * 0x85EBCA6B)))
+    in
+    expo + Det_rng.int (Det_rng.create key) base
+end
+
+(* --- admission control / load shedding -------------------------------- *)
+
+module Shed = struct
+  type decision = Admit | Shed
+
+  (* Queue lag below [soft]: admit.  Above [hard]: shed.  In between:
+     shed with probability (drop_per_1000/1000) * (lag-soft)/(hard-soft),
+     decided by a hash of (seed, seq) so the same request sheds in every
+     runtime and under every schedule. *)
+  let decide ~seed ~seq ~lag ~soft ~hard ~drop_per_1000 =
+    if lag >= hard then Shed
+    else if lag < soft then Admit
+    else begin
+      let span = max 1 (hard - soft) in
+      let threshold = drop_per_1000 * (lag - soft) / span in
+      let key = Int64.logxor seed (Int64.of_int (seq * 0x9E3779B9)) in
+      if Det_rng.int (Det_rng.create key) 1000 < threshold then Shed
+      else Admit
+    end
+end

@@ -1,0 +1,66 @@
+(** Deterministic request-resilience policies.
+
+    Every decision here is pure integer arithmetic over values the
+    calling worker computes deterministically — virtual cycle clocks,
+    request sequence numbers, the run seed — never host time or engine
+    scheduling state.  Breaker state is a single packed word the caller
+    keeps in simulated memory (one word per shard, owner-only), so the
+    policies behave identically across runtimes, schedules and replays. *)
+
+module Breaker : sig
+  type state = Closed | Open | Half_open
+
+  val empty : int
+  (** Initial word: closed, no history, epoch 0. *)
+
+  val state : int -> state
+
+  val failures : int -> int
+  (** Consecutive failures while closed. *)
+
+  val successes : int -> int
+  (** Probe successes while half-open. *)
+
+  val transitions : int -> int
+  (** Cumulative state changes (saturates at 4095). *)
+
+  val since : int -> int
+  (** Virtual cycle of the last transition. *)
+
+  val tick : int -> now:int -> cooldown:int -> int * bool
+  (** Open -> half-open once [cooldown] cycles have elapsed.  Returns
+      the new word and whether a transition happened. *)
+
+  val on_success : int -> now:int -> half_open_successes:int -> int * bool
+  (** Closed: clears the failure streak.  Half-open: counts a probe
+      success and re-closes after [half_open_successes] of them. *)
+
+  val on_failure : int -> now:int -> failure_threshold:int -> int * bool
+  (** Closed: counts a failure and opens at [failure_threshold]
+      consecutive ones.  Half-open: reopens immediately. *)
+end
+
+module Retry : sig
+  val backoff :
+    seed:int64 -> worker:int -> seq:int -> attempt:int -> base:int -> int
+  (** Exponential backoff in virtual cycles, mirroring the restart
+      discipline of [Recover]: [base * 2^min(attempt,16)] plus a jitter
+      term keyed by (seed, worker, seq, attempt).  Stateless — safe to
+      recompute during crash replay. *)
+end
+
+module Shed : sig
+  type decision = Admit | Shed
+
+  val decide :
+    seed:int64 ->
+    seq:int ->
+    lag:int ->
+    soft:int ->
+    hard:int ->
+    drop_per_1000:int ->
+    decision
+  (** Admit below [soft] lag, shed above [hard]; in between, shed a
+      seeded pseudorandom fraction that ramps linearly from 0 to
+      [drop_per_1000] per mille.  A pure function of (seed, seq, lag). *)
+end

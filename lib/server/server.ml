@@ -1,0 +1,438 @@
+module Api = Rfdet_sim.Api
+module Metrics = Rfdet_obs.Metrics
+module Breaker = Resilience.Breaker
+module Retry = Resilience.Retry
+module Shed = Resilience.Shed
+
+type params = {
+  workers : int;
+  shards : int;
+  traffic : Traffic.params;
+  deadline : int;
+  lock_slack : int;
+  max_retries : int;
+  backoff_base : int;
+  soft_lag : int;
+  hard_lag : int;
+  drop_per_1000 : int;
+  failure_threshold : int;
+  cooldown : int;
+  half_open_successes : int;
+  stale_cost : int;
+  shed_cost : int;
+}
+
+let default =
+  {
+    workers = 4;
+    shards = 16;
+    traffic = Traffic.default;
+    deadline = 30_000;
+    lock_slack = 2_000;
+    max_retries = 3;
+    backoff_base = 200;
+    soft_lag = 15_000;
+    hard_lag = 60_000;
+    drop_per_1000 = 600;
+    failure_threshold = 8;
+    cooldown = 20_000;
+    half_open_successes = 3;
+    stale_cost = 40;
+    shed_cost = 4;
+  }
+
+type report = {
+  total : int;
+  served : int;
+  stale_served : int;
+  shed : int;
+  timed_out : int;
+  failed : int;
+  failed_over : int;
+  retries : int;
+  breaker_transitions : int;
+  checksum : int;
+  digest : int;
+  event_digest : int;
+  makespan : int;
+  latency : Metrics.hist_summary;
+  p50 : int;
+  p99 : int;
+  p999 : int;
+  events : string array;  (** per-worker logs; empty unless recorded *)
+}
+
+let mix = Kvstore.mix
+
+(* progress word: (virtual clock lsl 21) lor cursor *)
+let cursor_bits = 21
+
+let cursor_mask = (1 lsl cursor_bits) - 1
+
+let owner p shard = shard mod p.workers
+
+type outcome = O_served | O_stale | O_shed | O_timed_out | O_failed
+
+let outcome_code = function
+  | O_served -> 1
+  | O_stale -> 2
+  | O_shed -> 3
+  | O_timed_out -> 4
+  | O_failed -> 5
+
+let outcome_name = function
+  | O_served -> "served"
+  | O_stale -> "stale"
+  | O_shed -> "shed"
+  | O_timed_out -> "timed_out"
+  | O_failed -> "failed"
+
+(* Per-worker host-side accumulators.  These live OUTSIDE the worker
+   closure so they survive a deterministic restart; exactly-once is
+   guaranteed by recording only after the request's progress word has
+   been atomically published (an op either fully executes or the crash
+   preempts it, so a replayed request can never have been recorded). *)
+type acc = {
+  mutable served : int;
+  mutable stale : int;
+  mutable shed : int;
+  mutable timed_out : int;
+  mutable failed : int;
+  mutable retries : int;
+  mutable digest : int;
+  mutable event_digest : int;
+  log : Buffer.t;
+}
+
+let run ?(record_events = false) ~seed p =
+  if p.workers < 1 || p.shards < p.workers then
+    invalid_arg "Server.run: need workers >= 1 and shards >= workers";
+  let reqs = Traffic.generate ~seed p.traffic in
+  let store = Kvstore.create ~shards:p.shards ~keys:p.traffic.keys in
+  let breakers = Api.malloc (8 * p.shards) in
+  for s = 0 to p.shards - 1 do
+    Api.store (breakers + (8 * s)) Breaker.empty
+  done;
+  let progress = Api.malloc (8 * p.workers) in
+  for w = 0 to p.workers - 1 do
+    Api.store (progress + (8 * w)) 0
+  done;
+  (* shard -> worker affinity: all requests for a shard are handled by
+     one worker, so fault-free runs are per-worker sequential programs
+     and identical under every runtime and schedule.  The stripe locks
+     are still taken per access: they are what makes failover safe. *)
+  let work_of =
+    let count = Array.make p.workers 0 in
+    Array.iter
+      (fun (r : Traffic.request) ->
+        let w = owner p (Kvstore.shard_of store r.key) in
+        count.(w) <- count.(w) + 1)
+      reqs;
+    let parts =
+      Array.init p.workers (fun w ->
+          Array.make count.(w)
+            { Traffic.seq = 0; arrival = 0; key = 0; op = Get; cost = 0 })
+    in
+    let fill = Array.make p.workers 0 in
+    Array.iter
+      (fun (r : Traffic.request) ->
+        let w = owner p (Kvstore.shard_of store r.key) in
+        parts.(w).(fill.(w)) <- r;
+        fill.(w) <- fill.(w) + 1)
+      reqs;
+    parts
+  in
+  Array.iter
+    (fun part -> assert (Array.length part <= cursor_mask))
+    work_of;
+  let accs =
+    Array.init p.workers (fun _ ->
+        {
+          served = 0;
+          stale = 0;
+          shed = 0;
+          timed_out = 0;
+          failed = 0;
+          retries = 0;
+          digest = 0;
+          event_digest = 0;
+          log = Buffer.create (if record_events then 4096 else 16);
+        })
+  in
+  let m = Metrics.create () in
+  let latencies = Array.init p.workers (fun _ -> ref []) in
+
+  let worker_body w () =
+    let a = accs.(w) in
+    let reqs_w = work_of.(w) in
+    let prog_addr = progress + (8 * w) in
+    (* resume point: everything before the cursor is committed and
+       already accounted; the virtual clock continues where it was *)
+    let pw = Api.atomic_load prog_addr in
+    let now = ref (pw lsr cursor_bits) in
+    let mirrored = ref !now in
+    for i = pw land cursor_mask to Array.length reqs_w - 1 do
+      let r = reqs_w.(i) in
+      let shard = Kvstore.shard_of store r.Traffic.key in
+      let b_addr = breakers + (8 * shard) in
+      if r.Traffic.arrival > !now then now := r.Traffic.arrival;
+      let lag = !now - r.Traffic.arrival in
+      let attempts = ref 0 in
+      let trans = ref 0 in
+      let b = ref (Api.load b_addr) in
+      let update (b', t) =
+        if t then incr trans;
+        if b' <> !b then begin
+          b := b';
+          Api.store b_addr b'
+        end
+      in
+      update (Breaker.tick !b ~now:!now ~cooldown:p.cooldown);
+      let serve () =
+        (match r.Traffic.op with
+        | Traffic.Get ->
+          let v = Kvstore.get store r.Traffic.key in
+          a.digest <- mix a.digest (mix r.Traffic.key v)
+        | Traffic.Put v -> Kvstore.put store r.Traffic.key v);
+        now := !now + r.Traffic.cost
+      in
+      let rec attempt n =
+        if p.deadline - (!now - r.Traffic.arrival) <= 0 then begin
+          update
+            (Breaker.on_failure !b ~now:!now
+               ~failure_threshold:p.failure_threshold);
+          O_timed_out
+        end
+        else if n > p.max_retries then begin
+          update
+            (Breaker.on_failure !b ~now:!now
+               ~failure_threshold:p.failure_threshold);
+          O_failed
+        end
+        else begin
+          let budget = p.deadline - (!now - r.Traffic.arrival) in
+          let mu = Kvstore.lock store shard in
+          match Api.lock_timed mu ~timeout:(budget + p.lock_slack) with
+          | `Ok ->
+            serve ();
+            Api.unlock mu;
+            update
+              (Breaker.on_success !b ~now:!now
+                 ~half_open_successes:p.half_open_successes);
+            O_served
+          | `Poisoned ->
+            (* the previous holder (this worker, pre-crash, or a
+               failed-over peer) died mid-hold; single-word puts keep
+               the table consistent, so heal and serve *)
+            ignore (Api.mutex_heal mu);
+            serve ();
+            Api.unlock mu;
+            update
+              (Breaker.on_success !b ~now:!now
+                 ~half_open_successes:p.half_open_successes);
+            O_served
+          | `Timed_out ->
+            update
+              (Breaker.on_failure !b ~now:!now
+                 ~failure_threshold:p.failure_threshold);
+            incr attempts;
+            now :=
+              !now
+              + Retry.backoff ~seed ~worker:w ~seq:r.Traffic.seq ~attempt:n
+                  ~base:p.backoff_base;
+            attempt (n + 1)
+        end
+      in
+      let outcome =
+        if Breaker.state !b = Breaker.Open then begin
+          match r.Traffic.op with
+          | Traffic.Get ->
+            (* degraded read: the shard's stale-cache word, no lock *)
+            let v = Kvstore.stale_get store ~shard in
+            a.digest <- mix a.digest (mix r.Traffic.key v);
+            now := !now + p.stale_cost;
+            O_stale
+          | Traffic.Put _ ->
+            now := !now + p.shed_cost;
+            O_shed
+        end
+        else
+          match
+            Shed.decide ~seed ~seq:r.Traffic.seq ~lag ~soft:p.soft_lag
+              ~hard:p.hard_lag ~drop_per_1000:p.drop_per_1000
+          with
+          | Shed.Shed ->
+            now := !now + p.shed_cost;
+            O_shed
+          | Shed.Admit -> attempt 0
+      in
+      (* mirror the virtual clock into the engine so traces, profiles
+         and fault sites see the time this request consumed *)
+      if !now > !mirrored then begin
+        Api.tick (!now - !mirrored);
+        mirrored := !now
+      end;
+      (* commit: publish (clock, cursor) and, through the release, the
+         table/breaker writes of this request *)
+      Api.atomic_store prog_addr ((!now lsl cursor_bits) lor (i + 1));
+      (* host accounting, strictly after the commit *)
+      (match outcome with
+      | O_served ->
+        a.served <- a.served + 1;
+        latencies.(w) := (!now - r.Traffic.arrival) :: !(latencies.(w))
+      | O_stale -> a.stale <- a.stale + 1
+      | O_shed -> a.shed <- a.shed + 1
+      | O_timed_out -> a.timed_out <- a.timed_out + 1
+      | O_failed -> a.failed <- a.failed + 1);
+      a.retries <- a.retries + !attempts;
+      a.event_digest <-
+        mix a.event_digest
+          (mix r.Traffic.seq
+             (mix (outcome_code outcome) ((!attempts lsl 8) lor !trans)));
+      if record_events then
+        Buffer.add_string a.log
+          (Printf.sprintf "%d %s a=%d t=%d\n" r.Traffic.seq
+             (outcome_name outcome) !attempts !trans)
+    done
+  in
+
+  (* start gate, as the pool benchmarks do, with the restart point just
+     past it so a recovered worker does not re-arrive *)
+  let gate = if p.workers > 1 then Some (Api.barrier_create p.workers) else None
+  in
+  let tids =
+    List.init p.workers (fun w ->
+        Api.spawn (fun () ->
+            (match gate with Some g -> Api.barrier_wait g | None -> ());
+            let work = worker_body w in
+            Api.checkpoint work;
+            work ()))
+  in
+  let crashed =
+    List.mapi (fun w tid -> (w, Api.join_check tid)) tids
+    |> List.filter_map (fun (w, st) -> if st = `Crashed then Some w else None)
+  in
+  (* deterministic failover: the main thread drains a dead worker's
+     uncommitted requests, healing any lock the crash poisoned.  Best
+     effort — no deadlines or breakers — and excluded from the latency
+     histogram. *)
+  let failed_over = ref 0 in
+  List.iter
+    (fun w ->
+      let a = accs.(w) in
+      let reqs_w = work_of.(w) in
+      let cursor = Api.atomic_load (progress + (8 * w)) land cursor_mask in
+      for i = cursor to Array.length reqs_w - 1 do
+        let r = reqs_w.(i) in
+        let shard = Kvstore.shard_of store r.Traffic.key in
+        let mu = Kvstore.lock store shard in
+        (match Api.lock_check mu with
+        | `Ok -> ()
+        | `Poisoned -> ignore (Api.mutex_heal mu));
+        (match r.Traffic.op with
+        | Traffic.Get ->
+          let v = Kvstore.get store r.Traffic.key in
+          a.digest <- mix a.digest (mix r.Traffic.key v)
+        | Traffic.Put v -> Kvstore.put store r.Traffic.key v);
+        Api.unlock mu;
+        incr failed_over
+      done)
+    crashed;
+  (* aggregate *)
+  let sum f = Array.fold_left (fun acc a -> acc + f a) 0 accs in
+  let served = sum (fun a -> a.served) in
+  let stale_served = sum (fun a -> a.stale) in
+  let shed = sum (fun a -> a.shed) in
+  let timed_out = sum (fun a -> a.timed_out) in
+  let failed = sum (fun a -> a.failed) in
+  let retries = sum (fun a -> a.retries) in
+  let digest = Array.fold_left (fun acc a -> mix acc a.digest) 0 accs in
+  let event_digest =
+    Array.fold_left (fun acc a -> mix acc a.event_digest) 0 accs
+  in
+  let transitions = ref 0 in
+  for s = 0 to p.shards - 1 do
+    transitions :=
+      !transitions + Breaker.transitions (Api.load (breakers + (8 * s)))
+  done;
+  let makespan = ref 0 in
+  for w = 0 to p.workers - 1 do
+    let clk = Api.atomic_load (progress + (8 * w)) lsr cursor_bits in
+    if clk > !makespan then makespan := clk
+  done;
+  Array.iter
+    (fun l -> List.iter (Metrics.observe m "server.latency") !l)
+    latencies;
+  let latency =
+    match Metrics.histogram m "server.latency" with
+    | Some s -> s
+    | None -> { Metrics.count = 0; sum = 0; min = 0; max = 0; buckets = [] }
+  in
+  let p50 = Metrics.quantile latency 0.5 in
+  let p99 = Metrics.quantile latency 0.99 in
+  let p999 = Metrics.quantile latency 0.999 in
+  let checksum = Kvstore.checksum store in
+  let hist_digest =
+    List.fold_left
+      (fun acc (u, n) -> mix acc (mix u n))
+      latency.Metrics.count latency.Metrics.buckets
+  in
+  (* observable outputs: any divergence in policy behavior, table
+     content or the latency distribution changes the run signature *)
+  List.iter Api.output_int
+    [
+      Array.length reqs; served; stale_served; shed; timed_out; failed;
+      !failed_over; retries; !transitions; checksum; digest; event_digest;
+      hist_digest; p50; p99; p999; !makespan;
+    ];
+  (* profile counters, count-carrying to keep the op stream small *)
+  Api.server_mark ~n:served Rfdet_sim.Op.Sv_served;
+  Api.server_mark ~n:shed Rfdet_sim.Op.Sv_shed;
+  Api.server_mark ~n:retries Rfdet_sim.Op.Sv_retried;
+  Api.server_mark ~n:timed_out Rfdet_sim.Op.Sv_timed_out;
+  Api.server_mark ~n:!transitions Rfdet_sim.Op.Sv_breaker_transition;
+  Api.server_mark ~n:stale_served Rfdet_sim.Op.Sv_stale_read;
+  {
+    total = Array.length reqs;
+    served;
+    stale_served;
+    shed;
+    timed_out;
+    failed;
+    failed_over = !failed_over;
+    retries;
+    breaker_transitions = !transitions;
+    checksum;
+    digest;
+    event_digest;
+    makespan = !makespan;
+    latency;
+    p50;
+    p99;
+    p999;
+    events = Array.map (fun a -> Buffer.contents a.log) accs;
+  }
+
+let render r =
+  let b = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt
+  in
+  let pct v = 100. *. float_of_int v /. float_of_int (max 1 r.total) in
+  line "requests        %10d" r.total;
+  line "  served        %10d  %5.1f%%" r.served (pct r.served);
+  line "  stale reads   %10d  %5.1f%%" r.stale_served (pct r.stale_served);
+  line "  shed          %10d  %5.1f%%" r.shed (pct r.shed);
+  line "  timed out     %10d  %5.1f%%" r.timed_out (pct r.timed_out);
+  line "  failed        %10d  %5.1f%%" r.failed (pct r.failed);
+  line "  failed over   %10d  %5.1f%%" r.failed_over (pct r.failed_over);
+  line "retry attempts  %10d" r.retries;
+  line "breaker flips   %10d" r.breaker_transitions;
+  line "makespan        %10d cycles" r.makespan;
+  line "latency (served, simulated cycles)";
+  line "  p50           %10d" r.p50;
+  line "  p99           %10d" r.p99;
+  line "  p999          %10d" r.p999;
+  line "  max           %10d" r.latency.Metrics.max;
+  line "signature parts: table=%08x digest=%08x events=%08x" r.checksum
+    r.digest r.event_digest;
+  Buffer.contents b

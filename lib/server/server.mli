@@ -1,0 +1,77 @@
+(** A deterministic overloaded KV server: sharded store, worker pool,
+    and a request-resilience layer — per-request deadlines, bounded
+    retries with seeded backoff, per-shard circuit breakers, admission
+    control / load shedding, and degraded (stale) reads while a shard's
+    breaker is open.
+
+    Every policy decision runs in virtual cycles the owning worker
+    computes by pure arithmetic, and every shard is owned by exactly one
+    worker — so a fault-free run is a set of independent sequential
+    programs and its outcome (signature, latency histogram, resilience
+    counters) is bit-identical across runtimes, schedules and jitter.
+    Under a fault plan, outcomes are deterministic per runtime: crashed
+    workers resume from their atomically-published progress word
+    (deterministic recovery) or are drained by the main thread
+    (failover), with stripe locks healed where the crash poisoned them.
+
+    [run] must be called from the simulated main thread. *)
+
+type params = {
+  workers : int;
+  shards : int;  (** must be >= workers; shard s is owned by worker
+                     [s mod workers] *)
+  traffic : Traffic.params;
+  deadline : int;  (** per-request budget from arrival, virtual cycles *)
+  lock_slack : int;  (** extra icount budget granted to [lock_timed] *)
+  max_retries : int;
+  backoff_base : int;  (** seeded exponential backoff base, cycles *)
+  soft_lag : int;  (** shedding starts ramping at this queue lag *)
+  hard_lag : int;  (** unconditional shed beyond this lag *)
+  drop_per_1000 : int;  (** peak shed probability at [hard_lag] *)
+  failure_threshold : int;  (** consecutive failures that open a breaker *)
+  cooldown : int;  (** open -> half-open after this many cycles *)
+  half_open_successes : int;  (** probe successes that re-close *)
+  stale_cost : int;  (** virtual cost of a degraded read *)
+  shed_cost : int;  (** virtual cost of rejecting a request *)
+}
+
+val default : params
+(** 4 workers over 16 shards at overload (see [Traffic.default]), with
+    [soft_lag] < [deadline] < [hard_lag] so a saturated shard sheds
+    probabilistically first, then times requests out — opening its
+    breaker — then drains cheaply through stale reads and shed puts
+    until the half-open probe succeeds. *)
+
+type report = {
+  total : int;
+  served : int;
+  stale_served : int;
+  shed : int;
+  timed_out : int;
+  failed : int;  (** retry budget exhausted (needs lock contention) *)
+  failed_over : int;  (** drained by the main thread after a crash *)
+  retries : int;  (** retry attempts, not requests *)
+  breaker_transitions : int;
+  checksum : int;  (** table digest after all joins *)
+  digest : int;  (** response digest over every served/stale read *)
+  event_digest : int;  (** digest of (seq, outcome, attempts) streams *)
+  makespan : int;  (** max worker virtual clock *)
+  latency : Rfdet_obs.Metrics.hist_summary;  (** served requests only *)
+  p50 : int;
+  p99 : int;
+  p999 : int;
+  events : string array;  (** per-worker logs; empty unless recorded *)
+}
+
+val run : ?record_events:bool -> seed:int64 -> params -> report
+(** Generate traffic, serve it, fail over crashed workers, and emit the
+    report's key figures as observable outputs (so any behavioral
+    divergence changes the run signature) plus [Op.Server_mark] profile
+    counters.  [record_events] keeps a human-readable per-worker event
+    log; leave it off for large runs.
+
+    Invariant: [served + stale_served + shed + timed_out + failed +
+    failed_over = total]. *)
+
+val render : report -> string
+(** The [rfdet serve] console report. *)

@@ -1,0 +1,89 @@
+module Det_rng = Rfdet_util.Det_rng
+
+type op = Get | Put of int
+
+type request = {
+  seq : int;  (** global arrival order, 0-based *)
+  arrival : int;  (** arrival time, simulated cycles from epoch *)
+  key : int;
+  op : op;
+  cost : int;  (** service cost in simulated cycles *)
+}
+
+type params = {
+  requests : int;
+  keys : int;
+  zipf_theta : float;
+  mean_interarrival : int;
+  get_per_1000 : int;
+  mean_service : int;
+  tail_per_1000 : int;
+  tail_factor : int;
+}
+
+let default =
+  {
+    requests = 2_000;
+    keys = 4_096;
+    zipf_theta = 0.99;
+    mean_interarrival = 70;
+    get_per_1000 = 900;
+    mean_service = 400;
+    tail_per_1000 = 10;
+    tail_factor = 8;
+  }
+
+(* Zipf(theta) sampler over [0, keys): precompute the CDF once and
+   binary-search a uniform draw.  theta = 0 degenerates to uniform. *)
+let zipf_cdf ~keys ~theta =
+  let cdf = Array.make keys 0. in
+  let acc = ref 0. in
+  for i = 0 to keys - 1 do
+    acc := !acc +. (1. /. (float_of_int (i + 1) ** theta));
+    cdf.(i) <- !acc
+  done;
+  let total = !acc in
+  Array.map (fun c -> c /. total) cdf
+
+let zipf_pick cdf u =
+  let n = Array.length cdf in
+  let lo = ref 0 and hi = ref (n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cdf.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Ranks are scattered over the key space so hot keys are not all
+   clustered in the low shards. *)
+let scatter ~keys rank = rank * 2654435761 mod keys
+
+let generate ~seed p =
+  let rng = Det_rng.create seed in
+  let arrivals = Det_rng.split rng in
+  let picks = Det_rng.split rng in
+  let cdf = zipf_cdf ~keys:p.keys ~theta:p.zipf_theta in
+  let clock = ref 0 in
+  Array.init p.requests (fun seq ->
+      let gap =
+        int_of_float
+          (Det_rng.exponential arrivals
+             ~mean:(float_of_int p.mean_interarrival))
+      in
+      clock := !clock + gap;
+      let rank = zipf_pick cdf (Det_rng.float picks 1.0) in
+      let key = scatter ~keys:p.keys rank in
+      let op =
+        if Det_rng.int picks 1000 < p.get_per_1000 then Get
+        else Put (Det_rng.int picks 0x3FFF_FFFF)
+      in
+      let base =
+        1
+        + int_of_float
+            (Det_rng.exponential picks ~mean:(float_of_int p.mean_service))
+      in
+      let cost =
+        if Det_rng.int picks 1000 < p.tail_per_1000 then base * p.tail_factor
+        else base
+      in
+      { seq; arrival = !clock; key; op; cost })

@@ -1,0 +1,39 @@
+(** Seeded open-loop request generator: Poisson arrivals, Zipfian
+    hot-key skew, exponential service costs with a heavy tail.
+
+    Generation is pure host arithmetic over a [Det_rng] stream, run once
+    by the simulated main thread before any worker is spawned — so the
+    request array is a function of (seed, params) alone and identical
+    under every runtime, schedule and fault plan. *)
+
+type op = Get | Put of int
+
+type request = {
+  seq : int;  (** global arrival order, 0-based *)
+  arrival : int;  (** arrival time, simulated cycles from epoch *)
+  key : int;
+  op : op;
+  cost : int;  (** service cost in simulated cycles *)
+}
+
+type params = {
+  requests : int;
+  keys : int;  (** key-space size *)
+  zipf_theta : float;  (** skew; 0 = uniform, 0.99 = classic YCSB *)
+  mean_interarrival : int;
+      (** mean gap between arrivals, cycles; the open-loop offered load
+          is [1/mean_interarrival] requests per cycle regardless of how
+          the server keeps up *)
+  get_per_1000 : int;  (** read fraction, per mille *)
+  mean_service : int;  (** mean service cost, cycles *)
+  tail_per_1000 : int;  (** heavy requests, per mille *)
+  tail_factor : int;  (** cost multiplier for heavy requests *)
+}
+
+val default : params
+(** 2 000 requests over 4 096 keys, theta 0.99, 90% gets, mean service
+    400 cycles vs. a 70-cycle interarrival — overloaded for a 4-worker
+    pool (capacity 1 request per 100 cycles). *)
+
+val generate : seed:int64 -> params -> request array
+(** Requests in arrival order; [arrival] is nondecreasing. *)

@@ -87,6 +87,9 @@ let yield () = ignore (perform_op Yield)
 
 let checkpoint body = ignore (perform_op (Checkpoint body))
 
+let server_mark ?(n = 1) ev =
+  if n > 0 then ignore (perform_op (Server_mark { ev; n }))
+
 let output v = ignore (perform_op (Output v))
 
 let output_int v = output (Int64.of_int v)

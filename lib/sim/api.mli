@@ -119,6 +119,11 @@ val checkpoint : (unit -> unit) -> unit
     Outputs already emitted survive the restart.  A no-op under every
     other failure mode. *)
 
+val server_mark : ?n:int -> Op.server_event -> unit
+(** [server_mark ~n ev] accounts [n] (default 1) occurrences of a
+    request-serving outcome to the engine profile.  Thread-private
+    bookkeeping — not a synchronization point.  No-op when [n <= 0]. *)
+
 (** {1 Low-level atomics}
 
     The lock-free synchronization interface of the paper's Sections

@@ -302,6 +302,18 @@ let pre_handle t th (op : Op.t) =
     | Some f -> f ~tid:th.tid body
     | None -> ());
     Some (Done 0)
+  | Server_mark { ev; n } ->
+    th.icount <- th.icount + 1;
+    th.clock <- th.clock + 1;
+    (match ev with
+    | Op.Sv_served -> p.requests_served <- p.requests_served + n
+    | Op.Sv_shed -> p.requests_shed <- p.requests_shed + n
+    | Op.Sv_retried -> p.requests_retried <- p.requests_retried + n
+    | Op.Sv_timed_out -> p.requests_timed_out <- p.requests_timed_out + n
+    | Op.Sv_breaker_transition ->
+      p.breaker_transitions <- p.breaker_transitions + n
+    | Op.Sv_stale_read -> p.stale_reads <- p.stale_reads + n);
+    Some (Done 0)
   | Malloc n ->
     th.icount <- th.icount + c.malloc;
     th.clock <- th.clock + c.malloc;

@@ -23,6 +23,15 @@ type t =
   | Yield
   | Checkpoint of (unit -> unit)
   | Atomic of { addr : int; rmw : rmw }
+  | Server_mark of { ev : server_event; n : int }
+
+and server_event =
+  | Sv_served
+  | Sv_shed
+  | Sv_retried
+  | Sv_timed_out
+  | Sv_breaker_transition
+  | Sv_stale_read
 
 and rmw =
   | A_load
@@ -58,6 +67,15 @@ let name = function
   | Yield -> "yield"
   | Checkpoint _ -> "checkpoint"
   | Atomic _ -> "atomic"
+  | Server_mark _ -> "server_mark"
+
+let server_event_name = function
+  | Sv_served -> "served"
+  | Sv_shed -> "shed"
+  | Sv_retried -> "retried"
+  | Sv_timed_out -> "timed_out"
+  | Sv_breaker_transition -> "breaker_transition"
+  | Sv_stale_read -> "stale_read"
 
 let apply_rmw rmw ~current =
   match rmw with
@@ -75,5 +93,5 @@ let is_sync = function
     true
   | Load _ | Store _ | Tick _ | Mutex_create | Cond_create
   | Barrier_create _ | Malloc _ | Free _ | Output _ | Self | Yield
-  | Checkpoint _ ->
+  | Checkpoint _ | Server_mark _ ->
     false

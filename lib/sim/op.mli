@@ -56,6 +56,20 @@ type t =
           release on an internal synchronization variable keyed by its
           address; the result is the value the location held before the
           operation. *)
+  | Server_mark of { ev : server_event; n : int }
+      (** account [n] occurrences of a request-serving outcome to the
+          engine profile ([Profile.requests_served] and friends).  A
+          thread-private bookkeeping operation — not a synchronization
+          point, and handled entirely by the engine, so every runtime
+          supports it for free.  Result is always 0. *)
+
+and server_event =
+  | Sv_served
+  | Sv_shed
+  | Sv_retried
+  | Sv_timed_out
+  | Sv_breaker_transition
+  | Sv_stale_read
 
 and rmw =
   | A_load  (** acquire load *)
@@ -70,6 +84,8 @@ and width = W8 | W64
 
 val name : t -> string
 (** Short constructor name for diagnostics. *)
+
+val server_event_name : server_event -> string
 
 val is_sync : t -> bool
 (** True for operations that are acquire and/or release points (lock,

@@ -27,6 +27,12 @@ type t = {
   mutable quarantines : int;
   mutable corruptions_detected : int;
   mutable backoff_cycles : int;
+  mutable requests_served : int;
+  mutable requests_shed : int;
+  mutable requests_retried : int;
+  mutable requests_timed_out : int;
+  mutable breaker_transitions : int;
+  mutable stale_reads : int;
   mutable shared_bytes : int;
   mutable stack_bytes : int;
   mutable metadata_peak_bytes : int;
@@ -63,6 +69,12 @@ let create () =
     quarantines = 0;
     corruptions_detected = 0;
     backoff_cycles = 0;
+    requests_served = 0;
+    requests_shed = 0;
+    requests_retried = 0;
+    requests_timed_out = 0;
+    breaker_transitions = 0;
+    stale_reads = 0;
     shared_bytes = 0;
     stack_bytes = 0;
     metadata_peak_bytes = 0;
@@ -113,6 +125,12 @@ let fields p =
     ("quarantines", p.quarantines);
     ("corruptions_detected", p.corruptions_detected);
     ("backoff_cycles", p.backoff_cycles);
+    ("requests_served", p.requests_served);
+    ("requests_shed", p.requests_shed);
+    ("requests_retried", p.requests_retried);
+    ("requests_timed_out", p.requests_timed_out);
+    ("breaker_transitions", p.breaker_transitions);
+    ("stale_reads", p.stale_reads);
     ("shared_bytes", p.shared_bytes);
     ("stack_bytes", p.stack_bytes);
     ("metadata_peak_bytes", p.metadata_peak_bytes);
@@ -129,13 +147,16 @@ let pp ppf p =
      waits: kendo=%d barrier_stalls=%d@ \
      recovery: restarts=%d heals=%d victims=%d quarantines=%d \
      corruptions=%d backoff=%d@ \
+     server: served=%d shed=%d retried=%d timed_out=%d breaker=%d stale=%d@ \
      footprint: shared=%d stacks=%d metadata=%d private=%d@]"
     p.locks p.unlocks p.waits p.signals p.barriers p.forks p.joins p.atomics
     p.loads p.stores p.stores_with_copy p.page_faults p.mprotect_calls
     p.snapshots p.slices_created p.slices_propagated p.bytes_propagated
     p.diff_bytes_scanned p.gc_runs p.gc_slices_freed p.kendo_waits
     p.barrier_stalls p.restarts p.heals p.deadlock_victims p.quarantines
-    p.corruptions_detected p.backoff_cycles p.shared_bytes p.stack_bytes
+    p.corruptions_detected p.backoff_cycles p.requests_served p.requests_shed
+    p.requests_retried p.requests_timed_out p.breaker_transitions
+    p.stale_reads p.shared_bytes p.stack_bytes
     p.metadata_peak_bytes p.private_copy_bytes
 
 let to_json p =

@@ -41,6 +41,14 @@ type t = {
       (** checksum mismatches caught (at propagation or the final audit) *)
   mutable backoff_cycles : int;
       (** simulated cycles charged as restart backoff latency *)
+  (* request serving (lib/server, via [Op.Server_mark]) *)
+  mutable requests_served : int;  (** full serves committed to the table *)
+  mutable requests_shed : int;  (** dropped by admission control *)
+  mutable requests_retried : int;  (** retry attempts (not requests) *)
+  mutable requests_timed_out : int;  (** deadline expired before commit *)
+  mutable breaker_transitions : int;
+      (** circuit-breaker state changes (closed/open/half-open) *)
+  mutable stale_reads : int;  (** degraded-mode reads from the stale cache *)
   (* memory footprint (Table 1, columns 10-12), in bytes *)
   mutable shared_bytes : int;  (** app shared memory (globals+heap touched) *)
   mutable stack_bytes : int;

@@ -1,0 +1,30 @@
+(* The overloaded KV server of lib/server, as a registered workload so
+   run/check/clinic/trace/profile and the determinism harness all cover
+   it.  Offered load, policy thresholds and the worker pool come from
+   [Server.default]; only the request count scales. *)
+
+module Server = Rfdet_server.Server
+module Traffic = Rfdet_server.Traffic
+
+let main cfg () =
+  let workers = max 1 cfg.Workload.threads in
+  let p =
+    {
+      Server.default with
+      workers;
+      shards = 4 * workers;
+      traffic =
+        { Traffic.default with requests = Workload.scaled cfg 2_000 };
+    }
+  in
+  ignore (Server.run ~seed:cfg.Workload.input_seed p)
+
+let workload =
+  {
+    Workload.name = "kvserver";
+    suite = "server";
+    description =
+      "overloaded sharded KV server: deadlines, retries, breakers, \
+       shedding, stale reads";
+    main;
+  }

@@ -21,6 +21,7 @@ let all =
     Microbench.handoff;
     Microbench.barrier;
     Microbench.atomic;
+    Kvserver.workload;
   ]
 
 let names = List.map (fun w -> w.Workload.name) all
@@ -38,16 +39,21 @@ let splash2 = List.filter (fun w -> w.Workload.suite = "splash2") all
 
 let micro = List.filter (fun w -> w.Workload.suite = "micro") all
 
-(* The paper-reproduction sets exclude the stress test and the
-   exploration micros. *)
+(* The paper-reproduction sets exclude the stress test, the exploration
+   micros and the overload-resilience server (which has its own
+   experiment, E12). *)
 let table1 =
   List.filter
-    (fun w -> w.Workload.name <> "racey" && w.Workload.suite <> "micro")
+    (fun w ->
+      w.Workload.name <> "racey"
+      && w.Workload.suite <> "micro"
+      && w.Workload.suite <> "server")
     all
 
 let figure8 =
   List.filter
     (fun w ->
       (not (List.mem w.Workload.name [ "racey"; "dedup"; "ferret"; "lu-non" ]))
-      && w.Workload.suite <> "micro")
+      && w.Workload.suite <> "micro"
+      && w.Workload.suite <> "server")
     all

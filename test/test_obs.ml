@@ -363,7 +363,7 @@ let test_profile_json_and_pp () =
       Alcotest.(check bool) ("json has " ^ k) true
         (contains ~needle:(Printf.sprintf "\"%s\":" k) json))
     (Profile.fields p);
-  Alcotest.(check int) "32 fields" 32 (List.length (Profile.fields p));
+  Alcotest.(check int) "38 fields" 38 (List.length (Profile.fields p));
   let pp = Format.asprintf "%a" Profile.pp p in
   (* the once-dropped fields all print now *)
   List.iter
@@ -377,12 +377,68 @@ let test_profile_json_and_pp () =
   Alcotest.(check int) "profile mirrored into metrics" p.Profile.locks
     (Metrics.counter m "profile.locks")
 
+(* ------------------------------------------------------------------ *)
+(* Quantile estimates                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Exact q-quantile of a sample list: the rank-ceil(q*n) smallest
+   element (1-based) — the oracle the bucketed estimate is checked
+   against. *)
+let exact_quantile samples q =
+  let a = Array.of_list samples in
+  Array.sort compare a;
+  let n = Array.length a in
+  let rank = max 1 (int_of_float (ceil (q *. float_of_int n))) in
+  a.(rank - 1)
+
+(* The pow2-bucket estimate can only round a sample up to the end of its
+   bucket: exact <= estimate <= 2*exact + 1 (the +1 covers exact = 0). *)
+let prop_quantile_bounds =
+  QCheck2.Test.make ~name:"obs: quantile bounded by 2x exact" ~count:300
+    QCheck2.Gen.(
+      pair
+        (list_size (1 -- 200) (frequency [ (3, 0 -- 100); (1, 0 -- 1_000_000) ]))
+        (0 -- 1000))
+    (fun (samples, permille) ->
+      let q = float_of_int permille /. 1000. in
+      let m = Metrics.create () in
+      List.iter (Metrics.observe m "h") samples;
+      let s = Option.get (Metrics.histogram m "h") in
+      let est = Metrics.quantile s q in
+      let exact = exact_quantile samples q in
+      if not (exact <= est && est <= (2 * exact) + 1) then
+        QCheck2.Test.fail_reportf "q=%.3f exact=%d est=%d" q exact est
+      else true)
+
+let test_quantile_edge_cases () =
+  let m = Metrics.create () in
+  Metrics.observe m "one" 7;
+  let s = Option.get (Metrics.histogram m "one") in
+  Alcotest.(check int) "single sample p50" 7 (Metrics.quantile s 0.5);
+  Alcotest.(check int) "single sample p999" 7 (Metrics.quantile s 0.999);
+  Metrics.observe m "zeros" 0;
+  Metrics.observe m "zeros" 0;
+  let z = Option.get (Metrics.histogram m "zeros") in
+  Alcotest.(check int) "all-zero p99" 0 (Metrics.quantile z 0.99);
+  let empty =
+    { Metrics.count = 0; sum = 0; min = 0; max = 0; buckets = [] }
+  in
+  Alcotest.(check int) "empty histogram" 0 (Metrics.quantile empty 0.5);
+  let json = Metrics.to_json m in
+  Alcotest.(check bool) "json has p999" true
+    (contains ~needle:"\"p999\"" json);
+  let r = Report.render_quantiles m [ "one"; "absent" ] in
+  Alcotest.(check bool) "render has row" true (contains ~needle:"one" r)
+
 let suites =
   [
     ( "obs",
       [
         QCheck_alcotest.to_alcotest prop_line_roundtrip;
         QCheck_alcotest.to_alcotest prop_lines_roundtrip;
+        QCheck_alcotest.to_alcotest prop_quantile_bounds;
+        Alcotest.test_case "quantile edge cases" `Quick
+          test_quantile_edge_cases;
         Alcotest.test_case "line parser rejects garbage" `Quick
           test_line_rejects_garbage;
         Alcotest.test_case "tracing is deterministically inert" `Quick

@@ -1,0 +1,290 @@
+(* The deterministic overload-resilience server (lib/server).
+
+   Covers: the circuit-breaker state machine (pure unit tests), the
+   shedding and backoff policies, cross-runtime bit-identity of the
+   whole serving pipeline (signatures, reports and per-request event
+   logs), the no-mutation guarantee for deadline-expired requests, and
+   crash-plan behavior under both containment (failover) and
+   deterministic recovery (exactly-once resume). *)
+
+module Runner = Rfdet_harness.Runner
+module Workload = Rfdet_workloads.Workload
+module Registry = Rfdet_workloads.Registry
+module Engine = Rfdet_sim.Engine
+module Fault_plan = Rfdet_fault.Fault_plan
+module Server = Rfdet_server.Server
+module Traffic = Rfdet_server.Traffic
+module Kvstore = Rfdet_server.Kvstore
+module Breaker = Rfdet_server.Resilience.Breaker
+module Retry = Rfdet_server.Resilience.Retry
+module Shed = Rfdet_server.Resilience.Shed
+
+(* ------------------------------------------------------------------ *)
+(* Harness                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let run_server ?faults ?(failure_mode = Engine.Contain)
+    ?(runtime = Runner.rfdet_ci) ?(record_events = false) ?(seed = 7L) p =
+  let report = ref None in
+  let w =
+    {
+      Workload.name = "kvserver-test";
+      suite = "server";
+      description = "server test fixture";
+      main = (fun _cfg () -> report := Some (Server.run ~record_events ~seed p));
+    }
+  in
+  let r =
+    Runner.run ~threads:p.Server.workers ?faults ~failure_mode runtime w
+  in
+  (r, Option.get !report)
+
+(* a hot little configuration: heavily overloaded, small key space *)
+let small =
+  {
+    Server.default with
+    Server.traffic =
+      {
+        Traffic.default with
+        Traffic.requests = 1_500;
+        keys = 512;
+        mean_interarrival = 60;
+      };
+  }
+
+let conservation (rep : Server.report) =
+  rep.Server.served + rep.Server.stale_served + rep.Server.shed
+  + rep.Server.timed_out + rep.Server.failed + rep.Server.failed_over
+
+(* ------------------------------------------------------------------ *)
+(* Breaker state machine (pure)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_breaker_opens () =
+  let w = ref Breaker.empty in
+  Alcotest.(check bool) "starts closed" true (Breaker.state !w = Breaker.Closed);
+  for i = 1 to 4 do
+    let w', t = Breaker.on_failure !w ~now:(100 * i) ~failure_threshold:5 in
+    w := w';
+    Alcotest.(check bool) "below threshold stays closed" false t
+  done;
+  Alcotest.(check int) "failure streak" 4 (Breaker.failures !w);
+  let w', t = Breaker.on_failure !w ~now:500 ~failure_threshold:5 in
+  Alcotest.(check bool) "threshold opens" true t;
+  Alcotest.(check bool) "open" true (Breaker.state w' = Breaker.Open);
+  Alcotest.(check int) "since records now" 500 (Breaker.since w');
+  Alcotest.(check int) "one transition" 1 (Breaker.transitions w');
+  (* a success while closed clears the streak *)
+  let c = ref Breaker.empty in
+  let c', _ = Breaker.on_failure !c ~now:1 ~failure_threshold:5 in
+  let c', _ = Breaker.on_success c' ~now:2 ~half_open_successes:3 in
+  Alcotest.(check int) "success clears streak" 0 (Breaker.failures c')
+
+let test_breaker_half_open_cycle () =
+  (* drive: closed -> open -> half-open -> closed, then a second
+     open -> half-open -> reopen on a probe failure *)
+  let w = ref Breaker.empty in
+  for _ = 1 to 3 do
+    let w', _ = Breaker.on_failure !w ~now:10 ~failure_threshold:3 in
+    w := w'
+  done;
+  Alcotest.(check bool) "open" true (Breaker.state !w = Breaker.Open);
+  let w', t = Breaker.tick !w ~now:100 ~cooldown:1_000 in
+  Alcotest.(check bool) "cooldown not elapsed" false t;
+  Alcotest.(check bool) "still open" true (Breaker.state w' = Breaker.Open);
+  let w', t = Breaker.tick !w ~now:2_000 ~cooldown:1_000 in
+  Alcotest.(check bool) "cooldown elapses" true t;
+  Alcotest.(check bool) "half-open" true (Breaker.state w' = Breaker.Half_open);
+  w := w';
+  (* two probe successes close it (half_open_successes = 2) *)
+  let w', t = Breaker.on_success !w ~now:2_100 ~half_open_successes:2 in
+  Alcotest.(check bool) "first probe does not close" false t;
+  let w', t = Breaker.on_success w' ~now:2_200 ~half_open_successes:2 in
+  Alcotest.(check bool) "second probe closes" true t;
+  Alcotest.(check bool) "closed again" true (Breaker.state w' = Breaker.Closed);
+  (* reopen path: half-open + failure -> open immediately *)
+  let w = ref w' in
+  for _ = 1 to 3 do
+    let w', _ = Breaker.on_failure !w ~now:3_000 ~failure_threshold:3 in
+    w := w'
+  done;
+  let w', _ = Breaker.tick !w ~now:5_000 ~cooldown:1_000 in
+  let w', t = Breaker.on_failure w' ~now:5_100 ~failure_threshold:3 in
+  Alcotest.(check bool) "probe failure reopens" true t;
+  Alcotest.(check bool) "reopened" true (Breaker.state w' = Breaker.Open);
+  Alcotest.(check int) "transitions counted" 6 (Breaker.transitions w')
+
+let test_policies_deterministic () =
+  (* backoff: pure function of its key, monotone in attempt *)
+  let b0 = Retry.backoff ~seed:9L ~worker:1 ~seq:42 ~attempt:0 ~base:200 in
+  let b0' = Retry.backoff ~seed:9L ~worker:1 ~seq:42 ~attempt:0 ~base:200 in
+  Alcotest.(check int) "backoff replays" b0 b0';
+  let b3 = Retry.backoff ~seed:9L ~worker:1 ~seq:42 ~attempt:3 ~base:200 in
+  Alcotest.(check bool) "backoff grows" true (b3 > b0);
+  Alcotest.(check bool) "attempt 0 >= base" true (b0 >= 200);
+  (* shedding: hard edges plus a deterministic middle *)
+  let d ~lag =
+    Shed.decide ~seed:9L ~seq:42 ~lag ~soft:100 ~hard:200 ~drop_per_1000:1000
+  in
+  Alcotest.(check bool) "below soft admits" true (d ~lag:50 = Shed.Admit);
+  Alcotest.(check bool) "above hard sheds" true (d ~lag:200 = Shed.Shed);
+  Alcotest.(check bool) "middle is stable" true (d ~lag:150 = d ~lag:150)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-runtime bit-identity (fault-free)                              *)
+(* ------------------------------------------------------------------ *)
+
+let dmt_runtimes =
+  [
+    ("rfdet-ci", Runner.rfdet_ci); ("kendo", Runner.Kendo);
+    ("dthreads", Runner.Dthreads); ("coredet", Runner.Coredet);
+  ]
+
+let test_cross_runtime_identity () =
+  let runs =
+    List.map
+      (fun (name, rt) ->
+        (name, run_server ~runtime:rt ~record_events:true small))
+      dmt_runtimes
+  in
+  let _, (r0, rep0) = List.hd runs in
+  Alcotest.(check bool) "overload exercises the breaker" true
+    (rep0.Server.breaker_transitions > 0 && rep0.Server.stale_served > 0
+   && rep0.Server.shed > 0 && rep0.Server.timed_out > 0);
+  Alcotest.(check int) "conservation" rep0.Server.total (conservation rep0);
+  List.iter
+    (fun (name, (r, rep)) ->
+      Alcotest.(check string)
+        (name ^ ": signature") r0.Runner.signature r.Runner.signature;
+      Alcotest.(check int)
+        (name ^ ": served") rep0.Server.served rep.Server.served;
+      Alcotest.(check int)
+        (name ^ ": breaker transitions")
+        rep0.Server.breaker_transitions rep.Server.breaker_transitions;
+      Alcotest.(check (list (pair int int)))
+        (name ^ ": latency histogram")
+        rep0.Server.latency.Rfdet_obs.Metrics.buckets
+        rep.Server.latency.Rfdet_obs.Metrics.buckets;
+      Alcotest.(check (array string))
+        (name ^ ": shed/retry/breaker event sequences")
+        rep0.Server.events rep.Server.events)
+    (List.tl runs);
+  (* different traffic seed, different behavior (sanity) *)
+  let _, rep_b = run_server ~seed:8L small in
+  Alcotest.(check bool) "seed matters" true
+    (rep_b.Server.event_digest <> rep0.Server.event_digest)
+
+(* ------------------------------------------------------------------ *)
+(* Deadlines never mutate the table                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_expired_never_mutates () =
+  (* deadline 0: every admitted request is already expired, so nothing
+     may ever reach the table — the checksum must equal the virgin
+     table's.  All-put traffic makes any violation visible. *)
+  let p =
+    {
+      small with
+      Server.deadline = 0;
+      drop_per_1000 = 0;
+      soft_lag = max_int / 2;
+      hard_lag = max_int / 2;
+      traffic = { small.Server.traffic with Traffic.get_per_1000 = 0 };
+    }
+  in
+  let _, rep = run_server p in
+  Alcotest.(check int) "nothing served" 0 rep.Server.served;
+  let virgin = ref 0 in
+  for _ = 1 to p.Server.traffic.Traffic.keys do
+    virgin := Kvstore.mix !virgin 0
+  done;
+  Alcotest.(check int) "table untouched" !virgin rep.Server.checksum;
+  Alcotest.(check int) "conservation" rep.Server.total (conservation rep)
+
+(* ------------------------------------------------------------------ *)
+(* Crash plans: containment failover and exactly-once recovery          *)
+(* ------------------------------------------------------------------ *)
+
+let crash_plan =
+  match Fault_plan.parse "crash,tid=2,op=lock,n=25" with
+  | Ok p -> p
+  | Error e -> failwith e
+
+let test_contain_failover () =
+  let r1, rep1 = run_server ~faults:crash_plan ~failure_mode:Engine.Contain small in
+  let r2, rep2 = run_server ~faults:crash_plan ~failure_mode:Engine.Contain small in
+  Alcotest.(check bool) "worker crashed" true (r1.Runner.crashes <> []);
+  Alcotest.(check bool) "failover drained the dead worker" true
+    (rep1.Server.failed_over > 0);
+  Alcotest.(check int) "conservation under failover" rep1.Server.total
+    (conservation rep1);
+  Alcotest.(check string) "same plan, same signature" r1.Runner.signature
+    r2.Runner.signature;
+  Alcotest.(check int) "same plan, same failover" rep1.Server.failed_over
+    rep2.Server.failed_over;
+  Alcotest.(check int) "same plan, same table" rep1.Server.checksum
+    rep2.Server.checksum
+
+let test_recover_exactly_once () =
+  let clean, rep_clean = run_server small in
+  let r1, rep1 =
+    run_server ~faults:crash_plan ~failure_mode:Engine.Recover small
+  in
+  let r2, _rep2 =
+    run_server ~faults:crash_plan ~failure_mode:Engine.Recover small
+  in
+  Alcotest.(check int) "restart happened" 1 r1.Runner.profile.Rfdet_sim.Profile.restarts;
+  Alcotest.(check string) "recovery is deterministic" r1.Runner.signature
+    r2.Runner.signature;
+  (* the resumed worker skips committed requests and replays the rest:
+     every counter and digest must match the fault-free run exactly *)
+  Alcotest.(check int) "served exactly once" rep_clean.Server.served
+    rep1.Server.served;
+  Alcotest.(check int) "retries match" rep_clean.Server.retries
+    rep1.Server.retries;
+  Alcotest.(check int) "no failover needed" 0 rep1.Server.failed_over;
+  Alcotest.(check int) "table matches fault-free" rep_clean.Server.checksum
+    rep1.Server.checksum;
+  Alcotest.(check int) "event stream matches fault-free"
+    rep_clean.Server.event_digest rep1.Server.event_digest;
+  Alcotest.(check string) "outputs checksum matches fault-free"
+    clean.Runner.output_checksum r1.Runner.output_checksum
+
+(* ------------------------------------------------------------------ *)
+(* Registry integration                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_registered () =
+  let w = Registry.find "kvserver" in
+  Alcotest.(check string) "suite" "server" w.Workload.suite;
+  let in_set set = List.exists (fun x -> x.Workload.name = "kvserver") set in
+  Alcotest.(check bool) "not in table1" false (in_set Registry.table1);
+  Alcotest.(check bool) "not in figure8" false (in_set Registry.figure8);
+  (* profile counters flow through Op.Server_mark *)
+  let r = Runner.run ~threads:4 ~scale:0.25 Runner.rfdet_ci w in
+  let p = r.Runner.profile in
+  Alcotest.(check bool) "served counted" true
+    (p.Rfdet_sim.Profile.requests_served > 0);
+  Alcotest.(check bool) "shed counted" true
+    (p.Rfdet_sim.Profile.requests_shed > 0)
+
+let suites =
+  [
+    ( "server",
+      [
+        Alcotest.test_case "breaker opens at threshold" `Quick
+          test_breaker_opens;
+        Alcotest.test_case "breaker half-open reclose/reopen" `Quick
+          test_breaker_half_open_cycle;
+        Alcotest.test_case "backoff and shedding deterministic" `Quick
+          test_policies_deterministic;
+        Alcotest.test_case "cross-runtime bit-identity" `Quick
+          test_cross_runtime_identity;
+        Alcotest.test_case "expired requests never mutate" `Quick
+          test_expired_never_mutates;
+        Alcotest.test_case "containment failover" `Quick test_contain_failover;
+        Alcotest.test_case "recovery is exactly-once" `Quick
+          test_recover_exactly_once;
+        Alcotest.test_case "registry integration" `Quick test_registered;
+      ] );
+  ]

@@ -79,7 +79,7 @@ let test_input_seed_changes_result () =
   Alcotest.(check bool) "different inputs differ" true (a <> b)
 
 let test_registry () =
-  Alcotest.(check int) "21 workloads" 21 (List.length Registry.all);
+  Alcotest.(check int) "22 workloads" 22 (List.length Registry.all);
   Alcotest.(check int) "4 exploration micros" 4 (List.length Registry.micro);
   Alcotest.(check int) "16 in table 1" 16 (List.length Registry.table1);
   Alcotest.(check int) "7 in splash2" 7 (List.length Registry.splash2);
