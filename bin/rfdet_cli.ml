@@ -860,7 +860,8 @@ let serve_cmd =
       & opt (some string) None
       & info [ "json" ] ~docv:"FILE"
           ~doc:"Also write the report (counters and latency quantiles) \
-                as JSON.")
+                as JSON; with $(b,--sweep), an array with one object \
+                per offered load.")
   in
   let sweep_arg =
     Arg.(
@@ -905,14 +906,9 @@ let serve_cmd =
     in
     (r, Option.get !report)
   in
-  let report_json (rep : Server.report) =
-    let b = Buffer.create 256 in
-    Buffer.add_string b "{";
-    List.iteri
-      (fun i (k, v) ->
-        Buffer.add_string b
-          (Printf.sprintf "%s\n  \"%s\": %d" (if i = 0 then "" else ",") k v))
-      [
+  let report_fields ?rate (rep : Server.report) =
+    (match rate with None -> [] | Some r -> [ ("rate", r) ])
+    @ [
         ("total", rep.Server.total); ("served", rep.Server.served);
         ("stale_served", rep.Server.stale_served); ("shed", rep.Server.shed);
         ("timed_out", rep.Server.timed_out); ("failed", rep.Server.failed);
@@ -921,8 +917,31 @@ let serve_cmd =
         ("breaker_transitions", rep.Server.breaker_transitions);
         ("latency_p50", rep.Server.p50); ("latency_p99", rep.Server.p99);
         ("latency_p999", rep.Server.p999); ("makespan", rep.Server.makespan);
-      ];
-    Buffer.add_string b "\n}\n";
+      ]
+  in
+  let json_obj ~indent fields =
+    let b = Buffer.create 256 in
+    Buffer.add_string b "{";
+    List.iteri
+      (fun i (k, v) ->
+        Buffer.add_string b
+          (Printf.sprintf "%s\n%s  \"%s\": %d"
+             (if i = 0 then "" else ",")
+             indent k v))
+      fields;
+    Buffer.add_string b (Printf.sprintf "\n%s}" indent);
+    Buffer.contents b
+  in
+  let report_json rep = json_obj ~indent:"" (report_fields rep) ^ "\n" in
+  let sweep_json rows =
+    let b = Buffer.create 1024 in
+    Buffer.add_string b "[";
+    List.iteri
+      (fun i (rate, rep) ->
+        Buffer.add_string b (if i = 0 then "\n  " else ",\n  ");
+        Buffer.add_string b (json_obj ~indent:"  " (report_fields ~rate rep)))
+      rows;
+    Buffer.add_string b "\n]\n";
     Buffer.contents b
   in
   let action runtime requests rate workers shards deadline seed input_seed
@@ -934,17 +953,25 @@ let serve_cmd =
       Printf.printf "%6s %8s %8s %8s %8s %8s %10s %10s %10s %6s\n" "rate"
         "served" "stale" "shed" "timeout" "failover" "p50" "p99" "p999"
         "flips";
-      List.iter
-        (fun rate ->
-          let p = mk_params ~requests ~rate ~workers ~shards ~deadline in
-          let _, rep =
-            run_one runtime ~seed ~input_seed ~faults ~failure_mode p
-          in
-          Printf.printf "%6d %8d %8d %8d %8d %8d %10d %10d %10d %6d\n" rate
-            rep.Server.served rep.Server.stale_served rep.Server.shed
-            rep.Server.timed_out rep.Server.failed_over rep.Server.p50
-            rep.Server.p99 rep.Server.p999 rep.Server.breaker_transitions)
-        [ 400; 200; 150; 120; 100; 90; 80; 70; 60; 50 ]
+      let rows =
+        List.map
+          (fun rate ->
+            let p = mk_params ~requests ~rate ~workers ~shards ~deadline in
+            let _, rep =
+              run_one runtime ~seed ~input_seed ~faults ~failure_mode p
+            in
+            Printf.printf "%6d %8d %8d %8d %8d %8d %10d %10d %10d %6d\n" rate
+              rep.Server.served rep.Server.stale_served rep.Server.shed
+              rep.Server.timed_out rep.Server.failed_over rep.Server.p50
+              rep.Server.p99 rep.Server.p999 rep.Server.breaker_transitions;
+            (rate, rep))
+          [ 400; 200; 150; 120; 100; 90; 80; 70; 60; 50 ]
+      in
+      match json with
+      | None -> ()
+      | Some path ->
+        write_file path (sweep_json rows);
+        Printf.printf "report json: %s\n" path
     end
     else begin
       let p = mk_params ~requests ~rate ~workers ~shards ~deadline in

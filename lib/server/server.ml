@@ -89,9 +89,14 @@ let outcome_name = function
 
 (* Per-worker host-side accumulators.  These live OUTSIDE the worker
    closure so they survive a deterministic restart; exactly-once is
-   guaranteed by recording only after the request's progress word has
-   been atomically published (an op either fully executes or the crash
-   preempts it, so a replayed request can never have been recorded). *)
+   guaranteed by buffering every observable effect of a request — the
+   digest contribution and the breaker-word update — locally while the
+   request executes and recording it only after the request's progress
+   word has been atomically published.  An injected crash preempts an
+   op entirely, so either the commit happened (the replay skips the
+   request) or it did not (nothing was recorded and the journaled
+   breaker pre-state is restored), and a replayed request can never
+   have been recorded. *)
 type acc = {
   mutable served : int;
   mutable stale : int;
@@ -116,6 +121,15 @@ let run ?(record_events = false) ~seed p =
   let progress = Api.malloc (8 * p.workers) in
   for w = 0 to p.workers - 1 do
     Api.store (progress + (8 * w)) 0
+  done;
+  (* per-worker breaker undo journal: [pre-state; tag] where tag = i+1
+     marks a journaled pre-state for request index i.  Written ahead of
+     the single breaker publish, so a crash between the publish and the
+     progress-word commit can be rolled back before the replay. *)
+  let undo = Api.malloc (16 * p.workers) in
+  for w = 0 to p.workers - 1 do
+    Api.store (undo + (16 * w)) 0;
+    Api.store (undo + (16 * w) + 8) 0
   done;
   (* shard -> worker affinity: all requests for a shard are handled by
      one worker, so fault-free runs are per-worker sequential programs
@@ -143,7 +157,13 @@ let run ?(record_events = false) ~seed p =
     parts
   in
   Array.iter
-    (fun part -> assert (Array.length part <= cursor_mask))
+    (fun part ->
+      if Array.length part > cursor_mask then
+        invalid_arg
+          (Printf.sprintf
+             "Server.run: %d requests for one worker exceeds the %d-bit \
+              progress cursor (max %d); add workers or shard the traffic"
+             (Array.length part) cursor_bits cursor_mask))
     work_of;
   let accs =
     Array.init p.workers (fun _ ->
@@ -166,12 +186,22 @@ let run ?(record_events = false) ~seed p =
     let a = accs.(w) in
     let reqs_w = work_of.(w) in
     let prog_addr = progress + (8 * w) in
+    let undo_val_addr = undo + (16 * w) in
+    let undo_tag_addr = undo + (16 * w) + 8 in
     (* resume point: everything before the cursor is committed and
        already accounted; the virtual clock continues where it was *)
     let pw = Api.atomic_load prog_addr in
+    let start = pw land cursor_mask in
+    (* roll back a breaker publish left by a crash that hit between the
+       publish and the commit: tag = start+1 means the journaled
+       pre-state belongs to the request about to be replayed *)
+    if start < Array.length reqs_w && Api.load undo_tag_addr = start + 1 then begin
+      let shard = Kvstore.shard_of store reqs_w.(start).Traffic.key in
+      Api.store (breakers + (8 * shard)) (Api.load undo_val_addr)
+    end;
     let now = ref (pw lsr cursor_bits) in
     let mirrored = ref !now in
-    for i = pw land cursor_mask to Array.length reqs_w - 1 do
+    for i = start to Array.length reqs_w - 1 do
       let r = reqs_w.(i) in
       let shard = Kvstore.shard_of store r.Traffic.key in
       let b_addr = breakers + (8 * shard) in
@@ -179,20 +209,22 @@ let run ?(record_events = false) ~seed p =
       let lag = !now - r.Traffic.arrival in
       let attempts = ref 0 in
       let trans = ref 0 in
-      let b = ref (Api.load b_addr) in
+      (* breaker updates are buffered in [b] — this worker is the
+         shard's only writer — and published once, just before the
+         commit; [contrib] buffers the digest term the same way *)
+      let b0 = Api.load b_addr in
+      let b = ref b0 in
       let update (b', t) =
         if t then incr trans;
-        if b' <> !b then begin
-          b := b';
-          Api.store b_addr b'
-        end
+        b := b'
       in
+      let contrib = ref None in
       update (Breaker.tick !b ~now:!now ~cooldown:p.cooldown);
       let serve () =
         (match r.Traffic.op with
         | Traffic.Get ->
           let v = Kvstore.get store r.Traffic.key in
-          a.digest <- mix a.digest (mix r.Traffic.key v)
+          contrib := Some (mix r.Traffic.key v)
         | Traffic.Put v -> Kvstore.put store r.Traffic.key v);
         now := !now + r.Traffic.cost
       in
@@ -249,7 +281,7 @@ let run ?(record_events = false) ~seed p =
           | Traffic.Get ->
             (* degraded read: the shard's stale-cache word, no lock *)
             let v = Kvstore.stale_get store ~shard in
-            a.digest <- mix a.digest (mix r.Traffic.key v);
+            contrib := Some (mix r.Traffic.key v);
             now := !now + p.stale_cost;
             O_stale
           | Traffic.Put _ ->
@@ -266,6 +298,15 @@ let run ?(record_events = false) ~seed p =
             O_shed
           | Shed.Admit -> attempt 0
       in
+      (* publish the breaker word once, journaling its pre-state first:
+         should a crash land on any op from here to the commit, the
+         restart (or the containment drain) restores the pre-state and
+         the replay re-derives the update from scratch *)
+      if !b <> b0 then begin
+        Api.store undo_val_addr b0;
+        Api.store undo_tag_addr (i + 1);
+        Api.store b_addr !b
+      end;
       (* mirror the virtual clock into the engine so traces, profiles
          and fault sites see the time this request consumed *)
       if !now > !mirrored then begin
@@ -276,6 +317,9 @@ let run ?(record_events = false) ~seed p =
          table/breaker writes of this request *)
       Api.atomic_store prog_addr ((!now lsl cursor_bits) lor (i + 1));
       (* host accounting, strictly after the commit *)
+      (match !contrib with
+      | Some c -> a.digest <- mix a.digest c
+      | None -> ());
       (match outcome with
       | O_served ->
         a.served <- a.served + 1;
@@ -322,6 +366,15 @@ let run ?(record_events = false) ~seed p =
       let a = accs.(w) in
       let reqs_w = work_of.(w) in
       let cursor = Api.atomic_load (progress + (8 * w)) land cursor_mask in
+      (* the crash may have published a breaker update whose request
+         never committed; restore the journaled pre-state so the final
+         transition counts reflect committed requests only *)
+      if cursor < Array.length reqs_w
+         && Api.load (undo + (16 * w) + 8) = cursor + 1
+      then begin
+        let shard = Kvstore.shard_of store reqs_w.(cursor).Traffic.key in
+        Api.store (breakers + (8 * shard)) (Api.load (undo + (16 * w)))
+      end;
       for i = cursor to Array.length reqs_w - 1 do
         let r = reqs_w.(i) in
         let shard = Kvstore.shard_of store r.Traffic.key in

@@ -55,8 +55,23 @@ let zipf_pick cdf u =
   !lo
 
 (* Ranks are scattered over the key space so hot keys are not all
-   clustered in the low shards. *)
-let scatter ~keys rank = rank * 2654435761 mod keys
+   clustered in the low shards.  Multiplying by an odd constant is a
+   bijection of the enclosing power-of-two space; cycle-walking draws
+   that land at or above [keys] keeps the rank->key map injective for
+   ANY key count (a plain [mod keys] would collide distinct ranks
+   whenever gcd(2654435761, keys) > 1).  For power-of-two key spaces
+   this is the single multiply it always was. *)
+let scatter ~keys rank =
+  let bits = ref 0 in
+  while 1 lsl !bits < keys do
+    incr bits
+  done;
+  let mask = (1 lsl !bits) - 1 in
+  let x = ref (rank * 2654435761 land mask) in
+  while !x >= keys do
+    x := !x * 2654435761 land mask
+  done;
+  !x
 
 let generate ~seed p =
   let rng = Det_rng.create seed in

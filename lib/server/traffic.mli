@@ -35,5 +35,11 @@ val default : params
     400 cycles vs. a 70-cycle interarrival — overloaded for a 4-worker
     pool (capacity 1 request per 100 cycles). *)
 
+val scatter : keys:int -> int -> int
+(** Injective Zipf-rank -> key map: spreads hot ranks over the key
+    space so they do not cluster in the low shards.  A permutation of
+    [0, keys) for any [keys] (multiplicative hash in the enclosing
+    power-of-two space, cycle-walked back into range). *)
+
 val generate : seed:int64 -> params -> request array
 (** Requests in arrival order; [arrival] is nondecreasing. *)

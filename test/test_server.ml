@@ -130,6 +130,24 @@ let test_policies_deterministic () =
   Alcotest.(check bool) "above hard sheds" true (d ~lag:200 = Shed.Shed);
   Alcotest.(check bool) "middle is stable" true (d ~lag:150 = d ~lag:150)
 
+let test_scatter_injective () =
+  (* the rank->key scatter must be a permutation of [0, keys) for any
+     key count, not just powers of two (where a plain multiplicative
+     mod would already be one) *)
+  List.iter
+    (fun keys ->
+      let image =
+        List.init keys (Traffic.scatter ~keys)
+        |> List.sort_uniq compare
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "keys=%d: permutation" keys)
+        keys (List.length image);
+      List.iter
+        (fun k -> Alcotest.(check bool) "in range" true (k >= 0 && k < keys))
+        image)
+    [ 1; 2; 3; 7; 10; 96; 512; 1_000; 4_096; 6_000 ]
+
 (* ------------------------------------------------------------------ *)
 (* Cross-runtime bit-identity (fault-free)                              *)
 (* ------------------------------------------------------------------ *)
@@ -205,50 +223,84 @@ let test_expired_never_mutates () =
 (* Crash plans: containment failover and exactly-once recovery          *)
 (* ------------------------------------------------------------------ *)
 
-let crash_plan =
-  match Fault_plan.parse "crash,tid=2,op=lock,n=25" with
-  | Ok p -> p
-  | Error e -> failwith e
+let plan_of s =
+  match Fault_plan.parse s with Ok p -> p | Error e -> failwith e
+
+(* One crash site per window of the request commit protocol: before the
+   stripe lock (op=lock), after the serve but before the breaker publish
+   (op=unlock, which also poisons the held lock), at the table/journal/
+   breaker stores (op=store), at the virtual-clock mirror (op=compute)
+   and at the progress-word commit itself (op=atomic).  Exactly-once
+   must hold at every one of them: a replayed request may never
+   double-mix the response digest or re-apply a breaker update. *)
+let crash_sites =
+  [
+    "crash,tid=2,op=lock,n=25"; "crash,tid=2,op=unlock,n=25";
+    "crash,tid=2,op=store,n=40"; "crash,tid=2,op=compute,n=10";
+    "crash,tid=2,op=atomic,n=30";
+  ]
 
 let test_contain_failover () =
-  let r1, rep1 = run_server ~faults:crash_plan ~failure_mode:Engine.Contain small in
-  let r2, rep2 = run_server ~faults:crash_plan ~failure_mode:Engine.Contain small in
-  Alcotest.(check bool) "worker crashed" true (r1.Runner.crashes <> []);
-  Alcotest.(check bool) "failover drained the dead worker" true
-    (rep1.Server.failed_over > 0);
-  Alcotest.(check int) "conservation under failover" rep1.Server.total
-    (conservation rep1);
-  Alcotest.(check string) "same plan, same signature" r1.Runner.signature
-    r2.Runner.signature;
-  Alcotest.(check int) "same plan, same failover" rep1.Server.failed_over
-    rep2.Server.failed_over;
-  Alcotest.(check int) "same plan, same table" rep1.Server.checksum
-    rep2.Server.checksum
+  List.iter
+    (fun site ->
+      (* op=unlock crashes while the stripe lock is held, so the drain
+         must heal a poisoned lock; op=lock crashes with it free *)
+      let faults = plan_of site in
+      let r1, rep1 =
+        run_server ~faults ~failure_mode:Engine.Contain small
+      in
+      let r2, rep2 =
+        run_server ~faults ~failure_mode:Engine.Contain small
+      in
+      Alcotest.(check bool) (site ^ ": worker crashed") true
+        (r1.Runner.crashes <> []);
+      Alcotest.(check bool) (site ^ ": failover drained the dead worker")
+        true
+        (rep1.Server.failed_over > 0);
+      Alcotest.(check int) (site ^ ": conservation under failover")
+        rep1.Server.total (conservation rep1);
+      Alcotest.(check string) (site ^ ": same plan, same signature")
+        r1.Runner.signature r2.Runner.signature;
+      Alcotest.(check int) (site ^ ": same plan, same failover")
+        rep1.Server.failed_over rep2.Server.failed_over;
+      Alcotest.(check int) (site ^ ": same plan, same table")
+        rep1.Server.checksum rep2.Server.checksum;
+      Alcotest.(check int) (site ^ ": same plan, same digest")
+        rep1.Server.digest rep2.Server.digest)
+    [ "crash,tid=2,op=lock,n=25"; "crash,tid=2,op=unlock,n=25" ]
 
 let test_recover_exactly_once () =
   let clean, rep_clean = run_server small in
-  let r1, rep1 =
-    run_server ~faults:crash_plan ~failure_mode:Engine.Recover small
-  in
-  let r2, _rep2 =
-    run_server ~faults:crash_plan ~failure_mode:Engine.Recover small
-  in
-  Alcotest.(check int) "restart happened" 1 r1.Runner.profile.Rfdet_sim.Profile.restarts;
-  Alcotest.(check string) "recovery is deterministic" r1.Runner.signature
-    r2.Runner.signature;
-  (* the resumed worker skips committed requests and replays the rest:
-     every counter and digest must match the fault-free run exactly *)
-  Alcotest.(check int) "served exactly once" rep_clean.Server.served
-    rep1.Server.served;
-  Alcotest.(check int) "retries match" rep_clean.Server.retries
-    rep1.Server.retries;
-  Alcotest.(check int) "no failover needed" 0 rep1.Server.failed_over;
-  Alcotest.(check int) "table matches fault-free" rep_clean.Server.checksum
-    rep1.Server.checksum;
-  Alcotest.(check int) "event stream matches fault-free"
-    rep_clean.Server.event_digest rep1.Server.event_digest;
-  Alcotest.(check string) "outputs checksum matches fault-free"
-    clean.Runner.output_checksum r1.Runner.output_checksum
+  List.iter
+    (fun site ->
+      let faults = plan_of site in
+      let r1, rep1 =
+        run_server ~faults ~failure_mode:Engine.Recover small
+      in
+      let r2, _rep2 =
+        run_server ~faults ~failure_mode:Engine.Recover small
+      in
+      let check msg = Alcotest.(check int) (site ^ ": " ^ msg) in
+      Alcotest.(check int) (site ^ ": restart happened") 1
+        r1.Runner.profile.Rfdet_sim.Profile.restarts;
+      Alcotest.(check string) (site ^ ": recovery is deterministic")
+        r1.Runner.signature r2.Runner.signature;
+      (* the resumed worker skips committed requests and replays the
+         rest: every counter and digest must match the fault-free run *)
+      check "served exactly once" rep_clean.Server.served rep1.Server.served;
+      check "retries match" rep_clean.Server.retries rep1.Server.retries;
+      check "no failover needed" 0 rep1.Server.failed_over;
+      check "table matches fault-free" rep_clean.Server.checksum
+        rep1.Server.checksum;
+      check "digest matches fault-free" rep_clean.Server.digest
+        rep1.Server.digest;
+      check "breaker transitions match fault-free"
+        rep_clean.Server.breaker_transitions rep1.Server.breaker_transitions;
+      check "event stream matches fault-free" rep_clean.Server.event_digest
+        rep1.Server.event_digest;
+      Alcotest.(check string) (site ^ ": outputs checksum matches fault-free")
+        clean.Runner.output_checksum r1.Runner.output_checksum)
+    crash_sites
 
 (* ------------------------------------------------------------------ *)
 (* Registry integration                                                 *)
@@ -278,6 +330,8 @@ let suites =
           test_breaker_half_open_cycle;
         Alcotest.test_case "backoff and shedding deterministic" `Quick
           test_policies_deterministic;
+        Alcotest.test_case "rank scatter is a permutation" `Quick
+          test_scatter_injective;
         Alcotest.test_case "cross-runtime bit-identity" `Quick
           test_cross_runtime_identity;
         Alcotest.test_case "expired requests never mutate" `Quick
