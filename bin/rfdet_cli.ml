@@ -93,6 +93,32 @@ let workload_conv =
 let threads_arg =
   Arg.(value & opt int 4 & info [ "t"; "threads" ] ~doc:"Worker thread count.")
 
+(* Host-domain parallelism for the sweep commands.  Sweep results are
+   byte-identical for every job count, so the default can safely track
+   the machine. *)
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Host domains (OS cores) used to parallelize independent \
+           simulated runs.  Default: $(b,RFDET_JOBS) when set, else the \
+           machine's recommended domain count (capped at 16).  Output \
+           is byte-identical for every N.")
+
+let resolve_jobs = function
+  | Some n when n <= 0 ->
+    Printf.eprintf
+      "rfdet: --jobs must be a positive domain count (got %d)\n" n;
+    exit 64
+  | Some n -> n
+  | None -> (
+    try Rfdet_par.Par.default_jobs ()
+    with Invalid_argument msg ->
+      Printf.eprintf "rfdet: %s\n" msg;
+      exit 64)
+
 let scale_arg =
   Arg.(value & opt float 1.0 & info [ "s"; "scale" ] ~doc:"Problem-size multiplier.")
 
@@ -475,15 +501,16 @@ let faults_cmd =
       & info [ "jitter" ]
           ~doc:"Mean scheduling-noise cycles per operation.")
   in
-  let action runtime workload plan threads scale runs jitter =
+  let action runtime workload plan threads scale runs jitter jobs =
    guard @@ fun () ->
+    let jobs = resolve_jobs jobs in
     let report, crashes =
       (* check_faults rejects wildcard-tid plans under jitter — the
          check would measure the injector's schedule-dependence, not the
          runtime's determinism.  Surface that as a usage error. *)
       try
-        Determinism.check_faults ~threads ~scale ~runs ~jitter ~plan runtime
-          workload
+        Determinism.check_faults ~threads ~scale ~runs ~jitter ~jobs ~plan
+          runtime workload
       with Invalid_argument msg ->
         Printf.eprintf "rfdet: %s\n" msg;
         exit 2
@@ -502,7 +529,7 @@ let faults_cmd =
           signature.")
     Term.(
       const action $ runtime_arg $ workload_arg $ plan_arg $ threads_arg
-      $ scale_arg $ runs_arg $ jitter_fault_arg)
+      $ scale_arg $ runs_arg $ jitter_fault_arg $ jobs_arg)
 
 (* --- clinic ----------------------------------------------------------- *)
 
@@ -520,10 +547,11 @@ let clinic_cmd =
       & info [ "max-sites" ]
           ~doc:"Cap on injection sites (operation indices) probed.")
   in
-  let action workload threads scale max_sites =
+  let action workload threads scale max_sites jobs =
    guard @@ fun () ->
+    let jobs = resolve_jobs jobs in
     let s =
-      Rfdet_check.Clinic.sweep ~threads ~scale ~max_sites workload
+      Rfdet_check.Clinic.sweep ~threads ~scale ~max_sites ~jobs workload
     in
     Format.printf "%a@." Rfdet_check.Clinic.pp_summary s;
     if s.Rfdet_check.Clinic.nondeterministic > 0
@@ -539,7 +567,7 @@ let clinic_cmd =
           deterministic, and RFDet stays DLRC-conformant.")
     Term.(
       const action $ workload_arg $ clinic_threads_arg $ scale_arg
-      $ max_sites_arg)
+      $ max_sites_arg $ jobs_arg)
 
 (* --- bench ------------------------------------------------------------ *)
 
@@ -559,9 +587,10 @@ let bench_cmd =
       & info [ "o"; "out" ] ~docv:"PATH"
           ~doc:"Where $(b,--json) writes the record.")
   in
-  let action json out =
+  let action json out jobs =
    guard @@ fun () ->
-    let r = Rfdet_harness.Bench_core.run () in
+    let jobs = resolve_jobs jobs in
+    let r = Rfdet_harness.Bench_core.run ~jobs () in
     print_string (Rfdet_harness.Bench_core.render r);
     if json then begin
       Rfdet_harness.Bench_core.write_json ~path:out r;
@@ -575,7 +604,7 @@ let bench_cmd =
           blit-based apply, string I/O, snapshot pooling) and two \
           end-to-end workloads on the host clock; $(b,--json) emits \
           BENCH_CORE.json with times, ops/sec and output signatures.")
-    Term.(const action $ json_arg $ out_arg)
+    Term.(const action $ json_arg $ out_arg $ jobs_arg)
 
 (* --- check ------------------------------------------------------------ *)
 
@@ -665,7 +694,7 @@ let check_cmd =
         Printf.printf "replay FAIL: %s\n" e;
         exit 1)
   in
-  let do_single wl threads sample bug shrinkf out =
+  let do_single wl threads jobs sample bug shrinkf out =
     let opts =
       match bug with
       | None -> Options.ci
@@ -675,7 +704,7 @@ let check_cmd =
     let config = { Rfdet_check.Explore.default_config with threads; opts } in
     let stats =
       match sample with
-      | Some n -> Rfdet_check.Explore.sample ~config ~seed:2026L ~n wl
+      | Some n -> Rfdet_check.Explore.sample ~config ~jobs ~seed:2026L ~n wl
       | None ->
         if bug = None then Rfdet_check.Explore.explore ~config wl
         else Rfdet_check.Explore.hunt ~config wl
@@ -710,11 +739,12 @@ let check_cmd =
       exit 1
   in
   let action exhaustive sample shrinkf replay_file bug out corpus workload
-      threads =
+      threads jobs =
    guard @@ fun () ->
+    let jobs = resolve_jobs jobs in
     match (replay_file, workload) with
     | Some path, _ -> do_replay path
-    | None, Some wl -> do_single wl threads sample bug shrinkf out
+    | None, Some wl -> do_single wl threads jobs sample bug shrinkf out
     | None, None ->
       if bug <> None then begin
         Printf.eprintf "rfdet: --bug-window requires a WORKLOAD\n";
@@ -734,7 +764,7 @@ let check_cmd =
       let exhaustive = exhaustive || sample = None in
       let s =
         Rfdet_check.Driver.conformance ~exhaustive ~samples ?corpus_dir
-          ~progress:print_endline ()
+          ~progress:print_endline ~jobs ()
       in
       if s.Rfdet_check.Driver.ok then Printf.printf "conformance: ok\n"
       else begin
@@ -768,7 +798,7 @@ let check_cmd =
     Term.(
       const action $ exhaustive_arg $ sample_arg $ shrink_flag
       $ replay_file_arg $ bug_arg $ out_arg $ corpus_arg $ workload_arg
-      $ threads_arg)
+      $ threads_arg $ jobs_arg)
 
 (* --- experiment ------------------------------------------------------- *)
 
@@ -906,71 +936,32 @@ let serve_cmd =
     in
     (r, Option.get !report)
   in
-  let report_fields ?rate (rep : Server.report) =
-    (match rate with None -> [] | Some r -> [ ("rate", r) ])
-    @ [
-        ("total", rep.Server.total); ("served", rep.Server.served);
-        ("stale_served", rep.Server.stale_served); ("shed", rep.Server.shed);
-        ("timed_out", rep.Server.timed_out); ("failed", rep.Server.failed);
-        ("failed_over", rep.Server.failed_over);
-        ("retries", rep.Server.retries);
-        ("breaker_transitions", rep.Server.breaker_transitions);
-        ("latency_p50", rep.Server.p50); ("latency_p99", rep.Server.p99);
-        ("latency_p999", rep.Server.p999); ("makespan", rep.Server.makespan);
-      ]
-  in
-  let json_obj ~indent fields =
-    let b = Buffer.create 256 in
-    Buffer.add_string b "{";
-    List.iteri
-      (fun i (k, v) ->
-        Buffer.add_string b
-          (Printf.sprintf "%s\n%s  \"%s\": %d"
-             (if i = 0 then "" else ",")
-             indent k v))
-      fields;
-    Buffer.add_string b (Printf.sprintf "\n%s}" indent);
-    Buffer.contents b
-  in
-  let report_json rep = json_obj ~indent:"" (report_fields rep) ^ "\n" in
-  let sweep_json rows =
-    let b = Buffer.create 1024 in
-    Buffer.add_string b "[";
-    List.iteri
-      (fun i (rate, rep) ->
-        Buffer.add_string b (if i = 0 then "\n  " else ",\n  ");
-        Buffer.add_string b (json_obj ~indent:"  " (report_fields ~rate rep)))
-      rows;
-    Buffer.add_string b "\n]\n";
-    Buffer.contents b
-  in
   let action runtime requests rate workers shards deadline seed input_seed
-      faults failure_mode sweep json =
+      faults failure_mode sweep json jobs =
    guard @@ fun () ->
+    let jobs = resolve_jobs jobs in
     if sweep then begin
+      (* compute the whole sweep, then print: rows render in rate order
+         whatever order the domains finished in, so the output is
+         byte-identical for every --jobs value *)
+      let rows =
+        Rfdet_server.Sweep.run ~jobs
+          ~f:(fun ~rate ->
+            let p = mk_params ~requests ~rate ~workers ~shards ~deadline in
+            snd (run_one runtime ~seed ~input_seed ~faults ~failure_mode p))
+          ()
+      in
       Printf.printf "arrival-rate sweep: %d requests, %d workers, %s\n"
         requests workers (Runner.runtime_name runtime);
-      Printf.printf "%6s %8s %8s %8s %8s %8s %10s %10s %10s %6s\n" "rate"
-        "served" "stale" "shed" "timeout" "failover" "p50" "p99" "p999"
-        "flips";
-      let rows =
-        List.map
-          (fun rate ->
-            let p = mk_params ~requests ~rate ~workers ~shards ~deadline in
-            let _, rep =
-              run_one runtime ~seed ~input_seed ~faults ~failure_mode p
-            in
-            Printf.printf "%6d %8d %8d %8d %8d %8d %10d %10d %10d %6d\n" rate
-              rep.Server.served rep.Server.stale_served rep.Server.shed
-              rep.Server.timed_out rep.Server.failed_over rep.Server.p50
-              rep.Server.p99 rep.Server.p999 rep.Server.breaker_transitions;
-            (rate, rep))
-          [ 400; 200; 150; 120; 100; 90; 80; 70; 60; 50 ]
-      in
+      print_endline (Rfdet_server.Sweep.render_header ());
+      List.iter
+        (fun (rate, rep) ->
+          print_endline (Rfdet_server.Sweep.render_row ~rate rep))
+        rows;
       match json with
       | None -> ()
       | Some path ->
-        write_file path (sweep_json rows);
+        write_file path (Rfdet_server.Sweep.to_json rows);
         Printf.printf "report json: %s\n" path
     end
     else begin
@@ -985,7 +976,7 @@ let serve_cmd =
       match json with
       | None -> ()
       | Some path ->
-        write_file path (report_json rep);
+        write_file path (Rfdet_server.Sweep.report_json rep);
         Printf.printf "report json: %s\n" path
     end
   in
@@ -1004,7 +995,7 @@ let serve_cmd =
     Term.(
       const action $ runtime_arg $ requests_arg $ rate_arg $ workers_arg
       $ shards_arg $ deadline_arg $ seed_arg $ input_seed_arg
-      $ fault_plan_arg $ fault_mode_arg $ sweep_arg $ json_arg)
+      $ fault_plan_arg $ fault_mode_arg $ sweep_arg $ json_arg $ jobs_arg)
 
 let () =
   let doc = "RFDet: deterministic multithreading without global barriers" in

@@ -148,25 +148,32 @@ let default_runtimes =
 
 let sweep ?(threads = 3) ?(scale = 1.0)
     ?(modes = [ Engine.Contain; Engine.Recover ])
-    ?(runtimes = default_runtimes) ?(max_sites = 500) workload =
+    ?(runtimes = default_runtimes) ?(max_sites = 500) ?(jobs = 1) workload =
   (* bound the sweep by the clean run's operation count *)
   let clean =
     Rfdet_harness.Runner.run ~threads ~scale ~sched_seed:1L ~jitter:0. Rfdet_harness.Runner.Pthreads
       workload
   in
   let sites = min clean.Rfdet_harness.Runner.ops max_sites in
-  let cells = ref [] in
-  List.iter
-    (fun runtime ->
-      List.iter
-        (fun mode ->
-          for index = 1 to sites do
-            cells :=
-              probe ~mode ~threads ~scale runtime workload ~index :: !cells
-          done)
-        modes)
-    runtimes;
-  let cells = List.rev !cells in
+  (* Flatten the runtime x mode x site grid in its nesting order; every
+     probe is a pure function of its coordinates (both attempts build
+     fresh engines), so the cells can be probed on concurrent domains
+     and collected back in grid order. *)
+  let grid =
+    List.concat_map
+      (fun runtime ->
+        List.concat_map
+          (fun mode ->
+            List.init sites (fun i -> (runtime, mode, i + 1)))
+          modes)
+      runtimes
+  in
+  let cells =
+    Rfdet_par.Par.map_ordered ~jobs
+      (fun (runtime, mode, index) ->
+        probe ~mode ~threads ~scale runtime workload ~index)
+      grid
+  in
   let count f = List.length (List.filter f cells) in
   {
     workload = workload.Workload.name;

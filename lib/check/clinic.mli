@@ -49,11 +49,15 @@ val sweep :
   ?modes:Rfdet_sim.Engine.failure_mode list ->
   ?runtimes:Rfdet_harness.Runner.runtime list ->
   ?max_sites:int ->
+  ?jobs:int ->
   Rfdet_workloads.Workload.t ->
   summary
 (** Defaults: 3 threads, scale 1.0, modes [Contain; Recover], all five
-    runtimes, at most 500 injection sites.  A healthy runtime yields
-    [nondeterministic = 0] and [nonconformant = 0]; [aborted] is
-    expected to be nonzero for the fence runtimes. *)
+    runtimes, at most 500 injection sites, [jobs = 1].  A healthy
+    runtime yields [nondeterministic = 0] and [nonconformant = 0];
+    [aborted] is expected to be nonzero for the fence runtimes.  [jobs]
+    probes the runtime x mode x site grid on that many host domains;
+    each probe is self-contained and cells return in grid order, so the
+    summary is byte-identical for every [jobs] value. *)
 
 val pp_summary : Format.formatter -> summary -> unit

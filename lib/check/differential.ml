@@ -28,20 +28,30 @@ let model_signature ~threads ~scale ~input_seed (wl : Workload.t) =
 
 let check ?(threads = 2) ?(scale = 1.0) ?(input_seed = 42L)
     ?(seeds = default_seeds) ?(jitter = 9.0) ?(expect_agree = true)
-    ?(model = true) (wl : Workload.t) =
-  let per_rt =
-    List.map
-      (fun rt ->
-        let sigs =
-          List.map
-            (fun sched_seed ->
-              (Runner.run ~threads ~scale ~input_seed ~sched_seed ~jitter rt wl)
-                .Runner.signature)
-            seeds
-        in
-        (Runner.runtime_name rt, sigs))
-      runtimes
+    ?(model = true) ?(jobs = 1) (wl : Workload.t) =
+  (* Flatten the runtime x scheduler-seed matrix, run the cells on up to
+     [jobs] domains (each Runner.run builds a fresh engine), and regroup
+     in matrix order — per_rt is identical for every job count. *)
+  let cells =
+    List.concat_map (fun rt -> List.map (fun s -> (rt, s)) seeds) runtimes
   in
+  let sigs =
+    Rfdet_par.Par.map_ordered ~jobs
+      (fun (rt, sched_seed) ->
+        (Runner.run ~threads ~scale ~input_seed ~sched_seed ~jitter rt wl)
+          .Runner.signature)
+      cells
+  in
+  let width = List.length seeds in
+  let rec regroup rts sigs =
+    match rts with
+    | [] -> []
+    | rt :: rest ->
+      let this = List.filteri (fun i _ -> i < width) sigs in
+      let after = List.filteri (fun i _ -> i >= width) sigs in
+      (Runner.runtime_name rt, this) :: regroup rest after
+  in
+  let per_rt = regroup runtimes sigs in
   let signatures = List.map (fun (n, sigs) -> (n, List.hd sigs)) per_rt in
   let unstable =
     List.filter_map
@@ -80,11 +90,11 @@ let check ?(threads = 2) ?(scale = 1.0) ?(input_seed = 42L)
     ok;
   }
 
-let race_free_suite ?(threads = 2) () =
-  List.map (fun wl -> check ~threads wl) Registry.micro
+let race_free_suite ?(threads = 2) ?(jobs = 1) () =
+  List.map (fun wl -> check ~threads ~jobs wl) Registry.micro
 
-let racy_suite ?(threads = 2) () =
-  [ check ~threads ~expect_agree:false (Registry.find "racey") ]
+let racy_suite ?(threads = 2) ?(jobs = 1) () =
+  [ check ~threads ~jobs ~expect_agree:false (Registry.find "racey") ]
 
 let pp_report ppf r =
   let short s = if String.length s > 12 then String.sub s 0 12 else s in

@@ -41,16 +41,20 @@ val check :
   ?jitter:float ->
   ?expect_agree:bool ->
   ?model:bool ->
+  ?jobs:int ->
   Rfdet_workloads.Workload.t ->
   report
 (** Defaults: 2 threads, scale 1.0, input seed 42, three scheduler
     seeds, jitter 9.0 (so seeds really perturb the interleaving),
-    [expect_agree = true], [model = true]. *)
+    [expect_agree = true], [model = true], [jobs = 1].  [jobs] runs the
+    runtime x scheduler-seed matrix on that many host domains; cells
+    regroup in matrix order, so the report is byte-identical for every
+    [jobs] value. *)
 
-val race_free_suite : ?threads:int -> unit -> report list
+val race_free_suite : ?threads:int -> ?jobs:int -> unit -> report list
 (** The micro workloads, signature-equality required. *)
 
-val racy_suite : ?threads:int -> unit -> report list
+val racy_suite : ?threads:int -> ?jobs:int -> unit -> report list
 (** racey: per-runtime stability and model agreement only. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -28,7 +28,7 @@ let replay_corpus dir =
            (f, err))
 
 let conformance ?(exhaustive = true) ?(samples = 200) ?(sample_seed = 2026L)
-    ?corpus_dir ?(progress = fun _ -> ()) () =
+    ?corpus_dir ?(progress = fun _ -> ()) ?(jobs = 1) () =
   let explored =
     if not exhaustive then []
     else
@@ -51,7 +51,7 @@ let conformance ?(exhaustive = true) ?(samples = 200) ?(sample_seed = 2026L)
     else
       let sample_one ~threads (wl : Workload.t) =
       let config = { Explore.default_config with threads } in
-      let s = Explore.sample ~config ~seed:sample_seed ~n:samples wl in
+      let s = Explore.sample ~config ~jobs ~seed:sample_seed ~n:samples wl in
       progress
         (Printf.sprintf "sampled   %-14s %d schedules at %d threads (%d failures)"
            wl.Workload.name s.Explore.schedules threads
@@ -63,7 +63,7 @@ let conformance ?(exhaustive = true) ?(samples = 200) ?(sample_seed = 2026L)
   in
   let differential =
     let reports =
-      Differential.race_free_suite () @ Differential.racy_suite ()
+      Differential.race_free_suite ~jobs () @ Differential.racy_suite ~jobs ()
     in
     List.iter
       (fun r ->

@@ -28,11 +28,16 @@ val conformance :
   ?sample_seed:int64 ->
   ?corpus_dir:string ->
   ?progress:(string -> unit) ->
+  ?jobs:int ->
   unit ->
   summary
 (** Defaults: exhaustive on, 200 samples per sampled configuration,
     sample seed 2026, no corpus directory (skipped when absent),
-    [progress] ignored.  [ok] is false on any exploration failure,
-    differential failure or corpus error. *)
+    [progress] ignored, [jobs = 1].  [ok] is false on any exploration
+    failure, differential failure or corpus error.  [jobs] parallelizes
+    the sampled and differential sweeps across host domains (the
+    exhaustive DFS is inherently sequential — each branch's sleep sets
+    depend on its siblings); the summary is byte-identical for every
+    [jobs] value. *)
 
 val pp_summary : Format.formatter -> summary -> unit

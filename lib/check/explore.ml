@@ -5,6 +5,7 @@ module Rt = Rfdet_core.Rfdet_runtime
 module Workload = Rfdet_workloads.Workload
 module Registry = Rfdet_workloads.Registry
 module Det_rng = Rfdet_util.Det_rng
+module Par = Rfdet_par.Par
 
 type config = {
   opts : Options.t;
@@ -370,9 +371,8 @@ let hunt ?(config = default_config) wl =
 
 (* ---------- seeded random sampling ---------- *)
 
-let sample ?(config = default_config) ~seed ~n wl =
+let sample ?(config = default_config) ?(jobs = 1) ~seed ~n wl =
   let cfg = config in
-  let streams = Hashtbl.create 64 in
   let schedules = ref 0 in
   let deepest = ref 0 in
   let reference = ref None in
@@ -387,11 +387,14 @@ let sample ?(config = default_config) ~seed ~n wl =
       in
       failures := { f_trace; f_reason = reason } :: !failures
   in
-  let one mode =
-    let run =
-      run_once ~cfg ~wl ~streams ~prescribed:[||] ~birth_sleep:[] ~strict:true
-        ~mode ~prune:false
-    in
+  (* With pruning off nothing ever reads the learned-footprint table, so
+     each schedule gets its own: a sampled run is a pure function of its
+     mode, which is what lets the walks execute on concurrent domains. *)
+  let run_of mode =
+    run_once ~cfg ~wl ~streams:(Hashtbl.create 64) ~prescribed:[||]
+      ~birth_sleep:[] ~strict:true ~mode ~prune:false
+  in
+  let fold run =
     incr schedules;
     deepest := max !deepest (Array.length run.points);
     match run.ro with
@@ -409,10 +412,14 @@ let sample ?(config = default_config) ~seed ~n wl =
     | R_pruned -> ()
   in
   (* the default schedule provides the reference signature *)
-  one M_default;
-  for i = 1 to n do
-    one (M_random (Det_rng.create (Int64.add seed (Int64.of_int i))))
-  done;
+  fold (run_of M_default);
+  (* the n seeded walks are independent; run them across [jobs] domains
+     and fold the outcomes in walk order, so the stats (and the order
+     failures are recorded in) match the sequential sweep exactly *)
+  Par.map_ordered ~jobs
+    (fun i -> run_of (M_random (Det_rng.create (Int64.add seed (Int64.of_int i)))))
+    (List.init n (fun i -> i + 1))
+  |> List.iter fold;
   {
     schedules = !schedules;
     pruned = 0;

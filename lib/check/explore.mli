@@ -66,9 +66,18 @@ val explore : ?config:config -> Rfdet_workloads.Workload.t -> stats
     workload this enumerates every synchronization interleaving. *)
 
 val sample :
-  ?config:config -> seed:int64 -> n:int -> Rfdet_workloads.Workload.t -> stats
+  ?config:config ->
+  ?jobs:int ->
+  seed:int64 ->
+  n:int ->
+  Rfdet_workloads.Workload.t ->
+  stats
 (** [n] seeded random schedules (plus the default schedule, which
-    provides [reference]).  Deterministic for a given [seed]. *)
+    provides [reference] and always runs first).  Deterministic for a
+    given [seed], {e including} across [jobs]: the walks execute on up
+    to [jobs] host domains (default 1) with run-local state, and their
+    outcomes fold in walk order, so the stats are identical for every
+    job count. *)
 
 val hunt : ?config:config -> Rfdet_workloads.Workload.t -> stats
 (** [explore] with pruning off — complete even against bugs that break

@@ -11,7 +11,13 @@
 
     A slice becomes garbage once its timestamp is ≤ the component-wise
     minimum of every thread's current vector clock — every thread has
-    already merged it. *)
+    already merged it.
+
+    Domain safety: each [t] is self-contained — the snapshot-buffer pool
+    it recycles hangs off the instance, not the module — so concurrent
+    simulated runs on different host domains ([Rfdet_par.Par] sweeps)
+    never contend as long as each run creates its own metadata space,
+    which [Rfdet_core.Rfdet_runtime] does. *)
 
 type t
 

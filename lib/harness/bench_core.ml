@@ -12,6 +12,8 @@ module Diff = Rfdet_mem.Diff
 module Space = Rfdet_mem.Space
 module Page = Rfdet_mem.Page
 module Registry = Rfdet_workloads.Registry
+module Workload = Rfdet_workloads.Workload
+module Par = Rfdet_par.Par
 
 type micro = { name : string; ns_per_op : float }
 
@@ -31,10 +33,26 @@ type e2e = {
          kvserver only, read from the server's trailing outputs *)
 }
 
+type sweep = {
+  key : string;  (* slug for the derived speedup entry *)
+  sweep_name : string;
+  items : int;
+  jobs_max : int;
+  wall_ms_jobs1 : float;
+  wall_ms_jobsn : float;
+  speedup : float;
+  identical : bool;
+      (* the parallel sweep's result equals the sequential one — the
+         whole point of the domain pool; recorded so a regression shows
+         up in the committed file, not just in CI *)
+}
+
 type t = {
   micro : micro list;
   derived : (string * float) list;
   end_to_end : e2e list;
+  sweeps : sweep list;
+  jobs : int;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -216,9 +234,86 @@ let end_to_end () =
       })
     e2e_workloads
 
-let run () =
+(* ------------------------------------------------------------------ *)
+(* Sweep throughput (the domain pool's win)                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Wall-time one whole harness sweep at jobs=1 and jobs=N.  The sweeps
+   are the real commands CI runs (determinism repeat-runs, the kvserver
+   arrival-rate sweep), so the speedup measures exactly what a user of
+   --jobs sees.  [identical] re-checks the byte-identity contract on
+   the measured results themselves. *)
+let time_wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, (Unix.gettimeofday () -. t0) *. 1000.)
+
+let kv_sweep_report ~rate =
+  let module Server = Rfdet_server.Server in
+  let module Traffic = Rfdet_server.Traffic in
+  let p =
+    {
+      Rfdet_server.Server.default with
+      Server.traffic =
+        {
+          Traffic.default with
+          Traffic.requests = 2000;
+          mean_interarrival = rate;
+        };
+    }
+  in
+  let report = ref None in
+  let w =
+    {
+      Workload.name = "kvserver";
+      suite = "server";
+      description = "bench sweep kvserver";
+      main =
+        (fun cfg () ->
+          report := Some (Server.run ~seed:cfg.Workload.input_seed p));
+    }
+  in
+  ignore (Runner.run ~threads:p.Server.workers Runner.rfdet_ci w);
+  Option.get !report
+
+let sweeps ~jobs =
+  let one ~key ~name ~items ~eq f =
+    let r1, t1 = time_wall (fun () -> f 1) in
+    let rn, tn = time_wall (fun () -> f jobs) in
+    {
+      key;
+      sweep_name = name;
+      items;
+      jobs_max = jobs;
+      wall_ms_jobs1 = t1;
+      wall_ms_jobsn = tn;
+      speedup = t1 /. tn;
+      identical = eq r1 rn;
+    }
+  in
+  [
+    one ~key:"determinism_sweep" ~name:"determinism wordcount (12 runs)"
+      ~items:12 ~eq:( = )
+      (fun jobs ->
+        Determinism.check ~threads:4 ~runs:12 ~jobs Runner.rfdet_ci
+          (Registry.find "wordcount"));
+    one ~key:"kvserver_rate_sweep" ~name:"kvserver rate sweep (10 rates)"
+      ~items:(List.length Rfdet_server.Sweep.default_rates)
+      ~eq:(fun a b ->
+        String.equal (Rfdet_server.Sweep.to_json a)
+          (Rfdet_server.Sweep.to_json b))
+      (fun jobs -> Rfdet_server.Sweep.run ~jobs ~f:kv_sweep_report ());
+  ]
+
+let run ?jobs () =
+  let jobs = match jobs with Some j -> j | None -> Par.default_jobs () in
   let micro = microbenches () in
-  { micro; derived = derived_of micro; end_to_end = end_to_end () }
+  let sweeps = sweeps ~jobs in
+  let derived =
+    derived_of micro
+    @ List.map (fun s -> (s.key ^ "_parallel_speedup", s.speedup)) sweeps
+  in
+  { micro; derived; end_to_end = end_to_end (); sweeps; jobs }
 
 (* ------------------------------------------------------------------ *)
 (* Output                                                              *)
@@ -242,8 +337,11 @@ let to_json t =
   Buffer.add_string b "{\n";
   Buffer.add_string b "  \"schema\": \"rfdet-bench-core/1\",\n";
   Buffer.add_string b
-    (Printf.sprintf "  \"host\": { \"ocaml\": \"%s\", \"word_size\": %d },\n"
-       (json_escape Sys.ocaml_version) Sys.word_size);
+    (Printf.sprintf
+       "  \"host\": { \"ocaml\": \"%s\", \"word_size\": %d, \"jobs\": %d, \
+        \"recommended_domain_count\": %d },\n"
+       (json_escape Sys.ocaml_version) Sys.word_size t.jobs
+       (Domain.recommended_domain_count ()));
   Buffer.add_string b "  \"microbench\": [\n";
   List.iteri
     (fun i m ->
@@ -264,6 +362,19 @@ let to_json t =
            (if i = List.length t.derived - 1 then "" else ",")))
     t.derived;
   Buffer.add_string b "  },\n";
+  Buffer.add_string b "  \"sweep_throughput\": [\n";
+  List.iteri
+    (fun i s ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    { \"name\": \"%s\", \"items\": %d, \"jobs\": %d, \
+            \"wall_ms_jobs1\": %.1f, \"wall_ms_jobsN\": %.1f, \
+            \"speedup\": %.2f, \"identical\": %b }%s\n"
+           (json_escape s.sweep_name) s.items s.jobs_max s.wall_ms_jobs1
+           s.wall_ms_jobsn s.speedup s.identical
+           (if i = List.length t.sweeps - 1 then "" else ",")))
+    t.sweeps;
+  Buffer.add_string b "  ],\n";
   Buffer.add_string b "  \"end_to_end\": [\n";
   List.iteri
     (fun i e ->
@@ -319,6 +430,16 @@ let render t =
   List.iter
     (fun (k, v) -> Buffer.add_string b (Printf.sprintf "  %-42s %8.2fx\n" k v))
     t.derived;
+  Buffer.add_string b
+    (Printf.sprintf "\nSweep throughput (domain pool, %d jobs):\n" t.jobs);
+  List.iter
+    (fun s ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "  %-36s %8.1f ms seq %8.1f ms par  %5.2fx  %s\n" s.sweep_name
+           s.wall_ms_jobs1 s.wall_ms_jobsn s.speedup
+           (if s.identical then "byte-identical" else "RESULTS DIVERGED")))
+    t.sweeps;
   Buffer.add_string b "\nEnd-to-end (host wall time):\n";
   List.iter
     (fun e ->

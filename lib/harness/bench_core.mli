@@ -28,15 +28,36 @@ type e2e = {
           present for the kvserver entry only *)
 }
 
+type sweep = {
+  key : string;  (** slug naming the derived [_parallel_speedup] entry *)
+  sweep_name : string;
+  items : int;  (** independent simulated runs in the sweep *)
+  jobs_max : int;  (** domains used for the parallel measurement *)
+  wall_ms_jobs1 : float;
+  wall_ms_jobsn : float;
+  speedup : float;  (** [wall_ms_jobs1 /. wall_ms_jobsn] *)
+  identical : bool;
+      (** the parallel sweep returned exactly the sequential result —
+          the domain pool's byte-identity contract, re-checked on the
+          measured runs themselves *)
+}
+
 type t = {
   micro : micro list;
   derived : (string * float) list;
-      (** named speedup ratios, e.g. word diff vs bytewise *)
+      (** named speedup ratios, e.g. word diff vs bytewise, plus one
+          [<key>_parallel_speedup] per sweep entry *)
   end_to_end : e2e list;
+  sweeps : sweep list;
+      (** whole-sweep wall times at jobs 1 vs [jobs] — the domain
+          pool's throughput win on the sweeps CI actually runs *)
+  jobs : int;  (** domains used for the sweep measurements *)
 }
 
-(** [run ()] executes the full benchmark set (a few seconds). *)
-val run : unit -> t
+(** [run ()] executes the full benchmark set (a few seconds).  [jobs]
+    (default [Rfdet_par.Par.default_jobs ()]) sets the parallel side of
+    the sweep-throughput measurements. *)
+val run : ?jobs:int -> unit -> t
 
 (** [to_json t] — the BENCH_CORE.json document (no timestamps, so the
     committed file only changes when the numbers do). *)

@@ -9,15 +9,22 @@ type report = {
 }
 
 let check ?(threads = 4) ?(scale = 1.0) ?(runs = 20) ?(jitter = 12.0) ?faults
-    runtime workload =
+    ?(jobs = 1) runtime workload =
+  (* Each seeded run is a pure function of its seed (its engine, spaces,
+     metadata and RNGs are all created inside Runner.run), so the repeat
+     sweep fans out across domains; Par.map_ordered folds the signatures
+     back in seed order, keeping the report — divergence witness
+     included — byte-identical to the sequential sweep. *)
   let signatures =
-    List.init runs (fun i ->
+    Rfdet_par.Par.map_ordered ~jobs
+      (fun i ->
         let seed = Int64.of_int (i + 1) in
         let r =
           Runner.run ~threads ~scale ~sched_seed:seed ~jitter ?faults runtime
             workload
         in
         (seed, r.Runner.signature))
+      (List.init runs (fun i -> i))
   in
   let distinct =
     List.length (List.sort_uniq compare (List.map snd signatures))
@@ -45,7 +52,7 @@ let check ?(threads = 4) ?(scale = 1.0) ?(runs = 20) ?(jitter = 12.0) ?faults
    byte-identical signatures — which, post-crash-containment, fold in
    every crash outcome — across scheduling jitter.  The crashes of one
    representative run are returned for reporting. *)
-let check_faults ?threads ?scale ?runs ?jitter ~plan runtime workload =
+let check_faults ?threads ?scale ?runs ?jitter ?jobs ~plan runtime workload =
   (* A wildcard-tid site counts matching operations in global scheduler
      order (fault_plan.mli), so under jitter it fires at different
      program points across runs — the check would report the injector's
@@ -58,7 +65,9 @@ let check_faults ?threads ?scale ?runs ?jitter ~plan runtime workload =
       "Determinism.check_faults: fault plan has a wildcard-tid site, which \
        is only deterministic under a jitter-free schedule; qualify the site \
        with tid=K or pass ~jitter:0.");
-  let report = check ?threads ?scale ?runs ?jitter ~faults:plan runtime workload in
+  let report =
+    check ?threads ?scale ?runs ?jitter ?jobs ~faults:plan runtime workload
+  in
   let witness =
     Runner.run ?threads ?scale ~sched_seed:1L ?jitter ~faults:plan runtime
       workload

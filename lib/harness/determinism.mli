@@ -26,16 +26,21 @@ val check :
   ?runs:int ->
   ?jitter:float ->
   ?faults:Rfdet_fault.Fault_plan.t ->
+  ?jobs:int ->
   Runner.runtime ->
   Rfdet_workloads.Workload.t ->
   report
-(** Defaults: 4 threads, 20 runs, jitter 12.0, no faults. *)
+(** Defaults: 4 threads, 20 runs, jitter 12.0, no faults, [jobs = 1].
+    [jobs] spreads the seeded repeat runs over that many host domains
+    ([Rfdet_par.Par]); the report is byte-identical for every [jobs]
+    value — runs are independent and results fold in seed order. *)
 
 val check_faults :
   ?threads:int ->
   ?scale:float ->
   ?runs:int ->
   ?jitter:float ->
+  ?jobs:int ->
   plan:Rfdet_fault.Fault_plan.t ->
   Runner.runtime ->
   Rfdet_workloads.Workload.t ->

@@ -6,7 +6,15 @@
     explicitly propagates it.  [fork] implements the child-inherits-parent
     semantics of thread creation at page granularity with copy-on-write,
     and the materialized-page count feeds the memory-footprint numbers of
-    Table 1. *)
+    Table 1.
+
+    Domain safety: a space (and everything forked from it) is
+    unsynchronized mutable state belonging to one simulated run — never
+    share one across host domains ([Rfdet_par.Par] sweeps).  The only
+    module-level values are the all-zero page returned for unmapped
+    reads and an inert cache placeholder; both are read-only by
+    contract, so concurrent runs on different domains may observe them
+    freely. *)
 
 type t
 

@@ -63,7 +63,11 @@ let dropped t =
   if t.capacity > 0 then max 0 (t.total - t.capacity) else 0
 
 let clear t =
-  Array.fill t.items 0 (Array.length t.items) None;
-  t.len <- 0;
-  t.next <- 0;
-  t.total <- 0
+  (* [null] is shared across every run (and, with --jobs, every domain);
+     it holds nothing, so clearing it must not write to it *)
+  if t.on then begin
+    Array.fill t.items 0 (Array.length t.items) None;
+    t.len <- 0;
+    t.next <- 0;
+    t.total <- 0
+  end

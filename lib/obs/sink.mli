@@ -9,7 +9,13 @@
     itself is a pure function of (workload, runtime, seed).
 
     Emission sites must guard on [enabled] before building event payloads
-    so a disabled sink costs one branch per site. *)
+    so a disabled sink costs one branch per site.
+
+    Domain safety: an enabled sink is unsynchronized mutable state —
+    give each simulated run its own and never share one across host
+    domains ([Rfdet_par.Par] sweeps).  [null] is the one sink that may
+    be shared: every operation on it, [clear] included, leaves it
+    untouched. *)
 
 type t
 
@@ -37,3 +43,4 @@ val total : t -> int
 val dropped : t -> int
 
 val clear : t -> unit
+(** Drop all retained events and reset [total].  On [null]: a no-op. *)

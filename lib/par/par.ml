@@ -1,0 +1,162 @@
+(* The pool hands work out as an atomic index race over the input array
+   and writes each result into the slot of its input index, so the
+   visible output is a pure function of the inputs no matter which
+   domain ran which item or in what order they finished.  All
+   cross-domain signalling goes through one mutex + two condition
+   variables; item results are published by the completion handshake
+   (the submitter only reads the slots after observing, under the
+   mutex, that the job's pending count reached zero). *)
+
+type job = {
+  run : int -> unit;  (* evaluate item [i] into its slot; never raises *)
+  n : int;
+  next : int Atomic.t;  (* next unclaimed input index *)
+  pending : int Atomic.t;  (* items not yet completed *)
+}
+
+type pool = {
+  njobs : int;
+  mutable domains : unit Domain.t array;
+  m : Mutex.t;
+  work_cv : Condition.t;  (* a new job was submitted, or shutdown *)
+  done_cv : Condition.t;  (* the current job completed *)
+  mutable current : job option;
+  mutable seq : int;  (* job sequence number, to keep idle workers from
+                         re-entering a job they already drained *)
+  mutable stop : bool;
+}
+
+(* Claim and run items until the job is exhausted; whoever completes the
+   last item retires the job and wakes the submitter. *)
+let drain pool job =
+  let rec claim () =
+    let i = Atomic.fetch_and_add job.next 1 in
+    if i < job.n then begin
+      job.run i;
+      let remaining = Atomic.fetch_and_add job.pending (-1) - 1 in
+      if remaining = 0 then begin
+        Mutex.lock pool.m;
+        pool.current <- None;
+        Condition.broadcast pool.done_cv;
+        Mutex.unlock pool.m
+      end;
+      claim ()
+    end
+  in
+  claim ()
+
+let worker pool () =
+  let last = ref 0 in
+  let rec loop () =
+    Mutex.lock pool.m;
+    let no_new_work () =
+      match pool.current with None -> true | Some _ -> pool.seq = !last
+    in
+    while no_new_work () && not pool.stop do
+      Condition.wait pool.work_cv pool.m
+    done;
+    if pool.stop then Mutex.unlock pool.m
+    else begin
+      let job = Option.get pool.current in
+      last := pool.seq;
+      Mutex.unlock pool.m;
+      drain pool job;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~jobs =
+  if jobs <= 0 then
+    invalid_arg (Printf.sprintf "Par.create: jobs must be >= 1 (got %d)" jobs);
+  let pool =
+    {
+      njobs = jobs;
+      domains = [||];
+      m = Mutex.create ();
+      work_cv = Condition.create ();
+      done_cv = Condition.create ();
+      current = None;
+      seq = 0;
+      stop = false;
+    }
+  in
+  pool.domains <- Array.init (jobs - 1) (fun _ -> Domain.spawn (worker pool));
+  pool
+
+let jobs pool = pool.njobs
+
+let shutdown pool =
+  Mutex.lock pool.m;
+  pool.stop <- true;
+  Condition.broadcast pool.work_cv;
+  Mutex.unlock pool.m;
+  Array.iter Domain.join pool.domains;
+  pool.domains <- [||]
+
+type 'b slot = Empty | Ok_slot of 'b | Exn_slot of exn * Printexc.raw_backtrace
+
+let map_pool pool f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | xs when pool.njobs = 1 -> List.map f xs
+  | xs ->
+    let input = Array.of_list xs in
+    let n = Array.length input in
+    let results = Array.make n Empty in
+    let run i =
+      results.(i) <-
+        (match f input.(i) with
+        | v -> Ok_slot v
+        | exception e -> Exn_slot (e, Printexc.get_raw_backtrace ()))
+    in
+    let job = { run; n; next = Atomic.make 0; pending = Atomic.make n } in
+    Mutex.lock pool.m;
+    pool.current <- Some job;
+    pool.seq <- pool.seq + 1;
+    Condition.broadcast pool.work_cv;
+    Mutex.unlock pool.m;
+    (* the submitting domain is a worker too *)
+    drain pool job;
+    Mutex.lock pool.m;
+    let still_running () =
+      match pool.current with Some j -> j == job | None -> false
+    in
+    while still_running () do
+      Condition.wait pool.done_cv pool.m
+    done;
+    Mutex.unlock pool.m;
+    (* Fold in input order; the first failing index re-raises, matching
+       the exception a sequential List.map would have let escape. *)
+    Array.to_list
+      (Array.map
+         (function
+           | Ok_slot v -> v
+           | Exn_slot (e, bt) -> Printexc.raise_with_backtrace e bt
+           | Empty -> assert false)
+         results)
+
+let map_ordered ~jobs f xs =
+  if jobs <= 0 then
+    invalid_arg
+      (Printf.sprintf "Par.map_ordered: jobs must be >= 1 (got %d)" jobs);
+  if jobs = 1 then List.map f xs
+  else begin
+    let pool = create ~jobs in
+    Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> map_pool pool f xs)
+  end
+
+let max_default_jobs = 16
+
+let default_jobs () =
+  match Sys.getenv_opt "RFDET_JOBS" with
+  | None | Some "" ->
+    max 1 (min max_default_jobs (Domain.recommended_domain_count ()))
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some j when j >= 1 -> j
+    | _ ->
+      invalid_arg
+        (Printf.sprintf
+           "RFDET_JOBS=%S: expected a positive integer job count" s))

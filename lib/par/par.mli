@@ -1,0 +1,62 @@
+(** A fixed-size OCaml 5 domain pool with a deterministic map API.
+
+    The harness sweeps (repeat-run determinism checks, crash-clinic
+    grids, schedule sampling, rate sweeps) are embarrassingly parallel:
+    hundreds of independent simulated runs, each a pure function of its
+    inputs.  This module runs them on all host cores while keeping every
+    observable result {e independent of scheduling}:
+
+    - results are collected into a slot per input index and folded in
+      {b input order}, whatever order the domains finish in;
+    - when items raise, the exception that escapes is the one raised by
+      the {b lowest-index} failing item (with its backtrace), matching
+      what sequential [List.map] would have thrown — so parallel and
+      sequential sweeps fail identically too;
+    - [jobs = 1] never spawns a domain: the sequential escape hatch is
+      always available and is the literal [List.map] code path.
+
+    Domain-safety contract for callers: the function passed to a map
+    runs concurrently on up to [jobs] domains, so it must not touch
+    shared mutable state — every simulated run must own its engine,
+    spaces, metadata, RNGs and sinks.  The engine and harness satisfy
+    this by construction (all their state hangs off per-run values);
+    see the audit table in DESIGN.md §13. *)
+
+type pool
+(** A fixed-size set of worker domains that can execute successive maps
+    without respawning.  A pool accepts one map at a time (submissions
+    are from the owning domain only; maps do not nest). *)
+
+val create : jobs:int -> pool
+(** [create ~jobs] spawns [jobs - 1] worker domains (the submitting
+    domain is the [jobs]-th worker).  Raises [Invalid_argument] when
+    [jobs <= 0].  [jobs = 1] spawns nothing. *)
+
+val jobs : pool -> int
+
+val shutdown : pool -> unit
+(** Joins the worker domains.  Idempotent.  The pool must be idle. *)
+
+val map_pool : pool -> ('a -> 'b) -> 'a list -> 'b list
+(** Deterministic ordered map on an existing pool: results (and the
+    choice of escaping exception) are those of [List.map f xs],
+    regardless of how the items were scheduled across domains.  Unlike
+    [List.map], every item is evaluated even when an early one raises
+    (there is no cross-domain cancellation). *)
+
+val map_ordered : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_ordered ~jobs f xs] = [map_pool] on a transient pool of
+    [jobs] workers ([create], map, [shutdown]).  [jobs = 1] is exactly
+    [List.map f xs].  Raises [Invalid_argument] when [jobs <= 0]. *)
+
+val default_jobs : unit -> int
+(** The job count used when the user does not pass [--jobs]: the
+    [RFDET_JOBS] environment variable when set, otherwise
+    [Domain.recommended_domain_count ()] capped at [max_default_jobs].
+    Always [>= 1].  Raises [Invalid_argument] with a clear message when
+    [RFDET_JOBS] is set but not a positive integer. *)
+
+val max_default_jobs : int
+(** Cap on the implicit default (explicit [--jobs]/[RFDET_JOBS] may
+    exceed it): spawning more domains than cores only adds overhead,
+    and far-oversubscribed pools slow the minor GC down. *)

@@ -1,0 +1,57 @@
+module Par = Rfdet_par.Par
+
+let default_rates = [ 400; 200; 150; 120; 100; 90; 80; 70; 60; 50 ]
+
+let run ?(jobs = 1) ?(rates = default_rates) ~f () =
+  (* each offered load is a complete independent simulation; map them
+     across domains and keep the rows in rate order *)
+  Par.map_ordered ~jobs (fun rate -> (rate, f ~rate)) rates
+
+let report_fields ?rate (rep : Server.report) =
+  (match rate with None -> [] | Some r -> [ ("rate", r) ])
+  @ [
+      ("total", rep.Server.total); ("served", rep.Server.served);
+      ("stale_served", rep.Server.stale_served); ("shed", rep.Server.shed);
+      ("timed_out", rep.Server.timed_out); ("failed", rep.Server.failed);
+      ("failed_over", rep.Server.failed_over);
+      ("retries", rep.Server.retries);
+      ("breaker_transitions", rep.Server.breaker_transitions);
+      ("latency_p50", rep.Server.p50); ("latency_p99", rep.Server.p99);
+      ("latency_p999", rep.Server.p999); ("makespan", rep.Server.makespan);
+    ]
+
+let json_obj ~indent fields =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "{";
+  List.iteri
+    (fun i (k, v) ->
+      Buffer.add_string b
+        (Printf.sprintf "%s\n%s  \"%s\": %d"
+           (if i = 0 then "" else ",")
+           indent k v))
+    fields;
+  Buffer.add_string b (Printf.sprintf "\n%s}" indent);
+  Buffer.contents b
+
+let report_json rep = json_obj ~indent:"" (report_fields rep) ^ "\n"
+
+let to_json rows =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "[";
+  List.iteri
+    (fun i (rate, rep) ->
+      Buffer.add_string b (if i = 0 then "\n  " else ",\n  ");
+      Buffer.add_string b (json_obj ~indent:"  " (report_fields ~rate rep)))
+    rows;
+  Buffer.add_string b "\n]\n";
+  Buffer.contents b
+
+let render_header () =
+  Printf.sprintf "%6s %8s %8s %8s %8s %8s %10s %10s %10s %6s" "rate" "served"
+    "stale" "shed" "timeout" "failover" "p50" "p99" "p999" "flips"
+
+let render_row ~rate (rep : Server.report) =
+  Printf.sprintf "%6d %8d %8d %8d %8d %8d %10d %10d %10d %6d" rate
+    rep.Server.served rep.Server.stale_served rep.Server.shed
+    rep.Server.timed_out rep.Server.failed_over rep.Server.p50 rep.Server.p99
+    rep.Server.p999 rep.Server.breaker_transitions

@@ -1,0 +1,43 @@
+(** The arrival-rate sweep (experiment E12) behind [rfdet serve --sweep].
+
+    A sweep runs the KV server once per offered load and tabulates the
+    resulting reports.  The loads are independent full runs — nothing
+    carries over between rates — so [run] can execute them on up to
+    [jobs] host domains ([Rfdet_par.Par]) and still return rows in rate
+    order: the rendered table and the JSON array are byte-identical for
+    every [jobs] value.
+
+    Rendering lives here (not in the CLI) so the byte-identity contract
+    is testable: [test/test_par.ml] asserts [to_json] at [jobs = 4]
+    equals [jobs = 1]. *)
+
+val default_rates : int list
+(** Mean interarrival gaps swept by default, heaviest load last:
+    400, 200, 150, 120, 100, 90, 80, 70, 60, 50. *)
+
+val run :
+  ?jobs:int ->
+  ?rates:int list ->
+  f:(rate:int -> Server.report) ->
+  unit ->
+  (int * Server.report) list
+(** Run [f] once per rate (on up to [jobs] domains, default 1) and
+    return [(rate, report)] rows in the order of [rates].  [f] must be
+    a pure function of [rate] — the CLI's closure rebuilds the whole
+    simulated server per call, which it is. *)
+
+val report_fields : ?rate:int -> Server.report -> (string * int) list
+(** The report as ordered (key, value) pairs; [rate] prepends a
+    ["rate"] field.  Shared by the single-run and sweep JSON shapes. *)
+
+val report_json : Server.report -> string
+(** One report as a JSON object (trailing newline included). *)
+
+val to_json : (int * Server.report) list -> string
+(** Sweep rows as a JSON array of objects, one per offered load. *)
+
+val render_header : unit -> string
+(** Column-header line of the human-readable sweep table. *)
+
+val render_row : rate:int -> Server.report -> string
+(** One table line for one offered load. *)

@@ -19,7 +19,14 @@
     *interleaving* exactly like OS scheduling noise does, without touching
     instruction counts — so a correct DMT policy must produce identical
     output for every seed, while the pthreads policy resolves races
-    differently per seed.  The determinism test suite relies on this. *)
+    differently per seed.  The determinism test suite relies on this.
+
+    Domain safety: one engine run is single-domain — its fibers are
+    effect handlers multiplexed on the calling domain, and all of its
+    state (clocks, spaces, allocator, RNG) is created inside [run].
+    Distinct [run] calls share nothing, so independent runs may execute
+    concurrently on different host domains; that is the contract
+    [Rfdet_par.Par]-based sweeps build on. *)
 
 type t
 

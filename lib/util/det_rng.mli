@@ -3,7 +3,15 @@
     Every source of "randomness" in the simulator must come from one of
     these generators so that a run is a pure function of its seeds.  The
     generator is splittable: independent streams can be derived for
-    sub-components without sharing state. *)
+    sub-components without sharing state.
+
+    Domain safety: a [t] is unsynchronized mutable state — concurrent
+    [next_int64] from two host domains would tear the stream (and the
+    determinism it exists for).  Create one generator per simulated run
+    and keep it on that run's domain; under [Rfdet_par.Par] sweeps every
+    run derives its own from its seed, never from a shared module-level
+    generator (this module deliberately exports none, and the simulator
+    never calls [Stdlib.Random]). *)
 
 type t
 

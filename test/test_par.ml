@@ -1,0 +1,190 @@
+(* The deterministic domain pool: Par.map_ordered must be
+   observationally List.map — same results, same order, same escaping
+   exception — for every job count, and the harness sweeps built on it
+   must return byte-identical reports at jobs = 1 and jobs = 4. *)
+
+open Rfdet_par
+module Runner = Rfdet_harness.Runner
+module Determinism = Rfdet_harness.Determinism
+module Registry = Rfdet_workloads.Registry
+module Workload = Rfdet_workloads.Workload
+
+let job_counts = [ 1; 2; 4; 7 ]
+
+exception Boom of int
+
+(* --- equality with List.map ---------------------------------------- *)
+
+let prop_map_ordered_is_map =
+  QCheck2.Test.make ~name:"par: map_ordered == List.map (jobs 1,2,4,7)"
+    ~count:60
+    QCheck2.Gen.(list_size (int_bound 200) (int_bound 10_000))
+    (fun xs ->
+      let f x = (x * 31) + (x mod 7) in
+      let expect = List.map f xs in
+      List.for_all
+        (fun jobs -> Par.map_ordered ~jobs f xs = expect)
+        job_counts)
+
+let prop_exceptions_match_sequential =
+  (* the element to blow up on is part of the generated input; the
+     parallel map must raise exactly what sequential evaluation raises:
+     the exception of the lowest failing index *)
+  QCheck2.Test.make ~name:"par: exception == sequential (jobs 1,2,4,7)"
+    ~count:60
+    QCheck2.Gen.(
+      pair (list_size (int_bound 60) (int_bound 100)) (int_bound 100))
+    (fun (xs, bad) ->
+      let f x = if x = bad then raise (Boom x) else x + 1 in
+      let outcome g = try Ok (g ()) with e -> Error (Printexc.to_string e) in
+      let expect = outcome (fun () -> List.map f xs) in
+      List.for_all
+        (fun jobs ->
+          outcome (fun () -> Par.map_ordered ~jobs f xs) = expect)
+        job_counts)
+
+let test_order_under_skew () =
+  (* early items run much longer than late ones, so with several domains
+     the completions arrive back-to-front; results must still come back
+     in input order *)
+  let n = 64 in
+  let f i =
+    let spin = (n - i) * 2000 in
+    let acc = ref 0 in
+    for k = 1 to spin do
+      acc := !acc + (k land 7)
+    done;
+    ignore (Sys.opaque_identity !acc);
+    i * i
+  in
+  let xs = List.init n (fun i -> i) in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "order at jobs=%d" jobs)
+        (List.map f xs)
+        (Par.map_ordered ~jobs f xs))
+    [ 2; 4; 7 ]
+
+let test_pool_reuse () =
+  let pool = Par.create ~jobs:4 in
+  Alcotest.(check int) "jobs" 4 (Par.jobs pool);
+  let xs = List.init 500 (fun i -> i) in
+  let once = Par.map_pool pool (fun x -> x * 2) xs in
+  let twice = Par.map_pool pool (fun x -> x * 3) xs in
+  Alcotest.(check (list int)) "first map" (List.map (fun x -> x * 2) xs) once;
+  Alcotest.(check (list int)) "second map" (List.map (fun x -> x * 3) xs) twice;
+  Par.shutdown pool;
+  (* idempotent *)
+  Par.shutdown pool
+
+let test_invalid_jobs () =
+  Alcotest.check_raises "create ~jobs:0"
+    (Invalid_argument "Par.create: jobs must be >= 1 (got 0)") (fun () ->
+      ignore (Par.create ~jobs:0));
+  Alcotest.check_raises "map_ordered ~jobs:(-3)"
+    (Invalid_argument "Par.map_ordered: jobs must be >= 1 (got -3)") (fun () ->
+      ignore (Par.map_ordered ~jobs:(-3) Fun.id [ 1 ]))
+
+let test_default_jobs_env () =
+  let get () = Par.default_jobs () in
+  Unix.putenv "RFDET_JOBS" "3";
+  Alcotest.(check int) "RFDET_JOBS=3" 3 (get ());
+  Unix.putenv "RFDET_JOBS" "not-a-number";
+  Alcotest.check_raises "garbage rejected"
+    (Invalid_argument
+       "RFDET_JOBS=\"not-a-number\": expected a positive integer job count")
+    (fun () -> ignore (get ()));
+  Unix.putenv "RFDET_JOBS" "";
+  let d = get () in
+  Alcotest.(check bool) "empty means machine default" true
+    (d >= 1 && d <= Par.max_default_jobs)
+
+(* --- byte-identity of the parallel sweeps --------------------------- *)
+
+let test_determinism_check_identical () =
+  let wl = Registry.find "micro-lock" in
+  let seq = Determinism.check ~threads:3 ~runs:8 ~jobs:1 Runner.rfdet_ci wl in
+  let par = Determinism.check ~threads:3 ~runs:8 ~jobs:4 Runner.rfdet_ci wl in
+  Alcotest.(check bool) "reports equal" true (seq = par);
+  Alcotest.(check bool) "deterministic" true seq.Determinism.deterministic
+
+let test_explore_sample_identical () =
+  let wl = Registry.find "micro-lock" in
+  let seq = Rfdet_check.Explore.sample ~jobs:1 ~seed:2026L ~n:30 wl in
+  let par = Rfdet_check.Explore.sample ~jobs:4 ~seed:2026L ~n:30 wl in
+  Alcotest.(check bool) "stats equal" true (seq = par);
+  Alcotest.(check int) "no failures" 0 (List.length seq.Rfdet_check.Explore.failures)
+
+let test_differential_identical () =
+  let wl = Registry.find "micro-atomic" in
+  let seq = Rfdet_check.Differential.check ~jobs:1 wl in
+  let par = Rfdet_check.Differential.check ~jobs:4 wl in
+  Alcotest.(check bool) "reports equal" true (seq = par);
+  Alcotest.(check bool) "ok" true seq.Rfdet_check.Differential.ok
+
+let test_clinic_identical () =
+  let wl = Registry.find "micro-lock" in
+  let seq = Rfdet_check.Clinic.sweep ~threads:2 ~max_sites:6 ~jobs:1 wl in
+  let par = Rfdet_check.Clinic.sweep ~threads:2 ~max_sites:6 ~jobs:4 wl in
+  Alcotest.(check bool) "summaries equal" true (seq = par)
+
+let serve_report ~rate =
+  let module Server = Rfdet_server.Server in
+  let module Traffic = Rfdet_server.Traffic in
+  let p =
+    {
+      Server.default with
+      Server.traffic =
+        {
+          Traffic.default with
+          Traffic.requests = 500;
+          mean_interarrival = rate;
+        };
+    }
+  in
+  let report = ref None in
+  let w =
+    {
+      Workload.name = "kvserver";
+      suite = "server";
+      description = "test sweep kvserver";
+      main =
+        (fun cfg () ->
+          report := Some (Server.run ~seed:cfg.Workload.input_seed p));
+    }
+  in
+  ignore (Runner.run ~threads:p.Server.workers Runner.rfdet_ci w);
+  Option.get !report
+
+let test_serve_sweep_identical () =
+  let rates = [ 200; 80 ] in
+  let seq = Rfdet_server.Sweep.run ~jobs:1 ~rates ~f:serve_report () in
+  let par = Rfdet_server.Sweep.run ~jobs:4 ~rates ~f:serve_report () in
+  Alcotest.(check string) "sweep json byte-identical"
+    (Rfdet_server.Sweep.to_json seq)
+    (Rfdet_server.Sweep.to_json par);
+  Alcotest.(check (list int)) "rates in input order" rates (List.map fst par)
+
+let suites =
+  [
+    ( "par",
+      [
+        QCheck_alcotest.to_alcotest prop_map_ordered_is_map;
+        QCheck_alcotest.to_alcotest prop_exceptions_match_sequential;
+        Alcotest.test_case "input order under skewed runtimes" `Quick
+          test_order_under_skew;
+        Alcotest.test_case "pool reuse and shutdown" `Quick test_pool_reuse;
+        Alcotest.test_case "invalid job counts" `Quick test_invalid_jobs;
+        Alcotest.test_case "RFDET_JOBS fallback" `Quick test_default_jobs_env;
+        Alcotest.test_case "determinism check jobs 1 == 4" `Quick
+          test_determinism_check_identical;
+        Alcotest.test_case "explore sample jobs 1 == 4" `Quick
+          test_explore_sample_identical;
+        Alcotest.test_case "differential jobs 1 == 4" `Quick
+          test_differential_identical;
+        Alcotest.test_case "clinic jobs 1 == 4" `Quick test_clinic_identical;
+        Alcotest.test_case "serve sweep jobs 1 == 4" `Quick
+          test_serve_sweep_identical;
+      ] );
+  ]
