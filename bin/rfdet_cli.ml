@@ -547,11 +547,23 @@ let clinic_cmd =
       & info [ "max-sites" ]
           ~doc:"Cap on injection sites (operation indices) probed.")
   in
-  let action workload threads scale max_sites jobs =
+  let op_class_arg =
+    Arg.(
+      value
+      & opt (enum Rfdet_fault.Fault_plan.op_class_names)
+          Rfdet_fault.Fault_plan.Any_op
+      & info [ "op-class" ] ~docv:"CLASS"
+          ~doc:
+            "Count only this operation class when choosing the injection \
+             site (e.g. cond, sem, rwlock, deque, lock; default any) — \
+             lands the crash inside that primitive's protocol.")
+  in
+  let action workload threads scale max_sites op_class jobs =
    guard @@ fun () ->
     let jobs = resolve_jobs jobs in
     let s =
-      Rfdet_check.Clinic.sweep ~threads ~scale ~max_sites ~jobs workload
+      Rfdet_check.Clinic.sweep ~op_class ~threads ~scale ~max_sites ~jobs
+        workload
     in
     Format.printf "%a@." Rfdet_check.Clinic.pp_summary s;
     if s.Rfdet_check.Clinic.nondeterministic > 0
@@ -567,7 +579,7 @@ let clinic_cmd =
           deterministic, and RFDet stays DLRC-conformant.")
     Term.(
       const action $ workload_arg $ clinic_threads_arg $ scale_arg
-      $ max_sites_arg $ jobs_arg)
+      $ max_sites_arg $ op_class_arg $ jobs_arg)
 
 (* --- bench ------------------------------------------------------------ *)
 
@@ -655,6 +667,18 @@ let check_cmd =
              oracle catches real divergence, and for generating corpus \
              traces; requires a WORKLOAD.")
   in
+  let bug_lost_arg =
+    Arg.(
+      value
+      & opt (some (pair ~sep:':' int int)) None
+      & info [ "bug-lost" ] ~docv:"LO:HI"
+          ~doc:
+            "Seed the test-only lost-wakeup bug: condvar signals are \
+             silently swallowed while the global operation counter is in \
+             [LO,HI), as if delivered outside the mutex.  Exploration \
+             runs with pruning off, like $(b,--bug-window); requires a \
+             WORKLOAD.")
+  in
   let out_arg =
     Arg.(
       value & opt string "shrunk.trace"
@@ -694,19 +718,21 @@ let check_cmd =
         Printf.printf "replay FAIL: %s\n" e;
         exit 1)
   in
-  let do_single wl threads jobs sample bug shrinkf out =
+  let do_single wl threads jobs sample bug bug_lost shrinkf out =
     let opts =
-      match bug with
-      | None -> Options.ci
-      | Some (lo, hi) ->
-        { Options.ci with Options.bug_drop_window = Some (lo, hi) }
+      {
+        Options.ci with
+        Options.bug_drop_window = bug;
+        bug_lost_signal = bug_lost;
+      }
     in
+    let buggy = bug <> None || bug_lost <> None in
     let config = { Rfdet_check.Explore.default_config with threads; opts } in
     let stats =
       match sample with
       | Some n -> Rfdet_check.Explore.sample ~config ~jobs ~seed:2026L ~n wl
       | None ->
-        if bug = None then Rfdet_check.Explore.explore ~config wl
+        if not buggy then Rfdet_check.Explore.explore ~config wl
         else Rfdet_check.Explore.hunt ~config wl
     in
     Printf.printf "workload:      %s (%d threads)\n"
@@ -738,16 +764,17 @@ let check_cmd =
       end;
       exit 1
   in
-  let action exhaustive sample shrinkf replay_file bug out corpus workload
-      threads jobs =
+  let action exhaustive sample shrinkf replay_file bug bug_lost out corpus
+      workload threads jobs =
    guard @@ fun () ->
     let jobs = resolve_jobs jobs in
     match (replay_file, workload) with
     | Some path, _ -> do_replay path
-    | None, Some wl -> do_single wl threads jobs sample bug shrinkf out
+    | None, Some wl -> do_single wl threads jobs sample bug bug_lost shrinkf out
     | None, None ->
-      if bug <> None then begin
-        Printf.eprintf "rfdet: --bug-window requires a WORKLOAD\n";
+      if bug <> None || bug_lost <> None then begin
+        Printf.eprintf
+          "rfdet: --bug-window/--bug-lost require a WORKLOAD\n";
         exit 64
       end;
       let corpus_dir =
@@ -797,8 +824,8 @@ let check_cmd =
           corpus.")
     Term.(
       const action $ exhaustive_arg $ sample_arg $ shrink_flag
-      $ replay_file_arg $ bug_arg $ out_arg $ corpus_arg $ workload_arg
-      $ threads_arg $ jobs_arg)
+      $ replay_file_arg $ bug_arg $ bug_lost_arg $ out_arg $ corpus_arg
+      $ workload_arg $ threads_arg $ jobs_arg)
 
 (* --- experiment ------------------------------------------------------- *)
 
@@ -901,6 +928,15 @@ let serve_cmd =
             "Arrival-rate sweep (experiment E12): one line per offered \
              load instead of a single report.")
   in
+  let rw_arg =
+    Arg.(
+      value & flag
+      & info [ "rw" ]
+          ~doc:
+            "Serve the read-heavy rwlock+deque variant (per-shard \
+             reader-writer locks, work-stealing get deques) instead of \
+             the stripe-mutex server.  Single-report mode only.")
+  in
   let mk_params ~requests ~rate ~workers ~shards ~deadline =
     let shards = max shards workers in
     {
@@ -936,11 +972,65 @@ let serve_cmd =
     in
     (r, Option.get !report)
   in
+  let run_one_rw runtime ~seed ~input_seed ~faults ~failure_mode
+      ~requests ~rate ~workers ~shards ~deadline =
+    let module Rwserve = Rfdet_server.Rwserve in
+    let shards = max shards workers in
+    let p =
+      {
+        Rwserve.default with
+        Rwserve.workers;
+        shards;
+        deadline;
+        traffic =
+          { Traffic.default with Traffic.requests; mean_interarrival = rate };
+      }
+    in
+    let report = ref None in
+    let w =
+      {
+        Rfdet_workloads.Workload.name = "kvserver-rw";
+        suite = "server";
+        description = "rwlock+deque kvserver with explicit serve parameters";
+        main =
+          (fun cfg () ->
+            report :=
+              Some
+                (Rwserve.run ~seed:cfg.Rfdet_workloads.Workload.input_seed p));
+      }
+    in
+    let r =
+      Runner.run ~threads:workers ~sched_seed:(Int64.of_int seed)
+        ~input_seed:(Int64.of_int input_seed) ?faults ~failure_mode runtime w
+    in
+    (r, Option.get !report)
+  in
   let action runtime requests rate workers shards deadline seed input_seed
-      faults failure_mode sweep json jobs =
+      faults failure_mode sweep rw json jobs =
    guard @@ fun () ->
     let jobs = resolve_jobs jobs in
-    if sweep then begin
+    if rw then begin
+      if sweep then begin
+        Printf.eprintf "rfdet: --rw does not support --sweep\n";
+        exit 64
+      end;
+      let r, rep =
+        run_one_rw runtime ~seed ~input_seed ~faults ~failure_mode ~requests
+          ~rate ~workers ~shards ~deadline
+      in
+      Printf.printf "runtime         %s\n" r.Runner.runtime;
+      Printf.printf "signature       %s\n" r.Runner.signature;
+      print_string (Rfdet_server.Rwserve.render rep);
+      Printf.printf "engine ops      %10d (%.2fs host)\n" r.Runner.ops
+        r.Runner.wall_seconds;
+      print_crashes r.Runner.crashes;
+      match json with
+      | None -> ()
+      | Some _ ->
+        Printf.eprintf "rfdet: --rw does not support --json\n";
+        exit 64
+    end
+    else if sweep then begin
       (* compute the whole sweep, then print: rows render in rate order
          whatever order the domains finished in, so the output is
          byte-identical for every --jobs value *)
@@ -995,7 +1085,8 @@ let serve_cmd =
     Term.(
       const action $ runtime_arg $ requests_arg $ rate_arg $ workers_arg
       $ shards_arg $ deadline_arg $ seed_arg $ input_seed_arg
-      $ fault_plan_arg $ fault_mode_arg $ sweep_arg $ json_arg $ jobs_arg)
+      $ fault_plan_arg $ fault_mode_arg $ sweep_arg $ rw_arg $ json_arg
+      $ jobs_arg)
 
 let () =
   let doc = "RFDet: deterministic multithreading without global barriers" in

@@ -22,6 +22,14 @@ type action =
   | A_join of int
   | A_exit
   | A_atomic of int * Op.rmw
+  | A_rdlock of int
+  | A_wrlock of int
+  | A_rwunlock of int
+  | A_sem_acquire of int
+  | A_sem_post of int
+  | A_deque_push of int * int
+  | A_deque_pop of int
+  | A_deque_steal of int
   | A_quantum of int
       (** ran out of instruction budget mid-computation; the int is the
           just-completed operation's result, delivered when the next
@@ -43,6 +51,19 @@ type cond_state = { cond_waiters : (int * int) Queue.t }
 
 type barrier_state = { parties : int; mutable arrived_tids : int list }
 
+type rw_state = {
+  mutable rw_writer : int option;
+  mutable rw_readers : int list;
+  rw_queue : (int * [ `Rd | `Wr ]) Queue.t;  (* token arrival order *)
+}
+
+type sem_state = { mutable sem_permits : int; sem_queue : int Queue.t }
+
+type deque_state = {
+  dq_owner : int;
+  mutable dq_items : (int * int) list;  (* (value, push seq), oldest first *)
+}
+
 type t = {
   engine : Engine.t;
   quantum : int;
@@ -50,8 +71,12 @@ type t = {
   mutexes : (int, mutex_state) Hashtbl.t;
   conds : (int, cond_state) Hashtbl.t;
   barriers : (int, barrier_state) Hashtbl.t;
+  rwlocks : (int, rw_state) Hashtbl.t;
+  sems : (int, sem_state) Hashtbl.t;
+  deques : (int, deque_state) Hashtbl.t;
   joiners : (int, int list) Hashtbl.t;
   mutable next_handle : int;
+  mutable push_seq : int;
   mutable arrived : (int * action) list;
   mutable excluded : int list;
   mutable commits : (int * Diff.t) list;
@@ -82,6 +107,21 @@ let barrier_state t b =
   match Hashtbl.find_opt t.barriers b with
   | Some s -> s
   | None -> invalid_arg (Printf.sprintf "coredet: unknown barrier %d" b)
+
+let rw_state t rw =
+  match Hashtbl.find_opt t.rwlocks rw with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "coredet: unknown rwlock %d" rw)
+
+let sem_state t s =
+  match Hashtbl.find_opt t.sems s with
+  | Some st -> st
+  | None -> invalid_arg (Printf.sprintf "coredet: unknown semaphore %d" s)
+
+let deque_state t dq =
+  match Hashtbl.find_opt t.deques dq with
+  | Some st -> st
+  | None -> invalid_arg (Printf.sprintf "coredet: unknown deque %d" dq)
 
 let fresh_state t ~tid ~space =
   let st =
@@ -153,11 +193,123 @@ let pass_mutex t ~mutex ~at =
     unexclude t w;
     Engine.wake t.engine ~tid:w ~value:0 ~not_before:at
 
+(* Admit the queue head after a full rwlock release: a writer alone, or
+   the consecutive run of readers at the head as a group. *)
+let admit_rw t ~rw ~at =
+  let st = rw_state t rw in
+  if st.rw_writer = None && st.rw_readers = [] then
+    match Queue.peek_opt st.rw_queue with
+    | None -> ()
+    | Some (_, `Wr) ->
+      let w, _ = Queue.pop st.rw_queue in
+      st.rw_writer <- Some w;
+      unexclude t w;
+      Engine.wake t.engine ~tid:w ~value:0 ~not_before:at
+    | Some (_, `Rd) ->
+      let rec run () =
+        match Queue.peek_opt st.rw_queue with
+        | Some (r, `Rd) ->
+          ignore (Queue.pop st.rw_queue);
+          st.rw_readers <- r :: st.rw_readers;
+          unexclude t r;
+          Engine.wake t.engine ~tid:r ~value:0 ~not_before:at;
+          run ()
+        | _ -> ()
+      in
+      run ()
+
 let perform_action t ~tid ~action ~at =
   let resume value = Engine.wake t.engine ~tid ~value ~not_before:at in
   match action with
   | A_exit -> ()
   | A_quantum v -> resume v
+  | A_rdlock rw ->
+    let st = rw_state t rw in
+    if st.rw_writer = None && Queue.is_empty st.rw_queue then begin
+      st.rw_readers <- tid :: st.rw_readers;
+      resume 0
+    end
+    else begin
+      Queue.add (tid, `Rd) st.rw_queue;
+      exclude t tid
+    end
+  | A_wrlock rw ->
+    let st = rw_state t rw in
+    if st.rw_writer = None && st.rw_readers = [] && Queue.is_empty st.rw_queue
+    then begin
+      st.rw_writer <- Some tid;
+      resume 0
+    end
+    else begin
+      Queue.add (tid, `Wr) st.rw_queue;
+      exclude t tid
+    end
+  | A_rwunlock rw ->
+    let st = rw_state t rw in
+    (if st.rw_writer = Some tid then st.rw_writer <- None
+     else if List.mem tid st.rw_readers then
+       st.rw_readers <- List.filter (fun r -> r <> tid) st.rw_readers
+     else invalid_arg (Printf.sprintf "coredet: rwunlock of unheld %d" rw));
+    admit_rw t ~rw ~at;
+    resume 0
+  | A_sem_acquire s ->
+    let st = sem_state t s in
+    if st.sem_permits > 0 then begin
+      st.sem_permits <- st.sem_permits - 1;
+      resume 0
+    end
+    else begin
+      Queue.add tid st.sem_queue;
+      exclude t tid
+    end
+  | A_sem_post s ->
+    let st = sem_state t s in
+    (match Queue.take_opt st.sem_queue with
+    | Some w ->
+      unexclude t w;
+      Engine.wake t.engine ~tid:w ~value:0 ~not_before:at
+    | None -> st.sem_permits <- st.sem_permits + 1);
+    resume 0
+  | A_deque_push (dq, value) ->
+    let st = deque_state t dq in
+    if st.dq_owner <> tid then
+      invalid_arg (Printf.sprintf "coredet: push into deque %d by non-owner" dq);
+    let seq = t.push_seq in
+    t.push_seq <- seq + 1;
+    st.dq_items <- st.dq_items @ [ (value, seq) ];
+    resume 0
+  | A_deque_pop dq ->
+    let st = deque_state t dq in
+    if st.dq_owner <> tid then
+      invalid_arg (Printf.sprintf "coredet: pop from deque %d by non-owner" dq);
+    (match List.rev st.dq_items with
+    | [] -> resume (-1)
+    | (v, _) :: rest ->
+      st.dq_items <- List.rev rest;
+      resume v)
+  | A_deque_steal own ->
+    (* the globally oldest item (lowest push seq), excluding the thief's
+       own deque *)
+    let victim =
+      Hashtbl.fold
+        (fun h st best ->
+          if h = own then best
+          else
+            match st.dq_items, best with
+            | [], _ -> best
+            | (_, seq) :: _, Some (_, best_seq) when best_seq <= seq -> best
+            | (_, seq) :: _, _ -> Some (h, seq))
+        t.deques None
+    in
+    (match victim with
+    | None -> resume (-1)
+    | Some (h, _) ->
+      let st = deque_state t h in
+      (match st.dq_items with
+      | (v, _) :: rest ->
+        st.dq_items <- rest;
+        resume v
+      | [] -> assert false))
   | A_atomic (addr, rmw) ->
     let st = cstate t tid in
     let current = Space.load_int st.space addr in
@@ -406,12 +558,21 @@ let handle t ~tid (op : Op.t) : Engine.outcome =
     arrive t ~tid ~action:(A_lock mutex);
     Block
   | Op.Mutex_heal m ->
-    let mst = mutex_state t m in
-    (match mst.owner with
-    | Some owner when owner = tid -> ()
-    | Some _ | None ->
-      invalid_arg (Printf.sprintf "coredet: heal of unheld mutex %d" m));
-    Done 0 (* nothing to heal: crashes abort the run under this runtime *)
+    (* heal dispatches on the handle's kind; nothing is ever poisoned
+       under this runtime (crashes abort the run), so just validate *)
+    (match Hashtbl.find_opt t.mutexes m with
+    | Some mst -> (
+      match mst.owner with
+      | Some owner when owner = tid -> ()
+      | Some _ | None ->
+        invalid_arg (Printf.sprintf "coredet: heal of unheld mutex %d" m))
+    | None ->
+      if
+        not
+          (Hashtbl.mem t.rwlocks m || Hashtbl.mem t.sems m
+          || Hashtbl.mem t.deques m)
+      then invalid_arg (Printf.sprintf "coredet: heal of unknown handle %d" m));
+    Done 0
   | Op.Unlock m ->
     arrive t ~tid ~action:(A_unlock m);
     Block
@@ -435,6 +596,45 @@ let handle t ~tid (op : Op.t) : Engine.outcome =
     Block
   | Op.Join target ->
     arrive t ~tid ~action:(A_join target);
+    Block
+  | Op.Rwlock_create ->
+    let h = fresh_handle t in
+    Hashtbl.replace t.rwlocks h
+      { rw_writer = None; rw_readers = []; rw_queue = Queue.create () };
+    Done h
+  | Op.Rdlock rw ->
+    arrive t ~tid ~action:(A_rdlock rw);
+    Block
+  | Op.Wrlock rw ->
+    arrive t ~tid ~action:(A_wrlock rw);
+    Block
+  | Op.Rwunlock rw ->
+    arrive t ~tid ~action:(A_rwunlock rw);
+    Block
+  | Op.Sem_create permits ->
+    if permits < 0 then invalid_arg "coredet: negative initial permits";
+    let h = fresh_handle t in
+    Hashtbl.replace t.sems h
+      { sem_permits = permits; sem_queue = Queue.create () };
+    Done h
+  | Op.Sem_acquire s ->
+    arrive t ~tid ~action:(A_sem_acquire s);
+    Block
+  | Op.Sem_post s ->
+    arrive t ~tid ~action:(A_sem_post s);
+    Block
+  | Op.Deque_create ->
+    let h = fresh_handle t in
+    Hashtbl.replace t.deques h { dq_owner = tid; dq_items = [] };
+    Done h
+  | Op.Deque_push { deque; value } ->
+    arrive t ~tid ~action:(A_deque_push (deque, value));
+    Block
+  | Op.Deque_pop dq ->
+    arrive t ~tid ~action:(A_deque_pop dq);
+    Block
+  | Op.Deque_steal own ->
+    arrive t ~tid ~action:(A_deque_steal own);
     Block
   | Op.Tick _ | Op.Output _ | Op.Self | Op.Yield | Op.Checkpoint _
   | Op.Server_mark _ | Op.Malloc _
@@ -462,8 +662,12 @@ let make ?(quantum = quantum) engine : Engine.policy =
       mutexes = Hashtbl.create 16;
       conds = Hashtbl.create 16;
       barriers = Hashtbl.create 4;
+      rwlocks = Hashtbl.create 8;
+      sems = Hashtbl.create 8;
+      deques = Hashtbl.create 8;
       joiners = Hashtbl.create 8;
       next_handle = 1;
+      push_seq = 0;
       arrived = [];
       excluded = [];
       commits = [];

@@ -101,10 +101,14 @@ let run_once ~mode ~plan ~threads ~scale runtime workload =
     (r.Rfdet_harness.Runner.signature, r.Rfdet_harness.Runner.profile.restarts, true)
 
 (* Inject one crash at global operation index [k] (deterministic at
-   jitter 0), run the same configuration twice, and compare. *)
-let probe ~mode ~threads ~scale runtime workload ~index =
+   jitter 0), run the same configuration twice, and compare.  [op_class]
+   narrows the counter to one operation class — e.g. [Cond_op] probes
+   the k-th condvar operation, landing crashes inside wait/signal
+   protocols that a global index rarely hits. *)
+let probe ?(op_class = Fault_plan.Any_op) ~mode ~threads ~scale runtime
+    workload ~index =
   let plan =
-    [ { Fault_plan.tid = None; op = Fault_plan.Any_op; nth = index;
+    [ { Fault_plan.tid = None; op = op_class; nth = index;
         action = Fault_plan.Crash } ]
   in
   let attempt () = run_once ~mode ~plan ~threads ~scale runtime workload in
@@ -146,10 +150,13 @@ let default_runtimes =
   [ Rfdet_harness.Runner.Pthreads; Rfdet_harness.Runner.Kendo; Rfdet_harness.Runner.Dthreads; Rfdet_harness.Runner.Coredet;
     Rfdet_harness.Runner.rfdet_ci ]
 
-let sweep ?(threads = 3) ?(scale = 1.0)
+let sweep ?(op_class = Fault_plan.Any_op) ?(threads = 3) ?(scale = 1.0)
     ?(modes = [ Engine.Contain; Engine.Recover ])
     ?(runtimes = default_runtimes) ?(max_sites = 500) ?(jobs = 1) workload =
-  (* bound the sweep by the clean run's operation count *)
+  (* bound the sweep by the clean run's operation count; a class-targeted
+     sweep has fewer eligible sites than global ops, so indices past the
+     class count simply probe the clean run (still checked for
+     determinism) — cap them with [max_sites] *)
   let clean =
     Rfdet_harness.Runner.run ~threads ~scale ~sched_seed:1L ~jitter:0. Rfdet_harness.Runner.Pthreads
       workload
@@ -171,7 +178,7 @@ let sweep ?(threads = 3) ?(scale = 1.0)
   let cells =
     Rfdet_par.Par.map_ordered ~jobs
       (fun (runtime, mode, index) ->
-        probe ~mode ~threads ~scale runtime workload ~index)
+        probe ~op_class ~mode ~threads ~scale runtime workload ~index)
       grid
   in
   let count f = List.length (List.filter f cells) in

@@ -44,6 +44,7 @@ type summary = {
 val mode_name : Rfdet_sim.Engine.failure_mode -> string
 
 val sweep :
+  ?op_class:Rfdet_fault.Fault_plan.op_class ->
   ?threads:int ->
   ?scale:float ->
   ?modes:Rfdet_sim.Engine.failure_mode list ->
@@ -58,6 +59,13 @@ val sweep :
     [aborted] is expected to be nonzero for the fence runtimes.  [jobs]
     probes the runtime x mode x site grid on that many host domains;
     each probe is self-contained and cells return in grid order, so the
-    summary is byte-identical for every [jobs] value. *)
+    summary is byte-identical for every [jobs] value.
+
+    [op_class] (default [Any_op]) retargets the injection counter to one
+    operation class — [Cond_op] crashes the k-th condvar operation,
+    [Sem_op] the k-th semaphore operation, and so on — steering probes
+    into the wait/signal and acquire protocols that a global operation
+    index almost never lands inside.  Indices past the class's
+    population probe the clean run, so cap them with [max_sites]. *)
 
 val pp_summary : Format.formatter -> summary -> unit

@@ -51,12 +51,21 @@ type stats = {
    [F_top] (dependent with everything).  A segment closed by a thread
    exit is [F_top] too: exits publish the final slice and wake
    joiners. *)
-type footprint = F_mutex of int | F_atomic of int | F_top
+type footprint =
+  | F_mutex of int
+  | F_atomic of int
+  | F_rwlock of int
+  | F_sem of int
+  | F_top
 
 let footprint_of_op (op : Op.t) =
   match op with
   | Op.Lock m | Op.Unlock m -> F_mutex m
   | Op.Atomic { addr; _ } -> F_atomic addr
+  | Op.Rdlock rw | Op.Wrlock rw | Op.Rwunlock rw -> F_rwlock rw
+  | Op.Sem_acquire s | Op.Sem_post s -> F_sem s
+  (* Deque steals scan every deque for a victim, so deque ops stay
+     [F_top]; condvar ops interact with the paired mutex, likewise. *)
   | _ -> F_top
 
 let independent a b =

@@ -233,7 +233,7 @@ let handle t ~tid (op : Op.t) : Engine.outcome =
   | Op.Lock m -> Sync.lock sync ~tid ~mutex:m
   | Op.Trylock m -> Sync.trylock sync ~tid ~mutex:m
   | Op.Lock_timed { mutex; timeout } -> Sync.lock_timed sync ~tid ~mutex ~timeout
-  | Op.Mutex_heal m -> Sync.mutex_heal sync ~tid ~mutex:m
+  | Op.Mutex_heal m -> Sync.heal sync ~tid ~handle:m
   | Op.Unlock m -> Sync.unlock sync ~tid ~mutex:m
   | Op.Cond_wait { cond; mutex } -> Sync.cond_wait sync ~tid ~cond ~mutex
   | Op.Cond_signal cond -> Sync.cond_signal sync ~tid ~cond
@@ -256,6 +256,17 @@ let handle t ~tid (op : Op.t) : Engine.outcome =
         (prev, 0))
   | Op.Spawn body -> Sync.spawn sync ~tid ~body
   | Op.Join target -> Sync.join sync ~tid ~target
+  | Op.Rwlock_create -> Sync.rwlock_create sync ~tid
+  | Op.Rdlock rw -> Sync.rdlock sync ~tid ~rwlock:rw
+  | Op.Wrlock rw -> Sync.wrlock sync ~tid ~rwlock:rw
+  | Op.Rwunlock rw -> Sync.rwunlock sync ~tid ~rwlock:rw
+  | Op.Sem_create permits -> Sync.sem_create sync ~tid ~permits
+  | Op.Sem_acquire s -> Sync.sem_acquire sync ~tid ~sem:s
+  | Op.Sem_post s -> Sync.sem_post sync ~tid ~sem:s
+  | Op.Deque_create -> Sync.deque_create sync ~tid
+  | Op.Deque_push { deque; value } -> Sync.deque_push sync ~tid ~deque ~value
+  | Op.Deque_pop dq -> Sync.deque_pop sync ~tid ~deque:dq
+  | Op.Deque_steal own -> Sync.deque_steal sync ~tid ~own
   | Op.Tick _ | Op.Output _ | Op.Self | Op.Yield | Op.Checkpoint _
   | Op.Server_mark _ | Op.Malloc _
   | Op.Free _ ->

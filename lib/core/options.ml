@@ -11,6 +11,7 @@ type t = {
   skip_premain_monitoring : bool;
   verify_metadata : bool;
   bug_drop_window : (int * int) option;
+  bug_lost_signal : (int * int) option;
 }
 
 let mb = 1024 * 1024
@@ -27,6 +28,7 @@ let default =
     skip_premain_monitoring = true;
     verify_metadata = true;
     bug_drop_window = None;
+    bug_lost_signal = None;
   }
 
 let ci = default

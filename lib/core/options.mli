@@ -52,6 +52,16 @@ type t = {
           exactly the kind of defect seed-sampling misses and systematic
           exploration must catch.  [None] (the default, and the only
           sound value) disables it. *)
+  bug_lost_signal : (int * int) option;
+      (** {b test only} — seeded lost-wakeup bug for validating the
+          explorer against condition-variable schedules.  While the
+          engine's global operation counter is in [\[lo, hi)], every
+          [cond_signal] takes its deterministic turn but the wakeup is
+          swallowed: the lowest-stamp waiter stays queued, exactly the
+          classic missed-signal defect.  Whether a signal lands in the
+          window depends on the interleaving, so only some schedules
+          expose the hang/divergence.  [None] (the default, and the only
+          sound value) disables it. *)
 }
 
 val default : t

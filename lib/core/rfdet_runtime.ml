@@ -49,6 +49,15 @@ let bug_drop_active t =
     let ops = Engine.ops_executed t.engine in
     ops >= lo && ops < hi
 
+(* Options.bug_lost_signal (test only): same window mechanism, but the
+   defect is a swallowed cond_signal wakeup. *)
+let bug_lost_active t =
+  match t.opts.Options.bug_lost_signal with
+  | None -> false
+  | Some (lo, hi) ->
+    let ops = Engine.ops_executed t.engine in
+    ops >= lo && ops < hi
+
 let clock_size _ = max_threads
 
 let sync_exn t = match t.sync with Some s -> s | None -> assert false
@@ -529,10 +538,11 @@ let handle t ~tid (op : Op.t) : Engine.outcome =
   | Op.Lock m -> Sync.lock sync ~tid ~mutex:m
   | Op.Trylock m -> Sync.trylock sync ~tid ~mutex:m
   | Op.Lock_timed { mutex; timeout } -> Sync.lock_timed sync ~tid ~mutex ~timeout
-  | Op.Mutex_heal m -> Sync.mutex_heal sync ~tid ~mutex:m
+  | Op.Mutex_heal m -> Sync.heal sync ~tid ~handle:m
   | Op.Unlock m -> Sync.unlock sync ~tid ~mutex:m
   | Op.Cond_wait { cond; mutex } -> Sync.cond_wait sync ~tid ~cond ~mutex
-  | Op.Cond_signal c -> Sync.cond_signal sync ~tid ~cond:c
+  | Op.Cond_signal c ->
+    Sync.cond_signal ~lose:(bug_lost_active t) sync ~tid ~cond:c
   | Op.Cond_broadcast c -> Sync.cond_broadcast sync ~tid ~cond:c
   | Op.Barrier_wait b -> Sync.barrier_wait sync ~tid ~barrier:b
   | Op.Atomic { addr; rmw } ->
@@ -550,6 +560,17 @@ let handle t ~tid (op : Op.t) : Engine.outcome =
         (prev, acq + rel))
   | Op.Spawn body -> Sync.spawn sync ~tid ~body
   | Op.Join target -> Sync.join sync ~tid ~target
+  | Op.Rwlock_create -> Sync.rwlock_create sync ~tid
+  | Op.Rdlock rw -> Sync.rdlock sync ~tid ~rwlock:rw
+  | Op.Wrlock rw -> Sync.wrlock sync ~tid ~rwlock:rw
+  | Op.Rwunlock rw -> Sync.rwunlock sync ~tid ~rwlock:rw
+  | Op.Sem_create permits -> Sync.sem_create sync ~tid ~permits
+  | Op.Sem_acquire s -> Sync.sem_acquire sync ~tid ~sem:s
+  | Op.Sem_post s -> Sync.sem_post sync ~tid ~sem:s
+  | Op.Deque_create -> Sync.deque_create sync ~tid
+  | Op.Deque_push { deque; value } -> Sync.deque_push sync ~tid ~deque ~value
+  | Op.Deque_pop dq -> Sync.deque_pop sync ~tid ~deque:dq
+  | Op.Deque_steal own -> Sync.deque_steal sync ~tid ~own
   | Op.Tick _ | Op.Output _ | Op.Self | Op.Yield | Op.Checkpoint _
   | Op.Server_mark _ | Op.Malloc _
   | Op.Free _ ->

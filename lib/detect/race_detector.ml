@@ -201,6 +201,17 @@ let handle t ~tid (op : Op.t) : Engine.outcome =
   | Op.Barrier_wait b -> Sync.barrier_wait sync ~tid ~barrier:b
   | Op.Spawn body -> Sync.spawn sync ~tid ~body
   | Op.Join target -> Sync.join sync ~tid ~target
+  | Op.Rwlock_create -> Sync.rwlock_create sync ~tid
+  | Op.Rdlock rw -> Sync.rdlock sync ~tid ~rwlock:rw
+  | Op.Wrlock rw -> Sync.wrlock sync ~tid ~rwlock:rw
+  | Op.Rwunlock rw -> Sync.rwunlock sync ~tid ~rwlock:rw
+  | Op.Sem_create permits -> Sync.sem_create sync ~tid ~permits
+  | Op.Sem_acquire s -> Sync.sem_acquire sync ~tid ~sem:s
+  | Op.Sem_post s -> Sync.sem_post sync ~tid ~sem:s
+  | Op.Deque_create -> Sync.deque_create sync ~tid
+  | Op.Deque_push { deque; value } -> Sync.deque_push sync ~tid ~deque ~value
+  | Op.Deque_pop dq -> Sync.deque_pop sync ~tid ~deque:dq
+  | Op.Deque_steal own -> Sync.deque_steal sync ~tid ~own
   | Op.Tick _ | Op.Output _ | Op.Self | Op.Yield | Op.Checkpoint _
   | Op.Server_mark _ | Op.Malloc _
   | Op.Free _ ->

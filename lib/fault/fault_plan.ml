@@ -18,6 +18,9 @@ type op_class =
   | Output_op
   | Create_op
   | Compute_op
+  | Rwlock_op
+  | Sem_op
+  | Deque_op
 
 type action = Crash | Fail | Delay of int | Corrupt
 
@@ -38,7 +41,11 @@ let classify : Op.t -> op_class = function
   | Op.Load _ -> Load_op
   | Op.Store _ -> Store_op
   | Op.Output _ -> Output_op
-  | Op.Mutex_create | Op.Cond_create | Op.Barrier_create _ -> Create_op
+  | Op.Rdlock _ | Op.Wrlock _ | Op.Rwunlock _ -> Rwlock_op
+  | Op.Sem_acquire _ | Op.Sem_post _ -> Sem_op
+  | Op.Deque_push _ | Op.Deque_pop _ | Op.Deque_steal _ -> Deque_op
+  | Op.Mutex_create | Op.Cond_create | Op.Barrier_create _ | Op.Rwlock_create
+  | Op.Sem_create _ | Op.Deque_create -> Create_op
   | Op.Tick _ | Op.Self | Op.Yield | Op.Checkpoint _ | Op.Server_mark _ ->
     Compute_op
 
@@ -59,6 +66,9 @@ let op_class_names =
     ("output", Output_op);
     ("create", Create_op);
     ("compute", Compute_op);
+    ("rwlock", Rwlock_op);
+    ("sem", Sem_op);
+    ("deque", Deque_op);
   ]
 
 let op_class_name c =

@@ -30,8 +30,11 @@ type op_class =
   | Load_op
   | Store_op
   | Output_op
-  | Create_op  (** mutex/cond/barrier creation *)
+  | Create_op  (** mutex/cond/barrier/rwlock/sem/deque creation *)
   | Compute_op  (** tick, self, yield *)
+  | Rwlock_op  (** rdlock, wrlock and rwunlock *)
+  | Sem_op  (** sem_acquire and sem_post *)
+  | Deque_op  (** deque push, pop and steal *)
 
 type action =
   | Crash  (** kill the thread at the boundary; see [Engine.I_crash] *)

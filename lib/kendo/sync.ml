@@ -7,6 +7,9 @@ type obj =
   | Barrier_obj of int
   | Thread_obj of int
   | Atomic_obj of int
+  | Rwlock_obj of int
+  | Sem_obj of int
+  | Deque_obj of int
 
 type hooks = {
   acquire : tid:int -> obj:obj -> now:int -> int;
@@ -55,8 +58,51 @@ type mutex_state = {
          re-established the invariant *)
 }
 
-type cond_state = { cond_waiters : (int * int) Queue.t }
-(* (waiter tid, mutex to reacquire), in deterministic grant order *)
+(* Condvar waiters carry the Kendo stamp ((icount, tid)) they entered
+   the wait with; signal wakes the minimum stamp, broadcast drains in
+   ascending stamp order.  The list is kept sorted, so the wakeup order
+   is a pure function of the stamps — never of insertion order. *)
+type cond_state = {
+  mutable cond_waiters : (int * int * (int * int)) list;
+      (* (waiter tid, mutex to reacquire, stamp), ascending stamp *)
+}
+
+type rw_mode = Rd | Wr
+
+type rw_waiter = {
+  rw_tid : int;
+  rw_mode : rw_mode;
+  rw_stamp : int * int;
+  rw_asked : int;  (* when the thread first requested the lock *)
+  rw_enq : int;  (* when its deterministic turn queued it *)
+}
+
+type rwlock_state = {
+  mutable rw_writer : int option;
+  mutable rw_readers : int list;  (* current batch, admission order *)
+  mutable rw_waiting : rw_waiter list;  (* ascending stamp *)
+  mutable rw_acquired_at : int;  (* grant time of writer / batch start *)
+  mutable rw_poisoned : bool;
+  mutable rw_poisoned_by : int option;
+}
+
+type sem_state = {
+  mutable sem_permits : int;
+  mutable sem_held : (int * int) list;  (* tid -> permits held *)
+  mutable sem_waiting : (int * (int * int) * int * int) list;
+      (* (tid, stamp, asked, enqueued), ascending stamp *)
+  mutable sem_poisoned : bool;
+  mutable sem_poisoned_by : int option;
+}
+
+type deque_state = {
+  dq_owner : int;
+  mutable dq_items : (int * (int * int)) list;
+      (* (value, push stamp), oldest first: the owner pushes/pops at the
+         back (LIFO), thieves steal from the front (the oldest item) *)
+  mutable dq_poisoned : bool;
+  mutable dq_poisoned_by : int option;
+}
 
 type barrier_state = {
   parties : int;
@@ -76,6 +122,9 @@ type t = {
   mutexes : (int, mutex_state) Hashtbl.t;
   conds : (int, cond_state) Hashtbl.t;
   barriers : (int, barrier_state) Hashtbl.t;
+  rwlocks : (int, rwlock_state) Hashtbl.t;
+  sems : (int, sem_state) Hashtbl.t;
+  deques : (int, deque_state) Hashtbl.t;
   joiners : (int, int list) Hashtbl.t;  (* target tid -> blocked joiners *)
   crashed : (int, unit) Hashtbl.t;
   mutable next_handle : int;
@@ -90,6 +139,9 @@ let create engine hooks =
       mutexes = Hashtbl.create 16;
       conds = Hashtbl.create 16;
       barriers = Hashtbl.create 4;
+      rwlocks = Hashtbl.create 8;
+      sems = Hashtbl.create 8;
+      deques = Hashtbl.create 8;
       joiners = Hashtbl.create 8;
       crashed = Hashtbl.create 4;
       next_handle = 1;
@@ -115,6 +167,35 @@ let cond_state t c =
   | Some s -> s
   | None -> invalid_arg (Printf.sprintf "Sync: unknown cond %d" c)
 
+let rwlock_state t rw =
+  match Hashtbl.find_opt t.rwlocks rw with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Sync: unknown rwlock %d" rw)
+
+let sem_state t s =
+  match Hashtbl.find_opt t.sems s with
+  | Some st -> st
+  | None -> invalid_arg (Printf.sprintf "Sync: unknown semaphore %d" s)
+
+let deque_state t dq =
+  match Hashtbl.find_opt t.deques dq with
+  | Some st -> st
+  | None -> invalid_arg (Printf.sprintf "Sync: unknown deque %d" dq)
+
+(* The Kendo stamp that orders every wakeup/steal decision: the thread's
+   deterministic instruction count, tid as the tie-break.  Pure function
+   of the thread's own progress — never of physical timing. *)
+let stamp_of t tid = (Engine.icount t.engine tid, tid)
+
+let insert_sorted ~stamp_of_elt e l =
+  let k = stamp_of_elt e in
+  let rec go = function
+    | [] -> [ e ]
+    | x :: _ as rest when stamp_of_elt x > k -> e :: rest
+    | x :: rest -> x :: go rest
+  in
+  go l
+
 let barrier_state t b =
   match Hashtbl.find_opt t.barriers b with
   | Some s -> s
@@ -138,7 +219,39 @@ let mutex_create t ~tid:_ =
 
 let cond_create t ~tid:_ =
   let h = fresh_handle t in
-  Hashtbl.replace t.conds h { cond_waiters = Queue.create () };
+  Hashtbl.replace t.conds h { cond_waiters = [] };
+  Engine.Done h
+
+let rwlock_create t ~tid:_ =
+  let h = fresh_handle t in
+  Hashtbl.replace t.rwlocks h
+    {
+      rw_writer = None;
+      rw_readers = [];
+      rw_waiting = [];
+      rw_acquired_at = 0;
+      rw_poisoned = false;
+      rw_poisoned_by = None;
+    };
+  Engine.Done h
+
+let sem_create t ~tid:_ ~permits =
+  if permits < 0 then invalid_arg "Sync.sem_create: permits < 0";
+  let h = fresh_handle t in
+  Hashtbl.replace t.sems h
+    {
+      sem_permits = permits;
+      sem_held = [];
+      sem_waiting = [];
+      sem_poisoned = false;
+      sem_poisoned_by = None;
+    };
+  Engine.Done h
+
+let deque_create t ~tid =
+  let h = fresh_handle t in
+  Hashtbl.replace t.deques h
+    { dq_owner = tid; dq_items = []; dq_poisoned = false; dq_poisoned_by = None };
   Engine.Done h
 
 let barrier_create t ~tid:_ ~parties =
@@ -196,12 +309,24 @@ let remove_from_queue q ~tid =
   Queue.clear q;
   List.iter (fun x -> Queue.add x q) (List.rev kept)
 
-let remove_from_cond_queue q ~tid =
-  let kept =
-    Queue.fold (fun acc ((w, _) as e) -> if w = tid then acc else e :: acc) [] q
-  in
-  Queue.clear q;
-  List.iter (fun e -> Queue.add e q) (List.rev kept)
+let emit_acquire_ev t ~tid ~obj ~handle ~now ~asked ~enq =
+  let o = obs t in
+  if Rfdet_obs.Sink.enabled o then
+    Rfdet_obs.Sink.emit o ~tid ~time:now
+      (Rfdet_obs.Trace.Lock_acquire
+         {
+           obj;
+           handle;
+           wait = max 0 (now - asked);
+           queued = max 0 (now - enq);
+         })
+
+let emit_release_ev t ~tid ~obj ~handle ~now ~held_since =
+  let o = obs t in
+  if Rfdet_obs.Sink.enabled o then
+    Rfdet_obs.Sink.emit o ~tid ~time:now
+      (Rfdet_obs.Trace.Lock_release
+         { obj; handle; hold = max 0 (now - held_since) })
 
 let emit_recovery t ~tid ~now ~action ~target ~attempt ~cycles =
   let o = obs t in
@@ -329,7 +454,11 @@ let cond_wait t ~tid ~cond ~mutex =
       mst.owner <- None;
       pass_mutex t ~mutex ~now:(now + extra);
       let cst = cond_state t cond in
-      Queue.add (tid, mutex) cst.cond_waiters;
+      cst.cond_waiters <-
+        insert_sorted
+          ~stamp_of_elt:(fun (_, _, s) -> s)
+          (tid, mutex, stamp_of t tid)
+          cst.cond_waiters;
       Arbiter.set_inactive t.arb ~tid);
   Engine.Block
 
@@ -343,14 +472,24 @@ let wake_cond_waiter t ~waiter ~mutex ~cond ~now =
   | None -> grant_mutex t ~tid:waiter ~mutex ~now ~asked:now ~enq:now
   | Some _ -> Queue.add (waiter, now, now) mst.queue
 
-let cond_signal t ~tid ~cond =
+(* [lose] is the seeded negative control ([Options.bug_lost_signal]):
+   the signal's release side happens but the min-stamp waiter is never
+   woken — the classic lost wakeup, which the conformance wall must
+   catch as a deterministic divergence or deadlock. *)
+let cond_signal ?(lose = false) t ~tid ~cond =
   Engine.advance t.engine tid (sync_cost t);
   Arbiter.request t.arb ~tid ~grant:(fun ~now ->
       let extra = t.hooks.release ~tid ~obj:(Cond_obj cond) ~now in
       let cst = cond_state t cond in
-      (match Queue.take_opt cst.cond_waiters with
-      | None -> ()
-      | Some (waiter, mutex) ->
+      (match cst.cond_waiters with
+      | [] ->
+        (* A signal nobody heard: the lost-wakeup-prone pattern.  Count
+           it so the profile makes silent hand-off bugs visible. *)
+        let p = Engine.profile t.engine in
+        p.cond_unheard_signals <- p.cond_unheard_signals + 1
+      | _ :: _ when lose -> ()
+      | (waiter, mutex, _) :: rest ->
+        cst.cond_waiters <- rest;
         wake_cond_waiter t ~waiter ~mutex ~cond ~now:(now + extra));
       Engine.wake t.engine ~tid ~value:0 ~not_before:(now + extra));
   Engine.Block
@@ -360,16 +499,365 @@ let cond_broadcast t ~tid ~cond =
   Arbiter.request t.arb ~tid ~grant:(fun ~now ->
       let extra = t.hooks.release ~tid ~obj:(Cond_obj cond) ~now in
       let cst = cond_state t cond in
-      let rec drain () =
-        match Queue.take_opt cst.cond_waiters with
-        | None -> ()
-        | Some (waiter, mutex) ->
-          wake_cond_waiter t ~waiter ~mutex ~cond ~now:(now + extra);
-          drain ()
-      in
-      drain ();
+      let sleeping = cst.cond_waiters in
+      cst.cond_waiters <- [];
+      (* already ascending by stamp: min-stamp waiter contends first *)
+      List.iter
+        (fun (waiter, mutex, _) ->
+          wake_cond_waiter t ~waiter ~mutex ~cond ~now:(now + extra))
+        sleeping;
       Engine.wake t.engine ~tid ~value:0 ~not_before:(now + extra));
   Engine.Block
+
+(* --- reader-writer locks --------------------------------------------- *)
+
+let heal_rwlock t ~tid ~rwlock ~now =
+  let st = rwlock_state t rwlock in
+  if st.rw_poisoned then begin
+    st.rw_poisoned <- false;
+    st.rw_poisoned_by <- None;
+    let p = Engine.profile t.engine in
+    p.heals <- p.heals + 1;
+    emit_recovery t ~tid ~now ~action:"heal" ~target:rwlock ~attempt:0
+      ~cycles:0
+  end
+
+let grant_rd t ~tid ~rwlock ~now ~asked ~enq =
+  let st = rwlock_state t rwlock in
+  assert (st.rw_writer = None);
+  let p = Engine.profile t.engine in
+  if st.rw_readers = [] then begin
+    p.rw_reader_batches <- p.rw_reader_batches + 1;
+    st.rw_acquired_at <- now
+  end;
+  p.rw_batch_readers <- p.rw_batch_readers + 1;
+  st.rw_readers <- st.rw_readers @ [ tid ];
+  emit_acquire_ev t ~tid ~obj:"rwlock_r" ~handle:rwlock ~now ~asked ~enq;
+  let extra = t.hooks.acquire ~tid ~obj:(Rwlock_obj rwlock) ~now in
+  Arbiter.set_active t.arb ~tid;
+  Engine.wake t.engine ~tid
+    ~value:(if st.rw_poisoned then fault else ok)
+    ~not_before:(now + sync_cost t + extra)
+
+let grant_wr t ~tid ~rwlock ~now ~asked ~enq =
+  let st = rwlock_state t rwlock in
+  assert (st.rw_writer = None && st.rw_readers = []);
+  st.rw_writer <- Some tid;
+  st.rw_acquired_at <- now;
+  emit_acquire_ev t ~tid ~obj:"rwlock_w" ~handle:rwlock ~now ~asked ~enq;
+  let extra = t.hooks.acquire ~tid ~obj:(Rwlock_obj rwlock) ~now in
+  Arbiter.set_active t.arb ~tid;
+  Engine.wake t.engine ~tid
+    ~value:(if st.rw_poisoned then fault else ok)
+    ~not_before:(now + sync_cost t + extra)
+
+(* Admission when the lock is fully free, in pure stamp order: a writer
+   at the head enters alone; a reader at the head brings in the whole
+   consecutive run of waiting readers up to the first waiting writer —
+   one deterministic batch. *)
+let admit_rw t ~rwlock ~now =
+  let st = rwlock_state t rwlock in
+  if st.rw_writer = None && st.rw_readers = [] then
+    match st.rw_waiting with
+    | [] -> ()
+    | { rw_mode = Wr; rw_tid; rw_asked; rw_enq; _ } :: rest ->
+      st.rw_waiting <- rest;
+      grant_wr t ~tid:rw_tid ~rwlock ~now ~asked:rw_asked ~enq:rw_enq
+    | _ :: _ ->
+      let rec split acc = function
+        | ({ rw_mode = Rd; _ } as w) :: rest -> split (w :: acc) rest
+        | rest -> (List.rev acc, rest)
+      in
+      let batch, rest = split [] st.rw_waiting in
+      st.rw_waiting <- rest;
+      List.iter
+        (fun w ->
+          grant_rd t ~tid:w.rw_tid ~rwlock ~now ~asked:w.rw_asked
+            ~enq:w.rw_enq)
+        batch
+
+let rw_insert_waiter st w =
+  st.rw_waiting <-
+    insert_sorted ~stamp_of_elt:(fun x -> x.rw_stamp) w st.rw_waiting
+
+let rdlock t ~tid ~rwlock =
+  Engine.advance t.engine tid (sync_cost t);
+  let asked = Engine.clock t.engine tid in
+  Arbiter.request t.arb ~tid ~grant:(fun ~now ->
+      let st = rwlock_state t rwlock in
+      (* Stamp-ordered writer preference: a reader arriving after a
+         writer started waiting queues behind it — even while other
+         readers hold the lock — so writers cannot starve, and the
+         queue drains in stamp order. *)
+      let writer_waiting =
+        List.exists (fun w -> w.rw_mode = Wr) st.rw_waiting
+      in
+      if st.rw_writer = None && not writer_waiting then
+        grant_rd t ~tid ~rwlock ~now ~asked ~enq:now
+      else begin
+        rw_insert_waiter st
+          {
+            rw_tid = tid;
+            rw_mode = Rd;
+            rw_stamp = stamp_of t tid;
+            rw_asked = asked;
+            rw_enq = now;
+          };
+        Arbiter.set_inactive t.arb ~tid
+      end);
+  Engine.Block
+
+let wrlock t ~tid ~rwlock =
+  Engine.advance t.engine tid (sync_cost t);
+  let asked = Engine.clock t.engine tid in
+  Arbiter.request t.arb ~tid ~grant:(fun ~now ->
+      let st = rwlock_state t rwlock in
+      if st.rw_writer = None && st.rw_readers = [] && st.rw_waiting = []
+      then grant_wr t ~tid ~rwlock ~now ~asked ~enq:now
+      else begin
+        rw_insert_waiter st
+          {
+            rw_tid = tid;
+            rw_mode = Wr;
+            rw_stamp = stamp_of t tid;
+            rw_asked = asked;
+            rw_enq = now;
+          };
+        Arbiter.set_inactive t.arb ~tid
+      end);
+  Engine.Block
+
+let rwunlock t ~tid ~rwlock =
+  Engine.advance t.engine tid (sync_cost t);
+  Arbiter.request t.arb ~tid ~grant:(fun ~now ->
+      let st = rwlock_state t rwlock in
+      let mode =
+        if st.rw_writer = Some tid then Wr
+        else if List.mem tid st.rw_readers then Rd
+        else
+          invalid_arg
+            (Printf.sprintf "Sync.rwunlock: tid %d does not hold rwlock %d"
+               tid rwlock)
+      in
+      (* clean critical section by the restarted crasher: healed *)
+      if st.rw_poisoned && st.rw_poisoned_by = Some tid then
+        heal_rwlock t ~tid ~rwlock ~now;
+      emit_release_ev t ~tid
+        ~obj:(match mode with Wr -> "rwlock_w" | Rd -> "rwlock_r")
+        ~handle:rwlock ~now ~held_since:st.rw_acquired_at;
+      let extra = t.hooks.release ~tid ~obj:(Rwlock_obj rwlock) ~now in
+      (match mode with
+      | Wr -> st.rw_writer <- None
+      | Rd -> st.rw_readers <- List.filter (fun r -> r <> tid) st.rw_readers);
+      admit_rw t ~rwlock ~now:(now + extra);
+      Engine.wake t.engine ~tid ~value:0 ~not_before:(now + extra));
+  Engine.Block
+
+let rwlock_heal_op t ~tid ~rwlock =
+  Engine.advance t.engine tid (sync_cost t);
+  Arbiter.request t.arb ~tid ~grant:(fun ~now ->
+      let st = rwlock_state t rwlock in
+      if not (st.rw_writer = Some tid || List.mem tid st.rw_readers) then
+        invalid_arg
+          (Printf.sprintf "Sync.heal: tid %d does not hold rwlock %d" tid
+             rwlock);
+      heal_rwlock t ~tid ~rwlock ~now;
+      Engine.wake t.engine ~tid ~value:0 ~not_before:(now + sync_cost t));
+  Engine.Block
+
+(* --- counting semaphores --------------------------------------------- *)
+
+let heal_sem t ~tid ~sem ~now =
+  let st = sem_state t sem in
+  if st.sem_poisoned then begin
+    st.sem_poisoned <- false;
+    st.sem_poisoned_by <- None;
+    let p = Engine.profile t.engine in
+    p.heals <- p.heals + 1;
+    emit_recovery t ~tid ~now ~action:"heal" ~target:sem ~attempt:0 ~cycles:0
+  end
+
+let sem_held_count st tid =
+  Option.value (List.assoc_opt tid st.sem_held) ~default:0
+
+let sem_set_held st tid n =
+  st.sem_held <-
+    (if n = 0 then List.remove_assoc tid st.sem_held
+     else (tid, n) :: List.remove_assoc tid st.sem_held)
+
+let grant_sem t ~tid ~sem ~now ~asked ~enq =
+  let st = sem_state t sem in
+  sem_set_held st tid (sem_held_count st tid + 1);
+  emit_acquire_ev t ~tid ~obj:"sem" ~handle:sem ~now ~asked ~enq;
+  let extra = t.hooks.acquire ~tid ~obj:(Sem_obj sem) ~now in
+  Arbiter.set_active t.arb ~tid;
+  Engine.wake t.engine ~tid
+    ~value:(if st.sem_poisoned then fault else ok)
+    ~not_before:(now + sync_cost t + extra)
+
+let sem_acquire t ~tid ~sem =
+  Engine.advance t.engine tid (sync_cost t);
+  let asked = Engine.clock t.engine tid in
+  Arbiter.request t.arb ~tid ~grant:(fun ~now ->
+      let st = sem_state t sem in
+      if st.sem_permits > 0 then begin
+        st.sem_permits <- st.sem_permits - 1;
+        grant_sem t ~tid ~sem ~now ~asked ~enq:now
+      end
+      else begin
+        st.sem_waiting <-
+          insert_sorted
+            ~stamp_of_elt:(fun (_, s, _, _) -> s)
+            (tid, stamp_of t tid, asked, now)
+            st.sem_waiting;
+        Arbiter.set_inactive t.arb ~tid
+      end);
+  Engine.Block
+
+let sem_post t ~tid ~sem =
+  Engine.advance t.engine tid (sync_cost t);
+  Arbiter.request t.arb ~tid ~grant:(fun ~now ->
+      let st = sem_state t sem in
+      (* a clean post by the thread whose crash poisoned it heals *)
+      if st.sem_poisoned && st.sem_poisoned_by = Some tid then
+        heal_sem t ~tid ~sem ~now;
+      emit_release_ev t ~tid ~obj:"sem" ~handle:sem ~now ~held_since:now;
+      let extra = t.hooks.release ~tid ~obj:(Sem_obj sem) ~now in
+      sem_set_held st tid (max 0 (sem_held_count st tid - 1));
+      (match st.sem_waiting with
+      | (waiter, _, asked, enq) :: rest ->
+        (* hand the permit straight to the lowest-stamp waiter *)
+        st.sem_waiting <- rest;
+        grant_sem t ~tid:waiter ~sem ~now:(now + extra) ~asked ~enq
+      | [] -> st.sem_permits <- st.sem_permits + 1);
+      Engine.wake t.engine ~tid ~value:0 ~not_before:(now + extra));
+  Engine.Block
+
+let sem_heal_op t ~tid ~sem =
+  Engine.advance t.engine tid (sync_cost t);
+  Arbiter.request t.arb ~tid ~grant:(fun ~now ->
+      let st = sem_state t sem in
+      if sem_held_count st tid = 0 then
+        invalid_arg
+          (Printf.sprintf "Sync.heal: tid %d holds no permit of semaphore %d"
+             tid sem);
+      heal_sem t ~tid ~sem ~now;
+      Engine.wake t.engine ~tid ~value:0 ~not_before:(now + sync_cost t));
+  Engine.Block
+
+(* --- work-stealing deques -------------------------------------------- *)
+
+let heal_deque t ~tid ~deque ~now =
+  let st = deque_state t deque in
+  if st.dq_poisoned then begin
+    st.dq_poisoned <- false;
+    st.dq_poisoned_by <- None;
+    let p = Engine.profile t.engine in
+    p.heals <- p.heals + 1;
+    emit_recovery t ~tid ~now ~action:"heal" ~target:deque ~attempt:0
+      ~cycles:0
+  end
+
+let deque_push t ~tid ~deque ~value =
+  if value < 0 then invalid_arg "Sync.deque_push: negative value";
+  Engine.advance t.engine tid (sync_cost t);
+  Arbiter.request t.arb ~tid ~grant:(fun ~now ->
+      let st = deque_state t deque in
+      if st.dq_owner <> tid then
+        invalid_arg
+          (Printf.sprintf "Sync.deque_push: tid %d does not own deque %d"
+             tid deque);
+      (* the restarted owner producing work again heals its deque *)
+      if st.dq_poisoned && st.dq_poisoned_by = Some tid then
+        heal_deque t ~tid ~deque ~now;
+      (* a push is a release: thieves must see the published item *)
+      let extra = t.hooks.release ~tid ~obj:(Deque_obj deque) ~now in
+      st.dq_items <- st.dq_items @ [ (value, stamp_of t tid) ];
+      Engine.wake t.engine ~tid ~value:0
+        ~not_before:(now + sync_cost t + extra));
+  Engine.Block
+
+let deque_pop t ~tid ~deque =
+  Engine.advance t.engine tid (sync_cost t);
+  Arbiter.request t.arb ~tid ~grant:(fun ~now ->
+      let st = deque_state t deque in
+      if st.dq_owner <> tid then
+        invalid_arg
+          (Printf.sprintf "Sync.deque_pop: tid %d does not own deque %d" tid
+             deque);
+      if st.dq_poisoned then
+        Engine.wake t.engine ~tid ~value:(-2)
+          ~not_before:(now + sync_cost t)
+      else
+        match List.rev st.dq_items with
+        | [] ->
+          Engine.wake t.engine ~tid ~value:(-1)
+            ~not_before:(now + sync_cost t)
+        | (v, _) :: older_rev ->
+          st.dq_items <- List.rev older_rev;
+          let extra = t.hooks.acquire ~tid ~obj:(Deque_obj deque) ~now in
+          Engine.wake t.engine ~tid ~value:v
+            ~not_before:(now + sync_cost t + extra));
+  Engine.Block
+
+let deque_steal t ~tid ~own =
+  Engine.advance t.engine tid (sync_cost t);
+  Arbiter.request t.arb ~tid ~grant:(fun ~now ->
+      let p = Engine.profile t.engine in
+      p.steals_attempted <- p.steals_attempted + 1;
+      (* Victim selection: the non-empty, non-poisoned deque whose
+         oldest item carries the lowest push stamp (handle breaks the
+         impossible tie) — the thief always takes the globally oldest
+         runnable work, a pure function of stamps. *)
+      let best =
+        Hashtbl.fold
+          (fun h st acc ->
+            if h = own || st.dq_poisoned then acc
+            else
+              match st.dq_items with
+              | [] -> acc
+              | (_, stamp) :: _ -> (
+                match acc with
+                | Some (bstamp, bh, _) when (bstamp, bh) <= (stamp, h) -> acc
+                | _ -> Some (stamp, h, st)))
+          t.deques None
+      in
+      match best with
+      | None ->
+        Engine.wake t.engine ~tid ~value:(-1)
+          ~not_before:(now + sync_cost t)
+      | Some (_, victim, st) ->
+        let v, _ = List.hd st.dq_items in
+        st.dq_items <- List.tl st.dq_items;
+        p.steals_succeeded <- p.steals_succeeded + 1;
+        (let o = obs t in
+         if Rfdet_obs.Sink.enabled o then
+           Rfdet_obs.Sink.emit o ~tid ~time:now
+             (Rfdet_obs.Trace.Steal
+                { deque = victim; victim = st.dq_owner; value = v }));
+        (* stealing is an acquire on the victim deque: the thief must
+           see everything published up to the push it just took *)
+        let extra = t.hooks.acquire ~tid ~obj:(Deque_obj victim) ~now in
+        Engine.wake t.engine ~tid ~value:v
+          ~not_before:(now + sync_cost t + extra));
+  Engine.Block
+
+let deque_heal_op t ~tid ~deque =
+  Engine.advance t.engine tid (sync_cost t);
+  Arbiter.request t.arb ~tid ~grant:(fun ~now ->
+      heal_deque t ~tid ~deque ~now;
+      Engine.wake t.engine ~tid ~value:0 ~not_before:(now + sync_cost t));
+  Engine.Block
+
+(* Un-poison by handle, whatever kind of object the handle names.
+   Handles are unique across kinds, so dispatch is unambiguous. *)
+let heal t ~tid ~handle =
+  if Hashtbl.mem t.mutexes handle then mutex_heal t ~tid ~mutex:handle
+  else if Hashtbl.mem t.rwlocks handle then
+    rwlock_heal_op t ~tid ~rwlock:handle
+  else if Hashtbl.mem t.sems handle then sem_heal_op t ~tid ~sem:handle
+  else if Hashtbl.mem t.deques handle then deque_heal_op t ~tid ~deque:handle
+  else invalid_arg (Printf.sprintf "Sync.heal: unknown handle %d" handle)
 
 let barrier_wait t ~tid ~barrier =
   Engine.advance t.engine tid (sync_cost t);
@@ -497,7 +985,20 @@ let on_thread_crash t ~tid =
   (* 1. Purge the crashed thread from every wait queue so no later
      hand-off resurrects it. *)
   Hashtbl.iter (fun _ st -> remove_from_queue st.queue ~tid) t.mutexes;
-  Hashtbl.iter (fun _ st -> remove_from_cond_queue st.cond_waiters ~tid) t.conds;
+  Hashtbl.iter
+    (fun _ st ->
+      st.cond_waiters <-
+        List.filter (fun (w, _, _) -> w <> tid) st.cond_waiters)
+    t.conds;
+  Hashtbl.iter
+    (fun _ st ->
+      st.rw_waiting <- List.filter (fun w -> w.rw_tid <> tid) st.rw_waiting)
+    t.rwlocks;
+  Hashtbl.iter
+    (fun _ st ->
+      st.sem_waiting <-
+        List.filter (fun (w, _, _, _) -> w <> tid) st.sem_waiting)
+    t.sems;
   Hashtbl.filter_map_inplace
     (fun _ joiners ->
       match List.filter (fun j -> j <> tid) joiners with
@@ -517,6 +1018,55 @@ let on_thread_crash t ~tid =
       st.owner <- None;
       pass_mutex t ~mutex:m ~now)
     (sorted_handles t.mutexes (fun st -> st.owner = Some tid));
+  (* 2b. Same for rwlocks the crashed thread held (as writer or reader):
+     poison, drop the hold, admit the deterministically-next batch. *)
+  List.iter
+    (fun rw ->
+      let st = rwlock_state t rw in
+      let mode = if st.rw_writer = Some tid then Wr else Rd in
+      emit_release_ev t ~tid
+        ~obj:(match mode with Wr -> "rwlock_w" | Rd -> "rwlock_r")
+        ~handle:rw ~now ~held_since:st.rw_acquired_at;
+      st.rw_poisoned <- true;
+      st.rw_poisoned_by <- Some tid;
+      (match mode with
+      | Wr -> st.rw_writer <- None
+      | Rd -> st.rw_readers <- List.filter (fun r -> r <> tid) st.rw_readers);
+      admit_rw t ~rwlock:rw ~now)
+    (sorted_handles t.rwlocks (fun st ->
+         st.rw_writer = Some tid || List.mem tid st.rw_readers));
+  (* 2c. Semaphores: permits died with their holder.  Return them (so
+     the pool keeps its capacity), poison the semaphore, and serve
+     waiters that the returned permits can now admit. *)
+  List.iter
+    (fun s ->
+      let st = sem_state t s in
+      let n = sem_held_count st tid in
+      sem_set_held st tid 0;
+      st.sem_poisoned <- true;
+      st.sem_poisoned_by <- Some tid;
+      st.sem_permits <- st.sem_permits + n;
+      let rec drain () =
+        if st.sem_permits > 0 then
+          match st.sem_waiting with
+          | (waiter, _, asked, enq) :: rest ->
+            st.sem_waiting <- rest;
+            st.sem_permits <- st.sem_permits - 1;
+            grant_sem t ~tid:waiter ~sem:s ~now ~asked ~enq;
+            drain ()
+          | [] -> ()
+      in
+      drain ())
+    (sorted_handles t.sems (fun st -> sem_held_count st tid > 0));
+  (* 2d. Deques the crashed thread owned are poisoned: their queued work
+     may be half-constructed, so pops/steals observe the poison until a
+     heal (or the restarted owner pushing again) vouches for it. *)
+  List.iter
+    (fun dq ->
+      let st = deque_state t dq in
+      st.dq_poisoned <- true;
+      st.dq_poisoned_by <- Some tid)
+    (sorted_handles t.deques (fun st -> st.dq_owner = tid));
   (* 3. Break every barrier the crashed thread was a party to (it has
      waited there at least once): release the stranded waiters with an
      error now, and fail all future waits.  Without this, survivors of
@@ -566,7 +1116,20 @@ let on_thread_crash_recoverable t ~tid =
     |> List.sort compare
   in
   Hashtbl.iter (fun _ st -> remove_from_queue st.queue ~tid) t.mutexes;
-  Hashtbl.iter (fun _ st -> remove_from_cond_queue st.cond_waiters ~tid) t.conds;
+  Hashtbl.iter
+    (fun _ st ->
+      st.cond_waiters <-
+        List.filter (fun (w, _, _) -> w <> tid) st.cond_waiters)
+    t.conds;
+  Hashtbl.iter
+    (fun _ st ->
+      st.rw_waiting <- List.filter (fun w -> w.rw_tid <> tid) st.rw_waiting)
+    t.rwlocks;
+  Hashtbl.iter
+    (fun _ st ->
+      st.sem_waiting <-
+        List.filter (fun (w, _, _, _) -> w <> tid) st.sem_waiting)
+    t.sems;
   Hashtbl.filter_map_inplace
     (fun _ joiners ->
       match List.filter (fun j -> j <> tid) joiners with
@@ -586,6 +1149,47 @@ let on_thread_crash_recoverable t ~tid =
       st.owner <- None;
       pass_mutex t ~mutex:m ~now)
     (sorted_handles t.mutexes (fun st -> st.owner = Some tid));
+  List.iter
+    (fun rw ->
+      let st = rwlock_state t rw in
+      let mode = if st.rw_writer = Some tid then Wr else Rd in
+      emit_release_ev t ~tid
+        ~obj:(match mode with Wr -> "rwlock_w" | Rd -> "rwlock_r")
+        ~handle:rw ~now ~held_since:st.rw_acquired_at;
+      st.rw_poisoned <- true;
+      st.rw_poisoned_by <- Some tid;
+      (match mode with
+      | Wr -> st.rw_writer <- None
+      | Rd -> st.rw_readers <- List.filter (fun r -> r <> tid) st.rw_readers);
+      admit_rw t ~rwlock:rw ~now)
+    (sorted_handles t.rwlocks (fun st ->
+         st.rw_writer = Some tid || List.mem tid st.rw_readers));
+  List.iter
+    (fun s ->
+      let st = sem_state t s in
+      let n = sem_held_count st tid in
+      sem_set_held st tid 0;
+      st.sem_poisoned <- true;
+      st.sem_poisoned_by <- Some tid;
+      st.sem_permits <- st.sem_permits + n;
+      let rec drain () =
+        if st.sem_permits > 0 then
+          match st.sem_waiting with
+          | (waiter, _, asked, enq) :: rest ->
+            st.sem_waiting <- rest;
+            st.sem_permits <- st.sem_permits - 1;
+            grant_sem t ~tid:waiter ~sem:s ~now ~asked ~enq;
+            drain ()
+          | [] -> ()
+      in
+      drain ())
+    (sorted_handles t.sems (fun st -> sem_held_count st tid > 0));
+  List.iter
+    (fun dq ->
+      let st = deque_state t dq in
+      st.dq_poisoned <- true;
+      st.dq_poisoned_by <- Some tid)
+    (sorted_handles t.deques (fun st -> st.dq_owner = tid));
   Arbiter.poll t.arb
 
 (* The restarted tid rejoins the arbiter's active set with its preserved
@@ -607,6 +1211,38 @@ let deadlock_victim t =
       | Some o -> Queue.iter (fun (w, _, _) -> Hashtbl.replace next w o) st.queue
       | None -> ())
     t.mutexes;
+  Hashtbl.iter
+    (fun _ st ->
+      (* A blocked rwlock waiter waits on the writer when one holds the
+         lock, else on the lowest-tid reader — one representative edge
+         keeps the graph functional while still exposing the cycle. *)
+      let holder =
+        match st.rw_writer with
+        | Some w -> Some w
+        | None -> (
+          match List.sort compare st.rw_readers with
+          | r :: _ -> Some r
+          | [] -> None)
+      in
+      match holder with
+      | Some h ->
+        List.iter (fun w -> Hashtbl.replace next w.rw_tid h) st.rw_waiting
+      | None -> ())
+    t.rwlocks;
+  Hashtbl.iter
+    (fun _ st ->
+      (* A blocked semaphore waiter waits on the lowest-tid permit
+         holder, when there is one. *)
+      match
+        List.sort compare
+          (List.filter_map
+             (fun (h, n) -> if n > 0 then Some h else None)
+             st.sem_held)
+      with
+      | h :: _ ->
+        List.iter (fun (w, _, _, _) -> Hashtbl.replace next w h) st.sem_waiting
+      | [] -> ())
+    t.sems;
   Hashtbl.iter
     (fun target joiners ->
       List.iter (fun j -> Hashtbl.replace next j target) joiners)
@@ -664,5 +1300,31 @@ let joining_target t ~tid =
     t.joiners None
 
 let waiters t ~cond =
-  Queue.fold (fun acc (tid, _) -> tid :: acc) [] (cond_state t cond).cond_waiters
-  |> List.rev
+  List.map (fun (tid, _, _) -> tid) (cond_state t cond).cond_waiters
+
+let rw_holders t ~rwlock =
+  let st = rwlock_state t rwlock in
+  match st.rw_writer with
+  | Some w -> `Writer w
+  | None -> (
+    match st.rw_readers with [] -> `Free | rs -> `Readers (List.sort compare rs))
+
+let rw_waiters t ~rwlock =
+  List.map
+    (fun w -> (w.rw_tid, match w.rw_mode with Rd -> `Rd | Wr -> `Wr))
+    (rwlock_state t rwlock).rw_waiting
+
+let rwlock_poisoned t ~rwlock = (rwlock_state t rwlock).rw_poisoned
+
+let sem_permits t ~sem = (sem_state t sem).sem_permits
+
+let sem_waiters t ~sem =
+  List.map (fun (tid, _, _, _) -> tid) (sem_state t sem).sem_waiting
+
+let sem_poisoned t ~sem = (sem_state t sem).sem_poisoned
+
+let deque_owner t ~deque = (deque_state t deque).dq_owner
+
+let deque_size t ~deque = List.length (deque_state t deque).dq_items
+
+let deque_poisoned t ~deque = (deque_state t deque).dq_poisoned

@@ -23,6 +23,9 @@ type obj =
   | Barrier_obj of int
   | Thread_obj of int  (** create/exit/join synchronization *)
   | Atomic_obj of int  (** low-level atomic word, keyed by address *)
+  | Rwlock_obj of int  (** reader–writer lock (shared or exclusive) *)
+  | Sem_obj of int  (** counting semaphore *)
+  | Deque_obj of int  (** work-stealing deque (push releases, pop/steal acquire) *)
 
 type hooks = {
   acquire : tid:int -> obj:obj -> now:int -> int;
@@ -87,9 +90,18 @@ val cond_create : t -> tid:int -> Rfdet_sim.Engine.outcome
 
 val cond_wait : t -> tid:int -> cond:int -> mutex:int -> Rfdet_sim.Engine.outcome
 
-val cond_signal : t -> tid:int -> cond:int -> Rfdet_sim.Engine.outcome
+val cond_signal : ?lose:bool -> t -> tid:int -> cond:int -> Rfdet_sim.Engine.outcome
+(** Wake the *lowest-stamp* waiter — deterministic, not FIFO: the waiter
+    whose [cond_wait] carried the smallest (icount, tid) Kendo stamp is
+    chosen, so the wakeup order is a pure function of the waiters' logical
+    times.  A signal with no waiters is counted in
+    [Profile.cond_unheard_signals] (lost-wakeup diagnostics).  [?lose]
+    (default false) is the seeded [bug_lost_signal] fault: the signal
+    takes its deterministic turn but the wakeup is swallowed — the waiter
+    stays queued, modelling the classic lost-wakeup bug. *)
 
 val cond_broadcast : t -> tid:int -> cond:int -> Rfdet_sim.Engine.outcome
+(** Wake every waiter, in ascending stamp order. *)
 
 val barrier_create : t -> tid:int -> parties:int -> Rfdet_sim.Engine.outcome
 
@@ -98,6 +110,67 @@ val barrier_wait : t -> tid:int -> barrier:int -> Rfdet_sim.Engine.outcome
 val spawn : t -> tid:int -> body:(unit -> unit) -> Rfdet_sim.Engine.outcome
 
 val join : t -> tid:int -> target:int -> Rfdet_sim.Engine.outcome
+
+(** {2 Reader–writer locks}
+
+    Deterministic admission: all blocked requests sit in one queue sorted
+    by Kendo stamp.  An arriving reader acquires immediately only when no
+    writer holds the lock and no writer is waiting (stamp-ordered writer
+    preference); an arriving writer acquires only when the lock is
+    entirely free.  On full release, the queue head is admitted — a
+    writer alone, or the consecutive run of readers at the head as one
+    batch ([Profile.rw_reader_batches] / [rw_batch_readers]). *)
+
+val rwlock_create : t -> tid:int -> Rfdet_sim.Engine.outcome
+
+val rdlock : t -> tid:int -> rwlock:int -> Rfdet_sim.Engine.outcome
+
+val wrlock : t -> tid:int -> rwlock:int -> Rfdet_sim.Engine.outcome
+
+val rwunlock : t -> tid:int -> rwlock:int -> Rfdet_sim.Engine.outcome
+(** Release the caller's hold (shared or exclusive — detected; raises
+    [Invalid_argument] when the caller holds neither).  A clean release
+    by the thread whose earlier crash poisoned the lock heals it. *)
+
+(** {2 Counting semaphores} *)
+
+val sem_create : t -> tid:int -> permits:int -> Rfdet_sim.Engine.outcome
+
+val sem_acquire : t -> tid:int -> sem:int -> Rfdet_sim.Engine.outcome
+(** P: grants a permit when available, else queues in stamp order. *)
+
+val sem_post : t -> tid:int -> sem:int -> Rfdet_sim.Engine.outcome
+(** V: hands the permit directly to the lowest-stamp waiter when one is
+    queued (no release-then-race), else increments the pool.  A post by
+    the thread whose crash poisoned the semaphore heals it. *)
+
+(** {2 Work-stealing deques} *)
+
+val deque_create : t -> tid:int -> Rfdet_sim.Engine.outcome
+(** The new deque is owned by [tid]; only the owner may push/pop. *)
+
+val deque_push :
+  t -> tid:int -> deque:int -> value:int -> Rfdet_sim.Engine.outcome
+(** Owner pushes [value] at the bottom, stamped with the owner's Kendo
+    time (a release point).  A push by the restarted owner of a poisoned
+    deque heals it. *)
+
+val deque_pop : t -> tid:int -> deque:int -> Rfdet_sim.Engine.outcome
+(** Owner pops the newest item (LIFO); wakes with the value, -1 when
+    empty, -2 when poisoned. *)
+
+val deque_steal : t -> tid:int -> own:int -> Rfdet_sim.Engine.outcome
+(** Steal the globally oldest item: deterministic victim selection — the
+    non-empty, non-poisoned deque (excluding [own]) whose oldest item
+    has the smallest (push stamp, handle).  Wakes with the value, or -1
+    when no victim exists.  Counted in [Profile.steals_attempted] /
+    [steals_succeeded] and traced as a [Steal] event. *)
+
+val heal : t -> tid:int -> handle:int -> Rfdet_sim.Engine.outcome
+(** Unified heal: dispatches on the handle's kind (handles are unique
+    across mutexes, rwlocks, semaphores and deques).  Mutexes, rwlocks
+    and semaphores require the caller to hold the object; anyone may
+    heal a poisoned deque (the owner is dead). *)
 
 val rmw :
   t -> tid:int -> action:(now:int -> int * int) -> Rfdet_sim.Engine.outcome
@@ -118,8 +191,12 @@ val on_thread_crash : t -> tid:int -> unit
     which observes [`Poisoned] from [Api.lock_check], (3) breaks every
     barrier the thread was a party to (had ever waited on), waking
     stranded parties with [`Broken] and failing all future waits on it,
-    and (4) completes current and future joins on the crashed thread
-    with [`Crashed]. *)
+    (4) completes current and future joins on the crashed thread
+    with [`Crashed], (5) poisons and releases its rwlock holds (then
+    admits the next stamp-ordered batch), (6) returns its semaphore
+    permits as poisoned (then drains waiters against them), and
+    (7) poisons the deques it owned — queued work stays visible and
+    becomes stealable again after [Api.deque_heal]. *)
 
 val on_thread_crash_recoverable : t -> tid:int -> unit
 (** Crash cleanup for a thread that will be *restarted* (the Recover
@@ -134,7 +211,9 @@ val on_thread_restarted : t -> tid:int -> unit
     instruction count).  Call before the restarted body first runs. *)
 
 val deadlock_victim : t -> int option
-(** Wait-for-graph cycle detection: mutex-queue waiter → owner and
+(** Wait-for-graph cycle detection: mutex-queue waiter → owner,
+    rwlock waiter → holder (the writer, else the lowest-tid reader),
+    semaphore waiter → lowest-tid permit holder, and
     joiner → target edges.  Returns the deterministic victim — the
     cycle node with the smallest (icount, tid) — or [None] when the
     stall is not a cycle (e.g. a lone cond_wait nobody will signal).
@@ -172,3 +251,26 @@ val waiters : t -> cond:int -> int list
     touches memory again, so the target's time is a sound lower bound on
     the joiner's future frontier contribution. *)
 val joining_target : t -> tid:int -> int option
+
+(** {2 Primitive-state accessors (tests and diagnostics)} *)
+
+(** [rw_holders t ~rwlock] — who holds the lock right now. *)
+val rw_holders : t -> rwlock:int -> [ `Free | `Writer of int | `Readers of int list ]
+
+(** [rw_waiters t ~rwlock] — blocked requests in stamp order. *)
+val rw_waiters : t -> rwlock:int -> (int * [ `Rd | `Wr ]) list
+
+val rwlock_poisoned : t -> rwlock:int -> bool
+
+val sem_permits : t -> sem:int -> int
+
+(** [sem_waiters t ~sem] — blocked acquirers in stamp order. *)
+val sem_waiters : t -> sem:int -> int list
+
+val sem_poisoned : t -> sem:int -> bool
+
+val deque_owner : t -> deque:int -> int
+
+val deque_size : t -> deque:int -> int
+
+val deque_poisoned : t -> deque:int -> bool

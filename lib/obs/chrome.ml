@@ -100,6 +100,7 @@ let export ?(process = "rfdet") events =
             ~ts:(e.time - wait) ~tid:e.tid ~dur:wait ~args ();
         instant "sync"
       | Trace.Lock_release _ -> instant "sync"
+      | Trace.Steal _ -> instant "sync"
       | Trace.Slice_open -> instant "slice"
       | Trace.Snapshot _ -> instant "monitor"
       | Trace.Prop_page _ -> instant "propagation"

@@ -8,6 +8,7 @@ type kind =
   | Gc of { examined : int; freed : int; cycles : int }
   | Lock_acquire of { obj : string; handle : int; wait : int; queued : int }
   | Lock_release of { obj : string; handle : int; hold : int }
+  | Steal of { deque : int; victim : int; value : int }
   | Kendo_wait of { cycles : int }
   | Barrier_stall of { barrier : int; cycles : int }
   | Fault of { op : string; action : string }
@@ -33,6 +34,7 @@ let kind_name = function
   | Gc _ -> "gc"
   | Lock_acquire _ -> "lock_acquire"
   | Lock_release _ -> "lock_release"
+  | Steal _ -> "steal"
   | Kendo_wait _ -> "kendo_wait"
   | Barrier_stall _ -> "barrier_stall"
   | Fault _ -> "fault"
@@ -50,8 +52,8 @@ let cycles_of = function
   | Barrier_stall { cycles; _ }
   | Recovery { cycles; _ } -> cycles
   | Lock_acquire { wait; _ } -> wait
-  | Lock_release _ | Slice_open | Prop_page _ | Fault _ | Thread_exit
-  | Thread_crash -> 0
+  | Lock_release _ | Steal _ | Slice_open | Prop_page _ | Fault _
+  | Thread_exit | Thread_crash -> 0
 
 (* --- serialization --------------------------------------------------- *)
 
@@ -84,6 +86,9 @@ let fields_of_kind = function
   | Lock_release { obj; handle; hold } ->
     [ ("obj", obj); ("handle", string_of_int handle);
       ("hold", string_of_int hold) ]
+  | Steal { deque; victim; value } ->
+    [ ("deque", string_of_int deque); ("victim", string_of_int victim);
+      ("value", string_of_int value) ]
   | Kendo_wait { cycles } -> [ ("cycles", string_of_int cycles) ]
   | Barrier_stall { barrier; cycles } ->
     [ ("barrier", string_of_int barrier); ("cycles", string_of_int cycles) ]
@@ -227,6 +232,10 @@ let kind_of_parts name parts =
         let* hold = int_of hold in
         Ok (Lock_release { obj; handle; hold })
     | _ -> assert false)
+  | "steal" ->
+    ints [ "deque"; "victim"; "value" ] (function
+      | [ deque; victim; value ] -> Ok (Steal { deque; victim; value })
+      | _ -> assert false)
   | "kendo_wait" ->
     ints [ "cycles" ] (function
       | [ cycles ] -> Ok (Kendo_wait { cycles })

@@ -50,6 +50,9 @@ type kind =
           object's wait queue after the deterministic turn was granted *)
   | Lock_release of { obj : string; handle : int; hold : int }
       (** released after holding for [hold] cycles *)
+  | Steal of { deque : int; victim : int; value : int }
+      (** the emitting thread stole [value] from [victim]'s deque
+          [deque] — the deterministic lowest-stamp victim *)
   | Kendo_wait of { cycles : int }
       (** the arbiter made the thread wait for its deterministic turn;
           stamped at the time the turn was requested *)

@@ -1,0 +1,353 @@
+module Api = Rfdet_sim.Api
+module Metrics = Rfdet_obs.Metrics
+module Breaker = Resilience.Breaker
+
+type params = {
+  workers : int;
+  shards : int;
+  traffic : Traffic.params;
+  deadline : int;
+  failure_threshold : int;
+  cooldown : int;
+  half_open_successes : int;
+  stale_cost : int;
+}
+
+let default =
+  {
+    workers = Server.default.Server.workers;
+    shards = Server.default.Server.shards;
+    traffic = Traffic.default;
+    deadline = Server.default.Server.deadline;
+    failure_threshold = Server.default.Server.failure_threshold;
+    cooldown = Server.default.Server.cooldown;
+    half_open_successes = Server.default.Server.half_open_successes;
+    stale_cost = Server.default.Server.stale_cost;
+  }
+
+type report = {
+  total : int;
+  puts : int;
+  puts_served : int;
+  puts_timed_out : int;
+  gets : int;
+  gets_served : int;
+  gets_stale : int;
+  failed_over : int;
+  breaker_transitions : int;
+  checksum : int;
+  read_digest : int;
+  makespan : int;
+  p50 : int;
+  p99 : int;
+}
+
+let mix = Kvstore.mix
+
+(* progress word: (virtual clock lsl 21) lor put cursor — the same
+   commit discipline as [Server], minus the retry machinery *)
+let cursor_bits = 21
+
+let cursor_mask = (1 lsl cursor_bits) - 1
+
+let owner p shard = shard mod p.workers
+
+(* The read-heavy variant trades the per-shard stripe mutex for a
+   per-shard reader–writer lock and work-stealing deques:
+
+   - Puts keep the base server's shard->owner affinity and run first,
+     under the shard's write lock, with per-request deadlines and the
+     shard breaker fed exactly as in [Server] — so the final table, the
+     breaker words, the timeout counts and each worker's virtual clock
+     are per-worker sequential programs, identical under every runtime
+     and schedule.
+   - Gets are seeded round-robin into per-worker deques before the put
+     phase, and served after it: owners pop their own deque (LIFO) and
+     steal from peers once dry, reading under the shard's read lock, or
+     through the lock-free stale word while the shard's breaker is
+     open.  Which worker serves which get is stamp arbitration, but
+     every observable is a commutative fold over the frozen table, so
+     the signature cannot depend on the steal order.
+   - The phase gate is a mutex+condvar broadcast; workers checkpoint
+     just past their deque setup, so a crashed worker restarts, replays
+     its put stream from the committed cursor, re-arrives at the gate
+     and heals whatever its crash poisoned.  Workers that die before
+     the checkpoint are drained by the main thread (failover), stolen
+     work included. *)
+let run ~seed p =
+  if p.workers < 1 || p.shards < p.workers then
+    invalid_arg "Rwserve.run: need workers >= 1 and shards >= workers";
+  let reqs = Traffic.generate ~seed p.traffic in
+  let store = Kvstore.create ~shards:p.shards ~keys:p.traffic.Traffic.keys in
+  let rwlocks = Array.init p.shards (fun _ -> Api.rwlock_create ()) in
+  let breakers = Api.malloc (8 * p.shards) in
+  for s = 0 to p.shards - 1 do
+    Api.store (breakers + (8 * s)) Breaker.empty
+  done;
+  let progress = Api.malloc (8 * p.workers) in
+  let dq_words = Api.malloc (8 * p.workers) in
+  for w = 0 to p.workers - 1 do
+    Api.store (progress + (8 * w)) 0;
+    Api.store (dq_words + (8 * w)) 0
+  done;
+  (* split the stream: puts by shard affinity, gets round-robin *)
+  let puts =
+    Array.of_list
+      (List.filter
+         (fun (r : Traffic.request) ->
+           match r.Traffic.op with Traffic.Put _ -> true | Traffic.Get -> false)
+         (Array.to_list reqs))
+  in
+  let gets =
+    Array.of_list
+      (List.filter
+         (fun (r : Traffic.request) -> r.Traffic.op = Traffic.Get)
+         (Array.to_list reqs))
+  in
+  let puts_of =
+    Array.init p.workers (fun w ->
+        Array.of_list
+          (List.filter
+             (fun (r : Traffic.request) ->
+               owner p (Kvstore.shard_of store r.Traffic.key) = w)
+             (Array.to_list puts)))
+  in
+  Array.iter
+    (fun part ->
+      if Array.length part > cursor_mask then
+        invalid_arg "Rwserve.run: put stream exceeds the progress cursor")
+    puts_of;
+  (* host accumulators; phase-2 folds are commutative on purpose *)
+  let put_served = Array.make p.workers 0 in
+  let put_timed_out = Array.make p.workers 0 in
+  let get_served = Array.make p.workers 0 in
+  let get_stale = Array.make p.workers 0 in
+  let read_sums = Array.make p.workers 0 in
+  let latencies = Array.init p.workers (fun _ -> ref []) in
+  (* mutex+condvar phase gate: the last worker in broadcasts *)
+  let gate_m = Api.mutex_create () in
+  let gate_c = Api.cond_create () in
+  let gate_done = Api.malloc 8 in
+  Api.store gate_done 0;
+
+  (* the previous holder died mid-hold: single-word table writes keep
+     the store consistent, so heal and carry on (cf. Server.attempt) *)
+  let wr_locked rw f =
+    (match Api.wrlock_check rw with
+    | `Ok -> ()
+    | `Poisoned -> Api.rwlock_heal rw);
+    let v = f () in
+    Api.rwunlock rw;
+    v
+  in
+  let rd_locked rw f =
+    (match Api.rdlock_check rw with
+    | `Ok -> ()
+    | `Poisoned -> Api.rwlock_heal rw);
+    let v = f () in
+    Api.rwunlock rw;
+    v
+  in
+  let serve_get w (r : Traffic.request) =
+    let shard = Kvstore.shard_of store r.Traffic.key in
+    let b = Api.load (breakers + (8 * shard)) in
+    if Breaker.state b = Breaker.Open then begin
+      let v = Kvstore.stale_get store ~shard in
+      read_sums.(w) <- read_sums.(w) + mix r.Traffic.key v;
+      get_stale.(w) <- get_stale.(w) + 1
+    end
+    else begin
+      let v = rd_locked rwlocks.(shard) (fun () -> Kvstore.get store r.Traffic.key) in
+      read_sums.(w) <- read_sums.(w) + mix r.Traffic.key v;
+      get_served.(w) <- get_served.(w) + 1
+    end
+  in
+  let put_phase w =
+    let reqs_w = puts_of.(w) in
+    let prog_addr = progress + (8 * w) in
+    let pw = Api.atomic_load prog_addr in
+    let start = pw land cursor_mask in
+    let now = ref (pw lsr cursor_bits) in
+    for i = start to Array.length reqs_w - 1 do
+      let r = reqs_w.(i) in
+      let shard = Kvstore.shard_of store r.Traffic.key in
+      let b_addr = breakers + (8 * shard) in
+      if r.Traffic.arrival > !now then now := r.Traffic.arrival;
+      let b = ref (Api.load b_addr) in
+      let update (b', _) = b := b' in
+      update (Breaker.tick !b ~now:!now ~cooldown:p.cooldown);
+      let timed_out = !now - r.Traffic.arrival > p.deadline in
+      if timed_out then
+        update
+          (Breaker.on_failure !b ~now:!now
+             ~failure_threshold:p.failure_threshold)
+      else begin
+        (match r.Traffic.op with
+        | Traffic.Put v ->
+          wr_locked rwlocks.(shard) (fun () -> Kvstore.put store r.Traffic.key v)
+        | Traffic.Get -> assert false);
+        now := !now + r.Traffic.cost;
+        update
+          (Breaker.on_success !b ~now:!now
+             ~half_open_successes:p.half_open_successes)
+      end;
+      Api.store b_addr !b;
+      (* commit, then account on the host — a replayed request can
+         never have been counted *)
+      Api.atomic_store prog_addr ((!now lsl cursor_bits) lor (i + 1));
+      if timed_out then put_timed_out.(w) <- put_timed_out.(w) + 1
+      else begin
+        put_served.(w) <- put_served.(w) + 1;
+        latencies.(w) := (!now - r.Traffic.arrival) :: !(latencies.(w))
+      end
+    done
+  in
+  let read_phase w d =
+    let rec drain_own () =
+      match Api.deque_pop d with
+      | `Item i ->
+        serve_get w gets.(i);
+        drain_own ()
+      | `Poisoned ->
+        Api.deque_heal d;
+        drain_own ()
+      | `Empty -> ()
+    in
+    let rec drain_steal () =
+      match Api.deque_steal ~own:d () with
+      | `Item i ->
+        serve_get w gets.(i);
+        drain_steal ()
+      | `Empty -> ()
+    in
+    drain_own ();
+    drain_steal ()
+  in
+  let tids =
+    List.init p.workers (fun w ->
+        Api.spawn (fun () ->
+            let d = Api.deque_create () in
+            Api.store (dq_words + (8 * w)) (d :> int);
+            let n = Array.length gets in
+            let i = ref w in
+            while !i < n do
+              Api.deque_push d !i;
+              i := !i + p.workers
+            done;
+            let work () =
+              put_phase w;
+              Api.lock gate_m;
+              Api.store gate_done (Api.load gate_done + 1);
+              if Api.load gate_done >= p.workers then Api.cond_broadcast gate_c
+              else
+                while Api.load gate_done < p.workers do
+                  Api.cond_wait gate_c gate_m
+                done;
+              Api.unlock gate_m;
+              read_phase w d
+            in
+            Api.checkpoint work;
+            work ()))
+  in
+  let crashed =
+    List.mapi (fun w tid -> (w, Api.join_check tid)) tids
+    |> List.filter_map (fun (w, st) -> if st = `Crashed then Some w else None)
+  in
+  (* failover: apply the dead workers' uncommitted puts (write lock,
+     healing on the way), then steal their leftover gets *)
+  let failed_over = ref 0 in
+  List.iter
+    (fun w ->
+      let reqs_w = puts_of.(w) in
+      let cursor = Api.atomic_load (progress + (8 * w)) land cursor_mask in
+      for i = cursor to Array.length reqs_w - 1 do
+        let r = reqs_w.(i) in
+        let shard = Kvstore.shard_of store r.Traffic.key in
+        (match r.Traffic.op with
+        | Traffic.Put v ->
+          wr_locked rwlocks.(shard) (fun () -> Kvstore.put store r.Traffic.key v)
+        | Traffic.Get -> assert false);
+        incr failed_over
+      done;
+      let dw = Api.load (dq_words + (8 * w)) in
+      if dw > 0 then Api.deque_heal (Api.Handle.deque_of_int dw))
+    crashed;
+  if crashed <> [] then begin
+    let rec drain () =
+      match Api.deque_steal () with
+      | `Item i ->
+        serve_get 0 gets.(i);
+        incr failed_over;
+        drain ()
+      | `Empty -> ()
+    in
+    drain ()
+  end;
+  (* aggregate *)
+  let sum a = Array.fold_left ( + ) 0 a in
+  let m = Metrics.create () in
+  Array.iter
+    (fun l -> List.iter (Metrics.observe m "rwserve.latency") !l)
+    latencies;
+  let latency =
+    match Metrics.histogram m "rwserve.latency" with
+    | Some s -> s
+    | None -> { Metrics.count = 0; sum = 0; min = 0; max = 0; buckets = [] }
+  in
+  let p50 = Metrics.quantile latency 0.5 in
+  let p99 = Metrics.quantile latency 0.99 in
+  let transitions = ref 0 in
+  for s = 0 to p.shards - 1 do
+    transitions :=
+      !transitions + Breaker.transitions (Api.load (breakers + (8 * s)))
+  done;
+  let makespan = ref 0 in
+  for w = 0 to p.workers - 1 do
+    let clk = Api.atomic_load (progress + (8 * w)) lsr cursor_bits in
+    if clk > !makespan then makespan := clk
+  done;
+  let r =
+    {
+      total = Array.length reqs;
+      puts = Array.length puts;
+      puts_served = sum put_served;
+      puts_timed_out = sum put_timed_out;
+      gets = Array.length gets;
+      gets_served = sum get_served;
+      gets_stale = sum get_stale;
+      failed_over = !failed_over;
+      breaker_transitions = !transitions;
+      checksum = Kvstore.checksum store;
+      read_digest = sum read_sums;
+      makespan = !makespan;
+      p50;
+      p99;
+    }
+  in
+  List.iter Api.output_int
+    [
+      r.total; r.puts_served; r.puts_timed_out; r.gets_served; r.gets_stale;
+      r.failed_over; r.breaker_transitions; r.checksum; r.read_digest;
+      r.makespan; r.p50; r.p99;
+    ];
+  Api.server_mark ~n:(r.puts_served + r.gets_served) Rfdet_sim.Op.Sv_served;
+  Api.server_mark ~n:r.puts_timed_out Rfdet_sim.Op.Sv_timed_out;
+  Api.server_mark ~n:r.gets_stale Rfdet_sim.Op.Sv_stale_read;
+  Api.server_mark ~n:r.breaker_transitions Rfdet_sim.Op.Sv_breaker_transition;
+  r
+
+let render r =
+  let b = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt
+  in
+  line "requests        %10d  (%d puts, %d gets)" r.total r.puts r.gets;
+  line "  puts served   %10d" r.puts_served;
+  line "  puts timed out%10d" r.puts_timed_out;
+  line "  gets served   %10d" r.gets_served;
+  line "  gets stale    %10d" r.gets_stale;
+  line "  failed over   %10d" r.failed_over;
+  line "breaker flips   %10d" r.breaker_transitions;
+  line "put makespan    %10d cycles" r.makespan;
+  line "put latency     p50 %d  p99 %d" r.p50 r.p99;
+  line "signature parts: table=%08x reads=%08x" r.checksum r.read_digest;
+  Buffer.contents b

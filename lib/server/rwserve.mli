@@ -1,0 +1,58 @@
+(** The read-heavy rwlock+deque variant of the KV server.
+
+    Per-shard reader–writer locks replace the stripe mutexes, and the
+    read traffic is distributed through per-worker work-stealing deques:
+    puts run first (shard->owner affinity, write locks, deadlines and
+    breakers as in [Server]), a mutex+condvar gate separates the phases,
+    then gets drain owner-pop / peer-steal under read locks — or through
+    the lock-free stale word while a shard's breaker is open.
+
+    Every phase-2 observable is a commutative fold over the frozen
+    table, so the report is bit-identical whatever runtime, schedule or
+    steal order served each get.  Crashed workers restart from the
+    checkpoint past their deque setup (replaying puts from the committed
+    cursor and healing poisoned locks), or are drained by the main
+    thread when they die before it.
+
+    [run] must be called from the simulated main thread. *)
+
+type params = {
+  workers : int;
+  shards : int;  (** must be >= workers; shard s is owned by worker
+                     [s mod workers] *)
+  traffic : Traffic.params;
+  deadline : int;  (** per-put budget from arrival, virtual cycles *)
+  failure_threshold : int;
+  cooldown : int;
+  half_open_successes : int;
+  stale_cost : int;
+}
+
+val default : params
+(** [Server.default]'s figures, minus the retry machinery (a blocking
+    write lock has no timeout to retry around). *)
+
+type report = {
+  total : int;
+  puts : int;
+  puts_served : int;
+  puts_timed_out : int;
+  gets : int;
+  gets_served : int;
+  gets_stale : int;  (** read through the stale word, breaker open *)
+  failed_over : int;  (** drained by the main thread after a crash *)
+  breaker_transitions : int;
+  checksum : int;  (** table digest after all joins *)
+  read_digest : int;  (** commutative digest over every get *)
+  makespan : int;  (** max worker virtual clock, put phase *)
+  p50 : int;  (** put latency quantiles *)
+  p99 : int;
+}
+
+val run : seed:int64 -> params -> report
+(** Generate traffic, apply the puts, broadcast the phase gate, steal
+    the gets dry, and emit the report's key figures as observable
+    outputs — so any divergence changes the run signature. *)
+
+val render : report -> string
+(** The [rfdet serve --rw] console report. *)

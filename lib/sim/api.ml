@@ -4,6 +4,12 @@ type cond = int
 
 type barrier = int
 
+type rwlock = int
+
+type sem = int
+
+type deque = int
+
 type tid = int
 
 type _ Effect.t += Op : Op.t -> int Effect.t
@@ -64,6 +70,73 @@ let barrier_wait b = ignore (perform_op (Barrier_wait b))
 let barrier_wait_check b =
   if perform_op (Barrier_wait b) = 0 then `Ok else `Broken
 
+let rwlock_create () = perform_op Rwlock_create
+
+let rdlock rw = ignore (perform_op (Rdlock rw))
+
+let rdlock_check rw = if perform_op (Rdlock rw) = 0 then `Ok else `Poisoned
+
+let wrlock rw = ignore (perform_op (Wrlock rw))
+
+let wrlock_check rw = if perform_op (Wrlock rw) = 0 then `Ok else `Poisoned
+
+let rwunlock rw = ignore (perform_op (Rwunlock rw))
+
+(* Poisoned rwlocks and semaphores share the mutex heal path: handles
+   are unique across object kinds, and the runtime's heal dispatches on
+   the handle's kind. *)
+let rwlock_heal rw = ignore (perform_op (Mutex_heal rw))
+
+let sem_create permits = perform_op (Sem_create permits)
+
+let sem_acquire s = ignore (perform_op (Sem_acquire s))
+
+let sem_acquire_check s =
+  if perform_op (Sem_acquire s) = 0 then `Ok else `Poisoned
+
+let sem_post s = ignore (perform_op (Sem_post s))
+
+let sem_heal s = ignore (perform_op (Mutex_heal s))
+
+let deque_create () = perform_op Deque_create
+
+let deque_push dq v =
+  if v < 0 then invalid_arg "Api.deque_push: negative value";
+  ignore (perform_op (Deque_push { deque = dq; value = v }))
+
+let deque_pop dq =
+  match perform_op (Deque_pop dq) with
+  | -1 -> `Empty
+  | -2 -> `Poisoned
+  | v -> `Item v
+
+let deque_steal ?(own = 0) () =
+  match perform_op (Deque_steal own) with
+  | -1 -> `Empty
+  | v -> `Item v
+
+let deque_heal dq = ignore (perform_op (Mutex_heal dq))
+
+let with_rdlock rw f =
+  rdlock rw;
+  match f () with
+  | v ->
+    rwunlock rw;
+    v
+  | exception e ->
+    rwunlock rw;
+    raise e
+
+let with_wrlock rw f =
+  wrlock rw;
+  match f () with
+  | v ->
+    rwunlock rw;
+    v
+  | exception e ->
+    rwunlock rw;
+    raise e
+
 let atomic_load addr = perform_op (Atomic { addr; rmw = A_load })
 
 let atomic_store addr v = ignore (perform_op (Atomic { addr; rmw = A_store v }))
@@ -110,4 +183,10 @@ module Handle = struct
   let cond_of_int i = i
 
   let barrier_of_int i = i
+
+  let rwlock_of_int i = i
+
+  let sem_of_int i = i
+
+  let deque_of_int i = i
 end

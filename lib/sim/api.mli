@@ -17,6 +17,12 @@ type cond = private int
 
 type barrier = private int
 
+type rwlock = private int
+
+type sem = private int
+
+type deque = private int
+
 type tid = int
 
 type _ Effect.t += Op : Op.t -> int Effect.t
@@ -94,6 +100,84 @@ val barrier_wait_check : barrier -> [ `Ok | `Broken ]
     the barrier (now or earlier) — the wait completes immediately
     instead of deadlocking. *)
 
+(** {1 Reader–writer locks}
+
+    Shared/exclusive locks with deterministic, Kendo-stamped admission:
+    waiting requests are served in stamp order, waiting readers are
+    admitted as one batch up to the first waiting writer, and a reader
+    arriving after a writer started waiting queues behind it (stamp-
+    ordered writer preference). *)
+
+val rwlock_create : unit -> rwlock
+
+val rdlock : rwlock -> unit
+
+val rdlock_check : rwlock -> [ `Ok | `Poisoned ]
+(** Like [rdlock], but reports whether a crashed holder poisoned the
+    lock.  The lock is acquired either way. *)
+
+val wrlock : rwlock -> unit
+
+val wrlock_check : rwlock -> [ `Ok | `Poisoned ]
+
+val rwunlock : rwlock -> unit
+(** Release the caller's shared or exclusive hold. *)
+
+val rwlock_heal : rwlock -> unit
+(** Un-poison a reader–writer lock the caller holds (see
+    [mutex_heal]). *)
+
+(** {1 Counting semaphores} *)
+
+val sem_create : int -> sem
+(** [sem_create permits] — a counting semaphore with [permits] initial
+    permits (may be 0). *)
+
+val sem_acquire : sem -> unit
+(** P: take a permit, blocking until one is available.  Waiters are
+    served in Kendo-stamp order. *)
+
+val sem_acquire_check : sem -> [ `Ok | `Poisoned ]
+
+val sem_post : sem -> unit
+(** V: release one permit; hands it directly to the lowest-stamp waiter
+    when one is queued. *)
+
+val sem_heal : sem -> unit
+(** Un-poison a semaphore while holding at least one permit. *)
+
+(** {1 Work-stealing deques}
+
+    Per-thread deques: the owner pushes/pops at the bottom (LIFO), other
+    threads steal the globally oldest item — the victim is chosen
+    deterministically as the non-empty deque whose oldest item carries
+    the lowest Kendo push stamp. *)
+
+val deque_create : unit -> deque
+(** The calling thread owns the new deque; only the owner may push or
+    pop. *)
+
+val deque_push : deque -> int -> unit
+(** Owner pushes a non-negative value at the bottom. *)
+
+val deque_pop : deque -> [ `Item of int | `Empty | `Poisoned ]
+(** Owner pops the newest item. *)
+
+val deque_steal : ?own:deque -> unit -> [ `Item of int | `Empty ]
+(** Steal the oldest item from the lowest-stamp non-empty deque,
+    excluding [own] (the thief's deque) when given.  [`Empty] when no
+    victim exists. *)
+
+val deque_heal : deque -> unit
+(** Un-poison a deque after its owner crashed; queued work becomes
+    stealable again. *)
+
+(** [with_rdlock rw f] / [with_wrlock rw f] — acquire, run [f], release,
+    exception-safe. *)
+val with_rdlock : rwlock -> (unit -> 'a) -> 'a
+
+val with_wrlock : rwlock -> (unit -> 'a) -> 'a
+
 (** {1 Threads} *)
 
 (** [spawn body] starts a simulated thread and returns its deterministic
@@ -169,4 +253,7 @@ module Handle : sig
   val mutex_of_int : int -> mutex
   val cond_of_int : int -> cond
   val barrier_of_int : int -> barrier
+  val rwlock_of_int : int -> rwlock
+  val sem_of_int : int -> sem
+  val deque_of_int : int -> deque
 end

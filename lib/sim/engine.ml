@@ -149,7 +149,8 @@ type t = {
 let is_boundary (op : Op.t) =
   Op.is_sync op
   || match op with
-     | Mutex_create | Cond_create | Barrier_create _ -> true
+     | Mutex_create | Cond_create | Barrier_create _ | Rwlock_create
+     | Sem_create _ | Deque_create -> true
      | _ -> false
 
 let cmp_entry (c1, t1, _) (c2, t2, _) =
@@ -366,7 +367,28 @@ let pre_handle t th (op : Op.t) =
     p.atomics <- p.atomics + 1;
     th.icount <- th.icount + 1;
     None
-  | Mutex_create | Cond_create | Barrier_create _ ->
+  | Rdlock _ | Wrlock _ ->
+    p.locks <- p.locks + 1;
+    th.icount <- th.icount + 1;
+    None
+  | Rwunlock _ ->
+    p.unlocks <- p.unlocks + 1;
+    th.icount <- th.icount + 1;
+    None
+  | Sem_acquire _ ->
+    p.locks <- p.locks + 1;
+    th.icount <- th.icount + 1;
+    None
+  | Sem_post _ ->
+    p.unlocks <- p.unlocks + 1;
+    th.icount <- th.icount + 1;
+    None
+  | Deque_push _ | Deque_pop _ | Deque_steal _ ->
+    p.atomics <- p.atomics + 1;
+    th.icount <- th.icount + 1;
+    None
+  | Mutex_create | Cond_create | Barrier_create _ | Rwlock_create
+  | Sem_create _ | Deque_create ->
     th.icount <- th.icount + 1;
     None
 

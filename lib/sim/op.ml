@@ -24,6 +24,17 @@ type t =
   | Checkpoint of (unit -> unit)
   | Atomic of { addr : int; rmw : rmw }
   | Server_mark of { ev : server_event; n : int }
+  | Rwlock_create
+  | Rdlock of int
+  | Wrlock of int
+  | Rwunlock of int
+  | Sem_create of int
+  | Sem_acquire of int
+  | Sem_post of int
+  | Deque_create
+  | Deque_push of { deque : int; value : int }
+  | Deque_pop of int
+  | Deque_steal of int
 
 and server_event =
   | Sv_served
@@ -68,6 +79,17 @@ let name = function
   | Checkpoint _ -> "checkpoint"
   | Atomic _ -> "atomic"
   | Server_mark _ -> "server_mark"
+  | Rwlock_create -> "rwlock_create"
+  | Rdlock _ -> "rdlock"
+  | Wrlock _ -> "wrlock"
+  | Rwunlock _ -> "rwunlock"
+  | Sem_create _ -> "sem_create"
+  | Sem_acquire _ -> "sem_acquire"
+  | Sem_post _ -> "sem_post"
+  | Deque_create -> "deque_create"
+  | Deque_push _ -> "deque_push"
+  | Deque_pop _ -> "deque_pop"
+  | Deque_steal _ -> "deque_steal"
 
 let server_event_name = function
   | Sv_served -> "served"
@@ -89,9 +111,12 @@ let apply_rmw rmw ~current =
 let is_sync = function
   | Lock _ | Trylock _ | Lock_timed _ | Mutex_heal _ | Unlock _
   | Cond_wait _ | Cond_signal _ | Cond_broadcast _ | Barrier_wait _
-  | Spawn _ | Join _ | Atomic _ ->
+  | Spawn _ | Join _ | Atomic _ | Rdlock _ | Wrlock _ | Rwunlock _
+  | Sem_acquire _ | Sem_post _ | Deque_push _ | Deque_pop _
+  | Deque_steal _ ->
     true
   | Load _ | Store _ | Tick _ | Mutex_create | Cond_create
   | Barrier_create _ | Malloc _ | Free _ | Output _ | Self | Yield
-  | Checkpoint _ | Server_mark _ ->
+  | Checkpoint _ | Server_mark _ | Rwlock_create | Sem_create _
+  | Deque_create ->
     false

@@ -62,6 +62,37 @@ type t =
           thread-private bookkeeping operation — not a synchronization
           point, and handled entirely by the engine, so every runtime
           supports it for free.  Result is always 0. *)
+  | Rwlock_create  (** result: reader-writer lock handle *)
+  | Rdlock of int
+      (** blocking shared acquire; readers are admitted in deterministic
+          stamp-ordered batches.  Result 0 = acquired, 1 = acquired but
+          poisoned. *)
+  | Wrlock of int
+      (** blocking exclusive acquire; result 0 = acquired, 1 = acquired
+          but poisoned *)
+  | Rwunlock of int
+      (** release the caller's shared or exclusive hold (the runtime
+          knows which); result is always 0 *)
+  | Sem_create of int  (** initial permit count; result: handle *)
+  | Sem_acquire of int
+      (** blocking permit acquire (P); waiters are served in Kendo-stamp
+          order.  Result 0 = acquired, 1 = acquired but poisoned. *)
+  | Sem_post of int
+      (** release one permit (V); hands it directly to the lowest-stamp
+          waiter when one is queued.  Result is always 0. *)
+  | Deque_create
+      (** result: work-stealing deque handle, owned by the creating
+          thread (only the owner may push/pop) *)
+  | Deque_push of { deque : int; value : int }
+      (** owner pushes [value] (>= 0) at the bottom; result 0 *)
+  | Deque_pop of int
+      (** owner pops the newest item (LIFO); result is the value, -1
+          when empty, -2 when the deque is poisoned *)
+  | Deque_steal of int
+      (** steal the globally oldest item: the victim is the non-empty,
+          non-poisoned deque (excluding the handle given, the thief's
+          own) whose oldest item has the lowest push stamp.  Result is
+          the stolen value, -1 when no victim exists. *)
 
 and server_event =
   | Sv_served
@@ -89,7 +120,8 @@ val server_event_name : server_event -> string
 
 val is_sync : t -> bool
 (** True for operations that are acquire and/or release points (lock,
-    unlock, wait, signal, broadcast, barrier, spawn, join, atomic). *)
+    unlock, wait, signal, broadcast, barrier, spawn, join, atomic,
+    rwlock/semaphore operations, deque push/pop/steal). *)
 
 val apply_rmw : rmw -> current:int -> int * int
 (** [apply_rmw rmw ~current] returns (previous value to report, new value

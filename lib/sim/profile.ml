@@ -33,6 +33,11 @@ type t = {
   mutable requests_timed_out : int;
   mutable breaker_transitions : int;
   mutable stale_reads : int;
+  mutable cond_unheard_signals : int;
+  mutable rw_reader_batches : int;
+  mutable rw_batch_readers : int;
+  mutable steals_attempted : int;
+  mutable steals_succeeded : int;
   mutable shared_bytes : int;
   mutable stack_bytes : int;
   mutable metadata_peak_bytes : int;
@@ -75,6 +80,11 @@ let create () =
     requests_timed_out = 0;
     breaker_transitions = 0;
     stale_reads = 0;
+    cond_unheard_signals = 0;
+    rw_reader_batches = 0;
+    rw_batch_readers = 0;
+    steals_attempted = 0;
+    steals_succeeded = 0;
     shared_bytes = 0;
     stack_bytes = 0;
     metadata_peak_bytes = 0;
@@ -131,6 +141,11 @@ let fields p =
     ("requests_timed_out", p.requests_timed_out);
     ("breaker_transitions", p.breaker_transitions);
     ("stale_reads", p.stale_reads);
+    ("cond_unheard_signals", p.cond_unheard_signals);
+    ("rw_reader_batches", p.rw_reader_batches);
+    ("rw_batch_readers", p.rw_batch_readers);
+    ("steals_attempted", p.steals_attempted);
+    ("steals_succeeded", p.steals_succeeded);
     ("shared_bytes", p.shared_bytes);
     ("stack_bytes", p.stack_bytes);
     ("metadata_peak_bytes", p.metadata_peak_bytes);
@@ -148,6 +163,8 @@ let pp ppf p =
      recovery: restarts=%d heals=%d victims=%d quarantines=%d \
      corruptions=%d backoff=%d@ \
      server: served=%d shed=%d retried=%d timed_out=%d breaker=%d stale=%d@ \
+     primitives: unheard_signals=%d rw_batches=%d rw_batch_readers=%d \
+     steals=%d/%d@ \
      footprint: shared=%d stacks=%d metadata=%d private=%d@]"
     p.locks p.unlocks p.waits p.signals p.barriers p.forks p.joins p.atomics
     p.loads p.stores p.stores_with_copy p.page_faults p.mprotect_calls
@@ -156,7 +173,9 @@ let pp ppf p =
     p.barrier_stalls p.restarts p.heals p.deadlock_victims p.quarantines
     p.corruptions_detected p.backoff_cycles p.requests_served p.requests_shed
     p.requests_retried p.requests_timed_out p.breaker_transitions
-    p.stale_reads p.shared_bytes p.stack_bytes
+    p.stale_reads p.cond_unheard_signals p.rw_reader_batches
+    p.rw_batch_readers p.steals_succeeded p.steals_attempted
+    p.shared_bytes p.stack_bytes
     p.metadata_peak_bytes p.private_copy_bytes
 
 let to_json p =

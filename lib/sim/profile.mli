@@ -49,6 +49,17 @@ type t = {
   mutable breaker_transitions : int;
       (** circuit-breaker state changes (closed/open/half-open) *)
   mutable stale_reads : int;  (** degraded-mode reads from the stale cache *)
+  (* deterministic primitives (lib/kendo/sync) *)
+  mutable cond_unheard_signals : int;
+      (** signals/broadcasts that found no waiter queued — the raw
+          material for lost-wakeup diagnostics *)
+  mutable rw_reader_batches : int;
+      (** reader batches admitted to a reader-writer lock *)
+  mutable rw_batch_readers : int;
+      (** readers admitted in total (avg batch size =
+          rw_batch_readers / rw_reader_batches) *)
+  mutable steals_attempted : int;  (** deque steal operations issued *)
+  mutable steals_succeeded : int;  (** steals that found a victim *)
   (* memory footprint (Table 1, columns 10-12), in bytes *)
   mutable shared_bytes : int;  (** app shared memory (globals+heap touched) *)
   mutable stack_bytes : int;

@@ -1,0 +1,29 @@
+(* The rwlock+deque read-heavy KV server variant (lib/server/rwserve),
+   registered so run/check/clinic/trace/profile cover it alongside the
+   stripe-mutex original. *)
+
+module Rwserve = Rfdet_server.Rwserve
+module Traffic = Rfdet_server.Traffic
+
+let main cfg () =
+  let workers = max 1 cfg.Workload.threads in
+  let p =
+    {
+      Rwserve.default with
+      Rwserve.workers;
+      shards = 4 * workers;
+      traffic =
+        { Traffic.default with requests = Workload.scaled cfg 2_000 };
+    }
+  in
+  ignore (Rwserve.run ~seed:cfg.Workload.input_seed p)
+
+let workload =
+  {
+    Workload.name = "kvserver-rw";
+    suite = "server";
+    description =
+      "read-heavy KV server variant: per-shard rwlocks, work-stealing get \
+       deques, breakers and deadlines";
+    main;
+  }

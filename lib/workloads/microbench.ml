@@ -3,7 +3,9 @@
     The explorer's cost is exponential in the number of synchronization
     operations, so these are the smallest programs that still exercise
     each synchronization construct: a lock-protected counter, a condvar
-    hand-off, a barrier phase and an atomic counter.  At [threads = 2]
+    hand-off, a barrier phase, an atomic counter, an rwlock
+    write-then-read, a one-permit semaphore and a work-stealing deque
+    drained by thieves.  At [threads = 2]
     and [scale = 1.0] each has few enough sync-level choice points that
     bounded DFS with sleep-set pruning enumerates every interleaving in
     well under a second ([rfdet check --exhaustive]).
@@ -89,6 +91,68 @@ let atomic_main (cfg : Workload.cfg) () =
   Wl_common.fork_join ~workers:cfg.threads body;
   Wl_common.output_checksum (Api.load word)
 
+(* Each worker publishes one write under the write lock, then audits the
+   cell under the read lock.  Admission order is a per-runtime policy
+   (kendo arbitrates by stamp, the baselines by token turn), so readers
+   check an order-independent invariant — every committed value is a
+   multiple of 3 — rather than outputting the order-dependent value
+   itself; a read admitted mid-write would break it.  The final cell is
+   a commutative sum, identical across runtimes. *)
+let rwlock_main (cfg : Workload.cfg) () =
+  let cell = Api.malloc 8 in
+  let rw = Api.rwlock_create () in
+  let body k () =
+    Api.with_wrlock rw (fun () ->
+        Api.store cell (Api.load cell + ((k + 1) * 3)));
+    Api.with_rdlock rw (fun () ->
+        if Api.load cell mod 3 <> 0 then Api.output_int (-100 - k))
+  in
+  Wl_common.fork_join ~workers:cfg.threads body;
+  Wl_common.output_checksum (Api.load cell)
+
+(* One permit shared by all workers: the semaphore degenerates to a
+   mutex, so every acquisition is a stamp-ordered hand-off. *)
+let sem_main (cfg : Workload.cfg) () =
+  let iters = Workload.scaled cfg 1 in
+  let s = Api.sem_create 1 in
+  let cell = Api.malloc 8 in
+  let body k () =
+    for i = 1 to iters do
+      Api.sem_acquire s;
+      Api.store cell (Api.load cell + ((k + 2) * i));
+      Api.sem_post s
+    done
+  in
+  Wl_common.fork_join ~workers:cfg.threads body;
+  Wl_common.output_checksum (Api.load cell)
+
+(* Main owns the only deque: it pushes a burst, pops once from its own
+   end before any thief starts (LIFO, so a fixed value), then the
+   workers steal the rest dry.  Which thief gets which item depends on
+   the runtime's arbitration, so the observable is the conservation
+   fold — every stolen value atomically added to one haul word — which
+   catches a lost or double-served item whatever the assignment. *)
+let steal_main (cfg : Workload.cfg) () =
+  let d = Api.deque_create () in
+  let haul = Api.malloc 8 in
+  for i = 1 to 2 + cfg.threads do
+    Api.deque_push d (10 + i)
+  done;
+  (match Api.deque_pop d with
+  | `Item v -> Api.output_int v
+  | `Empty | `Poisoned -> Api.output_int (-1));
+  let thief _k () =
+    let rec go acc =
+      match Api.deque_steal () with
+      | `Item v -> go (acc + v)
+      | `Empty -> acc
+    in
+    ignore (Api.atomic_fetch_add haul (go 0))
+  in
+  let tids = Wl_common.spawn_workers ~workers:cfg.threads thief in
+  Wl_common.join_all tids;
+  Wl_common.output_checksum (Api.load haul)
+
 let wl name description main =
   { Workload.name; suite = "micro"; description; main }
 
@@ -99,3 +163,12 @@ let handoff = wl "micro-handoff" "tiny mutex+condvar value hand-off" handoff_mai
 let barrier = wl "micro-barrier" "tiny barrier phase with neighbor read" barrier_main
 
 let atomic = wl "micro-atomic" "tiny atomic fetch-add counter" atomic_main
+
+let rwlock =
+  wl "micro-rwlock" "tiny rwlock write-then-read with reader batching"
+    rwlock_main
+
+let sem = wl "micro-sem" "tiny one-permit semaphore hand-off" sem_main
+
+let steal =
+  wl "micro-steal" "tiny work-stealing deque drained by thieves" steal_main

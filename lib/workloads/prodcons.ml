@@ -1,0 +1,73 @@
+(* Bounded producer–consumer pipeline over the condvar ring buffer
+   (Pipeline.t): main produces item values into the first queue, a pool
+   of transform workers moves them to the second queue, and a single
+   accumulator thread folds the second queue into a shared sum.
+
+   Termination uses poison pills (value 0; real items are 1-based): main
+   enqueues one pill per transform worker, each worker forwards exactly
+   one pill downstream on its way out, and the accumulator exits after
+   collecting one pill per worker.  The observable outputs — item count
+   and the accumulated sum — are commutative folds, so they are
+   independent of which worker transformed which item; what the
+   conformance wall checks is that the condvar wakeup order underneath
+   (min-stamp waiter first) keeps the whole schedule deterministic. *)
+
+module Api = Rfdet_sim.Api
+
+let poison = 0
+
+let transform v = (v * 3) + 1
+
+let main (cfg : Workload.cfg) () =
+  let items = Workload.scaled cfg 40 in
+  let stages = max 1 cfg.threads in
+  let q1 = Pipeline.create ~capacity:4 in
+  let q2 = Pipeline.create ~capacity:4 in
+  let sum = Api.malloc 8 in
+  let count = Api.malloc 8 in
+  let worker _k () =
+    let rec go () =
+      let v = Pipeline.pop q1 in
+      if v = poison then Pipeline.push q2 poison
+      else begin
+        Pipeline.push q2 (transform v);
+        go ()
+      end
+    in
+    go ()
+  in
+  let accumulator () =
+    let rec go pills =
+      if pills < stages then begin
+        let v = Pipeline.pop q2 in
+        if v = poison then go (pills + 1)
+        else begin
+          Api.store sum (Api.load sum + v);
+          Api.store count (Api.load count + 1);
+          go pills
+        end
+      end
+    in
+    go 0
+  in
+  let tids = Wl_common.spawn_workers ~workers:stages worker in
+  let acc_tid = Api.spawn accumulator in
+  for i = 1 to items do
+    Pipeline.push q1 i
+  done;
+  for _ = 1 to stages do
+    Pipeline.push q1 poison
+  done;
+  Wl_common.join_all (tids @ [ acc_tid ]);
+  Api.output_int (Api.load count);
+  Wl_common.output_checksum (Api.load sum)
+
+let workload =
+  {
+    Workload.name = "prodcons";
+    suite = "pipeline";
+    description =
+      "bounded producer-consumer pipeline: condvar ring buffers, poison-pill \
+       shutdown";
+    main;
+  }

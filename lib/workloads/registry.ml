@@ -21,7 +21,12 @@ let all =
     Microbench.handoff;
     Microbench.barrier;
     Microbench.atomic;
+    Microbench.rwlock;
+    Microbench.sem;
+    Microbench.steal;
+    Prodcons.workload;
     Kvserver.workload;
+    Kvserver_rw.workload;
   ]
 
 let names = List.map (fun w -> w.Workload.name) all
@@ -40,20 +45,19 @@ let splash2 = List.filter (fun w -> w.Workload.suite = "splash2") all
 let micro = List.filter (fun w -> w.Workload.suite = "micro") all
 
 (* The paper-reproduction sets exclude the stress test, the exploration
-   micros and the overload-resilience server (which has its own
-   experiment, E12). *)
+   micros, the overload-resilience servers (experiments E12/E14) and the
+   primitive-conformance pipeline (E14). *)
+let paper_suites w =
+  w.Workload.suite <> "micro"
+  && w.Workload.suite <> "server"
+  && w.Workload.suite <> "pipeline"
+
 let table1 =
-  List.filter
-    (fun w ->
-      w.Workload.name <> "racey"
-      && w.Workload.suite <> "micro"
-      && w.Workload.suite <> "server")
-    all
+  List.filter (fun w -> w.Workload.name <> "racey" && paper_suites w) all
 
 let figure8 =
   List.filter
     (fun w ->
       (not (List.mem w.Workload.name [ "racey"; "dedup"; "ferret"; "lu-non" ]))
-      && w.Workload.suite <> "micro"
-      && w.Workload.suite <> "server")
+      && paper_suites w)
     all

@@ -35,6 +35,9 @@ let test_exhaustive_micros () =
       ("micro-handoff", 4);
       ("micro-barrier", 4);
       ("micro-atomic", 6);
+      ("micro-rwlock", 12);
+      ("micro-sem", 12);
+      ("micro-steal", 6);
     ]
 
 let test_pruning_sound () =
@@ -109,6 +112,47 @@ let test_shrinker_minimizes () =
       Alcotest.(check (option string))
         "clean under the correct runtime" None good.Explore.r_error)
 
+(* --- the oracle against a seeded lost wakeup --------------------------- *)
+
+(* The second negative control: [bug_lost_signal] swallows condvar
+   signals inside the window, so schedules whose signal lands there
+   strand a waiter — the explorer must surface the deadlock. *)
+let lost_opts = { Options.ci with Options.bug_lost_signal = Some (1, 100_000) }
+
+let hunt_lost () =
+  let config = { Explore.default_config with Explore.opts = lost_opts } in
+  Explore.hunt ~config (Registry.find "prodcons")
+
+let test_oracle_catches_lost_signal () =
+  let s = hunt_lost () in
+  Alcotest.(check bool) "failures found" true (s.Explore.failures <> []);
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        "reason names the deadlock" true
+        (Astring.String.is_infix ~affix:"deadlock" f.Explore.f_reason))
+    s.Explore.failures
+
+let test_lost_signal_shrinks_and_replays () =
+  let s = hunt_lost () in
+  match s.Explore.failures with
+  | [] -> Alcotest.fail "expected the lost-signal bug to produce failures"
+  | f :: _ -> (
+    match Shrink.shrink ~opts:lost_opts f.Explore.f_trace with
+    | None -> Alcotest.fail "shrinker lost the failure"
+    | Some r ->
+      let n = List.length r.Shrink.minimized.Trace.choices in
+      Alcotest.(check bool)
+        (Printf.sprintf "minimized to %d <= 10 choices" n)
+        true (n <= 10);
+      let bad = Explore.replay ~strict:false ~opts:lost_opts r.Shrink.minimized in
+      Alcotest.(check bool)
+        "still deadlocks under the buggy options" true
+        (bad.Explore.r_error <> None);
+      let good = Explore.replay ~strict:false r.Shrink.minimized in
+      Alcotest.(check (option string))
+        "clean under the correct runtime" None good.Explore.r_error)
+
 (* --- sampling --------------------------------------------------------- *)
 
 let test_sampling_deterministic () =
@@ -165,10 +209,18 @@ let test_corpus_replays () =
 (* --- differential spot checks (full suites run under rfdet check) ----- *)
 
 let test_differential_race_free () =
-  let r = Differential.check (micro "micro-lock") in
-  Alcotest.(check bool) "micro-lock ok" true r.Differential.ok;
-  Alcotest.(check bool) "model agrees" false r.Differential.model_diverged;
-  Alcotest.(check bool) "no disagreement" true (r.Differential.disagree = None)
+  (* micro-rwlock and micro-steal are the admission-policy-sensitive
+     primitives: their observables must still be runtime-agnostic *)
+  List.iter
+    (fun name ->
+      let r = Differential.check (micro name) in
+      Alcotest.(check bool) (name ^ " ok") true r.Differential.ok;
+      Alcotest.(check bool)
+        (name ^ " model agrees") false r.Differential.model_diverged;
+      Alcotest.(check bool)
+        (name ^ " no disagreement") true
+        (r.Differential.disagree = None))
+    [ "micro-lock"; "micro-rwlock"; "micro-sem"; "micro-steal" ]
 
 let test_differential_racy_stable () =
   let r =
@@ -189,6 +241,10 @@ let suites =
           test_oracle_catches_drop_window;
         Alcotest.test_case "shrinker minimizes to <= 10 choices" `Quick
           test_shrinker_minimizes;
+        Alcotest.test_case "oracle catches lost signal" `Quick
+          test_oracle_catches_lost_signal;
+        Alcotest.test_case "lost signal shrinks and replays" `Quick
+          test_lost_signal_shrinks_and_replays;
         Alcotest.test_case "sampling is deterministic" `Quick
           test_sampling_deterministic;
         Alcotest.test_case "trace round-trip" `Quick test_trace_roundtrip;

@@ -375,6 +375,199 @@ let test_micros_one_thread_all_runtimes_agree () =
           (List.for_all (String.equal s0) sigs))
     Rfdet_workloads.Registry.micro
 
+(* --- primitive edge schedules (rwlock / sem / deque / condvar) -------- *)
+
+let test_rwlock_writer_preference_mid_batch () =
+  (* a reader holds the lock, a writer queues, then a later reader
+     arrives: the reader must queue BEHIND the writer (stamp-ordered
+     writer preference), so it observes the writer's store *)
+  let main () =
+    let rw = Api.rwlock_create () in
+    let cell = base and early = base + 8 and late = base + 16 in
+    let r1 =
+      Api.spawn (fun () ->
+          Api.tick 10;
+          Api.with_rdlock rw (fun () ->
+              Api.tick 50_000;
+              Api.store early (Api.load cell + 1)))
+    in
+    let w =
+      Api.spawn (fun () ->
+          Api.tick 10_000;
+          Api.with_wrlock rw (fun () -> Api.store cell 9))
+    in
+    let r3 =
+      Api.spawn (fun () ->
+          Api.tick 20_000;
+          Api.with_rdlock rw (fun () -> Api.store late (Api.load cell + 1)))
+    in
+    Api.join r1;
+    Api.join w;
+    Api.join r3;
+    Api.output_int (Api.load early);
+    Api.output_int (Api.load late)
+  in
+  (* early reader saw 0 (+1), late reader queued behind the writer: 9+1 *)
+  for_all_dmt "writer preference mid-batch" main [ 1L; 10L ]
+
+let zero_permit_main () =
+  (* sem_create 0 as a rendezvous: every acquire blocks until a post
+     hands it a permit directly *)
+  let s = Api.sem_create 0 in
+  let idx = base and log = base + 8 in
+  let waiter (gap, id) () =
+    Api.tick gap;
+    Api.sem_acquire s;
+    let i = Api.atomic_fetch_add idx 1 in
+    Api.store (log + (8 * i)) id
+  in
+  let tids =
+    List.map (fun g -> Api.spawn (waiter g))
+      [ (3000, 30); (1000, 10); (2000, 20) ]
+  in
+  for _ = 1 to 3 do
+    Api.tick 50_000;
+    Api.sem_post s
+  done;
+  List.iter Api.join tids;
+  for i = 0 to 2 do
+    Api.output_int (Api.load (log + (8 * i)))
+  done
+
+let test_zero_permit_sem_rendezvous () =
+  (* every runtime serves all three waiters exactly once (conservation);
+     the grant ORDER is the runtime's admission policy — dthreads and
+     coredet hand out permits in token order, kendo and rfdet by stamp *)
+  List.iter
+    (fun (label, policy) ->
+      let r = run policy zero_permit_main in
+      let served =
+        List.map (fun (_, v) -> Int64.to_int v) r.Engine.outputs
+        |> List.sort compare
+      in
+      Alcotest.(check (list int))
+        (label ^ ": all three served once") [ 10; 20; 30 ] served)
+    (dmt_policies ());
+  (* stamp-ordered runtimes grant lowest wait stamp first, post by post *)
+  List.iter
+    (fun (label, policy) ->
+      let r = run policy zero_permit_main in
+      Alcotest.(check (list (pair int int64)))
+        (label ^ ": grants in stamp order")
+        [ (0, 10L); (0, 20L); (0, 30L) ]
+        r.Engine.outputs)
+    [
+      ("kendo", Rfdet_baselines.Kendo_runtime.make);
+      ("rfdet-ci", Rfdet_core.Rfdet_runtime.make ~opts:Options.ci);
+    ]
+
+let test_steal_after_owner_exit_holding_lock () =
+  (* the owner dies a NORMAL exit while holding an unrelated mutex; its
+     deque is not poisoned, and queued work stays stealable *)
+  let main () =
+    let m = Api.mutex_create () in
+    let dw = base and sum = base + 8 in
+    let owner =
+      Api.spawn (fun () ->
+          let d = Api.deque_create () in
+          Api.store dw (d :> int);
+          for i = 1 to 4 do
+            Api.deque_push d (10 * i)
+          done;
+          Api.lock m
+          (* exit without unlocking *))
+    in
+    Api.join owner;
+    let thief =
+      Api.spawn (fun () ->
+          let rec go acc =
+            match Api.deque_steal () with
+            | `Item v -> go (acc + v)
+            | `Empty -> acc
+          in
+          Api.store sum (go 0))
+    in
+    Api.join thief;
+    Api.output_int (Api.load sum)
+  in
+  for_all_dmt "steal after owner exit" main [ 100L ]
+
+let fault_plan s =
+  match Rfdet_fault.Fault_plan.parse s with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "bad test plan %S: %s" s e
+
+(* Three waiters park on one condvar; tid 2 is crashed at its first cond
+   operation (the wait itself) and the broadcast races the containment.
+   Survivors must wake normally and the outcome must be deterministic. *)
+let broadcast_crash_workload =
+  {
+    Rfdet_workloads.Workload.name = "broadcast-vs-crash";
+    suite = "test";
+    description = "broadcast racing a crashing waiter";
+    main =
+      (fun _cfg () ->
+        let flag = base and slots = base + 8 in
+        let m = Api.mutex_create () in
+        let c = Api.cond_create () in
+        let waiter k () =
+          Api.tick (1000 * k);
+          Api.lock m;
+          while Api.load flag = 0 do
+            Api.cond_wait c m
+          done;
+          Api.unlock m;
+          Api.store (slots + (8 * k)) 1
+        in
+        let tids = List.map (fun k -> Api.spawn (waiter k)) [ 1; 2; 3 ] in
+        Api.tick 50_000;
+        Api.lock m;
+        Api.store flag 1;
+        Api.cond_broadcast c;
+        Api.unlock m;
+        let crashed =
+          List.fold_left
+            (fun n t ->
+              match Api.join_check t with `Ok -> n | `Crashed -> n + 1)
+            0 tids
+        in
+        Api.output_int crashed;
+        for k = 1 to 3 do
+          Api.output_int (Api.load (slots + (8 * k)))
+        done);
+  }
+
+let test_broadcast_racing_crashing_waiter_contained () =
+  let module Runner = Rfdet_harness.Runner in
+  let faults = fault_plan "crash,tid=2,op=cond,n=1" in
+  let r = Runner.run ~faults ~failure_mode:Engine.Contain Runner.rfdet_ci
+      broadcast_crash_workload
+  in
+  Alcotest.(check (list (pair int int64)))
+    "one crash, survivors woke"
+    [ (0, 1L); (0, 1L); (0, 0L); (0, 1L) ]
+    r.Runner.outputs;
+  (* and the contained outcome is schedule-deterministic *)
+  let d =
+    Rfdet_harness.Determinism.check_faults ~threads:3 ~runs:6 ~jitter:0.
+      ~plan:faults Runner.rfdet_ci broadcast_crash_workload
+  in
+  Alcotest.(check bool) "deterministic" true
+    (fst d).Rfdet_harness.Determinism.deterministic
+
+let test_broadcast_racing_crashing_waiter_recovered () =
+  let module Runner = Rfdet_harness.Runner in
+  let faults = fault_plan "crash,tid=2,op=cond,n=1" in
+  let r = Runner.run ~faults ~failure_mode:Engine.Recover Runner.rfdet_ci
+      broadcast_crash_workload
+  in
+  Alcotest.(check (list (pair int int64)))
+    "restarted waiter completed too"
+    [ (0, 0L); (0, 1L); (0, 1L); (0, 1L) ]
+    r.Runner.outputs;
+  Alcotest.(check bool) "a restart happened" true
+    (r.Runner.profile.Rfdet_sim.Profile.restarts >= 1)
+
 let suites =
   [
     ( "edge-cases",
@@ -402,5 +595,15 @@ let suites =
           test_exit_holding_lock_contended_deadlocks;
         Alcotest.test_case "micros at 1 thread, all runtimes" `Quick
           test_micros_one_thread_all_runtimes_agree;
+        Alcotest.test_case "rwlock writer preference mid-batch" `Quick
+          test_rwlock_writer_preference_mid_batch;
+        Alcotest.test_case "zero-permit semaphore rendezvous" `Quick
+          test_zero_permit_sem_rendezvous;
+        Alcotest.test_case "steal after owner exit holding a lock" `Quick
+          test_steal_after_owner_exit_holding_lock;
+        Alcotest.test_case "broadcast vs crashing waiter (contain)" `Quick
+          test_broadcast_racing_crashing_waiter_contained;
+        Alcotest.test_case "broadcast vs crashing waiter (recover)" `Quick
+          test_broadcast_racing_crashing_waiter_recovered;
       ] );
   ]

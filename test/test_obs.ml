@@ -45,8 +45,9 @@ let gen_kind =
             { op = (if b mod 2 = 0 then "lock" else "malloc");
               action = (if c mod 2 = 0 then "crash" else "fail") }
         | 12 -> Trace.Thread_exit
+        | 13 -> Trace.Steal { deque = a; victim = b; value = c }
         | _ -> Trace.Thread_crash)
-      (pair (0 -- 13) (quad (0 -- 1000) (0 -- 1000) (0 -- 1000) (0 -- 1000))))
+      (pair (0 -- 14) (quad (0 -- 1000) (0 -- 1000) (0 -- 1000) (0 -- 1000))))
 
 (* trailing zeros trimmed, as the sink emits *)
 let gen_vc =
@@ -363,7 +364,7 @@ let test_profile_json_and_pp () =
       Alcotest.(check bool) ("json has " ^ k) true
         (contains ~needle:(Printf.sprintf "\"%s\":" k) json))
     (Profile.fields p);
-  Alcotest.(check int) "38 fields" 38 (List.length (Profile.fields p));
+  Alcotest.(check int) "43 fields" 43 (List.length (Profile.fields p));
   let pp = Format.asprintf "%a" Profile.pp p in
   (* the once-dropped fields all print now *)
   List.iter
@@ -371,6 +372,7 @@ let test_profile_json_and_pp () =
       Alcotest.(check bool) ("pp has " ^ needle) true (contains ~needle pp))
     [
       "atomics="; "diff_scanned="; "gc_freed="; "kendo="; "barrier_stalls=";
+      "unheard_signals="; "steals=";
     ];
   let m = Metrics.create () in
   Profile.fill_metrics m p;

@@ -1,0 +1,333 @@
+(* The deterministic synchronization primitives (ISSUE: condvars,
+   rwlocks, semaphores, work-stealing deques) — the conformance wall.
+
+   The properties:
+   (a) condvar wakeup order is a pure function of the waiters' Kendo
+       stamps (lowest (icount, tid) first), independent of spawn order,
+       scheduler seed and jitter;
+   (b) steal order is a pure function of push stamps (globally oldest
+       item first), independent of which owner pushed what and of the
+       schedule;
+   (c) the pipeline conserves items through broadcast/signal wakeups:
+       every produced item is transformed and folded exactly once;
+   (d) all four primitives give bit-identical signatures across the six
+       deterministic runtimes under jitter, and their profile counters
+       are stable across jittered schedules per runtime. *)
+
+module Engine = Rfdet_sim.Engine
+module Api = Rfdet_sim.Api
+module Options = Rfdet_core.Options
+module Runner = Rfdet_harness.Runner
+module Determinism = Rfdet_harness.Determinism
+module Registry = Rfdet_workloads.Registry
+module Pipeline = Rfdet_workloads.Pipeline
+
+let kendo = Rfdet_baselines.Kendo_runtime.make
+
+let rfdet = Rfdet_core.Rfdet_runtime.make ~opts:Options.ci
+
+let run ?(seed = 1L) ?(jitter = 0.) policy main =
+  Engine.run
+    ~config:{ Engine.default_config with seed; jitter_mean = jitter }
+    policy ~main
+
+let outputs r = List.map (fun (_, v) -> Int64.to_int v) r.Engine.outputs
+
+(* Run [main] under kendo and rfdet-ci, each at two jittered seeds, and
+   require all four runs to produce [expected]. *)
+let check_pure name main expected =
+  List.iter
+    (fun (label, policy) ->
+      List.iter
+        (fun seed ->
+          let got = outputs (run ~seed ~jitter:7.0 policy main) in
+          if got <> expected then
+            QCheck2.Test.fail_reportf "%s: %s seed=%Ld: got [%s], want [%s]"
+              name label seed
+              (String.concat ";" (List.map string_of_int got))
+              (String.concat ";" (List.map string_of_int expected)))
+        [ 1L; 12L ])
+    [ ("kendo", kendo); ("rfdet-ci", rfdet) ];
+  true
+
+(* --- (a) wakeup order = ascending stamp order ------------------------ *)
+
+(* Each waiter burns [1000 * (rank + 1)] instructions before queueing on
+   the condvar, so its wait stamp is ordered by rank with a margin that
+   dwarfs the fixed protocol overhead.  The broadcast must then wake
+   (and re-admit through the mutex) rank 0, 1, 2, ... whatever order
+   the waiters were spawned in and wherever the scheduler preempted. *)
+let wakeup_program spawn_order () =
+  let n = List.length spawn_order in
+  let waiting = Api.malloc 8 in
+  let flag = Api.malloc 8 in
+  let wcount = Api.malloc 8 in
+  let log = Api.malloc (8 * n) in
+  let m = Api.mutex_create () in
+  let c = Api.cond_create () in
+  let waiter rank () =
+    Api.tick (1000 * (rank + 1));
+    Api.lock m;
+    Api.store waiting (Api.load waiting + 1);
+    while Api.load flag = 0 do
+      Api.cond_wait c m
+    done;
+    let i = Api.load wcount in
+    Api.store (log + (8 * i)) rank;
+    Api.store wcount (i + 1);
+    Api.unlock m
+  in
+  let tids = List.map (fun rank -> Api.spawn (waiter rank)) spawn_order in
+  let rec gate () =
+    Api.lock m;
+    if Api.load waiting < n then begin
+      Api.unlock m;
+      Api.tick 50;
+      gate ()
+    end
+    else begin
+      Api.store flag 1;
+      Api.cond_broadcast c;
+      Api.unlock m
+    end
+  in
+  gate ();
+  List.iter Api.join tids;
+  for i = 0 to n - 1 do
+    Api.output_int (Api.load (log + (8 * i)))
+  done
+
+let gen_permutation =
+  QCheck2.Gen.(
+    2 -- 4 >>= fun n ->
+    shuffle_l (List.init n Fun.id))
+
+let prop_wakeup_stamp_order =
+  QCheck2.Test.make ~name:"sync: broadcast wakes in ascending stamp order"
+    ~count:12 gen_permutation (fun spawn_order ->
+      let n = List.length spawn_order in
+      check_pure "wakeup" (wakeup_program spawn_order) (List.init n Fun.id))
+
+(* --- (b) steal order = globally oldest push stamp first -------------- *)
+
+(* Two owners each push three items; the instruction counts at the six
+   pushes are the generated (distinct) cumulative budgets x 1000, so the
+   global oldest-first steal order is the sort of those budgets —
+   whichever deque each item sits in. *)
+let steal_program own0 own1 () =
+  let owner cums () =
+    let d = Api.deque_create () in
+    let prev = ref 0 in
+    List.iter
+      (fun (c, v) ->
+        Api.tick ((c - !prev) * 1000);
+        prev := c;
+        Api.deque_push d v)
+      cums
+  in
+  let a = Api.spawn (owner own0) in
+  let b = Api.spawn (owner own1) in
+  Api.join a;
+  Api.join b;
+  let rec drain () =
+    match Api.deque_steal () with
+    | `Item v ->
+      Api.output_int v;
+      drain ()
+    | `Empty -> Api.output_int (-1)
+  in
+  drain ()
+
+let gen_budgets =
+  (* six gaps >= 1 give six distinct ascending cumulative budgets; a
+     random half (in ascending order, pushes only append) per owner *)
+  QCheck2.Gen.(
+    pair (list_repeat 6 (1 -- 10)) (shuffle_l (List.init 6 Fun.id))
+    >|= fun (gaps, perm) ->
+    let cums =
+      List.rev
+        (List.fold_left
+           (fun acc g ->
+             (g + match acc with [] -> 0 | c :: _ -> c) :: acc)
+           [] gaps)
+    in
+    let arr = Array.of_list cums in
+    let half i = List.filteri (fun j _ -> j / 3 = i) perm in
+    let pick i = List.map (Array.get arr) (List.sort compare (half i)) in
+    (pick 0, pick 1))
+
+let prop_steal_oldest_first =
+  QCheck2.Test.make ~name:"sync: steal takes the globally oldest item"
+    ~count:12 gen_budgets (fun (cum0, cum1) ->
+      let own0 = List.mapi (fun i c -> (c, 100 + i)) cum0 in
+      let own1 = List.mapi (fun i c -> (c, 200 + i)) cum1 in
+      let expected =
+        List.sort compare (own0 @ own1) |> List.map snd
+      in
+      check_pure "steal" (steal_program own0 own1) (expected @ [ -1 ]))
+
+(* --- (c) pipeline conservation through condvar wakeups --------------- *)
+
+let pipeline_program items stages () =
+  let q1 = Pipeline.create ~capacity:3 in
+  let q2 = Pipeline.create ~capacity:3 in
+  let sum = Api.malloc 8 in
+  let count = Api.malloc 8 in
+  let worker () =
+    let rec go () =
+      let v = Pipeline.pop q1 in
+      if v = 0 then Pipeline.push q2 0
+      else begin
+        Pipeline.push q2 ((v * 3) + 1);
+        go ()
+      end
+    in
+    go ()
+  in
+  let acc () =
+    let rec go pills =
+      if pills < stages then begin
+        let v = Pipeline.pop q2 in
+        if v = 0 then go (pills + 1)
+        else begin
+          Api.store sum (Api.load sum + v);
+          Api.store count (Api.load count + 1);
+          go pills
+        end
+      end
+    in
+    go 0
+  in
+  let tids = List.init stages (fun _ -> Api.spawn worker) in
+  let acc_tid = Api.spawn acc in
+  for i = 1 to items do
+    Pipeline.push q1 i
+  done;
+  for _ = 1 to stages do
+    Pipeline.push q1 0
+  done;
+  List.iter Api.join (tids @ [ acc_tid ]);
+  Api.output_int (Api.load count);
+  Api.output_int (Api.load sum)
+
+let prop_pipeline_conserves =
+  QCheck2.Test.make ~name:"sync: pipeline conserves every item exactly once"
+    ~count:12
+    QCheck2.Gen.(pair (1 -- 15) (1 -- 3))
+    (fun (items, stages) ->
+      let expect_sum = ((3 * items * (items + 1)) / 2) + items in
+      check_pure "pipeline" (pipeline_program items stages)
+        [ items; expect_sum ])
+
+(* --- (d) six runtimes, one signature --------------------------------- *)
+
+let dmt_runtimes =
+  [ Runner.Kendo; Runner.Dthreads; Runner.Coredet; Runner.rfdet_ci;
+    Runner.rfdet_pf; Runner.Rfdet Options.baseline_no_opt ]
+
+let primitive_workloads =
+  [ "micro-handoff"; "micro-rwlock"; "micro-sem"; "micro-steal"; "prodcons" ]
+
+let test_six_runtimes_identical () =
+  List.iter
+    (fun name ->
+      let wl = Registry.find name in
+      let sigs =
+        List.map
+          (fun rt ->
+            ( Runner.runtime_name rt,
+              (Runner.run ~threads:3 ~sched_seed:5L ~jitter:8.0 rt wl)
+                .Runner.signature ))
+          dmt_runtimes
+      in
+      match sigs with
+      | [] -> assert false
+      | (_, s0) :: rest ->
+        List.iter
+          (fun (rt, s) ->
+            Alcotest.(check string)
+              (Printf.sprintf "%s: %s agrees with kendo" name rt)
+              s0 s)
+          rest)
+    primitive_workloads
+
+let test_deterministic_under_jitter () =
+  List.iter
+    (fun name ->
+      let wl = Registry.find name in
+      List.iter
+        (fun rt ->
+          let r = Determinism.check ~threads:3 ~runs:6 ~jitter:10.0 rt wl in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s under %s deterministic" name
+               (Runner.runtime_name rt))
+            true r.Determinism.deterministic)
+        [ Runner.Kendo; Runner.rfdet_ci ])
+    primitive_workloads
+
+let test_profiles_stable_under_jitter () =
+  (* per runtime, the primitive profile counters are a schedule
+     invariant: two jittered seeds must agree exactly *)
+  List.iter
+    (fun name ->
+      let wl = Registry.find name in
+      let counters seed =
+        let p =
+          (Runner.run ~threads:3 ~sched_seed:seed ~jitter:9.0 Runner.rfdet_ci
+             wl)
+            .Runner.profile
+        in
+        ( p.Rfdet_sim.Profile.cond_unheard_signals,
+          p.Rfdet_sim.Profile.rw_reader_batches,
+          p.Rfdet_sim.Profile.rw_batch_readers,
+          p.Rfdet_sim.Profile.steals_attempted,
+          p.Rfdet_sim.Profile.steals_succeeded )
+      in
+      let a, b, c, d, e = counters 3L in
+      let a', b', c', d', e' = counters 77L in
+      Alcotest.(check (list int))
+        (name ^ ": primitive counters stable")
+        [ a; b; c; d; e ] [ a'; b'; c'; d'; e' ])
+    primitive_workloads
+
+let test_steal_profile_counts () =
+  (* micro-steal at 3 threads: 5 items pushed, 1 popped by main, so the
+     thieves' successful steals must total 4 whatever the assignment *)
+  let wl = Registry.find "micro-steal" in
+  let p = (Runner.run ~threads:3 Runner.rfdet_ci wl).Runner.profile in
+  Alcotest.(check int) "steals succeeded" 4 p.Rfdet_sim.Profile.steals_succeeded;
+  Alcotest.(check bool)
+    "attempts cover successes" true
+    (p.Rfdet_sim.Profile.steals_attempted >= p.Rfdet_sim.Profile.steals_succeeded)
+
+let test_unheard_signal_counter () =
+  (* a signal with no waiters is counted, not dropped silently *)
+  let r =
+    run rfdet (fun () ->
+        let c = Api.cond_create () in
+        Api.cond_signal c;
+        Api.cond_signal c;
+        Api.output_int 1)
+  in
+  Alcotest.(check int) "two unheard signals" 2
+    r.Engine.profile.Rfdet_sim.Profile.cond_unheard_signals
+
+let suites =
+  [
+    ( "sync-primitives",
+      [
+        QCheck_alcotest.to_alcotest prop_wakeup_stamp_order;
+        QCheck_alcotest.to_alcotest prop_steal_oldest_first;
+        QCheck_alcotest.to_alcotest prop_pipeline_conserves;
+        Alcotest.test_case "six runtimes, one signature" `Quick
+          test_six_runtimes_identical;
+        Alcotest.test_case "deterministic under jitter" `Quick
+          test_deterministic_under_jitter;
+        Alcotest.test_case "profile counters stable under jitter" `Quick
+          test_profiles_stable_under_jitter;
+        Alcotest.test_case "steal conservation in the profile" `Quick
+          test_steal_profile_counts;
+        Alcotest.test_case "unheard signals are counted" `Quick
+          test_unheard_signal_counter;
+      ] );
+  ]

@@ -79,8 +79,8 @@ let test_input_seed_changes_result () =
   Alcotest.(check bool) "different inputs differ" true (a <> b)
 
 let test_registry () =
-  Alcotest.(check int) "22 workloads" 22 (List.length Registry.all);
-  Alcotest.(check int) "4 exploration micros" 4 (List.length Registry.micro);
+  Alcotest.(check int) "27 workloads" 27 (List.length Registry.all);
+  Alcotest.(check int) "7 exploration micros" 7 (List.length Registry.micro);
   Alcotest.(check int) "16 in table 1" 16 (List.length Registry.table1);
   Alcotest.(check int) "7 in splash2" 7 (List.length Registry.splash2);
   Alcotest.(check int) "13 in figure 8" 13 (List.length Registry.figure8);
