@@ -25,6 +25,8 @@ module Obs_trace = Rfdet_obs.Trace
 module Chrome = Rfdet_obs.Chrome
 module Metrics = Rfdet_obs.Metrics
 module Report = Rfdet_obs.Report
+module Span = Rfdet_obs.Span
+module Critpath = Rfdet_obs.Critpath
 
 let write_file path content =
   let oc = open_out path in
@@ -257,15 +259,37 @@ let run_cmd =
 
 (* --- trace / profile --------------------------------------------------- *)
 
-(* Shared by [trace] and [profile]: run a workload with an unbounded
-   causal sink attached and return the result plus the collected events. *)
-let traced_run runtime workload threads scale seed input_seed =
-  let obs = Sink.create () in
+(* Shared by [trace] and [profile]: run a workload with a causal sink
+   attached and return the result plus the collected events and the
+   ring-overflow count (0 when the sink is unbounded). *)
+let traced_run ?(ring = 0) runtime workload threads scale seed input_seed =
+  let obs = Sink.create ~capacity:ring () in
   let r =
     Runner.run ~threads ~scale ~sched_seed:(Int64.of_int seed)
       ~input_seed:(Int64.of_int input_seed) ~obs runtime workload
   in
-  (r, Sink.events obs)
+  (r, Sink.events obs, Sink.dropped obs)
+
+(* A saturated ring silently truncates the causal record, which turns
+   "the trace proves X" into "the trace suggests X" — so every consumer
+   shouts when events were dropped instead of burying it in a counter. *)
+let warn_dropped dropped =
+  if dropped > 0 then
+    Printf.eprintf
+      "rfdet: WARNING: trace ring overflowed — %d event%s dropped (oldest \
+       first).  Raise --ring (or use 0 for unbounded) for a complete \
+       causal record; profile counter trace_dropped carries this count.\n"
+      dropped
+      (if dropped = 1 then "" else "s")
+
+let ring_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "ring" ] ~docv:"CAP"
+        ~doc:
+          "Sink ring capacity: keep only the last $(docv) events.  0 \
+           (default) grows without bound.  Overflow is surfaced as a \
+           loud warning and the $(b,trace_dropped) profile counter.")
 
 let runtime_opt_arg =
   Arg.(
@@ -299,17 +323,104 @@ let trace_cmd =
              chrome://tracing) or 'lines' (the compact replayable line \
              format, one event per line).")
   in
-  let action runtime workload threads scale seed input_seed out format =
+  let filter_kind_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "filter-kind" ] ~docv:"KINDS"
+          ~doc:
+            "Keep only events of these kinds (comma-separated, e.g. \
+             'lock_acquire,lock_release' or 'span').")
+  in
+  let filter_tid_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "filter-tid" ] ~docv:"TIDS"
+          ~doc:"Keep only events from these simulated threads \
+                (comma-separated ids).")
+  in
+  let filter_time_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "filter-time" ] ~docv:"LO:HI"
+          ~doc:
+            "Keep only events whose simulated-time stamp lies in the \
+             inclusive window $(docv).")
+  in
+  let split_commas s = String.split_on_char ',' s |> List.map String.trim in
+  let parse_window s =
+    match String.split_on_char ':' s with
+    | [ lo; hi ] -> (
+      match (int_of_string_opt lo, int_of_string_opt hi) with
+      | Some lo, Some hi when lo <= hi -> (lo, hi)
+      | _ ->
+        Printf.eprintf "rfdet: --filter-time wants LO:HI integers\n";
+        exit 64)
+    | _ ->
+      Printf.eprintf "rfdet: --filter-time wants LO:HI integers\n";
+      exit 64
+  in
+  let apply_filters ~kinds ~tids ~window events =
+    let keep (e : Obs_trace.event) =
+      (match kinds with
+      | None -> true
+      | Some ks -> List.mem (Obs_trace.kind_name e.kind) ks)
+      && (match tids with None -> true | Some ts -> List.mem e.tid ts)
+      &&
+      match window with
+      | None -> true
+      | Some (lo, hi) -> e.time >= lo && e.time <= hi
+    in
+    List.filter keep events
+  in
+  let action runtime workload threads scale seed input_seed out format ring
+      filter_kind filter_tid filter_time =
    guard @@ fun () ->
-    let r, events = traced_run runtime workload threads scale seed input_seed in
+    let r, events, dropped =
+      traced_run ~ring runtime workload threads scale seed input_seed
+    in
+    warn_dropped dropped;
+    let kinds = Option.map split_commas filter_kind in
+    (match kinds with
+    | Some ks ->
+      List.iter
+        (fun k ->
+          if not (List.mem k Obs_trace.kind_names) then begin
+            Printf.eprintf "rfdet: unknown trace kind %S (see: %s)\n" k
+              (String.concat ", " Obs_trace.kind_names);
+            exit 64
+          end)
+        ks
+    | None -> ());
+    let tids =
+      Option.map
+        (fun s ->
+          List.map
+            (fun t ->
+              match int_of_string_opt t with
+              | Some t -> t
+              | None ->
+                Printf.eprintf "rfdet: --filter-tid wants integer ids\n";
+                exit 64)
+            (split_commas s))
+        filter_tid
+    in
+    let window = Option.map parse_window filter_time in
+    let kept = apply_filters ~kinds ~tids ~window events in
     (match format with
-    | `Chrome -> write_file out (Chrome.export events)
-    | `Lines -> write_file out (Obs_trace.to_lines events));
+    | `Chrome -> write_file out (Chrome.export kept)
+    | `Lines -> write_file out (Obs_trace.to_lines kept));
     Printf.printf "workload:    %s\n" r.Runner.workload;
     Printf.printf "runtime:     %s\n" r.Runner.runtime;
     Printf.printf "sim cycles:  %d\n" r.Runner.sim_time;
     Printf.printf "signature:   %s\n" r.Runner.signature;
-    Printf.printf "events:      %d\n" (List.length events);
+    if dropped > 0 then Printf.printf "dropped:     %d (ring overflow)\n" dropped;
+    if List.length kept <> List.length events then
+      Printf.printf "events:      %d (of %d after filters)\n"
+        (List.length kept) (List.length events)
+    else Printf.printf "events:      %d\n" (List.length events);
     Printf.printf "wrote %s\n" out
   in
   Cmd.v
@@ -324,7 +435,8 @@ let trace_cmd =
           two same-seed runs write byte-identical files.")
     Term.(
       const action $ runtime_opt_arg $ workload_pos_arg $ threads_arg
-      $ scale_arg $ seed_arg $ input_seed_opt_arg $ out_arg $ format_arg)
+      $ scale_arg $ seed_arg $ input_seed_opt_arg $ out_arg $ format_arg
+      $ ring_arg $ filter_kind_arg $ filter_tid_arg $ filter_time_arg)
 
 let profile_cmd =
   let top_arg =
@@ -343,7 +455,10 @@ let profile_cmd =
   in
   let action runtime workload threads scale seed input_seed top metrics_json =
    guard @@ fun () ->
-    let r, events = traced_run runtime workload threads scale seed input_seed in
+    let r, events, dropped =
+      traced_run runtime workload threads scale seed input_seed
+    in
+    warn_dropped dropped;
     let total =
       List.fold_left (fun acc (_, c) -> acc + c) 0 r.Runner.thread_clocks
     in
@@ -1088,6 +1203,284 @@ let serve_cmd =
       $ fault_plan_arg $ fault_mode_arg $ sweep_arg $ rw_arg $ json_arg
       $ jobs_arg)
 
+(* --- spans ------------------------------------------------------------ *)
+
+(* Request-level observability for the KV servers: run with the inert
+   sink on, fold the causal trace into per-request span trees, walk each
+   tree's critical path (segments must sum bit-exactly to the measured
+   latency — violation is exit code 7, not a warning) and print cohort
+   attribution plus top-k exemplars.  Every number below is a virtual
+   per-worker cycle, so the whole output — tree renders included — is
+   byte-identical across runtimes, --jobs counts and repeat runs. *)
+let spans_cmd =
+  let module Server = Rfdet_server.Server in
+  let module Rwserve = Rfdet_server.Rwserve in
+  let module Traffic = Rfdet_server.Traffic in
+  let requests_arg =
+    Arg.(
+      value
+      & opt int Traffic.default.Traffic.requests
+      & info [ "n"; "requests" ] ~doc:"Number of requests to generate.")
+  in
+  let rate_arg =
+    Arg.(
+      value
+      & opt int Traffic.default.Traffic.mean_interarrival
+      & info [ "rate" ]
+          ~doc:"Mean interarrival gap in simulated cycles.")
+  in
+  let workers_arg =
+    Arg.(
+      value
+      & opt int Server.default.Server.workers
+      & info [ "workers" ] ~doc:"Worker pool size.")
+  in
+  let shards_arg =
+    Arg.(
+      value
+      & opt int Server.default.Server.shards
+      & info [ "shards" ]
+          ~doc:"Shard count (raised to the worker count if below it).")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt int Server.default.Server.deadline
+      & info [ "deadline" ] ~doc:"Per-request deadline, simulated cycles.")
+  in
+  let input_seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "input-seed" ]
+          ~doc:"Traffic generator seed (an input of the run).")
+  in
+  let rw_arg =
+    Arg.(
+      value & flag
+      & info [ "rw" ]
+          ~doc:"Trace the read-heavy rwlock+deque server variant.")
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "top" ] ~docv:"N"
+          ~doc:"Exemplars per list (slowest and deepest).")
+  in
+  let crit_arg =
+    Arg.(
+      value & flag
+      & info [ "critical-path" ]
+          ~doc:
+            "Print exemplars as one-line critical-path segment vectors \
+             instead of span trees.")
+  in
+  let pct_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("p50", `P50); ("p99", `P99); ("p999", `P999); ("all", `All) ])
+          `All
+      & info [ "percentile" ]
+          ~doc:
+            "Which latency cohort(s) to aggregate: 'p50', 'p99', 'p999' \
+             or 'all'.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the sorted attribution document (cohorts plus \
+             exemplars with replay coordinates) as JSON.  Byte-identical \
+             across runtimes, --jobs counts and repeat runs.")
+  in
+  let action runtime requests rate workers shards deadline seed input_seed
+      faults failure_mode rw top crit pct json ring jobs =
+   guard @@ fun () ->
+    let jobs = resolve_jobs jobs in
+    let shards = max shards workers in
+    let obs = Sink.create ~capacity:ring () in
+    let report = ref None in
+    let w =
+      if rw then
+        {
+          Rfdet_workloads.Workload.name = "kvserver-rw";
+          suite = "server";
+          description = "rwlock+deque kvserver with spans on";
+          main =
+            (fun cfg () ->
+              let p =
+                {
+                  Rwserve.default with
+                  Rwserve.workers;
+                  shards;
+                  deadline;
+                  traffic =
+                    {
+                      Traffic.default with
+                      Traffic.requests;
+                      mean_interarrival = rate;
+                    };
+                }
+              in
+              ignore
+                (Rwserve.run ~seed:cfg.Rfdet_workloads.Workload.input_seed p));
+        }
+      else
+        {
+          Rfdet_workloads.Workload.name = "kvserver";
+          suite = "server";
+          description = "kvserver with spans on";
+          main =
+            (fun cfg () ->
+              let p =
+                {
+                  Server.default with
+                  Server.workers;
+                  shards;
+                  deadline;
+                  traffic =
+                    {
+                      Traffic.default with
+                      Traffic.requests;
+                      mean_interarrival = rate;
+                    };
+                }
+              in
+              report :=
+                Some
+                  (Server.run ~seed:cfg.Rfdet_workloads.Workload.input_seed p));
+        }
+    in
+    let r =
+      Runner.run ~threads:workers ~sched_seed:(Int64.of_int seed)
+        ~input_seed:(Int64.of_int input_seed) ?faults ~failure_mode ~obs
+        runtime w
+    in
+    ignore !report;
+    let events = Sink.events obs in
+    let dropped = Sink.dropped obs in
+    warn_dropped dropped;
+    let spans = Span.collect events in
+    let records = spans.Span.complete in
+    (* the walk is offline analysis: spread record chunks over host
+       domains, order-preserving, so output bytes never depend on N *)
+    let chunk xs =
+      let n = List.length xs in
+      let size = max 1 ((n + (jobs * 4) - 1) / (jobs * 4)) in
+      let rec go acc cur k = function
+        | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+        | x :: rest ->
+          if k = size then go (List.rev cur :: acc) [ x ] 1 rest
+          else go acc (x :: cur) (k + 1) rest
+      in
+      go [] [] 0 xs
+    in
+    let walked =
+      Rfdet_par.Par.map_ordered ~jobs
+        (List.map Critpath.walk)
+        (chunk records)
+      |> List.concat
+    in
+    let atts =
+      List.map
+        (function
+          | Ok a -> a
+          | Error msg ->
+            Printf.eprintf
+              "rfdet: critical-path invariant violated: %s\n" msg;
+            exit 7)
+        walked
+    in
+    Printf.printf "runtime         %s\n" r.Runner.runtime;
+    Printf.printf "signature       %s\n" r.Runner.signature;
+    Printf.printf "variant         %s\n" (if rw then "rw" else "mutex");
+    Printf.printf "spanned         %10d requests (%d incomplete"
+      (List.length atts) spans.Span.incomplete;
+    if dropped > 0 then Printf.printf ", %d events dropped" dropped;
+    print_string ")\n";
+    Printf.printf "exact-sum       every span tree's segments sum to its \
+                   measured latency\n";
+    let cohorts = Critpath.cohorts atts in
+    let selected =
+      match pct with
+      | `All -> cohorts
+      | `P50 -> List.filter (fun c -> c.Critpath.label = "p50") cohorts
+      | `P99 -> List.filter (fun c -> c.Critpath.label = "p99") cohorts
+      | `P999 -> List.filter (fun c -> c.Critpath.label = "p999") cohorts
+    in
+    List.iter
+      (fun (c : Critpath.cohort) ->
+        Printf.printf
+          "\n%-5s cohort: %d requests at latency >= %d (total %d cycles)\n"
+          c.Critpath.label c.Critpath.count c.Critpath.threshold
+          c.Critpath.total_latency;
+        List.iter
+          (fun (l, cyc) ->
+            let share = List.assoc l c.Critpath.shares_pm in
+            Printf.printf "  %-8s %12d cycles  %3d.%d%%\n" l cyc
+              (share / 10) (share mod 10))
+          c.Critpath.cycles)
+      selected;
+    let by_req = Hashtbl.create 64 in
+    List.iter (fun (rc : Span.record) -> Hashtbl.replace by_req rc.Span.req rc)
+      records;
+    let print_exemplars title xs =
+      Printf.printf "\n%s:\n" title;
+      List.iter
+        (fun (a : Critpath.attribution) ->
+          if crit then Printf.printf "  %s\n" (Critpath.attribution_json a)
+          else
+            match Hashtbl.find_opt by_req a.Critpath.req with
+            | Some rc ->
+              let b = Buffer.create 256 in
+              Span.render_tree b rc;
+              print_string (Buffer.contents b)
+            | None -> ())
+        xs
+    in
+    print_exemplars "top slowest" (Critpath.top_slowest top atts);
+    print_exemplars "top deepest" (Critpath.top_deepest top atts);
+    match json with
+    | None -> ()
+    | Some path ->
+      let meta =
+        [
+          ("variant", Printf.sprintf "%S" (if rw then "rw" else "mutex"));
+          ("seed", string_of_int seed);
+          ("input_seed", string_of_int input_seed);
+          ("requests", string_of_int requests);
+          ("rate", string_of_int rate);
+          ("workers", string_of_int workers);
+          ("shards", string_of_int shards);
+          ("deadline", string_of_int deadline);
+          ("incomplete", string_of_int spans.Span.incomplete);
+          ("dropped", string_of_int dropped);
+        ]
+      in
+      write_file path (Critpath.json ~meta ~top atts);
+      Printf.printf "\nspans json: %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "spans"
+       ~doc:
+         "Run the deterministic KV server with request-level span \
+          tracing on and print critical-path latency attribution: \
+          per-cohort (p50/p99/p999) segment shares and top-k \
+          slowest/deepest exemplar span trees with replay coordinates.  \
+          Segment cycles sum bit-exactly to each request's measured \
+          latency (violations exit 7), spans never perturb the run (the \
+          signature matches an untraced serve), and the output is \
+          byte-identical across runtimes, $(b,--jobs) counts and repeat \
+          runs.")
+    Term.(
+      const action $ runtime_opt_arg $ requests_arg $ rate_arg $ workers_arg
+      $ shards_arg $ deadline_arg $ seed_arg $ input_seed_arg
+      $ fault_plan_arg $ fault_mode_arg $ rw_arg $ top_arg $ crit_arg
+      $ pct_arg $ json_arg $ ring_arg $ jobs_arg)
+
 let () =
   let doc = "RFDet: deterministic multithreading without global barriers" in
   let info = Cmd.info "rfdet" ~version:"1.0.0" ~doc in
@@ -1096,4 +1489,4 @@ let () =
        (Cmd.group info
           [ run_cmd; trace_cmd; profile_cmd; list_cmd; racey_cmd; races_cmd;
             replay_cmd; faults_cmd; clinic_cmd; check_cmd; bench_cmd;
-            serve_cmd; experiment_cmd ]))
+            serve_cmd; spans_cmd; experiment_cmd ]))

@@ -637,7 +637,7 @@ let handle t ~tid (op : Op.t) : Engine.outcome =
     arrive t ~tid ~action:(A_deque_steal own);
     Block
   | Op.Tick _ | Op.Output _ | Op.Self | Op.Yield | Op.Checkpoint _
-  | Op.Server_mark _ | Op.Malloc _
+  | Op.Server_mark _ | Op.Span _ | Op.Malloc _
   | Op.Free _ ->
     assert false
 

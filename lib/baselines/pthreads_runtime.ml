@@ -380,7 +380,7 @@ let handle t ~tid (op : Op.t) : Engine.outcome =
         Done v
       | [] -> assert false))
   | Op.Tick _ | Op.Output _ | Op.Self | Op.Yield | Op.Checkpoint _
-  | Op.Server_mark _ | Op.Malloc _
+  | Op.Server_mark _ | Op.Span _ | Op.Malloc _
   | Op.Free _ ->
     (* handled by the engine *)
     assert false

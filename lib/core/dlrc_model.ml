@@ -268,7 +268,7 @@ let handle t ~tid (op : Op.t) : Engine.outcome =
   | Op.Deque_pop dq -> Sync.deque_pop sync ~tid ~deque:dq
   | Op.Deque_steal own -> Sync.deque_steal sync ~tid ~own
   | Op.Tick _ | Op.Output _ | Op.Self | Op.Yield | Op.Checkpoint _
-  | Op.Server_mark _ | Op.Malloc _
+  | Op.Server_mark _ | Op.Span _ | Op.Malloc _
   | Op.Free _ ->
     assert false
 

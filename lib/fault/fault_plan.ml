@@ -46,7 +46,8 @@ let classify : Op.t -> op_class = function
   | Op.Deque_push _ | Op.Deque_pop _ | Op.Deque_steal _ -> Deque_op
   | Op.Mutex_create | Op.Cond_create | Op.Barrier_create _ | Op.Rwlock_create
   | Op.Sem_create _ | Op.Deque_create -> Create_op
-  | Op.Tick _ | Op.Self | Op.Yield | Op.Checkpoint _ | Op.Server_mark _ ->
+  | Op.Tick _ | Op.Self | Op.Yield | Op.Checkpoint _ | Op.Server_mark _
+  | Op.Span _ ->
     Compute_op
 
 let op_class_names =

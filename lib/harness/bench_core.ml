@@ -31,6 +31,10 @@ type e2e = {
   latency : (int * int * int) option;
       (* (p50, p99, p999) served-request latency in simulated cycles —
          kvserver only, read from the server's trailing outputs *)
+  attribution : Rfdet_obs.Critpath.cohort list option;
+      (* critical-path latency attribution for the p50/p99/p999 cohorts,
+         from the traced run's span trees — kvserver only.  Deterministic
+         (virtual cycles), so CI gates on the stanza byte-for-byte. *)
 }
 
 type sweep = {
@@ -219,6 +223,19 @@ let end_to_end () =
             Some (Int64.to_int p50, Int64.to_int p99, Int64.to_int p999)
           | _ -> None
       in
+      (* the traced run also carries the request span trees; walking
+         them is offline, so again nothing touches the wall numbers *)
+      let attribution =
+        if name <> "kvserver" then None
+        else
+          let spans =
+            Rfdet_obs.Span.collect (Rfdet_obs.Sink.events obs)
+          in
+          match Rfdet_obs.Critpath.walk_all spans.Rfdet_obs.Span.complete with
+          | Ok atts -> Some (Rfdet_obs.Critpath.cohorts atts)
+          | Error msg ->
+            failwith ("kvserver latency attribution: " ^ msg)
+      in
       {
         workload = name;
         runtime = r0.Runner.runtime;
@@ -231,6 +248,7 @@ let end_to_end () =
         signature = r0.Runner.signature;
         breakdown;
         latency;
+        attribution;
       })
     e2e_workloads
 
@@ -391,20 +409,34 @@ let to_json t =
             "      \"latency\": { \"p50\": %d, \"p99\": %d, \"p999\": %d },\n"
             p50 p99 p999
       in
+      let attribution_json =
+        match e.attribution with
+        | None -> ""
+        | Some cohorts ->
+          "      \"latency_attribution\": {\n"
+          ^ String.concat ",\n"
+              (List.map
+                 (fun (c : Rfdet_obs.Critpath.cohort) ->
+                   Printf.sprintf "        \"%s\": %s" c.Rfdet_obs.Critpath.label
+                     (Rfdet_obs.Critpath.cohort_json c))
+                 cohorts)
+          ^ "\n      },\n"
+      in
       Buffer.add_string b
         (Printf.sprintf
            "    { \"workload\": \"%s\", \"runtime\": \"%s\", \"threads\": %d, \
             \"runs\": %d, \"mean_wall_ms\": %.2f, \"engine_ops\": %d, \
             \"ops_per_sec\": %.0f, \"sim_cycles\": %d,\n\
            \      \"signature\": \"%s\",\n\
-            %s\
+            %s%s\
            \      \"breakdown\": { \"thread_cycles\": %d, \
             \"compute_share\": %.4f, \"wait_share\": %.4f, \
             \"propagate_share\": %.4f, \"diff_share\": %.4f, \
             \"gc_share\": %.4f, \"monitor_share\": %.4f } }%s\n"
            (json_escape e.workload) (json_escape e.runtime) e.threads e.runs
            e.mean_wall_ms e.engine_ops e.ops_per_sec e.sim_cycles
-           (json_escape e.signature) latency_json bd.Rfdet_obs.Report.total
+           (json_escape e.signature) latency_json attribution_json
+           bd.Rfdet_obs.Report.total
            (share bd.Rfdet_obs.Report.compute)
            (share bd.Rfdet_obs.Report.wait)
            (share bd.Rfdet_obs.Report.propagate)
@@ -461,13 +493,27 @@ let render t =
            (pct bd.Rfdet_obs.Report.diff)
            (pct bd.Rfdet_obs.Report.gc)
            (pct bd.Rfdet_obs.Report.monitor));
-      match e.latency with
+      (match e.latency with
       | None -> ()
       | Some (p50, p99, p999) ->
         Buffer.add_string b
           (Printf.sprintf
              "               latency: p50=%d p99=%d p999=%d simulated cycles\n"
-             p50 p99 p999))
+             p50 p99 p999));
+      match e.attribution with
+      | None -> ()
+      | Some cohorts ->
+        List.iter
+          (fun (c : Rfdet_obs.Critpath.cohort) ->
+            Buffer.add_string b
+              (Printf.sprintf "               %s attribution:%s\n"
+                 c.Rfdet_obs.Critpath.label
+                 (String.concat ""
+                    (List.map
+                       (fun (l, s) ->
+                         Printf.sprintf " %s %d.%d%%" l (s / 10) (s mod 10))
+                       c.Rfdet_obs.Critpath.shares_pm))))
+          cohorts)
     t.end_to_end;
   Buffer.contents b
 

@@ -26,6 +26,11 @@ type e2e = {
   latency : (int * int * int) option;
       (** (p50, p99, p999) served-request latency in simulated cycles —
           present for the kvserver entry only *)
+  attribution : Rfdet_obs.Critpath.cohort list option;
+      (** critical-path latency attribution for the p50/p99/p999
+          cohorts, walked from the traced run's span trees — kvserver
+          only.  Virtual cycles, so the JSON stanza is deterministic
+          and CI gates on it byte-for-byte. *)
 }
 
 type sweep = {

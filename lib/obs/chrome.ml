@@ -110,6 +110,29 @@ let export ?(process = "rfdet") events =
           add_event b ~first ~name ~cat:"recovery" ~ph:"X" ~ts:e.time
             ~tid:e.tid ~dur:cycles ~args ()
         else instant "recovery"
+      | Trace.Span { phase; req; b = payload; _ } ->
+        (* One async track per request (grouped by id), flow-arrowed from
+           its admission to the slice on the worker track that served it.
+           Flow ids are offset so they cannot collide with slice ids. *)
+        let rname = Printf.sprintf "req %d" req in
+        let flow_id = req + 0x1000000 in
+        (match phase with
+        | "admit" ->
+          add_event b ~first ~name:rname ~cat:"request" ~ph:"b" ~ts:e.time
+            ~tid:e.tid ~id:req ~args ();
+          add_event b ~first ~name:"request-flow" ~cat:"request" ~ph:"s"
+            ~ts:e.time ~tid:e.tid ~id:flow_id ()
+        | "response" ->
+          add_event b ~first ~name:rname ~cat:"request" ~ph:"e" ~ts:e.time
+            ~tid:e.tid ~id:req ~args ()
+        | "service" | "stale" | "shed" ->
+          add_event b ~first ~name:phase ~cat:"request" ~ph:"X" ~ts:e.time
+            ~tid:e.tid ~dur:(max 0 payload) ~args ();
+          add_event b ~first ~name:"request-flow" ~cat:"request" ~ph:"f"
+            ~bp:"e" ~ts:e.time ~tid:e.tid ~id:flow_id ()
+        | _ ->
+          add_event b ~first ~name:rname ~cat:"request" ~ph:"n" ~ts:e.time
+            ~tid:e.tid ~id:req ~args ())
       | Trace.Thread_exit | Trace.Thread_crash -> instant "lifecycle")
     events;
   Buffer.add_string b "\n]}\n";

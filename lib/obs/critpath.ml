@@ -1,0 +1,241 @@
+(* Offline critical-path walker over per-request span trees.
+
+   Because the whole stack is deterministic, the causal trace is a
+   complete record: walking backwards from a request's response node
+   visits every segment that delayed it, and the segment cycles must sum
+   *bit-exactly* to the measured latency — any residual would mean a
+   phase of the request's life is unaccounted for.  [walk] enforces that
+   invariant and fails loudly instead of attributing approximately. *)
+
+type attribution = {
+  req : int;
+  worker : int;
+  arrival : int;
+  outcome : int;
+  latency : int;
+  attempts : int;
+  transitions : int;
+  segments : (string * int) list; (* canonical label order *)
+}
+
+let segment_labels = [ "queue"; "backoff"; "service"; "stale"; "shed" ]
+
+let walk (r : Span.record) =
+  (* Traverse the request's nodes backwards from the response: each node
+     carries the virtual cycles its phase charged, so the reverse walk
+     reconstructs the exact segment vector of the latency. *)
+  let queue = ref 0
+  and backoff = ref 0
+  and service = ref 0
+  and stale = ref 0
+  and shed = ref 0 in
+  let seen_response = ref false
+  and seen_admit = ref false in
+  List.iter
+    (fun (e : Trace.event) ->
+      match e.kind with
+      | Trace.Span { phase; b; _ } -> (
+        match phase with
+        | "response" -> seen_response := true
+        | "admit" ->
+          seen_admit := true;
+          queue := !queue + b
+        | "backoff" -> backoff := !backoff + b
+        | "service" -> service := !service + b
+        | "stale" -> stale := !stale + b
+        | "shed" -> shed := !shed + b
+        | _ -> ())
+      | _ -> ())
+    (List.rev r.events);
+  if not (!seen_response && !seen_admit) then
+    Error (Printf.sprintf "req %d: span tree is missing admit/response" r.req)
+  else
+    let segments =
+      [
+        ("queue", !queue);
+        ("backoff", !backoff);
+        ("service", !service);
+        ("stale", !stale);
+        ("shed", !shed);
+      ]
+    in
+    let sum = List.fold_left (fun acc (_, c) -> acc + c) 0 segments in
+    if sum <> r.latency then
+      Error
+        (Printf.sprintf
+           "req %d: critical-path segments sum to %d but measured latency \
+            is %d"
+           r.req sum r.latency)
+    else
+      Ok
+        {
+          req = r.req;
+          worker = r.worker;
+          arrival = r.arrival;
+          outcome = r.outcome;
+          latency = r.latency;
+          attempts = r.attempts;
+          transitions = r.transitions;
+          segments;
+        }
+
+let walk_all records =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | r :: rest -> (
+      match walk r with
+      | Ok a -> go (a :: acc) rest
+      | Error _ as e -> e)
+  in
+  go [] records
+
+(* --- cohort aggregation ---------------------------------------------- *)
+
+type cohort = {
+  label : string;
+  per_mille : int;
+  count : int;
+  threshold : int;
+  total_latency : int;
+  cycles : (string * int) list;
+  shares_pm : (string * int) list;
+}
+
+let cohort ~label ~per_mille atts =
+  match atts with
+  | [] ->
+    {
+      label;
+      per_mille;
+      count = 0;
+      threshold = 0;
+      total_latency = 0;
+      cycles = List.map (fun l -> (l, 0)) segment_labels;
+      shares_pm = List.map (fun l -> (l, 0)) segment_labels;
+    }
+  | _ ->
+    let lats =
+      List.sort compare (List.map (fun a -> a.latency) atts)
+      |> Array.of_list
+    in
+    let n = Array.length lats in
+    (* nearest-rank quantile in pure integer arithmetic *)
+    let threshold = lats.(min (n - 1) (per_mille * n / 1000)) in
+    let members = List.filter (fun a -> a.latency >= threshold) atts in
+    let count = List.length members in
+    let total_latency =
+      List.fold_left (fun acc a -> acc + a.latency) 0 members
+    in
+    let sum label =
+      List.fold_left
+        (fun acc a -> acc + List.assoc label a.segments)
+        0 members
+    in
+    let cycles = List.map (fun l -> (l, sum l)) segment_labels in
+    let shares_pm =
+      List.map
+        (fun (l, c) ->
+          (l, if total_latency = 0 then 0 else c * 1000 / total_latency))
+        cycles
+    in
+    { label; per_mille; count; threshold; total_latency; cycles; shares_pm }
+
+let cohorts atts =
+  [
+    cohort ~label:"p50" ~per_mille:500 atts;
+    cohort ~label:"p99" ~per_mille:990 atts;
+    cohort ~label:"p999" ~per_mille:999 atts;
+  ]
+
+(* --- exemplars ------------------------------------------------------- *)
+
+let take k l =
+  let rec go k = function
+    | [] -> []
+    | _ when k <= 0 -> []
+    | x :: rest -> x :: go (k - 1) rest
+  in
+  go k l
+
+let top_slowest k atts =
+  take k
+    (List.sort
+       (fun x y ->
+         match compare y.latency x.latency with
+         | 0 -> compare x.req y.req
+         | c -> c)
+       atts)
+
+let top_deepest k atts =
+  take k
+    (List.sort
+       (fun x y ->
+         match compare y.attempts x.attempts with
+         | 0 -> (
+           match compare y.latency x.latency with
+           | 0 -> compare x.req y.req
+           | c -> c)
+         | c -> c)
+       atts)
+
+(* --- canonical JSON -------------------------------------------------- *)
+
+(* Everything below prints integers and fixed label sets in a fixed
+   order — no floats, no timestamps, no runtime names — so the document
+   is byte-identical across runtimes, job counts and repeat runs. *)
+
+let int_obj pairs =
+  "{ "
+  ^ String.concat ", "
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %d" k v) pairs)
+  ^ " }"
+
+let attribution_json a =
+  Printf.sprintf
+    "{ \"req\": %d, \"worker\": %d, \"outcome\": \"%s\", \"latency\": %d, \
+     \"attempts\": %d, \"transitions\": %d, \"segments\": %s, \"replay\": \
+     { \"window\": [%d, %d] } }"
+    a.req a.worker
+    (Span.outcome_name a.outcome)
+    a.latency a.attempts a.transitions (int_obj a.segments) a.arrival
+    (a.arrival + a.latency)
+
+let cohort_json c =
+  Printf.sprintf
+    "{ \"count\": %d, \"threshold\": %d, \"total_latency\": %d, \
+     \"cycles\": %s, \"shares_pm\": %s }"
+    c.count c.threshold c.total_latency (int_obj c.cycles)
+    (int_obj c.shares_pm)
+
+let json ~meta ~top atts =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n  \"schema\": \"rfdet-spans/1\"";
+  List.iter
+    (fun (k, v) -> Buffer.add_string b (Printf.sprintf ",\n  \"%s\": %s" k v))
+    meta;
+  Buffer.add_string b
+    (Printf.sprintf ",\n  \"spanned\": %d" (List.length atts));
+  Buffer.add_string b ",\n  \"attribution\": {";
+  List.iteri
+    (fun i c ->
+      Buffer.add_string b
+        (Printf.sprintf "%s\n    \"%s\": %s"
+           (if i = 0 then "" else ",")
+           c.label (cohort_json c)))
+    (cohorts atts);
+  Buffer.add_string b "\n  }";
+  let emit_list name xs =
+    Buffer.add_string b (Printf.sprintf ",\n  \"%s\": [" name);
+    List.iteri
+      (fun i a ->
+        Buffer.add_string b
+          (Printf.sprintf "%s\n    %s"
+             (if i = 0 then "" else ",")
+             (attribution_json a)))
+      xs;
+    Buffer.add_string b (if xs = [] then "]" else "\n  ]")
+  in
+  emit_list "top_slowest" (top_slowest top atts);
+  emit_list "top_deepest" (top_deepest top atts);
+  Buffer.add_string b "\n}\n";
+  Buffer.contents b

@@ -1,0 +1,80 @@
+(** Offline critical-path latency attribution over span trees.
+
+    [walk] traverses a request's span tree backwards from its response
+    node and attributes every cycle of the measured latency to an exact
+    segment vector over {!segment_labels}.  The attribution is {e exact}
+    by contract: if the segment cycles do not sum bit-exactly to the
+    measured latency, [walk] returns [Error] instead of an approximate
+    answer — a residual would mean a phase of the request's life went
+    unrecorded, which in a deterministic system is a bug, not noise.
+
+    All arithmetic is over virtual per-worker cycles and fixed label
+    sets; the JSON renderers emit integers only, in a fixed order, so
+    every output here is byte-identical across runtimes, [--jobs] counts
+    and repeat runs at the same seed. *)
+
+type attribution = {
+  req : int;
+  worker : int;
+  arrival : int;
+  outcome : int;
+  latency : int;
+  attempts : int;
+  transitions : int;
+  segments : (string * int) list;
+      (** cycles per segment, in [segment_labels] order; sums exactly to
+          [latency] *)
+}
+
+val segment_labels : string list
+(** Canonical segment order: queue, backoff, service, stale, shed. *)
+
+val walk : Span.record -> (attribution, string) result
+(** Attribute one request, enforcing the exact-sum invariant. *)
+
+val walk_all : Span.record list -> (attribution list, string) result
+(** [walk] every record (input order preserved); first violation wins. *)
+
+(** {1 Cohort aggregation} *)
+
+type cohort = {
+  label : string;  (** "p50" / "p99" / "p999" *)
+  per_mille : int;
+  count : int;  (** requests at or above the quantile threshold *)
+  threshold : int;  (** nearest-rank latency quantile, in cycles *)
+  total_latency : int;
+  cycles : (string * int) list;  (** summed segment cycles *)
+  shares_pm : (string * int) list;
+      (** integer per-mille share of [total_latency] per segment *)
+}
+
+val cohort : label:string -> per_mille:int -> attribution list -> cohort
+(** The cohort of requests whose latency is at or above the given
+    nearest-rank quantile (e.g. [~per_mille:999] = the p999 tail). *)
+
+val cohorts : attribution list -> cohort list
+(** The p50, p99 and p999 cohorts, in that order. *)
+
+(** {1 Exemplars} *)
+
+val top_slowest : int -> attribution list -> attribution list
+(** Highest latency first; ties broken by request id ascending. *)
+
+val top_deepest : int -> attribution list -> attribution list
+(** Most lock attempts first (deepest span tree), then latency, then
+    request id — the convoy/retry exemplars. *)
+
+(** {1 Canonical JSON} *)
+
+val attribution_json : attribution -> string
+(** One attribution as a single-line JSON object, including the replay
+    coordinate's virtual-cycle window [\[arrival, arrival+latency\]]
+    (the run seeds that complete the coordinate live at document
+    level). *)
+
+val cohort_json : cohort -> string
+
+val json : meta:(string * string) list -> top:int -> attribution list -> string
+(** The full sorted document: [meta] pairs (key, raw JSON value) echoed
+    in order, then per-cohort attribution and the top-k slowest/deepest
+    exemplar lists. *)

@@ -1,0 +1,180 @@
+(* Per-request span trees, reconstructed offline from the causal trace.
+
+   The serve workloads emit one [Trace.Span] node per request phase
+   (admission, retry attempts, backoff, breaker transitions, service /
+   degraded service, response).  All payloads are measured in *virtual*
+   per-worker cycles — the clock domain the server's deadlines, backoff
+   and latency quantiles live in — so a reconstructed tree is identical
+   across runtimes even though the engine [time] stamps on the events
+   are not.  Rendering therefore prints payloads only, never stamps. *)
+
+type record = {
+  req : int;
+  worker : int;
+  arrival : int;
+  outcome : int;
+  latency : int;
+  attempts : int;
+  transitions : int;
+  queue : int;
+  backoff : int;
+  service : int;
+  stale : int;
+  shed : int;
+  events : Trace.event list;
+}
+
+type t = { complete : record list; incomplete : int }
+
+(* Outcome codes follow lib/server/server.ml's wire encoding. *)
+let outcome_name = function
+  | 1 -> "served"
+  | 2 -> "stale"
+  | 3 -> "shed"
+  | 4 -> "timed_out"
+  | 5 -> "failed"
+  | _ -> "unknown"
+
+type partial = {
+  mutable p_worker : int;
+  mutable p_arrival : int;
+  mutable p_queue : int;
+  mutable p_backoff : int;
+  mutable p_service : int;
+  mutable p_stale : int;
+  mutable p_shed : int;
+  mutable p_attempts : int;
+  mutable p_transitions : int;
+  mutable p_events : Trace.event list; (* reversed *)
+}
+
+let fresh_partial ~worker ~arrival ~queue ev =
+  {
+    p_worker = worker;
+    p_arrival = arrival;
+    p_queue = queue;
+    p_backoff = 0;
+    p_service = 0;
+    p_stale = 0;
+    p_shed = 0;
+    p_attempts = 0;
+    p_transitions = 0;
+    p_events = [ ev ];
+  }
+
+(* A crashed-and-replayed request emits its tree twice: the replay's
+   admit node supersedes the earlier partial, and a req that completes
+   twice keeps the last completion.  A partial with no response by the
+   end of the trace (crash without recovery, or a ring that dropped the
+   tail) counts as incomplete unless some emission of the same req did
+   complete. *)
+let collect events =
+  let open_tbl : (int, partial) Hashtbl.t = Hashtbl.create 256 in
+  let done_tbl : (int, record) Hashtbl.t = Hashtbl.create 256 in
+  let orphans = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Trace.event) ->
+      match e.kind with
+      | Trace.Span { phase; req; a; b } -> (
+        if phase = "admit" then
+          Hashtbl.replace open_tbl req
+            (fresh_partial ~worker:e.tid ~arrival:a ~queue:b e)
+        else
+          match Hashtbl.find_opt open_tbl req with
+          | None ->
+            (* the admit was lost (ring overflow) — unusable for
+               attribution, but remember the req so it is reported *)
+            Hashtbl.replace orphans req ()
+          | Some p -> (
+            p.p_events <- e :: p.p_events;
+            match phase with
+            | "attempt" -> p.p_attempts <- p.p_attempts + 1
+            | "backoff" -> p.p_backoff <- p.p_backoff + b
+            | "service" -> p.p_service <- p.p_service + b
+            | "stale" -> p.p_stale <- p.p_stale + b
+            | "shed" -> p.p_shed <- p.p_shed + b
+            | "breaker" -> p.p_transitions <- p.p_transitions + b
+            | "response" ->
+              Hashtbl.remove open_tbl req;
+              Hashtbl.replace done_tbl req
+                {
+                  req;
+                  worker = p.p_worker;
+                  arrival = p.p_arrival;
+                  outcome = b;
+                  latency = a;
+                  attempts = p.p_attempts;
+                  transitions = p.p_transitions;
+                  queue = p.p_queue;
+                  backoff = p.p_backoff;
+                  service = p.p_service;
+                  stale = p.p_stale;
+                  shed = p.p_shed;
+                  events = List.rev p.p_events;
+                }
+            | _ -> ()))
+      | _ -> ())
+    events;
+  let incomplete = ref 0 in
+  let count_if_incomplete req =
+    if not (Hashtbl.mem done_tbl req) then incr incomplete
+  in
+  Hashtbl.iter (fun req _ -> count_if_incomplete req) open_tbl;
+  Hashtbl.iter
+    (fun req () ->
+      if not (Hashtbl.mem open_tbl req) then count_if_incomplete req)
+    orphans;
+  let complete =
+    Hashtbl.fold (fun _ r acc -> r :: acc) done_tbl []
+    |> List.sort (fun a b -> compare a.req b.req)
+  in
+  { complete; incomplete = !incomplete }
+
+let depth r = 1 + r.attempts
+
+let lock_outcome_name = function
+  | 0 -> "ok"
+  | 1 -> "poisoned"
+  | 2 -> "timed_out"
+  | n -> string_of_int n
+
+let render_tree buf r =
+  Buffer.add_string buf
+    (Printf.sprintf "req %d worker %d arrival=%d outcome=%s latency=%d\n"
+       r.req r.worker r.arrival (outcome_name r.outcome) r.latency);
+  let in_attempt = ref false in
+  List.iter
+    (fun (e : Trace.event) ->
+      match e.kind with
+      | Trace.Span { phase; a; b; _ } -> (
+        match phase with
+        | "admit" ->
+          in_attempt := false;
+          Buffer.add_string buf (Printf.sprintf "|- queue %d\n" b)
+        | "attempt" ->
+          in_attempt := true;
+          Buffer.add_string buf
+            (Printf.sprintf "|- attempt %d: lock %s\n" a
+               (lock_outcome_name b))
+        | "backoff" ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s backoff %d\n"
+               (if !in_attempt then "|  `-" else "|-")
+               b)
+        | "service" | "stale" | "shed" ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s %s %d (shard %d)\n"
+               (if !in_attempt then "|  `-" else "|-")
+               phase b a)
+        | "breaker" ->
+          Buffer.add_string buf
+            (Printf.sprintf "|- breaker transitions=%d (shard %d)\n" b a)
+        | "response" ->
+          Buffer.add_string buf
+            (Printf.sprintf "`- response %s latency=%d\n" (outcome_name b)
+               a)
+        | other ->
+          Buffer.add_string buf (Printf.sprintf "|- %s a=%d b=%d\n" other a b)
+        )
+      | _ -> ())
+    r.events

@@ -1,0 +1,53 @@
+(** Per-request span trees, reconstructed offline from the causal trace.
+
+    The serve workloads emit one [Trace.Span] node per request phase
+    through the inert sink; [collect] folds a trace back into one
+    {!record} per committed request.  Every cycle figure is a {e virtual}
+    per-worker cycle — the clock domain of the server's deadlines,
+    backoff and latency quantiles — so records (and everything derived
+    from them: critical paths, exemplars, JSON) are bit-identical across
+    runtimes, schedules and [--jobs] counts even though the engine time
+    stamps on the underlying events are not.
+
+    Crash-and-replay emits a request's tree twice; [collect] keeps the
+    last completed emission, exactly mirroring the server's exactly-once
+    commit protocol.  Requests whose tree never completed (a crash the
+    plan did not recover, or a saturated trace ring) are counted in
+    [incomplete] rather than silently dropped. *)
+
+type record = {
+  req : int;  (** global request sequence number *)
+  worker : int;  (** tid of the committing worker *)
+  arrival : int;  (** arrival cycle (virtual clock) *)
+  outcome : int;  (** outcome code, [outcome_name] for the label *)
+  latency : int;  (** measured latency in virtual cycles *)
+  attempts : int;  (** lock attempts (retries = attempts - 1) *)
+  transitions : int;  (** breaker transitions during this request *)
+  queue : int;  (** cycles queued before admission *)
+  backoff : int;  (** cycles spent in retry backoff *)
+  service : int;  (** cycles of full service *)
+  stale : int;  (** cycles of degraded stale service *)
+  shed : int;  (** cycles of shed bookkeeping *)
+  events : Trace.event list;  (** this request's span nodes, in order *)
+}
+
+type t = {
+  complete : record list;  (** one per committed request, sorted by req *)
+  incomplete : int;
+      (** requests with span nodes but no completed tree *)
+}
+
+val collect : Trace.event list -> t
+(** Fold a trace (any kinds; non-span events are ignored) into
+    per-request records. *)
+
+val outcome_name : int -> string
+(** The server's wire encoding: 1 served, 2 stale, 3 shed, 4 timed_out,
+    5 failed. *)
+
+val depth : record -> int
+(** Tree depth: 1 + attempts — the "deepest exemplar" sort key. *)
+
+val render_tree : Buffer.t -> record -> unit
+(** ASCII span tree.  Prints virtual-cycle payloads only (never engine
+    stamps), so renders are byte-identical across runtimes. *)

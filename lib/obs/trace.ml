@@ -13,6 +13,7 @@ type kind =
   | Barrier_stall of { barrier : int; cycles : int }
   | Fault of { op : string; action : string }
   | Recovery of { action : string; target : int; attempt : int; cycles : int }
+  | Span of { phase : string; req : int; a : int; b : int }
   | Thread_exit
   | Thread_crash
 
@@ -39,8 +40,17 @@ let kind_name = function
   | Barrier_stall _ -> "barrier_stall"
   | Fault _ -> "fault"
   | Recovery _ -> "recovery"
+  | Span _ -> "span"
   | Thread_exit -> "thread_exit"
   | Thread_crash -> "thread_crash"
+
+let kind_names =
+  [
+    "slice_open"; "slice_close"; "snapshot"; "diff"; "propagate";
+    "prop_page"; "gc"; "lock_acquire"; "lock_release"; "steal";
+    "kendo_wait"; "barrier_stall"; "fault"; "recovery"; "span";
+    "thread_exit"; "thread_crash";
+  ]
 
 let cycles_of = function
   | Slice_close { cycles; _ }
@@ -53,7 +63,7 @@ let cycles_of = function
   | Recovery { cycles; _ } -> cycles
   | Lock_acquire { wait; _ } -> wait
   | Lock_release _ | Steal _ | Slice_open | Prop_page _ | Fault _
-  | Thread_exit | Thread_crash -> 0
+  | Span _ | Thread_exit | Thread_crash -> 0
 
 (* --- serialization --------------------------------------------------- *)
 
@@ -96,6 +106,9 @@ let fields_of_kind = function
   | Recovery { action; target; attempt; cycles } ->
     [ ("action", action); ("target", string_of_int target);
       ("attempt", string_of_int attempt); ("cycles", string_of_int cycles) ]
+  | Span { phase; req; a; b } ->
+    [ ("phase", phase); ("req", string_of_int req);
+      ("a", string_of_int a); ("b", string_of_int b) ]
 
 let to_line e =
   let b = Buffer.create 64 in
@@ -261,6 +274,17 @@ let kind_of_parts name parts =
         let* attempt = int_of attempt in
         let* cycles = int_of cycles in
         Ok (Recovery { action; target; attempt; cycles })
+    | _ -> assert false)
+  | "span" ->
+    let* vs = take_fields [ "phase"; "req"; "a"; "b" ] parts in
+    (match vs with
+    | [ phase; req; a; b ] ->
+      if not (token_ok phase) then Error "empty span phase token"
+      else
+        let* req = int_of req in
+        let* a = int_of a in
+        let* b = int_of b in
+        Ok (Span { phase; req; a; b })
     | _ -> assert false)
   | other -> Error (Printf.sprintf "unknown event kind %S" other)
 

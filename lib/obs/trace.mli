@@ -70,6 +70,13 @@ type kind =
           [attempt] is the retry attempt number (0 when n/a); [cycles]
           is the simulated time the action charged (backoff latency,
           re-derivation cost) *)
+  | Span of { phase : string; req : int; a : int; b : int }
+      (** one node of a per-request span tree, emitted by the serve
+          workloads (see [Rfdet_obs.Span] for the phase vocabulary and
+          payload meanings).  [req] is the global request sequence
+          number; [a]/[b] are phase-specific payloads measured in
+          {e virtual} per-worker cycles, so span payloads are identical
+          across runtimes even though [time] stamps are not *)
   | Thread_exit
   | Thread_crash  (** the thread died under crash containment *)
 
@@ -83,6 +90,10 @@ type event = {
 
 val kind_name : kind -> string
 (** The serialized tag, e.g. ["slice_close"]. *)
+
+val kind_names : string list
+(** Every [kind_name], in declaration order — the vocabulary accepted by
+    [rfdet trace --filter-kind]. *)
 
 val cycles_of : kind -> int
 (** The event's cycle cost (0 for instant events). *)

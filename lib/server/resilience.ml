@@ -16,6 +16,12 @@ module Breaker = struct
   let state w =
     match w land 3 with 0 -> Closed | 1 -> Open | _ -> Half_open
 
+  let state_name w =
+    match state w with
+    | Closed -> "closed"
+    | Open -> "open"
+    | Half_open -> "half_open"
+
   let successes w = (w lsr 2) land 0xF
 
   let failures w = (w lsr 6) land 0x3F

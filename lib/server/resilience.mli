@@ -15,6 +15,10 @@ module Breaker : sig
 
   val state : int -> state
 
+  val state_name : int -> string
+  (** ["closed"] / ["open"] / ["half_open"] — stable strings for trace
+      and span output. *)
+
   val failures : int -> int
   (** Consecutive failures while closed. *)
 

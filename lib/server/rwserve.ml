@@ -1,4 +1,5 @@
 module Api = Rfdet_sim.Api
+module Op = Rfdet_sim.Op
 module Metrics = Rfdet_obs.Metrics
 module Breaker = Resilience.Breaker
 
@@ -173,8 +174,18 @@ let run ~seed p =
       let shard = Kvstore.shard_of store r.Traffic.key in
       let b_addr = breakers + (8 * shard) in
       if r.Traffic.arrival > !now then now := r.Traffic.arrival;
+      (* span tree for the put path, exactly as in [Server]: queue +
+         service cycles tile the measured latency.  Phase-2 gets are
+         batch-drained with no per-request latency, so they carry no
+         spans. *)
+      Api.span Op.Sp_admit ~req:r.Traffic.seq ~a:r.Traffic.arrival
+        ~b:(!now - r.Traffic.arrival);
+      let trans = ref 0 in
       let b = ref (Api.load b_addr) in
-      let update (b', _) = b := b' in
+      let update (b', t) =
+        if t then incr trans;
+        b := b'
+      in
       update (Breaker.tick !b ~now:!now ~cooldown:p.cooldown);
       let timed_out = !now - r.Traffic.arrival > p.deadline in
       if timed_out then
@@ -187,11 +198,17 @@ let run ~seed p =
           wr_locked rwlocks.(shard) (fun () -> Kvstore.put store r.Traffic.key v)
         | Traffic.Get -> assert false);
         now := !now + r.Traffic.cost;
+        Api.span Op.Sp_service ~req:r.Traffic.seq ~a:shard ~b:r.Traffic.cost;
         update
           (Breaker.on_success !b ~now:!now
              ~half_open_successes:p.half_open_successes)
       end;
       Api.store b_addr !b;
+      if !trans > 0 then
+        Api.span Op.Sp_breaker ~req:r.Traffic.seq ~a:shard ~b:!trans;
+      Api.span Op.Sp_response ~req:r.Traffic.seq
+        ~a:(!now - r.Traffic.arrival)
+        ~b:(if timed_out then 4 else 1);
       (* commit, then account on the host — a replayed request can
          never have been counted *)
       Api.atomic_store prog_addr ((!now lsl cursor_bits) lor (i + 1));

@@ -1,4 +1,5 @@
 module Api = Rfdet_sim.Api
+module Op = Rfdet_sim.Op
 module Metrics = Rfdet_obs.Metrics
 module Breaker = Resilience.Breaker
 module Retry = Resilience.Retry
@@ -207,6 +208,13 @@ let run ?(record_events = false) ~seed p =
       let b_addr = breakers + (8 * shard) in
       if r.Traffic.arrival > !now then now := r.Traffic.arrival;
       let lag = !now - r.Traffic.arrival in
+      (* span nodes are emitted unconditionally (zero-cost engine ops);
+         together they tile the request's latency exactly: every cycle
+         of [response - arrival] appears in exactly one of queue,
+         backoff, service, stale or shed.  A crash replays the whole
+         tree; the offline collector keeps the last completed emission,
+         mirroring the exactly-once commit below. *)
+      Api.span Op.Sp_admit ~req:r.Traffic.seq ~a:r.Traffic.arrival ~b:lag;
       let attempts = ref 0 in
       let trans = ref 0 in
       (* breaker updates are buffered in [b] — this worker is the
@@ -246,7 +254,10 @@ let run ?(record_events = false) ~seed p =
           let mu = Kvstore.lock store shard in
           match Api.lock_timed mu ~timeout:(budget + p.lock_slack) with
           | `Ok ->
+            Api.span Op.Sp_attempt ~req:r.Traffic.seq ~a:n ~b:0;
             serve ();
+            Api.span Op.Sp_service ~req:r.Traffic.seq ~a:shard
+              ~b:r.Traffic.cost;
             Api.unlock mu;
             update
               (Breaker.on_success !b ~now:!now
@@ -256,22 +267,28 @@ let run ?(record_events = false) ~seed p =
             (* the previous holder (this worker, pre-crash, or a
                failed-over peer) died mid-hold; single-word puts keep
                the table consistent, so heal and serve *)
+            Api.span Op.Sp_attempt ~req:r.Traffic.seq ~a:n ~b:1;
             ignore (Api.mutex_heal mu);
             serve ();
+            Api.span Op.Sp_service ~req:r.Traffic.seq ~a:shard
+              ~b:r.Traffic.cost;
             Api.unlock mu;
             update
               (Breaker.on_success !b ~now:!now
                  ~half_open_successes:p.half_open_successes);
             O_served
           | `Timed_out ->
+            Api.span Op.Sp_attempt ~req:r.Traffic.seq ~a:n ~b:2;
             update
               (Breaker.on_failure !b ~now:!now
                  ~failure_threshold:p.failure_threshold);
             incr attempts;
-            now :=
-              !now
-              + Retry.backoff ~seed ~worker:w ~seq:r.Traffic.seq ~attempt:n
-                  ~base:p.backoff_base;
+            let back =
+              Retry.backoff ~seed ~worker:w ~seq:r.Traffic.seq ~attempt:n
+                ~base:p.backoff_base
+            in
+            Api.span Op.Sp_backoff ~req:r.Traffic.seq ~a:n ~b:back;
+            now := !now + back;
             attempt (n + 1)
         end
       in
@@ -283,9 +300,12 @@ let run ?(record_events = false) ~seed p =
             let v = Kvstore.stale_get store ~shard in
             contrib := Some (mix r.Traffic.key v);
             now := !now + p.stale_cost;
+            Api.span Op.Sp_stale ~req:r.Traffic.seq ~a:shard
+              ~b:p.stale_cost;
             O_stale
           | Traffic.Put _ ->
             now := !now + p.shed_cost;
+            Api.span Op.Sp_shed ~req:r.Traffic.seq ~a:shard ~b:p.shed_cost;
             O_shed
         end
         else
@@ -295,6 +315,7 @@ let run ?(record_events = false) ~seed p =
           with
           | Shed.Shed ->
             now := !now + p.shed_cost;
+            Api.span Op.Sp_shed ~req:r.Traffic.seq ~a:shard ~b:p.shed_cost;
             O_shed
           | Shed.Admit -> attempt 0
       in
@@ -313,6 +334,14 @@ let run ?(record_events = false) ~seed p =
         Api.tick (!now - !mirrored);
         mirrored := !now
       end;
+      if !trans > 0 then
+        Api.span Op.Sp_breaker ~req:r.Traffic.seq ~a:shard ~b:!trans;
+      (* the response node closes the tree strictly before the commit:
+         a crash between the two replays the request and re-emits a
+         complete tree, so every committed request has one *)
+      Api.span Op.Sp_response ~req:r.Traffic.seq
+        ~a:(!now - r.Traffic.arrival)
+        ~b:(outcome_code outcome);
       (* commit: publish (clock, cursor) and, through the release, the
          table/breaker writes of this request *)
       Api.atomic_store prog_addr ((!now lsl cursor_bits) lor (i + 1));

@@ -163,6 +163,9 @@ let checkpoint body = ignore (perform_op (Checkpoint body))
 let server_mark ?(n = 1) ev =
   if n > 0 then ignore (perform_op (Server_mark { ev; n }))
 
+let span ?(a = 0) ?(b = 0) phase ~req =
+  ignore (perform_op (Span { phase; req; a; b }))
+
 let output v = ignore (perform_op (Output v))
 
 let output_int v = output (Int64.of_int v)

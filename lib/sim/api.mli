@@ -208,6 +208,14 @@ val server_mark : ?n:int -> Op.server_event -> unit
     request-serving outcome to the engine profile.  Thread-private
     bookkeeping — not a synchronization point.  No-op when [n <= 0]. *)
 
+val span : ?a:int -> ?b:int -> Op.span_phase -> req:int -> unit
+(** [span phase ~req ~a ~b] records one node of request [req]'s span
+    tree (see [Op.span_phase] for the payload conventions).  Charges
+    zero cycles and zero instruction count and is not a synchronization
+    point; its only effect is a trace emission when the run's sink is
+    enabled, so callers perform spans unconditionally and tracing on/off
+    cannot perturb the run. *)
+
 (** {1 Low-level atomics}
 
     The lock-free synchronization interface of the paper's Sections

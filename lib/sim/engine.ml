@@ -315,6 +315,17 @@ let pre_handle t th (op : Op.t) =
       p.breaker_transitions <- p.breaker_transitions + n
     | Op.Sv_stale_read -> p.stale_reads <- p.stale_reads + n);
     Some (Done 0)
+  | Span { phase; req; a; b } ->
+    (* Free instrumentation: no cycle or instruction-count charge, so the
+       icount stream seen by the arbiter between real operations — and
+       with it every lock grant, stamp order and timeout expiry — is the
+       same as if the span were not performed at all.  The only effect is
+       a trace emission when the run has a live sink. *)
+    if Rfdet_obs.Sink.enabled t.config.obs then
+      Rfdet_obs.Sink.emit t.config.obs ~tid:th.tid ~time:th.clock
+        (Rfdet_obs.Trace.Span
+           { phase = Op.span_phase_name phase; req; a; b });
+    Some (Done 0)
   | Malloc n ->
     th.icount <- th.icount + c.malloc;
     th.clock <- th.clock + c.malloc;
@@ -714,6 +725,11 @@ let run ?(config = default_config) make_policy ~main =
   let thread_clocks =
     List.init t.next_tid (fun tid -> (tid, (find t tid).clock))
   in
+  (* A saturated trace ring silently truncates offline analysis — record
+     how much was lost so `rfdet trace`/`rfdet spans` can warn loudly.
+     Always 0 for the shared null sink and for unbounded sinks, so
+     tracing on/off keeps profiles bit-identical. *)
+  t.prof.trace_dropped <- Rfdet_obs.Sink.dropped t.config.obs;
   {
     sim_time;
     outputs = collect_outputs t;

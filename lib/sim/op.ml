@@ -24,6 +24,7 @@ type t =
   | Checkpoint of (unit -> unit)
   | Atomic of { addr : int; rmw : rmw }
   | Server_mark of { ev : server_event; n : int }
+  | Span of { phase : span_phase; req : int; a : int; b : int }
   | Rwlock_create
   | Rdlock of int
   | Wrlock of int
@@ -43,6 +44,16 @@ and server_event =
   | Sv_timed_out
   | Sv_breaker_transition
   | Sv_stale_read
+
+and span_phase =
+  | Sp_admit
+  | Sp_attempt
+  | Sp_backoff
+  | Sp_breaker
+  | Sp_service
+  | Sp_stale
+  | Sp_shed
+  | Sp_response
 
 and rmw =
   | A_load
@@ -79,6 +90,7 @@ let name = function
   | Checkpoint _ -> "checkpoint"
   | Atomic _ -> "atomic"
   | Server_mark _ -> "server_mark"
+  | Span _ -> "span"
   | Rwlock_create -> "rwlock_create"
   | Rdlock _ -> "rdlock"
   | Wrlock _ -> "wrlock"
@@ -90,6 +102,16 @@ let name = function
   | Deque_push _ -> "deque_push"
   | Deque_pop _ -> "deque_pop"
   | Deque_steal _ -> "deque_steal"
+
+let span_phase_name = function
+  | Sp_admit -> "admit"
+  | Sp_attempt -> "attempt"
+  | Sp_backoff -> "backoff"
+  | Sp_breaker -> "breaker"
+  | Sp_service -> "service"
+  | Sp_stale -> "stale"
+  | Sp_shed -> "shed"
+  | Sp_response -> "response"
 
 let server_event_name = function
   | Sv_served -> "served"
@@ -117,6 +139,6 @@ let is_sync = function
     true
   | Load _ | Store _ | Tick _ | Mutex_create | Cond_create
   | Barrier_create _ | Malloc _ | Free _ | Output _ | Self | Yield
-  | Checkpoint _ | Server_mark _ | Rwlock_create | Sem_create _
+  | Checkpoint _ | Server_mark _ | Span _ | Rwlock_create | Sem_create _
   | Deque_create ->
     false

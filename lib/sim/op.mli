@@ -62,6 +62,16 @@ type t =
           thread-private bookkeeping operation — not a synchronization
           point, and handled entirely by the engine, so every runtime
           supports it for free.  Result is always 0. *)
+  | Span of { phase : span_phase; req : int; a : int; b : int }
+      (** one node of request [req]'s span tree.  Like [Server_mark] a
+          thread-private bookkeeping operation handled entirely by the
+          engine: it charges {e zero} cycles and zero instruction count,
+          and its only effect is an [Rfdet_obs.Trace.Span] emission when
+          the run's sink is enabled — so a workload performs spans
+          unconditionally and tracing on/off cannot perturb schedules,
+          signatures or profiles.  [a]/[b] are phase-specific payloads in
+          virtual per-worker cycles (see [Api.span]).  Result is
+          always 0. *)
   | Rwlock_create  (** result: reader-writer lock handle *)
   | Rdlock of int
       (** blocking shared acquire; readers are admitted in deterministic
@@ -102,6 +112,16 @@ and server_event =
   | Sv_breaker_transition
   | Sv_stale_read
 
+and span_phase =
+  | Sp_admit  (** a = arrival cycle, b = queue lag at admission *)
+  | Sp_attempt  (** a = attempt index, b = lock outcome (0 ok / 1 poisoned / 2 timed out) *)
+  | Sp_backoff  (** a = attempt index, b = backoff cycles charged *)
+  | Sp_breaker  (** a = shard, b = breaker transitions during this request *)
+  | Sp_service  (** a = shard, b = service cycles charged *)
+  | Sp_stale  (** a = shard, b = degraded stale-read cycles charged *)
+  | Sp_shed  (** a = shard, b = shed bookkeeping cycles charged *)
+  | Sp_response  (** a = measured latency, b = outcome code *)
+
 and rmw =
   | A_load  (** acquire load *)
   | A_store of int  (** release store *)
@@ -117,6 +137,10 @@ val name : t -> string
 (** Short constructor name for diagnostics. *)
 
 val server_event_name : server_event -> string
+
+val span_phase_name : span_phase -> string
+(** The phase vocabulary of [Rfdet_obs.Trace.Span] ("admit", "attempt",
+    "backoff", "breaker", "service", "stale", "shed", "response"). *)
 
 val is_sync : t -> bool
 (** True for operations that are acquire and/or release points (lock,

@@ -42,6 +42,7 @@ type t = {
   mutable stack_bytes : int;
   mutable metadata_peak_bytes : int;
   mutable private_copy_bytes : int;
+  mutable trace_dropped : int;
 }
 
 let create () =
@@ -89,6 +90,7 @@ let create () =
     stack_bytes = 0;
     metadata_peak_bytes = 0;
     private_copy_bytes = 0;
+    trace_dropped = 0;
   }
 
 let footprint_pthreads p = p.shared_bytes + p.stack_bytes
@@ -150,6 +152,7 @@ let fields p =
     ("stack_bytes", p.stack_bytes);
     ("metadata_peak_bytes", p.metadata_peak_bytes);
     ("private_copy_bytes", p.private_copy_bytes);
+    ("trace_dropped", p.trace_dropped);
   ]
 
 let pp ppf p =
@@ -165,7 +168,8 @@ let pp ppf p =
      server: served=%d shed=%d retried=%d timed_out=%d breaker=%d stale=%d@ \
      primitives: unheard_signals=%d rw_batches=%d rw_batch_readers=%d \
      steals=%d/%d@ \
-     footprint: shared=%d stacks=%d metadata=%d private=%d@]"
+     footprint: shared=%d stacks=%d metadata=%d private=%d@ \
+     obs: trace_dropped=%d@]"
     p.locks p.unlocks p.waits p.signals p.barriers p.forks p.joins p.atomics
     p.loads p.stores p.stores_with_copy p.page_faults p.mprotect_calls
     p.snapshots p.slices_created p.slices_propagated p.bytes_propagated
@@ -176,7 +180,7 @@ let pp ppf p =
     p.stale_reads p.cond_unheard_signals p.rw_reader_batches
     p.rw_batch_readers p.steals_succeeded p.steals_attempted
     p.shared_bytes p.stack_bytes
-    p.metadata_peak_bytes p.private_copy_bytes
+    p.metadata_peak_bytes p.private_copy_bytes p.trace_dropped
 
 let to_json p =
   let b = Buffer.create 512 in

@@ -66,6 +66,11 @@ type t = {
   mutable metadata_peak_bytes : int;
   mutable private_copy_bytes : int;
       (** bytes of per-thread private page copies beyond one shared image *)
+  (* observability (Rfdet_obs.Sink) *)
+  mutable trace_dropped : int;
+      (** trace events lost to ring-buffer overflow (0 when tracing is
+          off or the sink is unbounded) — nonzero means offline span and
+          contention analysis is incomplete *)
 }
 
 val create : unit -> t

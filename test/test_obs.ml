@@ -46,8 +46,12 @@ let gen_kind =
               action = (if c mod 2 = 0 then "crash" else "fail") }
         | 12 -> Trace.Thread_exit
         | 13 -> Trace.Steal { deque = a; victim = b; value = c }
+        | 14 ->
+          Trace.Span
+            { phase = (if d mod 2 = 0 then "admit" else "response");
+              req = a; a = b; b = c }
         | _ -> Trace.Thread_crash)
-      (pair (0 -- 14) (quad (0 -- 1000) (0 -- 1000) (0 -- 1000) (0 -- 1000))))
+      (pair (0 -- 15) (quad (0 -- 1000) (0 -- 1000) (0 -- 1000) (0 -- 1000))))
 
 (* trailing zeros trimmed, as the sink emits *)
 let gen_vc =
@@ -233,6 +237,24 @@ let test_chrome_shape () =
     json;
   Alcotest.(check int) "braces balance" 0 !depth
 
+(* Request spans export as Chrome async tracks: a `b`/`e` pair per
+   request plus flow arrows from admission to the serving slice. *)
+let test_chrome_request_tracks () =
+  let _, events = traced Runner.rfdet_ci (Registry.find "kvserver") in
+  let json = Chrome.export events in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true
+        (contains ~needle json))
+    [
+      "\"ph\":\"b\"";  (* async request open at admission *)
+      "\"ph\":\"e\"";  (* async request close at response *)
+      "\"ph\":\"n\"";  (* async instants for attempts/backoff *)
+      "\"cat\":\"request\"";
+      "request-flow";
+      "\"name\":\"req ";
+    ]
+
 (* ------------------------------------------------------------------ *)
 (* Metrics registry                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -338,6 +360,38 @@ let test_lock_table_and_hot_pages () =
   Alcotest.(check bool) "hot pages renders" true
     (contains ~needle:"page" (Report.render_hot_pages pages))
 
+(* The contention table speaks the newer primitives' object classes
+   too: rwlock reader batches land under "rwlock_r", writer holds under
+   "rwlock_w", semaphore hand-offs under "sem" — and the work-stealing
+   micro leaves Steal events in the raw trace for the thief columns. *)
+let test_contention_table_primitives () =
+  let table w =
+    let _, events = traced Runner.rfdet_ci (Registry.find w) in
+    (List.map (fun r -> r.Report.obj) (Report.lock_table events), events)
+  in
+  let rw_objs, _ = table "micro-rwlock" in
+  Alcotest.(check bool) "reader batches tracked" true
+    (List.mem "rwlock_r" rw_objs);
+  Alcotest.(check bool) "writer holds tracked" true
+    (List.mem "rwlock_w" rw_objs);
+  let sem_objs, _ = table "micro-sem" in
+  Alcotest.(check bool) "sem handoffs tracked" true (List.mem "sem" sem_objs);
+  (* the deque micro is lock-free on the steal path: it shows up as
+     Steal events in the raw trace rather than lock-table rows *)
+  let _, steal_events = table "micro-steal" in
+  let steals =
+    List.filter
+      (fun (e : Trace.event) ->
+        match e.kind with Trace.Steal _ -> true | _ -> false)
+      steal_events
+  in
+  Alcotest.(check bool) "steals traced" true (steals <> []);
+  (* mixed-primitive render carries every object class it saw *)
+  let _, rw_events = table "kvserver-rw" in
+  let rendered = Report.render_lock_table (Report.lock_table rw_events) in
+  Alcotest.(check bool) "render names rwlock_r" true
+    (contains ~needle:"rwlock_r" rendered)
+
 let test_report_fill_metrics () =
   let _, events = traced Runner.rfdet_ci (Registry.find "fft") in
   let m = Metrics.create () in
@@ -364,7 +418,7 @@ let test_profile_json_and_pp () =
       Alcotest.(check bool) ("json has " ^ k) true
         (contains ~needle:(Printf.sprintf "\"%s\":" k) json))
     (Profile.fields p);
-  Alcotest.(check int) "43 fields" 43 (List.length (Profile.fields p));
+  Alcotest.(check int) "44 fields" 44 (List.length (Profile.fields p));
   let pp = Format.asprintf "%a" Profile.pp p in
   (* the once-dropped fields all print now *)
   List.iter
@@ -460,6 +514,10 @@ let suites =
           test_breakdown_partitions;
         Alcotest.test_case "lock table and hot pages" `Quick
           test_lock_table_and_hot_pages;
+        Alcotest.test_case "contention table covers rwlock/sem/steal" `Quick
+          test_contention_table_primitives;
+        Alcotest.test_case "chrome request tracks" `Quick
+          test_chrome_request_tracks;
         Alcotest.test_case "trace-derived metrics" `Quick
           test_report_fill_metrics;
         Alcotest.test_case "profile json/pp/metrics" `Quick

@@ -1,0 +1,345 @@
+(* Request-level span trees and critical-path attribution (lib/obs).
+
+   The contract under test has three legs: (1) exactness — every span
+   tree's segment cycles sum bit-exactly to the request's measured
+   latency, for every outcome, seed, load level, server variant and
+   fault plan; (2) inertness — enabling spans changes no signature, op
+   count or profile field; (3) canonicality — the attribution document
+   is byte-identical across all deterministic runtimes and repeat runs,
+   and ring overflow degrades loudly (counters, incompleteness) rather
+   than corrupting what survives. *)
+
+module Runner = Rfdet_harness.Runner
+module Workload = Rfdet_workloads.Workload
+module Engine = Rfdet_sim.Engine
+module Profile = Rfdet_sim.Profile
+module Fault_plan = Rfdet_fault.Fault_plan
+module Server = Rfdet_server.Server
+module Rwserve = Rfdet_server.Rwserve
+module Traffic = Rfdet_server.Traffic
+module Sink = Rfdet_obs.Sink
+module Span = Rfdet_obs.Span
+module Critpath = Rfdet_obs.Critpath
+
+(* ------------------------------------------------------------------ *)
+(* Harness                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let params ?(requests = 1_200) ?(rate = 60) () =
+  {
+    Server.default with
+    Server.traffic =
+      {
+        Traffic.default with
+        Traffic.requests;
+        keys = 512;
+        mean_interarrival = rate;
+      };
+  }
+
+let run_spanned ?(runtime = Runner.rfdet_ci) ?faults
+    ?(failure_mode = Engine.Contain) ?(capacity = 0) ?(seed = 7L) p =
+  let obs = Sink.create ~capacity () in
+  let report = ref None in
+  let w =
+    {
+      Workload.name = "kvserver-test";
+      suite = "server";
+      description = "span test fixture";
+      main = (fun _cfg () -> report := Some (Server.run ~seed p));
+    }
+  in
+  let r =
+    Runner.run ~threads:p.Server.workers ?faults ~failure_mode ~obs runtime w
+  in
+  (r, Option.get !report, Sink.events obs, Sink.dropped obs)
+
+let run_spanned_rw ?(runtime = Runner.rfdet_ci) ?(seed = 7L) p =
+  let obs = Sink.create () in
+  let report = ref None in
+  let w =
+    {
+      Workload.name = "kvserver-rw-test";
+      suite = "server";
+      description = "rw span test fixture";
+      main = (fun _cfg () -> report := Some (Rwserve.run ~seed p));
+    }
+  in
+  let r = Runner.run ~threads:p.Rwserve.workers ~obs runtime w in
+  (r, Option.get !report, Sink.events obs)
+
+let walk_ok events =
+  let spans = Span.collect events in
+  match Critpath.walk_all spans.Span.complete with
+  | Ok atts -> (spans, atts)
+  | Error msg -> Alcotest.failf "critical-path walk failed: %s" msg
+
+(* ------------------------------------------------------------------ *)
+(* Exactness                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The headline invariant, across seeds and load levels that exercise
+   every outcome class: light load (pure service), the overload mix
+   (timeouts, breaker trips, shed, stale reads, backoff retries). *)
+let test_segments_sum_exactly () =
+  List.iter
+    (fun (seed, rate) ->
+      let p = params ~rate () in
+      let _, rep, events, dropped = run_spanned ~seed p in
+      Alcotest.(check int) "unbounded sink never drops" 0 dropped;
+      let spans, atts = walk_ok events in
+      Alcotest.(check int) "no dangling trees without faults" 0
+        spans.Span.incomplete;
+      (* every committed, non-failed-over request has a tree *)
+      Alcotest.(check int) "one tree per committed request"
+        (rep.Server.total - rep.Server.failed_over)
+        (List.length atts);
+      List.iter
+        (fun (a : Critpath.attribution) ->
+          let sum =
+            List.fold_left (fun acc (_, c) -> acc + c) 0 a.Critpath.segments
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "req %d segments sum to latency" a.Critpath.req)
+            a.Critpath.latency sum;
+          Alcotest.(check bool) "latency nonnegative" true
+            (a.Critpath.latency >= 0))
+        atts)
+    [ (1L, 60); (7L, 60); (7L, 250); (13L, 2000) ]
+
+(* The overload mix must actually exercise the degraded segments, or
+   the sums above prove less than they claim. *)
+let test_overload_exercises_segments () =
+  let _, rep, events, _ = run_spanned ~seed:7L (params ~rate:60 ()) in
+  let _, atts = walk_ok events in
+  let seg l a = List.assoc l a.Critpath.segments in
+  let some l = List.exists (fun a -> seg l a > 0) atts in
+  Alcotest.(check bool) "queueing observed" true (some "queue");
+  Alcotest.(check bool) "service observed" true (some "service");
+  Alcotest.(check bool) "shed observed" true
+    (rep.Server.shed = 0 || some "shed");
+  Alcotest.(check bool) "stale observed" true
+    (rep.Server.stale_served = 0 || some "stale");
+  (* timed-out requests attribute their whole latency to queue+backoff *)
+  List.iter
+    (fun a ->
+      if a.Critpath.outcome = 4 then
+        Alcotest.(check int) "timeout = queue + backoff" a.Critpath.latency
+          (seg "queue" a + seg "backoff" a))
+    atts
+
+let test_rwserve_put_sums () =
+  let p =
+    {
+      Rwserve.default with
+      Rwserve.traffic =
+        {
+          Traffic.default with
+          Traffic.requests = 1_200;
+          keys = 512;
+          mean_interarrival = 60;
+        };
+    }
+  in
+  let _, rep, events = run_spanned_rw p in
+  let spans, atts = walk_ok events in
+  Alcotest.(check int) "no dangling trees" 0 spans.Span.incomplete;
+  (* the rw variant spans its put phase; gets ride the steal trace *)
+  Alcotest.(check int) "one tree per put" rep.Rwserve.puts
+    (List.length atts);
+  Alcotest.(check bool) "puts exist" true (rep.Rwserve.puts > 0)
+
+(* Crash + deterministic recovery re-emits the victim's trees; collect
+   keeps the last complete emission, so sums still hold exactly. *)
+let test_sums_under_recovery () =
+  let faults =
+    match Fault_plan.parse "crash,tid=2,op=store,n=40" with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+  let p = params ~rate:60 () in
+  let r, rep, events, _ =
+    run_spanned ~faults ~failure_mode:Engine.Recover p
+  in
+  Alcotest.(check int) "restart happened" 1
+    r.Runner.profile.Profile.restarts;
+  let _, atts = walk_ok events in
+  Alcotest.(check int) "exactly one tree per request survives replay"
+    (rep.Server.total - rep.Server.failed_over)
+    (List.length atts)
+
+(* ------------------------------------------------------------------ *)
+(* Inertness                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_spans_inert () =
+  let p = params () in
+  List.iter
+    (fun (name, runtime) ->
+      let plain, rep0 =
+        let report = ref None in
+        let w =
+          {
+            Workload.name = "kvserver-test";
+            suite = "server";
+            description = "span test fixture";
+            main = (fun _cfg () -> report := Some (Server.run ~seed:7L p));
+          }
+        in
+        let r = Runner.run ~threads:p.Server.workers runtime w in
+        (r, Option.get !report)
+      in
+      let spanned, rep1, events, _ = run_spanned ~runtime p in
+      Alcotest.(check string)
+        (name ^ ": signature unchanged by spans")
+        plain.Runner.signature spanned.Runner.signature;
+      Alcotest.(check int)
+        (name ^ ": ops unchanged")
+        plain.Runner.ops spanned.Runner.ops;
+      Alcotest.(check (list (pair string int)))
+        (name ^ ": profile unchanged")
+        (Profile.fields plain.Runner.profile)
+        (Profile.fields spanned.Runner.profile);
+      Alcotest.(check int)
+        (name ^ ": server report identical")
+        rep0.Server.digest rep1.Server.digest;
+      Alcotest.(check bool) (name ^ ": spans present") true
+        (List.exists
+           (fun (e : Rfdet_obs.Trace.event) ->
+             match e.kind with Rfdet_obs.Trace.Span _ -> true | _ -> false)
+           events))
+    [
+      ("rfdet-ci", Runner.rfdet_ci);
+      ("kendo", Runner.Kendo);
+      ("pthreads", Runner.Pthreads);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Canonical output                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let doc atts = Critpath.json ~meta:[ ("seed", "7") ] ~top:5 atts
+
+let test_json_identical_across_runtimes () =
+  let p = params ~rate:60 () in
+  let render runtime =
+    let _, _, events, _ = run_spanned ~runtime p in
+    doc (snd (walk_ok events))
+  in
+  let reference = render Runner.rfdet_ci in
+  Alcotest.(check bool) "document nonempty" true
+    (String.length reference > 0);
+  List.iter
+    (fun (name, runtime) ->
+      Alcotest.(check string)
+        (name ^ ": attribution document byte-identical")
+        reference (render runtime))
+    [
+      ("rfdet-ci again", Runner.rfdet_ci);
+      ("rfdet-pf", Runner.rfdet_pf);
+      ("rfdet-noopt", Runner.Rfdet Rfdet_core.Options.baseline_no_opt);
+      ("kendo", Runner.Kendo);
+      ("dthreads", Runner.Dthreads);
+      ("coredet", Runner.Coredet);
+    ]
+
+let test_tree_render_stable () =
+  let p = params ~rate:60 () in
+  let render runtime =
+    let _, _, events, _ = run_spanned ~runtime p in
+    let spans = Span.collect events in
+    let b = Buffer.create 4096 in
+    List.iter (Span.render_tree b) spans.Span.complete;
+    Buffer.contents b
+  in
+  Alcotest.(check string) "tree renders byte-identical"
+    (render Runner.rfdet_ci) (render Runner.Dthreads)
+
+let test_cohorts_and_exemplars () =
+  let _, _, events, _ = run_spanned ~seed:7L (params ~rate:60 ()) in
+  let _, atts = walk_ok events in
+  let n = List.length atts in
+  List.iter
+    (fun (c : Critpath.cohort) ->
+      Alcotest.(check bool) (c.Critpath.label ^ " nonempty") true
+        (c.Critpath.count > 0);
+      Alcotest.(check int) (c.Critpath.label ^ " cycles sum to total")
+        c.Critpath.total_latency
+        (List.fold_left (fun acc (_, v) -> acc + v) 0 c.Critpath.cycles);
+      List.iter
+        (fun (_, s) ->
+          Alcotest.(check bool) "share in [0,1000]" true (s >= 0 && s <= 1000))
+        c.Critpath.shares_pm)
+    (Critpath.cohorts atts);
+  (* p999 is a subset of p99 is a subset of p50 by construction *)
+  (match Critpath.cohorts atts with
+  | [ p50; p99; p999 ] ->
+    Alcotest.(check bool) "cohorts nest" true
+      (p999.Critpath.count <= p99.Critpath.count
+      && p99.Critpath.count <= p50.Critpath.count)
+  | _ -> Alcotest.fail "expected three cohorts");
+  let slow = Critpath.top_slowest 5 atts in
+  Alcotest.(check int) "top-k bounded" (min 5 n) (List.length slow);
+  let lats = List.map (fun a -> a.Critpath.latency) slow in
+  Alcotest.(check (list int)) "slowest sorted descending"
+    (List.sort (fun a b -> compare b a) lats)
+    lats;
+  let deep = Critpath.top_deepest 5 atts in
+  let depths = List.map (fun a -> a.Critpath.attempts) deep in
+  Alcotest.(check (list int)) "deepest sorted descending"
+    (List.sort (fun a b -> compare b a) depths)
+    depths;
+  let j = doc atts in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("json carries " ^ needle) true
+        (Astring.String.is_infix ~affix:needle j))
+    [
+      "\"schema\": \"rfdet-spans/1\""; "\"p50\""; "\"p99\""; "\"p999\"";
+      "\"top_slowest\""; "\"top_deepest\""; "\"replay\""; "\"window\"";
+      "\"shares_pm\"";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Ring overflow                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_ring_overflow_is_loud () =
+  let p = params ~requests:600 () in
+  let r, _, events, dropped = run_spanned ~capacity:256 p in
+  Alcotest.(check bool) "ring overflowed" true (dropped > 0);
+  Alcotest.(check int) "profile counter carries the loss" dropped
+    r.Runner.profile.Profile.trace_dropped;
+  Alcotest.(check int) "retained at most capacity" 256
+    (List.length events);
+  (* truncation degrades to incompleteness, never to bad sums *)
+  let spans, atts = walk_ok events in
+  Alcotest.(check bool) "truncation visible as incomplete trees" true
+    (spans.Span.incomplete > 0 || List.length atts < 600);
+  let r2, _, _, _ = run_spanned p in
+  Alcotest.(check int) "unbounded run reports zero drops" 0
+    r2.Runner.profile.Profile.trace_dropped
+
+let suites =
+  [
+    ( "spans",
+      [
+        Alcotest.test_case "segments sum exactly to latency" `Quick
+          test_segments_sum_exactly;
+        Alcotest.test_case "overload exercises degraded segments" `Quick
+          test_overload_exercises_segments;
+        Alcotest.test_case "rw put-phase sums" `Quick test_rwserve_put_sums;
+        Alcotest.test_case "sums survive crash recovery" `Quick
+          test_sums_under_recovery;
+        Alcotest.test_case "spans are deterministically inert" `Quick
+          test_spans_inert;
+        Alcotest.test_case "json identical across runtimes" `Quick
+          test_json_identical_across_runtimes;
+        Alcotest.test_case "tree renders are runtime-independent" `Quick
+          test_tree_render_stable;
+        Alcotest.test_case "cohorts and exemplars" `Quick
+          test_cohorts_and_exemplars;
+        Alcotest.test_case "ring overflow is loud" `Quick
+          test_ring_overflow_is_loud;
+      ] );
+  ]
