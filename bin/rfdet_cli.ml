@@ -53,16 +53,9 @@ let guard f =
       (match e with Failure m -> m | e -> Printexc.to_string e);
     exit 5
 
-let runtime_names =
-  [
-    ("pthreads", Runner.Pthreads);
-    ("kendo", Runner.Kendo);
-    ("dthreads", Runner.Dthreads);
-    ("coredet", Runner.Coredet);
-    ("rfdet-ci", Runner.rfdet_ci);
-    ("rfdet-pf", Runner.rfdet_pf);
-    ("rfdet-noopt", Runner.Rfdet Options.baseline_no_opt);
-  ]
+(* The canonical CLI-name table lives in Runner so journal headers and
+   this parser can never drift apart. *)
+let runtime_names = Runner.named_runtimes
 
 let runtime_conv =
   let parse s =
@@ -74,7 +67,7 @@ let runtime_conv =
           (Printf.sprintf "unknown runtime %S (expected one of: %s)" s
              (String.concat ", " (List.map fst runtime_names))))
   in
-  let print ppf r = Format.pp_print_string ppf (Runner.runtime_name r) in
+  let print ppf r = Format.pp_print_string ppf (Runner.cli_name r) in
   Arg.conv (parse, print)
 
 let workload_conv =
@@ -533,54 +526,311 @@ let racey_cmd =
        ~doc:"Determinism stress test: repeated racey runs (Section 5.1).")
     Term.(const action $ runs_arg)
 
-(* --- races ------------------------------------------------------------ *)
+(* --- record / replay (decision journals) ------------------------------ *)
 
-let races_cmd =
+module Session = Rfdet_replay.Session
+module Journal = Rfdet_replay.Journal
+module Offline = Rfdet_replay.Offline
+
+(* Journal failures get their own distinct exit codes so CI can gate on
+   "loud, and loud in the right way": 8 a corrupted frame (named by
+   index and byte offset), 9 a torn tail refused by a strict replay,
+   10 a divergent replay or trailer mismatch.  Silent divergence is the
+   one outcome that must be impossible. *)
+let exit_of_replay_error = function
+  | Session.E_corrupt _ -> 8
+  | Session.E_torn _ -> 9
+  | Session.E_bad_header _ -> 64
+  | Session.E_diverged _ | Session.E_mismatch _ -> 10
+
+let fail_replay e =
+  Printf.eprintf "rfdet: %s\n" (Session.describe_error e);
+  exit (exit_of_replay_error e)
+
+let print_summary ?(prefix = "") (s : Session.summary) =
+  Printf.printf "%ssignature:   %s\n" prefix s.Session.s_signature;
+  Printf.printf "%soutputs:     %s\n" prefix s.Session.s_outputs_checksum;
+  Printf.printf "%sengine ops:  %d\n" prefix s.Session.s_ops;
+  Printf.printf "%ssim cycles:  %d\n" prefix s.Session.s_sim_time;
+  Printf.printf "%sdecisions:   %d\n" prefix s.Session.s_decisions;
+  Printf.printf "%sthreads:     %d\n" prefix s.Session.s_threads
+
+let journal_arg_doc =
+  "Decision journals record only the free scheduler decisions (plus a \
+   seeded header); everything else is reconstructed deterministically."
+
+let record_cmd =
+  let runtime_arg =
+    Arg.(
+      value
+      & opt runtime_conv Runner.rfdet_ci
+      & info [ "r"; "runtime" ]
+          ~doc:"Runtime: pthreads, kendo, dthreads, coredet, rfdet-ci, \
+                rfdet-pf or rfdet-noopt.")
+  in
   let workload_arg =
     Arg.(
       required & pos 0 (some workload_conv) None & info [] ~docv:"WORKLOAD")
   in
-  let action workload threads scale =
+  let input_seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "input-seed" ] ~doc:"Input-data generator seed (an input).")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "run.rfdj"
+      & info [ "o"; "out" ] ~docv:"PATH"
+          ~doc:"Where to write the decision journal.")
+  in
+  let action runtime workload threads scale seed input_seed jitter faults
+      failure_mode out =
    guard @@ fun () ->
-    let cfg =
-      { Rfdet_workloads.Workload.threads; scale; input_seed = 42L }
+    let spec =
+      {
+        Session.workload;
+        runtime;
+        threads;
+        scale;
+        input_seed = Int64.of_int input_seed;
+        sched_seed = Int64.of_int seed;
+        jitter;
+        fault_mode = failure_mode;
+        faults;
+      }
     in
-    let report =
-      Rfdet_detect.Race_detector.check
-        ~main:(workload.Rfdet_workloads.Workload.main cfg)
+    let s = Session.record ~path:out spec in
+    let bytes =
+      let ic = open_in_bin out in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> in_channel_length ic)
     in
-    Format.printf "%a@." Rfdet_detect.Race_detector.pp_report report
+    Printf.printf "workload:    %s\n" workload.Rfdet_workloads.Workload.name;
+    Printf.printf "runtime:     %s\n" (Runner.cli_name runtime);
+    print_summary s;
+    Printf.printf "journal:     %s (%d bytes, %.1f bytes/decision)\n" out
+      bytes
+      (if s.Session.s_decisions = 0 then 0.
+       else float_of_int bytes /. float_of_int s.Session.s_decisions)
   in
   Cmd.v
-    (Cmd.info "races"
-       ~doc:"Run the happens-before race detector over a workload.")
-    Term.(const action $ workload_arg $ threads_arg $ scale_arg)
-
-(* --- replay ------------------------------------------------------------ *)
+    (Cmd.info "record"
+       ~doc:
+         (Printf.sprintf
+            "Record a run's arbiter decisions into a minimal binary \
+             journal for $(b,rfdet replay).  %s" journal_arg_doc))
+    Term.(
+      const action $ runtime_arg $ workload_arg $ threads_arg $ scale_arg
+      $ seed_arg $ input_seed_arg $ jitter_arg $ fault_plan_arg
+      $ fault_mode_arg $ out_arg)
 
 let replay_cmd =
-  let workload_arg =
-    Arg.(
-      required & pos 0 (some workload_conv) None & info [] ~docv:"WORKLOAD")
+  let journal_pos_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"JOURNAL")
   in
-  let action workload threads scale =
+  let recover_arg =
+    Arg.(
+      value & flag
+      & info [ "recover" ]
+          ~doc:
+            "Accept a torn journal (crashed recorder): verify the \
+             checksum-valid decision prefix, then deterministically \
+             re-execute the remainder from the header's seeds.  Without \
+             this flag a torn tail is refused with exit code 9.")
+  in
+  let repeat_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "repeat" ] ~docv:"N"
+          ~doc:
+            "Replay the journal N times (use with $(b,--jobs) to spread \
+             replays over host domains) and require every replay to \
+             agree — a cheap determinism gate on the replayer itself.")
+  in
+  let profile_json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profile-json" ] ~docv:"FILE"
+          ~doc:"Also write the replayed run's profile counters as JSON.")
+  in
+  let action path recover repeat jobs profile_json =
    guard @@ fun () ->
-    let recording = Rfdet_harness.Replay.record ~threads ~scale workload in
-    Printf.printf "recorded:\n%s\n"
-      (Rfdet_harness.Replay.to_string recording);
-    List.iter
-      (fun seed ->
-        let signature, ok = Rfdet_harness.Replay.replay ~sched_seed:seed recording in
-        Printf.printf "replay (scheduler seed %Ld): %s %s\n" seed signature
-          (if ok then "MATCH" else "MISMATCH"))
-      [ 7L; 99L; 12345L ]
+    if repeat < 1 then begin
+      Printf.eprintf "rfdet: --repeat must be >= 1 (got %d)\n" repeat;
+      exit 64
+    end;
+    let jobs = resolve_jobs jobs in
+    let replay_once () = Session.replay ~recover ~path () in
+    let first =
+      match replay_once () with Error e -> fail_replay e | Ok ok -> ok
+    in
+    (if repeat > 1 then
+       let results =
+         Rfdet_par.Par.map_ordered ~jobs:(min jobs repeat)
+           (fun _ -> replay_once ())
+           (List.init (repeat - 1) Fun.id)
+       in
+       List.iter
+         (function
+           | Error e -> fail_replay e
+           | Ok (ok : Session.ok) ->
+             if ok.Session.r_summary <> first.Session.r_summary then begin
+               Printf.eprintf
+                 "rfdet: repeated replays disagree (nondeterministic \
+                  replayer)\n";
+               exit 10
+             end)
+         results);
+    let s = first.Session.r_summary in
+    let h = first.Session.r_header in
+    (match profile_json with
+    | None -> ()
+    | Some file ->
+      write_file file s.Session.s_profile_json;
+      Printf.printf "profile json: %s\n" file);
+    Printf.printf "workload:    %s\n" h.Journal.workload;
+    Printf.printf "runtime:     %s\n" h.Journal.runtime;
+    print_summary s;
+    Printf.printf "verified:    %d journal decision%s%s\n"
+      first.Session.r_verified
+      (if first.Session.r_verified = 1 then "" else "s")
+      (if first.Session.r_recovered then
+         " (torn tail: remainder re-executed from seed)"
+       else "");
+    if repeat > 1 then
+      Printf.printf "repeats:     %d replays, all identical\n" repeat;
+    Printf.printf "replay OK%s\n"
+      (if first.Session.r_recovered then " (recovered)" else "")
   in
   Cmd.v
     (Cmd.info "replay"
        ~doc:
-         "Record a run by inputs only, then replay it under scheduler \
-          noise (Section 2's record/replay application).")
-    Term.(const action $ workload_arg $ threads_arg $ scale_arg)
+         (Printf.sprintf
+            "Reconstruct a full execution from a recorded decision \
+             journal and verify it against the journal byte-for-byte.  \
+             %s  Exit codes: 8 corrupt frame, 9 torn tail (strict), 10 \
+             divergence or trailer mismatch.  Contrast with $(b,rfdet \
+             check --replay), which replays explicit schedule-choice \
+             traces from the model checker; this command replays \
+             recorded production-style runs." journal_arg_doc))
+    Term.(
+      const action $ journal_pos_arg $ recover_arg $ repeat_arg $ jobs_arg
+      $ profile_json_arg)
+
+(* --- races ------------------------------------------------------------ *)
+
+let races_cmd =
+  let workload_arg =
+    Arg.(value & pos 0 (some workload_conv) None & info [] ~docv:"WORKLOAD")
+  in
+  let journal_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Detect races offline over a recorded decision journal \
+             instead of a WORKLOAD.  The header pins everything the \
+             happens-before relation depends on, so detection over the \
+             journal is complete, not a sample of one interleaving.")
+  in
+  let shrink_arg =
+    Arg.(
+      value & flag
+      & info [ "shrink" ]
+          ~doc:
+            "Feed the detected race set through the ddmin shrinker and \
+             write a minimized, replayable repro trace (see --out); \
+             requires $(b,--journal).")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "race-repro.trace"
+      & info [ "o"; "out" ] ~docv:"PATH"
+          ~doc:"Where $(b,--shrink) writes the minimized repro trace.")
+  in
+  let report_races header_opt report =
+    Format.printf "%a@." Rfdet_detect.Race_detector.pp_report report;
+    match header_opt with
+    | Some _ when report.Rfdet_detect.Race_detector.races <> [] ->
+      Printf.printf "race digest: %s\n"
+        (Rfdet_detect.Race_detector.digest report)
+    | _ -> ()
+  in
+  let action workload threads scale journal shrink out =
+   guard @@ fun () ->
+    match (journal, workload) with
+    | None, None ->
+      Printf.eprintf "rfdet: races needs a WORKLOAD or --journal FILE\n";
+      exit 64
+    | None, Some workload ->
+      if shrink then begin
+        Printf.eprintf "rfdet: --shrink requires --journal\n";
+        exit 64
+      end;
+      let cfg =
+        { Rfdet_workloads.Workload.threads; scale; input_seed = 42L }
+      in
+      let report =
+        Rfdet_detect.Race_detector.check
+          ~main:(workload.Rfdet_workloads.Workload.main cfg)
+      in
+      report_races None report
+    | Some path, _ -> (
+      let header =
+        match Journal.scan_file path with
+        | Error e ->
+          Printf.eprintf "rfdet: %s: %s\n" path e;
+          exit 64
+        | Ok (Journal.Corrupt { frame; offset; reason }) ->
+          Printf.eprintf
+            "rfdet: corrupt journal: frame %d at byte offset %d: %s\n" frame
+            offset reason;
+          exit 8
+        | Ok (Journal.Torn { header; offset; reason; _ }) ->
+          (* detection needs only the (checksum-verified) header, so a
+             torn tail is survivable here — but say so out loud *)
+          Printf.eprintf
+            "rfdet: note: torn journal tail (%s at byte offset %d); the \
+             header is intact and race detection needs only the header\n"
+            reason offset;
+          header
+        | Ok (Journal.Complete { header; _ }) -> header
+      in
+      match Offline.detect header with
+      | Error e ->
+        Printf.eprintf "rfdet: %s\n" e;
+        exit 64
+      | Ok report ->
+        Printf.printf "journal:     %s\n" path;
+        Printf.printf "workload:    %s (%d threads, scale %g, runtime %s)\n"
+          header.Journal.workload header.Journal.threads
+          header.Journal.scale header.Journal.runtime;
+        report_races (Some header) report;
+        if shrink then begin
+          match Offline.minimize_repro header report with
+          | Error e ->
+            Printf.eprintf "rfdet: shrink: %s\n" e;
+            exit 1
+          | Ok (tr, tries) ->
+            Rfdet_check.Trace.save tr ~path:out;
+            Printf.printf "shrink:      %d replays; wrote %s\n" tries out;
+            Printf.printf "             replay it with: rfdet check \
+                           --replay %s\n" out
+        end)
+  in
+  Cmd.v
+    (Cmd.info "races"
+       ~doc:
+         "Run the happens-before race detector over a workload, or \
+          offline over a recorded decision journal ($(b,--journal)); \
+          $(b,--shrink) auto-minimizes a replayable repro for \
+          test/corpus.")
+    Term.(
+      const action $ workload_arg $ threads_arg $ scale_arg
+      $ journal_file_arg $ shrink_arg $ out_arg)
 
 (* --- faults ----------------------------------------------------------- *)
 
@@ -717,7 +967,10 @@ let bench_cmd =
   let action json out jobs =
    guard @@ fun () ->
     let jobs = resolve_jobs jobs in
-    let r = Rfdet_harness.Bench_core.run ~jobs () in
+    let r =
+      Rfdet_harness.Bench_core.run ~jobs
+        ~journal_probe:Rfdet_replay.Offline.bench_probe ()
+    in
     print_string (Rfdet_harness.Bench_core.render r);
     if json then begin
       Rfdet_harness.Bench_core.write_json ~path:out r;
@@ -767,7 +1020,12 @@ let check_cmd =
       value
       & opt (some string) None
       & info [ "replay" ] ~docv:"FILE"
-          ~doc:"Replay a schedule trace file under the oracle and exit.")
+          ~doc:
+            "Replay a schedule trace file (explicit model-checker choice \
+             sequences, e.g. from --shrink or test/corpus) under the \
+             oracle and exit.  Contrast with $(b,rfdet replay), which \
+             reconstructs recorded production-style runs from minimal \
+             decision journals.")
   in
   let bug_arg =
     Arg.(
@@ -1488,5 +1746,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ run_cmd; trace_cmd; profile_cmd; list_cmd; racey_cmd; races_cmd;
-            replay_cmd; faults_cmd; clinic_cmd; check_cmd; bench_cmd;
-            serve_cmd; spans_cmd; experiment_cmd ]))
+            record_cmd; replay_cmd; faults_cmd; clinic_cmd; check_cmd;
+            bench_cmd; serve_cmd; spans_cmd; experiment_cmd ]))

@@ -108,10 +108,10 @@ type mode = M_default | M_random of Det_rng.t
    (= once the segment opened by the last prescribed point closes);
    closing a segment wakes every sleeper whose footprint is dependent
    on it. *)
-let run_once ~(cfg : config) ~(wl : Workload.t)
+let run_once ?policy_override ~(cfg : config) ~(wl : Workload.t)
     ~(streams : (int * int, footprint) Hashtbl.t) ~(prescribed : int array)
     ~(birth_sleep : (int * footprint) list) ~(strict : bool) ~(mode : mode)
-    ~(prune : bool) : run =
+    ~(prune : bool) () : run =
   let plen = Array.length prescribed in
   let points = ref [] in
   let npoints = ref 0 in
@@ -213,8 +213,11 @@ let run_once ~(cfg : config) ~(wl : Workload.t)
   in
   let make_policy eng =
     engine_ref := Some eng;
-    if cfg.oracle then Oracle.wrap ~opts:cfg.opts eng
-    else Rt.make ~opts:cfg.opts eng
+    match policy_override with
+    | Some f -> f eng
+    | None ->
+      if cfg.oracle then Oracle.wrap ~opts:cfg.opts eng
+      else Rt.make ~opts:cfg.opts eng
   in
   let econfig =
     {
@@ -339,7 +342,7 @@ let explore ?(config = default_config) wl =
       let run =
         run_once ~cfg ~wl ~streams ~prescribed:item.wi_prefix
           ~birth_sleep:item.wi_birth ~strict:true ~mode:M_default
-          ~prune:cfg.prune
+          ~prune:cfg.prune ()
       in
       (match run.ro with
       | R_pruned -> incr pruned
@@ -401,7 +404,7 @@ let sample ?(config = default_config) ?(jobs = 1) ~seed ~n wl =
      mode, which is what lets the walks execute on concurrent domains. *)
   let run_of mode =
     run_once ~cfg ~wl ~streams:(Hashtbl.create 64) ~prescribed:[||]
-      ~birth_sleep:[] ~strict:true ~mode ~prune:false
+      ~birth_sleep:[] ~strict:true ~mode ~prune:false ()
   in
   let fold run =
     incr schedules;
@@ -451,7 +454,72 @@ let options_of_name n =
     (fun o -> Options.name o = n)
     [ Options.ci; Options.pf; Options.baseline_no_opt ]
 
+let detector_runtime = "race-detector"
+
+(* Replay a trace whose runtime is the happens-before race detector: run
+   the workload under [Race_detector.make] with the trace's choices
+   prescribed, and report the race-set digest as the signature.  The
+   detector's synchronization order is Kendo-stamped (icount-based), so
+   the digest is schedule-invariant — which is exactly what lets the
+   ddmin shrinker cut a recorded choice list down to (near) nothing and
+   still reproduce the race set: the minimal repro for a race under DLRC
+   is the workload itself. *)
+let replay_detector ~strict (tr : Trace.t) =
+  match Registry.find tr.Trace.workload with
+  | exception Not_found ->
+    {
+      r_signature = None;
+      r_choices = [];
+      r_error = Some (Printf.sprintf "unknown workload %S" tr.Trace.workload);
+    }
+  | wl -> (
+    let cfg =
+      {
+        default_config with
+        threads = tr.Trace.threads;
+        scale = tr.Trace.scale;
+        input_seed = tr.Trace.input_seed;
+        oracle = false;
+      }
+    in
+    let report = ref None in
+    let policy_override eng =
+      let policy, rep = Rfdet_detect.Race_detector.make eng in
+      report := Some rep;
+      policy
+    in
+    let run =
+      run_once ~policy_override ~cfg ~wl ~streams:(Hashtbl.create 16)
+        ~prescribed:(Array.of_list tr.Trace.choices) ~birth_sleep:[] ~strict
+        ~mode:M_default ~prune:false ()
+    in
+    let r_choices = choices_of run in
+    match run.ro with
+    | R_ok _ ->
+      let digest =
+        match !report with
+        | Some rep -> Rfdet_detect.Race_detector.digest (rep ())
+        | None -> assert false
+      in
+      let r_error =
+        match tr.Trace.expect with
+        | Some e when e <> digest ->
+          Some (Printf.sprintf "race digest %s <> expected %s" digest e)
+        | _ -> None
+      in
+      { r_signature = Some digest; r_choices; r_error }
+    | R_oracle m ->
+      { r_signature = None; r_choices; r_error = Some ("oracle divergence: " ^ m) }
+    | R_deadlock m ->
+      { r_signature = None; r_choices; r_error = Some ("deadlock: " ^ m) }
+    | R_mismatch m ->
+      { r_signature = None; r_choices; r_error = Some ("replay mismatch: " ^ m) }
+    | R_error m -> { r_signature = None; r_choices; r_error = Some m }
+    | R_pruned -> { r_signature = None; r_choices; r_error = Some "pruned" })
+
 let replay ?(strict = true) ?(oracle = true) ?opts (tr : Trace.t) =
+  if tr.Trace.runtime = detector_runtime then replay_detector ~strict tr
+  else
   let wl =
     match Registry.find tr.Trace.workload with
     | wl -> Ok wl
@@ -483,7 +551,7 @@ let replay ?(strict = true) ?(oracle = true) ?opts (tr : Trace.t) =
     let run =
       run_once ~cfg ~wl ~streams:(Hashtbl.create 16)
         ~prescribed:(Array.of_list tr.Trace.choices) ~birth_sleep:[] ~strict
-        ~mode:M_default ~prune:false
+        ~mode:M_default ~prune:false ()
     in
     let r_choices = choices_of run in
     match run.ro with

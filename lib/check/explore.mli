@@ -89,6 +89,16 @@ type replay_result = {
   r_error : string option;  (** oracle divergence, deadlock, mismatch … *)
 }
 
+val detector_runtime : string
+(** The reserved trace-runtime name ["race-detector"]: a trace carrying
+    it replays the workload under [Rfdet_detect.Race_detector] instead
+    of an RFDet configuration, and its signature (and [expect] field) is
+    the race-set digest ([Race_detector.digest]) rather than an output
+    signature.  This is the vehicle for auto-minimized race repros in
+    [test/corpus/]: the corpus replayer, the ddmin shrinker and
+    [rfdet check --replay] all handle such traces through this single
+    dispatch point. *)
+
 val replay :
   ?strict:bool ->
   ?oracle:bool ->
@@ -103,4 +113,7 @@ val replay :
     the trace's [runtime] name resolves to — the only way to replay
     under [Options.bug_drop_window], which the name does not encode.
     If the trace carries an [expect] signature, a clean run with a
-    different signature is reported in [r_error]. *)
+    different signature is reported in [r_error].  A trace whose runtime
+    is [detector_runtime] replays under the race detector instead;
+    [oracle] and [opts] are then ignored and the signature is the race
+    digest. *)

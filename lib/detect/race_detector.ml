@@ -267,6 +267,28 @@ let make engine =
   in
   (policy, report)
 
+let canonical_lines report =
+  report.races
+  |> List.map (fun r ->
+         Printf.sprintf "addr=0x%x kind=%s prior=%d racing=%d" r.addr
+           (kind_to_string r.kind) r.prior_tid r.racing_tid)
+  |> List.sort String.compare
+
+(* The digest deliberately covers only the racy-address set.  Which
+   *pairs* get witnessed depends on the interleaving (the per-address
+   access history keeps the last write plus reads-since, so an
+   intervening ordered access can mask a pair one schedule exposes and
+   another hides), but whether an address races at all does not. *)
+let digest report =
+  let addrs =
+    report.races
+    |> List.map (fun r -> r.addr)
+    |> List.sort_uniq compare
+    |> List.map (Printf.sprintf "0x%x")
+  in
+  Printf.sprintf "%d:%s" (List.length addrs)
+    (Digest.to_hex (Digest.string (String.concat "\n" addrs)))
+
 let check ~main =
   let report = ref None in
   let (_ : Engine.result) =

@@ -35,6 +35,22 @@ type report = {
 
 val pp_report : Format.formatter -> report -> unit
 
+val canonical_lines : report -> string list
+(** One line per race, sorted by (addr, kind, tids) — a detection-order
+    independent rendering, so two reports describe the same race set iff
+    their canonical lines are equal. *)
+
+val digest : report -> string
+(** Compact fingerprint ["<addresses>:<md5hex>"] of the {e racy-address
+    set}.  The pair list is schedule-sensitive — the per-address access
+    history (last write + reads since) can mask a pair one interleaving
+    exposes and another hides — but whether an address races at all is
+    a pure function of (workload, threads, scale, input seed), because
+    synchronization order under the arbiter's (icount, tid) stamps is
+    schedule-invariant.  The digest therefore pins exactly the
+    invariant part, which is what the record/replay corpus replays
+    ([rfdet races --journal --shrink]). *)
+
 (** [make engine] returns the detector policy and a function producing
     the report once the run finishes. *)
 val make : Rfdet_sim.Engine.t -> Rfdet_sim.Engine.policy * (unit -> report)

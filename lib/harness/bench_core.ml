@@ -51,12 +51,32 @@ type sweep = {
          up in the committed file, not just in CI *)
 }
 
+(* The decision-journal minimality stanza.  All fields are simulated
+   and deterministic — the committed numbers only change when the
+   journal format or the workload does.  Filled through [run]'s
+   [journal_probe] callback (implemented in [Rfdet_replay.Offline],
+   injected by the CLI) so this library does not depend on the replay
+   layer. *)
+type journal_size = {
+  j_workload : string;
+  j_runtime : string;
+  j_threads : int;
+  j_requests : int;  (** requests the recorded run served *)
+  j_decisions : int;  (** arbiter decisions the journal holds *)
+  j_journal_bytes : int;  (** on-disk journal size *)
+  j_trace_bytes : int;  (** full causal trace of the same run *)
+  j_bytes_per_request : float;  (** journal bytes per served request *)
+  j_trace_ratio : float;  (** trace bytes / journal bytes *)
+  j_signature : string;  (** recorded signature (determinism gate) *)
+}
+
 type t = {
   micro : micro list;
   derived : (string * float) list;
   end_to_end : e2e list;
   sweeps : sweep list;
   jobs : int;
+  journal : journal_size option;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -323,7 +343,7 @@ let sweeps ~jobs =
       (fun jobs -> Rfdet_server.Sweep.run ~jobs ~f:kv_sweep_report ());
   ]
 
-let run ?jobs () =
+let run ?jobs ?journal_probe () =
   let jobs = match jobs with Some j -> j | None -> Par.default_jobs () in
   let micro = microbenches () in
   let sweeps = sweeps ~jobs in
@@ -331,7 +351,8 @@ let run ?jobs () =
     derived_of micro
     @ List.map (fun s -> (s.key ^ "_parallel_speedup", s.speedup)) sweeps
   in
-  { micro; derived; end_to_end = end_to_end (); sweeps; jobs }
+  let journal = Option.map (fun probe -> probe ()) journal_probe in
+  { micro; derived; end_to_end = end_to_end (); sweeps; jobs; journal }
 
 (* ------------------------------------------------------------------ *)
 (* Output                                                              *)
@@ -445,7 +466,21 @@ let to_json t =
            (share bd.Rfdet_obs.Report.monitor)
            (if i = List.length t.end_to_end - 1 then "" else ",")))
     t.end_to_end;
-  Buffer.add_string b "  ]\n}\n";
+  Buffer.add_string b "  ],\n";
+  (match t.journal with
+  | None -> Buffer.add_string b "  \"journal\": null\n"
+  | Some j ->
+    Buffer.add_string b
+      (Printf.sprintf
+         "  \"journal\": { \"workload\": \"%s\", \"runtime\": \"%s\", \
+          \"threads\": %d, \"requests\": %d, \"decisions\": %d, \
+          \"journal_bytes\": %d, \"trace_bytes\": %d, \
+          \"bytes_per_request\": %.2f, \"trace_ratio\": %.1f,\n\
+         \    \"signature\": \"%s\" }\n"
+         (json_escape j.j_workload) (json_escape j.j_runtime) j.j_threads
+         j.j_requests j.j_decisions j.j_journal_bytes j.j_trace_bytes
+         j.j_bytes_per_request j.j_trace_ratio (json_escape j.j_signature)));
+  Buffer.add_string b "}\n";
   Buffer.contents b
 
 let render t =
@@ -515,6 +550,17 @@ let render t =
                        c.Rfdet_obs.Critpath.shares_pm))))
           cohorts)
     t.end_to_end;
+  (match t.journal with
+  | None -> ()
+  | Some j ->
+    Buffer.add_string b
+      (Printf.sprintf
+         "\nDecision-journal minimality (%s, %s, t=%d):\n\
+         \  %d requests -> %d decisions, %d journal bytes (%.2f B/request)\n\
+         \  full causal trace of the same run: %d bytes (%.1fx larger)\n"
+         j.j_workload j.j_runtime j.j_threads j.j_requests j.j_decisions
+         j.j_journal_bytes j.j_bytes_per_request j.j_trace_bytes
+         j.j_trace_ratio));
   Buffer.contents b
 
 let write_json ~path t =

@@ -47,6 +47,24 @@ type sweep = {
           measured runs themselves *)
 }
 
+(** Log-minimality numbers for the decision journal (`rfdet record`):
+    journal bytes vs. the full causal trace of the same run.  Every
+    field is simulated/deterministic, so the committed stanza only
+    changes when the journal format or the workload does — CI gates on
+    journal_bytes < trace_bytes. *)
+type journal_size = {
+  j_workload : string;
+  j_runtime : string;
+  j_threads : int;
+  j_requests : int;  (** requests the recorded run served *)
+  j_decisions : int;  (** arbiter decisions the journal holds *)
+  j_journal_bytes : int;  (** on-disk journal size *)
+  j_trace_bytes : int;  (** full causal trace of the same run *)
+  j_bytes_per_request : float;  (** journal bytes per served request *)
+  j_trace_ratio : float;  (** trace bytes / journal bytes *)
+  j_signature : string;  (** recorded signature (determinism gate) *)
+}
+
 type t = {
   micro : micro list;
   derived : (string * float) list;
@@ -57,12 +75,16 @@ type t = {
       (** whole-sweep wall times at jobs 1 vs [jobs] — the domain
           pool's throughput win on the sweeps CI actually runs *)
   jobs : int;  (** domains used for the sweep measurements *)
+  journal : journal_size option;
+      (** present when [run] was given a [journal_probe] *)
 }
 
 (** [run ()] executes the full benchmark set (a few seconds).  [jobs]
     (default [Rfdet_par.Par.default_jobs ()]) sets the parallel side of
-    the sweep-throughput measurements. *)
-val run : ?jobs:int -> unit -> t
+    the sweep-throughput measurements.  [journal_probe] (the CLI passes
+    [Rfdet_replay.Offline.bench_probe]; this library cannot depend on
+    the replay layer itself) fills the [journal] stanza. *)
+val run : ?jobs:int -> ?journal_probe:(unit -> journal_size) -> unit -> t
 
 (** [to_json t] — the BENCH_CORE.json document (no timestamps, so the
     committed file only changes when the numbers do). *)

@@ -18,6 +18,29 @@ let rfdet_pf = Rfdet Options.pf
 
 let all_runtimes = [ Pthreads; Kendo; Dthreads; rfdet_ci; rfdet_pf ]
 
+(* The CLI-facing runtime vocabulary — the single source of truth for
+   `--runtime` parsing and for the [runtime] field of record/replay
+   journal headers, so a recorded name always resolves back to the same
+   runtime.  Note the short alias "rfdet-noopt": [Options.name] spells
+   that configuration "rfdet-ci-noopt". *)
+let named_runtimes =
+  [
+    ("pthreads", Pthreads);
+    ("kendo", Kendo);
+    ("dthreads", Dthreads);
+    ("coredet", Coredet);
+    ("rfdet-ci", rfdet_ci);
+    ("rfdet-pf", rfdet_pf);
+    ("rfdet-noopt", Rfdet Options.baseline_no_opt);
+  ]
+
+let runtime_of_name n = List.assoc_opt n named_runtimes
+
+let cli_name r =
+  match List.find_opt (fun (_, r') -> r' = r) named_runtimes with
+  | Some (n, _) -> n
+  | None -> runtime_name r
+
 let make_policy = function
   | Pthreads -> Rfdet_baselines.Pthreads_runtime.make
   | Kendo -> Rfdet_baselines.Kendo_runtime.make
@@ -44,7 +67,7 @@ type run_result = {
 let run ?(threads = 4) ?(scale = 1.0) ?(input_seed = 42L) ?(sched_seed = 1L)
     ?(jitter = 0.) ?(cost = Rfdet_sim.Cost.default) ?(trace = 0) ?faults
     ?(failure_mode = Engine.Contain) ?recover_config
-    ?(obs = Rfdet_obs.Sink.null) runtime workload =
+    ?(obs = Rfdet_obs.Sink.null) ?sched_tap runtime workload =
   let cfg = { Workload.threads; scale; input_seed } in
   (* An explicit Recover applies even without a fault plan (deadlock
      victims need no injector); otherwise the mode only takes effect
@@ -66,6 +89,7 @@ let run ?(threads = 4) ?(scale = 1.0) ?(input_seed = 42L) ?(sched_seed = 1L)
       failure_mode = effective_mode;
       (* a fresh injector per run: occurrence counters are mutable *)
       inject = Option.map Rfdet_fault.Fault_plan.injector faults;
+      sched_tap;
       obs;
     }
   in

@@ -16,6 +16,18 @@ val rfdet_pf : runtime
 val all_runtimes : runtime list
 (** The four bars of Figure 7 plus the Kendo reference. *)
 
+val named_runtimes : (string * runtime) list
+(** The CLI-facing runtime vocabulary, in presentation order — the
+    single source of truth for `--runtime` parsing and for the runtime
+    field of record/replay journal headers. *)
+
+val runtime_of_name : string -> runtime option
+(** Resolve a [named_runtimes] name (e.g. ["rfdet-noopt"]). *)
+
+val cli_name : runtime -> string
+(** The [named_runtimes] name for a runtime when it has one (so
+    [runtime_of_name (cli_name r) = Some r]), else [runtime_name r]. *)
+
 val make_policy : runtime -> Rfdet_sim.Engine.t -> Rfdet_sim.Engine.policy
 
 type run_result = {
@@ -53,6 +65,7 @@ val run :
   ?failure_mode:Rfdet_sim.Engine.failure_mode ->
   ?recover_config:Rfdet_recover.Recover.config ->
   ?obs:Rfdet_obs.Sink.t ->
+  ?sched_tap:(Rfdet_sim.Engine.decision -> unit) ->
   runtime ->
   Rfdet_workloads.Workload.t ->
   run_result
@@ -67,4 +80,7 @@ val run :
     [Rfdet_recover.Recover] manager (tuned by [recover_config]): every
     spawned thread is restartable from entry, the main thread from the
     workload start.  [obs] (default disabled) collects the causal
-    trace; enabling it never changes signatures. *)
+    trace; enabling it never changes signatures.  [sched_tap] observes
+    the scheduler's free decisions (the record/replay journal feed, see
+    [Rfdet_sim.Engine.decision]); it is purely observational and never
+    changes the run. *)

@@ -308,6 +308,9 @@ let to_lines events =
     events;
   Buffer.contents b
 
+let lines_bytes events =
+  List.fold_left (fun acc e -> acc + String.length (to_line e) + 1) 0 events
+
 let of_lines s =
   let lines = String.split_on_char '\n' s in
   let rec go acc = function

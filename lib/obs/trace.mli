@@ -113,5 +113,10 @@ val of_line : string -> (event, string) result
 val to_lines : event list -> string
 (** All events, one per line, with a trailing newline ("" when empty). *)
 
+val lines_bytes : event list -> int
+(** [String.length (to_lines events)] without materializing the dump —
+    the full-trace size a decision journal is compared against in the
+    log-minimality benchmark ([rfdet bench]'s journal stanza). *)
+
 val of_lines : string -> (event list, string) result
 (** Parse a [to_lines] dump; blank lines are skipped. *)

@@ -1,0 +1,38 @@
+(** Offline analyses over recorded decision journals.
+
+    The journal's header pins (workload, threads, scale, input seed) —
+    everything the happens-before relation of a DLRC execution depends
+    on.  Synchronization order under the arbiter is decided by
+    (icount, tid) stamps, which are jitter- and schedule-independent,
+    so the race set of a run is a pure function of those header fields:
+    detection over the journal is {e complete} (Guo et al.'s
+    record-then-detect-offline result), not a sample of one
+    interleaving.  That is why [detect] needs only the header — the
+    decision stream itself adds nothing to the happens-before graph —
+    and why the same journal replayed from any of the 6 runtimes yields
+    the identical race report. *)
+
+val detect : Journal.header -> (Rfdet_detect.Race_detector.report, string) result
+(** Re-execute the header's workload under
+    [Rfdet_detect.Race_detector] and report every racy address. *)
+
+val minimize_repro :
+  Journal.header ->
+  Rfdet_detect.Race_detector.report ->
+  (Rfdet_check.Trace.t * int, string) result
+(** Feed a detected race set through the [Rfdet_check.Shrink] ddmin
+    shrinker: capture the full schedule-choice list of a detector run,
+    then minimize it under the predicate "the race digest is
+    preserved".  Because the digest is schedule-invariant, ddmin cuts
+    the choices to (near) nothing — the honest minimal repro: the
+    workload itself races, under every schedule.  Returns the
+    minimized corpus trace (runtime [Explore.detector_runtime], expect
+    = digest) and the number of replays spent, ready for
+    [test/corpus/]. *)
+
+val bench_probe : unit -> Rfdet_harness.Bench_core.journal_size
+(** The log-minimality benchmark behind BENCH_CORE.json's [journal]
+    stanza: record the kvserver end-to-end workload to a throwaway
+    journal and compare its size against the full causal trace of the
+    same run.  All fields are simulated/deterministic, so the committed
+    numbers only change when the format or the workload does. *)

@@ -13,6 +13,8 @@ type sched_point = {
   sp_last_boundary : bool;
 }
 
+type decision = { d_index : int; d_ready : int list; d_chosen : int }
+
 type config = {
   cost : Cost.t;
   seed : int64;
@@ -22,6 +24,7 @@ type config = {
   failure_mode : failure_mode;
   inject : (tid:int -> Op.t -> injection) option;
   choose : (sched_point -> int) option;
+  sched_tap : (decision -> unit) option;
   observe : (tid:int -> Op.t -> unit) option;
   obs : Rfdet_obs.Sink.t;
 }
@@ -36,6 +39,7 @@ let default_config =
     failure_mode = Abort;
     inject = None;
     choose = None;
+    sched_tap = None;
     observe = None;
     obs = Rfdet_obs.Sink.null;
   }
@@ -125,6 +129,8 @@ type t = {
   mutable trace_next : int;
   mutable policy : policy option;
   mutable crashes : (int * string) list;  (* reversed crash order *)
+  mutable decisions : int;
+      (* free scheduling decisions surfaced to [config.sched_tap] so far *)
   mutable last_run : int;  (* tid of the last thread a scheduling step ran *)
   mutable last_boundary : bool;
       (* did that thread stop at a schedule-relevant boundary (sync op,
@@ -630,6 +636,33 @@ let stalled t =
     raise
       (Deadlock (Printf.sprintf "no runnable thread: %s" (describe_blocked t)))
 
+let ready_tids t =
+  Hashtbl.fold
+    (fun tid th acc -> if th.status = Ready then tid :: acc else acc)
+    t.threads []
+  |> List.sort compare
+
+(* Surface one clock-order scheduling step to [config.sched_tap], but only
+   when it is a *decision point* — the schedule could have run a different
+   thread with observable consequences.  Between boundaries a continuing
+   thread's interleaving is invisible to a correct DMT runtime (and
+   mid-segment switches forced by jitter are reproduced by the seeded
+   jitter stream, not the log), so those steps are not decisions.  The
+   predicate mirrors the explorer's branch rule: first step, last thread
+   stopped at a schedule-relevant boundary, or last thread no longer
+   ready.  Singleton ready sets are forced moves and are skipped too —
+   this is what makes the journal minimal. *)
+let tap_decision t tap tid =
+  if
+    t.last_run < 0 || t.last_boundary || (find t t.last_run).status <> Ready
+  then
+    match ready_tids t with
+    | [] | [ _ ] -> ()
+    | ready ->
+      let d = { d_index = t.decisions; d_ready = ready; d_chosen = tid } in
+      t.decisions <- t.decisions + 1;
+      tap d
+
 let rec schedule t =
   match Pqueue.pop t.queue with
   | None -> if t.unfinished > 0 && stalled t then schedule t
@@ -637,14 +670,13 @@ let rec schedule t =
     let th = find t tid in
     (* Skip stale entries (thread re-queued with a newer generation or no
        longer ready). *)
-    if th.generation = generation && th.status = Ready then run_thread t th;
+    if th.generation = generation && th.status = Ready then begin
+      (match t.config.sched_tap with
+      | None -> ()
+      | Some tap -> tap_decision t tap tid);
+      run_thread t th
+    end;
     schedule t
-
-let ready_tids t =
-  Hashtbl.fold
-    (fun tid th acc -> if th.status = Ready then tid :: acc else acc)
-    t.threads []
-  |> List.sort compare
 
 (* Chooser-driven scheduling for the systematic explorer: the clock order
    is ignored entirely and the installed chooser picks which ready thread
@@ -680,6 +712,10 @@ let collect_outputs t =
     tids
 
 let run ?(config = default_config) make_policy ~main =
+  (if config.choose <> None && config.sched_tap <> None then
+     invalid_arg
+       "Engine.run: choose and sched_tap are mutually exclusive (the tap \
+        records clock-order decisions; a chooser replaces clock order)");
   let t =
     {
       config;
@@ -697,6 +733,7 @@ let run ?(config = default_config) make_policy ~main =
       trace_next = 0;
       policy = None;
       crashes = [];
+      decisions = 0;
       last_run = -1;
       last_boundary = true;
       on_deadlock = None;

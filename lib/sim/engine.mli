@@ -88,6 +88,25 @@ type sched_point = {
   sp_last_boundary : bool;
 }
 
+(** One free scheduling decision of the default clock-ordered scheduler,
+    surfaced to [config.sched_tap] — the raw material of the minimal
+    record/replay journal ([Rfdet_replay]).
+
+    A step is a {e decision point} only when the schedule genuinely
+    chose: the first step of the run, a step after the previous thread
+    stopped at a schedule-relevant boundary (sync op or handle
+    creation), or a step after the previous thread stopped being ready
+    (blocked, exited, crashed) — the same rule the systematic explorer
+    branches on.  Steps that merely continue the running thread between
+    boundaries, and forced moves where only one thread is ready, are
+    {e not} surfaced: under DLRC their interleaving is unobservable, so
+    logging them would add bytes without adding information.
+
+    - [d_index]: 0-based decision sequence number;
+    - [d_ready]: ready tids at the decision, ascending (always ≥ 2);
+    - [d_chosen]: the tid the (clock, tid) order ran. *)
+type decision = { d_index : int; d_ready : int list; d_chosen : int }
+
 type config = {
   cost : Cost.t;
   seed : int64;
@@ -109,6 +128,14 @@ type config = {
           [jitter_mean = 0.] so the schedule is the only free variable.
           [None] (the default) keeps the deterministic (clock, tid)
           order. *)
+  sched_tap : (decision -> unit) option;
+      (** decision tap for the record/replay journal: called at every
+          decision point of the default clock-ordered scheduler (see
+          [decision]).  Purely observational — it cannot alter the
+          schedule, so a tapped run is bit-identical to an untapped one.
+          Mutually exclusive with [choose] ([run] raises
+          [Invalid_argument] if both are set); [None] (the default)
+          costs nothing. *)
   observe : (tid:int -> Op.t -> unit) option;
       (** operation tap, called for every operation as it is handled
           (before injection and policy dispatch); lets an explorer
